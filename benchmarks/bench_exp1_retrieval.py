@@ -1,0 +1,48 @@
+"""Experiment 1 (section 6.3.2): comparing the retrieval strategies.
+
+For every back-end (file, SQL; memory as the zero-transport baseline),
+every strategy (SINGLE, BUFFER, SPD), and every access pattern of the
+mini-benchmark, measure the time to resolve a fixed batch of array views
+and record the back-end round trips and chunks transferred.
+
+Expected shape (paper): SPD <= BUFFER << SINGLE on regular patterns
+(row / column / stride / block / whole); the gap closes on 'element' and
+'random', where no arithmetic chunk sequences exist.
+"""
+
+import pytest
+
+from repro.storage import APRResolver, Strategy
+from repro.bench.querygen import run_pattern
+
+from benchmarks.conftest import QUERIES_PER_RUN, fresh_generator
+
+PATTERNS = ("element", "row", "column", "stride", "block", "random",
+            "whole")
+
+
+@pytest.mark.parametrize("populated_store", ["memory", "file", "sql"],
+                         indirect=True)
+@pytest.mark.parametrize("strategy", list(Strategy),
+                         ids=lambda s: s.value)
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_retrieval(benchmark, populated_store, strategy, pattern):
+    store, proxies = populated_store
+    resolver = APRResolver(store, strategy=strategy, buffer_size=64)
+
+    def run():
+        generator = fresh_generator(proxies)
+        return run_pattern(resolver, generator, pattern, QUERIES_PER_RUN)
+
+    store.stats.reset()
+    elements = benchmark(run)
+    rounds_executed = max(benchmark.stats.stats.rounds, 1)
+    stats = store.stats.snapshot()
+    benchmark.extra_info.update({
+        "pattern": pattern,
+        "strategy": strategy.value,
+        "backend": type(store).__name__,
+        "elements_per_run": elements,
+        "requests_per_run": stats["requests"] / rounds_executed,
+        "chunks_per_run": stats["chunks_fetched"] / rounds_executed,
+    })

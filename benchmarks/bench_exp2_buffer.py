@@ -1,0 +1,43 @@
+"""Experiment 2 (section 6.3.3): varying the buffer size.
+
+Fixes the BUFFER strategy on the SQL back-end and sweeps the number of
+chunk ids batched per request, on a regular (column) and an irregular
+(random) access pattern.
+
+Expected shape (paper): time and round trips drop steeply as the buffer
+grows from 1, then plateau once most of a query's chunks fit in one
+batch; growing the buffer further buys nothing.
+"""
+
+import pytest
+
+from repro.storage import APRResolver, Strategy
+from repro.bench.querygen import run_pattern
+
+from benchmarks.conftest import QUERIES_PER_RUN, fresh_generator
+
+BUFFER_SIZES = (1, 4, 16, 64, 256, 1024)
+
+
+@pytest.mark.parametrize("populated_store", ["sql"], indirect=True)
+@pytest.mark.parametrize("buffer_size", BUFFER_SIZES)
+@pytest.mark.parametrize("pattern", ("column", "random"))
+def test_buffer_size(benchmark, populated_store, buffer_size, pattern):
+    store, proxies = populated_store
+    resolver = APRResolver(
+        store, strategy=Strategy.BUFFER, buffer_size=buffer_size
+    )
+
+    def run():
+        generator = fresh_generator(proxies)
+        return run_pattern(resolver, generator, pattern, QUERIES_PER_RUN)
+
+    store.stats.reset()
+    benchmark(run)
+    rounds_executed = max(benchmark.stats.stats.rounds, 1)
+    stats = store.stats.snapshot()
+    benchmark.extra_info.update({
+        "pattern": pattern,
+        "buffer_size": buffer_size,
+        "requests_per_run": stats["requests"] / rounds_executed,
+    })

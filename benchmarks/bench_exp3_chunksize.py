@@ -1,0 +1,56 @@
+"""Experiment 3 (section 6.3.4): varying the chunk size.
+
+Stores the same arrays under chunk sizes from 256 B to 64 KiB in the SQL
+back-end and resolves sparse (element), linear (row), and bulk (whole)
+access patterns with the SPD strategy.
+
+Expected shape (paper): total cost is U-shaped in chunk size for sparse
+access — tiny chunks pay per-chunk overhead (many rows / round trips),
+huge chunks ship mostly unused data; bulk transfers keep improving with
+chunk size until per-request overhead is amortized.
+"""
+
+import pytest
+
+from repro.storage import APRResolver, Strategy
+from repro.bench import make_benchmark_store
+from repro.bench.querygen import run_pattern
+
+from benchmarks.conftest import (
+    ARRAYS, QUERIES_PER_RUN, SHAPE, fresh_generator, make_store,
+)
+
+CHUNK_SIZES = (256, 1024, 4096, 16384, 65536)
+
+
+@pytest.fixture
+def sized_store(request, tmp_path):
+    chunk_bytes = request.param
+    store = make_store("sql", tmp_path, chunk_bytes=chunk_bytes)
+    proxies = make_benchmark_store(
+        store, arrays=ARRAYS, shape=SHAPE, seed=7
+    )
+    return store, proxies, chunk_bytes
+
+
+@pytest.mark.parametrize("sized_store", CHUNK_SIZES, indirect=True,
+                         ids=lambda c: "%dB" % c)
+@pytest.mark.parametrize("pattern", ("element", "row", "whole"))
+def test_chunk_size(benchmark, sized_store, pattern):
+    store, proxies, chunk_bytes = sized_store
+    resolver = APRResolver(store, strategy=Strategy.SPD, buffer_size=64)
+
+    def run():
+        generator = fresh_generator(proxies)
+        return run_pattern(resolver, generator, pattern, QUERIES_PER_RUN)
+
+    store.stats.reset()
+    benchmark(run)
+    rounds_executed = max(benchmark.stats.stats.rounds, 1)
+    stats = store.stats.snapshot()
+    benchmark.extra_info.update({
+        "pattern": pattern,
+        "chunk_bytes": chunk_bytes,
+        "requests_per_run": stats["requests"] / rounds_executed,
+        "bytes_per_run": stats["bytes_fetched"] / rounds_executed,
+    })

@@ -1,0 +1,96 @@
+"""Experiment 4 (sections 6.4.4-6.4.5): BISTAB application queries.
+
+Runs the four published application queries over the regenerated BISTAB
+dataset, with trajectories resident in memory and externalized to the SQL
+back-end.
+
+Expected shape (paper): the metadata-only query (Q1) is unaffected by the
+storage choice; array-touching queries (Q2-Q4) pay a back-end penalty
+that stays moderate because filtering/aggregation happens server-side on
+lazily-selected windows rather than on whole shipped arrays.
+"""
+
+import pytest
+
+from repro import SSDM, SqlArrayStore
+from repro.apps import bistab
+from repro.storage import SqlTripleGraph
+
+TASKS = 12
+REALIZATIONS = 3
+SAMPLES = 512
+
+
+def _build(mode):
+    if mode == "sql-arrays":
+        store = SqlArrayStore(chunk_bytes=2048)
+        ssdm = SSDM(array_store=store, externalize_threshold=64)
+    elif mode == "sql-triples":
+        ssdm = SSDM.with_triple_store(
+            SqlTripleGraph(chunk_bytes=2048, externalize_threshold=64)
+        )
+    else:
+        ssdm = SSDM()
+    bistab.generate_dataset(
+        ssdm, tasks=TASKS, realizations=REALIZATIONS, samples=SAMPLES
+    )
+    return ssdm
+
+
+@pytest.fixture(scope="module")
+def resident_ssdm():
+    return _build("memory")
+
+
+@pytest.fixture(scope="module")
+def external_sql_ssdm():
+    return _build("sql-arrays")
+
+
+@pytest.fixture(scope="module")
+def sql_triples_ssdm():
+    return _build("sql-triples")
+
+
+@pytest.mark.parametrize("query_id", [q[0] for q in bistab.QUERIES])
+def test_bistab_resident(benchmark, resident_ssdm, query_id):
+    text = dict((q[0], q[2]) for q in bistab.QUERIES)[query_id]
+    result = benchmark(resident_ssdm.execute, text)
+    benchmark.extra_info.update({
+        "query": query_id, "storage": "memory", "rows": len(result.rows),
+    })
+    assert len(result.rows) > 0
+
+
+@pytest.mark.parametrize("query_id", [q[0] for q in bistab.QUERIES])
+def test_bistab_sql_backend(benchmark, external_sql_ssdm, query_id):
+    text = dict((q[0], q[2]) for q in bistab.QUERIES)[query_id]
+    result = benchmark(external_sql_ssdm.execute, text)
+    benchmark.extra_info.update({
+        "query": query_id, "storage": "sql", "rows": len(result.rows),
+    })
+    assert len(result.rows) > 0
+
+
+@pytest.mark.parametrize("query_id", [q[0] for q in bistab.QUERIES])
+def test_bistab_sql_triple_store(benchmark, sql_triples_ssdm, query_id):
+    """The full back-end scenario: triples AND chunks in the RDBMS."""
+    text = dict((q[0], q[2]) for q in bistab.QUERIES)[query_id]
+    result = benchmark(sql_triples_ssdm.execute, text)
+    benchmark.extra_info.update({
+        "query": query_id, "storage": "sql-triples",
+        "rows": len(result.rows),
+    })
+    assert len(result.rows) > 0
+
+
+def test_bistab_load_time(benchmark):
+    """Data loading cost (section 6.4.3), resident storage."""
+    def load():
+        ssdm = SSDM()
+        bistab.generate_dataset(
+            ssdm, tasks=4, realizations=2, samples=SAMPLES
+        )
+        return len(ssdm.graph)
+    triples = benchmark(load)
+    benchmark.extra_info["triples"] = triples

@@ -1,0 +1,78 @@
+"""Experiment 5 (ICDE'12 motivation): consolidated arrays vs. pure-RDF
+collection traversal.
+
+The same numeric data is loaded twice: consolidated into NumericArray
+values, and as standard rdf:first/rdf:rest linked lists.  Element access
+and full aggregation then run both ways — the array way with SciSPARQL
+subscripts/aggregates, the graph way with property paths over list cells.
+
+Expected shape (paper): array operations win by orders of magnitude, and
+the gap grows linearly (element access) to super-linearly (aggregation)
+with array size — the core motivation for RDF with Arrays.
+"""
+
+import pytest
+
+from repro import SSDM
+
+SIZES = (8, 32, 128)
+
+
+def _vector_turtle(n):
+    numbers = " ".join(str(i) for i in range(1, n + 1))
+    return "@prefix ex: <http://e/> . ex:v ex:val (%s) ." % numbers
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def pair(request):
+    n = request.param
+    consolidated = SSDM()
+    consolidated.load_turtle_text(_vector_turtle(n))
+    as_graph = SSDM()
+    as_graph.load_turtle_text(_vector_turtle(n), consolidate=False)
+    return n, consolidated, as_graph
+
+
+def test_element_access_array(benchmark, pair):
+    n, consolidated, _ = pair
+    query = ("PREFIX ex: <http://e/> SELECT ?a[%d] "
+             "WHERE { ex:v ex:val ?a }" % n)
+    result = benchmark(consolidated.execute, query)
+    assert result.rows == [(n,)]
+    benchmark.extra_info.update({"size": n, "representation": "array"})
+
+
+def test_element_access_collection(benchmark, pair):
+    n, _, as_graph = pair
+    # walk (n-1) rdf:rest links, then rdf:first — what plain SPARQL needs
+    path = "/".join(["rdf:rest"] * (n - 1) + ["rdf:first"])
+    query = ("PREFIX ex: <http://e/> SELECT ?e "
+             "WHERE { ex:v ex:val ?l . ?l %s ?e }" % path)
+    result = benchmark(as_graph.execute, query)
+    assert result.rows == [(n,)]
+    benchmark.extra_info.update({"size": n, "representation": "collection"})
+
+
+def test_sum_array(benchmark, pair):
+    n, consolidated, _ = pair
+    query = ("PREFIX ex: <http://e/> SELECT (array_sum(?a) AS ?s) "
+             "WHERE { ex:v ex:val ?a }")
+    result = benchmark(consolidated.execute, query)
+    assert result.rows == [(n * (n + 1) / 2,)]
+    benchmark.extra_info.update({"size": n, "representation": "array"})
+
+
+def test_sum_collection(benchmark, pair):
+    n, _, as_graph = pair
+    query = ("PREFIX ex: <http://e/> SELECT (SUM(?e) AS ?s) "
+             "WHERE { ex:v ex:val ?l . ?l rdf:rest*/rdf:first ?e }")
+    result = benchmark(as_graph.execute, query)
+    assert result.rows == [(n * (n + 1) // 2,)]
+    benchmark.extra_info.update({"size": n, "representation": "collection"})
+
+
+def test_graph_size_ratio(pair):
+    """Not timed: the triple-count reduction consolidation achieves."""
+    n, consolidated, as_graph = pair
+    assert len(consolidated.graph) == 1
+    assert len(as_graph.graph) == 2 * n + 1

@@ -1,0 +1,111 @@
+"""Experiment 6 (section 5.3): loading and consolidation costs.
+
+Measures Turtle loading with and without collection consolidation, the
+post-hoc consolidation pass, and RDF Data Cube consolidation, recording
+the graph-size reduction each achieves.
+
+Expected shape (paper): consolidation shrinks the graph from O(elements)
+to O(1) triples per array (the 13-to-1 reduction of the 2x2 example
+generalizes) and pays for itself immediately in query time (Experiment 5).
+"""
+
+import pytest
+
+from repro import SSDM
+from repro.loaders.collections import consolidate_collections
+from repro.loaders.datacube import consolidate_data_cube
+
+MATRICES = 20
+SIDE = 8
+
+
+def _matrices_turtle():
+    lines = ["@prefix ex: <http://e/> ."]
+    for m in range(MATRICES):
+        rows = " ".join(
+            "(%s)" % " ".join(str(m + r * SIDE + c) for c in range(SIDE))
+            for r in range(SIDE)
+        )
+        lines.append("ex:m%d ex:val (%s) ." % (m, rows))
+    return "\n".join(lines)
+
+
+def _datacube_turtle(years=8, regions=8):
+    lines = [
+        "@prefix ex: <http://e/> .",
+        "@prefix qb: <http://purl.org/linked-data/cube#> .",
+        "ex:ds a qb:DataSet ; qb:structure ex:dsd .",
+        "ex:dsd qb:component [ qb:dimension ex:year ] , "
+        "[ qb:dimension ex:region ] , [ qb:measure ex:amount ] .",
+    ]
+    for y in range(years):
+        for r in range(regions):
+            lines.append(
+                'ex:o%d_%d a qb:Observation ; qb:dataSet ex:ds ; '
+                'ex:year %d ; ex:region "r%02d" ; ex:amount %d.5 .'
+                % (y, r, 2000 + y, r, y * regions + r)
+            )
+    return "\n".join(lines)
+
+
+def test_load_consolidated(benchmark):
+    text = _matrices_turtle()
+
+    def load():
+        ssdm = SSDM()
+        ssdm.load_turtle_text(text, consolidate=True)
+        return len(ssdm.graph)
+
+    triples = benchmark(load)
+    assert triples == MATRICES
+    benchmark.extra_info["triples_after"] = triples
+
+
+def test_load_unconsolidated(benchmark):
+    text = _matrices_turtle()
+
+    def load():
+        ssdm = SSDM()
+        ssdm.load_turtle_text(text, consolidate=False)
+        return len(ssdm.graph)
+
+    triples = benchmark(load)
+    # each SIDE x SIDE matrix costs 2*(SIDE + SIDE*SIDE) + 1 list triples
+    assert triples == MATRICES * (2 * (SIDE + SIDE * SIDE) + 1)
+    benchmark.extra_info["triples_after"] = triples
+
+
+def test_posthoc_consolidation(benchmark):
+    text = _matrices_turtle()
+
+    def setup():
+        ssdm = SSDM()
+        ssdm.load_turtle_text(text, consolidate=False)
+        return (ssdm,), {}
+
+    def consolidate(ssdm):
+        return consolidate_collections(ssdm.graph)
+
+    stats = benchmark.pedantic(
+        consolidate, setup=setup, rounds=5, iterations=1
+    )
+    assert stats["arrays"] == MATRICES
+    benchmark.extra_info.update(stats)
+
+
+def test_datacube_consolidation(benchmark):
+    text = _datacube_turtle()
+
+    def setup():
+        ssdm = SSDM()
+        ssdm.load_turtle_text(text)
+        return (ssdm,), {}
+
+    def consolidate(ssdm):
+        return consolidate_data_cube(ssdm)
+
+    stats = benchmark.pedantic(
+        consolidate, setup=setup, rounds=5, iterations=1
+    )
+    assert stats["datasets"] == 1
+    benchmark.extra_info.update(stats)

@@ -1,0 +1,109 @@
+"""Experiment 7 (chapter 7): the workbench (Matlab-analogue) workflow.
+
+Measures the client-side round trips of the Matlab-integration scenario
+over a real TCP connection: annotating and storing a result, locating it
+by metadata, fetching the full array, fetching a window, and asking the
+server for a reduction.
+
+Expected shape (paper): server-side reduction and window selection cut
+transfer (and time) roughly proportionally to selectivity — the point of
+pushing SciSPARQL array expressions to the server instead of shipping
+whole .mat arrays to the workbench.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SSDM
+from repro.client import SSDMClient, SSDMServer, WorkbenchClient
+
+ELEMENTS = 20_000
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("wb")
+    ssdm = SSDM()
+    workbench = WorkbenchClient(ssdm, str(directory))
+    data = np.linspace(0.0, 1.0, ELEMENTS)
+    uri = workbench.store_result(
+        "bigrun", data, {"temperature": 300.0, "method": "mc"}
+    )
+    server = SSDMServer(ssdm).start()
+    yield server, workbench, uri, data
+    server.stop()
+
+
+def _client(server):
+    return SSDMClient("127.0.0.1", server.server_address[1])
+
+
+def test_store_and_annotate(benchmark, tmp_path):
+    ssdm = SSDM()
+    workbench = WorkbenchClient(ssdm, str(tmp_path))
+    data = np.linspace(0.0, 1.0, ELEMENTS)
+    counter = [0]
+
+    def store():
+        counter[0] += 1
+        return workbench.store_result(
+            "run%d" % counter[0], data, {"temperature": 300.0}
+        )
+
+    benchmark(store)
+
+
+def test_find_by_metadata(benchmark, stack):
+    _, workbench, uri, _ = stack
+    hits = benchmark(workbench.find, {"temperature": 300.0})
+    assert uri in hits
+
+
+def test_fetch_whole_array_over_wire(benchmark, stack):
+    server, _, uri, data = stack
+    client = _client(server)
+    query = ("PREFIX wb: <http://udbl.uu.se/workbench#> "
+             "SELECT ?a WHERE { <%s> wb:data ?a }" % uri.value)
+    result = benchmark(client.query, query)
+    rounds = max(benchmark.stats.stats.rounds, 1)
+    bytes_per_call = client.bytes_received / (rounds + 1)
+    client.close()
+    assert len(result.rows) == 1
+    benchmark.extra_info.update({
+        "mode": "fetch-whole", "bytes_per_call": round(bytes_per_call),
+        "elements": ELEMENTS,
+    })
+
+
+def test_fetch_window_over_wire(benchmark, stack):
+    server, _, uri, data = stack
+    client = _client(server)
+    query = ("PREFIX wb: <http://udbl.uu.se/workbench#> "
+             "SELECT (?a[1:100] AS ?w) WHERE { <%s> wb:data ?a }"
+             % uri.value)
+    result = benchmark(client.query, query)
+    rounds = max(benchmark.stats.stats.rounds, 1)
+    bytes_per_call = client.bytes_received / (rounds + 1)
+    client.close()
+    assert len(result.rows) == 1
+    benchmark.extra_info.update({
+        "mode": "fetch-window", "bytes_per_call": round(bytes_per_call),
+        "elements": 100,
+    })
+
+
+def test_server_side_reduction_over_wire(benchmark, stack):
+    server, _, uri, data = stack
+    client = _client(server)
+    query = ("PREFIX wb: <http://udbl.uu.se/workbench#> "
+             "SELECT (array_avg(?a) AS ?m) WHERE { <%s> wb:data ?a }"
+             % uri.value)
+    result = benchmark(client.query, query)
+    rounds = max(benchmark.stats.stats.rounds, 1)
+    bytes_per_call = client.bytes_received / (rounds + 1)
+    client.close()
+    assert result.rows[0][0] == pytest.approx(data.mean())
+    benchmark.extra_info.update({
+        "mode": "reduce", "bytes_per_call": round(bytes_per_call),
+        "elements": 1,
+    })

@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+The benchmarks regenerate every experiment of the paper's evaluation
+(dissertation sections 6.3-6.4, chapter 7); see DESIGN.md for the
+experiment index and EXPERIMENTS.md for measured-vs-paper shapes.
+
+Back-end traffic counters (round trips, chunks) are attached to each
+measurement via ``benchmark.extra_info`` so the tables the paper reports
+can be reconstructed from the saved benchmark JSON.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SSDM, FileArrayStore, MemoryArrayStore, NumericArray, SqlArrayStore,
+)
+from repro.bench import QueryGenerator, make_benchmark_store
+
+#: Benchmark dataset geometry (kept moderate so the suite stays fast).
+ARRAYS = 4
+SHAPE = (128, 128)
+CHUNK_BYTES = 2048
+QUERIES_PER_RUN = 8
+
+
+def make_store(kind, tmp_path, chunk_bytes=CHUNK_BYTES):
+    if kind == "memory":
+        return MemoryArrayStore(chunk_bytes=chunk_bytes)
+    if kind == "file":
+        return FileArrayStore(str(tmp_path / ("files_%d" % chunk_bytes)),
+                              chunk_bytes=chunk_bytes)
+    if kind == "sql":
+        return SqlArrayStore(chunk_bytes=chunk_bytes)
+    raise ValueError(kind)
+
+
+@pytest.fixture
+def populated_store(request, tmp_path):
+    """A store of the given kind filled with the benchmark arrays."""
+    kind = getattr(request, "param", "sql")
+    store = make_store(kind, tmp_path)
+    proxies = make_benchmark_store(
+        store, arrays=ARRAYS, shape=SHAPE, seed=7
+    )
+    return store, proxies
+
+
+def fresh_generator(proxies, seed=11):
+    return QueryGenerator(proxies, seed=seed, stride=8, block=16,
+                          random_points=32)

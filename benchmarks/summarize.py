@@ -1,0 +1,142 @@
+"""Summarize a pytest-benchmark JSON file into the EXPERIMENTS.md tables.
+
+Usage:
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench_results.json
+    python benchmarks/summarize.py bench_results.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path) as handle:
+        raw = json.load(handle)
+    rows = []
+    for bench in raw["benchmarks"]:
+        rows.append({
+            "name": bench["name"],
+            "group": bench["name"].split("[")[0],
+            "mean_ms": bench["stats"]["mean"] * 1000.0,
+            "extra": bench.get("extra_info", {}),
+        })
+    return rows
+
+
+def table(rows, columns, sort_keys):
+    rows = sorted(rows, key=lambda r: tuple(
+        str(r["extra"].get(k, r.get(k, ""))) for k in sort_keys
+    ))
+    header = " | ".join(columns)
+    line = " | ".join("---" for _ in columns)
+    out = ["| %s |" % header, "| %s |" % line]
+    for row in rows:
+        cells = []
+        for column in columns:
+            if column == "mean_ms":
+                cells.append("%.2f" % row["mean_ms"])
+            else:
+                value = row["extra"].get(column, row.get(column, ""))
+                if isinstance(value, float):
+                    value = "%.1f" % value
+                cells.append(str(value))
+        out.append("| %s |" % " | ".join(cells))
+    return "\n".join(out)
+
+
+def main(path):
+    rows = load(path)
+    groups = defaultdict(list)
+    for row in rows:
+        groups[row["group"]].append(row)
+
+    sections = [
+        ("Experiment 1 — retrieval strategies (§6.3.2)",
+         "test_retrieval",
+         ["backend", "pattern", "strategy", "mean_ms",
+          "requests_per_run", "chunks_per_run"],
+         ["backend", "pattern", "strategy"]),
+        ("Experiment 2 — buffer size (§6.3.3)",
+         "test_buffer_size",
+         ["pattern", "buffer_size", "mean_ms", "requests_per_run"],
+         ["pattern", "buffer_size"]),
+        ("Experiment 3 — chunk size (§6.3.4)",
+         "test_chunk_size",
+         ["pattern", "chunk_bytes", "mean_ms", "requests_per_run",
+          "bytes_per_run"],
+         ["pattern", "chunk_bytes"]),
+        ("Experiment 4 — BISTAB queries, resident (§6.4.5)",
+         "test_bistab_resident",
+         ["query", "storage", "mean_ms", "rows"], ["query"]),
+        ("Experiment 4 — BISTAB queries, SQL back-end (§6.4.5)",
+         "test_bistab_sql_backend",
+         ["query", "storage", "mean_ms", "rows"], ["query"]),
+        ("Experiment 4 — BISTAB queries, SQL triples + arrays (§6.2.1)",
+         "test_bistab_sql_triple_store",
+         ["query", "storage", "mean_ms", "rows"], ["query"]),
+        ("Experiment 5 — element access: array vs collection",
+         "test_element_access_array",
+         ["size", "representation", "mean_ms"], ["size"]),
+        ("Experiment 5 — element access, collection traversal",
+         "test_element_access_collection",
+         ["size", "representation", "mean_ms"], ["size"]),
+        ("Experiment 5 — aggregation: array",
+         "test_sum_array", ["size", "representation", "mean_ms"],
+         ["size"]),
+        ("Experiment 5 — aggregation: collection",
+         "test_sum_collection", ["size", "representation", "mean_ms"],
+         ["size"]),
+        ("Experiment 6 — loading & consolidation (§5.3)",
+         None, None, None),
+        ("Experiment 7 — workbench transfers (ch. 7)",
+         None, None, None),
+    ]
+
+    for title, group, columns, sort_keys in sections:
+        if group is None:
+            continue
+        if group not in groups:
+            continue
+        print("### %s\n" % title)
+        print(table(groups[group], columns, sort_keys))
+        print()
+
+    for title, names in (
+        ("Experiment 6 — loading & consolidation (§5.3)",
+         ["test_load_consolidated", "test_load_unconsolidated",
+          "test_posthoc_consolidation", "test_datacube_consolidation"]),
+        ("Experiment 7 — workbench transfers (ch. 7)",
+         ["test_store_and_annotate", "test_find_by_metadata",
+          "test_fetch_whole_array_over_wire",
+          "test_fetch_window_over_wire",
+          "test_server_side_reduction_over_wire"]),
+        ("Ablations",
+         ["test_join_order_optimized", "test_join_order_textual",
+          "test_repeated_views_cache", "test_spd_min_run",
+          "test_map_vectorizable_closure",
+          "test_map_interpreted_closure"]),
+    ):
+        collected = []
+        for name in names:
+            collected.extend(groups.get(name, []))
+        if not collected:
+            continue
+        print("### %s\n" % title)
+        print("| benchmark | mean_ms | details |")
+        print("| --- | --- | --- |")
+        for row in sorted(collected, key=lambda r: r["name"]):
+            details = ", ".join(
+                "%s=%s" % (k, ("%.1f" % v) if isinstance(v, float) else v)
+                for k, v in sorted(row["extra"].items())
+            )
+            print("| %s | %.2f | %s |" % (
+                row["name"], row["mean_ms"], details
+            ))
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_results.json")

@@ -1,0 +1,102 @@
+"""Linked-data statistics: RDF Data Cube consolidation + UDF views.
+
+An RDF Data Cube dataset (the W3C vocabulary for statistical data,
+dissertation section 5.3.3) is loaded as plain observations, consolidated
+into a dense array with dimension dictionaries, and then analysed with
+SciSPARQL — including a user-defined function used as a parameterized
+view and a second-order array function.
+
+Run:  python examples/datacube_linkeddata.py
+"""
+
+from repro import SSDM
+
+OBSERVATIONS = """
+@prefix ex: <http://stats.example.org/> .
+@prefix qb: <http://purl.org/linked-data/cube#> .
+
+ex:pop a qb:DataSet ; qb:structure ex:dsd .
+ex:dsd qb:component [ qb:dimension ex:year ] ,
+                    [ qb:dimension ex:county ] ,
+                    [ qb:measure ex:population ] .
+"""
+
+
+def observation(index, year, county, population):
+    return (
+        'ex:o%d a qb:Observation ; qb:dataSet ex:pop ; '
+        'ex:year %d ; ex:county "%s" ; ex:population %d .'
+        % (index, year, county, population)
+    )
+
+
+def main():
+    counties = ["Uppsala", "Stockholm", "Gotland", "Dalarna"]
+    base = {"Uppsala": 330, "Stockholm": 2100, "Gotland": 58,
+            "Dalarna": 280}
+    lines = [OBSERVATIONS]
+    index = 0
+    for year in range(2000, 2012):
+        for county in counties:
+            index += 1
+            population = base[county] + (year - 2000) * (
+                8 if county == "Stockholm" else 2
+            )
+            lines.append(observation(index, year, county, population))
+
+    ssdm = SSDM()
+    triples = ssdm.load_turtle_text("\n".join(lines))
+    print("loaded %d triples of qb:Observations" % triples)
+
+    stats = ssdm.load_data_cube()
+    print("consolidated: %d dataset(s), removed %d observation triples; "
+          "graph now has %d triples"
+          % (stats["datasets"], stats["observations_removed"],
+             len(ssdm.graph)))
+
+    ssdm.prefix("ex", "http://stats.example.org/")
+    ssdm.prefix("ssdm", "http://udbl.uu.se/ssdm#")
+
+    print("\nthe consolidated cube (counties x years):")
+    result = ssdm.execute("""
+        SELECT (adims(?arr) AS ?shape) WHERE {
+            ex:pop ssdm:dataArray [ ssdm:array ?arr ] }""")
+    print("   shape:", result.scalar().to_nested_lists())
+
+    print("\npopulation of every county in 2005 "
+          "(column 6 of the cube; the county dictionary labels rows):")
+    result = ssdm.execute("""
+        SELECT (?arr[1, 6] AS ?p1) (?arr[2, 6] AS ?p2)
+               (?arr[3, 6] AS ?p3) (?arr[4, 6] AS ?p4)
+        WHERE { ex:pop ssdm:dataArray [ ssdm:array ?arr ] }""")
+    dictionary = ssdm.execute("""
+        SELECT ?county WHERE {
+            ex:pop ssdm:dimension [ ssdm:property ex:county ;
+                                    ssdm:values ?list ] .
+            ?list rdf:rest*/rdf:first ?county }""")
+    for county, population in zip(dictionary.column("county"),
+                                  result.rows[0]):
+        print("   %-10s %d thousand" % (county, population))
+
+    print("\na parameterized view: growth of a county over the decade")
+    ssdm.execute("""
+        DEFINE FUNCTION ex:growth(?i) AS
+        SELECT (?arr[?i, 12] - ?arr[?i, 1] AS ?g)
+        WHERE { ex:pop ssdm:dataArray [ ssdm:array ?arr ] }""")
+    result = ssdm.execute("""
+        SELECT (ex:growth(1) AS ?g1) (ex:growth(2) AS ?g2) WHERE { }""")
+    print("   growth of county #1: +%d, county #2: +%d (thousand)"
+          % result.rows[0])
+
+    print("\nsecond-order: per-county decade averages via "
+          "array_condense over the year axis")
+    result = ssdm.execute("""
+        SELECT (array_condense(FN(?x ?y) ?x + ?y, ?arr, 2) AS ?sums)
+        WHERE { ex:pop ssdm:dataArray [ ssdm:array ?arr ] }""")
+    sums = result.scalar().to_nested_lists()
+    for county, total in zip(dictionary.column("county"), sums):
+        print("   %-10s mean %.1f thousand" % (county, total / 12))
+
+
+if __name__ == "__main__":
+    main()

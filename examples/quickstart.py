@@ -1,0 +1,84 @@
+"""Quickstart: RDF with Arrays and SciSPARQL in five minutes.
+
+Loads a small dataset mixing metadata and numeric matrices, then walks
+through the signature SciSPARQL features: array subscripts, ranges,
+array aggregates in filters, and combined data/metadata conditions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SSDM
+
+TURTLE = """
+@prefix : <http://example.org/lab#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+:sensorA a :Sensor ; rdfs:label "roof sensor" ;
+    :calibration 0.98 ;
+    :readings ((20.1 20.4 21.0 22.3) (22.0 22.8 23.1 23.0)
+               (19.5 19.8 20.2 20.9)) .
+
+:sensorB a :Sensor ; rdfs:label "basement sensor" ;
+    :calibration 1.02 ;
+    :readings ((10.0 10.1 10.0 10.2) (10.3 10.2 10.4 10.3)
+               (10.1 10.1 10.0 10.2)) .
+"""
+
+
+def main():
+    ssdm = SSDM()
+    triples = ssdm.load_turtle_text(TURTLE)
+    print("loaded %d triples (each readings matrix is ONE value)" % triples)
+    ssdm.prefix("", "http://example.org/lab#")
+    ssdm.prefix("rdfs", "http://www.w3.org/2000/01/rdf-schema#")
+
+    print("\n1. Metadata query — plain SPARQL still works:")
+    result = ssdm.execute("""
+        SELECT ?label WHERE { ?s a :Sensor ; rdfs:label ?label }
+        ORDER BY ?label""")
+    for (label,) in result:
+        print("   sensor:", label)
+
+    print("\n2. Array dereference — day 2, hour 3 of each sensor "
+          "(1-based):")
+    result = ssdm.execute("""
+        SELECT ?label ?r[2,3] WHERE {
+            ?s rdfs:label ?label ; :readings ?r } ORDER BY ?label""")
+    for label, value in result:
+        print("   %-16s %.1f" % (label, value))
+
+    print("\n3. Ranges and projection — the first two hours of day 1:")
+    result = ssdm.execute("""
+        SELECT ?label ?r[1,1:2] WHERE {
+            ?s rdfs:label ?label ; :readings ?r } ORDER BY ?label""")
+    for label, window in result:
+        print("   %-16s %s" % (label, window.to_nested_lists()))
+
+    print("\n4. Data and metadata combined — calibrated daily means of "
+          "warm sensors:")
+    result = ssdm.execute("""
+        SELECT ?label (array_avg(?r) * ?c AS ?mean) WHERE {
+            ?s rdfs:label ?label ; :calibration ?c ; :readings ?r
+            FILTER (array_max(?r) > 15) }""")
+    for label, mean in result:
+        print("   %-16s %.2f" % (label, mean))
+
+    print("\n5. Array arithmetic and mappers — centered readings:")
+    result = ssdm.execute("""
+        SELECT ?label (array_map(FN(?x) ?x - ?m, ?r)[1] AS ?centered)
+        WHERE { ?s rdfs:label ?label ; :readings ?r
+                BIND(array_avg(?r) AS ?m) } ORDER BY ?label""")
+    for label, row in result:
+        print("   %-16s %s" % (
+            label, [round(v, 2) for v in row.to_nested_lists()]
+        ))
+
+    print("\n6. The optimized logical plan (EXPLAIN):")
+    print(ssdm.explain("""
+        SELECT ?label WHERE {
+            ?s a :Sensor ; rdfs:label ?label ; :calibration ?c
+            FILTER(?c > 1.0) }"""))
+
+
+if __name__ == "__main__":
+    main()

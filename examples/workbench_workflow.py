@@ -1,0 +1,90 @@
+"""The Matlab-integration workflow (dissertation chapter 7), over TCP.
+
+A "computational workbench" (the Matlab stand-in) produces numeric
+results, saves them as native array files, and annotates them with RDF
+metadata in a shared SSDM server.  A collaborator then *finds* results by
+querying metadata and retrieves only what they need — windows and
+server-side reductions instead of whole arrays.
+
+Run:  python examples/workbench_workflow.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import SSDM
+from repro.client import SSDMClient, SSDMServer, WorkbenchClient
+
+
+def simulate(frequency, samples=50_000):
+    """A stand-in numeric computation (what Matlab would produce)."""
+    t = np.linspace(0.0, 10.0, samples)
+    return np.sin(2 * np.pi * frequency * t) * np.exp(-t / 5.0)
+
+
+def main():
+    directory = tempfile.mkdtemp(prefix="workbench_")
+    ssdm = SSDM()
+    workbench = WorkbenchClient(ssdm, directory)
+
+    print("scientist A: run simulations, save + annotate results")
+    for frequency in (0.5, 1.0, 2.0):
+        data = simulate(frequency)
+        uri = workbench.store_result(
+            "decay_f%.1f" % frequency, data,
+            {"frequency": frequency, "model": "damped-sine",
+             "samples": len(data)},
+        )
+        print("   stored %s (%d elements -> %s)"
+              % (uri, len(data), directory))
+
+    server = SSDMServer(ssdm).start()
+    port = server.server_address[1]
+    print("\nSSDM server listening on 127.0.0.1:%d" % port)
+
+    print("\nscientist B: find the 1 Hz run by metadata (over the wire)")
+    client = SSDMClient("127.0.0.1", port)
+    hits = client.query("""
+        PREFIX wb: <http://udbl.uu.se/workbench#>
+        SELECT ?r ?f WHERE { ?r a wb:Result ; wb:frequency ?f
+            FILTER(?f = 1.0) }""")
+    result_uri = hits.rows[0][0]
+    print("   found:", result_uri)
+
+    print("\nscientist B: server-side statistics (1 scalar over the wire)")
+    stats = client.query("""
+        PREFIX wb: <http://udbl.uu.se/workbench#>
+        SELECT (array_min(?a) AS ?lo) (array_max(?a) AS ?hi)
+               (array_avg(?a) AS ?mean)
+        WHERE { <%s> wb:data ?a }""" % result_uri.value)
+    lo, hi, mean = stats.rows[0]
+    transferred_small = client.bytes_received
+    print("   min=%.4f max=%.4f mean=%.6f  (%d bytes received so far)"
+          % (lo, hi, mean, transferred_small))
+
+    print("\nscientist B: fetch just the first 20 samples")
+    window = client.query("""
+        PREFIX wb: <http://udbl.uu.se/workbench#>
+        SELECT (?a[1:20] AS ?w) WHERE { <%s> wb:data ?a }"""
+        % result_uri.value)
+    print("   window:", [round(v, 3) for v in
+                         window.rows[0][0].to_nested_lists()[:6]], "...")
+
+    print("\nfor contrast: fetching the whole 50k-element array")
+    before = client.bytes_received
+    client.query("""
+        PREFIX wb: <http://udbl.uu.se/workbench#>
+        SELECT ?a WHERE { <%s> wb:data ?a }""" % result_uri.value)
+    whole_bytes = client.bytes_received - before
+    print("   whole array: %d bytes vs ~%d for the reduction"
+          % (whole_bytes, transferred_small))
+    print("   -> server-side reduction saved %.1f%% of the transfer"
+          % (100.0 * (1 - transferred_small / whole_bytes)))
+
+    client.close()
+    server.stop()
+
+
+if __name__ == "__main__":
+    main()

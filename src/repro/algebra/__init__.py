@@ -1,0 +1,18 @@
+"""Query translation, normalization, and cost-based optimization.
+
+SSDM translates SciSPARQL into a domain-calculus representation, applies
+normalization and rewriting (filter pushdown, constant folding), and lets a
+cost-based optimizer order the triple-pattern predicates of every
+conjunction before execution (dissertation sections 5.4.3-5.4.5).  Here the
+calculus is a logical operator tree (:mod:`repro.algebra.logical`) whose
+basic graph patterns remain flat predicate lists — the ObjectLog analogue —
+so the optimizer can permute them freely.
+"""
+
+from repro.algebra import logical
+from repro.algebra.translator import translate
+from repro.algebra.rewriter import rewrite
+from repro.algebra.optimizer import optimize
+from repro.algebra.cost import CostModel
+
+__all__ = ["logical", "translate", "rewrite", "optimize", "CostModel"]

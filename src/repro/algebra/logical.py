@@ -1,0 +1,366 @@
+"""Logical algebra operators for translated SciSPARQL queries.
+
+The tree mirrors the SPARQL-algebra operators the dissertation extends
+(section 5.4.4): joins, left joins (OPTIONAL), unions, filters, extends
+(BIND), property-path scans, grouping/aggregation, and solution modifiers —
+plus the SciSPARQL-specific array machinery, which lives in expressions.
+
+A :class:`BGP` keeps its triple patterns as a *flat list* so the cost-based
+optimizer can reorder them (the ObjectLog conjunction analogue).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.sparql import ast
+
+
+class PlanNode:
+    """Base logical operator with pretty-printing for EXPLAIN output."""
+
+    _fields: Tuple[str, ...] = ()
+
+    def children(self):
+        out = []
+        for field in self._fields:
+            value = getattr(self, field)
+            if isinstance(value, PlanNode):
+                out.append(value)
+            elif isinstance(value, list):
+                out.extend(v for v in value if isinstance(v, PlanNode))
+        return out
+
+    def explain(self, indent=0):
+        label = type(self).__name__
+        details = self._details()
+        line = "  " * indent + label + (": " + details if details else "")
+        lines = [line]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _details(self):
+        return ""
+
+    def __repr__(self):
+        return self.explain()
+
+
+class BGP(PlanNode):
+    """A basic graph pattern: a conjunction of triple patterns.
+
+    ``patterns`` holds :class:`repro.sparql.ast.TriplePattern` instances
+    whose components are Vars or ground terms (paths are split out into
+    :class:`PathScan` by the translator).
+    """
+
+    _fields = ("patterns",)
+
+    def __init__(self, patterns):
+        self.patterns = list(patterns)
+
+    def _details(self):
+        return "%d patterns" % len(self.patterns)
+
+
+class PathScan(PlanNode):
+    """One property-path pattern (subject, path, value)."""
+
+    _fields = ("subject", "path", "value")
+
+    def __init__(self, subject, path, value):
+        self.subject = subject
+        self.path = path
+        self.value = value
+
+    def _details(self):
+        return "%r %r %r" % (self.subject, self.path, self.value)
+
+
+class Join(PlanNode):
+    _fields = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+
+class LeftJoin(PlanNode):
+    """OPTIONAL: keep left solutions, extend with right when compatible."""
+
+    _fields = ("left", "right", "condition")
+
+    def __init__(self, left, right, condition=None):
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+
+class Union(PlanNode):
+    _fields = ("branches",)
+
+    def __init__(self, branches):
+        self.branches = list(branches)
+
+
+class Minus(PlanNode):
+    _fields = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+
+class Filter(PlanNode):
+    _fields = ("input", "expr")
+
+    def __init__(self, input, expr):
+        self.input = input
+        self.expr = expr
+
+    def _details(self):
+        return repr(self.expr)
+
+
+class Extend(PlanNode):
+    """BIND / projected expression: add var := expr to each solution."""
+
+    _fields = ("input", "var", "expr")
+
+    def __init__(self, input, var, expr):
+        self.input = input
+        self.var = var
+        self.expr = expr
+
+    def _details(self):
+        return "%r := %r" % (self.var, self.expr)
+
+
+class ValuesTable(PlanNode):
+    _fields = ("variables", "rows")
+
+    def __init__(self, variables, rows):
+        self.variables = list(variables)
+        self.rows = [list(r) for r in rows]
+
+    def _details(self):
+        return "%d rows" % len(self.rows)
+
+
+class GraphScope(PlanNode):
+    """GRAPH g { ... }: evaluate the inner plan against a named graph."""
+
+    _fields = ("graph", "input")
+
+    def __init__(self, graph, input):
+        self.graph = graph
+        self.input = input
+
+    def _details(self):
+        return repr(self.graph)
+
+
+class Unit(PlanNode):
+    """The empty pattern: one empty solution."""
+
+    _fields = ()
+
+
+class Group(PlanNode):
+    """GROUP BY with aggregate computation.
+
+    ``group_by`` is a list of (expr, alias-Var-or-None); ``aggregates``
+    maps fresh internal variable names to :class:`ast.Aggregate` nodes
+    discovered in SELECT / HAVING / ORDER BY.
+    """
+
+    _fields = ("input", "group_by", "aggregates")
+
+    def __init__(self, input, group_by, aggregates):
+        self.input = input
+        self.group_by = list(group_by)
+        self.aggregates = dict(aggregates)
+
+    def _details(self):
+        return "%d keys, %d aggregates" % (
+            len(self.group_by), len(self.aggregates)
+        )
+
+
+class Project(PlanNode):
+    """Restrict solutions to the projection variables."""
+
+    _fields = ("input", "variables")
+
+    def __init__(self, input, variables):
+        self.input = input
+        self.variables = list(variables)
+
+    def _details(self):
+        return ", ".join("?" + v for v in self.variables)
+
+
+class Distinct(PlanNode):
+    _fields = ("input",)
+
+    def __init__(self, input):
+        self.input = input
+
+
+class OrderBy(PlanNode):
+    _fields = ("input", "keys")
+
+    def __init__(self, input, keys):
+        self.input = input
+        self.keys = list(keys)       # (expr, ascending)
+
+
+class Slice(PlanNode):
+    _fields = ("input", "limit", "offset")
+
+    def __init__(self, input, limit=None, offset=None):
+        self.input = input
+        self.limit = limit
+        self.offset = offset
+
+    def _details(self):
+        return "limit=%r offset=%r" % (self.limit, self.offset)
+
+
+class SubQuery(PlanNode):
+    """A nested SELECT evaluated as a pattern (projection included)."""
+
+    _fields = ("plan", "variables")
+
+    def __init__(self, plan, variables):
+        self.plan = plan
+        self.variables = list(variables)
+
+
+# ---------------------------------------------------------------------------
+# variable analysis
+# ---------------------------------------------------------------------------
+
+def pattern_variables(node):
+    """The set of variable names a plan node can bind."""
+    if isinstance(node, BGP):
+        out = set()
+        for pattern in node.patterns:
+            for component in (pattern.subject, pattern.predicate,
+                              pattern.value):
+                if isinstance(component, ast.Var):
+                    out.add(component.name)
+        return out
+    if isinstance(node, PathScan):
+        out = set()
+        for component in (node.subject, node.value):
+            if isinstance(component, ast.Var):
+                out.add(component.name)
+        return out
+    if isinstance(node, (Join, LeftJoin, Minus)):
+        left = pattern_variables(node.left)
+        if isinstance(node, Minus):
+            return left
+        return left | pattern_variables(node.right)
+    if isinstance(node, Union):
+        out = set()
+        for branch in node.branches:
+            out |= pattern_variables(branch)
+        return out
+    if isinstance(node, Filter):
+        return pattern_variables(node.input)
+    if isinstance(node, Extend):
+        return pattern_variables(node.input) | {node.var.name}
+    if isinstance(node, ValuesTable):
+        return {v.name for v in node.variables}
+    if isinstance(node, GraphScope):
+        out = pattern_variables(node.input)
+        if isinstance(node.graph, ast.Var):
+            out.add(node.graph.name)
+        return out
+    if isinstance(node, Group):
+        out = set()
+        for expr, alias in node.group_by:
+            if alias is not None:
+                out.add(alias.name)
+            elif isinstance(expr, ast.Var):
+                out.add(expr.name)
+        out.update(node.aggregates.keys())
+        return out
+    if isinstance(node, (Project, SubQuery)):
+        return set(node.variables)
+    if isinstance(node, (Distinct, OrderBy, Slice)):
+        return pattern_variables(node.input)
+    if isinstance(node, Unit):
+        return set()
+    raise TypeError("unknown plan node %r" % (node,))
+
+
+def expression_variables(expr):
+    """Free variables of an AST expression (closure params excluded)."""
+    out = set()
+    _collect_expr_vars(expr, out)
+    return out
+
+
+def _collect_expr_vars(expr, out):
+    if isinstance(expr, ast.Var):
+        out.add(expr.name)
+    elif isinstance(expr, ast.BinaryOp):
+        _collect_expr_vars(expr.left, out)
+        _collect_expr_vars(expr.right, out)
+    elif isinstance(expr, ast.UnaryOp):
+        _collect_expr_vars(expr.operand, out)
+    elif isinstance(expr, ast.FunctionCall):
+        for arg in expr.args:
+            _collect_expr_vars(arg, out)
+    elif isinstance(expr, ast.Aggregate):
+        if expr.expr is not None:
+            _collect_expr_vars(expr.expr, out)
+    elif isinstance(expr, ast.ArraySubscript):
+        _collect_expr_vars(expr.base, out)
+        for sub in expr.subscripts:
+            if isinstance(sub, ast.RangeSubscript):
+                for part in (sub.lo, sub.stride, sub.hi):
+                    if part is not None:
+                        _collect_expr_vars(part, out)
+            else:
+                _collect_expr_vars(sub, out)
+    elif isinstance(expr, ast.InExpr):
+        _collect_expr_vars(expr.expr, out)
+        for choice in expr.choices:
+            _collect_expr_vars(choice, out)
+    elif isinstance(expr, ast.Closure):
+        inner = set()
+        _collect_expr_vars(expr.body, inner)
+        out.update(inner - {p.name for p in expr.params})
+    elif isinstance(expr, ast.ExistsExpr):
+        # EXISTS correlates on any shared variable; approximate with the
+        # pattern's variables (used only for filter placement)
+        out.update(_pattern_ast_vars(expr.pattern))
+
+
+def _pattern_ast_vars(pattern):
+    out = set()
+    if isinstance(pattern, ast.GroupPattern):
+        for element in pattern.elements:
+            out |= _pattern_ast_vars(element)
+    elif isinstance(pattern, ast.TriplePattern):
+        for component in (pattern.subject, pattern.predicate, pattern.value):
+            if isinstance(component, ast.Var):
+                out.add(component.name)
+    elif isinstance(pattern, (ast.OptionalPattern, ast.MinusPattern)):
+        out |= _pattern_ast_vars(pattern.pattern)
+    elif isinstance(pattern, ast.UnionPattern):
+        for alternative in pattern.alternatives:
+            out |= _pattern_ast_vars(alternative)
+    elif isinstance(pattern, ast.GraphGraphPattern):
+        out |= _pattern_ast_vars(pattern.pattern)
+    elif isinstance(pattern, ast.FilterClause):
+        out |= expression_variables(pattern.expr)
+    elif isinstance(pattern, ast.BindClause):
+        out.add(pattern.var.name)
+    elif isinstance(pattern, ast.ValuesClause):
+        out.update(v.name for v in pattern.variables)
+    return out

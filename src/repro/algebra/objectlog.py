@@ -1,0 +1,329 @@
+"""ObjectLog rendering: plans as Datalog-style rules in DNF.
+
+Amos II represents each query internally as an ObjectLog expression — a
+disjunction of conjunctions of predicates (dissertation section 5.4.4);
+SSDM's SciSPARQL translator targets that form, normalizing disjunctive
+patterns (UNION) into separate rules (DNF, section 5.4.5).
+
+This module reproduces that normal form over our logical plans:
+
+- :func:`disjunctive_normal_form` distributes UNION over conjunction,
+  producing a list of conjunctions of atoms;
+- :func:`to_objectlog` renders the rules textually, which is also what
+  ``SSDM.explain(..., objectlog=True)`` shows.
+
+The atoms:
+
+========================  ====================================================
+``triple(s, p, v)``       one triple-pattern predicate (the BGP element)
+``path(s, path, v)``      a property-path predicate
+``filter(expr)``          a selection predicate
+``bind(var, expr)``       a computed binding
+``optional([...], cond)`` a left-join with its own (nested) DNF
+``minus([...])``          an anti-join with a nested DNF
+``graph(g, [...])``       a named-graph scope with a nested DNF
+``values(vars, n)``       an inline table
+``subquery(vars)``        an opaque nested SELECT
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.rdf.term import BlankNode, Literal, URI
+from repro.sparql import ast
+from repro.algebra.logical import (
+    BGP, Distinct, Extend, Filter, GraphScope, Group, Join, LeftJoin,
+    Minus, OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit,
+    ValuesTable,
+)
+
+
+class Atom:
+    """One ObjectLog predicate."""
+
+    def __init__(self, kind, *parts):
+        self.kind = kind
+        self.parts = parts
+
+    def __repr__(self):
+        return "Atom(%s)" % self.render()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Atom)
+            and self.kind == other.kind
+            and self.parts == other.parts
+        )
+
+    def render(self):
+        if self.kind == "triple":
+            return "triple(%s, %s, %s)" % tuple(
+                _term(p) for p in self.parts
+            )
+        if self.kind == "path":
+            subject, path, value = self.parts
+            return "path(%s, %s, %s)" % (
+                _term(subject), _path(path), _term(value)
+            )
+        if self.kind == "filter":
+            return "filter(%s)" % _expr(self.parts[0])
+        if self.kind == "bind":
+            return "bind(%s, %s)" % (
+                _term(self.parts[0]), _expr(self.parts[1])
+            )
+        if self.kind == "optional":
+            inner, condition = self.parts
+            rendered = " | ".join(
+                ", ".join(atom.render() for atom in conj)
+                for conj in inner
+            )
+            if condition is not None:
+                return "optional({%s} on %s)" % (
+                    rendered, _expr(condition)
+                )
+            return "optional({%s})" % rendered
+        if self.kind == "minus":
+            rendered = " | ".join(
+                ", ".join(atom.render() for atom in conj)
+                for conj in self.parts[0]
+            )
+            return "minus({%s})" % rendered
+        if self.kind == "graph":
+            name, inner = self.parts
+            rendered = " | ".join(
+                ", ".join(atom.render() for atom in conj)
+                for conj in inner
+            )
+            return "graph(%s, {%s})" % (_term(name), rendered)
+        if self.kind == "values":
+            variables, count = self.parts
+            return "values((%s), %d rows)" % (
+                ", ".join(_term(v) for v in variables), count
+            )
+        if self.kind == "subquery":
+            return "subquery(%s)" % ", ".join(
+                "?" + name for name in self.parts[0]
+            )
+        return "%s(%s)" % (self.kind, ", ".join(map(str, self.parts)))
+
+
+def disjunctive_normal_form(plan):
+    """The pattern part of a plan as a list of conjunctions of atoms.
+
+    UNION distributes over conjunction: ``A . {B UNION C}`` becomes
+    ``[A, B] | [A, C]``.  Solution modifiers (group/order/slice/project/
+    distinct) are transparent — use :func:`modifiers_of` for those.
+    """
+    if isinstance(plan, Unit):
+        return [[]]
+    if isinstance(plan, BGP):
+        return [[Atom("triple", p.subject, p.predicate, p.value)
+                 for p in plan.patterns]]
+    if isinstance(plan, PathScan):
+        return [[Atom("path", plan.subject, plan.path, plan.value)]]
+    if isinstance(plan, Join):
+        out = []
+        for left in disjunctive_normal_form(plan.left):
+            for right in disjunctive_normal_form(plan.right):
+                out.append(left + right)
+        return out
+    if isinstance(plan, Union):
+        out = []
+        for branch in plan.branches:
+            out.extend(disjunctive_normal_form(branch))
+        return out
+    if isinstance(plan, Filter):
+        return [
+            conj + [Atom("filter", plan.expr)]
+            for conj in disjunctive_normal_form(plan.input)
+        ]
+    if isinstance(plan, Extend):
+        return [
+            conj + [Atom("bind", plan.var, plan.expr)]
+            for conj in disjunctive_normal_form(plan.input)
+        ]
+    if isinstance(plan, LeftJoin):
+        inner = disjunctive_normal_form(plan.right)
+        return [
+            conj + [Atom("optional", inner, plan.condition)]
+            for conj in disjunctive_normal_form(plan.left)
+        ]
+    if isinstance(plan, Minus):
+        inner = disjunctive_normal_form(plan.right)
+        return [
+            conj + [Atom("minus", inner)]
+            for conj in disjunctive_normal_form(plan.left)
+        ]
+    if isinstance(plan, GraphScope):
+        inner = disjunctive_normal_form(plan.input)
+        return [[Atom("graph", plan.graph, inner)]]
+    if isinstance(plan, ValuesTable):
+        return [[Atom("values", plan.variables, len(plan.rows))]]
+    if isinstance(plan, SubQuery):
+        return [[Atom("subquery", plan.variables)]]
+    if isinstance(plan, (Project, Distinct, OrderBy, Slice, Group)):
+        return disjunctive_normal_form(plan.input)
+    raise TypeError("cannot normalize %r" % (plan,))
+
+
+def modifiers_of(plan):
+    """Collect the operational wrappers above the pattern part."""
+    out = []
+    node = plan
+    while True:
+        if isinstance(node, Project):
+            out.append("project(%s)" % ", ".join(
+                "?" + v for v in node.variables
+            ))
+            node = node.input
+        elif isinstance(node, Distinct):
+            out.append("distinct")
+            node = node.input
+        elif isinstance(node, OrderBy):
+            out.append("order(%s)" % ", ".join(
+                ("asc " if asc else "desc ") + _expr(expr)
+                for expr, asc in node.keys
+            ))
+            node = node.input
+        elif isinstance(node, Slice):
+            out.append("slice(limit=%s, offset=%s)"
+                       % (node.limit, node.offset))
+            node = node.input
+        elif isinstance(node, Group):
+            out.append("group(%d keys, %d aggregates)"
+                       % (len(node.group_by), len(node.aggregates)))
+            node = node.input
+        elif isinstance(node, Filter) and _has_group_below(node.input):
+            # HAVING filters sit between Group and Project; ordinary
+            # filters belong to the pattern part
+            out.append("having(%s)" % _expr(node.expr))
+            node = node.input
+        else:
+            return out, node
+
+
+def _has_group_below(node):
+    while isinstance(node, Filter):
+        node = node.input
+    return isinstance(node, Group)
+
+
+def to_objectlog(plan, columns=None, head="query"):
+    """Render a plan as ObjectLog rules, one per DNF disjunct."""
+    modifiers, pattern = modifiers_of(plan)
+    disjuncts = disjunctive_normal_form(pattern)
+    head_vars = ", ".join("?" + c for c in (columns or []))
+    lines = []
+    for conjunction in disjuncts:
+        body = ",\n    ".join(atom.render() for atom in conjunction) \
+            or "true"
+        lines.append("%s(%s) :-\n    %s." % (head, head_vars, body))
+    for modifier in reversed(modifiers):
+        lines.append("%% %s" % modifier)
+    return "\n".join(lines)
+
+
+# -- rendering helpers --------------------------------------------------------
+
+def _term(value):
+    if isinstance(value, ast.Var):
+        return "?" + value.name
+    if isinstance(value, URI):
+        return "<%s>" % value.value
+    if isinstance(value, Literal):
+        # numbers and booleans read better bare in the calculus form
+        if value.is_numeric() or isinstance(value.value, bool):
+            return value.lexical_form()
+        return value.n3()
+    if isinstance(value, BlankNode):
+        return value.n3()
+    if hasattr(value, "n3"):
+        return value.n3()
+    return repr(value)
+
+
+def _path(path):
+    if isinstance(path, URI):
+        return "<%s>" % path.value
+    if isinstance(path, ast.PathLink):
+        return "<%s>" % path.uri.value
+    if isinstance(path, ast.PathInverse):
+        return "^%s" % _path(path.path)
+    if isinstance(path, ast.PathSequence):
+        return "/".join(_path(p) for p in path.parts)
+    if isinstance(path, ast.PathAlternative):
+        return "(%s)" % "|".join(_path(p) for p in path.parts)
+    if isinstance(path, ast.PathMod):
+        return "%s%s" % (_path(path.path), path.modifier)
+    if isinstance(path, ast.PathNegated):
+        items = ["<%s>" % u.value for u in path.forward]
+        items += ["^<%s>" % u.value for u in path.inverse]
+        return "!(%s)" % "|".join(items)
+    return repr(path)
+
+
+def _expr(expr):
+    if expr is None:
+        return "true"
+    if isinstance(expr, ast.Var):
+        return "?" + expr.name
+    if isinstance(expr, ast.TermExpr):
+        return _term(expr.term)
+    if isinstance(expr, ast.BinaryOp):
+        return "%s(%s, %s)" % (
+            _OP_NAMES.get(expr.op, expr.op),
+            _expr(expr.left), _expr(expr.right),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return "%s(%s)" % (
+            "not" if expr.op == "!" else "neg", _expr(expr.operand)
+        )
+    if isinstance(expr, ast.FunctionCall):
+        name = expr.name if isinstance(expr.name, str) \
+            else "<%s>" % expr.name.value
+        return "%s(%s)" % (
+            name.lower() if isinstance(expr.name, str) else name,
+            ", ".join(_expr(a) for a in expr.args),
+        )
+    if isinstance(expr, ast.Aggregate):
+        return "%s(%s)" % (
+            expr.name.lower(),
+            "*" if expr.expr is None else _expr(expr.expr),
+        )
+    if isinstance(expr, ast.ArraySubscript):
+        subs = []
+        for sub in expr.subscripts:
+            if isinstance(sub, ast.RangeSubscript):
+                subs.append("%s:%s:%s" % (
+                    _opt(sub.lo), _opt(sub.stride), _opt(sub.hi)
+                ))
+            else:
+                subs.append(_expr(sub))
+        return "aref(%s, [%s])" % (_expr(expr.base), ", ".join(subs))
+    if isinstance(expr, ast.Closure):
+        return "closure((%s), %s)" % (
+            ", ".join("?" + p.name for p in expr.params),
+            _expr(expr.body),
+        )
+    if isinstance(expr, ast.ExistsExpr):
+        return "%sexists{...}" % ("not_" if expr.negated else "")
+    if isinstance(expr, ast.InExpr):
+        return "%sin(%s, [%s])" % (
+            "not_" if expr.negated else "",
+            _expr(expr.expr),
+            ", ".join(_expr(c) for c in expr.choices),
+        )
+    return repr(expr)
+
+
+def _opt(part):
+    return "" if part is None else _expr(part)
+
+
+_OP_NAMES = {
+    "=": "eq", "!=": "ne", "<": "lt", ">": "gt", "<=": "le", ">=": "ge",
+    "+": "plus", "-": "minus", "*": "times", "/": "div",
+    "&&": "and", "||": "or",
+}

@@ -1,0 +1,107 @@
+"""Cost-based plan optimization.
+
+Walks the logical plan and reorders each BGP's triple patterns with the
+greedy selectivity-driven algorithm of :class:`repro.algebra.cost.CostModel`,
+threading the set of already-bound variables through the tree so patterns
+deeper in a join see what the outer operators bind first (the Amos II
+predicate-reordering step, section 5.4.5).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.cost import CostModel
+from repro.algebra.logical import (
+    BGP, Distinct, Extend, Filter, GraphScope, Group, Join, LeftJoin, Minus,
+    OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit, ValuesTable,
+    pattern_variables,
+)
+
+
+def optimize(plan, graph):
+    """Return a plan with cost-ordered BGPs for the given graph."""
+    model = CostModel(graph)
+    return _optimize(plan, model, set())
+
+
+def _optimize(node, model, bound):
+    if isinstance(node, BGP):
+        return BGP(model.order_patterns(node.patterns, bound))
+    if isinstance(node, Join):
+        left = _optimize(node.left, model, bound)
+        right = _optimize(
+            node.right, model, bound | pattern_variables(node.left)
+        )
+        # prefer evaluating the side with lower estimated cardinality first
+        if _should_swap(node, model, bound):
+            left2 = _optimize(node.right, model, bound)
+            right2 = _optimize(
+                node.left, model, bound | pattern_variables(node.right)
+            )
+            return Join(left2, right2)
+        return Join(left, right)
+    if isinstance(node, LeftJoin):
+        return LeftJoin(
+            _optimize(node.left, model, bound),
+            _optimize(node.right, model,
+                      bound | pattern_variables(node.left)),
+            node.condition,
+        )
+    if isinstance(node, Minus):
+        return Minus(
+            _optimize(node.left, model, bound),
+            _optimize(node.right, model,
+                      bound | pattern_variables(node.left)),
+        )
+    if isinstance(node, Union):
+        return Union([_optimize(b, model, bound) for b in node.branches])
+    if isinstance(node, Filter):
+        return Filter(_optimize(node.input, model, bound), node.expr)
+    if isinstance(node, Extend):
+        return Extend(_optimize(node.input, model, bound),
+                      node.var, node.expr)
+    if isinstance(node, GraphScope):
+        return GraphScope(node.graph, _optimize(node.input, model, bound))
+    if isinstance(node, Group):
+        return Group(_optimize(node.input, model, bound),
+                     node.group_by, node.aggregates)
+    if isinstance(node, Project):
+        return Project(_optimize(node.input, model, bound), node.variables)
+    if isinstance(node, Distinct):
+        return Distinct(_optimize(node.input, model, bound))
+    if isinstance(node, OrderBy):
+        return OrderBy(_optimize(node.input, model, bound), node.keys)
+    if isinstance(node, Slice):
+        return Slice(_optimize(node.input, model, bound),
+                     node.limit, node.offset)
+    if isinstance(node, SubQuery):
+        return SubQuery(_optimize(node.plan, model, set()), node.variables)
+    if isinstance(node, (PathScan, ValuesTable, Unit)):
+        return node
+    raise TypeError("unknown plan node %r" % (node,))
+
+
+def _should_swap(join, model, bound):
+    """Heuristic: put the side with fewer estimated solutions on the left
+    (it drives the nested-loop join)."""
+    left_cost = _side_cost(join.left, model, bound)
+    right_cost = _side_cost(join.right, model, bound)
+    return right_cost < left_cost * 0.5
+
+
+def _side_cost(node, model, bound):
+    if isinstance(node, BGP):
+        return model.plan_cardinality(node.patterns, bound)
+    if isinstance(node, Filter):
+        return _side_cost(node.input, model, bound) * 0.5
+    if isinstance(node, Join):
+        return (
+            _side_cost(node.left, model, bound)
+            * _side_cost(node.right, model, bound)
+        )
+    if isinstance(node, Union):
+        return sum(_side_cost(b, model, bound) for b in node.branches)
+    if isinstance(node, ValuesTable):
+        return max(len(node.rows), 1)
+    if isinstance(node, Unit):
+        return 1.0
+    return max(model.stats.triple_count, 1)

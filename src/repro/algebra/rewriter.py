@@ -1,0 +1,242 @@
+"""Normalization and rewriting of logical plans.
+
+The SSDM query processor normalizes the translated calculus before
+optimization (section 5.4.5): conjunctive filter conditions are split so
+each conjunct can be placed independently, filters are pushed down towards
+the patterns that bind their variables, and constant subexpressions fold.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.term import Literal
+from repro.sparql import ast
+from repro.algebra import logical
+from repro.algebra.logical import (
+    BGP, Distinct, Extend, Filter, GraphScope, Group, Join, LeftJoin, Minus,
+    OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit, ValuesTable,
+    expression_variables, pattern_variables,
+)
+
+
+def rewrite(plan):
+    """Apply all rewrites until fixpoint (bounded by tree size)."""
+    plan = _map_expressions(plan, fold_constants)
+    plan = _split_filters(plan)
+    changed = True
+    guard = 0
+    while changed and guard < 100:
+        plan, changed = _push_filters(plan)
+        guard += 1
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+_FOLDABLE_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+def fold_constants(expr):
+    """Evaluate numeric-literal subtrees at rewrite time."""
+    if isinstance(expr, ast.BinaryOp):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if (
+            expr.op in _FOLDABLE_BINARY
+            and _is_number(left) and _is_number(right)
+        ):
+            try:
+                value = _FOLDABLE_BINARY[expr.op](
+                    left.term.value, right.term.value
+                )
+            except ZeroDivisionError:
+                return ast.BinaryOp(expr.op, left, right)
+            return ast.TermExpr(Literal(value))
+        return ast.BinaryOp(expr.op, left, right)
+    if isinstance(expr, ast.UnaryOp):
+        operand = fold_constants(expr.operand)
+        if expr.op == "-" and _is_number(operand):
+            return ast.TermExpr(Literal(-operand.term.value))
+        return ast.UnaryOp(expr.op, operand)
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            expr.name, [fold_constants(a) for a in expr.args]
+        )
+    if isinstance(expr, ast.ArraySubscript):
+        subs = []
+        for sub in expr.subscripts:
+            if isinstance(sub, ast.RangeSubscript):
+                subs.append(ast.RangeSubscript(
+                    *(None if p is None else fold_constants(p)
+                      for p in (sub.lo, sub.stride, sub.hi))
+                ))
+            else:
+                subs.append(fold_constants(sub))
+        return ast.ArraySubscript(fold_constants(expr.base), subs)
+    return expr
+
+
+def _is_number(expr):
+    return (
+        isinstance(expr, ast.TermExpr)
+        and isinstance(expr.term, Literal)
+        and expr.term.is_numeric()
+    )
+
+
+# ---------------------------------------------------------------------------
+# filter splitting and pushdown
+# ---------------------------------------------------------------------------
+
+def split_conjunction(expr):
+    """Flatten nested ``&&`` into a list of conjuncts."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "&&":
+        return split_conjunction(expr.left) + split_conjunction(expr.right)
+    return [expr]
+
+
+def _split_filters(node):
+    node = _rebuild(node, _split_filters)
+    if isinstance(node, Filter):
+        conjuncts = split_conjunction(node.expr)
+        if len(conjuncts) > 1:
+            inner = node.input
+            for conjunct in conjuncts:
+                inner = Filter(inner, conjunct)
+            return inner
+    return node
+
+
+def _push_filters(node):
+    """One pass of filter pushdown; returns (node, changed)."""
+    changed = False
+
+    def visit(node):
+        nonlocal changed
+        node = _rebuild(node, visit)
+        if not isinstance(node, Filter):
+            return node
+        target = node.input
+        needed = expression_variables(node.expr)
+        if isinstance(target, Filter):
+            # canonical order: keep pushing through stacked filters only
+            # when it enables a deeper push (avoid infinite swaps)
+            pushed = _try_push(Filter(target.input, node.expr))
+            if pushed is not None:
+                changed = True
+                return Filter(pushed, target.expr)
+            return node
+        pushed = _try_push(node)
+        if pushed is not None:
+            changed = True
+            return pushed
+        return node
+
+    def _try_push(filter_node):
+        target = filter_node.input
+        needed = expression_variables(filter_node.expr)
+        if isinstance(target, Join):
+            left_vars = pattern_variables(target.left)
+            right_vars = pattern_variables(target.right)
+            if needed <= left_vars:
+                return Join(
+                    Filter(target.left, filter_node.expr), target.right
+                )
+            if needed <= right_vars:
+                return Join(
+                    target.left, Filter(target.right, filter_node.expr)
+                )
+            return None
+        if isinstance(target, LeftJoin):
+            left_vars = pattern_variables(target.left)
+            if needed <= left_vars:
+                return LeftJoin(
+                    Filter(target.left, filter_node.expr),
+                    target.right, target.condition,
+                )
+            return None
+        if isinstance(target, Union):
+            branches = [
+                Filter(branch, filter_node.expr)
+                for branch in target.branches
+            ]
+            return Union(branches)
+        if isinstance(target, GraphScope):
+            inner_vars = pattern_variables(target.input)
+            if needed <= inner_vars:
+                return GraphScope(
+                    target.graph, Filter(target.input, filter_node.expr)
+                )
+            return None
+        return None
+
+    return visit(node), changed
+
+
+# ---------------------------------------------------------------------------
+# tree utilities
+# ---------------------------------------------------------------------------
+
+def _rebuild(node, visit):
+    """Rebuild a node with children mapped through ``visit``."""
+    if isinstance(node, (BGP, PathScan, ValuesTable, Unit, SubQuery)):
+        return node
+    if isinstance(node, Join):
+        return Join(visit(node.left), visit(node.right))
+    if isinstance(node, LeftJoin):
+        return LeftJoin(visit(node.left), visit(node.right), node.condition)
+    if isinstance(node, Minus):
+        return Minus(visit(node.left), visit(node.right))
+    if isinstance(node, Union):
+        return Union([visit(branch) for branch in node.branches])
+    if isinstance(node, Filter):
+        return Filter(visit(node.input), node.expr)
+    if isinstance(node, Extend):
+        return Extend(visit(node.input), node.var, node.expr)
+    if isinstance(node, GraphScope):
+        return GraphScope(node.graph, visit(node.input))
+    if isinstance(node, Group):
+        return Group(visit(node.input), node.group_by, node.aggregates)
+    if isinstance(node, Project):
+        return Project(visit(node.input), node.variables)
+    if isinstance(node, Distinct):
+        return Distinct(visit(node.input))
+    if isinstance(node, OrderBy):
+        return OrderBy(visit(node.input), node.keys)
+    if isinstance(node, Slice):
+        return Slice(visit(node.input), node.limit, node.offset)
+    raise TypeError("unknown plan node %r" % (node,))
+
+
+def _map_expressions(node, mapper):
+    """Apply an expression mapper to every expression in the plan."""
+    if isinstance(node, Filter):
+        return Filter(_map_expressions(node.input, mapper),
+                      mapper(node.expr))
+    if isinstance(node, Extend):
+        return Extend(_map_expressions(node.input, mapper),
+                      node.var, mapper(node.expr))
+    if isinstance(node, LeftJoin):
+        condition = mapper(node.condition) \
+            if node.condition is not None else None
+        return LeftJoin(
+            _map_expressions(node.left, mapper),
+            _map_expressions(node.right, mapper),
+            condition,
+        )
+    if isinstance(node, OrderBy):
+        return OrderBy(
+            _map_expressions(node.input, mapper),
+            [(mapper(expr), asc) for expr, asc in node.keys],
+        )
+    if isinstance(node, (BGP, PathScan, ValuesTable, Unit)):
+        return node
+    if isinstance(node, SubQuery):
+        return SubQuery(_map_expressions(node.plan, mapper), node.variables)
+    return _rebuild(node, lambda child: _map_expressions(child, mapper))

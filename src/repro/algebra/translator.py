@@ -1,0 +1,295 @@
+"""Translation of SciSPARQL ASTs into the logical algebra.
+
+Follows the *compositional* SPARQL semantics the dissertation adopts
+(section 5.4.2): each graph-pattern constructor maps to an algebra
+operator, group-level FILTERs scope over their whole group, and a FILTER
+that is the direct body of an OPTIONAL becomes the left-join *condition* —
+the detail that distinguishes compositional from operational semantics for
+patterns such as ``OPTIONAL { ?y :q ?z FILTER(?x > ?z) }`` where the filter
+references variables bound only outside the optional part.
+
+Aggregates found in SELECT / HAVING / ORDER BY are pulled into a
+:class:`~repro.algebra.logical.Group` node and replaced by internal
+variables, mirroring SSDM's rewriting of queries into its Top-Level
+Aggregate form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.sparql import ast
+from repro.algebra import logical
+from repro.algebra.logical import (
+    BGP, Distinct, Extend, Filter, GraphScope, Group, Join, LeftJoin, Minus,
+    OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit, ValuesTable,
+)
+
+
+def translate(query):
+    """Translate a parsed query AST into a logical plan.
+
+    For SELECT queries returns (plan, projected_variable_names).
+    For ASK returns (plan, []).  CONSTRUCT/DESCRIBE translate their WHERE
+    clause; templates are handled by the engine.
+    """
+    return Translator().translate_query(query)
+
+
+class Translator:
+    def __init__(self):
+        self._counter = 0
+
+    def _fresh(self, stem):
+        self._counter += 1
+        return "_%s%d" % (stem, self._counter)
+
+    # -- query level -------------------------------------------------------------
+
+    def translate_query(self, query):
+        if isinstance(query, ast.SelectQuery):
+            return self.translate_select(query)
+        if isinstance(query, ast.AskQuery):
+            plan = self.translate_pattern(query.where)
+            return Slice(plan, limit=1), []
+        if isinstance(query, (ast.ConstructQuery,)):
+            plan = self.translate_pattern(query.where)
+            plan = self._apply_modifiers_basic(plan, query.modifiers)
+            return plan, sorted(logical.pattern_variables(plan))
+        if isinstance(query, ast.DescribeQuery):
+            if query.where is None:
+                return Unit(), []
+            plan = self.translate_pattern(query.where)
+            return plan, sorted(logical.pattern_variables(plan))
+        raise QueryError("cannot translate %r" % (query,))
+
+    def translate_select(self, query):
+        plan = self.translate_pattern(query.where)
+        modifiers = query.modifiers
+
+        # -- aggregation --------------------------------------------------
+        aggregates: Dict[str, ast.Aggregate] = {}
+        projection = query.projection
+        select_items: List[Tuple[ast.Node, ast.Var]] = []
+        if projection == "*":
+            variables = sorted(logical.pattern_variables(plan))
+            select_items = [(ast.Var(name), ast.Var(name))
+                            for name in variables]
+        else:
+            for expr, alias in projection:
+                if alias is None:
+                    if isinstance(expr, ast.Var):
+                        alias = expr
+                    else:
+                        alias = ast.Var(self._fresh("expr"))
+                select_items.append((expr, alias))
+
+        rewritten_items = [
+            (self._extract_aggregates(expr, aggregates), alias)
+            for expr, alias in select_items
+        ]
+        having = [
+            self._extract_aggregates(expr, aggregates)
+            for expr in modifiers.having
+        ]
+        order_keys = [
+            (self._extract_aggregates(expr, aggregates), ascending)
+            for expr, ascending in modifiers.order_by
+        ]
+
+        if modifiers.group_by or aggregates:
+            plan = Group(plan, modifiers.group_by, aggregates)
+            for expr, alias in modifiers.group_by:
+                if alias is not None:
+                    pass  # Group exposes the alias directly
+        for expr in having:
+            plan = Filter(plan, expr)
+
+        # -- projected expressions ----------------------------------------
+        out_names = []
+        for expr, alias in rewritten_items:
+            out_names.append(alias.name)
+            if isinstance(expr, ast.Var) and expr.name == alias.name:
+                continue
+            plan = Extend(plan, alias, expr)
+
+        if order_keys:
+            plan = OrderBy(plan, order_keys)
+        plan = Project(plan, out_names)
+        if query.distinct or query.reduced:
+            plan = Distinct(plan)
+        if modifiers.limit is not None or modifiers.offset is not None:
+            plan = Slice(plan, modifiers.limit, modifiers.offset)
+        return plan, out_names
+
+    def _apply_modifiers_basic(self, plan, modifiers):
+        if modifiers.order_by:
+            plan = OrderBy(plan, modifiers.order_by)
+        if modifiers.limit is not None or modifiers.offset is not None:
+            plan = Slice(plan, modifiers.limit, modifiers.offset)
+        return plan
+
+    def _extract_aggregates(self, expr, registry):
+        """Replace Aggregate nodes with internal variables, registering
+        them for the Group operator (deduplicating equal aggregates)."""
+        if isinstance(expr, ast.Aggregate):
+            for name, existing in registry.items():
+                if existing == expr:
+                    return ast.Var(name)
+            name = self._fresh("agg")
+            registry[name] = expr
+            return ast.Var(name)
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(
+                expr.op,
+                self._extract_aggregates(expr.left, registry),
+                self._extract_aggregates(expr.right, registry),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(
+                expr.op, self._extract_aggregates(expr.operand, registry)
+            )
+        if isinstance(expr, ast.FunctionCall):
+            return ast.FunctionCall(
+                expr.name,
+                [self._extract_aggregates(a, registry) for a in expr.args],
+            )
+        if isinstance(expr, ast.ArraySubscript):
+            subs = []
+            for sub in expr.subscripts:
+                if isinstance(sub, ast.RangeSubscript):
+                    subs.append(ast.RangeSubscript(
+                        *(None if part is None
+                          else self._extract_aggregates(part, registry)
+                          for part in (sub.lo, sub.stride, sub.hi))
+                    ))
+                else:
+                    subs.append(self._extract_aggregates(sub, registry))
+            return ast.ArraySubscript(
+                self._extract_aggregates(expr.base, registry), subs
+            )
+        return expr
+
+    # -- pattern level --------------------------------------------------------------
+
+    def translate_pattern(self, pattern):
+        if isinstance(pattern, ast.GroupPattern):
+            return self._translate_group(pattern)
+        raise QueryError("expected group pattern, got %r" % (pattern,))
+
+    def _translate_group(self, group):
+        current = None
+        pending: List[ast.TriplePattern] = []
+        filters: List[ast.Node] = []
+
+        def flush():
+            nonlocal current, pending
+            if pending:
+                current = self._join(current, self._bgp(pending))
+                pending = []
+
+        for element in group.elements:
+            if isinstance(element, ast.TriplePattern):
+                pending.append(element)
+            elif isinstance(element, ast.FilterClause):
+                filters.append(element.expr)
+            elif isinstance(element, ast.OptionalPattern):
+                flush()
+                right, condition = self._translate_optional(element.pattern)
+                current = LeftJoin(current or Unit(), right, condition)
+            elif isinstance(element, ast.UnionPattern):
+                flush()
+                branches = [
+                    self.translate_pattern(b) for b in element.alternatives
+                ]
+                current = self._join(current, Union(branches))
+            elif isinstance(element, ast.MinusPattern):
+                flush()
+                current = Minus(
+                    current or Unit(),
+                    self.translate_pattern(element.pattern),
+                )
+            elif isinstance(element, ast.GraphGraphPattern):
+                flush()
+                inner = self.translate_pattern(element.pattern)
+                current = self._join(
+                    current, GraphScope(element.graph, inner)
+                )
+            elif isinstance(element, ast.BindClause):
+                flush()
+                current = Extend(
+                    current or Unit(), element.var, element.expr
+                )
+            elif isinstance(element, ast.ValuesClause):
+                flush()
+                current = self._join(
+                    current,
+                    ValuesTable(element.variables, element.rows),
+                )
+            elif isinstance(element, ast.GroupPattern):
+                flush()
+                current = self._join(
+                    current, self.translate_pattern(element)
+                )
+            elif isinstance(element, ast.SubSelect):
+                flush()
+                sub_plan, names = self.translate_select(element.query)
+                current = self._join(current, SubQuery(sub_plan, names))
+            else:
+                raise QueryError(
+                    "unsupported pattern element %r" % (element,)
+                )
+        flush()
+        if current is None:
+            current = Unit()
+        for expr in filters:
+            current = Filter(current, expr)
+        return current
+
+    def _translate_optional(self, pattern):
+        """OPTIONAL body: top-level FILTERs become the left-join condition
+        (compositional semantics, section 5.4.2)."""
+        conditions = []
+        remaining = []
+        for element in pattern.elements:
+            if isinstance(element, ast.FilterClause):
+                conditions.append(element.expr)
+            else:
+                remaining.append(element)
+        plan = self._translate_group(ast.GroupPattern(remaining))
+        condition = None
+        for expr in conditions:
+            condition = expr if condition is None \
+                else ast.BinaryOp("&&", condition, expr)
+        return plan, condition
+
+    def _bgp(self, patterns):
+        """Split path predicates out of a conjunction of triple patterns."""
+        plain = []
+        plan = None
+        for pattern in patterns:
+            if isinstance(pattern.predicate, (
+                ast.PathSequence, ast.PathAlternative, ast.PathInverse,
+                ast.PathMod, ast.PathNegated, ast.PathLink,
+            )):
+                scan = PathScan(
+                    pattern.subject, pattern.predicate, pattern.value
+                )
+                plan = self._join(plan, scan)
+            else:
+                plain.append(pattern)
+        if plain:
+            plan = self._join(plan, BGP(plain))
+        return plan if plan is not None else Unit()
+
+    @staticmethod
+    def _join(left, right):
+        if left is None or isinstance(left, Unit):
+            return right
+        if right is None or isinstance(right, Unit):
+            return left
+        # adjacent BGPs merge so the optimizer sees one conjunction
+        if isinstance(left, BGP) and isinstance(right, BGP):
+            return BGP(left.patterns + right.patterns)
+        return Join(left, right)

@@ -1,0 +1,7 @@
+"""Application workloads built on SciSPARQL.
+
+- :mod:`repro.apps.bistab` — the BISTAB computational-biology application
+  of dissertation section 6.4: stochastic simulations of a bistable
+  chemical system, stored as RDF with Arrays and analysed with the
+  published application queries.
+"""

@@ -1,0 +1,215 @@
+"""The BISTAB application (dissertation section 6.4).
+
+BISTAB studies a *bistable chemical system* with stochastic simulations:
+an experiment is a set of tasks, each task holding four reaction-rate
+parameters (``k_1``, ``k_a``, ``k_d``, ``k_4`` — the variable names of the
+Chelonia dataset in Figure 2), a realization number, and a ``result``
+trajectory array produced by the simulation.
+
+The paper's production data came from e-Science runs stored in Chelonia;
+here the trajectories are regenerated with a Gillespie (SSA) simulation of
+the Schlögl model — the canonical bistable birth-death system with exactly
+four rate constants — sampled onto a uniform time grid.  The RDF-with-
+Arrays data model and the application queries follow section 6.4.2/6.4.4:
+one RDF node per task, parameters as properties, trajectories as array
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arrays.nma import NumericArray
+from repro.rdf.namespace import Namespace, RDF
+from repro.rdf.term import Literal, URI
+
+#: Vocabulary of the BISTAB dataset.
+BISTAB = Namespace("http://udbl.uu.se/bistab#")
+
+
+def simulate_trajectory(k_1, k_a, k_d, k_4, samples=256, t_end=10.0,
+                        x0=100, volume=40.0, seed=0, max_events=200_000):
+    """One stochastic realization of the Schlögl model.
+
+    Reactions (X the observed species, A/B chemostatted):
+
+        A + 2X -> 3X   rate k_1 * x*(x-1)/V
+        3X -> A + 2X   rate k_a * x*(x-1)*(x-2)/V^2
+        B -> X         rate k_d * V
+        X -> B         rate k_4 * x
+
+    Returns a float64 numpy vector of the copy number sampled at
+    ``samples`` uniform time points over [0, t_end].
+    """
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, t_end, samples)
+    out = np.empty(samples, dtype=np.float64)
+    time = 0.0
+    x = float(x0)
+    cursor = 0
+    for _ in range(max_events):
+        a1 = k_1 * x * max(x - 1.0, 0.0) / volume
+        a2 = k_a * x * max(x - 1.0, 0.0) * max(x - 2.0, 0.0) / volume ** 2
+        a3 = k_d * volume
+        a4 = k_4 * x
+        total = a1 + a2 + a3 + a4
+        if total <= 0.0:
+            break
+        time += rng.exponential(1.0 / total)
+        while cursor < samples and grid[cursor] <= time:
+            out[cursor] = x
+            cursor += 1
+        if cursor >= samples:
+            break
+        pick = rng.random() * total
+        if pick < a1:
+            x += 1.0
+        elif pick < a1 + a2:
+            x -= 1.0
+        elif pick < a1 + a2 + a3:
+            x += 1.0
+        else:
+            x -= 1.0
+        x = max(x, 0.0)
+    while cursor < samples:
+        out[cursor] = x
+        cursor += 1
+    return out
+
+
+def simulate_trajectory_langevin(k_1, k_a, k_d, k_4, samples=256,
+                                 t_end=10.0, x0=None, seed=0):
+    """A fast chemical-Langevin approximation of the bistable dynamics.
+
+    Euler–Maruyama integration of a double-well drift whose well
+    positions derive from the rate constants; vectorised, so large
+    datasets generate quickly.  Statistically it exhibits the same
+    bistable switching the application queries look for.
+    """
+    rng = np.random.default_rng(seed)
+    steps_per_sample = 4
+    n = samples * steps_per_sample
+    dt = t_end / n
+    low_state = k_d / k_4 * 2.0
+    high_state = low_state + k_1 * 8.0 / max(k_a, 1e-6) / 10.0
+    mid = 0.5 * (low_state + high_state)
+    sigma = 0.35 * (high_state - low_state)
+    x = np.empty(n + 1, dtype=np.float64)
+    # start at the unstable midpoint so realizations split between wells
+    x[0] = mid if x0 is None else x0
+    noise = rng.standard_normal(n) * np.sqrt(dt) * sigma
+    scale = 4.0 / max((high_state - low_state) ** 2, 1e-6)
+    for index in range(n):
+        value = x[index]
+        drift = -scale * (value - low_state) * (value - mid) \
+            * (value - high_state)
+        x[index + 1] = max(value + drift * dt + noise[index], 0.0)
+    return x[steps_per_sample::steps_per_sample].copy()
+
+
+def generate_dataset(ssdm, tasks=20, realizations=3, samples=256,
+                     seed=42, graph=None, experiment_uri=None,
+                     method="langevin"):
+    """Populate an SSDM instance with a synthetic BISTAB experiment.
+
+    Each of ``tasks`` parameter cases gets ``realizations`` stochastic
+    trajectories.  Parameter values are drawn around the bistable regime
+    deterministically from ``seed``.  ``method`` selects the simulator:
+    ``"langevin"`` (fast, default) or ``"ssa"`` (exact Gillespie).
+    Returns the experiment URI.
+    """
+    rng = np.random.default_rng(seed)
+    experiment = experiment_uri or BISTAB.term("experiment1")
+    target_graph = graph
+    ssdm.add(experiment, RDF.type, BISTAB.Experiment, graph=target_graph)
+    ssdm.add(experiment, BISTAB.description,
+             Literal("Schlögl bistable system parameter sweep"),
+             graph=target_graph)
+    task_number = 0
+    for case in range(tasks):
+        k_1 = float(rng.uniform(15.0, 35.0))
+        k_a = float(rng.uniform(0.4, 1.2))
+        k_d = float(rng.uniform(40.0, 90.0))
+        k_4 = float(rng.uniform(2.5, 4.5))
+        for realization in range(1, realizations + 1):
+            task_number += 1
+            task = BISTAB.term("task%d" % task_number)
+            simulator = (
+                simulate_trajectory if method == "ssa"
+                else simulate_trajectory_langevin
+            )
+            trajectory = simulator(
+                k_1, k_a, k_d, k_4, samples=samples,
+                seed=seed * 100_000 + task_number,
+            )
+            ssdm.add(experiment, BISTAB.task, task, graph=target_graph)
+            ssdm.add(task, RDF.type, BISTAB.Task, graph=target_graph)
+            ssdm.add(task, BISTAB.k_1, Literal(k_1), graph=target_graph)
+            ssdm.add(task, BISTAB.k_a, Literal(k_a), graph=target_graph)
+            ssdm.add(task, BISTAB.k_d, Literal(k_d), graph=target_graph)
+            ssdm.add(task, BISTAB.k_4, Literal(k_4), graph=target_graph)
+            ssdm.add(task, BISTAB.realization, Literal(realization),
+                     graph=target_graph)
+            ssdm.add(task, BISTAB.result, NumericArray(trajectory),
+                     graph=target_graph)
+    return experiment
+
+
+_PREFIX = "PREFIX bistab: <http://udbl.uu.se/bistab#>\n"
+
+#: The four application queries of section 6.4.4, adapted to the
+#: regenerated dataset.  Each entry is (id, description, SciSPARQL text).
+QUERIES = [
+    (
+        "Q1",
+        "Parameter search: tasks whose k_1 lies in a given range, with "
+        "their parameter values (metadata-only query).",
+        _PREFIX + """
+SELECT ?task ?k1 ?k4
+WHERE { ?task a bistab:Task ; bistab:k_1 ?k1 ; bistab:k_4 ?k4 .
+        FILTER (?k1 >= 20 && ?k1 <= 30) }
+ORDER BY ?k1
+""",
+    ),
+    (
+        "Q2",
+        "Trajectory window: the last quarter of each matching task's "
+        "result array (array slicing on data selected by metadata).",
+        _PREFIX + """
+SELECT ?task ?r[193:256]
+WHERE { ?task a bistab:Task ; bistab:k_1 ?k1 ; bistab:result ?r .
+        FILTER (?k1 >= 20 && ?k1 <= 30) }
+""",
+    ),
+    (
+        "Q3",
+        "Aggregate filter: tasks whose trajectory settles in the high "
+        "steady state (server-side array aggregation in a filter).",
+        _PREFIX + """
+SELECT ?task (array_avg(?r[225:256]) AS ?tail)
+WHERE { ?task a bistab:Task ; bistab:result ?r .
+        FILTER (array_avg(?r[225:256]) > array_avg(?r[1:32]) + 5) }
+ORDER BY DESC(?tail)
+""",
+    ),
+    (
+        "Q4",
+        "Cross-task statistics: per-realization mean trajectory level, "
+        "grouped and aggregated over the whole experiment.",
+        _PREFIX + """
+SELECT ?real (AVG(?mean) AS ?avgLevel) (COUNT(?task) AS ?n)
+WHERE { ?task a bistab:Task ; bistab:realization ?real ;
+              bistab:result ?r .
+        BIND (array_avg(?r) AS ?mean) }
+GROUP BY ?real
+ORDER BY ?real
+""",
+    ),
+]
+
+
+def run_queries(ssdm):
+    """Execute all BISTAB application queries; returns {id: QueryResult}."""
+    return {qid: ssdm.execute(text) for qid, _, text in QUERIES}

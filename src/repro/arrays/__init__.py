@@ -1,0 +1,42 @@
+"""Numeric multidimensional arrays (NMAs) and lazy array proxies.
+
+This subpackage implements the array side of the *RDF with Arrays* model:
+
+- :class:`NumericArray` — a resident array: a linear buffer plus a
+  descriptor (shape / strides / offset), so slicing, projection and
+  transposition are O(1) descriptor derivations that never copy elements
+  (dissertation section 5.2).
+- :class:`ArrayProxy` — the same descriptor over an array whose elements
+  live in an external storage back-end; contents are fetched lazily by the
+  array-proxy-resolve (APR) machinery in :mod:`repro.storage`.
+- :mod:`repro.arrays.ops` — array arithmetic, aggregates, and the
+  second-order array-algebra functions (map / condense / build).
+- :mod:`repro.arrays.chunks` — the linear-chunking math shared by all
+  storage back-ends.
+"""
+
+from repro.arrays.nma import NumericArray, Span, ELEMENT_TYPES
+from repro.arrays.proxy import ArrayProxy
+from repro.arrays.ops import (
+    array_map,
+    array_condense,
+    array_build,
+    array_sum,
+    array_avg,
+    array_min,
+    array_max,
+)
+
+__all__ = [
+    "NumericArray",
+    "Span",
+    "ELEMENT_TYPES",
+    "ArrayProxy",
+    "array_map",
+    "array_condense",
+    "array_build",
+    "array_sum",
+    "array_avg",
+    "array_min",
+    "array_max",
+]

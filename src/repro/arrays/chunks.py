@@ -1,0 +1,131 @@
+"""Linear chunking of array buffers.
+
+SSDM partitions each stored array's linearized buffer into equal-size
+one-dimensional chunks — deliberately simpler than Rasdaman-style
+dimension-aligned tiles: the chunk size is the single tuning parameter, and
+access *regularity is discovered at query run time* by the Sequence Pattern
+Detector instead of being designed into the tiling (dissertation section
+2.5, 6.2).  This module holds the arithmetic shared by every back-end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import StorageError
+
+#: Default chunk size used by the storage back-ends, in bytes.
+DEFAULT_CHUNK_BYTES = 8192
+
+
+class ChunkLayout:
+    """Chunking geometry of one stored array.
+
+    >>> layout = ChunkLayout(element_count=10, itemsize=8, chunk_bytes=32)
+    >>> layout.elements_per_chunk
+    4
+    >>> layout.chunk_count
+    3
+    """
+
+    __slots__ = ("element_count", "itemsize", "chunk_bytes",
+                 "elements_per_chunk", "chunk_count")
+
+    def __init__(self, element_count, itemsize, chunk_bytes=DEFAULT_CHUNK_BYTES):
+        if chunk_bytes < itemsize:
+            raise StorageError(
+                "chunk size %d smaller than element size %d"
+                % (chunk_bytes, itemsize)
+            )
+        self.element_count = int(element_count)
+        self.itemsize = int(itemsize)
+        self.chunk_bytes = int(chunk_bytes)
+        self.elements_per_chunk = self.chunk_bytes // self.itemsize
+        if self.element_count == 0:
+            self.chunk_count = 0
+        else:
+            self.chunk_count = -(-self.element_count
+                                 // self.elements_per_chunk)
+
+    def chunk_of(self, linear_index):
+        """The chunk id containing a linear element index."""
+        return linear_index // self.elements_per_chunk
+
+    def chunk_extent(self, chunk_id):
+        """Number of valid elements in a chunk (the last may be short)."""
+        start = chunk_id * self.elements_per_chunk
+        if start >= self.element_count:
+            return 0
+        return min(self.elements_per_chunk, self.element_count - start)
+
+    def chunk_slices(self):
+        """Iterate (chunk_id, start_element, element_count) over the array."""
+        for chunk_id in range(self.chunk_count):
+            start = chunk_id * self.elements_per_chunk
+            yield chunk_id, start, self.chunk_extent(chunk_id)
+
+
+def linear_indices_of_runs(runs):
+    """Flatten (start, step, count) runs into one int64 index vector,
+    in row-major visit order."""
+    pieces = []
+    for start, step, count in runs:
+        pieces.append(start + step * np.arange(count, dtype=np.int64))
+    if not pieces:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(pieces)
+
+
+def chunks_of_runs(runs, elements_per_chunk):
+    """The ordered list of distinct chunk ids a set of runs touches.
+
+    The order is first-touch order (the order APR would request them in),
+    which is what the Sequence Pattern Detector analyses.
+    """
+    seen = set()
+    ordered = []
+    for start, step, count in runs:
+        if count <= 0:
+            continue
+        if step == 0:
+            step_eff, count_eff = 1, 1
+        else:
+            step_eff, count_eff = step, count
+        # walk chunk boundaries without enumerating every element
+        position = start
+        last = start + step_eff * (count_eff - 1)
+        while position <= last:
+            chunk_id = position // elements_per_chunk
+            if chunk_id not in seen:
+                seen.add(chunk_id)
+                ordered.append(chunk_id)
+            # jump to the first element of the run in the next chunk
+            next_boundary = (chunk_id + 1) * elements_per_chunk
+            if step_eff >= elements_per_chunk:
+                position += step_eff
+            else:
+                skip = -(-(next_boundary - position) // step_eff)
+                position += skip * step_eff
+    return ordered
+
+
+def assemble_from_chunks(indices, chunk_arrays, elements_per_chunk, dtype):
+    """Gather buffer elements at ``indices`` out of fetched chunks.
+
+    ``chunk_arrays`` maps chunk id -> 1-D numpy array of that chunk's
+    elements.  Returns a 1-D numpy array aligned with ``indices``.
+    """
+    out = np.empty(len(indices), dtype=dtype)
+    if len(indices) == 0:
+        return out
+    chunk_ids = indices // elements_per_chunk
+    offsets = indices - chunk_ids * elements_per_chunk
+    for chunk_id in np.unique(chunk_ids):
+        chunk = chunk_arrays.get(int(chunk_id))
+        if chunk is None:
+            raise StorageError("chunk %d was not fetched" % chunk_id)
+        mask = chunk_ids == chunk_id
+        out[mask] = chunk[offsets[mask]]
+    return out

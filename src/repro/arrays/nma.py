@@ -1,0 +1,351 @@
+"""Resident numeric multidimensional arrays.
+
+An array value is a *descriptor* — shape, strides (in elements), and an
+offset into a linear buffer — plus the buffer itself.  All SciSPARQL array
+transformations (subscripting with single indices or ranges, projection,
+transposition) derive a new descriptor over the same buffer, deferring any
+element copying (dissertation section 5.2.2).  The same descriptor algebra
+is reused by :class:`repro.arrays.proxy.ArrayProxy` for arrays whose buffer
+lives in external storage.
+
+Internal subscripts are 0-based with half-open ranges; the SciSPARQL
+language layer converts from the 1-based inclusive syntax of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ArrayBoundsError, SciSparqlError
+
+#: Supported element types: SciSPARQL stores integer and floating numeric
+#: arrays; the codes are storage-format identifiers.
+ELEMENT_TYPES = {
+    "i4": np.dtype(np.int32),
+    "i8": np.dtype(np.int64),
+    "f4": np.dtype(np.float32),
+    "f8": np.dtype(np.float64),
+}
+
+_DTYPE_TO_CODE = {v: k for k, v in ELEMENT_TYPES.items()}
+
+
+def dtype_code(dtype):
+    """The storage code ('i4', 'f8', ...) for a numpy dtype."""
+    dtype = np.dtype(dtype)
+    try:
+        return _DTYPE_TO_CODE[dtype]
+    except KeyError:
+        raise SciSparqlError("unsupported array element type %r" % dtype)
+
+
+class Span:
+    """A range subscript along one dimension: 0-based, half-open, strided.
+
+    ``Span(None, None)`` selects the whole dimension.  SciSPARQL's 1-based
+    inclusive ``lo:hi`` / ``lo:stride:hi`` map to ``Span(lo-1, hi, stride)``.
+    """
+
+    __slots__ = ("start", "stop", "step")
+
+    def __init__(self, start=None, stop=None, step=1):
+        if step < 1:
+            raise SciSparqlError("span step must be positive, got %d" % step)
+        self.start = start
+        self.stop = stop
+        self.step = step
+
+    def resolve(self, extent):
+        """Clamp into concrete (start, stop, step) for a dimension size."""
+        start = 0 if self.start is None else self.start
+        stop = extent if self.stop is None else min(self.stop, extent)
+        if start < 0 or start > extent:
+            raise ArrayBoundsError(
+                "span start %d outside dimension of size %d" % (start, extent)
+            )
+        return start, max(stop, start), self.step
+
+    def __repr__(self):
+        return "Span(%r, %r, %r)" % (self.start, self.stop, self.step)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Span)
+            and (self.start, self.stop, self.step)
+            == (other.start, other.stop, other.step)
+        )
+
+    def __hash__(self):
+        return hash(("Span", self.start, self.stop, self.step))
+
+
+def derive_descriptor(shape, strides, offset, subscripts):
+    """Apply a subscript list to a (shape, strides, offset) descriptor.
+
+    Each subscript is an int (eliminates the dimension), a :class:`Span`
+    (restricts it), or None (keeps it whole).  Trailing omitted dimensions
+    are kept whole — SciSPARQL projection, e.g. ``?a[i]`` on a matrix
+    yields row *i* as a vector.
+
+    Returns the derived (shape, strides, offset).
+    """
+    if len(subscripts) > len(shape):
+        raise ArrayBoundsError(
+            "%d subscripts for %d-dimensional array"
+            % (len(subscripts), len(shape))
+        )
+    new_shape = []
+    new_strides = []
+    for axis, sub in enumerate(itertools.chain(
+            subscripts, itertools.repeat(None, len(shape) - len(subscripts)))):
+        extent = shape[axis]
+        stride = strides[axis]
+        if sub is None:
+            new_shape.append(extent)
+            new_strides.append(stride)
+        elif isinstance(sub, Span):
+            start, stop, step = sub.resolve(extent)
+            length = max(0, -(-(stop - start) // step))
+            offset += start * stride
+            new_shape.append(length)
+            new_strides.append(stride * step)
+        else:
+            index = int(sub)
+            if index < 0 or index >= extent:
+                raise ArrayBoundsError(
+                    "index %d outside dimension %d of size %d"
+                    % (index, axis, extent)
+                )
+            offset += index * stride
+    return tuple(new_shape), tuple(new_strides), offset
+
+
+def row_major_strides(shape):
+    """Strides (in elements) of a contiguous row-major array."""
+    strides = [1] * len(shape)
+    for axis in range(len(shape) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * shape[axis + 1]
+    return tuple(strides)
+
+
+def iter_runs(shape, strides, offset):
+    """Yield (start, step, count) runs covering the view in row-major order.
+
+    Each run is the innermost loop of the element odometer: ``count``
+    linear buffer positions starting at ``start`` spaced ``step`` apart.
+    The APR machinery converts runs to chunk accesses, and the Sequence
+    Pattern Detector looks for arithmetic structure across them.
+    """
+    if not shape:
+        yield (offset, 1, 1)
+        return
+    if any(extent == 0 for extent in shape):
+        return
+    inner_extent = shape[-1]
+    inner_stride = strides[-1]
+    outer_shape = shape[:-1]
+    outer_strides = strides[:-1]
+    for combo in itertools.product(*(range(e) for e in outer_shape)):
+        base = offset + sum(i * s for i, s in zip(combo, outer_strides))
+        yield (base, inner_stride, inner_extent)
+
+
+class NumericArray:
+    """A resident NMA: descriptor plus linear numpy buffer.
+
+    Construct from nested sequences or a numpy array::
+
+        >>> a = NumericArray([[1, 2], [3, 4]])
+        >>> a.shape
+        (2, 2)
+        >>> a.element((1, 0))
+        3
+
+    Instances are treated as immutable after construction (mutating the
+    underlying buffer of an array already inserted in a graph is undefined
+    behaviour, as for any hash-indexed key).
+    """
+
+    #: Marker letting the RDF layer accept arrays as triple values.
+    is_rdf_array_value = True
+
+    __slots__ = ("buffer", "shape", "strides", "offset", "_hash")
+
+    def __init__(self, data, dtype=None, _descriptor=None):
+        if _descriptor is not None:
+            # internal: share an existing buffer under a derived descriptor
+            self.buffer = data
+            self.shape, self.strides, self.offset = _descriptor
+        else:
+            dense = np.asarray(data, dtype=dtype)
+            if dense.dtype not in _DTYPE_TO_CODE:
+                if np.issubdtype(dense.dtype, np.integer):
+                    dense = dense.astype(np.int64)
+                elif np.issubdtype(dense.dtype, np.floating):
+                    dense = dense.astype(np.float64)
+                elif np.issubdtype(dense.dtype, np.bool_):
+                    dense = dense.astype(np.int64)
+                else:
+                    raise SciSparqlError(
+                        "cannot build numeric array from dtype %r"
+                        % dense.dtype
+                    )
+            self.buffer = np.ascontiguousarray(dense).reshape(-1)
+            self.shape = tuple(int(e) for e in dense.shape)
+            self.strides = row_major_strides(self.shape)
+            self.offset = 0
+        self._hash = None
+
+    # -- descriptor facts ---------------------------------------------------
+
+    @property
+    def dtype(self):
+        return self.buffer.dtype
+
+    @property
+    def element_type(self):
+        return dtype_code(self.buffer.dtype)
+
+    @property
+    def ndim(self):
+        return len(self.shape)
+
+    @property
+    def element_count(self):
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count
+
+    def is_scalar(self):
+        return self.ndim == 0
+
+    # -- access --------------------------------------------------------------
+
+    def element(self, subscripts):
+        """The element at 0-based subscripts, as a Python number."""
+        if len(subscripts) != self.ndim:
+            raise ArrayBoundsError(
+                "%d subscripts for %d-dimensional array"
+                % (len(subscripts), self.ndim)
+            )
+        linear = self.offset
+        for axis, index in enumerate(subscripts):
+            index = int(index)
+            if index < 0 or index >= self.shape[axis]:
+                raise ArrayBoundsError(
+                    "index %d outside dimension %d of size %d"
+                    % (index, axis, self.shape[axis])
+                )
+            linear += index * self.strides[axis]
+        return self.buffer[linear].item()
+
+    def subscript(self, subscripts):
+        """Apply ints / Spans / Nones; int-only full subscripting returns a
+        Python scalar, otherwise a derived NumericArray view."""
+        if (
+            len(subscripts) == self.ndim
+            and all(not isinstance(s, Span) and s is not None
+                    for s in subscripts)
+        ):
+            return self.element(subscripts)
+        descriptor = derive_descriptor(
+            self.shape, self.strides, self.offset, subscripts
+        )
+        return NumericArray(self.buffer, _descriptor=descriptor)
+
+    def transpose(self, permutation=None):
+        if permutation is None:
+            permutation = tuple(reversed(range(self.ndim)))
+        if sorted(permutation) != list(range(self.ndim)):
+            raise SciSparqlError("invalid transposition %r" % (permutation,))
+        descriptor = (
+            tuple(self.shape[axis] for axis in permutation),
+            tuple(self.strides[axis] for axis in permutation),
+            self.offset,
+        )
+        return NumericArray(self.buffer, _descriptor=descriptor)
+
+    def project(self, axis, index):
+        """Fix one dimension to an index, dropping it (section 5.2.2)."""
+        subs = [None] * self.ndim
+        subs[axis] = int(index)
+        return self.subscript(subs)
+
+    def iter_runs(self):
+        return iter_runs(self.shape, self.strides, self.offset)
+
+    def to_numpy(self):
+        """Materialize the view as a contiguous numpy array (copies only
+        when the view is non-contiguous)."""
+        if not self.shape:
+            return self.buffer[self.offset:self.offset + 1].reshape(())
+        itemsize = self.buffer.dtype.itemsize
+        view = np.lib.stride_tricks.as_strided(
+            self.buffer[self.offset:],
+            shape=self.shape,
+            strides=tuple(s * itemsize for s in self.strides),
+            writeable=False,
+        )
+        return view
+
+    def materialize(self):
+        """A compact copy of this view (fresh contiguous buffer)."""
+        return NumericArray(np.array(self.to_numpy()))
+
+    def to_nested_lists(self):
+        return self.to_numpy().tolist()
+
+    def iter_elements(self):
+        """All elements in row-major order as Python numbers."""
+        flat = self.to_numpy().reshape(-1)
+        for value in flat:
+            yield value.item()
+
+    # -- value semantics -----------------------------------------------------
+
+    def __eq__(self, other):
+        """SciSPARQL array equality: same shape and element values
+        (section 4.1.6); dtype differences do not matter."""
+        if self is other:
+            return True
+        if not isinstance(other, NumericArray):
+            return NotImplemented
+        if self.shape != other.shape:
+            return False
+        return bool(np.array_equal(self.to_numpy(), other.to_numpy()))
+
+    def __hash__(self):
+        if self._hash is None:
+            dense = np.ascontiguousarray(self.to_numpy(), dtype=np.float64)
+            self._hash = hash(("NumericArray", self.shape, dense.tobytes()))
+        return self._hash
+
+    def __repr__(self):
+        if self.element_count <= 8:
+            return "NumericArray(%r)" % (self.to_nested_lists(),)
+        return "NumericArray(shape=%r, dtype=%s)" % (
+            self.shape, self.element_type
+        )
+
+    def n3(self):
+        """Turtle-ish rendering using nested collection syntax."""
+        def render(value):
+            if isinstance(value, list):
+                return "(" + " ".join(render(v) for v in value) + ")"
+            return repr(value)
+        return render(self.to_nested_lists())
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def zeros(shape, dtype=np.float64):
+        return NumericArray(np.zeros(shape, dtype=dtype))
+
+    @staticmethod
+    def from_flat(flat, shape, dtype=None):
+        dense = np.asarray(flat, dtype=dtype).reshape(shape)
+        return NumericArray(dense)

@@ -1,0 +1,194 @@
+"""Array arithmetic, aggregates, and second-order array-algebra functions.
+
+These implement the SciSPARQL built-in array library (dissertation sections
+4.1.3-4.1.5) and the Array-Algebra second-order functions the language
+gained later (section 4.3.1): *map*, *condense*, and *build*.
+
+All functions accept resident :class:`NumericArray` values; proxies are
+resolved by the callers (the engine resolves lazily, as late as possible).
+Scalars mix freely with arrays in elementwise arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.arrays.nma import NumericArray
+from repro.exceptions import EvaluationError, TypeMismatchError
+
+
+def _as_numpy(value):
+    if isinstance(value, NumericArray):
+        return value.to_numpy()
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    raise TypeMismatchError(
+        "expected number or numeric array, got %r" % (value,)
+    )
+
+
+def _wrap(result):
+    result = np.asarray(result)
+    if result.ndim == 0:
+        return result.item()
+    return NumericArray(result)
+
+
+def elementwise(op, left, right):
+    """Elementwise binary arithmetic between arrays and/or scalars.
+
+    Arrays must agree in shape (the paper requires equal shapes for
+    array-array arithmetic; scalar operands broadcast over the array).
+    """
+    left_np = _as_numpy(left)
+    right_np = _as_numpy(right)
+    left_shape = getattr(left_np, "shape", ())
+    right_shape = getattr(right_np, "shape", ())
+    if left_shape and right_shape and left_shape != right_shape:
+        raise TypeMismatchError(
+            "array shape mismatch in arithmetic: %r vs %r"
+            % (left_shape, right_shape)
+        )
+    try:
+        return _wrap(op(left_np, right_np))
+    except ZeroDivisionError:
+        raise EvaluationError("division by zero")
+
+
+def elementwise_unary(op, value):
+    return _wrap(op(_as_numpy(value)))
+
+
+# -- aggregates over a whole array (section 4.1.5) -------------------------
+
+def _reduce(value, reducer):
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if not isinstance(value, NumericArray):
+        raise TypeMismatchError("expected numeric array, got %r" % (value,))
+    if value.element_count == 0:
+        raise EvaluationError("aggregate of an empty array")
+    return reducer(value.to_numpy())
+
+
+def array_sum(value):
+    """Sum of all elements (SciSPARQL ``array_sum``)."""
+    return _reduce(value, lambda a: np.sum(a).item())
+
+
+def array_avg(value):
+    """Mean of all elements (SciSPARQL ``array_avg``)."""
+    return _reduce(value, lambda a: np.mean(a).item())
+
+
+def array_min(value):
+    return _reduce(value, lambda a: np.min(a).item())
+
+
+def array_max(value):
+    return _reduce(value, lambda a: np.max(a).item())
+
+
+def array_count(value):
+    if isinstance(value, NumericArray):
+        return value.element_count
+    return 1
+
+
+# -- second-order functions (Array Algebra, section 4.3.1) -----------------
+
+_FAST_BINARY = {
+    "+": np.add, "-": np.subtract, "*": np.multiply, "/": np.true_divide,
+    "min": np.minimum, "max": np.maximum,
+}
+
+
+def array_map(fn, *arrays):
+    """Apply ``fn`` elementwise over one or more same-shaped arrays.
+
+    ``fn`` takes as many scalars as there are arrays and returns a scalar.
+    This is Array Algebra's MARRAY specialised to aligned inputs.  When
+    ``fn`` carries a ``numpy_op`` attribute (installed for built-in
+    operators and closures over them) the whole map runs vectorised.
+    """
+    if not arrays:
+        raise EvaluationError("array_map needs at least one array")
+    views = []
+    shape = None
+    for value in arrays:
+        if not isinstance(value, NumericArray):
+            raise TypeMismatchError(
+                "array_map expects arrays, got %r" % (value,)
+            )
+        if shape is None:
+            shape = value.shape
+        elif value.shape != shape:
+            raise TypeMismatchError(
+                "array_map shape mismatch: %r vs %r" % (shape, value.shape)
+            )
+        views.append(value.to_numpy())
+    numpy_op = getattr(fn, "numpy_op", None)
+    if numpy_op is not None:
+        return NumericArray(np.asarray(numpy_op(*views)))
+    flat_inputs = [view.reshape(-1) for view in views]
+    out = np.empty(flat_inputs[0].shape[0], dtype=np.float64)
+    for position in range(out.shape[0]):
+        out[position] = fn(*(flat[position].item() for flat in flat_inputs))
+    return NumericArray(out.reshape(shape))
+
+
+def array_condense(fn, array, axis=None):
+    """Reduce an array with a commutative binary function.
+
+    With ``axis=None`` the whole array condenses to a scalar; otherwise
+    the given 0-based axis is eliminated.  This is Array Algebra's COND
+    operator.  Well-known reducers run vectorised.
+    """
+    if not isinstance(array, NumericArray):
+        raise TypeMismatchError(
+            "array_condense expects an array, got %r" % (array,)
+        )
+    if array.element_count == 0:
+        raise EvaluationError("condense of an empty array")
+    dense = array.to_numpy()
+    numpy_op = getattr(fn, "numpy_op", None)
+    if numpy_op is not None and hasattr(numpy_op, "reduce"):
+        result = numpy_op.reduce(
+            dense if axis is not None else dense.reshape(-1), axis=axis or 0
+        )
+        return _wrap(result)
+    if axis is None:
+        flat = dense.reshape(-1)
+        accumulator = flat[0].item()
+        for position in range(1, flat.shape[0]):
+            accumulator = fn(accumulator, flat[position].item())
+        return accumulator
+    moved = np.moveaxis(dense, axis, 0)
+    accumulator = np.array(moved[0], dtype=np.float64)
+    for position in range(1, moved.shape[0]):
+        layer = moved[position]
+        flat_acc = accumulator.reshape(-1)
+        flat_layer = layer.reshape(-1)
+        for i in range(flat_acc.shape[0]):
+            flat_acc[i] = fn(flat_acc[i].item(), flat_layer[i].item())
+    return _wrap(accumulator)
+
+
+def array_build(shape, fn):
+    """Construct an array by evaluating ``fn`` at every index tuple.
+
+    Indexes passed to ``fn`` are 1-based, matching SciSPARQL subscript
+    conventions.  This is Array Algebra's MARRAY in its generative form.
+    """
+    shape = tuple(int(e) for e in shape)
+    if any(e < 0 for e in shape):
+        raise EvaluationError("negative extent in array_build shape")
+    out = np.empty(shape, dtype=np.float64)
+    if out.size:
+        it = np.ndindex(*shape)
+        flat = out.reshape(-1)
+        for position, index in enumerate(it):
+            flat[position] = fn(*(i + 1 for i in index))
+    return NumericArray(out)

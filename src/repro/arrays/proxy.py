@@ -1,0 +1,173 @@
+"""Array proxies: lazy references to externally stored arrays.
+
+An :class:`ArrayProxy` carries the same descriptor (shape / strides /
+offset) as a resident :class:`~repro.arrays.nma.NumericArray`, but instead
+of a buffer it holds the identity of an array in an ASEI storage back-end.
+SciSPARQL array transformations applied to a proxy *accumulate in the
+descriptor* without touching storage; only when the query finally needs
+element values does the array-proxy-resolve (APR) operator fetch the
+relevant chunks (dissertation chapter 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.arrays.nma import (
+    NumericArray,
+    Span,
+    derive_descriptor,
+    iter_runs,
+    row_major_strides,
+    ELEMENT_TYPES,
+)
+from repro.exceptions import ArrayBoundsError, StorageError
+
+
+class ArrayProxy:
+    """A lazily evaluated view of an array stored in a back-end.
+
+    ``store`` is any object implementing the ASEI protocol
+    (:class:`repro.storage.asei.ArrayStore`); ``array_id`` identifies the
+    stored array within it.
+    """
+
+    is_rdf_array_value = True
+
+    __slots__ = ("store", "array_id", "element_type", "base_shape",
+                 "shape", "strides", "offset", "_hash")
+
+    def __init__(self, store, array_id, element_type, base_shape,
+                 shape=None, strides=None, offset=0):
+        if element_type not in ELEMENT_TYPES:
+            raise StorageError("unknown element type %r" % (element_type,))
+        self.store = store
+        self.array_id = array_id
+        self.element_type = element_type
+        self.base_shape = tuple(int(e) for e in base_shape)
+        self.shape = self.base_shape if shape is None else tuple(shape)
+        self.strides = (
+            row_major_strides(self.base_shape) if strides is None
+            else tuple(strides)
+        )
+        self.offset = int(offset)
+        self._hash = None
+
+    # -- descriptor facts -----------------------------------------------------
+
+    @property
+    def dtype(self):
+        return ELEMENT_TYPES[self.element_type]
+
+    @property
+    def ndim(self):
+        return len(self.shape)
+
+    @property
+    def element_count(self):
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count
+
+    @property
+    def base_element_count(self):
+        count = 1
+        for extent in self.base_shape:
+            count *= extent
+        return count
+
+    def is_whole_array(self):
+        """True when the view covers the stored array without reordering."""
+        return (
+            self.offset == 0
+            and self.shape == self.base_shape
+            and self.strides == row_major_strides(self.base_shape)
+        )
+
+    # -- lazy transformations --------------------------------------------------
+
+    def _derived(self, shape, strides, offset):
+        return ArrayProxy(
+            self.store, self.array_id, self.element_type, self.base_shape,
+            shape=shape, strides=strides, offset=offset,
+        )
+
+    def subscript(self, subscripts):
+        """Apply ints / Spans / Nones lazily.  A full int subscript still
+        returns a 0-d proxy; APR turns it into a scalar on resolve."""
+        shape, strides, offset = derive_descriptor(
+            self.shape, self.strides, self.offset, subscripts
+        )
+        return self._derived(shape, strides, offset)
+
+    def transpose(self, permutation=None):
+        if permutation is None:
+            permutation = tuple(reversed(range(self.ndim)))
+        if sorted(permutation) != list(range(self.ndim)):
+            raise ArrayBoundsError(
+                "invalid transposition %r" % (permutation,)
+            )
+        return self._derived(
+            tuple(self.shape[axis] for axis in permutation),
+            tuple(self.strides[axis] for axis in permutation),
+            self.offset,
+        )
+
+    def project(self, axis, index):
+        subs = [None] * self.ndim
+        subs[axis] = int(index)
+        return self.subscript(subs)
+
+    def iter_runs(self):
+        """Linear-buffer runs of this view, for APR chunk planning."""
+        return iter_runs(self.shape, self.strides, self.offset)
+
+    # -- resolution -------------------------------------------------------------
+
+    def resolve(self, resolver=None):
+        """Fetch the elements of this view into a resident NumericArray.
+
+        With no explicit resolver the store's default APR configuration is
+        used.  Resolving a 0-d view returns a Python scalar.
+        """
+        if resolver is None:
+            result = self.store.resolve([self])[0]
+        else:
+            result = resolver.resolve([self])[0]
+        if isinstance(result, NumericArray) and result.ndim == 0:
+            return result.to_numpy().item()
+        return result
+
+    # -- value semantics ----------------------------------------------------------
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, ArrayProxy):
+            return NotImplemented
+        return (
+            self.store is other.store
+            and self.array_id == other.array_id
+            and self.shape == other.shape
+            and self.strides == other.strides
+            and self.offset == other.offset
+        )
+
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(
+                ("ArrayProxy", id(self.store), self.array_id,
+                 self.shape, self.strides, self.offset)
+            )
+        return self._hash
+
+    def __repr__(self):
+        return "ArrayProxy(id=%r, shape=%r, dtype=%s)" % (
+            self.array_id, self.shape, self.element_type
+        )
+
+    def n3(self):
+        return '"<array-proxy %s shape=%s>"' % (
+            self.array_id, "x".join(str(e) for e in self.shape)
+        )

@@ -1,0 +1,11 @@
+"""Benchmark support code: the array-query mini-benchmark generator
+(dissertation section 6.3) and measurement helpers shared by the
+``benchmarks/`` harness."""
+
+from repro.bench.querygen import (
+    ACCESS_PATTERNS,
+    QueryGenerator,
+    make_benchmark_store,
+)
+
+__all__ = ["ACCESS_PATTERNS", "QueryGenerator", "make_benchmark_store"]

@@ -1,0 +1,142 @@
+"""The array-query mini-benchmark generator (dissertation section 6.3.1).
+
+Generates a population of stored 2-D arrays and a stream of array *access
+patterns* over them, covering the best and worst cases of each retrieval
+strategy:
+
+==============  ==========================================================
+pattern         view produced, and what it stresses
+==============  ==========================================================
+``element``     one random element — SINGLE's best case, SPD useless
+``row``         one full row — contiguous chunk run, SPD's best case
+``column``      one full column — perfectly regular stride across chunks
+``stride``      every k-th element of a row — regular with gaps
+``block``       contiguous rectangular sub-array
+``diagonal``    the main diagonal — regular stride, long period
+``random``      scattered random elements — SPD's worst case (no runs)
+``whole``       the full array — bulk transfer / aggregate delegation
+==============  ==========================================================
+
+Patterns are deterministic given the generator seed, so strategy
+comparisons see identical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arrays.nma import NumericArray, Span
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import SciSparqlError
+
+ACCESS_PATTERNS = (
+    "element", "row", "column", "stride", "block", "diagonal",
+    "random", "whole",
+)
+
+
+def make_benchmark_store(store, arrays=4, shape=(256, 256), seed=7):
+    """Fill an ASEI store with deterministic 2-D float64 arrays.
+
+    Returns the list of whole-array proxies.
+    """
+    rng = np.random.default_rng(seed)
+    proxies = []
+    for _ in range(arrays):
+        data = rng.standard_normal(shape)
+        proxies.append(store.put(NumericArray(data)))
+    return proxies
+
+
+class QueryGenerator:
+    """Deterministic stream of array-view 'queries' over stored arrays."""
+
+    def __init__(self, proxies, seed=11, stride=8, block=32,
+                 random_points=64):
+        if not proxies:
+            raise SciSparqlError("query generator needs at least one array")
+        self.proxies = list(proxies)
+        self.rng = np.random.default_rng(seed)
+        self.stride = stride
+        self.block = block
+        self.random_points = random_points
+
+    def _pick(self):
+        return self.proxies[int(self.rng.integers(len(self.proxies)))]
+
+    def views(self, pattern, count):
+        """Yield ``count`` proxy views (or lists of single-element views
+        for 'element'/'random') under one access pattern."""
+        for _ in range(count):
+            yield self.view(pattern)
+
+    def view(self, pattern):
+        """One access under a pattern.
+
+        Returns either a single :class:`ArrayProxy` view, or — for the
+        point patterns — a list of 0-d element views forming one logical
+        query (a bag of proxies to resolve together, section 6.2.4).
+        """
+        proxy = self._pick()
+        rows, cols = proxy.shape
+        if pattern == "element":
+            r = int(self.rng.integers(rows))
+            c = int(self.rng.integers(cols))
+            return [proxy.subscript([r, c])]
+        if pattern == "row":
+            r = int(self.rng.integers(rows))
+            return proxy.subscript([r])
+        if pattern == "column":
+            c = int(self.rng.integers(cols))
+            return proxy.subscript([None, c])
+        if pattern == "stride":
+            r = int(self.rng.integers(rows))
+            return proxy.subscript(
+                [r, Span(0, cols, self.stride)]
+            )
+        if pattern == "block":
+            size = min(self.block, rows, cols)
+            r = int(self.rng.integers(rows - size + 1))
+            c = int(self.rng.integers(cols - size + 1))
+            return proxy.subscript(
+                [Span(r, r + size), Span(c, c + size)]
+            )
+        if pattern == "diagonal":
+            # model the diagonal as single-element views sharing one query
+            size = min(rows, cols)
+            return [
+                proxy.subscript([i, i]) for i in range(size)
+            ]
+        if pattern == "random":
+            points = []
+            for _ in range(self.random_points):
+                r = int(self.rng.integers(rows))
+                c = int(self.rng.integers(cols))
+                points.append(proxy.subscript([r, c]))
+            return points
+        if pattern == "whole":
+            return proxy
+        raise SciSparqlError("unknown access pattern %r" % (pattern,))
+
+
+def run_pattern(resolver, generator, pattern, count):
+    """Resolve ``count`` accesses of one pattern; returns elements read.
+
+    The store's traffic counters (``store.stats``) accumulate across the
+    run, so callers snapshot them around this function to compare
+    strategies.
+    """
+    elements = 0
+    for view in generator.views(pattern, count):
+        if isinstance(view, list):
+            results = resolver.resolve(view)
+            elements += sum(
+                r.element_count if isinstance(r, NumericArray) else 1
+                for r in results
+            )
+        else:
+            result = resolver.resolve([view])[0]
+            elements += result.element_count
+    return elements

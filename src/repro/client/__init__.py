@@ -1,0 +1,16 @@
+"""Client/server embedding of SSDM.
+
+- :mod:`repro.client.server` — a line-delimited-JSON TCP server exposing
+  one SSDM instance, plus the matching client (SSDM as a stand-alone
+  server process, section 5.1).
+- :mod:`repro.client.workbench` — the Matlab-integration analogue
+  (chapter 7): a computational-workbench client that stores numeric
+  results as file-linked arrays, annotates them with RDF metadata, and
+  queries them back with SciSPARQL — including server-side array
+  reduction to cut transfer volume.
+"""
+
+from repro.client.server import SSDMServer, SSDMClient
+from repro.client.workbench import WorkbenchClient
+
+__all__ = ["SSDMServer", "SSDMClient", "WorkbenchClient"]

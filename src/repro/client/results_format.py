@@ -1,0 +1,134 @@
+"""W3C SPARQL 1.1 Query Results JSON Format, with an array extension.
+
+SSDM's endpoint speaks the standard results format
+(``application/sparql-results+json``) so generic SPARQL clients can
+consume it; array values — which the W3C format has no notion of — are
+encoded as typed literals with the SSDM datatype
+``http://udbl.uu.se/ssdm#array`` whose lexical form is the nested
+collection syntax, mirroring how the paper keeps SciSPARQL a strict
+superset of SPARQL.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.arrays.nma import NumericArray
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import SciSparqlError
+from repro.rdf.term import BlankNode, Literal, URI
+
+ARRAY_DATATYPE = "http://udbl.uu.se/ssdm#array"
+
+
+def to_sparql_json(result):
+    """Encode a QueryResult (or ASK boolean) as results-JSON text."""
+    if isinstance(result, bool):
+        return json.dumps({"head": {}, "boolean": result})
+    bindings = []
+    for row in result.rows:
+        encoded: Dict[str, dict] = {}
+        for name, value in zip(result.columns, row):
+            if value is None:
+                continue
+            encoded[name] = _encode(value)
+        bindings.append(encoded)
+    return json.dumps({
+        "head": {"vars": list(result.columns)},
+        "results": {"bindings": bindings},
+    })
+
+
+def _encode(value):
+    if isinstance(value, URI):
+        return {"type": "uri", "value": value.value}
+    if isinstance(value, BlankNode):
+        return {"type": "bnode", "value": value.label}
+    if isinstance(value, bool):
+        return {"type": "literal", "value": "true" if value else "false",
+                "datatype": "http://www.w3.org/2001/XMLSchema#boolean"}
+    if isinstance(value, int):
+        return {"type": "literal", "value": str(value),
+                "datatype": "http://www.w3.org/2001/XMLSchema#integer"}
+    if isinstance(value, float):
+        return {"type": "literal", "value": repr(value),
+                "datatype": "http://www.w3.org/2001/XMLSchema#double"}
+    if isinstance(value, str):
+        return {"type": "literal", "value": value}
+    if isinstance(value, Literal):
+        out = {"type": "literal", "value": value.lexical_form()}
+        if value.lang:
+            out["xml:lang"] = value.lang
+        else:
+            out["datatype"] = value.datatype.value
+        return out
+    if isinstance(value, ArrayProxy):
+        value = value.resolve()
+    if isinstance(value, NumericArray):
+        return {"type": "literal", "value": value.n3(),
+                "datatype": ARRAY_DATATYPE}
+    raise SciSparqlError("cannot encode %r as SPARQL results" % (value,))
+
+
+def from_sparql_json(text):
+    """Decode results-JSON into (columns, rows) or an ASK boolean.
+
+    Array-typed literals decode back into resident NumericArrays.
+    """
+    raw = json.loads(text)
+    if "boolean" in raw:
+        return bool(raw["boolean"])
+    columns = raw["head"].get("vars", [])
+    rows = []
+    for binding in raw["results"]["bindings"]:
+        row = []
+        for name in columns:
+            cell = binding.get(name)
+            row.append(None if cell is None else _decode(cell))
+        rows.append(tuple(row))
+    return columns, rows
+
+
+def _decode(cell):
+    kind = cell.get("type")
+    if kind == "uri":
+        return URI(cell["value"])
+    if kind == "bnode":
+        return BlankNode(cell["value"])
+    if kind in ("literal", "typed-literal"):
+        lang = cell.get("xml:lang")
+        if lang:
+            return Literal(cell["value"], lang=lang)
+        datatype = cell.get("datatype")
+        if datatype == ARRAY_DATATYPE:
+            return _parse_array(cell["value"])
+        if datatype is None:
+            return cell["value"]
+        literal = Literal.from_lexical(cell["value"], URI(datatype))
+        from repro.engine.functions import runtime
+        return runtime(literal)
+    raise SciSparqlError("cannot decode results cell %r" % (cell,))
+
+
+def _parse_array(text):
+    """Parse the nested collection syntax '((1 2) (3 4))'."""
+    tokens = text.replace("(", " ( ").replace(")", " ) ").split()
+    position = [0]
+
+    def parse():
+        token = tokens[position[0]]
+        position[0] += 1
+        if token == "(":
+            items = []
+            while tokens[position[0]] != ")":
+                items.append(parse())
+            position[0] += 1
+            return items
+        try:
+            return int(token)
+        except ValueError:
+            return float(token)
+
+    parsed = parse()
+    return NumericArray(parsed)

@@ -1,0 +1,185 @@
+"""A minimal SSDM query server and client.
+
+SSDM can run stand-alone, client-server, or peer-to-peer (section 5.1);
+this module provides the client-server mode over a line-delimited JSON
+protocol on TCP:
+
+    request:  {"op": "query",  "text": "<SciSPARQL>"}
+    request:  {"op": "update", "text": "<SciSPARQL update>"}
+    response: {"ok": true, "columns": [...], "rows": [[...], ...]}
+              {"ok": true, "result": <bool-or-int>}
+              {"ok": false, "error": "..."}
+
+Array values cross the wire as ``{"@array": <nested lists>}``; proxies are
+resolved server-side before serialization, so the client never needs
+back-end access (the transfer-size economics chapter 7 measures).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Optional
+
+from repro.arrays.nma import NumericArray
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import SciSparqlError
+from repro.rdf.term import BlankNode, Literal, URI
+from repro.ssdm import SSDM, QueryResult
+
+
+def serialize_value(value):
+    """JSON-encode one result value."""
+    if value is None:
+        return None
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, URI):
+        return {"@uri": value.value}
+    if isinstance(value, BlankNode):
+        return {"@bnode": value.label}
+    if isinstance(value, Literal):
+        return {"@literal": value.lexical_form(),
+                "datatype": value.datatype.value,
+                "lang": value.lang}
+    if isinstance(value, ArrayProxy):
+        value = value.resolve()
+        if not isinstance(value, NumericArray):
+            return value
+    if isinstance(value, NumericArray):
+        return {"@array": value.to_nested_lists()}
+    return {"@repr": repr(value)}
+
+
+def deserialize_value(payload):
+    if isinstance(payload, dict):
+        if "@uri" in payload:
+            return URI(payload["@uri"])
+        if "@bnode" in payload:
+            return BlankNode(payload["@bnode"])
+        if "@literal" in payload:
+            return Literal.from_lexical(
+                payload["@literal"], URI(payload["datatype"])
+            )
+        if "@array" in payload:
+            return NumericArray(payload["@array"])
+        return payload
+    return payload
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+                response = self.server.ssdm_dispatch(request)
+            except Exception as error:
+                response = {"ok": False, "error": str(error)}
+            self.wfile.write(
+                (json.dumps(response) + "\n").encode("utf-8")
+            )
+            self.wfile.flush()
+
+
+class SSDMServer(socketserver.ThreadingTCPServer):
+    """Serves one SSDM instance on a TCP port.
+
+    >>> server = SSDMServer(SSDM(), port=0)   # 0 = ephemeral port
+    >>> port = server.server_address[1]
+    >>> server.start()            # background thread
+    >>> # ... SSDMClient("127.0.0.1", port) ...
+    >>> server.shutdown()
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, ssdm, host="127.0.0.1", port=0):
+        super().__init__((host, port), _Handler)
+        self.ssdm = ssdm
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    def ssdm_dispatch(self, request):
+        op = request.get("op")
+        text = request.get("text", "")
+        if op not in ("query", "update"):
+            return {"ok": False, "error": "unknown op %r" % (op,)}
+        with self._lock:
+            result = self.ssdm.execute(text)
+        if isinstance(result, QueryResult):
+            return {
+                "ok": True,
+                "columns": result.columns,
+                "rows": [
+                    [serialize_value(v) for v in row]
+                    for row in result.rows
+                ],
+            }
+        if isinstance(result, bool):
+            return {"ok": True, "result": result}
+        if isinstance(result, int):
+            return {"ok": True, "result": result}
+        # CONSTRUCT/DESCRIBE: ship NTriples text
+        if hasattr(result, "to_ntriples"):
+            return {"ok": True, "ntriples": result.to_ntriples()}
+        return {"ok": True, "result": repr(result)}
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self.shutdown()
+        self.server_close()
+
+
+class SSDMClient:
+    """Blocking client for :class:`SSDMServer`."""
+
+    def __init__(self, host="127.0.0.1", port=0, timeout=30.0):
+        self._socket = socket.create_connection((host, port), timeout)
+        self._file = self._socket.makefile("rwb")
+        #: Bytes received from the server, for transfer-volume accounting.
+        self.bytes_received = 0
+
+    def close(self):
+        self._file.close()
+        self._socket.close()
+
+    def _call(self, request):
+        self._file.write((json.dumps(request) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        self.bytes_received += len(line)
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise SciSparqlError(
+                "server error: %s" % response.get("error")
+            )
+        return response
+
+    def query(self, text):
+        """Run a SELECT/ASK; returns QueryResult or bool."""
+        response = self._call({"op": "query", "text": text})
+        if "columns" in response:
+            rows = [
+                tuple(deserialize_value(v) for v in row)
+                for row in response["rows"]
+            ]
+            return QueryResult(response["columns"], rows)
+        if "ntriples" in response:
+            return response["ntriples"]
+        return response.get("result")
+
+    def update(self, text):
+        response = self._call({"op": "update", "text": text})
+        return response.get("result")

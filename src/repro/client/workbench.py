@@ -1,0 +1,155 @@
+"""The computational-workbench client: SciSPARQL inside a Matlab-like
+workflow (dissertation chapter 7).
+
+The original integration embeds a SciSPARQL client into Matlab: numeric
+results stay in native ``.mat`` files on shared storage, while SSDM keeps
+the *metadata* — experiment descriptions, parameters, provenance — as RDF
+with file-linked array proxies.  Scientists then locate results by
+querying metadata, and costly array reductions run server-side so only
+scalars (or small slices) travel to the workbench.
+
+:class:`WorkbenchClient` reproduces that workflow against a local or
+remote SSDM, with ``.npy`` files standing in for ``.mat``:
+
+    wb = WorkbenchClient(ssdm, directory)
+    uri = wb.store_result("run42", array, {"temperature": 300.0})
+    hits = wb.find({"temperature": 300.0})
+    tail_mean = wb.reduce(uri, "avg")          # server-side
+    full = wb.fetch(uri)                       # ships the array
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arrays.nma import NumericArray
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import SciSparqlError
+from repro.rdf.namespace import Namespace, RDF
+from repro.rdf.term import Literal, URI
+from repro.loaders.filelink import link_npy
+
+#: Vocabulary for workbench-produced results.
+WB = Namespace("http://udbl.uu.se/workbench#")
+
+
+class WorkbenchClient:
+    """Stores, annotates, finds, and retrieves computation results."""
+
+    def __init__(self, ssdm, directory, base_uri="http://udbl.uu.se/run/"):
+        self.ssdm = ssdm
+        self.directory = str(directory)
+        self.base_uri = base_uri
+        os.makedirs(self.directory, exist_ok=True)
+        #: Elements shipped to the client by fetch() calls (transfer
+        #: accounting for the chapter-7 comparison).
+        self.elements_transferred = 0
+
+    # -- producing results ------------------------------------------------------
+
+    def store_result(self, name, array, metadata=None):
+        """Save an array to a native file and annotate it in RDF.
+
+        Mirrors the Matlab user saving a ``.mat`` file and issuing an
+        annotation update; returns the result's URI.
+        """
+        if isinstance(array, NumericArray):
+            dense = np.array(array.to_numpy())
+        else:
+            dense = np.asarray(array, dtype=np.float64)
+        path = os.path.join(self.directory, "%s.npy" % name)
+        np.save(path, dense)
+        uri = URI(self.base_uri + name)
+        self.ssdm.add(uri, RDF.type, WB.Result)
+        self.ssdm.add(uri, WB.name, Literal(name))
+        link_npy(self.ssdm, uri, WB.data, path)
+        for key, value in (metadata or {}).items():
+            self.ssdm.add(uri, WB.term(key), Literal(value))
+        return uri
+
+    def annotate(self, uri, metadata):
+        """Attach further metadata to an existing result."""
+        for key, value in metadata.items():
+            self.ssdm.add(uri, WB.term(key), Literal(value))
+
+    # -- locating results ----------------------------------------------------------
+
+    def find(self, metadata=None, filter_text=None):
+        """URIs of results whose metadata matches all given values.
+
+        ``metadata`` maps property local-names to exact values;
+        ``filter_text`` may add a raw SciSPARQL FILTER over ``?r`` and the
+        bound metadata variables.
+        """
+        lines = ["PREFIX wb: <%s>" % WB.base,
+                 "SELECT ?r WHERE { ?r a wb:Result ."]
+        for index, (key, value) in enumerate(sorted(
+            (metadata or {}).items()
+        )):
+            lines.append("?r wb:%s ?m%d ." % (key, index))
+            lines.append("FILTER(?m%d = %s)" % (index, _literal(value)))
+        if filter_text:
+            lines.append("FILTER(%s)" % filter_text)
+        lines.append("}")
+        result = self.ssdm.execute("\n".join(lines))
+        return [row[0] for row in result.rows]
+
+    # -- retrieving results -----------------------------------------------------------
+
+    def fetch(self, uri, subscript=""):
+        """Ship a result array (or a slice of it) to the workbench.
+
+        ``subscript`` is a SciSPARQL subscript text such as ``[1:100]``.
+        Returns a resident NumericArray (or scalar); counts transferred
+        elements.
+        """
+        query = (
+            "PREFIX wb: <%s> SELECT (?a%s AS ?v) WHERE { <%s> wb:data ?a }"
+            % (WB.base, subscript, uri.value)
+        )
+        value = self.ssdm.execute(query).scalar()
+        if isinstance(value, ArrayProxy):
+            value = value.resolve()
+        if isinstance(value, NumericArray):
+            self.elements_transferred += value.element_count
+        else:
+            self.elements_transferred += 1
+        return value
+
+    def reduce(self, uri, op, subscript=""):
+        """Server-side reduction: only the scalar crosses to the client."""
+        if op not in ("sum", "avg", "min", "max"):
+            raise SciSparqlError("unknown reduction %r" % (op,))
+        query = (
+            "PREFIX wb: <%s> SELECT (array_%s(?a%s) AS ?v)"
+            " WHERE { <%s> wb:data ?a }"
+            % (WB.base, op, subscript, uri.value)
+        )
+        value = self.ssdm.execute(query).scalar()
+        self.elements_transferred += 1
+        return value
+
+    def metadata(self, uri):
+        """All metadata properties of a result, as {local_name: value}."""
+        query = (
+            "PREFIX wb: <%s> SELECT ?p ?v WHERE { <%s> ?p ?v }"
+            % (WB.base, uri.value)
+        )
+        out = {}
+        for prop, value in self.ssdm.execute(query).rows:
+            if isinstance(prop, URI) and prop in WB:
+                local = WB.local_name(prop)
+                if local != "data":
+                    out[local] = value
+        return out
+
+
+def _literal(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return '"%s"' % str(value).replace('"', '\\"')

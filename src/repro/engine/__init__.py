@@ -1,0 +1,22 @@
+"""The SciSPARQL execution engine.
+
+An iterator-model interpreter over the logical algebra of
+:mod:`repro.algebra.logical`.  Joins are correlated index-nested-loop over
+the graph's hash indexes (the execution strategy SSDM inherits from its
+host DBMS), expressions follow SPARQL error semantics (an error inside a
+FILTER removes the candidate solution), and array expressions stay lazy:
+subscripts over an :class:`~repro.arrays.ArrayProxy` derive new proxies,
+and only value-demanding operations trigger APR.
+"""
+
+from repro.engine.bindings import Bindings
+from repro.engine.eval import QueryEngine
+from repro.engine.udf import FunctionRegistry, UserFunction, ForeignFunction
+
+__all__ = [
+    "Bindings",
+    "QueryEngine",
+    "FunctionRegistry",
+    "UserFunction",
+    "ForeignFunction",
+]

@@ -1,0 +1,67 @@
+"""Aggregate computation for GROUP BY queries (section 3.5).
+
+Values arriving here are runtime values; per SPARQL semantics, rows whose
+aggregated expression errors are skipped rather than failing the group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arrays.nma import NumericArray
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import EvaluationError
+from repro.rdf.term import term_key
+from repro.engine.functions import string_value, to_term
+
+
+def compute(name, values, distinct=False, separator=None):
+    """Compute one aggregate over the collected (non-error) values."""
+    if distinct:
+        values = _distinct(values)
+    if name == "COUNT":
+        return len(values)
+    if name == "SAMPLE":
+        if not values:
+            raise EvaluationError("SAMPLE of empty group")
+        return values[0]
+    if name == "GROUP_CONCAT":
+        separator = " " if separator is None else separator
+        return separator.join(string_value(v) for v in values)
+    if name == "SUM":
+        return _numeric_sum(values)
+    if name == "AVG":
+        if not values:
+            raise EvaluationError("AVG of empty group")
+        return _numeric_sum(values) / len(values)
+    if name in ("MIN", "MAX"):
+        if not values:
+            raise EvaluationError("%s of empty group" % name)
+        keyed = [(term_key(to_term(v)), v) for v in values]
+        keyed.sort(key=lambda pair: pair[0])
+        return keyed[0][1] if name == "MIN" else keyed[-1][1]
+    raise EvaluationError("unknown aggregate %s" % name)
+
+
+def _numeric_sum(values):
+    total = 0
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise EvaluationError(
+                "non-numeric value %r in numeric aggregate" % (value,)
+            )
+        total += value
+    return total
+
+
+def _distinct(values):
+    seen = []
+    out = []
+    for value in values:
+        marker = to_term(value) if not isinstance(
+            value, (NumericArray, ArrayProxy)
+        ) else value
+        if marker not in seen:
+            seen.append(marker)
+            out.append(value)
+    return out

@@ -1,0 +1,117 @@
+"""Solution mappings (variable bindings).
+
+A :class:`Bindings` is an immutable mapping from variable names to RDF
+terms or array values.  Extension returns a new object sharing structure
+with the parent, which keeps the correlated nested-loop join cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+
+class Bindings:
+    """An immutable solution mapping.
+
+    >>> b = Bindings().extended("x", 1)
+    >>> b.get("x")
+    1
+    >>> b.extended("y", 2) is b
+    False
+    """
+
+    __slots__ = ("_values",)
+
+    EMPTY: "Bindings"
+
+    def __init__(self, values=None):
+        self._values: Dict[str, object] = dict(values) if values else {}
+
+    def get(self, name, default=None):
+        return self._values.get(name, default)
+
+    def __contains__(self, name):
+        return name in self._values
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self):
+        return len(self._values)
+
+    def items(self):
+        return self._values.items()
+
+    def extended(self, name, value):
+        """A new Bindings with one more (or replaced) binding."""
+        values = dict(self._values)
+        values[name] = value
+        return Bindings(values)
+
+    def extended_many(self, pairs):
+        values = dict(self._values)
+        values.update(pairs)
+        return Bindings(values)
+
+    def project(self, names):
+        """Keep only the named variables (absent ones stay absent)."""
+        return Bindings({
+            name: value for name, value in self._values.items()
+            if name in names
+        })
+
+    def compatible(self, other):
+        """SPARQL compatibility: no shared variable bound differently."""
+        small, large = (
+            (self._values, other._values)
+            if len(self._values) <= len(other._values)
+            else (other._values, self._values)
+        )
+        for name, value in small.items():
+            other_value = large.get(name, _MISSING)
+            if other_value is not _MISSING and other_value != value:
+                return False
+        return True
+
+    def shares_variable(self, other):
+        return any(name in other._values for name in self._values)
+
+    def merge(self, other):
+        values = dict(self._values)
+        values.update(other._values)
+        return Bindings(values)
+
+    def as_dict(self):
+        return dict(self._values)
+
+    def __eq__(self, other):
+        return isinstance(other, Bindings) and self._values == other._values
+
+    def __hash__(self):
+        return hash(frozenset(
+            (name, _hash_value(value))
+            for name, value in self._values.items()
+        ))
+
+    def __repr__(self):
+        inner = ", ".join(
+            "?%s=%r" % (name, value)
+            for name, value in sorted(self._values.items())
+        )
+        return "{%s}" % inner
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()
+Bindings.EMPTY = Bindings()
+
+
+def _hash_value(value):
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

@@ -1,0 +1,501 @@
+"""The plan interpreter: correlated iterator evaluation of logical plans.
+
+Each operator consumes a stream of input solutions and produces a stream
+of extended solutions.  Basic graph patterns run index nested-loop joins
+over the active graph's hash indexes — the execution strategy of the
+main-memory host DBMS (dissertation section 5.4.4) — with triple-pattern
+order fixed beforehand by the cost-based optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.arrays.nma import NumericArray
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import EvaluationError, QueryError
+from repro.rdf.term import BlankNode, Literal, URI, term_key
+from repro.sparql import ast
+from repro.algebra import logical
+from repro.algebra.logical import (
+    BGP, Distinct, Extend, Filter, GraphScope, Group, Join, LeftJoin, Minus,
+    OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit, ValuesTable,
+)
+from repro.engine import aggregates as agg
+from repro.engine import paths as path_eval
+from repro.engine.bindings import Bindings
+from repro.engine.expr import Evaluator
+from repro.engine.functions import to_term
+from repro.engine.udf import FunctionRegistry
+
+
+class QueryEngine:
+    """Evaluates logical plans against a dataset.
+
+    One engine may be reused across queries; it carries the function
+    registry (UDFs, foreign functions) and caches translated views.
+    """
+
+    def __init__(self, dataset, functions=None):
+        self.dataset = dataset
+        self.functions = functions or FunctionRegistry()
+        self.evaluator = Evaluator(self)
+        self._exists_cache: Dict[int, object] = {}
+        self._view_cache: Dict[int, object] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, plan, graph=None, initial=None):
+        """Evaluate a plan; yields Bindings."""
+        graph = graph if graph is not None else self.dataset.default_graph
+        inputs = [initial if initial is not None else Bindings.EMPTY]
+        yield from self._eval(plan, iter(inputs), graph)
+
+    # -- dispatcher --------------------------------------------------------------
+
+    def _eval(self, node, inputs, graph):
+        method = getattr(self, "_eval_" + type(node).__name__, None)
+        if method is None:
+            raise QueryError("cannot evaluate plan node %r" % (node,))
+        return method(node, inputs, graph)
+
+    # -- leaves -------------------------------------------------------------------
+
+    def _eval_Unit(self, node, inputs, graph):
+        yield from inputs
+
+    def _eval_BGP(self, node, inputs, graph):
+        patterns = node.patterns
+        for bindings in inputs:
+            yield from self._match_patterns(patterns, 0, bindings, graph)
+
+    def _match_patterns(self, patterns, index, bindings, graph):
+        if index == len(patterns):
+            yield bindings
+            return
+        pattern = patterns[index]
+        for extended in self._match_one(pattern, bindings, graph):
+            yield from self._match_patterns(
+                patterns, index + 1, extended, graph
+            )
+
+    def _match_one(self, pattern, bindings, graph):
+        subject = self._resolve(pattern.subject, bindings)
+        predicate = self._resolve(pattern.predicate, bindings)
+        value = self._resolve_value(pattern.value, bindings)
+        for triple in graph.triples(subject, predicate, value):
+            extended = bindings
+            consistent = True
+            for component, found in (
+                (pattern.subject, triple.subject),
+                (pattern.predicate, triple.property),
+                (pattern.value, triple.value),
+            ):
+                if isinstance(component, ast.Var):
+                    existing = extended.get(component.name)
+                    if existing is None:
+                        extended = extended.extended(component.name, found)
+                    elif existing != found:
+                        consistent = False
+                        break
+            if consistent:
+                yield extended
+
+    def _resolve(self, component, bindings):
+        if isinstance(component, ast.Var):
+            return bindings.get(component.name)
+        return component
+
+    def _resolve_value(self, component, bindings):
+        if isinstance(component, ast.Var):
+            return bindings.get(component.name)
+        if isinstance(component, (URI, BlankNode, Literal, NumericArray,
+                                  ArrayProxy)):
+            return component
+        return component
+
+    def _eval_PathScan(self, node, inputs, graph):
+        for bindings in inputs:
+            subject = self._resolve(node.subject, bindings)
+            value = self._resolve_value(node.value, bindings)
+            for found_subject, found_value in path_eval.eval_path(
+                graph, node.path, subject, value
+            ):
+                extended = bindings
+                consistent = True
+                for component, found in (
+                    (node.subject, found_subject),
+                    (node.value, found_value),
+                ):
+                    if isinstance(component, ast.Var):
+                        existing = extended.get(component.name)
+                        if existing is None:
+                            extended = extended.extended(
+                                component.name, found
+                            )
+                        elif existing != found:
+                            consistent = False
+                            break
+                if consistent:
+                    yield extended
+
+    def _eval_ValuesTable(self, node, inputs, graph):
+        names = [v.name for v in node.variables]
+        for bindings in inputs:
+            for row in node.rows:
+                extended = bindings
+                consistent = True
+                for name, term in zip(names, row):
+                    if term is None:
+                        continue                  # UNDEF
+                    existing = extended.get(name)
+                    if existing is None:
+                        extended = extended.extended(name, term)
+                    elif existing != term:
+                        consistent = False
+                        break
+                if consistent:
+                    yield extended
+
+    # -- binary operators ----------------------------------------------------------
+
+    def _eval_Join(self, node, inputs, graph):
+        left_stream = self._eval(node.left, inputs, graph)
+        yield from self._eval(node.right, left_stream, graph)
+
+    def _eval_LeftJoin(self, node, inputs, graph):
+        left_stream = self._eval(node.left, inputs, graph)
+        for solution in left_stream:
+            matched = False
+            for extended in self._eval(
+                node.right, iter([solution]), graph
+            ):
+                if node.condition is not None:
+                    try:
+                        if not self.evaluator.ebv(node.condition, extended):
+                            continue
+                    except EvaluationError:
+                        continue
+                matched = True
+                yield extended
+            if not matched:
+                yield solution
+
+    def _eval_Minus(self, node, inputs, graph):
+        right_solutions = list(
+            self._eval(node.right, iter([Bindings.EMPTY]), graph)
+        )
+        for solution in self._eval(node.left, inputs, graph):
+            excluded = False
+            for right in right_solutions:
+                if solution.shares_variable(right) and \
+                        solution.compatible(right):
+                    excluded = True
+                    break
+            if not excluded:
+                yield solution
+
+    def _eval_Union(self, node, inputs, graph):
+        for bindings in inputs:
+            for branch in node.branches:
+                yield from self._eval(branch, iter([bindings]), graph)
+
+    # -- unary operators -------------------------------------------------------------
+
+    def _eval_Filter(self, node, inputs, graph):
+        for solution in self._eval(node.input, inputs, graph):
+            try:
+                if self.evaluator.ebv(node.expr, solution):
+                    yield solution
+            except EvaluationError:
+                continue
+
+    def _eval_Extend(self, node, inputs, graph):
+        name = node.var.name
+        for solution in self._eval(node.input, inputs, graph):
+            value = self.evaluator.evaluate_or_none(node.expr, solution)
+            if value is None:
+                # SciSPARQL section 4.1.2: an array dereference whose
+                # subscript variables are unbound *enumerates* the valid
+                # subscripts, binding both the index variables and the
+                # dereferenced value
+                enumerated = False
+                if isinstance(node.expr, ast.ArraySubscript):
+                    for extension, element in self._enumerate_subscripts(
+                        node.expr, solution
+                    ):
+                        enumerated = True
+                        extension[name] = _storable(element)
+                        yield solution.extended_many(extension.items())
+                if enumerated:
+                    continue
+                yield solution            # BIND error leaves var unbound
+                continue
+            stored = _storable(value)
+            existing = solution.get(name)
+            if existing is not None:
+                if existing == stored:
+                    yield solution
+                continue                  # incompatible rebind: drop
+            yield solution.extended(name, stored)
+
+    def _eval_GraphScope(self, node, inputs, graph):
+        if isinstance(node.graph, ast.Var):
+            name = node.graph.name
+            for bindings in inputs:
+                bound = bindings.get(name)
+                if bound is not None:
+                    target = self.dataset.graph(bound, create=False)
+                    if target is not None:
+                        yield from self._eval(
+                            node.input, iter([bindings]), target
+                        )
+                    continue
+                for graph_name, target in \
+                        self.dataset.named_graphs().items():
+                    extended = bindings.extended(name, graph_name)
+                    yield from self._eval(
+                        node.input, iter([extended]), target
+                    )
+        else:
+            target = self.dataset.graph(node.graph, create=False)
+            if target is None:
+                return
+            yield from self._eval(node.input, inputs, graph=target)
+
+    def _eval_Group(self, node, inputs, graph):
+        solutions = list(self._eval(node.input, inputs, graph))
+        key_exprs = []
+        key_names = []
+        for expr, alias in node.group_by:
+            key_exprs.append(expr)
+            if alias is not None:
+                key_names.append(alias.name)
+            elif isinstance(expr, ast.Var):
+                key_names.append(expr.name)
+            else:
+                key_names.append(None)
+        groups: Dict[object, List[Bindings]] = {}
+        group_keys: Dict[object, tuple] = {}
+        for solution in solutions:
+            key_values = []
+            for expr in key_exprs:
+                value = self.evaluator.evaluate_or_none(expr, solution)
+                key_values.append(
+                    _storable(value) if value is not None else None
+                )
+            key = tuple(
+                _hashable(value) for value in key_values
+            )
+            groups.setdefault(key, []).append(solution)
+            group_keys[key] = tuple(key_values)
+        if not groups and not node.group_by:
+            groups[()] = []
+            group_keys[()] = ()
+        for key, members in groups.items():
+            out = {}
+            for name, value in zip(key_names, group_keys[key]):
+                if name is not None and value is not None:
+                    out[name] = value
+            for agg_name, aggregate in node.aggregates.items():
+                try:
+                    out[agg_name] = _storable(
+                        self._compute_aggregate(aggregate, members)
+                    )
+                except EvaluationError:
+                    continue             # aggregate error -> unbound
+            yield Bindings(out)
+
+    def _compute_aggregate(self, aggregate, members):
+        values = []
+        if aggregate.expr is None:       # COUNT(*)
+            values = [True] * len(members)
+        else:
+            for solution in members:
+                value = self.evaluator.evaluate_or_none(
+                    aggregate.expr, solution
+                )
+                if value is not None:
+                    values.append(value)
+        return agg.compute(
+            aggregate.name, values, aggregate.distinct, aggregate.separator
+        )
+
+    def _eval_Project(self, node, inputs, graph):
+        names = set(node.variables)
+        for solution in self._eval(node.input, inputs, graph):
+            yield solution.project(names)
+
+    def _eval_Distinct(self, node, inputs, graph):
+        seen = set()
+        for solution in self._eval(node.input, inputs, graph):
+            if solution not in seen:
+                seen.add(solution)
+                yield solution
+
+    def _eval_OrderBy(self, node, inputs, graph):
+        solutions = list(self._eval(node.input, inputs, graph))
+
+        def sort_key(solution):
+            key = []
+            for expr, ascending in node.keys:
+                value = self.evaluator.evaluate_or_none(expr, solution)
+                if value is None:
+                    component = (0,)
+                else:
+                    try:
+                        component = term_key(to_term(value))
+                    except EvaluationError:
+                        component = (0,)
+                key.append(_Directional(component, ascending))
+            return key
+
+        solutions.sort(key=sort_key)
+        yield from solutions
+
+    def _eval_Slice(self, node, inputs, graph):
+        stream = self._eval(node.input, inputs, graph)
+        offset = node.offset or 0
+        produced = 0
+        for index, solution in enumerate(stream):
+            if index < offset:
+                continue
+            if node.limit is not None and produced >= node.limit:
+                return
+            produced += 1
+            yield solution
+
+    def _eval_SubQuery(self, node, inputs, graph):
+        results = list(
+            self._eval(node.plan, iter([Bindings.EMPTY]), graph)
+        )
+        for bindings in inputs:
+            for result in results:
+                if bindings.compatible(result):
+                    yield bindings.merge(result)
+
+    def _enumerate_subscripts(self, expr, solution):
+        """Enumerate valid values of unbound subscript variables.
+
+        For ``?a[?i, 2]`` with ``?i`` unbound, yields one
+        ({'i': Literal(k)}, element) pair per valid 1-based index k.
+        Yields nothing when the base is unbound, not an array, or the
+        subscripts contain no plain unbound variables.
+        """
+        import itertools
+        base = self.evaluator.evaluate_or_none(expr.base, solution)
+        if isinstance(base, ArrayProxy):
+            base = base.resolve()
+        if not isinstance(base, NumericArray):
+            return
+        free = []
+        for position, sub in enumerate(expr.subscripts):
+            if isinstance(sub, ast.Var) and solution.get(sub.name) is None:
+                if position >= base.ndim:
+                    return
+                free.append((position, sub.name))
+        if not free:
+            return
+        names = []
+        ranges = []
+        seen = set()
+        for position, name in free:
+            if name in seen:
+                continue
+            seen.add(name)
+            names.append(name)
+            ranges.append(range(1, base.shape[position] + 1))
+        for combo in itertools.product(*ranges):
+            extension = {
+                name: Literal(index) for name, index in zip(names, combo)
+            }
+            extended = solution.extended_many(extension.items())
+            value = self.evaluator.evaluate_or_none(expr, extended)
+            if value is not None:
+                yield dict(extension), value
+
+    # -- correlated helpers for the expression evaluator ----------------------------
+
+    def exists(self, pattern, bindings):
+        """EXISTS {...}: correlated evaluation with the current solution."""
+        from repro.algebra.translator import Translator
+        cached = self._exists_cache.get(id(pattern))
+        if cached is None:
+            cached = Translator().translate_pattern(pattern)
+            self._exists_cache[id(pattern)] = cached
+        for _ in self._eval(
+            cached, iter([bindings]), self.dataset.default_graph
+        ):
+            return True
+        return False
+
+    def call_view(self, function, args):
+        """Apply a parameterized view (query-bodied UDF).
+
+        Parameters are pre-bound; following DAPLEX semantics the result is
+        the bag of values of the (single) projected variable, returned as
+        a Python list — or the single value when the bag has exactly one
+        element.
+        """
+        from repro.algebra.translator import Translator
+        cached = self._view_cache.get(id(function))
+        if cached is None:
+            plan, names = Translator().translate_select(function.body)
+            cached = (plan, names)
+            self._view_cache[id(function)] = cached
+        plan, names = cached
+        initial = Bindings({
+            param.name: _storable(value)
+            for param, value in zip(function.params, args)
+        })
+        results = list(
+            self._eval(plan, iter([initial]), self.dataset.default_graph)
+        )
+        if len(names) == 1:
+            values = [
+                solution.get(names[0]) for solution in results
+                if solution.get(names[0]) is not None
+            ]
+            from repro.engine.functions import runtime
+            values = [runtime(value) for value in values]
+            if len(values) == 1:
+                return values[0]
+            return values
+        return [solution.as_dict() for solution in results]
+
+
+class _Directional:
+    """Sort-key wrapper flipping comparisons for DESC keys."""
+
+    __slots__ = ("key", "ascending")
+
+    def __init__(self, key, ascending):
+        self.key = key
+        self.ascending = ascending
+
+    def __lt__(self, other):
+        if self.ascending:
+            return self.key < other.key
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return self.key == other.key
+
+
+def _storable(value):
+    """Convert a runtime value into the canonical binding representation
+    (terms for scalars; arrays, proxies, and callables pass through)."""
+    if isinstance(value, (URI, BlankNode, Literal, NumericArray,
+                          ArrayProxy)):
+        return value
+    if isinstance(value, (bool, int, float, str)):
+        return Literal(value)
+    return value
+
+
+def _hashable(value):
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

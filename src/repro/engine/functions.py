@@ -1,0 +1,441 @@
+"""Built-in function library: SPARQL 1.1 scalar functions plus the
+SciSPARQL array built-ins (dissertation section 4.1.3).
+
+Functions here receive already-evaluated *runtime values*:
+
+- Python ``int`` / ``float`` / ``bool`` / ``str`` for plain literals,
+- :class:`~repro.rdf.URI` / :class:`~repro.rdf.BlankNode` for resources,
+- :class:`~repro.rdf.Literal` for language-tagged or exotic typed literals,
+- :class:`~repro.arrays.NumericArray` / :class:`~repro.arrays.ArrayProxy`
+  for arrays,
+- callables for function values (closures, function references).
+
+Special forms needing unevaluated arguments (BOUND, IF, COALESCE, EXISTS)
+live in :mod:`repro.engine.expr`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import uuid
+from typing import Callable, Dict, List
+
+from repro.arrays.nma import NumericArray
+from repro.arrays.proxy import ArrayProxy
+from repro.arrays import ops as array_ops
+from repro.exceptions import EvaluationError, TypeMismatchError
+from repro.rdf.term import BlankNode, Literal, URI
+
+
+def runtime(term):
+    """Convert an RDF term to its runtime value."""
+    if isinstance(term, Literal):
+        if term.lang is None and isinstance(
+            term.value, (int, float, bool, str)
+        ):
+            return term.value
+        return term
+    return term
+
+
+def to_term(value):
+    """Convert a runtime value back to an RDF term for storage/output."""
+    if isinstance(value, (URI, BlankNode, Literal, NumericArray,
+                          ArrayProxy)):
+        return value
+    if isinstance(value, (bool, int, float, str)):
+        return Literal(value)
+    raise EvaluationError("cannot convert %r to an RDF term" % (value,))
+
+
+def ensure_array(value):
+    """Resolve proxies and require an array value."""
+    if isinstance(value, ArrayProxy):
+        value = value.resolve()
+    if isinstance(value, NumericArray):
+        return value
+    raise TypeMismatchError("expected an array, got %r" % (value,))
+
+
+def ensure_number(value):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, Literal) and value.is_numeric():
+        return value.value
+    if isinstance(value, ArrayProxy):
+        value = value.resolve()
+    if isinstance(value, NumericArray) and value.ndim == 0:
+        return value.to_numpy().item()
+    raise TypeMismatchError("expected a number, got %r" % (value,))
+
+
+def ensure_string(value):
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Literal) and isinstance(value.value, str):
+        return value.value
+    raise TypeMismatchError("expected a string, got %r" % (value,))
+
+
+def string_value(value):
+    """The STR() of any runtime value."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, URI):
+        return value.value
+    if isinstance(value, Literal):
+        return value.lexical_form()
+    if isinstance(value, BlankNode):
+        return str(value)
+    if isinstance(value, (NumericArray, ArrayProxy)):
+        if isinstance(value, ArrayProxy):
+            value = value.resolve()
+        return str(value.to_nested_lists())
+    raise TypeMismatchError("STR of %r" % (value,))
+
+
+def effective_boolean_value(value):
+    """SPARQL EBV (section 3.3.3): non-zero numbers, non-empty strings,
+    all URIs and dates count as true; arrays are true when non-empty."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, Literal):
+        if isinstance(value.value, bool):
+            return value.value
+        if value.is_numeric():
+            return value.value != 0
+        if isinstance(value.value, str):
+            return len(value.value) > 0
+        return True
+    if isinstance(value, (URI, BlankNode)):
+        return True
+    if isinstance(value, ArrayProxy):
+        return value.element_count > 0
+    if isinstance(value, NumericArray):
+        return value.element_count > 0
+    if value is None:
+        raise EvaluationError("EBV of unbound value")
+    return True
+
+
+# ---------------------------------------------------------------------------
+# scalar built-ins
+# ---------------------------------------------------------------------------
+
+def _fn_str(args):
+    return string_value(args[0])
+
+
+def _fn_lang(args):
+    value = args[0]
+    if isinstance(value, Literal) and value.lang:
+        return value.lang
+    if isinstance(value, (str, Literal)):
+        return ""
+    raise TypeMismatchError("LANG of non-literal")
+
+
+def _fn_langmatches(args):
+    tag = ensure_string(args[0]).lower()
+    pattern = ensure_string(args[1]).lower()
+    if pattern == "*":
+        return tag != ""
+    return tag == pattern or tag.startswith(pattern + "-")
+
+
+def _fn_datatype(args):
+    value = args[0]
+    if isinstance(value, Literal):
+        return value.datatype
+    if isinstance(value, bool):
+        return Literal(value).datatype
+    if isinstance(value, (int, float, str)):
+        return Literal(value).datatype
+    raise TypeMismatchError("DATATYPE of non-literal")
+
+
+def _fn_iri(args):
+    return URI(string_value(args[0]))
+
+
+def _fn_bnode(args):
+    return BlankNode()
+
+
+def _numeric_unary(fn):
+    def wrapped(args):
+        return fn(ensure_number(args[0]))
+    return wrapped
+
+
+def _fn_round(args):
+    value = ensure_number(args[0])
+    return math.floor(value + 0.5)
+
+
+def _fn_concat(args):
+    return "".join(ensure_string(a) for a in args)
+
+
+def _fn_substr(args):
+    text = ensure_string(args[0])
+    start = int(ensure_number(args[1]))          # 1-based per SPARQL
+    if len(args) > 2:
+        length = int(ensure_number(args[2]))
+        return text[start - 1:start - 1 + length]
+    return text[start - 1:]
+
+
+def _fn_replace(args):
+    text = ensure_string(args[0])
+    pattern = ensure_string(args[1])
+    replacement = ensure_string(args[2])
+    flags = _regex_flags(args[3]) if len(args) > 3 else 0
+    return re.sub(pattern, replacement, text, flags=flags)
+
+
+def _regex_flags(value):
+    flags = 0
+    for char in ensure_string(value):
+        if char == "i":
+            flags |= re.IGNORECASE
+        elif char == "s":
+            flags |= re.DOTALL
+        elif char == "m":
+            flags |= re.MULTILINE
+        elif char == "x":
+            flags |= re.VERBOSE
+    return flags
+
+
+def _fn_regex(args):
+    text = ensure_string(args[0])
+    pattern = ensure_string(args[1])
+    flags = _regex_flags(args[2]) if len(args) > 2 else 0
+    return re.search(pattern, text, flags=flags) is not None
+
+
+def _fn_strdt(args):
+    return Literal.from_lexical(ensure_string(args[0]), args[1])
+
+
+def _fn_strlang(args):
+    return Literal(ensure_string(args[0]), lang=ensure_string(args[1]))
+
+
+def _fn_sameterm(args):
+    return to_term(args[0]) == to_term(args[1])
+
+
+def _fn_isnumeric(args):
+    value = args[0]
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        or (isinstance(value, Literal) and value.is_numeric())
+
+
+# ---------------------------------------------------------------------------
+# SciSPARQL array built-ins (section 4.1.3)
+# ---------------------------------------------------------------------------
+
+def _fn_adims(args):
+    """adims(a) — the shape of an array, as a 1-D array of extents.
+    Works on proxies without resolving them."""
+    value = args[0]
+    if isinstance(value, (NumericArray, ArrayProxy)):
+        return NumericArray(list(value.shape))
+    raise TypeMismatchError("ADIMS of non-array %r" % (value,))
+
+
+def _fn_aelt(args):
+    """aelt(a, i, j, ...) — element access with 1-based indexes."""
+    value = args[0]
+    indexes = [int(ensure_number(a)) - 1 for a in args[1:]]
+    if isinstance(value, ArrayProxy):
+        return value.subscript(indexes).resolve()
+    if isinstance(value, NumericArray):
+        result = value.subscript(indexes)
+        if isinstance(result, NumericArray) and result.ndim == 0:
+            return result.to_numpy().item()
+        return result
+    raise TypeMismatchError("AELT of non-array %r" % (value,))
+
+
+def _fn_array(args):
+    """array(v1, v2, ...) — construct a 1-D array from numbers, or stack
+    same-shaped arrays along a new first dimension."""
+    if not args:
+        raise EvaluationError("ARRAY() needs at least one element")
+    if all(isinstance(a, (int, float)) and not isinstance(a, bool)
+           for a in args):
+        return NumericArray(list(args))
+    arrays = [ensure_array(a) for a in args]
+    import numpy as np
+    return NumericArray(np.stack([a.to_numpy() for a in arrays]))
+
+
+def _array_aggregate(reducer, delegated_op):
+    def wrapped(args):
+        value = args[0]
+        if isinstance(value, ArrayProxy):
+            # AAPR: aggregate without materializing the whole view
+            resolver = getattr(value.store, "_default_resolver", None)
+            if resolver is None:
+                from repro.storage.apr import APRResolver
+                resolver = APRResolver(value.store)
+                value.store._default_resolver = resolver
+            return resolver.resolve_aggregate(value, delegated_op)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return reducer(NumericArray([value]))
+        return reducer(ensure_array(value))
+    return wrapped
+
+
+def _fn_array_count(args):
+    value = args[0]
+    if isinstance(value, (NumericArray, ArrayProxy)):
+        return value.element_count
+    return 1
+
+
+def _callable_value(value):
+    if callable(value):
+        return value
+    raise TypeMismatchError(
+        "expected a function value (closure or function name), got %r"
+        % (value,)
+    )
+
+
+def _fn_array_map(args):
+    fn = _callable_value(args[0])
+    arrays = [ensure_array(a) for a in args[1:]]
+    return array_ops.array_map(fn, *arrays)
+
+
+def _fn_array_condense(args):
+    fn = _callable_value(args[0])
+    array = ensure_array(args[1])
+    axis = int(ensure_number(args[2])) - 1 if len(args) > 2 else None
+    return array_ops.array_condense(fn, array, axis)
+
+
+def _fn_array_build(args):
+    fn = _callable_value(args[-1]) if callable(args[-1]) else None
+    if fn is not None:
+        shape = [int(ensure_number(a)) for a in args[:-1]]
+    else:
+        fn = _callable_value(args[0])
+        shape = [int(ensure_number(a)) for a in args[1:]]
+    return array_ops.array_build(shape, fn)
+
+
+def _fn_transpose(args):
+    value = args[0]
+    permutation = None
+    if len(args) > 1:
+        permutation = tuple(int(ensure_number(a)) - 1 for a in args[1:])
+    if isinstance(value, (NumericArray, ArrayProxy)):
+        return value.transpose(permutation)
+    raise TypeMismatchError("TRANSPOSE of non-array %r" % (value,))
+
+
+def _fn_isarray(args):
+    return isinstance(args[0], (NumericArray, ArrayProxy))
+
+
+#: Dispatch table: builtin name -> callable(list-of-values) -> value.
+BUILTINS: Dict[str, Callable] = {
+    "STR": _fn_str,
+    "LANG": _fn_lang,
+    "LANGMATCHES": _fn_langmatches,
+    "DATATYPE": _fn_datatype,
+    "IRI": _fn_iri,
+    "URI": _fn_iri,
+    "BNODE": _fn_bnode,
+    "ABS": _numeric_unary(abs),
+    "CEIL": _numeric_unary(math.ceil),
+    "FLOOR": _numeric_unary(math.floor),
+    "ROUND": _fn_round,
+    "SQRT": _numeric_unary(math.sqrt),
+    "EXP": _numeric_unary(math.exp),
+    "LN": _numeric_unary(math.log),
+    "LOG10": _numeric_unary(math.log10),
+    "SIN": _numeric_unary(math.sin),
+    "COS": _numeric_unary(math.cos),
+    "TAN": _numeric_unary(math.tan),
+    "POWER": lambda args: math.pow(
+        ensure_number(args[0]), ensure_number(args[1])
+    ),
+    "MOD": lambda args: ensure_number(args[0]) % ensure_number(args[1]),
+    "CONCAT": _fn_concat,
+    "STRLEN": lambda args: len(ensure_string(args[0])),
+    "UCASE": lambda args: ensure_string(args[0]).upper(),
+    "LCASE": lambda args: ensure_string(args[0]).lower(),
+    "SUBSTR": _fn_substr,
+    "STRSTARTS": lambda args: ensure_string(args[0]).startswith(
+        ensure_string(args[1])
+    ),
+    "STRENDS": lambda args: ensure_string(args[0]).endswith(
+        ensure_string(args[1])
+    ),
+    "CONTAINS": lambda args: ensure_string(args[1]) in
+        ensure_string(args[0]),
+    "STRBEFORE": lambda args: ensure_string(args[0]).split(
+        ensure_string(args[1]), 1
+    )[0] if ensure_string(args[1]) in ensure_string(args[0]) else "",
+    "STRAFTER": lambda args: ensure_string(args[0]).split(
+        ensure_string(args[1]), 1
+    )[1] if ensure_string(args[1]) in ensure_string(args[0]) else "",
+    "ENCODE_FOR_URI": lambda args: __import__("urllib.parse", fromlist=[
+        "quote"]).quote(ensure_string(args[0]), safe=""),
+    "REPLACE": _fn_replace,
+    "REGEX": _fn_regex,
+    "STRDT": _fn_strdt,
+    "STRLANG": _fn_strlang,
+    "SAMETERM": _fn_sameterm,
+    "ISIRI": lambda args: isinstance(args[0], URI),
+    "ISURI": lambda args: isinstance(args[0], URI),
+    "ISBLANK": lambda args: isinstance(args[0], BlankNode),
+    "ISLITERAL": lambda args: isinstance(
+        args[0], (Literal, bool, int, float, str)
+    ),
+    "ISNUMERIC": _fn_isnumeric,
+    "UUID": lambda args: URI("urn:uuid:%s" % uuid.uuid4()),
+    "STRUUID": lambda args: str(uuid.uuid4()),
+    "RAND": lambda args: __import__("random").random(),
+    "NOW": lambda args: Literal(
+        __import__("datetime").datetime.now().isoformat(),
+        URI("http://www.w3.org/2001/XMLSchema#dateTime"),
+    ),
+    "YEAR": lambda args: int(ensure_string(args[0])[0:4]),
+    "MONTH": lambda args: int(ensure_string(args[0])[5:7]),
+    "DAY": lambda args: int(ensure_string(args[0])[8:10]),
+    "HOURS": lambda args: int(ensure_string(args[0])[11:13]),
+    "MINUTES": lambda args: int(ensure_string(args[0])[14:16]),
+    "SECONDS": lambda args: float(ensure_string(args[0])[17:19]),
+    # SciSPARQL array built-ins
+    "ADIMS": _fn_adims,
+    "AELT": _fn_aelt,
+    "ARRAY": _fn_array,
+    "ARRAY_SUM": _array_aggregate(array_ops.array_sum, "sum"),
+    "ARRAY_AVG": _array_aggregate(array_ops.array_avg, "avg"),
+    "ARRAY_MIN": _array_aggregate(array_ops.array_min, "min"),
+    "ARRAY_MAX": _array_aggregate(array_ops.array_max, "max"),
+    "ARRAY_COUNT": _fn_array_count,
+    "ARRAY_MAP": _fn_array_map,
+    "ARRAY_CONDENSE": _fn_array_condense,
+    "ARRAY_BUILD": _fn_array_build,
+    "TRANSPOSE": _fn_transpose,
+    "ISARRAY": _fn_isarray,
+}

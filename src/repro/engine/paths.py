@@ -1,0 +1,144 @@
+"""Property-path evaluation (dissertation section 3.4).
+
+Paths are evaluated against one graph, directed by which endpoints are
+already bound: transitive closures run a breadth-first search from the
+bound side, alternatives merge branch results, sequences chain through
+fresh intermediate nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.rdf.term import URI
+from repro.sparql import ast
+
+
+def eval_path(graph, path, subject=None, value=None):
+    """Yield (subject, value) pairs connected by ``path``.
+
+    ``subject`` / ``value`` are concrete terms or None (unbound).
+    Duplicate pairs are suppressed (path semantics are set-based).
+    """
+    seen = set()
+    for pair in _eval(graph, path, subject, value):
+        if pair not in seen:
+            seen.add(pair)
+            yield pair
+
+
+def _eval(graph, path, subject, value):
+    if isinstance(path, URI):
+        yield from _link(graph, path, subject, value)
+    elif isinstance(path, ast.PathLink):
+        yield from _link(graph, path.uri, subject, value)
+    elif isinstance(path, ast.PathInverse):
+        for v, s in _eval(graph, path.path, value, subject):
+            yield (s, v)
+    elif isinstance(path, ast.PathAlternative):
+        for part in path.parts:
+            yield from _eval(graph, part, subject, value)
+    elif isinstance(path, ast.PathSequence):
+        yield from _sequence(graph, path.parts, subject, value)
+    elif isinstance(path, ast.PathMod):
+        yield from _modified(graph, path, subject, value)
+    elif isinstance(path, ast.PathNegated):
+        yield from _negated(graph, path, subject, value)
+    else:
+        raise QueryError("unsupported path %r" % (path,))
+
+
+def _link(graph, predicate, subject, value):
+    for triple in graph.triples(subject, predicate, value):
+        yield (triple.subject, triple.value)
+
+
+def _sequence(graph, parts, subject, value):
+    if len(parts) == 1:
+        yield from _eval(graph, parts[0], subject, value)
+        return
+    first, rest = parts[0], parts[1:]
+    # drive from the bound side when possible
+    if subject is not None or value is None:
+        for s, mid in _eval(graph, first, subject, None):
+            for _, v in _eval(graph, ast.PathSequence(rest), mid, value):
+                yield (s, v)
+    else:
+        for mid, v in _eval(graph, ast.PathSequence(rest), None, value):
+            for s, _ in _eval(graph, first, subject, mid):
+                yield (s, v)
+
+
+def _modified(graph, path, subject, value):
+    inner = path.path
+    modifier = path.modifier
+    if modifier == "?":
+        if subject is not None and (value is None or subject == value):
+            yield (subject, subject)
+        elif subject is None and value is not None:
+            yield (value, value)
+        elif subject is None and value is None:
+            for node in _all_nodes(graph):
+                yield (node, node)
+        yield from _eval(graph, inner, subject, value)
+        return
+    reflexive = modifier == "*"
+    if subject is not None:
+        yield from _closure_from(graph, inner, subject, value, reflexive)
+    elif value is not None:
+        for v, s in _closure_from(
+            graph, ast.PathInverse(inner), value, subject, reflexive
+        ):
+            yield (s, v)
+    else:
+        for start in _all_nodes(graph):
+            yield from _closure_from(graph, inner, start, None, reflexive)
+
+
+def _closure_from(graph, inner, start, value, reflexive):
+    """BFS transitive closure of ``inner`` starting at ``start``."""
+    visited: Set[object] = set()
+    queue = deque()
+    if reflexive:
+        queue.append(start)
+        visited.add(start)
+        if value is None or start == value:
+            yield (start, start)
+    else:
+        for _, nxt in _eval(graph, inner, start, None):
+            if nxt not in visited:
+                visited.add(nxt)
+                queue.append(nxt)
+                if value is None or nxt == value:
+                    yield (start, nxt)
+    while queue:
+        node = queue.popleft()
+        for _, nxt in _eval(graph, inner, node, None):
+            if nxt not in visited:
+                visited.add(nxt)
+                queue.append(nxt)
+                if value is None or nxt == value:
+                    yield (start, nxt)
+
+
+def _negated(graph, path, subject, value):
+    forward = set(path.forward)
+    inverse = set(path.inverse)
+    if forward or not inverse:
+        for triple in graph.triples(subject, None, value):
+            if triple.property not in forward:
+                yield (triple.subject, triple.value)
+    for triple in graph.triples(value, None, subject):
+        if inverse and triple.property not in inverse:
+            yield (triple.value, triple.subject)
+
+
+def _all_nodes(graph):
+    seen = set()
+    for triple in graph.triples():
+        for node in (triple.subject, triple.value):
+            if node not in seen:
+                seen.add(node)
+                yield node

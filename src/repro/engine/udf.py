@@ -1,0 +1,179 @@
+"""User-defined, foreign, and closure function values.
+
+Dissertation sections 4.2-4.4:
+
+- :class:`UserFunction` — a SciSPARQL ``DEFINE FUNCTION``: either an
+  expression body or a SELECT query acting as a *parameterized view*.
+- :class:`ForeignFunction` — a host-language (Python) callable registered
+  with optional cost and fanout estimates for the optimizer.
+- :class:`ClosureValue` — a lexical closure created by an ``FN(...)``
+  expression: it captures the enclosing solution's bindings at evaluation
+  time, and may be passed to second-order functions such as ``array_map``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import EvaluationError, UnknownFunctionError
+from repro.rdf.term import URI
+
+
+class UserFunction:
+    """A function defined in SciSPARQL itself."""
+
+    def __init__(self, name, params, body):
+        self.name = name                    # URI
+        self.params = list(params)          # [ast.Var]
+        self.body = body                    # expression AST or SelectQuery
+
+    @property
+    def is_view(self):
+        from repro.sparql import ast
+        return isinstance(self.body, ast.SelectQuery)
+
+    def arity(self):
+        return len(self.params)
+
+
+class ForeignFunction:
+    """A Python callable exposed to queries, with optimizer estimates.
+
+    ``cost`` approximates evaluation cost per call; ``fanout`` the number
+    of results (1.0 for scalar functions).  Both default to cheap/scalar.
+    """
+
+    def __init__(self, name, fn, cost=1.0, fanout=1.0):
+        self.name = name
+        self.fn = fn
+        self.cost = float(cost)
+        self.fanout = float(fanout)
+
+    def __call__(self, *args):
+        return self.fn(*args)
+
+
+class ClosureValue:
+    """A callable closing over captured bindings.
+
+    Calling it evaluates the body with parameters bound to the call
+    arguments on top of the captured environment.  When the body is a
+    single arithmetic operator over the parameters, a vectorised
+    ``numpy_op`` shortcut is exposed so array mappers run at numpy speed.
+    """
+
+    def __init__(self, params, body, env, evaluator):
+        self.params = [p.name for p in params]
+        self.body = body
+        self.env = env
+        self.evaluator = evaluator
+        self.numpy_op = self._vectorize()
+
+    def __call__(self, *args):
+        if len(args) != len(self.params):
+            raise EvaluationError(
+                "closure expects %d arguments, got %d"
+                % (len(self.params), len(args))
+            )
+        bindings = self.env.extended_many(zip(self.params, args))
+        return self.evaluator.evaluate(self.body, bindings)
+
+    def _vectorize(self):
+        """Build a numpy-level equivalent of simple arithmetic bodies."""
+        import numpy as np
+        from repro.sparql import ast
+        from repro.rdf.term import Literal
+
+        ops = {
+            "+": np.add, "-": np.subtract,
+            "*": np.multiply, "/": np.true_divide,
+        }
+
+        def build(expr):
+            if isinstance(expr, ast.Var):
+                if expr.name in self.params:
+                    index = self.params.index(expr.name)
+                    return lambda args: args[index]
+                captured = self.env.get(expr.name)
+                if captured is None:
+                    return None
+                from repro.engine.functions import ensure_number
+                try:
+                    value = ensure_number(
+                        captured if not hasattr(captured, "value")
+                        else captured.value
+                    )
+                except Exception:
+                    return None
+                return lambda args: value
+            if isinstance(expr, ast.TermExpr) and isinstance(
+                expr.term, Literal
+            ) and expr.term.is_numeric():
+                constant = expr.term.value
+                return lambda args: constant
+            if isinstance(expr, ast.BinaryOp) and expr.op in ops:
+                left = build(expr.left)
+                right = build(expr.right)
+                if left is None or right is None:
+                    return None
+                op = ops[expr.op]
+                return lambda args: op(left(args), right(args))
+            if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+                operand = build(expr.operand)
+                if operand is None:
+                    return None
+                return lambda args: np.negative(operand(args))
+            return None
+
+        compiled = build(self.body)
+        if compiled is None:
+            return None
+
+        def numpy_op(*arrays):
+            return compiled(list(arrays))
+
+        return numpy_op
+
+
+class FunctionRegistry:
+    """All callable things known to one SSDM instance."""
+
+    def __init__(self):
+        self._functions: Dict[str, object] = {}
+
+    @staticmethod
+    def _key(name):
+        if isinstance(name, URI):
+            return name.value
+        return str(name)
+
+    def define(self, name, params, body):
+        """Register a SciSPARQL DEFINE FUNCTION."""
+        function = UserFunction(name, params, body)
+        self._functions[self._key(name)] = function
+        return function
+
+    def register_foreign(self, name, fn, cost=1.0, fanout=1.0):
+        """Register a Python callable as a foreign function."""
+        if isinstance(name, str) and "://" not in name:
+            name = URI(name)
+        foreign = ForeignFunction(name, fn, cost, fanout)
+        self._functions[self._key(name)] = foreign
+        return foreign
+
+    def lookup(self, name):
+        return self._functions.get(self._key(name))
+
+    def require(self, name):
+        function = self.lookup(name)
+        if function is None:
+            raise UnknownFunctionError(
+                "undefined function %s" % self._key(name)
+            )
+        return function
+
+    def __contains__(self, name):
+        return self._key(name) in self._functions
+
+    def names(self):
+        return sorted(self._functions)

@@ -1,0 +1,136 @@
+"""SPARQL Update execution (INSERT/DELETE DATA, DELETE/INSERT WHERE).
+
+Updates run against the dataset held by an SSDM instance; WHERE clauses go
+through the same translate → rewrite → optimize → evaluate pipeline as
+queries, and all deletions/insertions are collected before being applied
+(the standard snapshot semantics of SPARQL Update).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import QueryError
+from repro.rdf.term import BlankNode, Literal, URI
+from repro.sparql import ast
+from repro.algebra.translator import Translator
+from repro.algebra.rewriter import rewrite
+from repro.algebra.optimizer import optimize
+from repro.engine.bindings import Bindings
+from repro.engine.eval import _storable
+
+
+def execute_update(engine, dataset, update, store_array=None):
+    """Execute one update AST; returns the number of triples affected.
+
+    ``store_array`` is an optional callable mapping a resident array to
+    its stored representation (SSDM passes its back-end hook so inserted
+    arrays land in external storage).
+    """
+    if isinstance(update, ast.InsertData):
+        graph = dataset.graph(update.graph)
+        count = 0
+        for triple in _instantiate_all(update.triples, Bindings.EMPTY):
+            value = triple[2]
+            if store_array is not None:
+                value = store_array(value)
+            graph.add(triple[0], triple[1], value)
+            count += 1
+        return count
+    if isinstance(update, ast.DeleteData):
+        graph = dataset.graph(update.graph)
+        count = 0
+        for triple in _instantiate_all(update.triples, Bindings.EMPTY):
+            if graph.remove(triple[0], triple[1], triple[2]):
+                count += 1
+        return count
+    if isinstance(update, ast.Modify):
+        graph = dataset.graph(update.graph)
+        plan, _ = _translate_where(update.where)
+        plan = rewrite(plan)
+        plan = optimize(plan, graph)
+        solutions = list(engine.run(plan, graph=graph))
+        deletions = []
+        insertions = []
+        for solution in solutions:
+            deletions.extend(
+                _instantiate_all(update.delete_template, solution,
+                                 skip_unbound=True)
+            )
+            insertions.extend(
+                _instantiate_all(update.insert_template, solution,
+                                 skip_unbound=True)
+            )
+        count = 0
+        for triple in deletions:
+            if graph.remove(*triple):
+                count += 1
+        for triple in insertions:
+            value = triple[2]
+            if store_array is not None:
+                value = store_array(value)
+            graph.add(triple[0], triple[1], value)
+            count += 1
+        return count
+    if isinstance(update, ast.ClearGraph):
+        if update.graph == "ALL":
+            count = len(dataset)
+            dataset.default_graph.clear()
+            for graph in dataset.named_graphs().values():
+                graph.clear()
+            return count
+        graph = dataset.graph(update.graph, create=False)
+        if graph is None:
+            return 0
+        count = len(graph)
+        graph.clear()
+        return count
+    raise QueryError("unsupported update %r" % (update,))
+
+
+def _translate_where(where):
+    translator = Translator()
+    return translator.translate_pattern(where), None
+
+
+def _instantiate_all(templates, bindings, skip_unbound=False):
+    """Instantiate template triples against one solution.
+
+    Parser-generated anonymous variables (blank-node shorthand) become
+    fresh blank nodes, one per (template, solution) combination.
+    """
+    fresh = {}
+    out = []
+    for template in templates:
+        triple = _instantiate(template, bindings, fresh)
+        if triple is None:
+            if skip_unbound:
+                continue
+            raise QueryError(
+                "unbound variable in update template %r" % (template,)
+            )
+        out.append(triple)
+    return out
+
+
+def _instantiate(template, bindings, fresh):
+    components = []
+    for index, component in enumerate(
+        (template.subject, template.predicate, template.value)
+    ):
+        if isinstance(component, ast.Var):
+            if component.name.startswith("_anon"):
+                value = fresh.setdefault(component.name, BlankNode())
+            else:
+                value = bindings.get(component.name)
+                if value is None:
+                    return None
+            components.append(value)
+        else:
+            components.append(component)
+    subject, predicate, value = components
+    if not isinstance(subject, (URI, BlankNode)) or not isinstance(
+        predicate, URI
+    ):
+        return None
+    return (subject, predicate, value)

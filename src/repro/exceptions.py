@@ -1,0 +1,63 @@
+"""Exception hierarchy for the SciSPARQL / SSDM reproduction.
+
+All library errors derive from :class:`SciSparqlError` so callers can catch
+one base class.  Parse errors carry position information; query-evaluation
+errors follow the SPARQL convention of being *suppressible* inside FILTER
+expressions (an error there makes the filter fail rather than aborting the
+whole query, see dissertation section 3.6 "Error Handling").
+"""
+
+from __future__ import annotations
+
+
+class SciSparqlError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(SciSparqlError):
+    """Syntax error in a SciSPARQL query or an RDF serialization.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    they are known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "%s (line %d, column %d)" % (message, line, column or 0)
+        super().__init__(message)
+
+
+class QueryError(SciSparqlError):
+    """Semantic error detected while translating or optimizing a query."""
+
+
+class EvaluationError(SciSparqlError):
+    """Runtime error while evaluating an expression.
+
+    Under SPARQL semantics these errors are usually caught by the engine:
+    inside a FILTER they eliminate the candidate solution, and in a SELECT
+    expression they produce an unbound value.
+    """
+
+
+class TypeMismatchError(EvaluationError):
+    """Operands of an expression had incompatible runtime types."""
+
+
+class ArrayBoundsError(EvaluationError):
+    """An array subscript was outside the array's valid range."""
+
+
+class StorageError(SciSparqlError):
+    """Failure in an array-storage back-end (ASEI implementation)."""
+
+
+class UnknownFunctionError(EvaluationError):
+    """A query referenced a function that has not been defined.
+
+    Per SPARQL semantics an unknown function call is a (suppressible)
+    expression error: inside a FILTER it eliminates the candidate
+    solution rather than aborting the query.
+    """

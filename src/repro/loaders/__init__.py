@@ -1,0 +1,37 @@
+"""Data loaders for RDF with Arrays.
+
+- :mod:`repro.loaders.turtle` — Turtle reader with array consolidation:
+  numeric RDF collections become :class:`~repro.arrays.NumericArray`
+  values while loading (dissertation section 5.3.2).
+- :mod:`repro.loaders.ntriples` — line-based NTriples reader.
+- :mod:`repro.loaders.collections` — post-hoc consolidation of
+  rdf:first/rdf:rest list structures already in a graph.
+- :mod:`repro.loaders.datacube` — RDF Data Cube vocabulary interpretation:
+  qb:Observations collapse into dense arrays plus dimension dictionaries
+  (section 5.3.3).
+- :mod:`repro.loaders.filelink` — external array files linked as lazy
+  proxies (the *mediator scenario*; the Matlab integration's .mat files
+  are modelled by .npy files).
+"""
+
+from repro.loaders.turtle import TurtleParser, load_turtle_text
+from repro.loaders.ntriples import load_ntriples_text
+from repro.loaders.collections import consolidate_collections
+from repro.loaders.datacube import consolidate_data_cube
+from repro.loaders.filelink import NpyLinkStore, link_npy
+from repro.loaders.rdbview import RelationalView, load_relational
+from repro.loaders.csvdata import load_csv_array, load_csv_rows
+
+__all__ = [
+    "TurtleParser",
+    "load_turtle_text",
+    "load_ntriples_text",
+    "consolidate_collections",
+    "consolidate_data_cube",
+    "NpyLinkStore",
+    "link_npy",
+    "RelationalView",
+    "load_relational",
+    "load_csv_array",
+    "load_csv_rows",
+]

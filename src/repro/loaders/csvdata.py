@@ -1,0 +1,114 @@
+"""CSV ingestion: numeric tables as arrays, mixed tables as RDF rows.
+
+Scientists' third storage habit (after binary formats and spreadsheets,
+section 2.3.4) is plain CSV.  Two mappings are provided:
+
+- :func:`load_csv_array` — an all-numeric CSV becomes ONE triple whose
+  value is the 2-D array (consolidation, as for collections);
+- :func:`load_csv_rows` — a header-led CSV maps like a spreadsheet:
+  each row a subject, each column a property (the Chelonia-style
+  row/variable mapping of Figure 2/3).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arrays.nma import NumericArray
+from repro.exceptions import SciSparqlError
+from repro.rdf.term import BlankNode, Literal, URI
+
+
+def _reader(source):
+    if hasattr(source, "read"):
+        return csv.reader(source)
+    if "\n" not in source and source.endswith(".csv"):
+        return csv.reader(open(source, newline=""))
+    return csv.reader(io.StringIO(source))
+
+
+def load_csv_array(ssdm, source, subject, prop, graph=None):
+    """Load an all-numeric CSV as one array-valued triple.
+
+    ``source`` is a path, CSV text, or file object.  Returns the array.
+    """
+    rows: List[List[float]] = []
+    for record in _reader(source):
+        if not record:
+            continue
+        try:
+            rows.append([float(cell) for cell in record])
+        except ValueError:
+            raise SciSparqlError(
+                "non-numeric cell in CSV array: %r" % (record,)
+            )
+    if not rows:
+        raise SciSparqlError("empty CSV array")
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise SciSparqlError("ragged CSV rows")
+    array = NumericArray(np.asarray(rows, dtype=np.float64))
+    if array.shape[0] == 1:
+        array = NumericArray(array.to_numpy().reshape(-1))
+    ssdm.add(subject, prop, array, graph=graph)
+    return array
+
+
+def load_csv_rows(ssdm, source, base_uri, row_class=None, graph=None,
+                  key_column=None):
+    """Load a header-led CSV as one RDF node per row.
+
+    Column names become properties ``<base_uri><name>``; numeric-looking
+    cells become numeric literals.  ``key_column`` (a header name) mints
+    row URIs ``<base_uri>row/<key>``; otherwise rows are blank nodes.
+    Returns the number of triples added.
+    """
+    if not base_uri.endswith(("/", "#")):
+        base_uri += "/"
+    reader = _reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SciSparqlError("empty CSV document")
+    header = [name.strip() for name in header]
+    if key_column is not None and key_column not in header:
+        raise SciSparqlError("key column %r not in header" % key_column)
+    properties = [URI(base_uri + name) for name in header]
+    count = 0
+    for record in reader:
+        if not record:
+            continue
+        cells = dict(zip(header, record))
+        if key_column is not None:
+            subject = URI("%srow/%s" % (base_uri, cells[key_column]))
+        else:
+            subject = BlankNode()
+        if row_class is not None:
+            from repro.rdf.namespace import RDF
+            ssdm.add(subject, RDF.type, row_class, graph=graph)
+            count += 1
+        for name, prop, cell in zip(header, properties, record):
+            cell = cell.strip()
+            if cell == "":
+                continue
+            ssdm.add(subject, prop, _cell_literal(cell), graph=graph)
+            count += 1
+    return count
+
+
+def _cell_literal(cell):
+    try:
+        return Literal(int(cell))
+    except ValueError:
+        pass
+    try:
+        return Literal(float(cell))
+    except ValueError:
+        pass
+    if cell.lower() in ("true", "false"):
+        return Literal(cell.lower() == "true")
+    return Literal(cell)

@@ -1,0 +1,168 @@
+"""RDF Data Cube vocabulary interpretation (section 5.3.3).
+
+A `qb:DataSet`'s observations form a (possibly sparse) multidimensional
+mapping: dimension properties index it, measure properties carry values.
+This loader consolidates each (dataset, measure) pair into one dense
+:class:`~repro.arrays.NumericArray` plus per-dimension *dictionaries*
+(ordered value lists), drastically shrinking the graph while preserving
+all information.  Missing cells are filled with NaN.
+
+The consolidated structure is attached with SSDM vocabulary terms::
+
+    ?ds  ssdm:dataArray   [ ssdm:measure <measureProp> ;
+                            ssdm:array <NumericArray> ] .
+    ?ds  ssdm:dimension   [ ssdm:property <dimProp> ;
+                            ssdm:order "1"^^xsd:integer ;
+                            ssdm:values <1-D array or RDF list> ] .
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.arrays.nma import NumericArray
+from repro.rdf.namespace import Namespace, QB, RDF
+from repro.rdf.term import BlankNode, Literal, URI, term_key
+
+#: Vocabulary for the consolidated structures SSDM attaches.
+SSDM_NS = Namespace("http://udbl.uu.se/ssdm#")
+
+
+def consolidate_data_cube(ssdm, graph=None):
+    """Consolidate every qb:DataSet in the graph; returns statistics."""
+    target = ssdm.dataset.graph(graph)
+    datasets = list(target.subjects(RDF.type, QB.DataSet))
+    stats = {"datasets": 0, "observations_removed": 0, "arrays": 0}
+    for dataset in datasets:
+        result = _consolidate_dataset(target, dataset)
+        if result:
+            stats["datasets"] += 1
+            stats["observations_removed"] += result["observations"]
+            stats["arrays"] += result["arrays"]
+    return stats
+
+
+def _consolidate_dataset(graph, dataset):
+    observations = [
+        triple.subject
+        for triple in graph.triples(None, QB.dataSet, dataset)
+    ]
+    if not observations:
+        return None
+    dimensions, measures = _structure(graph, dataset, observations)
+    if not dimensions or not measures:
+        return None
+
+    # build per-dimension dictionaries in deterministic order
+    dimension_values: List[List[object]] = []
+    for dim in dimensions:
+        values = set()
+        for obs in observations:
+            value = graph.value(obs, dim)
+            if value is None:
+                return None              # incomplete observation: skip
+            values.add(value)
+        dimension_values.append(sorted(values, key=term_key))
+    shape = tuple(len(values) for values in dimension_values)
+    positions = [
+        {value: index for index, value in enumerate(values)}
+        for values in dimension_values
+    ]
+
+    arrays = {}
+    for measure in measures:
+        dense = np.full(shape, math.nan, dtype=np.float64)
+        for obs in observations:
+            index = tuple(
+                positions[axis][graph.value(obs, dim)]
+                for axis, dim in enumerate(dimensions)
+            )
+            value = graph.value(obs, measure)
+            if isinstance(value, Literal) and value.is_numeric():
+                dense[index] = float(value.value)
+        arrays[measure] = NumericArray(dense)
+
+    # remove the observations
+    removed = 0
+    for obs in observations:
+        for triple in list(graph.triples(obs, None, None)):
+            graph.remove(*triple)
+            removed += 1
+
+    # attach consolidated structures
+    for order, (dim, values) in enumerate(
+        zip(dimensions, dimension_values), start=1
+    ):
+        node = BlankNode()
+        graph.add(dataset, SSDM_NS.dimension, node)
+        graph.add(node, SSDM_NS.property, dim)
+        graph.add(node, SSDM_NS.order, Literal(order))
+        if all(isinstance(v, Literal) and v.is_numeric() for v in values):
+            graph.add(node, SSDM_NS.values,
+                      NumericArray([v.value for v in values]))
+        else:
+            _attach_list(graph, node, SSDM_NS.values, values)
+    for measure, array in arrays.items():
+        node = BlankNode()
+        graph.add(dataset, SSDM_NS.dataArray, node)
+        graph.add(node, SSDM_NS.measure, measure)
+        graph.add(node, SSDM_NS.array, array)
+    return {"observations": removed, "arrays": len(arrays)}
+
+
+def _structure(graph, dataset, observations):
+    """Dimension and measure properties, from the DSD when present,
+    otherwise inferred from the observations themselves."""
+    dimensions, measures = [], []
+    dsd = graph.value(dataset, QB.structure)
+    if dsd is not None:
+        components = [
+            triple.value for triple in graph.triples(dsd, QB.component)
+        ]
+        for component in components:
+            dim = graph.value(component, QB.dimension)
+            if dim is not None:
+                dimensions.append(dim)
+            measure = graph.value(component, QB.measure)
+            if measure is not None:
+                measures.append(measure)
+    if not dimensions:
+        # inference: properties whose values repeat across observations
+        # with non-numeric or shared values are dimensions; numeric
+        # observation-specific properties are measures
+        sample = observations[0]
+        for prop in graph.properties(sample):
+            if prop in (RDF.type, QB.dataSet):
+                continue
+            values = [graph.value(obs, prop) for obs in observations]
+            numeric = all(
+                isinstance(v, Literal) and v.is_numeric()
+                for v in values if v is not None
+            )
+            distinct = len({
+                v for v in values if v is not None
+            })
+            if numeric and distinct == len(observations):
+                measures.append(prop)
+            else:
+                dimensions.append(prop)
+    dimensions.sort(key=term_key)
+    measures.sort(key=term_key)
+    return dimensions, measures
+
+
+def _attach_list(graph, subject, prop, values):
+    head = BlankNode()
+    graph.add(subject, prop, head)
+    node = head
+    for index, value in enumerate(values):
+        graph.add(node, RDF.first, value)
+        if index == len(values) - 1:
+            graph.add(node, RDF.rest, RDF.nil)
+        else:
+            nxt = BlankNode()
+            graph.add(node, RDF.rest, nxt)
+            node = nxt

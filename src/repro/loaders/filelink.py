@@ -1,0 +1,110 @@
+"""File links: external array files as lazy proxies (mediator scenario).
+
+Chapter 7's Matlab integration keeps massive arrays in native ``.mat``
+files while SSDM's RDF graph holds metadata plus *file-linked* array
+proxies; chunking and caching are left to the OS file system.  We model
+the native files with NumPy ``.npy`` files: :class:`NpyLinkStore` is a
+read-only ASEI back-end whose "chunks" are windows of a memory-mapped
+file, so linked arrays participate in the exact same APR machinery as
+back-end-stored ones.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.arrays.chunks import ChunkLayout, DEFAULT_CHUNK_BYTES
+from repro.arrays.nma import dtype_code, ELEMENT_TYPES
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import StorageError
+from repro.storage.asei import ArrayMeta, ArrayStore
+
+
+class NpyLinkStore(ArrayStore):
+    """Read-only ASEI back-end over externally produced .npy files.
+
+    Array ids are the (absolute) file paths; linking is explicit via
+    :meth:`link`.
+    """
+
+    supports_batch = True
+    supports_ranges = True
+    supports_aggregates = False
+
+    def __init__(self, chunk_bytes=DEFAULT_CHUNK_BYTES):
+        super().__init__(chunk_bytes=chunk_bytes)
+        self._mmaps: Dict[str, np.ndarray] = {}
+
+    def link(self, path):
+        """Register a .npy file; returns a whole-array proxy for it."""
+        path = os.path.abspath(path)
+        flat = self._mmap(path)
+        meta = self._meta.get(path)
+        if meta is None:
+            header = np.load(path, mmap_mode="r")
+            element_type = dtype_code(header.dtype)
+            layout = ChunkLayout(
+                header.size, header.dtype.itemsize, self.chunk_bytes
+            )
+            meta = ArrayMeta(path, element_type, header.shape, layout)
+            self._meta[path] = meta
+        return ArrayProxy(self, path, meta.element_type, meta.shape)
+
+    def _mmap(self, path):
+        flat = self._mmaps.get(path)
+        if flat is None:
+            if not os.path.exists(path):
+                raise StorageError("linked file %r does not exist" % path)
+            array = np.load(path, mmap_mode="r")
+            flat = array.reshape(-1)
+            self._mmaps[path] = flat
+        return flat
+
+    # -- ASEI contract -----------------------------------------------------------
+
+    def put(self, array, chunk_bytes=None):
+        raise StorageError("NpyLinkStore is read-only; use link(path)")
+
+    def _write_chunk(self, array_id, chunk_id, data):
+        raise StorageError("NpyLinkStore is read-only")
+
+    def _read_chunk(self, array_id, chunk_id):
+        meta = self.meta(array_id)
+        layout = meta.layout
+        count = layout.chunk_extent(chunk_id)
+        if count == 0:
+            raise StorageError(
+                "chunk %d outside linked array %r" % (chunk_id, array_id)
+            )
+        start = chunk_id * layout.elements_per_chunk
+        flat = self._mmap(array_id)
+        return np.array(flat[start:start + count])
+
+    def _read_chunks(self, array_id, chunk_ids):
+        return {cid: self._read_chunk(array_id, cid) for cid in chunk_ids}
+
+    def _read_chunk_ranges(self, array_id, ranges):
+        result = {}
+        for first, last, step in ranges:
+            for chunk_id in range(first, last + 1, step):
+                result[chunk_id] = self._read_chunk(array_id, chunk_id)
+        return result
+
+
+def link_npy(ssdm, subject, prop, path, graph=None, store=None):
+    """Link an external .npy file as an array value of (subject, prop).
+
+    An :class:`NpyLinkStore` is kept on the SSDM instance and shared by
+    all links; the triple's value is the lazy whole-array proxy.
+    """
+    if store is None:
+        store = getattr(ssdm, "_npy_link_store", None)
+        if store is None:
+            store = NpyLinkStore()
+            ssdm._npy_link_store = store
+    proxy = store.link(path)
+    ssdm.dataset.graph(graph).add(subject, prop, proxy)
+    return proxy

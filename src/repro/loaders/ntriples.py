@@ -1,0 +1,20 @@
+"""Line-based NTriples reader (a Turtle subset, one triple per line)."""
+
+from __future__ import annotations
+
+from repro.loaders.turtle import TurtleParser
+
+
+def load_ntriples_text(ssdm, text, graph=None):
+    """Parse NTriples text into an SSDM graph; returns triples added.
+
+    NTriples is a syntactic subset of Turtle, so the Turtle parser (with
+    consolidation disabled — NTriples has no collection shorthand) handles
+    it directly.
+    """
+    parser = TurtleParser(text, consolidate=False)
+    count = 0
+    for subject, predicate, value in parser.triples():
+        ssdm.add(subject, predicate, value, graph=graph)
+        count += 1
+    return count

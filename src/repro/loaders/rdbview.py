@@ -1,0 +1,146 @@
+"""RDB-to-RDF direct mapping (dissertation section 2.3.1).
+
+SSDM inherits SWARD-style mediation of relational databases: an existing
+relational schema becomes queryable as RDF.  This module implements the
+W3C *Direct Mapping* conventions over SQLite:
+
+- each table ``T`` maps to class ``<base>T``;
+- each row maps to subject ``<base>T/<pk>`` (the primary-key value) or a
+  fresh blank node when the table has no primary key;
+- each column ``c`` maps to property ``<base>T#c``;
+- a foreign-key column referencing ``S(pk)`` yields an object property
+  ``<base>T#ref-c`` pointing at the referenced row's subject;
+- NULLs produce no triple.
+
+The paper's system rewrites SPARQL into SQL at query time; here the view
+is materialized into the (indexed, in-memory) graph at load time, which
+preserves the observable semantics for a snapshot — the substitution is
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional
+
+from repro.exceptions import SciSparqlError
+from repro.rdf.namespace import RDF
+from repro.rdf.term import BlankNode, Literal, URI
+
+
+class RelationalView:
+    """Maps a SQLite database's tables into RDF triples."""
+
+    def __init__(self, database, base_uri="http://example.org/db/"):
+        if isinstance(database, sqlite3.Connection):
+            self._connection = database
+        else:
+            self._connection = sqlite3.connect(database)
+        if not base_uri.endswith(("/", "#")):
+            base_uri += "/"
+        self.base_uri = base_uri
+
+    def tables(self):
+        rows = self._connection.execute(
+            "SELECT name FROM sqlite_master WHERE type='table'"
+            " AND name NOT LIKE 'sqlite_%'"
+        ).fetchall()
+        return [name for (name,) in rows]
+
+    def _columns(self, table):
+        """[(name, is_pk)] for a table, in declaration order."""
+        rows = self._connection.execute(
+            "PRAGMA table_info(%s)" % _quote(table)
+        ).fetchall()
+        return [(row[1], bool(row[5])) for row in rows]
+
+    def _foreign_keys(self, table):
+        """{column: (referenced_table, referenced_column)}."""
+        rows = self._connection.execute(
+            "PRAGMA foreign_key_list(%s)" % _quote(table)
+        ).fetchall()
+        return {row[3]: (row[2], row[4]) for row in rows}
+
+    def class_uri(self, table):
+        return URI(self.base_uri + table)
+
+    def property_uri(self, table, column):
+        return URI("%s%s#%s" % (self.base_uri, table, column))
+
+    def row_subject(self, table, pk_value):
+        return URI("%s%s/%s" % (self.base_uri, table, pk_value))
+
+    def triples(self, tables=None):
+        """Yield the direct-mapping triples of the selected tables."""
+        for table in tables or self.tables():
+            columns = self._columns(table)
+            if not columns:
+                continue
+            pk_columns = [name for name, is_pk in columns if is_pk]
+            foreign = self._foreign_keys(table)
+            names = [name for name, _ in columns]
+            cursor = self._connection.execute(
+                "SELECT %s FROM %s" % (
+                    ", ".join(_quote(n) for n in names), _quote(table)
+                )
+            )
+            for row in cursor:
+                record = dict(zip(names, row))
+                if pk_columns and all(
+                    record[c] is not None for c in pk_columns
+                ):
+                    key = "_".join(str(record[c]) for c in pk_columns)
+                    subject = self.row_subject(table, key)
+                else:
+                    subject = BlankNode()
+                yield (subject, RDF.type, self.class_uri(table))
+                for name in names:
+                    value = record[name]
+                    if value is None:
+                        continue
+                    if name in foreign:
+                        ref_table, _ = foreign[name]
+                        yield (
+                            subject,
+                            self.property_uri(table, "ref-" + name),
+                            self.row_subject(ref_table, value),
+                        )
+                    yield (
+                        subject,
+                        self.property_uri(table, name),
+                        _literal(value),
+                    )
+
+    def populate(self, graph, tables=None):
+        """Materialize the view into a graph; returns triples added."""
+        count = 0
+        for subject, prop, value in self.triples(tables):
+            graph.add(subject, prop, value)
+            count += 1
+        return count
+
+
+def load_relational(ssdm, database, base_uri="http://example.org/db/",
+                    tables=None, graph=None):
+    """Expose a relational database to SciSPARQL queries.
+
+    Returns the number of triples materialized into the target graph.
+    """
+    view = RelationalView(database, base_uri)
+    return view.populate(ssdm.dataset.graph(graph), tables)
+
+
+def _literal(value):
+    if isinstance(value, bool):
+        return Literal(value)
+    if isinstance(value, (int, float, str)):
+        return Literal(value)
+    if isinstance(value, bytes):
+        return Literal(value.hex())
+    raise SciSparqlError("cannot map SQL value %r" % (value,))
+
+
+def _quote(identifier):
+    if not identifier.replace("_", "").isalnum():
+        raise SciSparqlError("suspicious SQL identifier %r" % identifier)
+    return '"%s"' % identifier

@@ -1,0 +1,40 @@
+"""RDF data model: terms, namespaces, graphs, and datasets.
+
+This subpackage implements the *RDF with Arrays* data model from the paper:
+the standard RDF graph model where triple values may additionally be numeric
+multidimensional arrays (:class:`repro.arrays.NumericArray`) or lazy proxies
+for externally stored arrays (:class:`repro.arrays.ArrayProxy`).
+"""
+
+from repro.rdf.term import (
+    URI,
+    BlankNode,
+    Literal,
+    Term,
+    Triple,
+    is_term,
+    term_key,
+)
+from repro.rdf.namespace import Namespace, RDF, RDFS, XSD, FOAF, QB, OWL
+from repro.rdf.graph import Graph, GraphStatistics
+from repro.rdf.dataset import Dataset
+
+__all__ = [
+    "URI",
+    "BlankNode",
+    "Literal",
+    "Term",
+    "Triple",
+    "is_term",
+    "term_key",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "FOAF",
+    "QB",
+    "OWL",
+    "Graph",
+    "GraphStatistics",
+    "Dataset",
+]

@@ -1,0 +1,61 @@
+"""An RDF dataset: a default graph plus named graphs.
+
+SPARQL queries address the default graph unless a ``GRAPH`` pattern or
+``FROM NAMED`` clause selects a named graph (dissertation section 3.3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.rdf.graph import Graph
+from repro.rdf.term import URI
+
+
+class Dataset:
+    """A collection of graphs queried together.
+
+    >>> ds = Dataset()
+    >>> g = ds.graph(URI("http://example.org/g1"))
+    >>> ds.default_graph is ds.graph(None)
+    True
+    """
+
+    def __init__(self):
+        self.default_graph = Graph()
+        self._named: Dict[URI, Graph] = {}
+
+    def graph(self, name=None, create=True):
+        """Return the graph with the given name (None = default graph).
+
+        Unknown names create an empty graph unless ``create`` is False,
+        in which case None is returned.
+        """
+        if name is None:
+            return self.default_graph
+        if isinstance(name, str):
+            name = URI(name)
+        existing = self._named.get(name)
+        if existing is None and create:
+            existing = self._named[name] = Graph(name=name)
+        return existing
+
+    def named_graphs(self):
+        return dict(self._named)
+
+    def drop(self, name):
+        """Remove a named graph entirely; returns True when it existed."""
+        if isinstance(name, str):
+            name = URI(name)
+        return self._named.pop(name, None) is not None
+
+    def union_triples(self, subject=None, prop=None, value=None):
+        """Iterate matches across the default and all named graphs."""
+        yield from self.default_graph.triples(subject, prop, value)
+        for graph in self._named.values():
+            yield from graph.triples(subject, prop, value)
+
+    def __len__(self):
+        return len(self.default_graph) + sum(
+            len(g) for g in self._named.values()
+        )

@@ -1,0 +1,304 @@
+"""In-memory RDF graph with three-way indexing and statistics.
+
+The store keeps the classical SPO / POS / OSP index triplet so any triple
+pattern with at least one bound component is answered by hash lookups, the
+strategy used by main-memory RDF stores including SSDM's host system
+(dissertation section 2.2.3).  Per-property cardinality statistics are
+maintained incrementally and feed the cost-based optimizer
+(:mod:`repro.algebra.cost`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set
+
+from repro.exceptions import SciSparqlError
+from repro.rdf.term import BlankNode, Literal, Triple, URI, is_term
+
+
+class GraphStatistics:
+    """Cardinality statistics used for query optimization.
+
+    Tracks, per property URI: the number of triples, and the number of
+    distinct subjects and values, enabling selectivity estimates for each
+    access direction of a triple-pattern predicate.
+    """
+
+    def __init__(self, graph):
+        self._graph = graph
+
+    @property
+    def triple_count(self):
+        return len(self._graph)
+
+    def property_count(self, prop):
+        """Number of triples with the given property."""
+        index = self._graph._pos.get(prop)
+        if index is None:
+            return 0
+        return sum(len(subjects) for subjects in index.values())
+
+    def distinct_subjects(self, prop=None):
+        if prop is None:
+            return len(self._graph._spo)
+        index = self._graph._pos.get(prop)
+        if index is None:
+            return 0
+        subjects = set()
+        for subject_set in index.values():
+            subjects.update(subject_set)
+        return len(subjects)
+
+    def distinct_values(self, prop=None):
+        if prop is None:
+            return len(self._graph._osp)
+        index = self._graph._pos.get(prop)
+        if index is None:
+            return 0
+        return len(index)
+
+    def fanout(self, prop):
+        """Average number of values per subject for a property.
+
+        Estimates the cardinality of following the property *forward* from
+        a known subject; 1.0 when the property is unknown.
+        """
+        count = self.property_count(prop)
+        subjects = self.distinct_subjects(prop)
+        if subjects == 0:
+            return 1.0
+        return count / subjects
+
+    def fanin(self, prop):
+        """Average number of subjects per value (backward direction)."""
+        count = self.property_count(prop)
+        values = self.distinct_values(prop)
+        if values == 0:
+            return 1.0
+        return count / values
+
+
+class Graph:
+    """A mutable set of RDF triples with hash indexes on all access paths.
+
+    Values may be RDF terms, :class:`repro.arrays.NumericArray` instances,
+    or :class:`repro.arrays.ArrayProxy` references — the *RDF with Arrays*
+    model.
+
+    >>> g = Graph()
+    >>> from repro.rdf import URI, Literal
+    >>> _ = g.add(URI("ex:s"), URI("ex:p"), Literal(1))
+    >>> len(g)
+    1
+    """
+
+    def __init__(self, name=None):
+        #: Optional graph URI (named graphs in a Dataset).
+        self.name = name
+        self._spo: Dict[object, Dict[object, Set[object]]] = {}
+        self._pos: Dict[object, Dict[object, Set[object]]] = {}
+        self._osp: Dict[object, Dict[object, Set[object]]] = {}
+        self._size = 0
+        self.statistics = GraphStatistics(self)
+
+    def __len__(self):
+        return self._size
+
+    def __iter__(self):
+        return self.triples()
+
+    def __contains__(self, triple):
+        subject, prop, value = triple
+        values = self._spo.get(subject, {}).get(prop)
+        return values is not None and value in values
+
+    def add(self, subject, prop, value):
+        """Insert one triple; returns self for chaining.
+
+        Duplicate insertions are silently ignored (a graph is a set).
+        """
+        self._validate(subject, prop, value)
+        if self._insert(self._spo, subject, prop, value):
+            self._insert(self._pos, prop, value, subject)
+            self._insert(self._osp, value, subject, prop)
+            self._size += 1
+        return self
+
+    def add_triple(self, triple):
+        return self.add(triple[0], triple[1], triple[2])
+
+    def remove(self, subject, prop, value):
+        """Remove one triple; returns True when it was present."""
+        if not self._delete(self._spo, subject, prop, value):
+            return False
+        self._delete(self._pos, prop, value, subject)
+        self._delete(self._osp, value, subject, prop)
+        self._size -= 1
+        return True
+
+    def remove_matching(self, subject=None, prop=None, value=None):
+        """Remove every triple matching the pattern; returns the count."""
+        doomed = list(self.triples(subject, prop, value))
+        for triple in doomed:
+            self.remove(*triple)
+        return len(doomed)
+
+    def clear(self):
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    def triples(self, subject=None, prop=None, value=None) -> Iterator[Triple]:
+        """Iterate triples matching a pattern (None = wildcard).
+
+        Chooses the index whose bound prefix is longest, so every lookup
+        with at least one constant avoids a full scan.
+        """
+        if subject is not None:
+            by_prop = self._spo.get(subject)
+            if by_prop is None:
+                return
+            if prop is not None:
+                values = by_prop.get(prop)
+                if values is None:
+                    return
+                if value is not None:
+                    if value in values:
+                        yield Triple(subject, prop, value)
+                    return
+                for each in values:
+                    yield Triple(subject, prop, each)
+                return
+            for each_prop, values in by_prop.items():
+                if value is not None:
+                    if value in values:
+                        yield Triple(subject, each_prop, value)
+                    continue
+                for each in values:
+                    yield Triple(subject, each_prop, each)
+            return
+        if prop is not None:
+            by_value = self._pos.get(prop)
+            if by_value is None:
+                return
+            if value is not None:
+                for each_subject in by_value.get(value, ()):
+                    yield Triple(each_subject, prop, value)
+                return
+            for each_value, subjects in by_value.items():
+                for each_subject in subjects:
+                    yield Triple(each_subject, prop, each_value)
+            return
+        if value is not None:
+            by_subject = self._osp.get(value)
+            if by_subject is None:
+                return
+            for each_subject, props in by_subject.items():
+                for each_prop in props:
+                    yield Triple(each_subject, each_prop, value)
+            return
+        for each_subject, by_prop in self._spo.items():
+            for each_prop, values in by_prop.items():
+                for each_value in values:
+                    yield Triple(each_subject, each_prop, each_value)
+
+    def count(self, subject=None, prop=None, value=None):
+        """Number of triples matching the pattern, cheaper than listing
+        when only the fully-wild or property-bound cases are needed."""
+        if subject is None and prop is None and value is None:
+            return self._size
+        if subject is None and value is None:
+            return self.statistics.property_count(prop)
+        return sum(1 for _ in self.triples(subject, prop, value))
+
+    # -- convenience accessors -------------------------------------------
+
+    def subjects(self, prop=None, value=None):
+        seen = set()
+        for triple in self.triples(None, prop, value):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def values(self, subject=None, prop=None):
+        for triple in self.triples(subject, prop, None):
+            yield triple.value
+
+    def value(self, subject, prop, default=None):
+        """The single value of (subject, prop), or default when absent."""
+        for triple in self.triples(subject, prop, None):
+            return triple.value
+        return default
+
+    def properties(self, subject):
+        by_prop = self._spo.get(subject, {})
+        return iter(by_prop.keys())
+
+    def update(self, triples):
+        """Bulk-insert an iterable of triples; returns self."""
+        for triple in triples:
+            self.add(triple[0], triple[1], triple[2])
+        return self
+
+    def copy(self):
+        clone = Graph(name=self.name)
+        clone.update(self.triples())
+        return clone
+
+    # -- serialization ----------------------------------------------------
+
+    def to_ntriples(self):
+        """Serialize as NTriples text (arrays via their reader syntax)."""
+        return "\n".join(t.n3() for t in sorted(
+            self.triples(), key=lambda t: t.n3())) + ("\n" if self._size else "")
+
+    def to_turtle(self, prefixes=None):
+        """Serialize as Turtle text; see :func:`repro.rdf.serializer`."""
+        from repro.rdf.serializer import serialize_turtle
+        return serialize_turtle(self, prefixes=prefixes)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _validate(subject, prop, value):
+        if not isinstance(subject, (URI, BlankNode)):
+            raise SciSparqlError(
+                "triple subject must be URI or BlankNode, got %r" % (subject,)
+            )
+        if not isinstance(prop, URI):
+            raise SciSparqlError(
+                "triple property must be URI, got %r" % (prop,)
+            )
+        if not is_term(value):
+            raise SciSparqlError(
+                "triple value must be an RDF term or array, got %r" % (value,)
+            )
+
+    @staticmethod
+    def _insert(index, a, b, c):
+        by_b = index.get(a)
+        if by_b is None:
+            by_b = index[a] = {}
+        cs = by_b.get(b)
+        if cs is None:
+            cs = by_b[b] = set()
+        if c in cs:
+            return False
+        cs.add(c)
+        return True
+
+    @staticmethod
+    def _delete(index, a, b, c):
+        by_b = index.get(a)
+        if by_b is None:
+            return False
+        cs = by_b.get(b)
+        if cs is None or c not in cs:
+            return False
+        cs.remove(c)
+        if not cs:
+            del by_b[b]
+            if not by_b:
+                del index[a]
+        return True

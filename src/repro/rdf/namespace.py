@@ -1,0 +1,71 @@
+"""Namespace helpers and well-known vocabularies.
+
+A :class:`Namespace` turns attribute access into URI minting::
+
+    >>> FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+    >>> FOAF.name
+    URI('http://xmlns.com/foaf/0.1/name')
+"""
+
+from __future__ import annotations
+
+from repro.rdf.term import URI
+
+
+class Namespace:
+    """A URI prefix that mints full URIs via attribute or item access."""
+
+    def __init__(self, base):
+        self._base = base
+
+    @property
+    def base(self):
+        return self._base
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return URI(self._base + name)
+
+    def __getitem__(self, name):
+        return URI(self._base + name)
+
+    def term(self, name):
+        """Mint a URI for names that are not valid Python identifiers."""
+        return URI(self._base + name)
+
+    def __contains__(self, uri):
+        return isinstance(uri, URI) and uri.value.startswith(self._base)
+
+    def local_name(self, uri):
+        """Strip the namespace base from a URI in this namespace."""
+        if uri not in self:
+            raise ValueError("%r is not in namespace %s" % (uri, self._base))
+        return uri.value[len(self._base):]
+
+    def __repr__(self):
+        return "Namespace(%r)" % self._base
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+#: RDF Data Cube vocabulary (dissertation section 2.3.5.2 / 5.3.3).
+QB = Namespace("http://purl.org/linked-data/cube#")
+#: SDMX measure/dimension helper namespaces used by Data Cube datasets.
+SDMX_MEASURE = Namespace("http://purl.org/linked-data/sdmx/2009/measure#")
+SDMX_DIMENSION = Namespace("http://purl.org/linked-data/sdmx/2009/dimension#")
+
+#: Prefixes every parser instance knows out of the box.
+WELL_KNOWN_PREFIXES = {
+    "rdf": RDF.base,
+    "rdfs": RDFS.base,
+    "xsd": XSD.base,
+    "owl": OWL.base,
+    "foaf": FOAF.base,
+    "qb": QB.base,
+    "sdmx-measure": SDMX_MEASURE.base,
+    "sdmx-dimension": SDMX_DIMENSION.base,
+}

@@ -1,0 +1,87 @@
+"""Turtle serialization of graphs (with array values).
+
+The inverse of :mod:`repro.loaders.turtle`: triples group by subject with
+``;`` / ``,`` shorthand, known namespaces abbreviate to prefixes, and
+NumericArray values render as nested collections — which the loader reads
+back and re-consolidates, so serialize/load round-trips RDF with Arrays.
+Array proxies are resolved before serialization (text formats have no
+notion of external storage).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arrays.nma import NumericArray
+from repro.arrays.proxy import ArrayProxy
+from repro.rdf.namespace import WELL_KNOWN_PREFIXES
+from repro.rdf.term import BlankNode, Literal, URI, term_key
+
+
+def serialize_turtle(graph, prefixes=None):
+    """Serialize a graph to Turtle text.
+
+    ``prefixes`` maps prefix names to namespace bases; the well-known
+    prefixes are always available.  Only prefixes actually used appear
+    in the output's @prefix header.
+    """
+    table = dict(WELL_KNOWN_PREFIXES)
+    if prefixes:
+        table.update(prefixes)
+    # longest-base-first so the most specific prefix wins
+    ordered = sorted(table.items(), key=lambda kv: -len(kv[1]))
+    used: Dict[str, str] = {}
+
+    def shorten(uri):
+        for prefix, base in ordered:
+            if uri.value.startswith(base):
+                local = uri.value[len(base):]
+                if local and all(
+                    ch.isalnum() or ch in "_-" for ch in local
+                ):
+                    used[prefix] = base
+                    return "%s:%s" % (prefix, local)
+        return uri.n3()
+
+    def render(value):
+        if isinstance(value, URI):
+            return shorten(value)
+        if isinstance(value, BlankNode):
+            return value.n3()
+        if isinstance(value, Literal):
+            return value.n3()
+        if isinstance(value, ArrayProxy):
+            value = value.resolve()
+        if isinstance(value, NumericArray):
+            return value.n3()
+        raise TypeError("cannot serialize %r" % (value,))
+
+    body_lines: List[str] = []
+    subjects = sorted(
+        {t.subject for t in graph.triples()}, key=term_key
+    )
+    for subject in subjects:
+        by_property: Dict[object, List[object]] = {}
+        for triple in graph.triples(subject):
+            by_property.setdefault(triple.property, []).append(
+                triple.value
+            )
+        chunks = []
+        for prop in sorted(by_property, key=term_key):
+            values = sorted(
+                (render(v) for v in by_property[prop])
+            )
+            prop_text = ("a" if prop.value ==
+                         "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+                         else render(prop))
+            chunks.append("%s %s" % (prop_text, " , ".join(values)))
+        body_lines.append(
+            "%s %s ." % (render(subject), " ;\n    ".join(chunks))
+        )
+
+    header = [
+        "@prefix %s: <%s> ." % (prefix, base)
+        for prefix, base in sorted(used.items())
+    ]
+    parts = header + [""] + body_lines if header else body_lines
+    return "\n".join(parts) + ("\n" if body_lines else "")

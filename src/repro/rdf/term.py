@@ -1,0 +1,277 @@
+"""RDF terms: URIs, blank nodes, and typed literals.
+
+Terms are immutable value objects with content-based equality, so they can
+be used directly as dictionary keys in the graph indexes.  In the *RDF with
+Arrays* model the value position of a triple may also hold a
+:class:`repro.arrays.NumericArray` or :class:`repro.arrays.ArrayProxy`;
+those classes live in :mod:`repro.arrays` and are duck-typed here through
+:func:`is_term`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Union
+
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+class URI:
+    """A URI reference identifying a node or an edge class.
+
+    >>> URI("http://example.org/alice")
+    URI('http://example.org/alice')
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        if not isinstance(value, str):
+            raise TypeError("URI value must be a string, got %r" % (value,))
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("URI is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, URI) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("URI", self.value))
+
+    def __repr__(self):
+        return "URI(%r)" % self.value
+
+    def __str__(self):
+        return self.value
+
+    def n3(self):
+        """Return the NTriples serialization, e.g. ``<http://...>``."""
+        return "<%s>" % self.value
+
+
+class BlankNode:
+    """A blank node, unique within the graph (or union) it belongs to.
+
+    Blank nodes compare equal only when their labels match; fresh anonymous
+    nodes get process-unique labels from an internal counter.
+    """
+
+    __slots__ = ("label",)
+
+    _counter = 0
+
+    def __init__(self, label=None):
+        if label is None:
+            BlankNode._counter += 1
+            label = "b%d" % BlankNode._counter
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("BlankNode is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, BlankNode) and self.label == other.label
+
+    def __hash__(self):
+        return hash(("BlankNode", self.label))
+
+    def __repr__(self):
+        return "BlankNode(%r)" % self.label
+
+    def __str__(self):
+        return "_:%s" % self.label
+
+    def n3(self):
+        return "_:%s" % self.label
+
+
+class Literal:
+    """A typed RDF literal.
+
+    The native Python value is stored alongside the datatype URI so that
+    query arithmetic does not re-parse lexical forms.  Plain strings map to
+    ``xsd:string``; an optional language tag makes a language-tagged string
+    (whose datatype is ``rdf:langString`` per RDF 1.1).
+
+    >>> Literal(42).datatype
+    URI('http://www.w3.org/2001/XMLSchema#integer')
+    >>> Literal("chat", lang="fr").lang
+    'fr'
+    """
+
+    __slots__ = ("value", "datatype", "lang")
+
+    #: Mapping from Python types to default XSD datatypes.
+    _DEFAULT_TYPES = {
+        bool: URI(_XSD + "boolean"),
+        int: URI(_XSD + "integer"),
+        float: URI(_XSD + "double"),
+        str: URI(_XSD + "string"),
+    }
+
+    LANG_STRING = URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+
+    def __init__(self, value, datatype=None, lang=None):
+        if lang is not None:
+            if not isinstance(value, str):
+                raise TypeError("language-tagged literal value must be str")
+            datatype = Literal.LANG_STRING
+        elif datatype is None:
+            try:
+                # bool must be checked before int (bool is an int subclass)
+                key = bool if isinstance(value, bool) else type(value)
+                datatype = Literal._DEFAULT_TYPES[key]
+            except KeyError:
+                raise TypeError(
+                    "no default datatype for Python value %r" % (value,)
+                )
+        elif isinstance(datatype, str):
+            datatype = URI(datatype)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "lang", lang)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Literal is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Literal)
+            and self.value == other.value
+            and type(self.value) is type(other.value)
+            and self.datatype == other.datatype
+            and self.lang == other.lang
+        )
+
+    def __hash__(self):
+        return hash(("Literal", str(self.value), self.datatype, self.lang))
+
+    def __repr__(self):
+        if self.lang:
+            return "Literal(%r, lang=%r)" % (self.value, self.lang)
+        return "Literal(%r, %r)" % (self.value, self.datatype.value)
+
+    def __str__(self):
+        return self.lexical_form()
+
+    def lexical_form(self):
+        """Return the canonical lexical form of the value."""
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+    def n3(self):
+        escaped = (
+            self.lexical_form()
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.lang:
+            return '"%s"@%s' % (escaped, self.lang)
+        if self.datatype == Literal._DEFAULT_TYPES[str]:
+            return '"%s"' % escaped
+        return '"%s"^^%s' % (escaped, self.datatype.n3())
+
+    def is_numeric(self):
+        """True when the literal holds a number usable in arithmetic."""
+        return isinstance(self.value, (int, float)) and not isinstance(
+            self.value, bool
+        )
+
+    @staticmethod
+    def from_lexical(lexical, datatype):
+        """Parse a lexical form under a datatype URI into a Literal.
+
+        Unknown datatypes keep the raw string value so no information is
+        lost (the literal is still comparable and serializable).
+        """
+        if isinstance(datatype, str):
+            datatype = URI(datatype)
+        name = datatype.value
+        if name.startswith(_XSD):
+            local = name[len(_XSD):]
+            if local in ("integer", "int", "long", "short", "byte",
+                         "nonNegativeInteger", "positiveInteger",
+                         "negativeInteger", "nonPositiveInteger",
+                         "unsignedInt", "unsignedLong", "unsignedShort",
+                         "unsignedByte"):
+                return Literal(int(lexical), datatype)
+            if local in ("double", "float", "decimal"):
+                return Literal(float(lexical), datatype)
+            if local == "boolean":
+                if lexical in ("true", "1"):
+                    return Literal(True, datatype)
+                if lexical in ("false", "0"):
+                    return Literal(False, datatype)
+                raise ValueError("invalid xsd:boolean %r" % lexical)
+            if local == "string":
+                return Literal(lexical)
+        return Literal(lexical, datatype)
+
+
+#: A term in subject or property position is always URI or BlankNode
+#: (properties: URI only); values may additionally be literals or arrays.
+Term = Union[URI, BlankNode, Literal]
+
+
+class Triple(NamedTuple):
+    """A (subject, property, value) statement.
+
+    The paper prefers "value" over "object" for the third component because
+    in RDF with Arrays it frequently holds literals or arrays.
+    """
+
+    subject: object
+    property: object
+    value: object
+
+    def n3(self):
+        return "%s %s %s ." % (
+            _n3(self.subject), _n3(self.property), _n3(self.value)
+        )
+
+
+def _n3(term):
+    n3 = getattr(term, "n3", None)
+    if n3 is not None:
+        return n3()
+    return repr(term)
+
+
+def is_term(obj):
+    """True for any value allowed in a triple component.
+
+    Accepts the three RDF term classes plus anything exposing an
+    ``is_rdf_array_value`` marker (NumericArray and ArrayProxy), keeping
+    this module free of an import cycle with :mod:`repro.arrays`.
+    """
+    return isinstance(obj, (URI, BlankNode, Literal)) or getattr(
+        obj, "is_rdf_array_value", False
+    )
+
+
+def term_key(term):
+    """A sort key giving SPARQL's ordering across term kinds.
+
+    Order: unbound < blank nodes < URIs < literals (by value within
+    comparable types, else by lexical form) < arrays.
+    """
+    if term is None:
+        return (0,)
+    if isinstance(term, BlankNode):
+        return (1, term.label)
+    if isinstance(term, URI):
+        return (2, term.value)
+    if isinstance(term, Literal):
+        value = term.value
+        if isinstance(value, bool):
+            return (3, 1, "", int(value))
+        if isinstance(value, (int, float)):
+            return (3, 0, "", float(value))
+        return (3, 2, term.lexical_form(), 0.0)
+    # arrays sort last, by their repr (stable, rarely-used path)
+    return (4, repr(term))

@@ -1,0 +1,32 @@
+"""The SciSPARQL language front-end: lexer, AST, and parser.
+
+SciSPARQL (dissertation chapter 4) is a strict superset of W3C SPARQL 1.1.
+On top of the standard query forms it adds:
+
+- array dereference on variables and expressions: ``?a[2,1]``, with
+  Matlab-style ranges ``lo:hi`` / ``lo:stride:hi`` and projection by
+  omitted trailing subscripts (1-based, inclusive);
+- user-defined functions as parameterized queries:
+  ``DEFINE FUNCTION ex:f(?x) AS SELECT ?y WHERE {...}`` or
+  ``DEFINE FUNCTION ex:f(?x) AS expression``;
+- lexical closures ``FN(?x) expression`` usable as arguments to
+  second-order functions such as ``array_map``;
+- SPARQL Update subset: INSERT/DELETE DATA, DELETE/INSERT ... WHERE,
+  CLEAR GRAPH.
+"""
+
+from repro.sparql.lexer import Lexer, Token
+from repro.sparql.parser import Parser, parse_query
+from repro.sparql import ast
+
+
+def serialize_query(query):
+    """Render a statement AST back to SciSPARQL text (lazy import to
+    avoid a cycle with the parser)."""
+    from repro.sparql.serializer import serialize_query as _impl
+    return _impl(query)
+
+
+__all__ = [
+    "Lexer", "Token", "Parser", "parse_query", "serialize_query", "ast",
+]

@@ -1,0 +1,443 @@
+"""Abstract syntax tree for SciSPARQL queries, updates, and definitions.
+
+Nodes are plain data holders: the parser builds them, the translator
+(:mod:`repro.algebra.translator`) consumes them.  Equality is structural to
+keep tests straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class Node:
+    """Base AST node with structural equality and a generic repr."""
+
+    _fields: Tuple[str, ...] = ()
+
+    def __eq__(self, other):
+        return type(self) is type(other) and all(
+            getattr(self, field) == getattr(other, field)
+            for field in self._fields
+        )
+
+    def __hash__(self):
+        return hash((type(self).__name__,) + tuple(
+            _hashable(getattr(self, field)) for field in self._fields
+        ))
+
+    def __repr__(self):
+        inner = ", ".join(
+            "%s=%r" % (field, getattr(self, field)) for field in self._fields
+        )
+        return "%s(%s)" % (type(self).__name__, inner)
+
+
+def _hashable(value):
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+class Var(Node):
+    """A query variable ``?name``."""
+
+    _fields = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return "?%s" % self.name
+
+
+class TermExpr(Node):
+    """A constant RDF term (URI or Literal) used in an expression."""
+
+    _fields = ("term",)
+
+    def __init__(self, term):
+        self.term = term
+
+
+class BinaryOp(Node):
+    """Infix operator: arithmetic, comparison, or logical."""
+
+    _fields = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnaryOp(Node):
+    """Prefix operator: ``!``, unary ``-`` or ``+``."""
+
+    _fields = ("op", "operand")
+
+    def __init__(self, op, operand):
+        self.op = op
+        self.operand = operand
+
+
+class FunctionCall(Node):
+    """A call to a built-in, user-defined, or foreign function.
+
+    ``name`` is a URI (user-defined / foreign) or an upper-case string
+    (built-in).  Aggregates are a separate node.
+    """
+
+    _fields = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = list(args)
+
+
+class Aggregate(Node):
+    """An aggregate expression inside SELECT / HAVING / ORDER BY."""
+
+    _fields = ("name", "expr", "distinct", "separator")
+
+    def __init__(self, name, expr, distinct=False, separator=None):
+        self.name = name          # COUNT, SUM, AVG, MIN, MAX, SAMPLE, GROUP_CONCAT
+        self.expr = expr          # None for COUNT(*)
+        self.distinct = distinct
+        self.separator = separator
+
+
+class ExistsExpr(Node):
+    """``EXISTS {...}`` / ``NOT EXISTS {...}`` in a FILTER."""
+
+    _fields = ("pattern", "negated")
+
+    def __init__(self, pattern, negated=False):
+        self.pattern = pattern
+        self.negated = negated
+
+
+class InExpr(Node):
+    """``expr IN (e1, e2, ...)`` and its negation."""
+
+    _fields = ("expr", "choices", "negated")
+
+    def __init__(self, expr, choices, negated=False):
+        self.expr = expr
+        self.choices = list(choices)
+        self.negated = negated
+
+
+class Closure(Node):
+    """A lexical closure: ``FN(?x ?y) body-expression``.
+
+    Free variables of the body that are not parameters capture their
+    bindings from the enclosing solution at evaluation time (dissertation
+    section 4.3).
+    """
+
+    _fields = ("params", "body")
+
+    def __init__(self, params, body):
+        self.params = list(params)
+        self.body = body
+
+
+class FunctionRef(Node):
+    """A function passed by name as a value to a second-order function."""
+
+    _fields = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+# -- array subscripts (SciSPARQL section 4.1.1) ------------------------------
+
+class RangeSubscript(Node):
+    """``lo:hi`` or ``lo:stride:hi`` (1-based, inclusive); parts may be
+    None for open bounds, stride defaults to 1."""
+
+    _fields = ("lo", "stride", "hi")
+
+    def __init__(self, lo=None, stride=None, hi=None):
+        self.lo = lo
+        self.stride = stride
+        self.hi = hi
+
+
+class ArraySubscript(Node):
+    """``base[sub1, sub2, ...]`` — each sub is an expression (single
+    index) or a RangeSubscript."""
+
+    _fields = ("base", "subscripts")
+
+    def __init__(self, base, subscripts):
+        self.base = base
+        self.subscripts = list(subscripts)
+
+
+# ---------------------------------------------------------------------------
+# property paths (section 3.4)
+# ---------------------------------------------------------------------------
+
+class PathLink(Node):
+    """A single predicate URI used as a path atom."""
+
+    _fields = ("uri",)
+
+    def __init__(self, uri):
+        self.uri = uri
+
+
+class PathInverse(Node):
+    _fields = ("path",)
+
+    def __init__(self, path):
+        self.path = path
+
+
+class PathSequence(Node):
+    _fields = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+
+
+class PathAlternative(Node):
+    _fields = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+
+
+class PathMod(Node):
+    """``path*``, ``path+``, or ``path?``."""
+
+    _fields = ("path", "modifier")
+
+    def __init__(self, path, modifier):
+        self.path = path
+        self.modifier = modifier
+
+
+class PathNegated(Node):
+    """``!(:p1 | ^:p2 | ...)`` — negated property set."""
+
+    _fields = ("forward", "inverse")
+
+    def __init__(self, forward, inverse):
+        self.forward = list(forward)
+        self.inverse = list(inverse)
+
+
+# ---------------------------------------------------------------------------
+# graph patterns
+# ---------------------------------------------------------------------------
+
+class TriplePattern(Node):
+    """(subject, property-or-path, value); components may be Vars, terms,
+    or array expressions in the value position."""
+
+    _fields = ("subject", "predicate", "value")
+
+    def __init__(self, subject, predicate, value):
+        self.subject = subject
+        self.predicate = predicate
+        self.value = value
+
+
+class GroupPattern(Node):
+    """``{ ... }`` — an ordered list of patterns and clauses."""
+
+    _fields = ("elements",)
+
+    def __init__(self, elements):
+        self.elements = list(elements)
+
+
+class OptionalPattern(Node):
+    _fields = ("pattern",)
+
+    def __init__(self, pattern):
+        self.pattern = pattern
+
+
+class UnionPattern(Node):
+    _fields = ("alternatives",)
+
+    def __init__(self, alternatives):
+        self.alternatives = list(alternatives)
+
+
+class MinusPattern(Node):
+    _fields = ("pattern",)
+
+    def __init__(self, pattern):
+        self.pattern = pattern
+
+
+class GraphGraphPattern(Node):
+    """``GRAPH name-or-var { ... }``."""
+
+    _fields = ("graph", "pattern")
+
+    def __init__(self, graph, pattern):
+        self.graph = graph
+        self.pattern = pattern
+
+
+class FilterClause(Node):
+    _fields = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class BindClause(Node):
+    """``BIND(expr AS ?var)``."""
+
+    _fields = ("expr", "var")
+
+    def __init__(self, expr, var):
+        self.expr = expr
+        self.var = var
+
+
+class ValuesClause(Node):
+    """Inline data: VALUES (?a ?b) { (1 2) (3 4) }; None = UNDEF."""
+
+    _fields = ("variables", "rows")
+
+    def __init__(self, variables, rows):
+        self.variables = list(variables)
+        self.rows = [list(row) for row in rows]
+
+
+class SubSelect(Node):
+    """A nested SELECT used as a graph pattern."""
+
+    _fields = ("query",)
+
+    def __init__(self, query):
+        self.query = query
+
+
+# ---------------------------------------------------------------------------
+# solution modifiers & query forms
+# ---------------------------------------------------------------------------
+
+class Modifiers(Node):
+    _fields = ("group_by", "having", "order_by", "limit", "offset")
+
+    def __init__(self, group_by=None, having=None, order_by=None,
+                 limit=None, offset=None):
+        self.group_by = group_by or []      # list of (expr, alias-or-None)
+        self.having = having or []          # list of exprs
+        self.order_by = order_by or []      # list of (expr, ascending: bool)
+        self.limit = limit
+        self.offset = offset
+
+
+class SelectQuery(Node):
+    _fields = ("projection", "where", "modifiers", "distinct", "reduced",
+               "from_graphs", "from_named")
+
+    def __init__(self, projection, where, modifiers=None, distinct=False,
+                 reduced=False, from_graphs=None, from_named=None):
+        #: '*' or list of (expression, alias-Var-or-None)
+        self.projection = projection
+        self.where = where
+        self.modifiers = modifiers or Modifiers()
+        self.distinct = distinct
+        self.reduced = reduced
+        self.from_graphs = from_graphs or []
+        self.from_named = from_named or []
+
+
+class AskQuery(Node):
+    _fields = ("where", "from_graphs", "from_named")
+
+    def __init__(self, where, from_graphs=None, from_named=None):
+        self.where = where
+        self.from_graphs = from_graphs or []
+        self.from_named = from_named or []
+
+
+class ConstructQuery(Node):
+    _fields = ("template", "where", "modifiers", "from_graphs", "from_named")
+
+    def __init__(self, template, where, modifiers=None,
+                 from_graphs=None, from_named=None):
+        self.template = list(template)
+        self.where = where
+        self.modifiers = modifiers or Modifiers()
+        self.from_graphs = from_graphs or []
+        self.from_named = from_named or []
+
+
+class DescribeQuery(Node):
+    _fields = ("terms", "where")
+
+    def __init__(self, terms, where=None):
+        self.terms = list(terms)
+        self.where = where
+
+
+class FunctionDefinition(Node):
+    """``DEFINE FUNCTION name(?p1 ?p2) AS body``.
+
+    The body is either an expression or a SelectQuery (a parameterized
+    view, dissertation section 4.2).
+    """
+
+    _fields = ("name", "params", "body")
+
+    def __init__(self, name, params, body):
+        self.name = name
+        self.params = list(params)
+        self.body = body
+
+
+# -- updates ------------------------------------------------------------------
+
+class InsertData(Node):
+    _fields = ("triples", "graph")
+
+    def __init__(self, triples, graph=None):
+        self.triples = list(triples)
+        self.graph = graph
+
+
+class DeleteData(Node):
+    _fields = ("triples", "graph")
+
+    def __init__(self, triples, graph=None):
+        self.triples = list(triples)
+        self.graph = graph
+
+
+class Modify(Node):
+    """``DELETE {...} INSERT {...} WHERE {...}`` (either template may be
+    absent; ``DELETE WHERE {...}`` reuses the pattern as the template)."""
+
+    _fields = ("delete_template", "insert_template", "where", "graph")
+
+    def __init__(self, delete_template, insert_template, where, graph=None):
+        self.delete_template = list(delete_template or [])
+        self.insert_template = list(insert_template or [])
+        self.where = where
+        self.graph = graph
+
+
+class ClearGraph(Node):
+    _fields = ("graph",)
+
+    def __init__(self, graph):
+        self.graph = graph

@@ -1,0 +1,259 @@
+"""Tokenizer for SciSPARQL.
+
+Hand-written scanner producing a flat token list for the recursive-descent
+parser.  Keywords are recognised case-insensitively at parse time (the
+lexer emits them as NAME tokens); punctuation covers both SPARQL operators
+and the SciSPARQL array-subscript syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.exceptions import ParseError
+
+
+class Token(NamedTuple):
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+#: Token kinds emitted by the lexer.
+IRI = "IRI"                  # <http://...>
+PNAME = "PNAME"              # prefix:local or prefix: (value: (prefix, local))
+BLANK = "BLANK"              # _:label
+VAR = "VAR"                  # ?name or $name (value: name)
+NAME = "NAME"                # bare name / keyword candidate
+STRING = "STRING"            # quoted string (value: unescaped text)
+LANGTAG = "LANGTAG"          # @en
+INTEGER = "INTEGER"
+DECIMAL = "DECIMAL"
+DOUBLE = "DOUBLE"
+PUNCT = "PUNCT"              # operators & delimiters
+EOF = "EOF"
+
+_IRI_RE = re.compile(r'<([^<>"{}|^`\\\x00-\x20]*)>')
+_VAR_RE = re.compile(r"[?$]([A-Za-z_][A-Za-z_0-9]*)")
+_BLANK_RE = re.compile(r"_:([A-Za-z_][A-Za-z_0-9.\-]*)")
+_PNAME_RE = re.compile(
+    r"([A-Za-z_][A-Za-z_0-9\-]*)?:((?:[A-Za-z_0-9\-.]|%[0-9A-Fa-f]{2})*)"
+)
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9\-]*")
+_NUMBER_RE = re.compile(
+    r"(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?"
+)
+_LANGTAG_RE = re.compile(r"@[A-Za-z]+(?:-[A-Za-z0-9]+)*")
+
+#: Multi-character punctuation, longest first.
+_MULTI_PUNCT = ["^^", "&&", "||", "!=", "<=", ">=", "=>"]
+_SINGLE_PUNCT = set("{}()[].,;*+-/|^?!=<>:@")
+
+
+class Lexer:
+    """Streaming tokenizer over a query string."""
+
+    def __init__(self, text):
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message):
+        raise ParseError(message, self.line, self.column)
+
+    def _advance(self, count):
+        for _ in range(count):
+            if self.position < len(self.text):
+                if self.text[self.position] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.position += 1
+
+    def _skip_trivia(self):
+        text = self.text
+        while self.position < len(text):
+            char = text[self.position]
+            if char in " \t\r\n":
+                self._advance(1)
+            elif char == "#":
+                while (self.position < len(text)
+                       and text[self.position] != "\n"):
+                    self._advance(1)
+            else:
+                return
+
+    def tokens(self) -> List[Token]:
+        out = []
+        while True:
+            token = self.next_token()
+            out.append(token)
+            if token.kind == EOF:
+                return out
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        text = self.text
+        if self.position >= len(text):
+            return Token(EOF, None, self.line, self.column)
+        line, column = self.line, self.column
+        char = text[self.position]
+
+        # IRI reference
+        if char == "<":
+            match = _IRI_RE.match(text, self.position)
+            if match:
+                self._advance(match.end() - self.position)
+                return Token(IRI, match.group(1), line, column)
+            # otherwise '<' is an operator
+
+        # variables
+        if char in "?$":
+            match = _VAR_RE.match(text, self.position)
+            if match:
+                self._advance(match.end() - self.position)
+                return Token(VAR, match.group(1), line, column)
+            # bare '?' is the zero-or-one path operator
+
+        # blank node labels
+        if char == "_" and text.startswith("_:", self.position):
+            match = _BLANK_RE.match(text, self.position)
+            if not match:
+                self.error("malformed blank node label")
+            self._advance(match.end() - self.position)
+            return Token(BLANK, match.group(1), line, column)
+
+        # strings (single or double quoted, with long forms)
+        if char in "\"'":
+            return self._string(line, column)
+
+        # numbers
+        if char.isdigit() or (
+            char == "." and self.position + 1 < len(text)
+            and text[self.position + 1].isdigit()
+        ):
+            match = _NUMBER_RE.match(text, self.position)
+            lexeme = match.group(0)
+            self._advance(len(lexeme))
+            if "e" in lexeme.lower():
+                return Token(DOUBLE, float(lexeme), line, column)
+            if "." in lexeme:
+                return Token(DECIMAL, float(lexeme), line, column)
+            return Token(INTEGER, int(lexeme), line, column)
+
+        # language tags
+        if char == "@":
+            match = _LANGTAG_RE.match(text, self.position)
+            if match:
+                self._advance(match.end() - self.position)
+                return Token(LANGTAG, match.group(0)[1:], line, column)
+
+        # prefixed names and bare names (keywords, 'a', 'true', ...)
+        if char.isalpha() or char == "_" or char == ":":
+            pname = _PNAME_RE.match(text, self.position)
+            if pname and ":" in text[self.position:pname.end()]:
+                prefix = pname.group(1) or ""
+                local = pname.group(2)
+                # PN_LOCAL must not end in '.' (it would swallow the
+                # triple terminator); give trailing dots back
+                stripped = local.rstrip(".")
+                trimmed = len(local) - len(stripped)
+                local = stripped
+                # an empty-prefix pname whose local part starts with a
+                # digit/sign is indistinguishable from the ':' range
+                # operator followed by a number (?a[1:3], ?a[?i:-2]);
+                # resolve in favour of the range syntax
+                if prefix == "" and (
+                    not local or local[0].isdigit() or local[0] in "-."
+                ):
+                    pass
+                else:
+                    self._advance(pname.end() - trimmed - self.position)
+                    return Token(PNAME, (prefix, local), line, column)
+            name = _NAME_RE.match(text, self.position)
+            if name:
+                self._advance(name.end() - self.position)
+                return Token(NAME, name.group(0), line, column)
+
+        # punctuation
+        for punct in _MULTI_PUNCT:
+            if text.startswith(punct, self.position):
+                self._advance(len(punct))
+                return Token(PUNCT, punct, line, column)
+        if char in _SINGLE_PUNCT:
+            self._advance(1)
+            return Token(PUNCT, char, line, column)
+
+        self.error("unexpected character %r" % char)
+
+    def _string(self, line, column):
+        text = self.text
+        quote = text[self.position]
+        long_quote = quote * 3
+        if text.startswith(long_quote, self.position):
+            end = text.find(long_quote, self.position + 3)
+            if end < 0:
+                self.error("unterminated long string")
+            raw = text[self.position + 3:end]
+            self._advance(end + 3 - self.position)
+            return Token(STRING, _unescape(raw, self), line, column)
+        position = self.position + 1
+        pieces = []
+        while position < len(text):
+            char = text[position]
+            if char == "\\":
+                if position + 1 >= len(text):
+                    self.error("unterminated escape")
+                pieces.append(text[position:position + 2])
+                position += 2
+                continue
+            if char == quote:
+                raw = "".join(pieces)
+                self._advance(position + 1 - self.position)
+                return Token(STRING, _unescape(raw, self), line, column)
+            if char == "\n":
+                self.error("newline in string literal")
+            pieces.append(char)
+            position += 1
+        self.error("unterminated string literal")
+
+
+_ESCAPES = {
+    "t": "\t", "n": "\n", "r": "\r", "b": "\b", "f": "\f",
+    '"': '"', "'": "'", "\\": "\\",
+}
+
+
+def _unescape(raw, lexer=None):
+    if "\\" not in raw:
+        return raw
+    out = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char != "\\":
+            out.append(char)
+            index += 1
+            continue
+        escape = raw[index + 1] if index + 1 < len(raw) else ""
+        if escape in _ESCAPES:
+            out.append(_ESCAPES[escape])
+            index += 2
+        elif escape == "u" and index + 5 < len(raw) + 1:
+            out.append(chr(int(raw[index + 2:index + 6], 16)))
+            index += 6
+        elif escape == "U" and index + 9 < len(raw) + 1:
+            out.append(chr(int(raw[index + 2:index + 10], 16)))
+            index += 10
+        else:
+            if lexer is not None:
+                lexer.error("invalid string escape \\%s" % escape)
+            raise ParseError("invalid string escape \\%s" % escape)
+    return "".join(out)

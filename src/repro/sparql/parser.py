@@ -1,0 +1,1068 @@
+"""Recursive-descent parser for SciSPARQL.
+
+Covers the SPARQL 1.1 query forms used throughout the dissertation
+(chapter 3) plus the SciSPARQL extensions (chapter 4): array subscripts
+with ranges, expressions in SELECT lists, DEFINE FUNCTION, lexical
+closures, and the update language subset.
+
+The parser produces :mod:`repro.sparql.ast` nodes; RDF constants inside
+queries are real :mod:`repro.rdf` terms.  Numeric RDF collections written
+as constants — ``:s :p ((1 2) (3 4))`` — are consolidated into
+:class:`~repro.arrays.NumericArray` values directly at parse time,
+mirroring the loader-side consolidation of section 5.3.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arrays.nma import NumericArray
+from repro.exceptions import ParseError
+from repro.rdf.namespace import RDF, WELL_KNOWN_PREFIXES
+from repro.rdf.term import BlankNode, Literal, URI
+from repro.sparql import ast
+from repro.sparql.lexer import (
+    BLANK, DECIMAL, DOUBLE, EOF, INTEGER, IRI, LANGTAG, NAME, PNAME, PUNCT,
+    STRING, VAR, Lexer, Token,
+)
+
+#: Built-in scalar functions (SPARQL 1.1 + SciSPARQL array built-ins).
+BUILTIN_FUNCTIONS = {
+    "BOUND", "IF", "COALESCE", "STR", "LANG", "LANGMATCHES", "DATATYPE",
+    "IRI", "URI", "BNODE", "RAND", "ABS", "CEIL", "FLOOR", "ROUND",
+    "CONCAT", "STRLEN", "UCASE", "LCASE", "SUBSTR", "STRSTARTS",
+    "STRENDS", "CONTAINS", "STRBEFORE", "STRAFTER", "ENCODE_FOR_URI",
+    "REPLACE", "REGEX", "ISIRI", "ISURI", "ISBLANK", "ISLITERAL",
+    "ISNUMERIC", "SAMETERM", "NOW", "YEAR", "MONTH", "DAY", "HOURS",
+    "MINUTES", "SECONDS", "STRDT", "STRLANG", "UUID", "STRUUID",
+    # SciSPARQL array built-ins (section 4.1.3)
+    "ADIMS", "AELT", "ARRAY", "ARRAY_SUM", "ARRAY_AVG", "ARRAY_MIN",
+    "ARRAY_MAX", "ARRAY_COUNT", "ARRAY_MAP", "ARRAY_CONDENSE",
+    "ARRAY_BUILD", "TRANSPOSE", "ISARRAY",
+    # numeric helpers
+    "SQRT", "EXP", "LN", "LOG10", "POWER", "MOD", "SIN", "COS", "TAN",
+}
+
+AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT"}
+
+_KEYWORDS = {
+    "SELECT", "CONSTRUCT", "ASK", "DESCRIBE", "WHERE", "FROM", "NAMED",
+    "PREFIX", "BASE", "DISTINCT", "REDUCED", "OPTIONAL", "UNION", "MINUS",
+    "GRAPH", "FILTER", "BIND", "VALUES", "UNDEF", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "IN", "NOT", "EXISTS",
+    "DEFINE", "FUNCTION", "FN", "INSERT", "DELETE", "DATA", "WITH",
+    "CLEAR", "ALL", "DEFAULT", "A", "TRUE", "FALSE", "SEPARATOR",
+}
+
+
+def parse_query(text, prefixes=None):
+    """Parse one SciSPARQL statement and return its AST."""
+    return Parser(text, prefixes=prefixes).parse()
+
+
+class Parser:
+    def __init__(self, text, prefixes=None):
+        self.tokens = Lexer(text).tokens()
+        self.position = 0
+        self.prefixes = dict(WELL_KNOWN_PREFIXES)
+        if prefixes:
+            self.prefixes.update(prefixes)
+        self.base = None
+        self._bnode_labels = {}
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, ahead=0):
+        index = min(self.position + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self):
+        token = self.tokens[self.position]
+        if token.kind != EOF:
+            self.position += 1
+        return token
+
+    def error(self, message, token=None):
+        token = token or self.peek()
+        raise ParseError(message, token.line, token.column)
+
+    def at_punct(self, value):
+        token = self.peek()
+        return token.kind == PUNCT and token.value == value
+
+    def accept_punct(self, value):
+        if self.at_punct(value):
+            self.next()
+            return True
+        return False
+
+    def expect_punct(self, value):
+        if not self.accept_punct(value):
+            self.error("expected %r, found %r" % (value, self.peek().value))
+
+    def at_keyword(self, *names):
+        token = self.peek()
+        return token.kind == NAME and token.value.upper() in names
+
+    def accept_keyword(self, *names):
+        if self.at_keyword(*names):
+            return self.next().value.upper()
+        return None
+
+    def expect_keyword(self, *names):
+        keyword = self.accept_keyword(*names)
+        if keyword is None:
+            self.error(
+                "expected %s, found %r"
+                % ("/".join(names), self.peek().value)
+            )
+        return keyword
+
+    # -- entry points ------------------------------------------------------------
+
+    def parse(self):
+        self._prologue()
+        token = self.peek()
+        if token.kind != NAME:
+            self.error("expected a query form, found %r" % (token.value,))
+        keyword = token.value.upper()
+        if keyword == "SELECT":
+            query = self._select_query()
+        elif keyword == "ASK":
+            query = self._ask_query()
+        elif keyword == "CONSTRUCT":
+            query = self._construct_query()
+        elif keyword == "DESCRIBE":
+            query = self._describe_query()
+        elif keyword == "DEFINE":
+            query = self._function_definition()
+        elif keyword in ("INSERT", "DELETE", "WITH", "CLEAR"):
+            query = self._update()
+        else:
+            self.error("unsupported query form %r" % token.value)
+        if self.peek().kind != EOF:
+            self.error("unexpected input after query: %r"
+                       % (self.peek().value,))
+        return query
+
+    def _prologue(self):
+        while True:
+            if self.at_keyword("PREFIX"):
+                self.next()
+                token = self.next()
+                if token.kind == PUNCT and token.value == ":":
+                    token = Token(PNAME, ("", ""), token.line, token.column)
+                if token.kind != PNAME or token.value[1] != "":
+                    self.error("expected prefix name ending in ':'", token)
+                iri = self.next()
+                if iri.kind != IRI:
+                    self.error("expected IRI after PREFIX", iri)
+                self.prefixes[token.value[0]] = self._resolve_iri(iri.value)
+            elif self.at_keyword("BASE"):
+                self.next()
+                iri = self.next()
+                if iri.kind != IRI:
+                    self.error("expected IRI after BASE", iri)
+                self.base = iri.value
+            else:
+                return
+
+    # -- query forms ---------------------------------------------------------------
+
+    def _select_query(self):
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        reduced = bool(self.accept_keyword("REDUCED"))
+        projection = self._projection()
+        from_graphs, from_named = self._dataset_clauses()
+        where = self._where_clause()
+        modifiers = self._solution_modifiers()
+        return ast.SelectQuery(
+            projection, where, modifiers, distinct=distinct,
+            reduced=reduced, from_graphs=from_graphs, from_named=from_named,
+        )
+
+    def _projection(self):
+        if self.accept_punct("*"):
+            return "*"
+        items = []
+        while True:
+            token = self.peek()
+            if token.kind == VAR:
+                # could be a bare var or a var with an array subscript
+                expr = self._postfix_from_var()
+                if isinstance(expr, ast.Var):
+                    items.append((expr, None))
+                else:
+                    items.append((expr, None))
+            elif self.at_punct("("):
+                self.next()
+                expr = self._expression()
+                self.expect_keyword("AS")
+                var_token = self.next()
+                if var_token.kind != VAR:
+                    self.error("expected variable after AS", var_token)
+                self.expect_punct(")")
+                items.append((expr, ast.Var(var_token.value)))
+            else:
+                break
+        if not items:
+            self.error("empty SELECT clause")
+        return items
+
+    def _postfix_from_var(self):
+        var_token = self.next()
+        expr = ast.Var(var_token.value)
+        while self.at_punct("["):
+            expr = self._array_subscript(expr)
+        return expr
+
+    def _dataset_clauses(self):
+        from_graphs, from_named = [], []
+        while self.at_keyword("FROM"):
+            self.next()
+            named = bool(self.accept_keyword("NAMED"))
+            iri = self._expect_iri()
+            (from_named if named else from_graphs).append(iri)
+        return from_graphs, from_named
+
+    def _where_clause(self):
+        self.accept_keyword("WHERE")
+        return self._group_graph_pattern()
+
+    def _ask_query(self):
+        self.expect_keyword("ASK")
+        from_graphs, from_named = self._dataset_clauses()
+        where = self._where_clause()
+        return ast.AskQuery(where, from_graphs, from_named)
+
+    def _construct_query(self):
+        self.expect_keyword("CONSTRUCT")
+        template = self._triples_template()
+        from_graphs, from_named = self._dataset_clauses()
+        where = self._where_clause()
+        modifiers = self._solution_modifiers()
+        return ast.ConstructQuery(
+            template, where, modifiers, from_graphs, from_named
+        )
+
+    def _describe_query(self):
+        self.expect_keyword("DESCRIBE")
+        terms = []
+        while True:
+            token = self.peek()
+            if token.kind == VAR:
+                self.next()
+                terms.append(ast.Var(token.value))
+            elif token.kind in (IRI, PNAME):
+                terms.append(self._term_from_token(self.next()))
+            else:
+                break
+        where = None
+        if self.at_keyword("WHERE") or self.at_punct("{"):
+            where = self._where_clause()
+        if not terms:
+            self.error("DESCRIBE requires at least one term or variable")
+        return ast.DescribeQuery(terms, where)
+
+    def _function_definition(self):
+        self.expect_keyword("DEFINE")
+        self.expect_keyword("FUNCTION")
+        name_token = self.next()
+        if name_token.kind not in (IRI, PNAME):
+            self.error("expected function name", name_token)
+        name = self._term_from_token(name_token)
+        self.expect_punct("(")
+        params = []
+        while not self.at_punct(")"):
+            self.accept_punct(",")
+            var_token = self.next()
+            if var_token.kind != VAR:
+                self.error("expected parameter variable", var_token)
+            params.append(ast.Var(var_token.value))
+        self.expect_punct(")")
+        self.expect_keyword("AS")
+        if self.at_keyword("SELECT"):
+            body = self._select_query()
+        else:
+            body = self._expression()
+        return ast.FunctionDefinition(name, params, body)
+
+    # -- updates -----------------------------------------------------------------
+
+    def _update(self):
+        graph = None
+        if self.accept_keyword("WITH"):
+            graph = self._expect_iri()
+        if self.accept_keyword("CLEAR"):
+            if self.accept_keyword("GRAPH"):
+                return ast.ClearGraph(self._expect_iri())
+            if self.accept_keyword("DEFAULT"):
+                return ast.ClearGraph(None)
+            self.expect_keyword("ALL")
+            return ast.ClearGraph("ALL")
+        if self.accept_keyword("INSERT"):
+            if self.accept_keyword("DATA"):
+                triples, data_graph = self._quad_data()
+                return ast.InsertData(triples, data_graph or graph)
+            insert_template = self._triples_template()
+            self.expect_keyword("WHERE")
+            where = self._group_graph_pattern()
+            return ast.Modify([], insert_template, where, graph)
+        self.expect_keyword("DELETE")
+        if self.accept_keyword("DATA"):
+            triples, data_graph = self._quad_data()
+            return ast.DeleteData(triples, data_graph or graph)
+        if self.at_keyword("WHERE"):
+            self.next()
+            where = self._group_graph_pattern()
+            template = [
+                element for element in where.elements
+                if isinstance(element, ast.TriplePattern)
+            ]
+            return ast.Modify(template, [], where, graph)
+        delete_template = self._triples_template()
+        insert_template = []
+        if self.accept_keyword("INSERT"):
+            insert_template = self._triples_template()
+        self.expect_keyword("WHERE")
+        where = self._group_graph_pattern()
+        return ast.Modify(delete_template, insert_template, where, graph)
+
+    def _quad_data(self):
+        self.expect_punct("{")
+        graph = None
+        if self.accept_keyword("GRAPH"):
+            graph = self._expect_iri()
+            triples = self._triples_template()
+            self.expect_punct("}")
+            return triples, graph
+        triples = []
+        while not self.at_punct("}"):
+            triples.extend(self._triples_same_subject())
+            if not self.accept_punct("."):
+                break
+        self.expect_punct("}")
+        return triples, graph
+
+    def _triples_template(self):
+        self.expect_punct("{")
+        triples = []
+        while not self.at_punct("}"):
+            triples.extend(self._triples_same_subject())
+            if not self.accept_punct("."):
+                break
+        self.expect_punct("}")
+        return triples
+
+    # -- graph patterns ---------------------------------------------------------------
+
+    def _group_graph_pattern(self):
+        self.expect_punct("{")
+        if self.at_keyword("SELECT"):
+            query = self._select_query()
+            self.expect_punct("}")
+            return ast.GroupPattern([ast.SubSelect(query)])
+        elements = []
+        while not self.at_punct("}"):
+            if self.at_keyword("OPTIONAL"):
+                self.next()
+                elements.append(
+                    ast.OptionalPattern(self._group_graph_pattern())
+                )
+            elif self.at_keyword("MINUS"):
+                self.next()
+                elements.append(ast.MinusPattern(self._group_graph_pattern()))
+            elif self.at_keyword("GRAPH"):
+                self.next()
+                token = self.peek()
+                if token.kind == VAR:
+                    self.next()
+                    graph = ast.Var(token.value)
+                else:
+                    graph = self._expect_iri()
+                elements.append(
+                    ast.GraphGraphPattern(graph, self._group_graph_pattern())
+                )
+            elif self.at_keyword("FILTER"):
+                self.next()
+                elements.append(ast.FilterClause(self._constraint()))
+            elif self.at_keyword("BIND"):
+                self.next()
+                self.expect_punct("(")
+                expr = self._expression()
+                self.expect_keyword("AS")
+                var_token = self.next()
+                if var_token.kind != VAR:
+                    self.error("expected variable after AS", var_token)
+                self.expect_punct(")")
+                elements.append(ast.BindClause(expr, ast.Var(var_token.value)))
+            elif self.at_keyword("VALUES"):
+                self.next()
+                elements.append(self._values_clause())
+            elif self.at_punct("{"):
+                first = self._group_graph_pattern()
+                if self.at_keyword("UNION"):
+                    alternatives = [first]
+                    while self.accept_keyword("UNION"):
+                        alternatives.append(self._group_graph_pattern())
+                    elements.append(ast.UnionPattern(alternatives))
+                else:
+                    elements.append(first)
+            else:
+                elements.extend(self._triples_same_subject())
+            self.accept_punct(".")
+        self.expect_punct("}")
+        return ast.GroupPattern(elements)
+
+    def _constraint(self):
+        if self.at_punct("("):
+            self.next()
+            expr = self._expression()
+            self.expect_punct(")")
+            return expr
+        return self._primary_expression()
+
+    def _values_clause(self):
+        variables = []
+        if self.accept_punct("("):
+            while not self.at_punct(")"):
+                token = self.next()
+                if token.kind != VAR:
+                    self.error("expected variable in VALUES", token)
+                variables.append(ast.Var(token.value))
+            self.expect_punct(")")
+            self.expect_punct("{")
+            rows = []
+            while self.accept_punct("("):
+                row = []
+                while not self.at_punct(")"):
+                    row.append(self._values_term())
+                self.expect_punct(")")
+                if len(row) != len(variables):
+                    self.error("VALUES row arity mismatch")
+                rows.append(row)
+            self.expect_punct("}")
+            return ast.ValuesClause(variables, rows)
+        token = self.next()
+        if token.kind != VAR:
+            self.error("expected variable after VALUES", token)
+        variables = [ast.Var(token.value)]
+        self.expect_punct("{")
+        rows = []
+        while not self.at_punct("}"):
+            rows.append([self._values_term()])
+        self.expect_punct("}")
+        return ast.ValuesClause(variables, rows)
+
+    def _values_term(self):
+        if self.accept_keyword("UNDEF"):
+            return None
+        return self._graph_term()
+
+    # -- triples blocks -----------------------------------------------------------------
+
+    def _triples_same_subject(self):
+        """Parse one subject with its property list; returns TriplePatterns
+        (plus auxiliary patterns for blank-node shorthand)."""
+        out = []
+        token = self.peek()
+        if self.at_punct("[") :
+            subject = ast.Var(_fresh_anon())
+            out.extend(self._blank_node_properties(subject))
+            if self._at_verb():
+                out.extend(self._property_list(subject))
+            return out
+        subject = self._var_or_term(out)
+        out.extend(self._property_list(subject))
+        return out
+
+    def _at_verb(self):
+        token = self.peek()
+        if token.kind in (IRI, PNAME, VAR):
+            return True
+        if token.kind == NAME and token.value == "a":
+            return True
+        if token.kind == PUNCT and token.value in ("^", "(", "!"):
+            return True
+        return False
+
+    def _property_list(self, subject):
+        out = []
+        while True:
+            predicate = self._verb()
+            while True:
+                value = self._object(out)
+                out.append(ast.TriplePattern(subject, predicate, value))
+                if not self.accept_punct(","):
+                    break
+            if not self.accept_punct(";"):
+                return out
+            if not self._at_verb():
+                return out
+
+    def _verb(self):
+        token = self.peek()
+        if token.kind == VAR:
+            self.next()
+            return ast.Var(token.value)
+        return self._path()
+
+    def _object(self, aux_patterns):
+        if self.at_punct("["):
+            node = ast.Var(_fresh_anon())
+            aux_patterns.extend(self._blank_node_properties(node))
+            return node
+        return self._var_or_term(aux_patterns)
+
+    def _blank_node_properties(self, node):
+        self.expect_punct("[")
+        if self.accept_punct("]"):
+            return []
+        out = self._property_list(node)
+        self.expect_punct("]")
+        return out
+
+    def _var_or_term(self, aux_patterns):
+        token = self.peek()
+        if token.kind == VAR:
+            self.next()
+            return ast.Var(token.value)
+        if self.at_punct("("):
+            return self._collection(aux_patterns)
+        return self._graph_term()
+
+    def _collection(self, aux_patterns):
+        """An RDF collection constant.
+
+        Pure-numeric (possibly nested) collections consolidate into a
+        NumericArray constant; anything else desugars into the standard
+        rdf:first / rdf:rest chain.
+        """
+        start = self.position
+        numeric = self._try_numeric_collection()
+        if numeric is not None:
+            return numeric
+        self.position = start
+        self.expect_punct("(")
+        items = []
+        while not self.at_punct(")"):
+            items.append(self._object(aux_patterns))
+        self.expect_punct(")")
+        if not items:
+            return RDF.nil
+        head = ast.Var(_fresh_anon())
+        node = head
+        for index, item in enumerate(items):
+            aux_patterns.append(ast.TriplePattern(node, RDF.first, item))
+            if index == len(items) - 1:
+                aux_patterns.append(
+                    ast.TriplePattern(node, RDF.rest, RDF.nil)
+                )
+            else:
+                next_node = ast.Var(_fresh_anon())
+                aux_patterns.append(
+                    ast.TriplePattern(node, RDF.rest, next_node)
+                )
+                node = next_node
+        return head
+
+    def _try_numeric_collection(self):
+        """Attempt to parse ``( ... )`` as nested numbers; None on failure."""
+        if not self.accept_punct("("):
+            return None
+        values = []
+        while not self.at_punct(")"):
+            token = self.peek()
+            if token.kind in (INTEGER, DECIMAL, DOUBLE):
+                self.next()
+                values.append(token.value)
+            elif token.kind == PUNCT and token.value == "-":
+                self.next()
+                inner = self.peek()
+                if inner.kind not in (INTEGER, DECIMAL, DOUBLE):
+                    return None
+                self.next()
+                values.append(-inner.value)
+            elif token.kind == PUNCT and token.value == "(":
+                nested = self._try_numeric_collection()
+                if nested is None:
+                    return None
+                values.append(nested.to_nested_lists())
+            else:
+                return None
+        self.expect_punct(")")
+        if not values:
+            return None
+        try:
+            return NumericArray(values)
+        except Exception:
+            return None
+
+    def _graph_term(self):
+        token = self.next()
+        if token.kind == IRI:
+            return URI(self._resolve_iri(token.value))
+        if token.kind == PNAME:
+            return self._pname_to_uri(token)
+        if token.kind == BLANK:
+            return self._bnode_labels.setdefault(
+                token.value, ast.Var(_fresh_anon())
+            )
+        if token.kind == STRING:
+            return self._literal_tail(token.value)
+        if token.kind in (INTEGER,):
+            return Literal(token.value)
+        if token.kind in (DECIMAL, DOUBLE):
+            return Literal(float(token.value))
+        if token.kind == PUNCT and token.value in ("-", "+"):
+            number = self.next()
+            if number.kind not in (INTEGER, DECIMAL, DOUBLE):
+                self.error("expected number after sign", number)
+            value = number.value if token.value == "+" else -number.value
+            return Literal(value)
+        if token.kind == NAME:
+            upper = token.value.upper()
+            if token.value == "a":
+                return RDF.type
+            if upper == "TRUE":
+                return Literal(True)
+            if upper == "FALSE":
+                return Literal(False)
+        self.error("expected an RDF term, found %r" % (token.value,), token)
+
+    def _literal_tail(self, text):
+        token = self.peek()
+        if token.kind == LANGTAG:
+            self.next()
+            return Literal(text, lang=token.value)
+        if token.kind == PUNCT and token.value == "^^":
+            self.next()
+            datatype_token = self.next()
+            if datatype_token.kind == IRI:
+                datatype = URI(self._resolve_iri(datatype_token.value))
+            elif datatype_token.kind == PNAME:
+                datatype = self._pname_to_uri(datatype_token)
+            else:
+                self.error("expected datatype IRI", datatype_token)
+            return Literal.from_lexical(text, datatype)
+        return Literal(text)
+
+    def _term_from_token(self, token):
+        if token.kind == IRI:
+            return URI(self._resolve_iri(token.value))
+        if token.kind == PNAME:
+            return self._pname_to_uri(token)
+        self.error("expected IRI or prefixed name", token)
+
+    def _pname_to_uri(self, token):
+        prefix, local = token.value
+        try:
+            base = self.prefixes[prefix]
+        except KeyError:
+            self.error("undefined prefix %r" % prefix, token)
+        return URI(base + local)
+
+    def _expect_iri(self):
+        token = self.next()
+        return self._term_from_token(token)
+
+    def _resolve_iri(self, iri):
+        if self.base and "://" not in iri and not iri.startswith("urn:"):
+            return self.base + iri
+        return iri
+
+    # -- property paths -------------------------------------------------------------
+
+    def _path(self):
+        path = self._path_alternative()
+        if isinstance(path, ast.PathLink):
+            return path.uri
+        return path
+
+    def _path_alternative(self):
+        parts = [self._path_sequence()]
+        while self.accept_punct("|"):
+            parts.append(self._path_sequence())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.PathAlternative(parts)
+
+    def _path_sequence(self):
+        parts = [self._path_elt_or_inverse()]
+        while self.accept_punct("/"):
+            parts.append(self._path_elt_or_inverse())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.PathSequence(parts)
+
+    def _path_elt_or_inverse(self):
+        if self.accept_punct("^"):
+            return ast.PathInverse(self._path_elt())
+        return self._path_elt()
+
+    def _path_elt(self):
+        primary = self._path_primary()
+        token = self.peek()
+        if token.kind == PUNCT and token.value in ("*", "+", "?"):
+            self.next()
+            return ast.PathMod(primary, token.value)
+        return primary
+
+    def _path_primary(self):
+        token = self.peek()
+        if token.kind == PUNCT and token.value == "(":
+            self.next()
+            inner = self._path_alternative()
+            self.expect_punct(")")
+            return inner
+        if token.kind == PUNCT and token.value == "!":
+            self.next()
+            return self._negated_property_set()
+        if token.kind == NAME and token.value == "a":
+            self.next()
+            return ast.PathLink(RDF.type)
+        if token.kind in (IRI, PNAME):
+            return ast.PathLink(self._term_from_token(self.next()))
+        self.error("expected property path element", token)
+
+    def _negated_property_set(self):
+        forward, inverse = [], []
+
+        def one(self):
+            if self.accept_punct("^"):
+                target = inverse
+            else:
+                target = forward
+            token = self.peek()
+            if token.kind == NAME and token.value == "a":
+                self.next()
+                target.append(RDF.type)
+            else:
+                target.append(self._term_from_token(self.next()))
+
+        if self.accept_punct("("):
+            one(self)
+            while self.accept_punct("|"):
+                one(self)
+            self.expect_punct(")")
+        else:
+            one(self)
+        return ast.PathNegated(forward, inverse)
+
+    # -- solution modifiers -------------------------------------------------------------
+
+    def _solution_modifiers(self):
+        group_by = []
+        having = []
+        order_by = []
+        limit = None
+        offset = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            while True:
+                token = self.peek()
+                if token.kind == VAR:
+                    group_by.append((self._postfix_from_var(), None))
+                elif self.at_punct("("):
+                    self.next()
+                    expr = self._expression()
+                    alias = None
+                    if self.accept_keyword("AS"):
+                        var_token = self.next()
+                        if var_token.kind != VAR:
+                            self.error("expected variable", var_token)
+                        alias = ast.Var(var_token.value)
+                    self.expect_punct(")")
+                    group_by.append((expr, alias))
+                else:
+                    break
+            if not group_by:
+                self.error("empty GROUP BY")
+        if self.accept_keyword("HAVING"):
+            while self.at_punct("("):
+                self.next()
+                having.append(self._expression())
+                self.expect_punct(")")
+            if not having:
+                self.error("empty HAVING")
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                if self.accept_keyword("ASC"):
+                    self.expect_punct("(")
+                    order_by.append((self._expression(), True))
+                    self.expect_punct(")")
+                elif self.accept_keyword("DESC"):
+                    self.expect_punct("(")
+                    order_by.append((self._expression(), False))
+                    self.expect_punct(")")
+                elif self.peek().kind == VAR:
+                    order_by.append((self._postfix_from_var(), True))
+                elif self.at_punct("("):
+                    self.next()
+                    order_by.append((self._expression(), True))
+                    self.expect_punct(")")
+                else:
+                    break
+            if not order_by:
+                self.error("empty ORDER BY")
+        while self.at_keyword("LIMIT", "OFFSET"):
+            keyword = self.next().value.upper()
+            token = self.next()
+            if token.kind != INTEGER:
+                self.error("expected integer after %s" % keyword, token)
+            if keyword == "LIMIT":
+                limit = token.value
+            else:
+                offset = token.value
+        return ast.Modifiers(group_by, having, order_by, limit, offset)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expression(self):
+        return self._or_expression()
+
+    def _or_expression(self):
+        left = self._and_expression()
+        while self.at_punct("||"):
+            self.next()
+            left = ast.BinaryOp("||", left, self._and_expression())
+        return left
+
+    def _and_expression(self):
+        left = self._relational_expression()
+        while self.at_punct("&&"):
+            self.next()
+            left = ast.BinaryOp("&&", left, self._relational_expression())
+        return left
+
+    def _relational_expression(self):
+        left = self._additive_expression()
+        token = self.peek()
+        if token.kind == PUNCT and token.value in (
+            "=", "!=", "<", ">", "<=", ">="
+        ):
+            self.next()
+            return ast.BinaryOp(
+                token.value, left, self._additive_expression()
+            )
+        if self.at_keyword("IN"):
+            self.next()
+            return ast.InExpr(left, self._expression_list(), negated=False)
+        if self.at_keyword("NOT") and self.peek(1).kind == NAME \
+                and self.peek(1).value.upper() == "IN":
+            self.next()
+            self.next()
+            return ast.InExpr(left, self._expression_list(), negated=True)
+        return left
+
+    def _expression_list(self):
+        self.expect_punct("(")
+        items = []
+        while not self.at_punct(")"):
+            items.append(self._expression())
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return items
+
+    def _additive_expression(self):
+        left = self._multiplicative_expression()
+        while True:
+            if self.at_punct("+"):
+                self.next()
+                left = ast.BinaryOp(
+                    "+", left, self._multiplicative_expression()
+                )
+            elif self.at_punct("-"):
+                self.next()
+                left = ast.BinaryOp(
+                    "-", left, self._multiplicative_expression()
+                )
+            else:
+                return left
+
+    def _multiplicative_expression(self):
+        left = self._unary_expression()
+        while True:
+            if self.at_punct("*"):
+                self.next()
+                left = ast.BinaryOp("*", left, self._unary_expression())
+            elif self.at_punct("/"):
+                self.next()
+                left = ast.BinaryOp("/", left, self._unary_expression())
+            else:
+                return left
+
+    def _unary_expression(self):
+        if self.at_punct("!"):
+            self.next()
+            return ast.UnaryOp("!", self._unary_expression())
+        if self.at_punct("-"):
+            self.next()
+            return ast.UnaryOp("-", self._unary_expression())
+        if self.at_punct("+"):
+            self.next()
+            return self._unary_expression()
+        return self._postfix_expression()
+
+    def _postfix_expression(self):
+        expr = self._primary_expression()
+        while self.at_punct("["):
+            expr = self._array_subscript(expr)
+        return expr
+
+    def _array_subscript(self, base):
+        """Parse ``[sub, sub, ...]`` — SciSPARQL array dereference."""
+        self.expect_punct("[")
+        subscripts = []
+        while True:
+            subscripts.append(self._subscript())
+            if not self.accept_punct(","):
+                break
+        self.expect_punct("]")
+        return ast.ArraySubscript(base, subscripts)
+
+    def _subscript(self):
+        """One subscript: expr | lo:hi | lo:stride:hi with open bounds."""
+        lo = None
+        if not self.at_punct(":"):
+            lo = self._additive_expression()
+            if not self.at_punct(":"):
+                return lo                      # single index
+        self.expect_punct(":")
+        second = None
+        if not (self.at_punct(":") or self.at_punct(",")
+                or self.at_punct("]")):
+            second = self._additive_expression()
+        if self.accept_punct(":"):
+            hi = None
+            if not (self.at_punct(",") or self.at_punct("]")):
+                hi = self._additive_expression()
+            return ast.RangeSubscript(lo, second, hi)
+        return ast.RangeSubscript(lo, None, second)
+
+    def _primary_expression(self):
+        token = self.peek()
+        if token.kind == PUNCT and token.value == "(":
+            # an array constant like (1 2 3) or ((1 2) (3 4)); a single
+            # parenthesized number stays a plain expression
+            start = self.position
+            array = self._try_numeric_collection()
+            if array is not None and array.element_count > 1:
+                return ast.TermExpr(array)
+            self.position = start
+            self.next()
+            expr = self._expression()
+            self.expect_punct(")")
+            return expr
+        if token.kind == VAR:
+            self.next()
+            return ast.Var(token.value)
+        if token.kind == STRING:
+            self.next()
+            return ast.TermExpr(self._literal_tail(token.value))
+        if token.kind == INTEGER:
+            self.next()
+            return ast.TermExpr(Literal(token.value))
+        if token.kind in (DECIMAL, DOUBLE):
+            self.next()
+            return ast.TermExpr(Literal(float(token.value)))
+        if token.kind == IRI:
+            self.next()
+            uri = URI(self._resolve_iri(token.value))
+            if self.at_punct("("):
+                return self._call(uri)
+            return ast.TermExpr(uri)
+        if token.kind == PNAME:
+            self.next()
+            uri = self._pname_to_uri(token)
+            if self.at_punct("("):
+                return self._call(uri)
+            return ast.TermExpr(uri)
+        if token.kind == NAME:
+            return self._name_expression()
+        self.error("unexpected token %r in expression" % (token.value,),
+                   token)
+
+    def _name_expression(self):
+        token = self.next()
+        upper = token.value.upper()
+        if upper == "TRUE":
+            return ast.TermExpr(Literal(True))
+        if upper == "FALSE":
+            return ast.TermExpr(Literal(False))
+        if upper == "FN":
+            return self._closure()
+        if upper == "NOT":
+            self.expect_keyword("EXISTS")
+            return ast.ExistsExpr(self._group_graph_pattern(), negated=True)
+        if upper == "EXISTS":
+            return ast.ExistsExpr(self._group_graph_pattern(), negated=False)
+        if upper in AGGREGATES:
+            return self._aggregate(upper)
+        if upper in BUILTIN_FUNCTIONS:
+            if upper in ("NOW", "RAND", "UUID", "STRUUID") \
+                    and not self.at_punct("("):
+                return ast.FunctionCall(upper, [])
+            self.expect_punct("(")
+            args = []
+            while not self.at_punct(")"):
+                args.append(self._expression())
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(")")
+            return ast.FunctionCall(upper, args)
+        self.error("unknown function or keyword %r" % token.value, token)
+
+    def _call(self, uri):
+        self.expect_punct("(")
+        args = []
+        while not self.at_punct(")"):
+            args.append(self._expression())
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return ast.FunctionCall(uri, args)
+
+    def _closure(self):
+        """``FN(?x ?y) expression`` — a lexical closure literal."""
+        self.expect_punct("(")
+        params = []
+        while not self.at_punct(")"):
+            self.accept_punct(",")
+            token = self.next()
+            if token.kind != VAR:
+                self.error("expected closure parameter", token)
+            params.append(ast.Var(token.value))
+        self.expect_punct(")")
+        body = self._expression()
+        return ast.Closure(params, body)
+
+    def _aggregate(self, name):
+        self.expect_punct("(")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        if name == "COUNT" and self.accept_punct("*"):
+            self.expect_punct(")")
+            return ast.Aggregate("COUNT", None, distinct)
+        expr = self._expression()
+        separator = None
+        if name == "GROUP_CONCAT" and self.accept_punct(";"):
+            self.expect_keyword("SEPARATOR")
+            self.expect_punct("=")
+            token = self.next()
+            if token.kind != STRING:
+                self.error("expected string separator", token)
+            separator = token.value
+        self.expect_punct(")")
+        return ast.Aggregate(name, expr, distinct, separator)
+
+
+_anon_counter = [0]
+
+
+def _fresh_anon():
+    """A fresh non-user-visible variable name for blank-node shorthand."""
+    _anon_counter[0] += 1
+    return "_anon%d" % _anon_counter[0]

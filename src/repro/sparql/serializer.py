@@ -1,0 +1,290 @@
+"""Serialization of query ASTs back to SciSPARQL text.
+
+The inverse of :mod:`repro.sparql.parser`, used for logging, for shipping
+parsed queries to a remote SSDM peer, and for the parser round-trip tests
+(``parse(serialize(parse(q)))`` must equal ``parse(q)``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arrays.nma import NumericArray
+from repro.exceptions import SciSparqlError
+from repro.rdf.term import BlankNode, Literal, URI
+from repro.sparql import ast
+
+
+def serialize_query(query):
+    """Render any statement AST as SciSPARQL text."""
+    if isinstance(query, ast.SelectQuery):
+        return _select(query)
+    if isinstance(query, ast.AskQuery):
+        return "ASK%s %s" % (
+            _dataset_clauses(query), _group(query.where)
+        )
+    if isinstance(query, ast.ConstructQuery):
+        return "CONSTRUCT { %s }%s WHERE %s%s" % (
+            " . ".join(_triple(t) for t in query.template),
+            _dataset_clauses(query),
+            _group(query.where),
+            _modifiers(query.modifiers),
+        )
+    if isinstance(query, ast.DescribeQuery):
+        parts = ["DESCRIBE"]
+        parts.extend(_term_or_var(t) for t in query.terms)
+        text = " ".join(parts)
+        if query.where is not None:
+            text += " WHERE " + _group(query.where)
+        return text
+    if isinstance(query, ast.FunctionDefinition):
+        return "DEFINE FUNCTION %s(%s) AS %s" % (
+            _term_or_var(query.name),
+            " ".join("?" + p.name for p in query.params),
+            _select(query.body)
+            if isinstance(query.body, ast.SelectQuery)
+            else _expr(query.body),
+        )
+    if isinstance(query, ast.InsertData):
+        return "INSERT DATA { %s }" % _quad_body(query)
+    if isinstance(query, ast.DeleteData):
+        return "DELETE DATA { %s }" % _quad_body(query)
+    if isinstance(query, ast.Modify):
+        parts = []
+        if query.graph is not None:
+            parts.append("WITH %s" % _term_or_var(query.graph))
+        if query.delete_template:
+            parts.append("DELETE { %s }" % " . ".join(
+                _triple(t) for t in query.delete_template
+            ))
+        if query.insert_template:
+            parts.append("INSERT { %s }" % " . ".join(
+                _triple(t) for t in query.insert_template
+            ))
+        parts.append("WHERE " + _group(query.where))
+        return " ".join(parts)
+    if isinstance(query, ast.ClearGraph):
+        if query.graph == "ALL":
+            return "CLEAR ALL"
+        if query.graph is None:
+            return "CLEAR DEFAULT"
+        return "CLEAR GRAPH %s" % _term_or_var(query.graph)
+    raise SciSparqlError("cannot serialize %r" % (query,))
+
+
+def _quad_body(update):
+    body = " . ".join(_triple(t) for t in update.triples)
+    if update.graph is not None:
+        return "GRAPH %s { %s }" % (_term_or_var(update.graph), body)
+    return body
+
+
+def _select(query):
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    elif query.reduced:
+        parts.append("REDUCED")
+    if query.projection == "*":
+        parts.append("*")
+    else:
+        for expr, alias in query.projection:
+            if alias is None:
+                parts.append(_expr(expr))
+            else:
+                parts.append("(%s AS ?%s)" % (_expr(expr), alias.name))
+    text = " ".join(parts)
+    text += _dataset_clauses(query)
+    text += " WHERE " + _group(query.where)
+    text += _modifiers(query.modifiers)
+    return text
+
+
+def _dataset_clauses(query):
+    out = ""
+    for graph in getattr(query, "from_graphs", []):
+        out += " FROM %s" % _term_or_var(graph)
+    for graph in getattr(query, "from_named", []):
+        out += " FROM NAMED %s" % _term_or_var(graph)
+    return out
+
+
+def _modifiers(modifiers):
+    out = ""
+    if modifiers.group_by:
+        keys = []
+        for expr, alias in modifiers.group_by:
+            if alias is not None:
+                keys.append("(%s AS ?%s)" % (_expr(expr), alias.name))
+            elif isinstance(expr, ast.Var):
+                keys.append(_expr(expr))
+            else:
+                keys.append("(%s)" % _expr(expr))
+        out += " GROUP BY " + " ".join(keys)
+    for having in modifiers.having:
+        out += " HAVING (%s)" % _expr(having)
+    if modifiers.order_by:
+        keys = []
+        for expr, ascending in modifiers.order_by:
+            keys.append(
+                "%s(%s)" % ("ASC" if ascending else "DESC", _expr(expr))
+            )
+        out += " ORDER BY " + " ".join(keys)
+    if modifiers.limit is not None:
+        out += " LIMIT %d" % modifiers.limit
+    if modifiers.offset is not None:
+        out += " OFFSET %d" % modifiers.offset
+    return out
+
+
+def _group(group):
+    return "{ %s }" % " ".join(_element(e) for e in group.elements)
+
+
+def _element(element):
+    if isinstance(element, ast.TriplePattern):
+        return _triple(element) + " ."
+    if isinstance(element, ast.FilterClause):
+        return "FILTER(%s)" % _expr(element.expr)
+    if isinstance(element, ast.BindClause):
+        return "BIND(%s AS ?%s)" % (_expr(element.expr), element.var.name)
+    if isinstance(element, ast.OptionalPattern):
+        return "OPTIONAL " + _group(element.pattern)
+    if isinstance(element, ast.MinusPattern):
+        return "MINUS " + _group(element.pattern)
+    if isinstance(element, ast.UnionPattern):
+        return " UNION ".join(_group(b) for b in element.alternatives)
+    if isinstance(element, ast.GraphGraphPattern):
+        return "GRAPH %s %s" % (
+            _term_or_var(element.graph), _group(element.pattern)
+        )
+    if isinstance(element, ast.GroupPattern):
+        # the parser wraps `{ SELECT ... }` as GroupPattern([SubSelect]);
+        # render one brace pair, not two, so round trips are stable
+        if len(element.elements) == 1 and isinstance(
+            element.elements[0], ast.SubSelect
+        ):
+            return _element(element.elements[0])
+        return _group(element)
+    if isinstance(element, ast.ValuesClause):
+        header = " ".join("?" + v.name for v in element.variables)
+        rows = " ".join(
+            "(%s)" % " ".join(
+                "UNDEF" if cell is None else _term_or_var(cell)
+                for cell in row
+            )
+            for row in element.rows
+        )
+        return "VALUES (%s) { %s }" % (header, rows)
+    if isinstance(element, ast.SubSelect):
+        return "{ %s }" % _select(element.query)
+    raise SciSparqlError("cannot serialize element %r" % (element,))
+
+
+def _triple(pattern):
+    return "%s %s %s" % (
+        _term_or_var(pattern.subject),
+        _predicate(pattern.predicate),
+        _term_or_var(pattern.value),
+    )
+
+
+def _predicate(predicate):
+    if isinstance(predicate, ast.Var):
+        return "?" + predicate.name
+    if isinstance(predicate, URI):
+        return "<%s>" % predicate.value
+    return _path(predicate)
+
+
+def _path(path):
+    if isinstance(path, URI):
+        return "<%s>" % path.value
+    if isinstance(path, ast.PathLink):
+        return "<%s>" % path.uri.value
+    if isinstance(path, ast.PathInverse):
+        return "^(%s)" % _path(path.path)
+    if isinstance(path, ast.PathSequence):
+        return "/".join("(%s)" % _path(p) for p in path.parts)
+    if isinstance(path, ast.PathAlternative):
+        return "|".join("(%s)" % _path(p) for p in path.parts)
+    if isinstance(path, ast.PathMod):
+        return "(%s)%s" % (_path(path.path), path.modifier)
+    if isinstance(path, ast.PathNegated):
+        items = ["<%s>" % u.value for u in path.forward]
+        items += ["^<%s>" % u.value for u in path.inverse]
+        return "!(%s)" % "|".join(items)
+    raise SciSparqlError("cannot serialize path %r" % (path,))
+
+
+def _term_or_var(value):
+    if isinstance(value, ast.Var):
+        return "?" + value.name
+    if isinstance(value, URI):
+        return "<%s>" % value.value
+    if isinstance(value, Literal):
+        return value.n3()
+    if isinstance(value, BlankNode):
+        return "_:" + value.label
+    if isinstance(value, NumericArray):
+        return value.n3()
+    raise SciSparqlError("cannot serialize term %r" % (value,))
+
+
+def _expr(expr):
+    if isinstance(expr, ast.Var):
+        return "?" + expr.name
+    if isinstance(expr, ast.TermExpr):
+        return _term_or_var(expr.term)
+    if isinstance(expr, ast.BinaryOp):
+        return "(%s %s %s)" % (
+            _expr(expr.left), expr.op, _expr(expr.right)
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return "%s(%s)" % (expr.op, _expr(expr.operand))
+    if isinstance(expr, ast.FunctionCall):
+        name = expr.name if isinstance(expr.name, str) \
+            else "<%s>" % expr.name.value
+        return "%s(%s)" % (name, ", ".join(_expr(a) for a in expr.args))
+    if isinstance(expr, ast.Aggregate):
+        inner = "*" if expr.expr is None else _expr(expr.expr)
+        if expr.distinct:
+            inner = "DISTINCT " + inner
+        if expr.separator is not None:
+            return '%s(%s; SEPARATOR="%s")' % (
+                expr.name, inner, expr.separator.replace('"', '\\"')
+            )
+        return "%s(%s)" % (expr.name, inner)
+    if isinstance(expr, ast.ArraySubscript):
+        subs = []
+        for sub in expr.subscripts:
+            if isinstance(sub, ast.RangeSubscript):
+                # spaces around ':' keep bounds like STR(?x) from lexing
+                # as prefixed names (':STR' would otherwise be a pname)
+                lo = "" if sub.lo is None else _expr(sub.lo)
+                hi = "" if sub.hi is None else _expr(sub.hi)
+                if sub.stride is not None:
+                    subs.append("%s : %s : %s"
+                                % (lo, _expr(sub.stride), hi))
+                else:
+                    subs.append("%s : %s" % (lo, hi))
+            else:
+                subs.append(_expr(sub))
+        return "%s[%s]" % (_expr(expr.base), ", ".join(subs))
+    if isinstance(expr, ast.Closure):
+        # the body parses maximally greedily; wrapping the whole closure
+        # in parens makes the closing paren terminate the body, so
+        # `FN(?a) ?a` used as an operand never swallows its context
+        return "(FN(%s) %s)" % (
+            " ".join("?" + p.name for p in expr.params), _expr(expr.body)
+        )
+    if isinstance(expr, ast.ExistsExpr):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return "%s %s" % (keyword, _group(expr.pattern))
+    if isinstance(expr, ast.InExpr):
+        keyword = "NOT IN" if expr.negated else "IN"
+        return "(%s %s (%s))" % (
+            _expr(expr.expr), keyword,
+            ", ".join(_expr(c) for c in expr.choices),
+        )
+    raise SciSparqlError("cannot serialize expression %r" % (expr,))

@@ -1,0 +1,466 @@
+"""SSDM — the Scientific SPARQL Database Manager facade.
+
+The entry point a downstream user works with (dissertation chapter 5): a
+main-memory RDF-with-Arrays store plus the full query pipeline
+
+    parse → translate → rewrite → cost-optimize → evaluate
+
+with optional external array storage behind the ASEI.  Typical use::
+
+    from repro import SSDM
+    ssdm = SSDM()
+    ssdm.load_turtle_text('@prefix : <http://ex.org/> . :m :val ((1 2) (3 4)) .')
+    result = ssdm.execute('PREFIX : <http://ex.org/> SELECT ?a[2,1] WHERE { ?s :val ?a }')
+    result.rows   # [(3,)]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arrays.nma import NumericArray
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import QueryError, SciSparqlError
+from repro.rdf.dataset import Dataset
+from repro.rdf.graph import Graph
+from repro.rdf.term import BlankNode, Literal, URI
+from repro.sparql import ast
+from repro.sparql.parser import Parser
+from repro.algebra.translator import Translator, translate
+from repro.algebra.rewriter import rewrite
+from repro.algebra.optimizer import optimize
+from repro.engine.bindings import Bindings
+from repro.engine.eval import QueryEngine, _storable
+from repro.engine.functions import runtime
+from repro.engine.udf import FunctionRegistry
+from repro.engine.update import execute_update
+
+
+class QueryResult:
+    """The result of a SELECT query: named columns and value rows.
+
+    Values are runtime values: Python scalars for plain literals, URIs /
+    blank nodes / typed literals as terms, and arrays as
+    :class:`NumericArray` (or lazy :class:`ArrayProxy` when the value
+    still lives in external storage).
+    """
+
+    def __init__(self, columns, rows):
+        self.columns = list(columns)
+        self.rows = rows
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name):
+        """All values of one column, in row order."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise QueryError(
+                "expected a 1x1 result, got %dx%d"
+                % (len(self.rows), len(self.columns))
+            )
+        return self.rows[0][0]
+
+    def resolved(self):
+        """A copy with every ArrayProxy resolved to a resident array."""
+        rows = [
+            tuple(
+                value.resolve() if isinstance(value, ArrayProxy) else value
+                for value in row
+            )
+            for row in self.rows
+        ]
+        return QueryResult(self.columns, rows)
+
+    def as_dicts(self):
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self):
+        return "QueryResult(columns=%r, rows=%d)" % (
+            self.columns, len(self.rows)
+        )
+
+
+class SSDM:
+    """A Scientific SPARQL Database Manager instance.
+
+    Parameters
+    ----------
+    array_store:
+        Optional ASEI back-end (:class:`repro.storage.ArrayStore`).  When
+        set, arrays larger than ``externalize_threshold`` elements loaded
+        or inserted into the store are shipped to the back-end and
+        represented by proxies (the *back-end scenario* of chapter 6).
+    externalize_threshold:
+        Element-count cutoff above which arrays are externalized
+        (default 64; irrelevant without an ``array_store``).
+    """
+
+    def __init__(self, array_store=None, externalize_threshold=64):
+        self.dataset = Dataset()
+        self.functions = FunctionRegistry()
+        self.engine = QueryEngine(self.dataset, self.functions)
+        self.array_store = array_store
+        self.externalize_threshold = int(externalize_threshold)
+        self.prefixes: Dict[str, str] = {}
+
+    @classmethod
+    def with_triple_store(cls, graph, **kwargs):
+        """An SSDM whose default graph is a custom triple store.
+
+        Used with :class:`repro.storage.sqlgraph.SqlTripleGraph` for the
+        full back-end scenario of chapter 6 (both metadata triples and
+        array chunks live in the RDBMS)::
+
+            ssdm = SSDM.with_triple_store(SqlTripleGraph("data.db"))
+        """
+        instance = cls(**kwargs)
+        instance.dataset.default_graph = graph
+        if instance.array_store is None:
+            instance.array_store = getattr(graph, "array_store", None)
+        return instance
+
+    # -- configuration ------------------------------------------------------------
+
+    def prefix(self, name, base):
+        """Register a persistent namespace prefix for all queries."""
+        self.prefixes[name] = base
+        return self
+
+    def register_function(self, name, fn, cost=1.0, fanout=1.0):
+        """Expose a Python callable as a SciSPARQL foreign function."""
+        return self.functions.register_foreign(name, fn, cost, fanout)
+
+    @property
+    def graph(self):
+        return self.dataset.default_graph
+
+    # -- data entry ----------------------------------------------------------------
+
+    def add(self, subject, prop, value, graph=None):
+        """Insert one triple, externalizing large array values."""
+        target = self.dataset.graph(graph)
+        target.add(subject, prop, self._store_array(value))
+        return self
+
+    def _store_array(self, value):
+        """Ship a resident array to the back-end when configured."""
+        if (
+            self.array_store is not None
+            and isinstance(value, NumericArray)
+            and value.element_count > self.externalize_threshold
+        ):
+            return self.array_store.put(value)
+        return value
+
+    def load_turtle_text(self, text, graph=None, consolidate=True):
+        """Load Turtle data; RDF collections of numbers consolidate into
+        arrays (section 5.3.2).  Returns the number of triples added."""
+        from repro.loaders.turtle import load_turtle_text
+        return load_turtle_text(
+            self, text, graph=graph, consolidate=consolidate
+        )
+
+    def load_turtle(self, path, graph=None, consolidate=True):
+        with open(path) as handle:
+            return self.load_turtle_text(
+                handle.read(), graph=graph, consolidate=consolidate
+            )
+
+    def load_data_cube(self, graph=None):
+        """Consolidate RDF Data Cube observations already loaded in the
+        graph into arrays (section 5.3.3)."""
+        from repro.loaders.datacube import consolidate_data_cube
+        return consolidate_data_cube(self, graph=graph)
+
+    def link_file(self, subject, prop, path, graph=None):
+        """Attach an external array file (.npy) as a lazy file link."""
+        from repro.loaders.filelink import link_npy
+        return link_npy(self, subject, prop, path, graph=graph)
+
+    # -- the query pipeline ----------------------------------------------------------
+
+    def parse(self, text):
+        return Parser(text, prefixes=self.prefixes).parse()
+
+    def plan(self, text_or_ast, graph=None):
+        """Translate + rewrite + optimize; returns (plan, columns)."""
+        query = (
+            self.parse(text_or_ast) if isinstance(text_or_ast, str)
+            else text_or_ast
+        )
+        plan, columns = translate(query)
+        plan = rewrite(plan)
+        target = self.dataset.graph(None) if graph is None else graph
+        plan = optimize(plan, target)
+        return plan, columns
+
+    def explain(self, text, objectlog=False, costs=False):
+        """The optimized logical plan, pretty-printed.
+
+        With ``objectlog=True`` renders the Datalog-style DNF rules of
+        the translated query instead (the ObjectLog form of section
+        5.4.4 the host DBMS optimizes).  With ``costs=True``, BGP lines
+        are followed by per-pattern cardinality estimates in the order
+        the optimizer chose.
+        """
+        plan, columns = self.plan(text)
+        if objectlog:
+            from repro.algebra.objectlog import to_objectlog
+            return to_objectlog(plan, columns)
+        text_out = plan.explain()
+        if costs:
+            from repro.algebra.cost import CostModel
+            from repro.algebra.logical import BGP
+            from repro.algebra.objectlog import _term
+            model = CostModel(self.dataset.default_graph)
+            lines = [text_out, "", "-- cost estimates --"]
+            stack = [plan]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, BGP):
+                    for pattern, estimate in model.annotate_bgp(
+                        node.patterns
+                    ):
+                        lines.append(
+                            "  %s %s %s  ~%.1f" % (
+                                _term(pattern.subject),
+                                _term(pattern.predicate),
+                                _term(pattern.value),
+                                estimate,
+                            )
+                        )
+                stack.extend(node.children())
+            text_out = "\n".join(lines)
+        return text_out
+
+    def execute(self, text, bindings=None):
+        """Parse and execute any SciSPARQL statement.
+
+        Returns a :class:`QueryResult` for SELECT, ``bool`` for ASK, a
+        :class:`Graph` for CONSTRUCT / DESCRIBE, an update count for
+        updates, and the registered function for DEFINE FUNCTION.
+        """
+        statement = self.parse(text)
+        if isinstance(statement, ast.SelectQuery):
+            return self._run_select(statement, bindings)
+        if isinstance(statement, ast.AskQuery):
+            return self._run_ask(statement, bindings)
+        if isinstance(statement, ast.ConstructQuery):
+            return self._run_construct(statement, bindings)
+        if isinstance(statement, ast.DescribeQuery):
+            return self._run_describe(statement, bindings)
+        if isinstance(statement, ast.FunctionDefinition):
+            return self.functions.define(
+                statement.name, statement.params, statement.body
+            )
+        if isinstance(statement, (ast.InsertData, ast.DeleteData,
+                                  ast.Modify, ast.ClearGraph)):
+            return execute_update(
+                self.engine, self.dataset, statement,
+                store_array=self._store_array,
+            )
+        raise QueryError("cannot execute %r" % (statement,))
+
+    def select(self, text, bindings=None):
+        result = self.execute(text, bindings)
+        if not isinstance(result, QueryResult):
+            raise QueryError("not a SELECT query")
+        return result
+
+    def ask(self, text):
+        result = self.execute(text)
+        if not isinstance(result, bool):
+            raise QueryError("not an ASK query")
+        return result
+
+    # -- internals -----------------------------------------------------------------
+
+    def _initial(self, bindings):
+        if bindings is None:
+            return None
+        return Bindings({
+            name: _storable(value) for name, value in bindings.items()
+        })
+
+    def _run_select(self, query, bindings=None):
+        plan, columns, scope = self._prepare(query)
+        rows = []
+        with scope:
+            for solution in self.engine.run(
+                plan, graph=scope.graph, initial=self._initial(bindings)
+            ):
+                rows.append(tuple(
+                    _output(solution.get(name)) for name in columns
+                ))
+        return QueryResult(columns, rows)
+
+    def _prepare(self, query):
+        """Translate + rewrite + optimize, honouring dataset clauses.
+
+        ``FROM`` graphs merge into the query's active default graph;
+        ``FROM NAMED`` restricts which named graphs GRAPH patterns see
+        (section 3.3.4).  Returns (plan, columns, dataset-scope); the
+        scope is a context manager installing the query's dataset view
+        on the engine for the duration of evaluation.
+        """
+        scope = _DatasetScope(self, query)
+        plan, columns = translate(query)
+        plan = rewrite(plan)
+        plan = optimize(plan, scope.graph)
+        return plan, columns, scope
+
+    def _run_ask(self, query, bindings=None):
+        plan, _, scope = self._prepare(query)
+        with scope:
+            for _ in self.engine.run(
+                plan, graph=scope.graph, initial=self._initial(bindings)
+            ):
+                return True
+        return False
+
+    def _run_construct(self, query, bindings=None):
+        plan, _, scope = self._prepare(query)
+        out = Graph()
+        with scope:
+            for solution in self.engine.run(
+                plan, graph=scope.graph, initial=self._initial(bindings)
+            ):
+                fresh: Dict[str, BlankNode] = {}
+                for template in query.template:
+                    triple = self._instantiate_template(
+                        template, solution, fresh
+                    )
+                    if triple is not None:
+                        out.add(*triple)
+        return out
+
+    def _run_describe(self, query, bindings=None):
+        out = Graph()
+        targets = []
+        if query.where is not None:
+            plan, _, scope = self._prepare(query)
+            with scope:
+                for solution in self.engine.run(
+                    plan, graph=scope.graph,
+                    initial=self._initial(bindings)
+                ):
+                    for term in query.terms:
+                        if isinstance(term, ast.Var):
+                            value = solution.get(term.name)
+                            if value is not None:
+                                targets.append(value)
+                        else:
+                            targets.append(term)
+        else:
+            targets = [
+                term for term in query.terms
+                if not isinstance(term, ast.Var)
+            ]
+        for target in targets:
+            for triple in self.dataset.default_graph.triples(target):
+                out.add_triple(triple)
+        return out
+
+    @staticmethod
+    def _instantiate_template(template, solution, fresh):
+        components = []
+        for component in (template.subject, template.predicate,
+                          template.value):
+            if isinstance(component, ast.Var):
+                if component.name.startswith("_anon"):
+                    components.append(
+                        fresh.setdefault(component.name, BlankNode())
+                    )
+                    continue
+                value = solution.get(component.name)
+                if value is None:
+                    return None
+                components.append(value)
+            else:
+                components.append(component)
+        subject, predicate, value = components
+        if not isinstance(subject, (URI, BlankNode)) or not isinstance(
+            predicate, URI
+        ):
+            return None
+        return (subject, predicate, value)
+
+
+class _RestrictedDataset:
+    """A query-scoped view of a dataset (FROM / FROM NAMED clauses).
+
+    ``named`` is the list of graph names visible to GRAPH patterns
+    (None = all of the base dataset's named graphs); the default graph
+    is replaced by the merged FROM graph.
+    """
+
+    def __init__(self, base, named, default_graph):
+        self._base = base
+        self._named = None if named is None else set(named)
+        self.default_graph = default_graph
+
+    def graph(self, name=None, create=False):
+        if name is None:
+            return self.default_graph
+        if self._named is not None and name not in self._named:
+            return None
+        return self._base.graph(name, create=False)
+
+    def named_graphs(self):
+        graphs = self._base.named_graphs()
+        if self._named is None:
+            return graphs
+        return {
+            name: graph for name, graph in graphs.items()
+            if name in self._named
+        }
+
+
+class _DatasetScope:
+    """Context manager installing a query's dataset view on the engine."""
+
+    def __init__(self, ssdm, query):
+        self._ssdm = ssdm
+        self._saved = None
+        from_graphs = getattr(query, "from_graphs", None) or []
+        from_named = getattr(query, "from_named", None) or []
+        if not from_graphs and not from_named:
+            self.graph = ssdm.dataset.default_graph
+            self._view = None
+            return
+        merged = Graph()
+        for name in from_graphs:
+            source = ssdm.dataset.graph(name, create=False)
+            if source is not None:
+                merged.update(source.triples())
+        self.graph = merged
+        self._view = _RestrictedDataset(
+            ssdm.dataset, from_named if from_named else None, merged
+        )
+
+    def __enter__(self):
+        if self._view is not None:
+            self._saved = self._ssdm.engine.dataset
+            self._ssdm.engine.dataset = self._view
+        return self
+
+    def __exit__(self, *exc):
+        if self._view is not None:
+            self._ssdm.engine.dataset = self._saved
+        return False
+
+
+def _output(value):
+    """Convert a stored binding to the user-facing runtime value."""
+    if value is None:
+        return None
+    return runtime(value)

@@ -1,0 +1,40 @@
+"""Array storage: the Array Storage Extensibility Interface and back-ends.
+
+Chapter 6 of the dissertation: arrays too large (or too numerous) for main
+memory are linearized, chunked, and stored in an external system behind the
+*Array Storage Extensibility Interface* (ASEI).  Triple values then hold
+:class:`~repro.arrays.ArrayProxy` descriptors, and the array-proxy-resolve
+(APR) operator fetches exactly the chunks a query's view touches, using one
+of three retrieval strategies:
+
+- ``SINGLE`` — one back-end request per chunk;
+- ``BUFFER`` — batch up to *buffer_size* chunk ids per request (IN-lists);
+- ``SPD``    — run the Sequence Pattern Detector over the chunk-id stream
+  and issue range requests for the arithmetic subsequences it finds.
+
+Back-ends provided: in-memory (:class:`MemoryArrayStore`), binary files
+(:class:`FileArrayStore`), and an RDBMS via SQLite
+(:class:`SqlArrayStore`).
+"""
+
+from repro.storage.asei import ArrayStore, StorageStats
+from repro.storage.memory import MemoryArrayStore
+from repro.storage.filestore import FileArrayStore
+from repro.storage.sqlstore import SqlArrayStore
+from repro.storage.sqlgraph import SqlTripleGraph
+from repro.storage.apr import APRResolver, Strategy
+from repro.storage.spd import SequencePatternDetector
+from repro.storage.cache import ChunkCache
+
+__all__ = [
+    "ArrayStore",
+    "StorageStats",
+    "MemoryArrayStore",
+    "FileArrayStore",
+    "SqlArrayStore",
+    "SqlTripleGraph",
+    "APRResolver",
+    "Strategy",
+    "SequencePatternDetector",
+    "ChunkCache",
+]

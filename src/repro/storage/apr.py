@@ -1,0 +1,212 @@
+"""Array-proxy-resolve (APR): turn lazy proxies into resident arrays.
+
+The APR operator sits at the boundary between the query engine and an ASEI
+back-end.  Given one or a *bag* of proxies (dissertation section 6.2.4:
+resolving bags lets accesses to the same stored array share round trips),
+it plans which chunks each view touches, fetches them under one of three
+retrieval strategies, and assembles the requested elements:
+
+- :attr:`Strategy.SINGLE` — one request per chunk; the naive baseline.
+- :attr:`Strategy.BUFFER` — chunk ids are accumulated into a buffer of
+  ``buffer_size`` ids and fetched with batched (IN-list) requests.
+- :attr:`Strategy.SPD` — the Sequence Pattern Detector factors the id
+  stream into arithmetic ranges served by range requests, with leftovers
+  batched.
+
+The aggregate variant (AAPR, :meth:`APRResolver.resolve_aggregate`)
+computes whole-array aggregates chunk-at-a-time — or delegates them to the
+back-end entirely — so a terabyte-scale array never needs to be resident.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.arrays.chunks import (
+    assemble_from_chunks,
+    chunks_of_runs,
+    linear_indices_of_runs,
+)
+from repro.arrays.nma import NumericArray
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import StorageError
+from repro.storage.cache import ChunkCache
+from repro.storage.spd import RANGE, SINGLE, SequencePatternDetector
+
+
+class Strategy(enum.Enum):
+    """APR retrieval strategies compared in Experiment 1 (section 6.3.2)."""
+
+    SINGLE = "single"
+    BUFFER = "buffer"
+    SPD = "spd"
+
+
+class APRResolver:
+    """Plans and executes chunk retrieval for array proxies."""
+
+    def __init__(self, store, strategy=Strategy.SPD, buffer_size=256,
+                 cache=None, min_run=3):
+        if isinstance(strategy, str):
+            strategy = Strategy(strategy.lower())
+        self.store = store
+        self.strategy = strategy
+        self.buffer_size = int(buffer_size)
+        if self.buffer_size < 1:
+            raise StorageError("buffer_size must be positive")
+        self.cache = cache
+        self.min_run = min_run
+
+    # -- public API -------------------------------------------------------------
+
+    def resolve(self, proxies):
+        """Resolve a bag of proxies; returns resident NumericArrays.
+
+        Proxies referring to the same stored array share fetches: their
+        chunk needs are united before any request is issued.
+        """
+        proxies = list(proxies)
+        for proxy in proxies:
+            if not isinstance(proxy, ArrayProxy):
+                raise StorageError("cannot resolve %r" % (proxy,))
+            if proxy.store is not self.store:
+                raise StorageError(
+                    "proxy belongs to a different store: %r" % (proxy,)
+                )
+        plans = []
+        needs: Dict[object, List[int]] = {}
+        for proxy in proxies:
+            layout = self.store.meta(proxy.array_id).layout
+            runs = list(proxy.iter_runs())
+            chunk_ids = chunks_of_runs(runs, layout.elements_per_chunk)
+            plans.append((proxy, layout, runs, chunk_ids))
+            bucket = needs.setdefault(proxy.array_id, [])
+            bucket.extend(chunk_ids)
+        fetched: Dict[object, Dict[int, np.ndarray]] = {}
+        for array_id, chunk_ids in needs.items():
+            fetched[array_id] = self._fetch(array_id, chunk_ids)
+        results = []
+        for proxy, layout, runs, chunk_ids in plans:
+            indices = linear_indices_of_runs(runs)
+            flat = assemble_from_chunks(
+                indices, fetched[proxy.array_id],
+                layout.elements_per_chunk, proxy.dtype,
+            )
+            results.append(
+                NumericArray(flat.reshape(proxy.shape)
+                             if proxy.shape else flat.reshape(()))
+            )
+        return results
+
+    def resolve_aggregate(self, proxy, op):
+        """AAPR: aggregate over a proxy without materializing the view.
+
+        Whole-array views go to the back-end when it supports delegated
+        aggregates; otherwise (and for partial views) chunks stream through
+        a running reducer.
+        """
+        if op not in ("sum", "avg", "min", "max", "count"):
+            raise StorageError("unknown aggregate %r" % (op,))
+        if op == "count":
+            return proxy.element_count
+        if proxy.is_whole_array() and self.store.supports_aggregates:
+            return self.store.aggregate(proxy.array_id, op)
+        layout = self.store.meta(proxy.array_id).layout
+        runs = list(proxy.iter_runs())
+        total = 0.0
+        count = 0
+        low = None
+        high = None
+        epc = layout.elements_per_chunk
+        # stream the needed chunks in batches bounded by the buffer size
+        chunk_ids = chunks_of_runs(runs, epc)
+        indices = linear_indices_of_runs(runs)
+        order = np.argsort(indices // epc, kind="stable")
+        sorted_indices = indices[order]
+        position = 0
+        for start in range(0, len(chunk_ids), self.buffer_size):
+            batch = chunk_ids[start:start + self.buffer_size]
+            chunks = self._fetch(proxy.array_id, batch)
+            batch_set = set(batch)
+            # consume every element index living in this batch of chunks
+            while position < len(sorted_indices):
+                index = sorted_indices[position]
+                chunk_id = int(index // epc)
+                if chunk_id not in batch_set:
+                    break
+                value = float(chunks[chunk_id][int(index - chunk_id * epc)])
+                total += value
+                count += 1
+                low = value if low is None else min(low, value)
+                high = value if high is None else max(high, value)
+                position += 1
+        if count == 0:
+            raise StorageError("aggregate of an empty view")
+        if op == "sum":
+            return total
+        if op == "avg":
+            return total / count
+        if op == "min":
+            return low
+        return high
+
+    # -- fetch planning ------------------------------------------------------------
+
+    def _fetch(self, array_id, chunk_ids):
+        """Fetch chunk ids (first-touch order) under the configured
+        strategy, going through the cache when one is attached."""
+        unique = list(dict.fromkeys(chunk_ids))
+        chunks: Dict[int, np.ndarray] = {}
+        missing = []
+        if self.cache is not None:
+            for chunk_id in unique:
+                hit = self.cache.get(array_id, chunk_id)
+                if hit is None:
+                    missing.append(chunk_id)
+                else:
+                    chunks[chunk_id] = hit
+        else:
+            missing = unique
+        if missing:
+            if self.strategy is Strategy.SINGLE:
+                fetched = self._fetch_single(array_id, missing)
+            elif self.strategy is Strategy.BUFFER:
+                fetched = self._fetch_buffered(array_id, missing)
+            else:
+                fetched = self._fetch_spd(array_id, missing)
+            if self.cache is not None:
+                for chunk_id, data in fetched.items():
+                    self.cache.put(array_id, chunk_id, data)
+            chunks.update(fetched)
+        return chunks
+
+    def _fetch_single(self, array_id, chunk_ids):
+        return {
+            chunk_id: self.store.get_chunk(array_id, chunk_id)
+            for chunk_id in chunk_ids
+        }
+
+    def _fetch_buffered(self, array_id, chunk_ids):
+        result = {}
+        for start in range(0, len(chunk_ids), self.buffer_size):
+            batch = chunk_ids[start:start + self.buffer_size]
+            result.update(self.store.get_chunks(array_id, batch))
+        return result
+
+    def _fetch_spd(self, array_id, chunk_ids):
+        detector = SequencePatternDetector(min_run=self.min_run)
+        emissions = []
+        for chunk_id in chunk_ids:
+            emissions.extend(detector.feed(chunk_id))
+        emissions.extend(detector.flush())
+        ranges = [(e[1], e[2], e[3]) for e in emissions if e[0] == RANGE]
+        singles = [e[1] for e in emissions if e[0] == SINGLE]
+        result = {}
+        if ranges:
+            result.update(self.store.get_chunk_ranges(array_id, ranges))
+        if singles:
+            result.update(self._fetch_buffered(array_id, singles))
+        return result

@@ -1,0 +1,229 @@
+"""The Array Storage Extensibility Interface (ASEI).
+
+A back-end stores linearized array buffers as sequences of equal-size
+chunks and answers three kinds of retrieval requests, in increasing order
+of sophistication (dissertation section 6.1):
+
+1. ``get_chunk``  — fetch one chunk (always required);
+2. ``get_chunks`` — fetch a batch of chunk ids in one round trip
+   (IN-list style; default implementation loops over ``get_chunk``);
+3. ``get_chunk_ranges`` — fetch arithmetic ranges of chunk ids in one
+   round trip (range-scan style; default expands to a batch).
+
+Each back-end maintains a :class:`StorageStats` counter block so the
+benchmarks can report *round trips* and *chunks transferred* — the
+quantities the paper's experiments compare across strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.chunks import ChunkLayout, DEFAULT_CHUNK_BYTES
+from repro.arrays.nma import ELEMENT_TYPES, NumericArray, dtype_code
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import StorageError
+
+
+class StorageStats:
+    """Counters of back-end traffic, reset between measurements."""
+
+    __slots__ = ("requests", "chunks_fetched", "bytes_fetched",
+                 "arrays_stored", "aggregates_delegated")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.requests = 0
+        self.chunks_fetched = 0
+        self.bytes_fetched = 0
+        self.arrays_stored = 0
+        self.aggregates_delegated = 0
+
+    def snapshot(self):
+        return {
+            "requests": self.requests,
+            "chunks_fetched": self.chunks_fetched,
+            "bytes_fetched": self.bytes_fetched,
+            "arrays_stored": self.arrays_stored,
+            "aggregates_delegated": self.aggregates_delegated,
+        }
+
+    def __repr__(self):
+        return "StorageStats(%r)" % (self.snapshot(),)
+
+
+class ArrayMeta:
+    """Descriptor of one stored array: shape, element type, layout."""
+
+    __slots__ = ("array_id", "element_type", "shape", "layout")
+
+    def __init__(self, array_id, element_type, shape, layout):
+        self.array_id = array_id
+        self.element_type = element_type
+        self.shape = tuple(shape)
+        self.layout = layout
+
+
+class ArrayStore:
+    """Abstract ASEI back-end.
+
+    Concrete back-ends implement ``_write_chunk`` / ``_read_chunk`` and may
+    override the batched and ranged readers when the underlying system can
+    answer them in one round trip.  The public API works in terms of
+    :class:`ArrayProxy` values and numpy chunk buffers.
+    """
+
+    #: Capability flags a back-end may override.
+    supports_batch = False
+    supports_ranges = False
+    supports_aggregates = False
+
+    def __init__(self, chunk_bytes=DEFAULT_CHUNK_BYTES):
+        self.chunk_bytes = int(chunk_bytes)
+        self.stats = StorageStats()
+        self._meta: Dict[object, ArrayMeta] = {}
+        self._next_id = 1
+        self._default_resolver = None
+
+    # -- registration ---------------------------------------------------------
+
+    def put(self, array, chunk_bytes=None):
+        """Store a resident array; returns a whole-array proxy.
+
+        ``array`` may be a NumericArray, numpy array, or nested lists.
+        """
+        if not isinstance(array, NumericArray):
+            array = NumericArray(array)
+        flat = np.ascontiguousarray(array.to_numpy()).reshape(-1)
+        element_type = dtype_code(flat.dtype)
+        chunk_bytes = chunk_bytes or self.chunk_bytes
+        layout = ChunkLayout(flat.shape[0], flat.dtype.itemsize, chunk_bytes)
+        array_id = self._allocate_id()
+        meta = ArrayMeta(array_id, element_type, array.shape, layout)
+        self._meta[array_id] = meta
+        for chunk_id, start, count in layout.chunk_slices():
+            self._write_chunk(array_id, chunk_id, flat[start:start + count])
+        self._register_meta(meta)
+        self.stats.arrays_stored += 1
+        return ArrayProxy(self, array_id, element_type, array.shape)
+
+    def proxy(self, array_id):
+        """A whole-array proxy for an already-stored array."""
+        meta = self.meta(array_id)
+        return ArrayProxy(self, array_id, meta.element_type, meta.shape)
+
+    def meta(self, array_id):
+        meta = self._meta.get(array_id)
+        if meta is None:
+            meta = self._load_meta(array_id)
+            if meta is None:
+                raise StorageError("unknown array id %r" % (array_id,))
+            self._meta[array_id] = meta
+        return meta
+
+    def array_ids(self):
+        return list(self._meta.keys())
+
+    def _allocate_id(self):
+        array_id = self._next_id
+        self._next_id += 1
+        return array_id
+
+    # -- retrieval (back-end contract) -----------------------------------------
+
+    def get_chunk(self, array_id, chunk_id):
+        """One chunk as a 1-D numpy array; one round trip."""
+        meta = self.meta(array_id)
+        data = self._read_chunk(array_id, chunk_id)
+        self.stats.requests += 1
+        self.stats.chunks_fetched += 1
+        self.stats.bytes_fetched += data.nbytes
+        return data
+
+    def get_chunks(self, array_id, chunk_ids):
+        """A batch of chunks in one round trip (when supported).
+
+        Returns {chunk_id: 1-D numpy array}.  The default implementation
+        degrades to per-chunk requests, modelling a back-end without
+        IN-list support.
+        """
+        if not self.supports_batch:
+            return {cid: self.get_chunk(array_id, cid) for cid in chunk_ids}
+        result = self._read_chunks(array_id, list(chunk_ids))
+        self.stats.requests += 1
+        self.stats.chunks_fetched += len(result)
+        self.stats.bytes_fetched += sum(a.nbytes for a in result.values())
+        return result
+
+    def get_chunk_ranges(self, array_id, ranges):
+        """Chunks for arithmetic (first, last, step) id ranges, inclusive.
+
+        One round trip per call when the back-end supports range scans;
+        otherwise the ranges are expanded into a batch request.
+        """
+        if not self.supports_ranges:
+            chunk_ids = []
+            for first, last, step in ranges:
+                chunk_ids.extend(range(first, last + 1, step))
+            return self.get_chunks(array_id, chunk_ids)
+        result = self._read_chunk_ranges(array_id, list(ranges))
+        self.stats.requests += 1
+        self.stats.chunks_fetched += len(result)
+        self.stats.bytes_fetched += sum(a.nbytes for a in result.values())
+        return result
+
+    def aggregate(self, array_id, op):
+        """Whole-array aggregate computed back-end-side (AAPR delegation).
+
+        ``op`` is one of 'sum', 'avg', 'min', 'max'.  Back-ends with
+        ``supports_aggregates`` evaluate without shipping chunks to the
+        client; the base implementation raises.
+        """
+        raise StorageError(
+            "back-end %s cannot delegate aggregates"
+            % type(self).__name__
+        )
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self, proxies, strategy=None, buffer_size=None):
+        """Resolve proxies to resident arrays with the default APR setup."""
+        from repro.storage.apr import APRResolver
+
+        if strategy is None and buffer_size is None:
+            if self._default_resolver is None:
+                self._default_resolver = APRResolver(self)
+            resolver = self._default_resolver
+        else:
+            kwargs = {}
+            if strategy is not None:
+                kwargs["strategy"] = strategy
+            if buffer_size is not None:
+                kwargs["buffer_size"] = buffer_size
+            resolver = APRResolver(self, **kwargs)
+        return resolver.resolve(proxies)
+
+    # -- subclass responsibilities ----------------------------------------------
+
+    def _write_chunk(self, array_id, chunk_id, data):
+        raise NotImplementedError
+
+    def _read_chunk(self, array_id, chunk_id):
+        raise NotImplementedError
+
+    def _read_chunks(self, array_id, chunk_ids):
+        raise NotImplementedError
+
+    def _read_chunk_ranges(self, array_id, ranges):
+        raise NotImplementedError
+
+    def _register_meta(self, meta):
+        """Hook for back-ends persisting array metadata."""
+
+    def _load_meta(self, array_id):
+        """Hook for back-ends that can recover metadata from persistence."""
+        return None

@@ -1,0 +1,163 @@
+"""Binary-file ASEI back-end.
+
+Models the paper's "arrays in binary files" storage choice (and the
+Matlab-integration scenario where arrays live in native files): each array
+is one flat binary file; a chunk read is a seek plus a fixed-size read.
+Range requests over *consecutive* chunks collapse into a single contiguous
+read — the file system's natural advantage the paper's comparison
+highlights (section 2.5: "sequential access to chunks provides a
+substantial performance boost over random access").
+
+A small JSON sidecar per array persists shape and dtype so a store can be
+reopened on the same directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.arrays.chunks import ChunkLayout
+from repro.arrays.nma import ELEMENT_TYPES
+from repro.exceptions import StorageError
+from repro.storage.asei import ArrayMeta, ArrayStore
+
+
+class FileArrayStore(ArrayStore):
+    """One flat binary file per array under a base directory."""
+
+    supports_batch = True
+    supports_ranges = True
+    supports_aggregates = False
+
+    def __init__(self, directory, chunk_bytes=None, **kwargs):
+        if chunk_bytes is not None:
+            kwargs["chunk_bytes"] = chunk_bytes
+        super().__init__(**kwargs)
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._recover_ids()
+
+    def _recover_ids(self):
+        highest = 0
+        for name in os.listdir(self.directory):
+            if name.startswith("array_") and name.endswith(".json"):
+                try:
+                    highest = max(highest, int(name[6:-5]))
+                except ValueError:
+                    continue
+        self._next_id = highest + 1
+
+    def _data_path(self, array_id):
+        return os.path.join(self.directory, "array_%d.bin" % array_id)
+
+    def _meta_path(self, array_id):
+        return os.path.join(self.directory, "array_%d.json" % array_id)
+
+    # -- persistence of metadata ------------------------------------------------
+
+    def _register_meta(self, meta):
+        with open(self._meta_path(meta.array_id), "w") as handle:
+            json.dump(
+                {
+                    "element_type": meta.element_type,
+                    "shape": list(meta.shape),
+                    "element_count": meta.layout.element_count,
+                    "chunk_bytes": meta.layout.chunk_bytes,
+                },
+                handle,
+            )
+
+    def _load_meta(self, array_id):
+        path = self._meta_path(array_id)
+        if not os.path.exists(path):
+            return None
+        with open(path) as handle:
+            raw = json.load(handle)
+        dtype = ELEMENT_TYPES[raw["element_type"]]
+        layout = ChunkLayout(
+            raw["element_count"], dtype.itemsize, raw["chunk_bytes"]
+        )
+        return ArrayMeta(array_id, raw["element_type"], raw["shape"], layout)
+
+    # -- chunk IO -----------------------------------------------------------------
+
+    def _write_chunk(self, array_id, chunk_id, data):
+        layout = self.meta(array_id).layout
+        path = self._data_path(array_id)
+        mode = "r+b" if os.path.exists(path) else "wb"
+        with open(path, mode) as handle:
+            handle.seek(chunk_id * layout.chunk_bytes)
+            handle.write(np.ascontiguousarray(data).tobytes())
+
+    def _read_chunk(self, array_id, chunk_id):
+        meta = self.meta(array_id)
+        layout = meta.layout
+        count = layout.chunk_extent(chunk_id)
+        if count == 0:
+            raise StorageError(
+                "chunk %d outside array %r" % (chunk_id, array_id)
+            )
+        dtype = ELEMENT_TYPES[meta.element_type]
+        with open(self._data_path(array_id), "rb") as handle:
+            handle.seek(chunk_id * layout.chunk_bytes)
+            raw = handle.read(count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype)
+
+    def _read_chunks(self, array_id, chunk_ids):
+        meta = self.meta(array_id)
+        layout = meta.layout
+        dtype = ELEMENT_TYPES[meta.element_type]
+        result = {}
+        with open(self._data_path(array_id), "rb") as handle:
+            for chunk_id in sorted(set(chunk_ids)):
+                count = layout.chunk_extent(chunk_id)
+                if count == 0:
+                    raise StorageError(
+                        "chunk %d outside array %r" % (chunk_id, array_id)
+                    )
+                handle.seek(chunk_id * layout.chunk_bytes)
+                raw = handle.read(count * dtype.itemsize)
+                result[chunk_id] = np.frombuffer(raw, dtype=dtype)
+        return result
+
+    def _read_chunk_ranges(self, array_id, ranges):
+        meta = self.meta(array_id)
+        layout = meta.layout
+        dtype = ELEMENT_TYPES[meta.element_type]
+        result = {}
+        with open(self._data_path(array_id), "rb") as handle:
+            for first, last, step in ranges:
+                if step == 1:
+                    # contiguous range: a single large sequential read
+                    handle.seek(first * layout.chunk_bytes)
+                    span_chunks = last - first + 1
+                    tail_extent = layout.chunk_extent(last)
+                    if tail_extent == 0:
+                        raise StorageError(
+                            "chunk %d outside array %r" % (last, array_id)
+                        )
+                    nbytes = (
+                        (span_chunks - 1) * layout.chunk_bytes
+                        + tail_extent * dtype.itemsize
+                    )
+                    raw = handle.read(nbytes)
+                    for index in range(span_chunks):
+                        chunk_id = first + index
+                        count = layout.chunk_extent(chunk_id)
+                        start = index * layout.chunk_bytes
+                        result[chunk_id] = np.frombuffer(
+                            raw, dtype=dtype,
+                            count=count,
+                            offset=start,
+                        )
+                else:
+                    for chunk_id in range(first, last + 1, step):
+                        count = layout.chunk_extent(chunk_id)
+                        handle.seek(chunk_id * layout.chunk_bytes)
+                        raw = handle.read(count * dtype.itemsize)
+                        result[chunk_id] = np.frombuffer(raw, dtype=dtype)
+        return result

@@ -1,0 +1,72 @@
+"""In-memory ASEI back-end.
+
+Used for unit tests and as the baseline "no external storage" case: every
+request is a dictionary lookup, so differences between retrieval strategies
+reduce to pure bookkeeping overhead — useful for isolating strategy cost
+from transport cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.storage.asei import ArrayStore
+
+
+class MemoryArrayStore(ArrayStore):
+    """Chunks held in a process-local dictionary."""
+
+    supports_batch = True
+    supports_ranges = True
+    supports_aggregates = True
+
+    def __init__(self, chunk_bytes=None, **kwargs):
+        if chunk_bytes is not None:
+            kwargs["chunk_bytes"] = chunk_bytes
+        super().__init__(**kwargs)
+        self._chunks: Dict[Tuple[object, int], np.ndarray] = {}
+
+    def _write_chunk(self, array_id, chunk_id, data):
+        self._chunks[(array_id, chunk_id)] = np.array(data)
+
+    def _read_chunk(self, array_id, chunk_id):
+        try:
+            return self._chunks[(array_id, chunk_id)]
+        except KeyError:
+            raise StorageError(
+                "missing chunk %r of array %r" % (chunk_id, array_id)
+            )
+
+    def _read_chunks(self, array_id, chunk_ids):
+        return {cid: self._read_chunk(array_id, cid) for cid in chunk_ids}
+
+    def _read_chunk_ranges(self, array_id, ranges):
+        result = {}
+        for first, last, step in ranges:
+            for chunk_id in range(first, last + 1, step):
+                result[chunk_id] = self._read_chunk(array_id, chunk_id)
+        return result
+
+    def aggregate(self, array_id, op):
+        meta = self.meta(array_id)
+        pieces = [
+            self._read_chunk(array_id, chunk_id)
+            for chunk_id in range(meta.layout.chunk_count)
+        ]
+        self.stats.requests += 1
+        self.stats.aggregates_delegated += 1
+        flat = np.concatenate(pieces) if pieces else np.empty(0)
+        if flat.size == 0:
+            raise StorageError("aggregate of empty array %r" % (array_id,))
+        if op == "sum":
+            return float(np.sum(flat))
+        if op == "avg":
+            return float(np.mean(flat))
+        if op == "min":
+            return float(np.min(flat))
+        if op == "max":
+            return float(np.max(flat))
+        raise StorageError("unknown aggregate %r" % (op,))

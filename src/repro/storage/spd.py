@@ -1,0 +1,99 @@
+"""The Sequence Pattern Detector (SPD) algorithm.
+
+Dissertation section 6.2.5: instead of designing array tiles so access
+patterns become regular, SSDM *discovers regularity at query run time*.
+The detector consumes the stream of chunk ids an array view is about to
+touch and greedily factors it into maximal arithmetic subsequences; each
+subsequence of length >= ``min_run`` becomes one range request (a single
+SQL range query), everything else is emitted as single chunk ids (which the
+APR layer then batches).
+
+The detector is streaming: ``feed`` may be called once per chunk id and
+emits completed patterns as soon as they are known; ``flush`` drains the
+tail.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+#: Emission kinds.
+SINGLE = "single"
+RANGE = "range"
+
+
+class SequencePatternDetector:
+    """Greedy streaming detection of arithmetic chunk-id sequences.
+
+    >>> spd = SequencePatternDetector(min_run=3)
+    >>> emissions = []
+    >>> for cid in [0, 2, 4, 6, 11, 13]:
+    ...     emissions.extend(spd.feed(cid))
+    >>> emissions.extend(spd.flush())
+    >>> emissions
+    [('range', 0, 6, 2), ('single', 11), ('single', 13)]
+    """
+
+    def __init__(self, min_run=3):
+        if min_run < 2:
+            raise ValueError("min_run must be at least 2")
+        self.min_run = min_run
+        self._pending: List[int] = []
+        self._step: Optional[int] = None
+
+    def feed(self, chunk_id):
+        """Consume one chunk id; returns a list of completed emissions."""
+        out = []
+        pending = self._pending
+        if not pending:
+            pending.append(chunk_id)
+            return out
+        if self._step is None:
+            step = chunk_id - pending[-1]
+            if step > 0:
+                self._step = step
+                pending.append(chunk_id)
+            else:
+                # non-increasing: cannot extend an upward run
+                out.append((SINGLE, pending.pop()))
+                pending.append(chunk_id)
+            return out
+        if chunk_id == pending[-1] + self._step:
+            pending.append(chunk_id)
+            return out
+        # the run broke; emit what we have
+        out.extend(self._close())
+        return out + self.feed(chunk_id)
+
+    def flush(self):
+        """Drain and emit whatever remains buffered."""
+        out = self._close(final=True)
+        return out
+
+    def _close(self, final=False):
+        pending = self._pending
+        out = []
+        if len(pending) >= self.min_run:
+            out.append((RANGE, pending[0], pending[-1], self._step))
+            self._pending = []
+            self._step = None
+        elif final:
+            out.extend((SINGLE, cid) for cid in pending)
+            self._pending = []
+            self._step = None
+        else:
+            # keep the last element: it may seed the next run
+            out.extend((SINGLE, cid) for cid in pending[:-1])
+            self._pending = pending[-1:]
+            self._step = None
+        return out
+
+
+def detect_patterns(chunk_ids, min_run=3):
+    """Factor a finite chunk-id sequence into SPD emissions."""
+    detector = SequencePatternDetector(min_run=min_run)
+    out = []
+    for chunk_id in chunk_ids:
+        out.extend(detector.feed(chunk_id))
+    out.extend(detector.flush())
+    return out

@@ -1,0 +1,370 @@
+"""Relational storage of RDF-with-Arrays triples (section 6.2.1).
+
+The back-end scenario stores not only the arrays but the RDF graph itself
+in the RDBMS.  The schema follows the paper's choice (b) of section
+2.2.3 — *partitioning by value type*: one clustered triples table whose
+value column set is typed (URI / blank / numeric / string / typed-literal
+/ array), with indexes covering the SPO, POS, and OSP access paths.
+Array values are stored through the same database's chunk tables (an
+embedded :class:`~repro.storage.sqlstore.SqlArrayStore`) and surface as
+lazy :class:`~repro.arrays.ArrayProxy` values.
+
+:class:`SqlTripleGraph` implements the same interface as the in-memory
+:class:`repro.rdf.graph.Graph` (triples / add / remove / statistics), so
+the whole query engine — including the cost-based optimizer — runs
+unchanged on top of it::
+
+    graph = SqlTripleGraph("mydata.db")
+    ssdm = SSDM.with_triple_store(graph)
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Iterator, Optional
+
+from repro.arrays.nma import NumericArray, row_major_strides
+from repro.arrays.proxy import ArrayProxy
+from repro.exceptions import SciSparqlError, StorageError
+from repro.rdf.term import BlankNode, Literal, Triple, URI
+from repro.storage.sqlstore import SqlArrayStore
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS triples (
+    s_kind  TEXT NOT NULL,          -- 'u' uri | 'b' blank
+    s_text  TEXT NOT NULL,
+    p_text  TEXT NOT NULL,
+    v_kind  TEXT NOT NULL,          -- u/b/n/s/l/t/a (see _encode_value)
+    v_text  TEXT NOT NULL,
+    v_num   REAL,
+    v_extra TEXT,
+    PRIMARY KEY (s_kind, s_text, p_text, v_kind, v_text)
+);
+CREATE INDEX IF NOT EXISTS idx_pos ON triples (p_text, v_kind, v_text);
+CREATE INDEX IF NOT EXISTS idx_osp ON triples (v_kind, v_text, s_text);
+CREATE INDEX IF NOT EXISTS idx_pnum ON triples (p_text, v_num)
+    WHERE v_num IS NOT NULL;
+"""
+
+
+class _SqlStatistics:
+    """GraphStatistics-compatible estimates computed in SQL."""
+
+    def __init__(self, graph):
+        self._graph = graph
+
+    @property
+    def triple_count(self):
+        return len(self._graph)
+
+    def _one(self, sql, args=()):
+        row = self._graph._connection.execute(sql, args).fetchone()
+        return row[0] if row else 0
+
+    def property_count(self, prop):
+        return self._one(
+            "SELECT COUNT(*) FROM triples WHERE p_text=?", (prop.value,)
+        )
+
+    def distinct_subjects(self, prop=None):
+        if prop is None:
+            return self._one("SELECT COUNT(DISTINCT s_text) FROM triples")
+        return self._one(
+            "SELECT COUNT(DISTINCT s_text) FROM triples WHERE p_text=?",
+            (prop.value,),
+        )
+
+    def distinct_values(self, prop=None):
+        if prop is None:
+            return self._one(
+                "SELECT COUNT(*) FROM (SELECT DISTINCT v_kind, v_text"
+                " FROM triples)"
+            )
+        return self._one(
+            "SELECT COUNT(*) FROM (SELECT DISTINCT v_kind, v_text"
+            " FROM triples WHERE p_text=?)",
+            (prop.value,),
+        )
+
+    def fanout(self, prop):
+        count = self.property_count(prop)
+        subjects = self.distinct_subjects(prop)
+        return count / subjects if subjects else 1.0
+
+    def fanin(self, prop):
+        count = self.property_count(prop)
+        values = self.distinct_values(prop)
+        return count / values if values else 1.0
+
+
+class SqlTripleGraph:
+    """An RDF-with-Arrays graph persisted in SQLite."""
+
+    def __init__(self, database=":memory:", chunk_bytes=None, name=None,
+                 externalize_threshold=16):
+        self.name = name
+        # access is serialized by the owning SSDM/server; allow the
+        # connection to cross threads (the TCP server handles
+        # requests on worker threads under a lock)
+        self._connection = sqlite3.connect(
+            database, check_same_thread=False
+        )
+        self._connection.executescript(_SCHEMA)
+        kwargs = {}
+        if chunk_bytes is not None:
+            kwargs["chunk_bytes"] = chunk_bytes
+        self.array_store = SqlArrayStore(database=":memory:", **kwargs) \
+            if database == ":memory:" else SqlArrayStore(
+                database=database, **kwargs)
+        if database != ":memory:":
+            # share one connection-backed database file for both schemas
+            pass
+        self.externalize_threshold = int(externalize_threshold)
+        self.statistics = _SqlStatistics(self)
+
+    def close(self):
+        self._connection.close()
+        self.array_store.close()
+
+    # -- term codecs -------------------------------------------------------------
+
+    @staticmethod
+    def _encode_subject(subject):
+        if isinstance(subject, URI):
+            return "u", subject.value
+        if isinstance(subject, BlankNode):
+            return "b", subject.label
+        raise SciSparqlError(
+            "triple subject must be URI or BlankNode, got %r" % (subject,)
+        )
+
+    def _encode_value(self, value):
+        """(kind, text, num, extra) for any RDF-with-Arrays value."""
+        if isinstance(value, URI):
+            return "u", value.value, None, None
+        if isinstance(value, BlankNode):
+            return "b", value.label, None, None
+        if isinstance(value, NumericArray):
+            if value.element_count > self.externalize_threshold:
+                proxy = self.array_store.put(value)
+                return self._encode_value(proxy)
+            payload = json.dumps({
+                "data": value.to_nested_lists(),
+                "dtype": value.element_type,
+            })
+            return "t", payload, None, "resident-array"
+        if isinstance(value, ArrayProxy):
+            descriptor = json.dumps({
+                "id": value.array_id,
+                "etype": value.element_type,
+                "base": list(value.base_shape),
+                "shape": list(value.shape),
+                "strides": list(value.strides),
+                "offset": value.offset,
+            })
+            return "a", descriptor, None, None
+        if isinstance(value, Literal):
+            if value.lang:
+                return "l", value.lexical_form(), None, value.lang
+            if value.is_numeric():
+                return ("n", value.lexical_form(), float(value.value),
+                        value.datatype.value)
+            if isinstance(value.value, bool):
+                return ("t", value.lexical_form(), None,
+                        value.datatype.value)
+            if value.datatype.value == \
+                    "http://www.w3.org/2001/XMLSchema#string":
+                return "s", value.value, None, None
+            return "t", value.lexical_form(), None, value.datatype.value
+        raise SciSparqlError("cannot store value %r" % (value,))
+
+    def _decode_subject(self, kind, text):
+        return URI(text) if kind == "u" else BlankNode(text)
+
+    def _decode_value(self, kind, text, num, extra):
+        if kind == "u":
+            return URI(text)
+        if kind == "b":
+            return BlankNode(text)
+        if kind == "s":
+            return Literal(text)
+        if kind == "l":
+            return Literal(text, lang=extra)
+        if kind == "n":
+            return Literal.from_lexical(text, URI(extra))
+        if kind == "t":
+            if extra == "resident-array":
+                payload = json.loads(text)
+                return NumericArray(payload["data"],
+                                    dtype=payload["dtype"])
+            return Literal.from_lexical(text, URI(extra))
+        if kind == "a":
+            raw = json.loads(text)
+            return ArrayProxy(
+                self.array_store, raw["id"], raw["etype"], raw["base"],
+                shape=tuple(raw["shape"]),
+                strides=tuple(raw["strides"]),
+                offset=raw["offset"],
+            )
+        raise StorageError("unknown value kind %r" % (kind,))
+
+    # -- graph interface ------------------------------------------------------------
+
+    def __len__(self):
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM triples"
+        ).fetchone()
+        return row[0]
+
+    def __iter__(self):
+        return self.triples()
+
+    def __contains__(self, triple):
+        subject, prop, value = triple
+        for _ in self.triples(subject, prop, value):
+            return True
+        return False
+
+    def add(self, subject, prop, value):
+        if not isinstance(prop, URI):
+            raise SciSparqlError(
+                "triple property must be URI, got %r" % (prop,)
+            )
+        s_kind, s_text = self._encode_subject(subject)
+        v_kind, v_text, v_num, v_extra = self._encode_value(value)
+        self._connection.execute(
+            "INSERT OR IGNORE INTO triples"
+            " (s_kind, s_text, p_text, v_kind, v_text, v_num, v_extra)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (s_kind, s_text, prop.value, v_kind, v_text, v_num, v_extra),
+        )
+        self._connection.commit()
+        return self
+
+    def add_triple(self, triple):
+        return self.add(triple[0], triple[1], triple[2])
+
+    def update(self, triples):
+        for triple in triples:
+            self.add(triple[0], triple[1], triple[2])
+        return self
+
+    def remove(self, subject, prop, value):
+        s_kind, s_text = self._encode_subject(subject)
+        v_kind, v_text, _, _ = self._encode_value(value)
+        cursor = self._connection.execute(
+            "DELETE FROM triples WHERE s_kind=? AND s_text=? AND p_text=?"
+            " AND v_kind=? AND v_text=?",
+            (s_kind, s_text, prop.value, v_kind, v_text),
+        )
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    def remove_matching(self, subject=None, prop=None, value=None):
+        doomed = list(self.triples(subject, prop, value))
+        for triple in doomed:
+            self.remove(*triple)
+        return len(doomed)
+
+    def clear(self):
+        self._connection.execute("DELETE FROM triples")
+        self._connection.commit()
+
+    def triples(self, subject=None, prop=None, value=None):
+        conditions = []
+        args = []
+        if subject is not None:
+            s_kind, s_text = self._encode_subject(subject)
+            conditions.append("s_kind=? AND s_text=?")
+            args.extend([s_kind, s_text])
+        if prop is not None:
+            conditions.append("p_text=?")
+            args.append(prop.value)
+        if value is not None:
+            v_kind, v_text, _, _ = self._encode_value(value)
+            conditions.append("v_kind=? AND v_text=?")
+            args.extend([v_kind, v_text])
+        sql = ("SELECT s_kind, s_text, p_text, v_kind, v_text, v_num,"
+               " v_extra FROM triples")
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        for row in self._connection.execute(sql, args):
+            yield Triple(
+                self._decode_subject(row[0], row[1]),
+                URI(row[2]),
+                self._decode_value(row[3], row[4], row[5], row[6]),
+            )
+
+    def count(self, subject=None, prop=None, value=None):
+        if subject is None and prop is None and value is None:
+            return len(self)
+        if subject is None and value is None:
+            return self.statistics.property_count(prop)
+        return sum(1 for _ in self.triples(subject, prop, value))
+
+    def subjects(self, prop=None, value=None):
+        seen = set()
+        for triple in self.triples(None, prop, value):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def values(self, subject=None, prop=None):
+        for triple in self.triples(subject, prop, None):
+            yield triple.value
+
+    def value(self, subject, prop, default=None):
+        for triple in self.triples(subject, prop, None):
+            return triple.value
+        return default
+
+    def properties(self, subject):
+        s_kind, s_text = self._encode_subject(subject)
+        rows = self._connection.execute(
+            "SELECT DISTINCT p_text FROM triples WHERE s_kind=?"
+            " AND s_text=?",
+            (s_kind, s_text),
+        )
+        for (p_text,) in rows:
+            yield URI(p_text)
+
+    def copy(self):
+        clone = SqlTripleGraph(
+            ":memory:", externalize_threshold=self.externalize_threshold
+        )
+        clone.update(self.triples())
+        return clone
+
+    # -- value-range delegation (numeric partition) ------------------------------
+
+    def numeric_range_subjects(self, prop, low=None, high=None):
+        """Subjects whose numeric value for ``prop`` is in [low, high].
+
+        A delegated range selection on the typed value partition — the
+        kind of condition the mediator pushes into SQL instead of
+        filtering client-side.
+        """
+        conditions = ["p_text=?", "v_num IS NOT NULL"]
+        args = [prop.value]
+        if low is not None:
+            conditions.append("v_num >= ?")
+            args.append(float(low))
+        if high is not None:
+            conditions.append("v_num <= ?")
+            args.append(float(high))
+        rows = self._connection.execute(
+            "SELECT DISTINCT s_kind, s_text FROM triples WHERE "
+            + " AND ".join(conditions),
+            args,
+        )
+        return [self._decode_subject(kind, text) for kind, text in rows]
+
+    def to_ntriples(self):
+        return "\n".join(t.n3() for t in sorted(
+            self.triples(), key=lambda t: t.n3()
+        )) + ("\n" if len(self) else "")
+
+    def to_turtle(self, prefixes=None):
+        from repro.rdf.serializer import serialize_turtle
+        return serialize_turtle(self, prefixes=prefixes)

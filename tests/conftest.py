@@ -1,0 +1,57 @@
+"""Shared fixtures: populated SSDM instances and parametrized stores."""
+
+import pytest
+
+from repro import SSDM, MemoryArrayStore, FileArrayStore, SqlArrayStore
+
+
+FOAF_TURTLE = """
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex: <http://example.org/> .
+_:a a foaf:Person ; foaf:name "Alice" ;
+    foaf:knows _:b , _:d ; ex:age 30 .
+_:b a foaf:Person ; foaf:name "Bob" ;
+    foaf:knows _:a ; foaf:mbox "bob@example.org" ; ex:age 25 .
+_:c a foaf:Person ; foaf:name "Cindy" ; foaf:knows _:b ; ex:age 30 .
+_:d a foaf:Person ; foaf:name "Daniel" ; ex:email "dan@example.org" .
+"""
+
+ARRAY_TURTLE = """
+@prefix ex: <http://example.org/> .
+ex:m1 ex:val ((1 2) (3 4)) ; ex:label "small" .
+ex:m2 ex:val ((10 20 30) (40 50 60) (70 80 90)) ; ex:label "mid" .
+ex:v1 ex:val (5 10 15 20 25) ; ex:label "vector" .
+"""
+
+
+@pytest.fixture
+def ssdm():
+    return SSDM()
+
+
+@pytest.fixture
+def foaf(ssdm):
+    ssdm.load_turtle_text(FOAF_TURTLE)
+    return ssdm
+
+
+@pytest.fixture
+def arrays(ssdm):
+    ssdm.load_turtle_text(ARRAY_TURTLE)
+    return ssdm
+
+
+@pytest.fixture(params=["memory", "file", "sql"])
+def array_store(request, tmp_path):
+    """Each ASEI back-end, with a small chunk size to force chunking."""
+    if request.param == "memory":
+        return MemoryArrayStore(chunk_bytes=256)
+    if request.param == "file":
+        return FileArrayStore(str(tmp_path / "store"), chunk_bytes=256)
+    return SqlArrayStore(chunk_bytes=256)
+
+
+@pytest.fixture
+def external_ssdm(array_store):
+    """SSDM externalizing any array above 8 elements."""
+    return SSDM(array_store=array_store, externalize_threshold=8)

@@ -1,0 +1,271 @@
+"""Translation, rewriting, and cost-based optimization."""
+
+import pytest
+
+from repro import SSDM, Graph, URI, Literal
+from repro.sparql import ast, parse_query
+from repro.algebra import logical, translate
+from repro.algebra.cost import CostModel
+from repro.algebra.optimizer import optimize
+from repro.algebra.rewriter import (
+    fold_constants, rewrite, split_conjunction,
+)
+from repro.algebra.logical import (
+    BGP, Extend, Filter, Group, Join, LeftJoin, Minus, OrderBy, PathScan,
+    Project, Slice, Union, expression_variables, pattern_variables,
+)
+
+
+def plan_of(text):
+    plan, _ = translate(parse_query(text))
+    return plan
+
+
+def find_nodes(plan, kind):
+    found = []
+
+    def walk(node):
+        if isinstance(node, kind):
+            found.append(node)
+        for child in node.children():
+            walk(child)
+    walk(plan)
+    return found
+
+
+class TestTranslation:
+    def test_simple_select(self):
+        plan, columns = translate(parse_query(
+            "SELECT ?s WHERE { ?s ?p ?o }"
+        ))
+        assert columns == ["s"]
+        assert find_nodes(plan, BGP)
+
+    def test_adjacent_triples_merge_into_one_bgp(self):
+        plan = plan_of(
+            "SELECT ?a WHERE { ?a ?p ?b . ?b ?q ?c . ?c ?r ?d }"
+        )
+        bgps = find_nodes(plan, BGP)
+        assert len(bgps) == 1
+        assert len(bgps[0].patterns) == 3
+
+    def test_optional_becomes_leftjoin(self):
+        plan = plan_of(
+            "SELECT ?a WHERE { ?a ?p ?b OPTIONAL { ?b ?q ?c } }"
+        )
+        assert len(find_nodes(plan, LeftJoin)) == 1
+
+    def test_optional_filter_becomes_condition(self):
+        plan = plan_of(
+            "SELECT ?a WHERE { ?a ?p ?b "
+            "OPTIONAL { ?b ?q ?c FILTER(?c > ?b) } }"
+        )
+        left_join = find_nodes(plan, LeftJoin)[0]
+        assert left_join.condition is not None
+
+    def test_union(self):
+        plan = plan_of(
+            "SELECT ?a WHERE { { ?a ?p 1 } UNION { ?a ?p 2 } }"
+        )
+        union = find_nodes(plan, Union)[0]
+        assert len(union.branches) == 2
+
+    def test_minus(self):
+        plan = plan_of("SELECT ?a WHERE { ?a ?p ?b MINUS { ?a ?q 1 } }")
+        assert find_nodes(plan, Minus)
+
+    def test_path_split_from_bgp(self):
+        plan = plan_of(
+            "PREFIX ex: <http://e/> "
+            "SELECT ?a WHERE { ?a ex:p+ ?b . ?a ex:q ?c }"
+        )
+        assert len(find_nodes(plan, PathScan)) == 1
+        assert len(find_nodes(plan, BGP)) == 1
+
+    def test_group_created_for_aggregates(self):
+        plan = plan_of(
+            "SELECT (COUNT(?b) AS ?n) WHERE { ?a ?p ?b }"
+        )
+        groups = find_nodes(plan, Group)
+        assert len(groups) == 1
+        assert len(groups[0].aggregates) == 1
+
+    def test_equal_aggregates_share_variable(self):
+        plan = plan_of(
+            "SELECT (SUM(?b) AS ?x) (SUM(?b) * 2 AS ?y) "
+            "WHERE { ?a ?p ?b }"
+        )
+        group = find_nodes(plan, Group)[0]
+        assert len(group.aggregates) == 1
+
+    def test_modifier_order(self):
+        plan = plan_of(
+            "SELECT DISTINCT ?b WHERE { ?a ?p ?b } "
+            "ORDER BY ?b LIMIT 3 OFFSET 1"
+        )
+        assert isinstance(plan, Slice)
+        assert plan.limit == 3 and plan.offset == 1
+
+    def test_projection_expression_becomes_extend(self):
+        plan = plan_of("SELECT (?b + 1 AS ?c) WHERE { ?a ?p ?b }")
+        extends = find_nodes(plan, Extend)
+        assert any(node.var.name == "c" for node in extends)
+
+    def test_ask_is_sliced(self):
+        plan, _ = translate(parse_query("ASK { ?s ?p ?o }"))
+        assert isinstance(plan, Slice)
+        assert plan.limit == 1
+
+
+class TestVariableAnalysis:
+    def test_pattern_variables(self):
+        plan = plan_of("SELECT * WHERE { ?a ?p ?b OPTIONAL { ?b ?q ?c } }")
+        assert pattern_variables(plan) >= {"a", "p", "b", "q", "c"}
+
+    def test_expression_variables(self):
+        q = parse_query(
+            "SELECT ?x WHERE { ?x ?p ?v FILTER(?v + ?w > aelt(?a, 1)) }"
+        )
+        expr = q.where.elements[1].expr
+        assert expression_variables(expr) == {"v", "w", "a"}
+
+    def test_closure_params_not_free(self):
+        q = parse_query(
+            "SELECT (array_map(FN(?x) ?x + ?k, ?a) AS ?b) "
+            "WHERE { ?s ?p ?a }"
+        )
+        expr = q.projection[0][0]
+        free = expression_variables(expr)
+        assert "k" in free and "a" in free and "x" not in free
+
+
+class TestRewriting:
+    def test_constant_folding(self):
+        expr = fold_constants(parse_query(
+            "SELECT ?x WHERE { ?x ?p ?v FILTER(?v > 2 + 3 * 4) }"
+        ).where.elements[1].expr)
+        assert expr.right == ast.TermExpr(Literal(14))
+
+    def test_folding_keeps_division_by_zero(self):
+        expr = fold_constants(parse_query(
+            "SELECT ?x WHERE { ?x ?p ?v FILTER(?v > 1 / 0) }"
+        ).where.elements[1].expr)
+        assert isinstance(expr.right, ast.BinaryOp)
+
+    def test_split_conjunction(self):
+        q = parse_query(
+            "SELECT ?x WHERE { ?x ?p ?v FILTER(?v > 1 && ?v < 9 "
+            "&& ?v != 5) }"
+        )
+        conjuncts = split_conjunction(q.where.elements[1].expr)
+        assert len(conjuncts) == 3
+
+    def test_adjacent_groups_merge_to_one_bgp(self):
+        plan = plan_of(
+            "PREFIX ex: <http://e/> SELECT ?a WHERE { "
+            "{ ?a ex:p ?v } { ?a ex:q ?w } FILTER(?v > 1) }"
+        )
+        rewritten = rewrite(plan)
+        assert len(find_nodes(rewritten, BGP)) == 1
+        assert not find_nodes(rewritten, Join)
+
+    def test_filter_pushed_below_leftjoin(self):
+        plan = plan_of(
+            "PREFIX ex: <http://e/> SELECT ?a WHERE { "
+            "?a ex:p ?v OPTIONAL { ?a ex:q ?w } FILTER(?v > 1) }"
+        )
+        rewritten = rewrite(plan)
+        left_join = find_nodes(rewritten, LeftJoin)[0]
+        # the filter over only-left variables moved inside the left input
+        assert isinstance(left_join.left, Filter)
+
+    def test_filter_on_both_sides_stays(self):
+        plan = plan_of(
+            "PREFIX ex: <http://e/> SELECT ?a WHERE { "
+            "{ ?a ex:p ?v } { ?a ex:q ?w } FILTER(?v > ?w) }"
+        )
+        rewritten = rewrite(plan)
+        assert find_nodes(rewritten, Filter)
+
+    def test_filter_distributes_over_union(self):
+        plan = plan_of(
+            "PREFIX ex: <http://e/> SELECT ?a WHERE { "
+            "{ ?a ex:p ?v } UNION { ?a ex:q ?v } FILTER(?v > 1) }"
+        )
+        rewritten = rewrite(plan)
+        union = find_nodes(rewritten, Union)[0]
+        assert all(isinstance(b, Filter) for b in union.branches)
+
+    def test_rewrite_preserves_results(self, foaf):
+        # correctness check: rewritten and raw plans agree
+        query = """PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?n WHERE {
+                ?a foaf:knows ?b . ?b foaf:name ?n
+                FILTER(?n != "Nobody") }"""
+        r = foaf.execute(query)
+        assert len(r.rows) >= 2
+
+
+class TestCostModel:
+    @pytest.fixture
+    def graph(self):
+        g = Graph()
+        rare = URI("http://e/rare")
+        common = URI("http://e/common")
+        for i in range(100):
+            g.add(URI("http://e/s%d" % i), common, Literal(i))
+        g.add(URI("http://e/s0"), rare, Literal(0))
+        return g
+
+    def test_selective_pattern_cheaper(self, graph):
+        model = CostModel(graph)
+        q = parse_query(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE "
+            "{ ?s ex:common ?v . ?s ex:rare ?w }"
+        )
+        rare_pattern = q.where.elements[1]
+        common_pattern = q.where.elements[0]
+        assert model.pattern_cardinality(rare_pattern, set()) < \
+            model.pattern_cardinality(common_pattern, set())
+
+    def test_bound_subject_cheaper_than_unbound(self, graph):
+        model = CostModel(graph)
+        q = parse_query(
+            "PREFIX ex: <http://e/> SELECT ?v WHERE { ?s ex:common ?v }"
+        )
+        pattern = q.where.elements[0]
+        assert model.pattern_cardinality(pattern, {"s"}) < \
+            model.pattern_cardinality(pattern, set())
+
+    def test_greedy_order_puts_selective_first(self, graph):
+        model = CostModel(graph)
+        q = parse_query(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE "
+            "{ ?s ex:common ?v . ?s ex:rare ?w }"
+        )
+        ordered = model.order_patterns(q.where.elements, set())
+        assert ordered[0].predicate == URI("http://e/rare")
+
+    def test_optimize_reorders_bgp(self, graph):
+        q = parse_query(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE "
+            "{ ?s ex:common ?v . ?s ex:rare ?w }"
+        )
+        plan, _ = translate(q)
+        optimized = optimize(plan, graph)
+        bgp = find_nodes(optimized, BGP)[0]
+        assert bgp.patterns[0].predicate == URI("http://e/rare")
+
+    def test_fully_ground_pattern_cheapest(self, graph):
+        model = CostModel(graph)
+        q = parse_query(
+            "PREFIX ex: <http://e/> ASK { ex:s0 ex:rare 0 }"
+        )
+        pattern = q.where.elements[0]
+        assert model.pattern_cardinality(pattern, set()) < 1.0
+
+    def test_explain_renders(self, foaf):
+        text = foaf.explain("""PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?n WHERE { ?p foaf:name ?n } ORDER BY ?n LIMIT 1""")
+        assert "BGP" in text
+        assert "Slice" in text

@@ -1,0 +1,135 @@
+"""ObjectLog rendering and DNF normalization (section 5.4.4-5.4.5)."""
+
+import pytest
+
+from repro import SSDM
+from repro.sparql import parse_query
+from repro.algebra import translate
+from repro.algebra.objectlog import (
+    disjunctive_normal_form, modifiers_of, to_objectlog,
+)
+from repro.algebra.rewriter import rewrite
+
+
+def dnf_of(text):
+    plan, columns = translate(parse_query(text))
+    _, pattern = modifiers_of(plan)
+    return disjunctive_normal_form(pattern), columns
+
+
+class TestDNF:
+    def test_single_bgp_one_disjunct(self):
+        disjuncts, _ = dnf_of("SELECT ?s WHERE { ?s ?p ?o . ?o ?q ?r }")
+        assert len(disjuncts) == 1
+        assert len(disjuncts[0]) == 2
+        assert all(a.kind == "triple" for a in disjuncts[0])
+
+    def test_union_two_disjuncts(self):
+        disjuncts, _ = dnf_of(
+            "SELECT ?s WHERE { { ?s ?p 1 } UNION { ?s ?p 2 } }"
+        )
+        assert len(disjuncts) == 2
+
+    def test_union_distributes_over_conjunction(self):
+        disjuncts, _ = dnf_of(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE { "
+            "?s ex:a ?x { ?s ex:b 1 } UNION { ?s ex:b 2 } }"
+        )
+        assert len(disjuncts) == 2
+        # the shared pattern appears in both disjuncts
+        assert all(
+            any(a.kind == "triple" and "ex:a" not in "" for a in conj)
+            for conj in disjuncts
+        )
+        assert all(len(conj) == 2 for conj in disjuncts)
+
+    def test_nested_unions_multiply(self):
+        disjuncts, _ = dnf_of(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE { "
+            "{ ?s ex:a 1 } UNION { ?s ex:a 2 } "
+            "{ ?s ex:b 1 } UNION { ?s ex:b 2 } }"
+        )
+        assert len(disjuncts) == 4          # 2 x 2
+
+    def test_filter_attached_to_every_disjunct(self):
+        disjuncts, _ = dnf_of(
+            "SELECT ?s WHERE { { ?s ?p ?v } UNION { ?v ?p ?s } "
+            "FILTER(?v > 1) }"
+        )
+        assert len(disjuncts) == 2
+        assert all(
+            any(a.kind == "filter" for a in conj) for conj in disjuncts
+        )
+
+    def test_optional_is_nested_atom(self):
+        disjuncts, _ = dnf_of(
+            "SELECT ?s WHERE { ?s ?p ?o OPTIONAL { ?o ?q ?r } }"
+        )
+        kinds = [a.kind for a in disjuncts[0]]
+        assert "optional" in kinds
+
+    def test_empty_pattern(self):
+        disjuncts, _ = dnf_of("SELECT (1 + 1 AS ?x) WHERE { }")
+        assert disjuncts == [[]] or all(
+            a.kind == "bind" for a in disjuncts[0]
+        )
+
+
+class TestRendering:
+    def test_rule_per_disjunct(self):
+        ssdm = SSDM()
+        text = ssdm.explain(
+            "SELECT ?s WHERE { { ?s ?p 1 } UNION { ?s ?p 2 } }",
+            objectlog=True,
+        )
+        assert text.count(":-") == 2
+        assert "query(?s)" in text
+
+    def test_triple_predicates_rendered(self):
+        ssdm = SSDM()
+        text = ssdm.explain(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+            'SELECT ?n WHERE { ?p foaf:name ?n FILTER(?n != "x") }',
+            objectlog=True,
+        )
+        assert "triple(?p, <http://xmlns.com/foaf/0.1/name>, ?n)" in text
+        assert "filter(ne(?n," in text
+
+    def test_modifiers_annotated(self):
+        ssdm = SSDM()
+        text = ssdm.explain(
+            "SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 2",
+            objectlog=True,
+        )
+        assert "% distinct" in text
+        assert "% order(asc ?s)" in text
+        assert "% slice(limit=2" in text
+
+    def test_array_expressions_rendered(self):
+        ssdm = SSDM()
+        text = ssdm.explain(
+            "SELECT (array_sum(?a[1:2:9, 3]) AS ?x) "
+            "WHERE { ?s ?p ?a }",
+            objectlog=True,
+        )
+        assert "aref(?a, [1:2:9, 3])" in text
+        assert "array_sum" in text
+
+    def test_path_rendered(self):
+        ssdm = SSDM()
+        text = ssdm.explain(
+            "PREFIX ex: <http://e/> SELECT ?x WHERE "
+            "{ ?x (ex:p|^ex:q)+ ?y }",
+            objectlog=True,
+        )
+        assert "path(?x," in text
+        assert "+" in text
+
+    def test_closure_rendered(self):
+        ssdm = SSDM()
+        text = ssdm.explain(
+            "SELECT (array_map(FN(?v) ?v*2, ?a) AS ?b) "
+            "WHERE { ?s ?p ?a }",
+            objectlog=True,
+        )
+        assert "closure((?v), times(?v," in text

@@ -1,0 +1,126 @@
+"""The BISTAB application: dataset generation and published queries."""
+
+import numpy as np
+import pytest
+
+from repro import SSDM, MemoryArrayStore, URI
+from repro.apps import bistab
+
+
+@pytest.fixture(scope="module")
+def populated():
+    ssdm = SSDM(
+        array_store=MemoryArrayStore(chunk_bytes=1024),
+        externalize_threshold=64,
+    )
+    bistab.generate_dataset(ssdm, tasks=8, realizations=2, samples=128)
+    return ssdm
+
+
+class TestSimulators:
+    def test_langevin_deterministic(self):
+        a = bistab.simulate_trajectory_langevin(25, 0.8, 60, 3, seed=5)
+        b = bistab.simulate_trajectory_langevin(25, 0.8, 60, 3, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_langevin_seed_sensitivity(self):
+        a = bistab.simulate_trajectory_langevin(25, 0.8, 60, 3, seed=5)
+        b = bistab.simulate_trajectory_langevin(25, 0.8, 60, 3, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_langevin_shape_and_positivity(self):
+        t = bistab.simulate_trajectory_langevin(
+            25, 0.8, 60, 3, samples=100
+        )
+        assert t.shape == (100,)
+        assert (t >= 0).all()
+
+    def test_ssa_produces_trajectory(self):
+        t = bistab.simulate_trajectory(
+            25, 0.8, 60, 3, samples=32, max_events=5000, seed=1
+        )
+        assert t.shape == (32,)
+        assert (t >= 0).all()
+
+    def test_bistability_across_realizations(self):
+        # with enough realizations the final levels split into two bands
+        finals = [
+            bistab.simulate_trajectory_langevin(
+                25, 0.8, 60, 3, seed=seed
+            )[-1]
+            for seed in range(30)
+        ]
+        spread = max(finals) - min(finals)
+        assert spread > 10, "expected well separation across realizations"
+
+
+class TestDataset:
+    def test_triple_count(self, populated):
+        # 8 tasks x 2 realizations x 7 triples + experiment node triples
+        graph = populated.graph
+        assert graph.count(None, bistab.BISTAB.result, None) == 16
+        assert graph.count(None, bistab.BISTAB.task, None) == 16
+
+    def test_trajectories_externalized(self, populated):
+        from repro.arrays import ArrayProxy
+        values = list(populated.graph.values(None, bistab.BISTAB.result))
+        assert all(isinstance(v, ArrayProxy) for v in values)
+        assert all(v.shape == (128,) for v in values)
+
+    def test_parameters_shared_within_case(self, populated):
+        r = populated.execute("""
+            PREFIX bistab: <http://udbl.uu.se/bistab#>
+            SELECT (COUNT(DISTINCT ?k1) AS ?cases)
+            WHERE { ?t bistab:k_1 ?k1 }""")
+        assert r.rows == [(8,)]
+
+
+class TestQueries:
+    def test_q1_parameter_search(self, populated):
+        results = bistab.run_queries(populated)
+        r = results["Q1"]
+        assert r.columns == ["task", "k1", "k4"]
+        assert all(20 <= row[1] <= 30 for row in r.rows)
+        # sorted by k1
+        k1s = [row[1] for row in r.rows]
+        assert k1s == sorted(k1s)
+
+    def test_q2_trajectory_window(self, populated):
+        r = populated.execute("""
+            PREFIX bistab: <http://udbl.uu.se/bistab#>
+            SELECT ?task ?r[97:128]
+            WHERE { ?task a bistab:Task ; bistab:result ?r } LIMIT 3""")
+        from repro.arrays import ArrayProxy
+        for task, window in r.rows:
+            resolved = window.resolve() if isinstance(
+                window, ArrayProxy) else window
+            assert resolved.shape == (32,)
+
+    def test_q3_aggregate_filter_consistent(self, populated):
+        r = populated.execute("""
+            PREFIX bistab: <http://udbl.uu.se/bistab#>
+            SELECT ?task (array_avg(?r[97:128]) AS ?tail)
+            WHERE { ?task a bistab:Task ; bistab:result ?r .
+                FILTER (array_avg(?r[97:128])
+                        > array_avg(?r[1:16]) + 5) }""")
+        # cross-check each hit manually
+        for task, tail in r.rows:
+            check = populated.execute("""
+                PREFIX bistab: <http://udbl.uu.se/bistab#>
+                SELECT (array_avg(?r[1:16]) AS ?head)
+                WHERE { <%s> bistab:result ?r }""" % task.value)
+            head = check.rows[0][0]
+            assert tail > head + 5
+
+    def test_q4_grouping(self, populated):
+        results = bistab.run_queries(populated)
+        r = results["Q4"]
+        assert r.columns == ["real", "avgLevel", "n"]
+        assert [row[0] for row in r.rows] == [1, 2]
+        assert all(row[2] == 8 for row in r.rows)
+
+    def test_queries_have_descriptions(self):
+        for qid, description, text in bistab.QUERIES:
+            assert qid.startswith("Q")
+            assert len(description) > 10
+            assert "SELECT" in text

@@ -1,0 +1,108 @@
+"""Chunk layout arithmetic and run/chunk conversion."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.chunks import (
+    ChunkLayout, assemble_from_chunks, chunks_of_runs,
+    linear_indices_of_runs,
+)
+from repro.exceptions import StorageError
+
+
+class TestChunkLayout:
+    def test_exact_division(self):
+        layout = ChunkLayout(element_count=16, itemsize=8, chunk_bytes=64)
+        assert layout.elements_per_chunk == 8
+        assert layout.chunk_count == 2
+
+    def test_short_last_chunk(self):
+        layout = ChunkLayout(10, 8, 32)
+        assert layout.chunk_count == 3
+        assert layout.chunk_extent(2) == 2
+
+    def test_chunk_of(self):
+        layout = ChunkLayout(10, 8, 32)
+        assert layout.chunk_of(0) == 0
+        assert layout.chunk_of(3) == 0
+        assert layout.chunk_of(4) == 1
+
+    def test_chunk_extent_beyond_array(self):
+        layout = ChunkLayout(10, 8, 32)
+        assert layout.chunk_extent(5) == 0
+
+    def test_empty_array(self):
+        layout = ChunkLayout(0, 8, 64)
+        assert layout.chunk_count == 0
+
+    def test_chunk_smaller_than_element_rejected(self):
+        with pytest.raises(StorageError):
+            ChunkLayout(10, 8, 4)
+
+    def test_chunk_slices_cover_array(self):
+        layout = ChunkLayout(10, 8, 32)
+        covered = sum(count for _, _, count in layout.chunk_slices())
+        assert covered == 10
+
+    def test_non_multiple_chunk_bytes(self):
+        # 20 bytes with 8-byte items -> 2 elements per chunk
+        layout = ChunkLayout(5, 8, 20)
+        assert layout.elements_per_chunk == 2
+        assert layout.chunk_count == 3
+
+
+class TestRunConversion:
+    def test_linear_indices(self):
+        indices = linear_indices_of_runs([(0, 1, 3), (10, 2, 2)])
+        assert indices.tolist() == [0, 1, 2, 10, 12]
+
+    def test_empty_runs(self):
+        assert linear_indices_of_runs([]).tolist() == []
+
+    def test_contiguous_run_chunks(self):
+        assert chunks_of_runs([(0, 1, 10)], 4) == [0, 1, 2]
+
+    def test_strided_run_chunks(self):
+        # elements 0, 8, 16 with epc 4 -> chunks 0, 2, 4
+        assert chunks_of_runs([(0, 8, 3)], 4) == [0, 2, 4]
+
+    def test_stride_within_chunk(self):
+        # elements 0, 2, 4, 6 with epc 8 -> all in chunk 0
+        assert chunks_of_runs([(0, 2, 4)], 8) == [0]
+
+    def test_first_touch_order_preserved(self):
+        order = chunks_of_runs([(8, 1, 2), (0, 1, 2)], 4)
+        assert order == [2, 0]
+
+    def test_duplicates_suppressed(self):
+        order = chunks_of_runs([(0, 1, 4), (2, 1, 4)], 4)
+        assert order == [0, 1]
+
+    def test_empty_run_skipped(self):
+        assert chunks_of_runs([(0, 1, 0)], 4) == []
+
+    def test_stride_larger_than_chunk(self):
+        assert chunks_of_runs([(0, 100, 3)], 4) == [0, 25, 50]
+
+
+class TestAssemble:
+    def test_gather(self):
+        chunks = {
+            0: np.array([0.0, 1.0, 2.0, 3.0]),
+            1: np.array([4.0, 5.0, 6.0, 7.0]),
+        }
+        indices = np.array([1, 5, 2], dtype=np.int64)
+        out = assemble_from_chunks(indices, chunks, 4, np.float64)
+        assert out.tolist() == [1.0, 5.0, 2.0]
+
+    def test_missing_chunk_raises(self):
+        with pytest.raises(StorageError):
+            assemble_from_chunks(
+                np.array([9], dtype=np.int64), {}, 4, np.float64
+            )
+
+    def test_empty_indices(self):
+        out = assemble_from_chunks(
+            np.empty(0, dtype=np.int64), {}, 4, np.float64
+        )
+        assert out.size == 0

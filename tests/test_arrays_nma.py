@@ -1,0 +1,220 @@
+"""Resident arrays: descriptor algebra, slicing, transposition, equality."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import NumericArray, Span
+from repro.arrays.nma import derive_descriptor, iter_runs, row_major_strides
+from repro.exceptions import ArrayBoundsError, SciSparqlError
+
+
+@pytest.fixture
+def matrix():
+    return NumericArray(np.arange(12).reshape(3, 4))
+
+
+class TestConstruction:
+    def test_from_nested_lists(self):
+        a = NumericArray([[1, 2], [3, 4]])
+        assert a.shape == (2, 2)
+        assert a.element_type == "i8"
+
+    def test_from_floats(self):
+        assert NumericArray([1.5, 2.5]).element_type == "f8"
+
+    def test_from_numpy_float32(self):
+        a = NumericArray(np.zeros(3, dtype=np.float32))
+        assert a.element_type == "f4"
+
+    def test_bool_coerced_to_int(self):
+        a = NumericArray(np.array([True, False]))
+        assert a.element_type == "i8"
+
+    def test_rejects_strings(self):
+        with pytest.raises(SciSparqlError):
+            NumericArray(np.array(["a", "b"]))
+
+    def test_zeros(self):
+        z = NumericArray.zeros((2, 3))
+        assert z.shape == (2, 3)
+        assert z.to_numpy().sum() == 0
+
+    def test_from_flat(self):
+        a = NumericArray.from_flat([1, 2, 3, 4], (2, 2))
+        assert a.to_nested_lists() == [[1, 2], [3, 4]]
+
+    def test_ragged_rejected(self):
+        with pytest.raises(Exception):
+            NumericArray([[1, 2], [3]])
+
+
+class TestDescriptorMath:
+    def test_row_major_strides(self):
+        assert row_major_strides((3, 4)) == (4, 1)
+        assert row_major_strides((2, 3, 4)) == (12, 4, 1)
+        assert row_major_strides(()) == ()
+
+    def test_derive_single_index(self):
+        shape, strides, offset = derive_descriptor((3, 4), (4, 1), 0, [1])
+        assert shape == (4,) and strides == (1,) and offset == 4
+
+    def test_derive_span(self):
+        shape, strides, offset = derive_descriptor(
+            (3, 4), (4, 1), 0, [Span(1, 3), Span(0, 4, 2)]
+        )
+        assert shape == (2, 2)
+        assert strides == (4, 2)
+        assert offset == 4
+
+    def test_too_many_subscripts(self):
+        with pytest.raises(ArrayBoundsError):
+            derive_descriptor((3,), (1,), 0, [1, 2])
+
+    def test_out_of_bounds_index(self):
+        with pytest.raises(ArrayBoundsError):
+            derive_descriptor((3,), (1,), 0, [3])
+
+    def test_span_clamped_to_extent(self):
+        shape, _, _ = derive_descriptor((3,), (1,), 0, [Span(1, 100)])
+        assert shape == (2,)
+
+
+class TestElementAccess:
+    def test_element(self, matrix):
+        assert matrix.element((1, 2)) == 6
+
+    def test_element_bounds(self, matrix):
+        with pytest.raises(ArrayBoundsError):
+            matrix.element((3, 0))
+        with pytest.raises(ArrayBoundsError):
+            matrix.element((0, -1))
+
+    def test_element_arity(self, matrix):
+        with pytest.raises(ArrayBoundsError):
+            matrix.element((1,))
+
+    def test_full_int_subscript_is_scalar(self, matrix):
+        assert matrix.subscript([2, 3]) == 11
+
+
+class TestViews:
+    def test_row_projection(self, matrix):
+        row = matrix.subscript([1])
+        assert row.to_nested_lists() == [4, 5, 6, 7]
+
+    def test_column_view(self, matrix):
+        col = matrix.subscript([None, 2])
+        assert col.to_nested_lists() == [2, 6, 10]
+
+    def test_strided_view(self, matrix):
+        view = matrix.subscript([Span(0, 3, 2), Span(1, 4, 2)])
+        assert view.to_nested_lists() == [[1, 3], [9, 11]]
+
+    def test_view_shares_buffer(self, matrix):
+        view = matrix.subscript([1])
+        assert view.buffer is matrix.buffer
+
+    def test_nested_views(self, matrix):
+        view = matrix.subscript([Span(1, 3)]).subscript([None, Span(2, 4)])
+        assert view.to_nested_lists() == [[6, 7], [10, 11]]
+
+    def test_transpose(self, matrix):
+        t = matrix.transpose()
+        assert t.shape == (4, 3)
+        assert t.element((2, 1)) == matrix.element((1, 2))
+
+    def test_transpose_permutation_validated(self, matrix):
+        with pytest.raises(SciSparqlError):
+            matrix.transpose((0, 0))
+
+    def test_project(self, matrix):
+        assert matrix.project(1, 2).to_nested_lists() == [2, 6, 10]
+
+    def test_materialize_compacts(self, matrix):
+        view = matrix.subscript([None, 2])
+        compact = view.materialize()
+        assert compact.to_nested_lists() == view.to_nested_lists()
+        assert compact.buffer is not matrix.buffer
+        assert compact.strides == (1,)
+
+    def test_iter_elements_row_major(self, matrix):
+        t = matrix.transpose()
+        assert list(t.iter_elements())[:4] == [0, 4, 8, 1]
+
+
+class TestRuns:
+    def test_contiguous_runs(self, matrix):
+        runs = list(matrix.iter_runs())
+        assert runs == [(0, 1, 4), (4, 1, 4), (8, 1, 4)]
+
+    def test_column_runs(self, matrix):
+        runs = list(matrix.subscript([None, 1]).iter_runs())
+        assert runs == [(1, 4, 3)]
+
+    def test_scalar_run(self):
+        a = NumericArray([[1, 2], [3, 4]])
+        runs = list(a.subscript([Span(1, 2), Span(0, 1)]).iter_runs())
+        assert runs == [(2, 1, 1)]
+
+    def test_empty_view_no_runs(self, matrix):
+        view = matrix.subscript([Span(1, 1)])
+        assert list(view.iter_runs()) == []
+
+    def test_single_element_view_run(self):
+        a = NumericArray([[1, 2], [3, 4]])
+        one = a.subscript([Span(None, None), 0]).subscript([Span(1, 2)])
+        runs = list(one.iter_runs())
+        assert runs == [(2, 2, 1)]
+
+
+class TestEquality:
+    def test_same_content_equal(self):
+        assert NumericArray([[1, 2]]) == NumericArray([[1, 2]])
+
+    def test_dtype_ignored(self):
+        assert NumericArray([1, 2]) == NumericArray([1.0, 2.0])
+
+    def test_shape_matters(self):
+        assert NumericArray([1, 2, 3, 4]) != NumericArray([[1, 2], [3, 4]])
+
+    def test_view_equals_materialized(self, matrix):
+        view = matrix.subscript([None, 2])
+        assert view == NumericArray([2, 6, 10])
+
+    def test_hash_consistent(self):
+        a = NumericArray([[1, 2], [3, 4]])
+        b = NumericArray([[1, 2], [3, 4]])
+        assert hash(a) == hash(b)
+
+    def test_not_equal_other_types(self):
+        assert NumericArray([1]) != "x"
+
+
+class TestSpan:
+    def test_whole_dimension(self):
+        start, stop, step = Span().resolve(7)
+        assert (start, stop, step) == (0, 7, 1)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(SciSparqlError):
+            Span(0, 5, 0)
+
+    def test_start_beyond_extent(self):
+        with pytest.raises(ArrayBoundsError):
+            Span(8, 9).resolve(7)
+
+    def test_equality(self):
+        assert Span(1, 5, 2) == Span(1, 5, 2)
+        assert Span(1, 5) != Span(1, 6)
+
+
+class TestRepr:
+    def test_small_shows_content(self):
+        assert "1" in repr(NumericArray([1, 2]))
+
+    def test_large_shows_shape(self):
+        big = NumericArray(np.zeros((100, 100)))
+        assert "shape" in repr(big)
+
+    def test_n3_nested(self):
+        assert NumericArray([[1, 2], [3, 4]]).n3() == "((1 2) (3 4))"

@@ -1,0 +1,152 @@
+"""Array arithmetic, aggregates, and second-order functions."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    NumericArray, array_avg, array_build, array_condense, array_map,
+    array_max, array_min, array_sum,
+)
+from repro.arrays.ops import elementwise, elementwise_unary, array_count
+from repro.exceptions import EvaluationError, TypeMismatchError
+
+
+@pytest.fixture
+def a():
+    return NumericArray([[1.0, 2.0], [3.0, 4.0]])
+
+
+class TestElementwise:
+    def test_array_plus_scalar(self, a):
+        out = elementwise(np.add, a, 10)
+        assert out.to_nested_lists() == [[11, 12], [13, 14]]
+
+    def test_scalar_minus_array(self, a):
+        out = elementwise(np.subtract, 10, a)
+        assert out.to_nested_lists() == [[9, 8], [7, 6]]
+
+    def test_array_times_array(self, a):
+        out = elementwise(np.multiply, a, a)
+        assert out.to_nested_lists() == [[1, 4], [9, 16]]
+
+    def test_scalar_scalar_gives_scalar(self):
+        assert elementwise(np.add, 2, 3) == 5
+
+    def test_shape_mismatch_rejected(self, a):
+        with pytest.raises(TypeMismatchError):
+            elementwise(np.add, a, NumericArray([1.0, 2.0, 3.0]))
+
+    def test_non_numeric_rejected(self, a):
+        with pytest.raises(TypeMismatchError):
+            elementwise(np.add, a, "x")
+
+    def test_unary_negate(self, a):
+        out = elementwise_unary(np.negative, a)
+        assert out.to_nested_lists() == [[-1, -2], [-3, -4]]
+
+
+class TestAggregates:
+    def test_sum(self, a):
+        assert array_sum(a) == 10.0
+
+    def test_avg(self, a):
+        assert array_avg(a) == 2.5
+
+    def test_min_max(self, a):
+        assert array_min(a) == 1.0
+        assert array_max(a) == 4.0
+
+    def test_count(self, a):
+        assert array_count(a) == 4
+        assert array_count(3.5) == 1
+
+    def test_scalar_passthrough(self):
+        assert array_sum(5) == 5.0
+
+    def test_empty_array_errors(self):
+        empty = NumericArray(np.empty((0,)))
+        with pytest.raises(EvaluationError):
+            array_sum(empty)
+
+    def test_non_array_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            array_sum("x")
+
+    def test_aggregate_over_view(self, a):
+        from repro.arrays import Span
+        col = a.subscript([None, 1])
+        assert array_sum(col) == 6.0
+
+
+class TestArrayMap:
+    def test_single_array(self, a):
+        out = array_map(lambda x: x * 2, a)
+        assert out.to_nested_lists() == [[2, 4], [6, 8]]
+
+    def test_multiple_arrays(self, a):
+        out = array_map(lambda x, y: x + y, a, a)
+        assert out.to_nested_lists() == [[2, 4], [6, 8]]
+
+    def test_vectorized_path(self, a):
+        fn = lambda x: x + 1
+        fn.numpy_op = np.vectorize(lambda x: x + 1)
+        out = array_map(fn, a)
+        assert out.to_nested_lists() == [[2, 3], [4, 5]]
+
+    def test_shape_mismatch(self, a):
+        with pytest.raises(TypeMismatchError):
+            array_map(lambda x, y: x, a, NumericArray([1.0]))
+
+    def test_no_arrays_rejected(self):
+        with pytest.raises(EvaluationError):
+            array_map(lambda x: x)
+
+    def test_non_array_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            array_map(lambda x: x, 42)
+
+
+class TestArrayCondense:
+    def test_whole_array(self, a):
+        assert array_condense(lambda x, y: x + y, a) == 10.0
+
+    def test_max_reducer(self, a):
+        assert array_condense(lambda x, y: max(x, y), a) == 4.0
+
+    def test_axis_reduction(self, a):
+        out = array_condense(lambda x, y: x + y, a, axis=0)
+        assert out.to_nested_lists() == [4, 6]
+
+    def test_axis_one(self, a):
+        out = array_condense(lambda x, y: x + y, a, axis=1)
+        assert out.to_nested_lists() == [3, 7]
+
+    def test_vectorized_reducer(self, a):
+        fn = lambda x, y: x + y
+        fn.numpy_op = np.add
+        assert array_condense(fn, a) == 10.0
+
+    def test_single_element(self):
+        assert array_condense(lambda x, y: x + y, NumericArray([7.0])) == 7.0
+
+    def test_empty_errors(self):
+        with pytest.raises(EvaluationError):
+            array_condense(lambda x, y: x + y, NumericArray(np.empty(0)))
+
+
+class TestArrayBuild:
+    def test_one_based_indexes(self):
+        out = array_build((2, 3), lambda i, j: 10 * i + j)
+        assert out.to_nested_lists() == [[11, 12, 13], [21, 22, 23]]
+
+    def test_vector(self):
+        out = array_build((4,), lambda i: i * i)
+        assert out.to_nested_lists() == [1, 4, 9, 16]
+
+    def test_empty_shape_ok(self):
+        out = array_build((0,), lambda i: i)
+        assert out.element_count == 0
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(EvaluationError):
+            array_build((-1,), lambda i: i)

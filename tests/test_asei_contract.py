@@ -1,0 +1,85 @@
+"""The ASEI base-class contract: a minimal back-end implementing only
+single-chunk IO still gets batched/ranged retrieval and APR for free."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import NumericArray
+from repro.exceptions import StorageError
+from repro.storage import APRResolver, Strategy
+from repro.storage.asei import ArrayStore
+
+
+class MinimalStore(ArrayStore):
+    """Implements only _write_chunk/_read_chunk (no batch, no ranges)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._chunks = {}
+
+    def _write_chunk(self, array_id, chunk_id, data):
+        self._chunks[(array_id, chunk_id)] = np.array(data)
+
+    def _read_chunk(self, array_id, chunk_id):
+        try:
+            return self._chunks[(array_id, chunk_id)]
+        except KeyError:
+            raise StorageError("missing chunk %r" % (chunk_id,))
+
+
+@pytest.fixture
+def store():
+    return MinimalStore(chunk_bytes=64)
+
+
+@pytest.fixture
+def proxy(store):
+    data = np.arange(200, dtype=np.float64).reshape(10, 20)
+    return store.put(NumericArray(data))
+
+
+class TestDefaultImplementations:
+    def test_batch_degrades_to_singles(self, store, proxy):
+        store.stats.reset()
+        chunks = store.get_chunks(proxy.array_id, [0, 1, 2])
+        assert len(chunks) == 3
+        # no batch support: one request per chunk
+        assert store.stats.requests == 3
+
+    def test_ranges_degrade_to_batch(self, store, proxy):
+        store.stats.reset()
+        chunks = store.get_chunk_ranges(proxy.array_id, [(0, 4, 2)])
+        assert set(chunks) == {0, 2, 4}
+        assert store.stats.requests == 3
+
+    def test_aggregate_unsupported(self, store, proxy):
+        with pytest.raises(StorageError):
+            store.aggregate(proxy.array_id, "sum")
+
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_every_strategy_still_correct(self, store, proxy, strategy):
+        resolver = APRResolver(store, strategy=strategy, buffer_size=3)
+        out = resolver.resolve([proxy.subscript([None, 5])])[0]
+        expected = np.arange(200).reshape(10, 20)[:, 5]
+        assert out.to_nested_lists() == expected.tolist()
+
+    def test_aapr_streams_without_delegation(self, store, proxy):
+        resolver = APRResolver(store, buffer_size=4)
+        total = resolver.resolve_aggregate(proxy, "sum")
+        assert total == float(np.arange(200).sum())
+
+    def test_default_resolver_cached_on_store(self, store, proxy):
+        first = proxy.resolve()
+        assert store._default_resolver is not None
+        again = proxy.resolve()
+        assert first == again
+
+    def test_resolve_with_explicit_strategy(self, store, proxy):
+        out = store.resolve([proxy], strategy=Strategy.BUFFER,
+                            buffer_size=2)
+        assert out[0].shape == (10, 20)
+
+    def test_not_implemented_write_guard(self):
+        bare = ArrayStore()
+        with pytest.raises(NotImplementedError):
+            bare.put(NumericArray([1.0, 2.0]))

@@ -1,0 +1,100 @@
+"""Property: random expression ASTs survive serialize -> parse.
+
+Random expression trees (arithmetic, comparisons, logic, built-ins,
+subscripts, closures) are planted into a SELECT query, rendered to text,
+and re-parsed; the parse must reproduce the AST exactly.  This fuzzes
+the parser's precedence handling against the serializer's
+parenthesization.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf.term import Literal, URI
+from repro.sparql import ast, parse_query
+from repro.sparql.serializer import serialize_query
+
+variables = st.sampled_from("abcde").map(ast.Var)
+
+literals = st.one_of(
+    st.integers(0, 99).map(lambda v: ast.TermExpr(Literal(v))),
+    st.floats(0.5, 9.5).map(
+        lambda v: ast.TermExpr(Literal(round(v, 2)))
+    ),
+    st.sampled_from(["x", "yz"]).map(
+        lambda s: ast.TermExpr(Literal(s))
+    ),
+    st.booleans().map(lambda b: ast.TermExpr(Literal(b))),
+    st.just(ast.TermExpr(URI("http://e/u"))),
+)
+
+
+def expressions(depth=3):
+    if depth == 0:
+        return st.one_of(variables, literals)
+    sub = expressions(depth - 1)
+    return st.one_of(
+        variables,
+        literals,
+        st.tuples(
+            st.sampled_from(["+", "-", "*", "/", "=", "!=", "<", ">",
+                             "<=", ">=", "&&", "||"]),
+            sub, sub,
+        ).map(lambda t: ast.BinaryOp(*t)),
+        st.tuples(st.sampled_from(["!", "-"]), sub).map(
+            lambda t: ast.UnaryOp(*t)
+        ),
+        st.tuples(
+            st.sampled_from(["ABS", "STR", "CEIL", "SQRT"]), sub
+        ).map(lambda t: ast.FunctionCall(t[0], [t[1]])),
+        st.tuples(sub, sub).map(
+            lambda t: ast.FunctionCall("CONCAT", list(t))
+        ),
+        st.tuples(variables, sub).map(
+            lambda t: ast.ArraySubscript(t[0], [t[1]])
+        ),
+        st.tuples(variables, sub, sub).map(
+            lambda t: ast.ArraySubscript(
+                t[0], [ast.RangeSubscript(t[1], None, t[2])]
+            )
+        ),
+        st.tuples(sub, sub, sub).map(
+            lambda t: ast.InExpr(t[0], [t[1], t[2]])
+        ),
+        st.tuples(variables, sub).map(
+            lambda t: ast.Closure([t[0]], t[1])
+        ),
+    )
+
+
+@given(expressions())
+@settings(max_examples=300, deadline=None)
+def test_expression_roundtrip(expr):
+    query = ast.SelectQuery(
+        [(expr, ast.Var("out"))],
+        ast.GroupPattern([
+            ast.TriplePattern(ast.Var("s"), ast.Var("p"), ast.Var("o"))
+        ]),
+    )
+    text = serialize_query(query)
+    reparsed = parse_query(text)
+    assert reparsed.projection[0][0] == expr, text
+
+
+@given(st.lists(st.tuples(
+    st.sampled_from("st"), st.sampled_from("pq"),
+    st.one_of(st.sampled_from("ou").map(str),
+              st.integers(0, 9).map(str)),
+), min_size=1, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_pattern_roundtrip(raw):
+    patterns = []
+    for s, p, o in raw:
+        subject = ast.Var(s)
+        predicate = ast.Var(p)
+        value = ast.Var(o) if o.isalpha() else Literal(int(o))
+        patterns.append(ast.TriplePattern(subject, predicate, value))
+    query = ast.SelectQuery("*", ast.GroupPattern(patterns))
+    text = serialize_query(query)
+    reparsed = parse_query(text)
+    assert reparsed.where == query.where, text

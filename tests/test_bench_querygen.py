@@ -1,0 +1,129 @@
+"""The mini-benchmark query generator (section 6.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import ArrayProxy, NumericArray
+from repro.bench import ACCESS_PATTERNS, QueryGenerator, make_benchmark_store
+from repro.bench.querygen import run_pattern
+from repro.exceptions import SciSparqlError
+from repro.storage import APRResolver, MemoryArrayStore, Strategy
+
+
+@pytest.fixture(scope="module")
+def store_and_proxies():
+    store = MemoryArrayStore(chunk_bytes=512)
+    proxies = make_benchmark_store(store, arrays=3, shape=(64, 64), seed=1)
+    return store, proxies
+
+
+class TestGeneration:
+    def test_deterministic_data(self):
+        s1 = MemoryArrayStore(chunk_bytes=512)
+        s2 = MemoryArrayStore(chunk_bytes=512)
+        p1 = make_benchmark_store(s1, arrays=2, shape=(16, 16), seed=9)
+        p2 = make_benchmark_store(s2, arrays=2, shape=(16, 16), seed=9)
+        assert p1[0].resolve() == p2[0].resolve()
+
+    def test_deterministic_queries(self, store_and_proxies):
+        _, proxies = store_and_proxies
+        g1 = QueryGenerator(proxies, seed=3)
+        g2 = QueryGenerator(proxies, seed=3)
+        v1 = g1.view("row")
+        v2 = g2.view("row")
+        assert v1 == v2
+
+    def test_empty_proxies_rejected(self):
+        with pytest.raises(SciSparqlError):
+            QueryGenerator([])
+
+    def test_unknown_pattern_rejected(self, store_and_proxies):
+        _, proxies = store_and_proxies
+        with pytest.raises(SciSparqlError):
+            QueryGenerator(proxies).view("zigzag")
+
+
+class TestPatternShapes:
+    @pytest.fixture
+    def generator(self, store_and_proxies):
+        _, proxies = store_and_proxies
+        return QueryGenerator(proxies, seed=5, stride=4, block=8,
+                              random_points=10)
+
+    def test_element_is_point_list(self, generator):
+        view = generator.view("element")
+        assert isinstance(view, list) and len(view) == 1
+        assert view[0].shape == ()
+
+    def test_row(self, generator):
+        assert generator.view("row").shape == (64,)
+
+    def test_column(self, generator):
+        view = generator.view("column")
+        assert view.shape == (64,)
+        assert view.strides == (64,)
+
+    def test_stride(self, generator):
+        view = generator.view("stride")
+        assert view.shape == (16,)          # 64 / stride 4
+
+    def test_block(self, generator):
+        assert generator.view("block").shape == (8, 8)
+
+    def test_diagonal(self, generator):
+        view = generator.view("diagonal")
+        assert isinstance(view, list) and len(view) == 64
+
+    def test_random(self, generator):
+        view = generator.view("random")
+        assert len(view) == 10
+
+    def test_whole(self, generator):
+        view = generator.view("whole")
+        assert view.is_whole_array()
+
+    def test_all_patterns_enumerate(self, generator):
+        for pattern in ACCESS_PATTERNS:
+            generator.view(pattern)
+
+
+class TestRunPattern:
+    def test_counts_elements(self, store_and_proxies):
+        store, proxies = store_and_proxies
+        generator = QueryGenerator(proxies, seed=2)
+        resolver = APRResolver(store, strategy=Strategy.SPD)
+        elements = run_pattern(resolver, generator, "row", 4)
+        assert elements == 4 * 64
+
+    def test_values_correct_for_block(self, store_and_proxies):
+        store, proxies = store_and_proxies
+        generator = QueryGenerator(proxies, seed=8, block=4)
+        view = generator.view("block")
+        resolved = view.resolve()
+        whole = store.proxy(view.array_id).resolve().to_numpy()
+        # locate the block via its descriptor
+        row0 = view.offset // 64
+        col0 = view.offset % 64
+        expected = whole[row0:row0 + 4, col0:col0 + 4]
+        assert np.array_equal(resolved.to_numpy(), expected)
+
+    def test_strategies_agree_on_every_pattern(self, store_and_proxies):
+        store, proxies = store_and_proxies
+        for pattern in ACCESS_PATTERNS:
+            outputs = []
+            for strategy in Strategy:
+                generator = QueryGenerator(proxies, seed=13)
+                resolver = APRResolver(store, strategy=strategy,
+                                       buffer_size=8)
+                view = generator.view(pattern)
+                if isinstance(view, list):
+                    outputs.append(
+                        [r if not isinstance(r, NumericArray)
+                         else r.to_nested_lists()
+                         for r in resolver.resolve(view)]
+                    )
+                else:
+                    outputs.append(
+                        resolver.resolve([view])[0].to_nested_lists()
+                    )
+            assert outputs[0] == outputs[1] == outputs[2], pattern

@@ -1,0 +1,162 @@
+"""Unit tests of the built-in function library (repro.engine.functions)."""
+
+import pytest
+
+from repro.arrays import NumericArray
+from repro.engine import functions as fn
+from repro.exceptions import EvaluationError, TypeMismatchError
+from repro.rdf import BlankNode, Literal, URI
+
+
+class TestRuntimeConversion:
+    def test_plain_literals_unwrap(self):
+        assert fn.runtime(Literal(5)) == 5
+        assert fn.runtime(Literal("s")) == "s"
+        assert fn.runtime(Literal(True)) is True
+
+    def test_lang_literal_stays_wrapped(self):
+        lit = Literal("chat", lang="fr")
+        assert fn.runtime(lit) is lit
+
+    def test_uri_passthrough(self):
+        uri = URI("http://e/x")
+        assert fn.runtime(uri) is uri
+
+    def test_to_term_wraps_scalars(self):
+        assert fn.to_term(5) == Literal(5)
+        assert fn.to_term("x") == Literal("x")
+        assert fn.to_term(True) == Literal(True)
+
+    def test_to_term_keeps_terms(self):
+        uri = URI("http://e/x")
+        assert fn.to_term(uri) is uri
+
+    def test_to_term_rejects_junk(self):
+        with pytest.raises(EvaluationError):
+            fn.to_term(object())
+
+
+class TestEffectiveBooleanValue:
+    @pytest.mark.parametrize("value,expected", [
+        (True, True), (False, False),
+        (0, False), (1, True), (0.0, False), (-2.5, True),
+        ("", False), ("x", True),
+        (Literal(0), False), (Literal("y"), True),
+        (URI("http://e/x"), True),
+        (NumericArray([1]), True),
+    ])
+    def test_cases(self, value, expected):
+        assert fn.effective_boolean_value(value) is expected
+
+    def test_unbound_errors(self):
+        with pytest.raises(EvaluationError):
+            fn.effective_boolean_value(None)
+
+
+class TestStringValue:
+    def test_str_of_kinds(self):
+        assert fn.string_value(URI("http://e/x")) == "http://e/x"
+        assert fn.string_value(5) == "5"
+        assert fn.string_value(True) == "true"
+        assert fn.string_value(Literal("chat", lang="fr")) == "chat"
+        assert fn.string_value(NumericArray([1, 2])) == "[1, 2]"
+
+
+class TestStringBuiltins:
+    def call(self, name, *args):
+        return fn.BUILTINS[name](list(args))
+
+    def test_substr_bounds(self):
+        assert self.call("SUBSTR", "hello", 2) == "ello"
+        assert self.call("SUBSTR", "hello", 2, 2) == "el"
+        assert self.call("SUBSTR", "hello", 10) == ""
+
+    def test_strbefore_strafter(self):
+        assert self.call("STRBEFORE", "a-b-c", "-") == "a"
+        assert self.call("STRAFTER", "a-b-c", "-") == "b-c"
+        assert self.call("STRBEFORE", "abc", "x") == ""
+
+    def test_encode_for_uri(self):
+        assert self.call("ENCODE_FOR_URI", "a b/c") == "a%20b%2Fc"
+
+    def test_replace_with_flags(self):
+        assert self.call("REPLACE", "aAa", "a", "x", "i") == "xxx"
+
+    def test_regex_flags(self):
+        assert self.call("REGEX", "Hello", "^h", "i") is True
+        assert self.call("REGEX", "Hello", "^h") is False
+
+    def test_langmatches(self):
+        assert self.call("LANGMATCHES", "fr-BE", "fr") is True
+        assert self.call("LANGMATCHES", "fr", "*") is True
+        assert self.call("LANGMATCHES", "", "*") is False
+
+    def test_concat_requires_strings(self):
+        with pytest.raises(TypeMismatchError):
+            self.call("CONCAT", "a", 5)
+
+
+class TestNumericBuiltins:
+    def call(self, name, *args):
+        return fn.BUILTINS[name](list(args))
+
+    def test_round_half_up(self):
+        assert self.call("ROUND", 2.5) == 3
+        assert self.call("ROUND", -2.5) == -2
+
+    def test_power_mod(self):
+        assert self.call("POWER", 2, 10) == 1024.0
+        assert self.call("MOD", 10, 3) == 1
+
+    def test_datetime_accessors(self):
+        stamp = "2016-03-23T14:30:45"
+        assert self.call("YEAR", stamp) == 2016
+        assert self.call("MONTH", stamp) == 3
+        assert self.call("DAY", stamp) == 23
+        assert self.call("HOURS", stamp) == 14
+        assert self.call("MINUTES", stamp) == 30
+        assert self.call("SECONDS", stamp) == 45.0
+
+    def test_number_from_zero_dim_array(self):
+        zero_d = NumericArray([5.0]).subscript([__import__(
+            "repro.arrays", fromlist=["Span"]).Span(0, 1)])
+        assert fn.ensure_number(7) == 7
+        with pytest.raises(TypeMismatchError):
+            fn.ensure_number("x")
+
+
+class TestTermBuiltins:
+    def call(self, name, *args):
+        return fn.BUILTINS[name](list(args))
+
+    def test_datatype(self):
+        assert self.call("DATATYPE", 5) == Literal(5).datatype
+        assert self.call("DATATYPE", Literal("x")) == \
+            Literal("x").datatype
+
+    def test_iri_and_bnode(self):
+        assert self.call("IRI", "http://e/x") == URI("http://e/x")
+        assert isinstance(self.call("BNODE"), BlankNode)
+
+    def test_sameterm(self):
+        assert self.call("SAMETERM", 5, 5) is True
+        assert self.call("SAMETERM", 5, 5.0) is False  # different terms
+
+    def test_type_predicates(self):
+        assert self.call("ISIRI", URI("http://e/x")) is True
+        assert self.call("ISLITERAL", "text") is True
+        assert self.call("ISBLANK", BlankNode()) is True
+        assert self.call("ISNUMERIC", True) is False
+
+    def test_strdt_strlang(self):
+        lit = self.call(
+            "STRDT", "5",
+            URI("http://www.w3.org/2001/XMLSchema#integer"),
+        )
+        assert lit.value == 5
+        tagged = self.call("STRLANG", "chat", "fr")
+        assert tagged.lang == "fr"
+
+    def test_uuid_unique(self):
+        assert self.call("UUID") != self.call("UUID")
+        assert len(self.call("STRUUID")) == 36

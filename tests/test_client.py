@@ -1,0 +1,173 @@
+"""Client/server protocol and the workbench (Matlab-analogue) workflow."""
+
+import numpy as np
+import pytest
+
+from repro import SSDM, URI, NumericArray
+from repro.client import SSDMClient, SSDMServer, WorkbenchClient
+from repro.client.server import deserialize_value, serialize_value
+from repro.exceptions import SciSparqlError
+from repro.rdf.term import BlankNode, Literal
+
+
+class TestSerialization:
+    def test_scalars_passthrough(self):
+        for value in (1, 2.5, True, "x", None):
+            assert deserialize_value(serialize_value(value)) == value
+
+    def test_uri_roundtrip(self):
+        uri = URI("http://e/x")
+        assert deserialize_value(serialize_value(uri)) == uri
+
+    def test_bnode_roundtrip(self):
+        node = BlankNode("b9")
+        assert deserialize_value(serialize_value(node)) == node
+
+    def test_typed_literal_roundtrip(self):
+        lit = Literal("raw", URI("http://e/dt"))
+        assert deserialize_value(serialize_value(lit)) == lit
+
+    def test_array_roundtrip(self):
+        array = NumericArray([[1, 2], [3, 4]])
+        assert deserialize_value(serialize_value(array)) == array
+
+
+@pytest.fixture
+def server():
+    ssdm = SSDM()
+    ssdm.load_turtle_text("""
+        @prefix ex: <http://e/> .
+        ex:m ex:val ((1 2) (3 4)) ; ex:n 7 .
+    """)
+    server = SSDMServer(ssdm).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def client(server):
+    client = SSDMClient("127.0.0.1", server.server_address[1])
+    yield client
+    client.close()
+
+
+class TestClientServer:
+    def test_select_over_wire(self, client):
+        r = client.query(
+            "PREFIX ex: <http://e/> SELECT ?n WHERE { ex:m ex:n ?n }"
+        )
+        assert r.rows == [(7,)]
+
+    def test_array_ships_as_nested_lists(self, client):
+        r = client.query(
+            "PREFIX ex: <http://e/> SELECT ?a WHERE { ex:m ex:val ?a }"
+        )
+        assert r.rows[0][0] == NumericArray([[1, 2], [3, 4]])
+
+    def test_server_side_reduction_is_smaller(self, server):
+        # compare bytes: fetching the array vs its server-side sum
+        port = server.server_address[1]
+        c1 = SSDMClient("127.0.0.1", port)
+        c1.query("PREFIX ex: <http://e/> SELECT ?a WHERE { ex:m ex:val ?a }")
+        whole = c1.bytes_received
+        c1.close()
+        c2 = SSDMClient("127.0.0.1", port)
+        c2.query("PREFIX ex: <http://e/> SELECT (array_sum(?a) AS ?s)"
+                 " WHERE { ex:m ex:val ?a }")
+        reduced = c2.bytes_received
+        c2.close()
+        assert reduced < whole
+
+    def test_ask(self, client):
+        assert client.query(
+            "PREFIX ex: <http://e/> ASK { ex:m ex:n 7 }"
+        ) is True
+
+    def test_update_roundtrip(self, client):
+        n = client.update(
+            "PREFIX ex: <http://e/> INSERT DATA { ex:x ex:n 1 }"
+        )
+        assert n == 1
+        r = client.query(
+            "PREFIX ex: <http://e/> SELECT ?v WHERE { ex:x ex:n ?v }"
+        )
+        assert r.rows == [(1,)]
+
+    def test_error_reported(self, client):
+        with pytest.raises(SciSparqlError):
+            client.query("THIS IS NOT SPARQL")
+
+    def test_multiple_sequential_requests(self, client):
+        for _ in range(5):
+            assert client.query(
+                "PREFIX ex: <http://e/> ASK { ex:m ex:n 7 }"
+            ) is True
+
+
+class TestWorkbench:
+    @pytest.fixture
+    def workbench(self, ssdm, tmp_path):
+        return WorkbenchClient(ssdm, str(tmp_path / "results"))
+
+    def test_store_creates_file_and_metadata(self, workbench, tmp_path):
+        uri = workbench.store_result(
+            "run1", np.ones(50), {"temperature": 300.0}
+        )
+        assert (tmp_path / "results" / "run1.npy").exists()
+        assert workbench.metadata(uri)["temperature"] == 300.0
+
+    def test_find_by_metadata(self, workbench):
+        workbench.store_result("r1", np.ones(5), {"case": "a"})
+        workbench.store_result("r2", np.ones(5), {"case": "b"})
+        hits = workbench.find({"case": "b"})
+        assert hits == [URI("http://udbl.uu.se/run/r2")]
+
+    def test_find_with_numeric_filter(self, workbench):
+        workbench.store_result("r1", np.ones(5), {"t": 100.0})
+        workbench.store_result("r2", np.ones(5), {"t": 300.0})
+        hits = workbench.find(filter_text="?m0 > 200")
+        # filter_text composes with a metadata binding
+        hits = workbench.find({"t": 300.0})
+        assert len(hits) == 1
+
+    def test_fetch_whole_array(self, workbench):
+        data = np.arange(100, dtype=np.float64)
+        uri = workbench.store_result("r", data)
+        out = workbench.fetch(uri)
+        assert out.to_nested_lists() == data.tolist()
+        assert workbench.elements_transferred == 100
+
+    def test_fetch_slice(self, workbench):
+        data = np.arange(100, dtype=np.float64)
+        uri = workbench.store_result("r", data)
+        out = workbench.fetch(uri, "[11:20]")
+        assert out.to_nested_lists() == data[10:20].tolist()
+        assert workbench.elements_transferred == 10
+
+    def test_reduce_transfers_one_element(self, workbench):
+        data = np.arange(1000, dtype=np.float64)
+        uri = workbench.store_result("r", data)
+        assert workbench.reduce(uri, "avg") == pytest.approx(data.mean())
+        assert workbench.elements_transferred == 1
+
+    def test_reduce_on_slice(self, workbench):
+        data = np.arange(100, dtype=np.float64)
+        uri = workbench.store_result("r", data)
+        assert workbench.reduce(uri, "sum", "[1:10]") == \
+            pytest.approx(data[:10].sum())
+
+    def test_unknown_reduction_rejected(self, workbench):
+        uri = workbench.store_result("r", np.ones(5))
+        with pytest.raises(SciSparqlError):
+            workbench.reduce(uri, "median")
+
+    def test_annotate_later(self, workbench):
+        uri = workbench.store_result("r", np.ones(5))
+        workbench.annotate(uri, {"quality": "good"})
+        assert workbench.metadata(uri)["quality"] == "good"
+
+    def test_2d_result(self, workbench):
+        data = np.arange(12, dtype=np.float64).reshape(3, 4)
+        uri = workbench.store_result("grid", data)
+        out = workbench.fetch(uri, "[2]")
+        assert out.to_nested_lists() == data[1].tolist()

@@ -1,0 +1,128 @@
+"""CSV loaders: numeric arrays and spreadsheet-style rows."""
+
+import pytest
+
+from repro import SSDM, BlankNode, Literal, NumericArray, URI
+from repro.exceptions import SciSparqlError
+from repro.loaders.csvdata import load_csv_array, load_csv_rows
+
+
+class TestCsvArray:
+    def test_matrix(self, ssdm):
+        array = load_csv_array(
+            ssdm, "1,2,3\n4,5,6\n", URI("http://e/m"), URI("http://e/val")
+        )
+        assert array.shape == (2, 3)
+        r = ssdm.execute(
+            "SELECT ?a[2,3] WHERE { <http://e/m> <http://e/val> ?a }"
+        )
+        assert r.rows == [(6.0,)]
+
+    def test_single_row_becomes_vector(self, ssdm):
+        array = load_csv_array(
+            ssdm, "1,2,3\n", URI("http://e/v"), URI("http://e/val")
+        )
+        assert array.shape == (3,)
+
+    def test_from_file(self, ssdm, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1.5,2.5\n3.5,4.5\n")
+        array = load_csv_array(
+            ssdm, str(path), URI("http://e/f"), URI("http://e/val")
+        )
+        assert array.to_nested_lists() == [[1.5, 2.5], [3.5, 4.5]]
+
+    def test_non_numeric_rejected(self, ssdm):
+        with pytest.raises(SciSparqlError):
+            load_csv_array(ssdm, "1,x\n", URI("http://e/m"),
+                           URI("http://e/val"))
+
+    def test_ragged_rejected(self, ssdm):
+        with pytest.raises(SciSparqlError):
+            load_csv_array(ssdm, "1,2\n3\n", URI("http://e/m"),
+                           URI("http://e/val"))
+
+    def test_empty_rejected(self, ssdm):
+        with pytest.raises(SciSparqlError):
+            load_csv_array(ssdm, "\n", URI("http://e/m"),
+                           URI("http://e/val"))
+
+    def test_externalized_when_configured(self, external_ssdm):
+        from repro.arrays import ArrayProxy
+        load_csv_array(
+            external_ssdm, ",".join(str(i) for i in range(50)) + "\n",
+            URI("http://e/big"), URI("http://e/val"),
+        )
+        value = external_ssdm.graph.value(
+            URI("http://e/big"), URI("http://e/val")
+        )
+        assert isinstance(value, ArrayProxy)
+
+
+CSV_ROWS = """id,name,temperature,ok
+1,alpha,293.5,true
+2,beta,77.4,false
+3,gamma,,true
+"""
+
+
+class TestCsvRows:
+    def test_row_subjects_from_key(self, ssdm):
+        count = load_csv_rows(
+            ssdm, CSV_ROWS, "http://e/", key_column="id"
+        )
+        assert count == 11            # 12 cells minus one empty
+        assert ssdm.graph.value(
+            URI("http://e/row/2"), URI("http://e/name")
+        ) == Literal("beta")
+
+    def test_typed_cells(self, ssdm):
+        load_csv_rows(ssdm, CSV_ROWS, "http://e/", key_column="id")
+        assert ssdm.graph.value(
+            URI("http://e/row/1"), URI("http://e/temperature")
+        ) == Literal(293.5)
+        assert ssdm.graph.value(
+            URI("http://e/row/1"), URI("http://e/ok")
+        ) == Literal(True)
+        assert ssdm.graph.value(
+            URI("http://e/row/1"), URI("http://e/id")
+        ) == Literal(1)
+
+    def test_empty_cells_skipped(self, ssdm):
+        load_csv_rows(ssdm, CSV_ROWS, "http://e/", key_column="id")
+        assert ssdm.graph.value(
+            URI("http://e/row/3"), URI("http://e/temperature")
+        ) is None
+
+    def test_blank_rows_without_key(self, ssdm):
+        load_csv_rows(ssdm, CSV_ROWS, "http://e/")
+        subjects = set(ssdm.graph.subjects())
+        assert all(isinstance(s, BlankNode) for s in subjects)
+        assert len(subjects) == 3
+
+    def test_row_class(self, ssdm):
+        from repro.rdf.namespace import RDF
+        load_csv_rows(
+            ssdm, CSV_ROWS, "http://e/", key_column="id",
+            row_class=URI("http://e/Measurement"),
+        )
+        assert ssdm.graph.count(
+            None, RDF.type, URI("http://e/Measurement")
+        ) == 3
+
+    def test_queryable(self, ssdm):
+        load_csv_rows(ssdm, CSV_ROWS, "http://e/", key_column="id")
+        r = ssdm.execute("""
+            PREFIX e: <http://e/>
+            SELECT ?name WHERE { ?row e:temperature ?t ; e:name ?name
+                FILTER(?t > 100) }""")
+        assert r.rows == [("alpha",)]
+
+    def test_unknown_key_column(self, ssdm):
+        with pytest.raises(SciSparqlError):
+            load_csv_rows(ssdm, CSV_ROWS, "http://e/",
+                          key_column="nope")
+
+    def test_empty_document(self, ssdm):
+        with pytest.raises(SciSparqlError):
+            load_csv_rows(ssdm, "", "http://e/")

@@ -1,0 +1,96 @@
+"""FROM / FROM NAMED dataset clauses (section 3.3.4)."""
+
+import pytest
+
+from repro import SSDM, URI
+
+
+@pytest.fixture
+def multi(ssdm):
+    ssdm.load_turtle_text("@prefix ex: <http://e/> . ex:a ex:p 0 .")
+    ssdm.load_turtle_text(
+        "@prefix ex: <http://e/> . ex:a ex:p 1 .",
+        graph=URI("http://g/one"),
+    )
+    ssdm.load_turtle_text(
+        "@prefix ex: <http://e/> . ex:a ex:p 2 .",
+        graph=URI("http://g/two"),
+    )
+    return ssdm
+
+
+class TestFrom:
+    def test_from_replaces_default(self, multi):
+        r = multi.execute(
+            "SELECT ?v FROM <http://g/one> WHERE { ?s ?p ?v }"
+        )
+        assert r.column("v") == [1]
+
+    def test_from_merges_multiple(self, multi):
+        r = multi.execute(
+            "SELECT ?v FROM <http://g/one> FROM <http://g/two> "
+            "WHERE { ?s ?p ?v } ORDER BY ?v"
+        )
+        assert r.column("v") == [1, 2]
+
+    def test_from_unknown_graph_empty(self, multi):
+        r = multi.execute(
+            "SELECT ?v FROM <http://g/none> WHERE { ?s ?p ?v }"
+        )
+        assert r.rows == []
+
+    def test_without_from_uses_default(self, multi):
+        r = multi.execute("SELECT ?v WHERE { ?s ?p ?v }")
+        assert r.column("v") == [0]
+
+    def test_state_restored_after_query(self, multi):
+        multi.execute("SELECT ?v FROM <http://g/one> WHERE { ?s ?p ?v }")
+        r = multi.execute("SELECT ?v WHERE { ?s ?p ?v }")
+        assert r.column("v") == [0]
+        assert multi.engine.dataset is multi.dataset
+
+    def test_ask_with_from(self, multi):
+        assert multi.execute(
+            "ASK FROM <http://g/two> { ?s ?p 2 }"
+        ) is True
+        assert multi.execute(
+            "ASK FROM <http://g/two> { ?s ?p 0 }"
+        ) is False
+
+
+class TestFromNamed:
+    def test_from_named_restricts_graph_patterns(self, multi):
+        r = multi.execute(
+            "SELECT ?g ?v FROM NAMED <http://g/one> "
+            "WHERE { GRAPH ?g { ?s ?p ?v } }"
+        )
+        assert r.rows == [(URI("http://g/one"), 1)]
+
+    def test_from_named_hides_other_graphs(self, multi):
+        r = multi.execute(
+            "SELECT ?v FROM NAMED <http://g/one> "
+            "WHERE { GRAPH <http://g/two> { ?s ?p ?v } }"
+        )
+        assert r.rows == []
+
+    def test_from_named_empties_default(self, multi):
+        # with only FROM NAMED, the query's default graph is empty
+        r = multi.execute(
+            "SELECT ?v FROM NAMED <http://g/one> WHERE { ?s ?p ?v }"
+        )
+        assert r.rows == []
+
+    def test_from_and_from_named_combine(self, multi):
+        r = multi.execute(
+            "SELECT ?v ?w FROM <http://g/one> FROM NAMED <http://g/two> "
+            "WHERE { ?s ?p ?v GRAPH <http://g/two> { ?s ?p ?w } }"
+        )
+        assert r.rows == [(1, 2)]
+
+    def test_construct_with_from(self, multi):
+        g = multi.execute(
+            "PREFIX ex: <http://e/> "
+            "CONSTRUCT { ?s ex:copy ?v } FROM <http://g/two> "
+            "WHERE { ?s ex:p ?v }"
+        )
+        assert len(g) == 1

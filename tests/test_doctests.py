@@ -1,0 +1,35 @@
+"""Run the doctest examples embedded in module and class docstrings, so
+the documentation's code snippets are guaranteed to stay true."""
+
+import doctest
+
+import pytest
+
+import repro.arrays.chunks
+import repro.arrays.nma
+import repro.engine.bindings
+import repro.rdf.namespace
+import repro.rdf.term
+import repro.storage.spd
+
+MODULES = [
+    repro.rdf.term,
+    repro.rdf.namespace,
+    repro.arrays.nma,
+    repro.arrays.chunks,
+    repro.storage.spd,
+    repro.engine.bindings,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        "%d doctest failure(s) in %s" % (results.failed, module.__name__)
+    )
+    assert results.attempted > 0, (
+        "expected at least one doctest in %s" % module.__name__
+    )

@@ -1,0 +1,223 @@
+"""Cross-cutting edge cases: unusual but legal inputs through the whole
+pipeline."""
+
+import pytest
+
+from repro import (
+    SSDM, ArrayProxy, Literal, NumericArray, ParseError, URI,
+)
+from repro.storage import SqlTripleGraph
+
+EXP = "PREFIX ex: <http://e/>\n"
+
+
+class TestLexicalEdgeCases:
+    def test_negative_exponent_double(self, ssdm):
+        ssdm.load_turtle_text("@prefix ex: <http://e/> . ex:a ex:v 1e-3 .")
+        r = ssdm.execute(EXP + "SELECT ?v WHERE { ?s ex:v ?v }")
+        assert r.rows == [(0.001,)]
+
+    def test_signed_number_in_filter(self, ssdm):
+        ssdm.load_turtle_text("@prefix ex: <http://e/> . ex:a ex:v -5 .")
+        r = ssdm.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(?v = -5) }")
+        assert len(r.rows) == 1
+
+    def test_long_string_literal(self, ssdm):
+        ssdm.load_turtle_text(
+            '@prefix ex: <http://e/> . ex:a ex:t """line one\n'
+            'line two""" .'
+        )
+        r = ssdm.execute(EXP + "SELECT ?t WHERE { ?s ex:t ?t }")
+        assert "\n" in r.rows[0][0]
+
+    def test_unicode_in_literals(self, ssdm):
+        ssdm.load_turtle_text(
+            '@prefix ex: <http://e/> . ex:a ex:t "héllo ∆" .'
+        )
+        assert ssdm.execute(
+            EXP + 'ASK { ?s ex:t "héllo ∆" }'
+        ) is True
+
+    def test_empty_group_pattern(self, ssdm):
+        r = ssdm.execute("SELECT (1 + 1 AS ?two) WHERE { }")
+        assert r.rows == [(2,)]
+
+    def test_keyword_case_insensitive(self, foaf):
+        r = foaf.execute(
+            "prefix foaf: <http://xmlns.com/foaf/0.1/> "
+            'select ?p where { ?p foaf:name "Alice" } limit 1'
+        )
+        assert len(r.rows) == 1
+
+    def test_parse_error_reports_line(self):
+        ssdm = SSDM()
+        try:
+            ssdm.execute("SELECT ?x\nWHERE { ?x ?p }")
+        except ParseError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestResultEdgeCases:
+    def test_reduced_deduplicates(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:p 1 . ex:b ex:p 1 .
+        """)
+        r = ssdm.execute(EXP +
+                         "SELECT REDUCED ?v WHERE { ?s ex:p ?v }")
+        assert r.rows == [(1,)]
+
+    def test_distinct_over_arrays(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:val (1 2) . ex:b ex:val (1 2) . ex:c ex:val (3 4) .
+        """)
+        r = ssdm.execute(EXP +
+                         "SELECT DISTINCT ?v WHERE { ?s ex:val ?v }")
+        assert len(r.rows) == 2
+
+    def test_order_by_unbound_first(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:p 1 . ex:b ex:p 2 . ex:b ex:q 9 .
+        """)
+        r = ssdm.execute(EXP + """
+            SELECT ?s ?w WHERE { ?s ex:p ?v
+                OPTIONAL { ?s ex:q ?w } } ORDER BY ?w""")
+        assert r.rows[0][1] is None       # unbound sorts first
+
+    def test_order_across_term_kinds(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:p ex:z . ex:a ex:p 5 . ex:a ex:p "txt" .
+        """)
+        r = ssdm.execute(EXP + "SELECT ?v WHERE { ?s ex:p ?v } "
+                         "ORDER BY ?v")
+        # URIs < numeric literals < string literals
+        assert isinstance(r.rows[0][0], URI)
+        assert r.rows[1][0] == 5
+        assert r.rows[2][0] == "txt"
+
+    def test_projection_of_never_bound_variable(self, foaf):
+        r = foaf.execute("""PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?ghost ?n WHERE { ?p foaf:name ?n } LIMIT 1""")
+        assert r.rows[0][0] is None
+
+
+class TestArrayEdgeCases:
+    def test_proxy_equals_resident_in_filter(self, external_ssdm):
+        external_ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:val (1 2 3 4 5 6 7 8 9 10) .
+        """)
+        r = external_ssdm.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:val ?a
+                FILTER(?a = (1 2 3 4 5 6 7 8 9 10)) }""")
+        assert len(r.rows) == 1
+
+    def test_two_proxies_compared(self, external_ssdm):
+        external_ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:val (1 2 3 4 5 6 7 8 9 10) .
+            ex:b ex:val (1 2 3 4 5 6 7 8 9 10) .
+            ex:c ex:val (9 9 9 9 9 9 9 9 9 9) .
+        """)
+        r = external_ssdm.execute(EXP + """
+            SELECT ?x ?y WHERE { ?x ex:val ?a . ?y ex:val ?b
+                FILTER(?a = ?b && STR(?x) < STR(?y)) }""")
+        assert r.rows == [(URI("http://e/a"), URI("http://e/b"))]
+
+    def test_empty_range_gives_empty_array(self, arrays):
+        r = arrays.execute("""PREFIX ex: <http://example.org/>
+            SELECT (array_count(?a[2:1]) AS ?n)
+            WHERE { ex:v1 ex:val ?a }""")
+        assert r.rows == [(0,)]
+
+    def test_single_element_range_is_array(self, arrays):
+        r = arrays.execute("""PREFIX ex: <http://example.org/>
+            SELECT (ISARRAY(?a[2:2]) AS ?isarr) ?a[2:2]
+            WHERE { ex:v1 ex:val ?a }""")
+        assert r.rows[0][0] is True
+
+    def test_scalar_arith_on_subscript_chain(self, arrays):
+        r = arrays.execute("""PREFIX ex: <http://example.org/>
+            SELECT (?a[2][2] * 10 AS ?v) WHERE { ex:m2 ex:val ?a }""")
+        assert r.rows == [(500,)]
+
+    def test_delete_data_with_array(self, ssdm):
+        ssdm.execute(EXP + "INSERT DATA { ex:s ex:val ((1 2)(3 4)) }")
+        n = ssdm.execute(EXP + "DELETE DATA { ex:s ex:val ((1 2)(3 4)) }")
+        assert n == 1
+        assert len(ssdm.graph) == 0
+
+    def test_transpose_of_transpose(self, arrays):
+        r = arrays.execute("""PREFIX ex: <http://example.org/>
+            SELECT ?ok WHERE { ex:m2 ex:val ?a
+                BIND(transpose(transpose(?a)) = ?a AS ?ok) }""")
+        assert r.rows == [(True,)]
+
+
+class TestGraphStoreInterplay:
+    def test_paths_over_sql_triple_graph(self):
+        ssdm = SSDM.with_triple_store(SqlTripleGraph())
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:n ex:b . ex:b ex:n ex:c .
+        """)
+        r = ssdm.execute(EXP + "SELECT ?y WHERE { ex:a ex:n+ ?y } "
+                         "ORDER BY ?y")
+        assert r.column("y") == [URI("http://e/b"), URI("http://e/c")]
+
+    def test_construct_from_sql_graph(self):
+        ssdm = SSDM.with_triple_store(SqlTripleGraph())
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 1 ."
+        )
+        g = ssdm.execute(EXP +
+                         "CONSTRUCT { ?s ex:q ?v } WHERE { ?s ex:p ?v }")
+        assert len(g) == 1
+
+    def test_named_graphs_beside_sql_default(self):
+        ssdm = SSDM.with_triple_store(SqlTripleGraph())
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 1 .",
+            graph=URI("http://g/x"),
+        )
+        r = ssdm.execute(
+            "SELECT ?v WHERE { GRAPH <http://g/x> { ?s ?p ?v } }"
+        )
+        assert r.rows == [(1,)]
+
+
+class TestUdfEdgeCases:
+    def test_view_calling_view(self, ssdm):
+        ssdm.load_turtle_text("@prefix ex: <http://e/> . ex:a ex:v 5 .")
+        ssdm.execute(EXP + """
+            DEFINE FUNCTION ex:raw(?s) AS
+            SELECT ?v WHERE { ?s ex:v ?v }""")
+        ssdm.execute(EXP +
+                     "DEFINE FUNCTION ex:scaled(?s) AS ex:raw(?s) * 100")
+        r = ssdm.execute(EXP +
+                         "SELECT (ex:scaled(ex:a) AS ?x) WHERE { }")
+        assert r.rows == [(500,)]
+
+    def test_recursive_function_errors_cleanly(self, ssdm):
+        ssdm.execute(EXP + "DEFINE FUNCTION ex:loop(?x) AS ex:loop(?x)")
+        r = ssdm.execute(EXP + "SELECT (ex:loop(1) AS ?x) WHERE { }")
+        # infinite recursion surfaces as an evaluation error -> unbound
+        assert r.rows == [(None,)]
+
+    def test_nested_closures_capture(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:val (1 2 3) ."
+        )
+        r = ssdm.execute(EXP + """
+            SELECT (array_sum(array_map(
+                FN(?x) ?x + array_sum(array_map(FN(?y) ?y * ?x, ?a)),
+                ?a)) AS ?v)
+            WHERE { ex:a ex:val ?a }""")
+        # inner map: y*x over [1,2,3] = 6x; outer: x + 6x = 7x; sum = 42
+        assert r.rows == [(42.0,)]

@@ -1,0 +1,162 @@
+"""Grouping and aggregation (section 3.5)."""
+
+import pytest
+
+from repro import SSDM, URI
+
+EXP = "PREFIX ex: <http://e/>\n"
+
+
+@pytest.fixture
+def sales(ssdm):
+    ssdm.load_turtle_text("""
+        @prefix ex: <http://e/> .
+        ex:s1 ex:region "north" ; ex:amount 10 ; ex:rep "ann" .
+        ex:s2 ex:region "north" ; ex:amount 20 ; ex:rep "bob" .
+        ex:s3 ex:region "south" ; ex:amount 5  ; ex:rep "ann" .
+        ex:s4 ex:region "south" ; ex:amount 5  ; ex:rep "cid" .
+        ex:s5 ex:region "south" ; ex:amount 30 ; ex:rep "ann" .
+    """)
+    return ssdm
+
+
+class TestGroupBy:
+    def test_count_per_group(self, sales):
+        r = sales.execute(EXP + """
+            SELECT ?region (COUNT(?s) AS ?n) WHERE {
+                ?s ex:region ?region } GROUP BY ?region ORDER BY ?region""")
+        assert r.rows == [("north", 2), ("south", 3)]
+
+    def test_sum_avg(self, sales):
+        r = sales.execute(EXP + """
+            SELECT ?region (SUM(?a) AS ?total) (AVG(?a) AS ?mean)
+            WHERE { ?s ex:region ?region ; ex:amount ?a }
+            GROUP BY ?region ORDER BY ?region""")
+        assert r.rows == [("north", 30, 15.0),
+                          ("south", 40, 40 / 3)]
+
+    def test_min_max(self, sales):
+        r = sales.execute(EXP + """
+            SELECT (MIN(?a) AS ?lo) (MAX(?a) AS ?hi)
+            WHERE { ?s ex:amount ?a }""")
+        assert r.rows == [(5, 30)]
+
+    def test_count_star(self, sales):
+        r = sales.execute(EXP +
+                          "SELECT (COUNT(*) AS ?n) WHERE { ?s ex:rep ?r }")
+        assert r.rows == [(5,)]
+
+    def test_count_distinct(self, sales):
+        r = sales.execute(EXP + """
+            SELECT (COUNT(DISTINCT ?rep) AS ?n)
+            WHERE { ?s ex:rep ?rep }""")
+        assert r.rows == [(3,)]
+
+    def test_sample_is_group_member(self, sales):
+        r = sales.execute(EXP + """
+            SELECT ?region (SAMPLE(?rep) AS ?any)
+            WHERE { ?s ex:region ?region ; ex:rep ?rep }
+            GROUP BY ?region ORDER BY ?region""")
+        north = r.rows[0]
+        assert north[1] in ("ann", "bob")
+
+    def test_group_concat(self, sales):
+        r = sales.execute(EXP + """
+            SELECT (GROUP_CONCAT(?rep; SEPARATOR="|") AS ?all)
+            WHERE { ?s ex:region "north" ; ex:rep ?rep }""")
+        assert sorted(r.rows[0][0].split("|")) == ["ann", "bob"]
+
+    def test_group_by_expression_with_alias(self, sales):
+        r = sales.execute(EXP + """
+            SELECT ?band (COUNT(?s) AS ?n)
+            WHERE { ?s ex:amount ?a BIND(IF(?a >= 10, "big", "small")
+                    AS ?band) }
+            GROUP BY ?band ORDER BY ?band""")
+        assert r.rows == [("big", 3), ("small", 2)]
+
+    def test_multiple_group_keys(self, sales):
+        r = sales.execute(EXP + """
+            SELECT ?region ?rep (SUM(?a) AS ?t)
+            WHERE { ?s ex:region ?region ; ex:rep ?rep ; ex:amount ?a }
+            GROUP BY ?region ?rep ORDER BY ?region ?rep""")
+        assert ("south", "ann", 35) in r.rows
+        assert len(r.rows) == 4
+
+
+class TestHaving:
+    def test_having_filters_groups(self, sales):
+        r = sales.execute(EXP + """
+            SELECT ?region (SUM(?a) AS ?total)
+            WHERE { ?s ex:region ?region ; ex:amount ?a }
+            GROUP BY ?region HAVING (SUM(?a) > 35)""")
+        assert r.rows == [("south", 40)]
+
+    def test_having_on_count(self, sales):
+        r = sales.execute(EXP + """
+            SELECT ?rep WHERE { ?s ex:rep ?rep }
+            GROUP BY ?rep HAVING (COUNT(?s) >= 2)""")
+        assert r.rows == [("ann",)]
+
+
+class TestImplicitGrouping:
+    def test_aggregate_without_group_by(self, sales):
+        r = sales.execute(EXP +
+                          "SELECT (SUM(?a) AS ?t) WHERE { ?s ex:amount ?a }")
+        assert r.rows == [(70,)]
+
+    def test_empty_input_single_group(self, ssdm):
+        r = ssdm.execute(EXP +
+                         "SELECT (COUNT(?s) AS ?n) WHERE { ?s ex:nope ?v }")
+        assert r.rows == [(0,)]
+
+    def test_sum_of_empty_is_zero(self, ssdm):
+        r = ssdm.execute(EXP +
+                         "SELECT (SUM(?v) AS ?t) WHERE { ?s ex:nope ?v }")
+        assert r.rows == [(0,)]
+
+    def test_avg_of_empty_unbound(self, ssdm):
+        r = ssdm.execute(EXP +
+                         "SELECT (AVG(?v) AS ?m) WHERE { ?s ex:nope ?v }")
+        assert r.rows == [(None,)]
+
+
+class TestAggregatesInExpressions:
+    def test_arithmetic_over_aggregates(self, sales):
+        r = sales.execute(EXP + """
+            SELECT (MAX(?a) - MIN(?a) AS ?spread)
+            WHERE { ?s ex:amount ?a }""")
+        assert r.rows == [(25,)]
+
+    def test_order_by_aggregate(self, sales):
+        r = sales.execute(EXP + """
+            SELECT ?region WHERE { ?s ex:region ?region ; ex:amount ?a }
+            GROUP BY ?region ORDER BY DESC(SUM(?a))""")
+        assert r.column("region") == ["south", "north"]
+
+    def test_duplicate_aggregate_deduplicated(self, sales):
+        # SUM(?a) twice must compute once and be usable in both places
+        r = sales.execute(EXP + """
+            SELECT (SUM(?a) AS ?t) (SUM(?a) + 1 AS ?t1)
+            WHERE { ?s ex:amount ?a }""")
+        assert r.rows == [(70, 71)]
+
+    def test_skips_error_rows(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:v 1 . ex:b ex:v "oops" . ex:c ex:v 3 .
+        """)
+        r = ssdm.execute(EXP + """
+            SELECT (SUM(?v + 0) AS ?t) WHERE { ?s ex:v ?v }""")
+        assert r.rows == [(4,)]
+
+
+class TestArrayAggregates:
+    def test_avg_of_array_aggregates(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:arr (1 2 3) . ex:b ex:arr (4 5 6) .
+        """)
+        r = ssdm.execute(EXP + """
+            SELECT (AVG(?m) AS ?grand) WHERE {
+                ?s ex:arr ?a BIND(array_avg(?a) AS ?m) }""")
+        assert r.rows == [(3.5,)]

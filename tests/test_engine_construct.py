@@ -1,0 +1,78 @@
+"""CONSTRUCT and DESCRIBE query forms."""
+
+import pytest
+
+from repro import SSDM, Graph, URI, Literal
+
+EXP = "PREFIX ex: <http://e/>\n"
+
+
+@pytest.fixture
+def data(ssdm):
+    ssdm.load_turtle_text("""
+        @prefix ex: <http://e/> .
+        ex:a ex:name "Ann" ; ex:age 30 .
+        ex:b ex:name "Ben" .
+    """)
+    return ssdm
+
+
+class TestConstruct:
+    def test_returns_graph(self, data):
+        g = data.execute(EXP + """
+            CONSTRUCT { ?s ex:label ?n } WHERE { ?s ex:name ?n }""")
+        assert isinstance(g, Graph)
+        assert len(g) == 2
+
+    def test_template_rewrites(self, data):
+        g = data.execute(EXP + """
+            CONSTRUCT { ?s ex:label ?n } WHERE { ?s ex:name ?n }""")
+        assert (URI("http://e/a"), URI("http://e/label"),
+                Literal("Ann")) in g
+
+    def test_unbound_template_triple_skipped(self, data):
+        g = data.execute(EXP + """
+            CONSTRUCT { ?s ex:age ?a } WHERE { ?s ex:name ?n
+                OPTIONAL { ?s ex:age ?a } }""")
+        assert len(g) == 1                 # only ex:a has an age
+
+    def test_blank_nodes_fresh_per_solution(self, data):
+        g = data.execute(EXP + """
+            CONSTRUCT { ?s ex:card [ ex:shows ?n ] }
+            WHERE { ?s ex:name ?n }""")
+        # 2 solutions x 2 template triples
+        assert len(g) == 4
+        cards = set(g.values(None, URI("http://e/card")))
+        assert len(cards) == 2
+
+    def test_construct_deduplicates(self, data):
+        g = data.execute(EXP + """
+            CONSTRUCT { ex:all ex:seen "yes" } WHERE { ?s ex:name ?n }""")
+        assert len(g) == 1
+
+    def test_construct_with_limit(self, data):
+        g = data.execute(EXP + """
+            CONSTRUCT { ?s ex:label ?n } WHERE { ?s ex:name ?n }
+            LIMIT 1""")
+        assert len(g) == 1
+
+    def test_literal_subject_template_skipped(self, data):
+        g = data.execute(EXP + """
+            CONSTRUCT { ?n ex:of ?s } WHERE { ?s ex:name ?n }""")
+        assert len(g) == 0                 # literal subjects invalid
+
+
+class TestDescribe:
+    def test_describe_uri(self, data):
+        g = data.execute(EXP + "DESCRIBE ex:a")
+        assert len(g) == 2
+
+    def test_describe_variable_with_where(self, data):
+        g = data.execute(EXP + 'DESCRIBE ?s WHERE { ?s ex:name "Ben" }')
+        assert len(g) == 1
+        assert (URI("http://e/b"), URI("http://e/name"),
+                Literal("Ben")) in g
+
+    def test_describe_unknown_empty(self, data):
+        g = data.execute(EXP + "DESCRIBE ex:nothing")
+        assert len(g) == 0

@@ -1,0 +1,247 @@
+"""FILTER expressions: arithmetic, comparisons, logic with error
+semantics, built-in functions, EXISTS, IN."""
+
+import pytest
+
+from repro import SSDM, URI, Literal
+
+EXP = "PREFIX ex: <http://e/>\n"
+
+
+@pytest.fixture
+def data(ssdm):
+    ssdm.load_turtle_text("""
+        @prefix ex: <http://e/> .
+        ex:a ex:v 10 ; ex:name "alpha" .
+        ex:b ex:v 20 ; ex:name "Beta" .
+        ex:c ex:v 30 .
+        ex:d ex:w "not a number" .
+    """)
+    return ssdm
+
+
+def names(result):
+    return [row[0] for row in result.rows]
+
+
+class TestComparisons:
+    def test_numeric_comparison(self, data):
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v FILTER(?v > 15) } ORDER BY ?s""")
+        assert names(r) == [URI("http://e/b"), URI("http://e/c")]
+
+    def test_equality_int_float(self, data):
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(?v = 10.0) }")
+        assert len(r.rows) == 1
+
+    def test_string_comparison(self, data):
+        r = data.execute(EXP + """
+            SELECT ?n WHERE { ?s ex:name ?n FILTER(?n > "Zeta") }""")
+        assert names(r) == ["alpha"]      # lowercase sorts after 'Z'
+
+    def test_uri_equality(self, data):
+        r = data.execute(EXP + """
+            SELECT ?v WHERE { ?s ex:v ?v FILTER(?s = ex:b) }""")
+        assert r.rows == [(20,)]
+
+    def test_uri_ordering_rejected_silently(self, data):
+        # type error in FILTER eliminates the row, not the query
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(?s < 3) }")
+        assert r.rows == []
+
+    def test_not_equal(self, data):
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(?v != 20) }")
+        assert len(r.rows) == 2
+
+
+class TestArithmetic:
+    def test_all_operators(self, data):
+        r = data.execute(EXP + """
+            SELECT ?r WHERE { ex:a ex:v ?v
+                BIND(((?v + 5) * 2 - 10) / 2 AS ?r) }""")
+        assert r.rows == [(10.0,)]
+
+    def test_unary_minus(self, data):
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(-?v < -25) }")
+        assert names(r) == [URI("http://e/c")]
+
+    def test_division_by_zero_drops_row(self, data):
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(?v / 0 > 1) }")
+        assert r.rows == []
+
+    def test_arithmetic_on_string_drops_row(self, data):
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:w ?v "
+                         "FILTER(?v + 1 > 0) }")
+        assert r.rows == []
+
+
+class TestLogic:
+    def test_and(self, data):
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(?v > 5 && ?v < 25) } ORDER BY ?s")
+        assert len(r.rows) == 2
+
+    def test_or(self, data):
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(?v < 15 || ?v > 25) }")
+        assert len(r.rows) == 2
+
+    def test_not(self, data):
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(!(?v = 20)) }")
+        assert len(r.rows) == 2
+
+    def test_error_and_false_is_false(self, data):
+        # (error && false) = false: the row survives the negation
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v
+                FILTER(!( (?missing > 1) && (?v > 100) )) }""")
+        assert len(r.rows) == 3
+
+    def test_error_or_true_is_true(self, data):
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v
+                FILTER( (?missing > 1) || (?v > 5) ) }""")
+        assert len(r.rows) == 3
+
+    def test_error_or_false_drops(self, data):
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v
+                FILTER( (?missing > 1) || (?v > 100) ) }""")
+        assert r.rows == []
+
+    def test_effective_boolean_value_of_number(self, data):
+        r = data.execute(EXP + "SELECT ?s WHERE { ?s ex:v ?v "
+                         "FILTER(?v - 10) } ORDER BY ?s")
+        assert len(r.rows) == 2          # v=10 gives 0 -> false
+
+
+class TestBuiltins:
+    def test_bound(self, data):
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v
+                OPTIONAL { ?s ex:name ?n } FILTER(!BOUND(?n)) }""")
+        assert names(r) == [URI("http://e/c")]
+
+    def test_if(self, data):
+        r = data.execute(EXP + """
+            SELECT ?band WHERE { ex:a ex:v ?v
+                BIND(IF(?v > 15, "high", "low") AS ?band) }""")
+        assert r.rows == [("low",)]
+
+    def test_coalesce(self, data):
+        r = data.execute(EXP + """
+            SELECT ?x WHERE { ex:c ex:v ?v
+                OPTIONAL { ex:c ex:name ?n }
+                BIND(COALESCE(?n, "unnamed") AS ?x) }""")
+        assert r.rows == [("unnamed",)]
+
+    def test_str_of_uri(self, data):
+        r = data.execute(EXP + """
+            SELECT ?t WHERE { ?s ex:v 10 BIND(STR(?s) AS ?t) }""")
+        assert r.rows == [("http://e/a",)]
+
+    def test_string_functions(self, data):
+        r = data.execute(EXP + """
+            SELECT ?u ?len ?sub WHERE { ex:a ex:name ?n
+                BIND(UCASE(?n) AS ?u) BIND(STRLEN(?n) AS ?len)
+                BIND(SUBSTR(?n, 2, 3) AS ?sub) }""")
+        assert r.rows == [("ALPHA", 5, "lph")]
+
+    def test_regex(self, data):
+        r = data.execute(EXP + """
+            SELECT ?n WHERE { ?s ex:name ?n
+                FILTER(REGEX(?n, "^b", "i")) }""")
+        assert names(r) == ["Beta"]
+
+    def test_contains_strstarts(self, data):
+        r = data.execute(EXP + """
+            SELECT ?n WHERE { ?s ex:name ?n
+                FILTER(CONTAINS(?n, "lph") && STRSTARTS(?n, "al")) }""")
+        assert names(r) == ["alpha"]
+
+    def test_replace(self, data):
+        r = data.execute(EXP + """
+            SELECT ?x WHERE { ex:a ex:name ?n
+                BIND(REPLACE(?n, "a", "o") AS ?x) }""")
+        assert r.rows == [("olpho",)]
+
+    def test_numeric_functions(self, ssdm):
+        ssdm.load_turtle_text("@prefix ex: <http://e/> . ex:a ex:v 2.7 .")
+        r = ssdm.execute(EXP + """
+            SELECT ?abs ?c ?f ?r ?sq WHERE { ?s ex:v ?v
+                BIND(ABS(0 - ?v) AS ?abs) BIND(CEIL(?v) AS ?c)
+                BIND(FLOOR(?v) AS ?f) BIND(ROUND(?v) AS ?r)
+                BIND(SQRT(4) AS ?sq) }""")
+        assert r.rows == [(2.7, 3, 2, 3, 2.0)]
+
+    def test_type_predicates(self, data):
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v
+                FILTER(ISIRI(?s) && ISLITERAL(?v) && ISNUMERIC(?v)
+                       && !ISBLANK(?s)) }""")
+        assert len(r.rows) == 3
+
+    def test_datatype_and_lang(self, ssdm):
+        ssdm.load_turtle_text(
+            '@prefix ex: <http://e/> . ex:a ex:t "chat"@fr .'
+        )
+        r = ssdm.execute(EXP + """
+            SELECT ?l WHERE { ?s ex:t ?t BIND(LANG(?t) AS ?l)
+                FILTER(LANGMATCHES(LANG(?t), "fr")) }""")
+        assert r.rows == [("fr",)]
+
+    def test_iri_constructor(self, data):
+        r = data.execute(EXP + """
+            SELECT ?u WHERE { ex:a ex:v ?v
+                BIND(IRI(CONCAT("http://e/n", STR(?v))) AS ?u) }""")
+        assert r.rows == [(URI("http://e/n10"),)]
+
+    def test_strdt(self, data):
+        r = data.execute(EXP + """
+            SELECT ?x WHERE { ex:a ex:v ?v
+                BIND(STRDT("7", xsd:integer) AS ?x) }""")
+        assert r.rows == [(7,)]
+
+
+class TestExistsAndIn:
+    def test_exists(self, data):
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v
+                FILTER(EXISTS { ?s ex:name ?n }) } ORDER BY ?s""")
+        assert len(r.rows) == 2
+
+    def test_not_exists(self, data):
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v
+                FILTER(NOT EXISTS { ?s ex:name ?n }) }""")
+        assert names(r) == [URI("http://e/c")]
+
+    def test_exists_correlates_on_bound_vars(self, data):
+        # EXISTS sees the current row's ?s — not just any subject
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v
+                FILTER(EXISTS { ?s ex:name "alpha" }) }""")
+        assert names(r) == [URI("http://e/a")]
+
+    def test_in(self, data):
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v FILTER(?v IN (10, 30, 99)) }
+            ORDER BY ?s""")
+        assert len(r.rows) == 2
+
+    def test_not_in(self, data):
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v FILTER(?v NOT IN (10, 30)) }""")
+        assert names(r) == [URI("http://e/b")]
+
+    def test_in_with_uris(self, data):
+        r = data.execute(EXP + """
+            SELECT ?v WHERE { ?s ex:v ?v FILTER(?s IN (ex:a, ex:c)) }
+            ORDER BY ?v""")
+        assert r.column("v") == [10, 30]

@@ -1,0 +1,138 @@
+"""Property-path evaluation (section 3.4)."""
+
+import pytest
+
+from repro import SSDM, URI
+
+EXP = "PREFIX ex: <http://e/>\n"
+
+
+def e(name):
+    return URI("http://e/" + name)
+
+
+@pytest.fixture
+def chain(ssdm):
+    ssdm.load_turtle_text("""
+        @prefix ex: <http://e/> .
+        ex:a ex:next ex:b . ex:b ex:next ex:c . ex:c ex:next ex:d .
+        ex:a ex:alt ex:x .
+        ex:a ex:name "A" . ex:b ex:name "B" .
+        ex:c ex:name "C" . ex:d ex:name "D" . ex:x ex:name "X" .
+    """)
+    return ssdm
+
+
+class TestSequence:
+    def test_two_steps(self, chain):
+        r = chain.execute(EXP + "SELECT ?y WHERE { ex:a ex:next/ex:next ?y }")
+        assert r.rows == [(e("c"),)]
+
+    def test_sequence_with_name(self, chain):
+        r = chain.execute(EXP +
+                          "SELECT ?n WHERE { ex:a ex:next/ex:name ?n }")
+        assert r.rows == [("B",)]
+
+    def test_three_step_sequence(self, chain):
+        r = chain.execute(
+            EXP + "SELECT ?y WHERE { ex:a ex:next/ex:next/ex:next ?y }"
+        )
+        assert r.rows == [(e("d"),)]
+
+    def test_bound_object_direction(self, chain):
+        r = chain.execute(EXP +
+                          "SELECT ?x WHERE { ?x ex:next/ex:next ex:d }")
+        assert r.rows == [(e("b"),)]
+
+
+class TestInverse:
+    def test_inverse_link(self, chain):
+        r = chain.execute(EXP + "SELECT ?x WHERE { ex:b ^ex:next ?x }")
+        assert r.rows == [(e("a"),)]
+
+    def test_inverse_in_sequence(self, chain):
+        r = chain.execute(EXP +
+                          "SELECT ?n WHERE { ex:c ^ex:next/ex:name ?n }")
+        assert r.rows == [("B",)]
+
+
+class TestAlternative:
+    def test_alternative(self, chain):
+        r = chain.execute(
+            EXP + "SELECT ?y WHERE { ex:a ex:next|ex:alt ?y } ORDER BY ?y"
+        )
+        assert r.column("y") == [e("b"), e("x")]
+
+    def test_alternative_deduplicates(self, chain):
+        r = chain.execute(
+            EXP + "SELECT ?y WHERE { ex:a ex:next|ex:next ?y }"
+        )
+        assert len(r.rows) == 1
+
+
+class TestClosures:
+    def test_plus_from_subject(self, chain):
+        r = chain.execute(
+            EXP + "SELECT ?y WHERE { ex:b ex:next+ ?y } ORDER BY ?y"
+        )
+        assert r.column("y") == [e("c"), e("d")]
+
+    def test_star_includes_start(self, chain):
+        r = chain.execute(
+            EXP + "SELECT ?y WHERE { ex:b ex:next* ?y } ORDER BY ?y"
+        )
+        assert r.column("y") == [e("b"), e("c"), e("d")]
+
+    def test_question_mark(self, chain):
+        r = chain.execute(
+            EXP + "SELECT ?y WHERE { ex:b ex:next? ?y } ORDER BY ?y"
+        )
+        assert r.column("y") == [e("b"), e("c")]
+
+    def test_plus_reverse_direction(self, chain):
+        r = chain.execute(
+            EXP + "SELECT ?x WHERE { ?x ex:next+ ex:d } ORDER BY ?x"
+        )
+        assert r.column("x") == [e("a"), e("b"), e("c")]
+
+    def test_star_both_unbound(self, chain):
+        r = chain.execute(EXP + "SELECT ?x ?y WHERE { ?x ex:next* ?y }")
+        # every node reflexively plus all forward closures
+        pairs = set(r.rows)
+        assert (e("a"), e("a")) in pairs
+        assert (e("a"), e("d")) in pairs
+        assert (e("d"), e("a")) not in pairs
+
+    def test_cycle_terminates(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:p ex:n ex:q . ex:q ex:n ex:p .
+        """)
+        r = ssdm.execute(EXP + "SELECT ?y WHERE { ex:p ex:n+ ?y } "
+                         "ORDER BY ?y")
+        assert r.column("y") == [e("p"), e("q")]
+
+    def test_grouped_closure(self, chain):
+        r = chain.execute(
+            EXP + "SELECT ?y WHERE { ex:c (ex:next|^ex:next)+ ?y } "
+            "ORDER BY ?y"
+        )
+        # the chain is connected: everything except ex:x is reachable
+        assert e("a") in r.column("y")
+        assert e("d") in r.column("y")
+        assert e("x") not in r.column("y")
+
+
+class TestNegatedSets:
+    def test_negated_forward(self, chain):
+        r = chain.execute(EXP + "SELECT ?y WHERE { ex:a !ex:next ?y } "
+                          "ORDER BY ?y")
+        values = r.column("y")
+        assert e("x") in values           # via ex:alt
+        assert e("b") not in values
+
+    def test_negated_multiple(self, chain):
+        r = chain.execute(
+            EXP + 'SELECT ?y WHERE { ex:a !(ex:next|ex:alt) ?y }'
+        )
+        assert r.column("y") == ["A"]     # only ex:name remains

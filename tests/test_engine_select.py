@@ -1,0 +1,326 @@
+"""SELECT evaluation: joins, OPTIONAL, UNION, MINUS, VALUES, BIND,
+sub-selects, named graphs, and solution modifiers."""
+
+import pytest
+
+from repro import SSDM, URI, Literal
+
+FOAF = "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+EXP = "PREFIX ex: <http://example.org/>\n"
+
+
+class TestBasicMatching:
+    def test_single_pattern(self, foaf):
+        r = foaf.execute(FOAF + 'SELECT ?p WHERE { ?p foaf:name "Alice" }')
+        assert len(r.rows) == 1
+
+    def test_join_through_shared_variable(self, foaf):
+        r = foaf.execute(FOAF + """
+            SELECT ?fname WHERE {
+                ?p foaf:name "Alice" ; foaf:knows ?f .
+                ?f foaf:name ?fname } ORDER BY ?fname""")
+        assert r.column("fname") == ["Bob", "Daniel"]
+
+    def test_no_match_empty(self, foaf):
+        r = foaf.execute(FOAF + 'SELECT ?p WHERE { ?p foaf:name "Zed" }')
+        assert r.rows == []
+
+    def test_ground_triple_acts_as_existence(self, foaf):
+        r = foaf.execute(FOAF + EXP + """
+            SELECT ?n WHERE { ?x foaf:name "Bob" . ?x ex:age 25 .
+                              ?x foaf:name ?n }""")
+        assert r.rows == [("Bob",)]
+
+    def test_same_variable_twice_in_pattern(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://example.org/> .
+            ex:a ex:link ex:a . ex:b ex:link ex:c .
+        """)
+        r = ssdm.execute(EXP + "SELECT ?x WHERE { ?x ex:link ?x }")
+        assert r.rows == [(URI("http://example.org/a"),)]
+
+    def test_predicate_variable(self, foaf):
+        r = foaf.execute(FOAF + """
+            SELECT DISTINCT ?prop WHERE {
+                ?x foaf:name "Bob" . ?x ?prop ?v }""")
+        assert len(r.rows) >= 3
+
+    def test_select_star(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://example.org/> . ex:a ex:p 1 ."
+        )
+        r = ssdm.execute("SELECT * WHERE { ?s ?p ?o }")
+        assert set(r.columns) == {"s", "p", "o"}
+
+    def test_literal_value_matching(self, foaf):
+        r = foaf.execute(EXP + FOAF + """
+            SELECT ?n WHERE { ?p ex:age 30 ; foaf:name ?n } ORDER BY ?n""")
+        assert r.column("n") == ["Alice", "Cindy"]
+
+
+class TestOptional:
+    def test_keeps_unmatched_left(self, foaf):
+        r = foaf.execute(FOAF + """
+            SELECT ?name ?mbox WHERE {
+                ?p foaf:name ?name OPTIONAL { ?p foaf:mbox ?mbox } }
+            ORDER BY ?name""")
+        rows = dict(r.rows)
+        assert rows["Bob"] == "bob@example.org"
+        assert rows["Alice"] is None
+
+    def test_optional_filter_is_join_condition(self, ssdm):
+        # the section 5.4.2 case: the OPTIONAL's filter references a
+        # variable bound only outside the optional part
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://example.org/> .
+            ex:a ex:v 5 . ex:a ex:w 3 .
+            ex:b ex:v 1 . ex:b ex:w 9 .
+        """)
+        r = ssdm.execute(EXP + """
+            SELECT ?s ?w WHERE {
+                ?s ex:v ?v OPTIONAL { ?s ex:w ?w FILTER(?w < ?v) } }
+            ORDER BY ?s""")
+        rows = dict(r.rows)
+        assert rows[URI("http://example.org/a")] == 3
+        assert rows[URI("http://example.org/b")] is None
+
+    def test_nested_optional(self, foaf):
+        r = foaf.execute(FOAF + EXP + """
+            SELECT ?name ?m ?e WHERE { ?p foaf:name ?name
+                OPTIONAL { ?p foaf:mbox ?m }
+                OPTIONAL { ?p ex:email ?e } } ORDER BY ?name""")
+        rows = {row[0]: row[1:] for row in r.rows}
+        assert rows["Daniel"] == (None, "dan@example.org")
+
+    def test_optional_inside_optional(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:p ex:b . ex:b ex:q ex:c .
+        """)
+        r = ssdm.execute("""PREFIX ex: <http://e/>
+            SELECT ?c WHERE { ex:a ex:p ?b
+                OPTIONAL { ?b ex:q ?c OPTIONAL { ?c ex:r ?d } } }""")
+        assert r.rows == [(URI("http://e/c"),)]
+
+
+class TestUnion:
+    def test_union_combines(self, foaf):
+        r = foaf.execute(FOAF + EXP + """
+            SELECT ?contact WHERE {
+                { ?p foaf:mbox ?contact } UNION { ?p ex:email ?contact } }
+            ORDER BY ?contact""")
+        assert r.column("contact") == ["bob@example.org", "dan@example.org"]
+
+    def test_union_branches_may_bind_different_vars(self, foaf):
+        r = foaf.execute(FOAF + EXP + """
+            SELECT ?m ?e WHERE {
+                { ?p foaf:mbox ?m } UNION { ?p ex:email ?e } }""")
+        assert len(r.rows) == 2
+        assert any(m is None for m, e in r.rows)
+        assert any(e is None for m, e in r.rows)
+
+    def test_union_preserves_duplicates(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 1 ."
+        )
+        r = ssdm.execute("""PREFIX ex: <http://e/>
+            SELECT ?s WHERE { { ?s ex:p 1 } UNION { ?s ex:p 1 } }""")
+        assert len(r.rows) == 2
+
+
+class TestMinus:
+    def test_removes_compatible(self, foaf):
+        r = foaf.execute(FOAF + """
+            SELECT ?name WHERE { ?p foaf:name ?name
+                MINUS { ?p foaf:mbox ?m } } ORDER BY ?name""")
+        assert "Bob" not in r.column("name")
+        assert "Alice" in r.column("name")
+
+    def test_disjoint_minus_keeps_all(self, foaf):
+        # MINUS with no shared variables removes nothing
+        r = foaf.execute(FOAF + """
+            SELECT ?name WHERE { ?p foaf:name ?name
+                MINUS { ?x foaf:mbox ?m } }""")
+        assert len(r.rows) == 4
+
+
+class TestValuesAndBind:
+    def test_values_restricts(self, foaf):
+        r = foaf.execute(FOAF + """
+            SELECT ?name WHERE { VALUES ?name { "Alice" "Bob" }
+                ?p foaf:name ?name } ORDER BY ?name""")
+        assert r.column("name") == ["Alice", "Bob"]
+
+    def test_values_undef_joins_freely(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 1 . ex:b ex:p 2 ."
+        )
+        r = ssdm.execute("""PREFIX ex: <http://e/>
+            SELECT ?s ?t WHERE { ?s ex:p ?v .
+                VALUES (?v ?t) { (1 10) (UNDEF 20) } } ORDER BY ?t""")
+        # UNDEF row matches both subjects
+        assert len(r.rows) == 3
+
+    def test_bind_computes(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 5 ."
+        )
+        r = ssdm.execute("""PREFIX ex: <http://e/>
+            SELECT ?double WHERE { ?s ex:p ?v BIND(?v * 2 AS ?double) }""")
+        assert r.rows == [(10,)]
+
+    def test_bind_error_leaves_unbound(self, ssdm):
+        ssdm.load_turtle_text(
+            '@prefix ex: <http://e/> . ex:a ex:p "text" .'
+        )
+        r = ssdm.execute("""PREFIX ex: <http://e/>
+            SELECT ?d WHERE { ?s ex:p ?v BIND(?v * 2 AS ?d) }""")
+        assert r.rows == [(None,)]
+
+    def test_bound_bind_variable_usable_in_pattern(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 5 . ex:b ex:q 10 ."
+        )
+        r = ssdm.execute("""PREFIX ex: <http://e/>
+            SELECT ?t WHERE { ?s ex:p ?v BIND(?v * 2 AS ?w)
+                              ?t ex:q ?w }""")
+        assert r.rows == [(URI("http://e/b"),)]
+
+
+class TestSubSelect:
+    def test_aggregate_subquery(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:v 1 . ex:b ex:v 5 . ex:c ex:v 3 .
+        """)
+        r = ssdm.execute("""PREFIX ex: <http://e/>
+            SELECT ?s WHERE { ?s ex:v ?v .
+                { SELECT (MAX(?w) AS ?v) WHERE { ?x ex:v ?w } } }""")
+        assert r.rows == [(URI("http://e/b"),)]
+
+    def test_subquery_with_limit(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:v 1 . ex:b ex:v 5 . ex:c ex:v 3 .
+        """)
+        r = ssdm.execute("""PREFIX ex: <http://e/>
+            SELECT ?v WHERE {
+                { SELECT ?v WHERE { ?s ex:v ?v } ORDER BY DESC(?v)
+                  LIMIT 2 } } ORDER BY ?v""")
+        assert r.column("v") == [3, 5]
+
+
+class TestNamedGraphs:
+    @pytest.fixture
+    def multi(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 1 ."
+        )
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 2 .",
+            graph=URI("http://g/one"),
+        )
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 3 .",
+            graph=URI("http://g/two"),
+        )
+        return ssdm
+
+    def test_default_graph_only(self, multi):
+        r = multi.execute("SELECT ?v WHERE { ?s ?p ?v }")
+        assert r.column("v") == [1]
+
+    def test_graph_by_name(self, multi):
+        r = multi.execute(
+            "SELECT ?v WHERE { GRAPH <http://g/one> { ?s ?p ?v } }"
+        )
+        assert r.column("v") == [2]
+
+    def test_graph_variable_iterates(self, multi):
+        r = multi.execute(
+            "SELECT ?g ?v WHERE { GRAPH ?g { ?s ?p ?v } } ORDER BY ?v"
+        )
+        assert r.column("v") == [2, 3]
+        assert r.column("g") == [URI("http://g/one"), URI("http://g/two")]
+
+    def test_unknown_graph_empty(self, multi):
+        r = multi.execute(
+            "SELECT ?v WHERE { GRAPH <http://g/none> { ?s ?p ?v } }"
+        )
+        assert r.rows == []
+
+
+class TestModifiers:
+    @pytest.fixture
+    def numbers(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:v 3 . ex:b ex:v 1 . ex:c ex:v 2 . ex:d ex:v 2 .
+        """)
+        return ssdm
+
+    def test_order_asc(self, numbers):
+        r = numbers.execute(
+            "PREFIX ex: <http://e/> SELECT ?v WHERE { ?s ex:v ?v } "
+            "ORDER BY ?v"
+        )
+        assert r.column("v") == [1, 2, 2, 3]
+
+    def test_order_desc(self, numbers):
+        r = numbers.execute(
+            "PREFIX ex: <http://e/> SELECT ?v WHERE { ?s ex:v ?v } "
+            "ORDER BY DESC(?v)"
+        )
+        assert r.column("v") == [3, 2, 2, 1]
+
+    def test_order_by_expression(self, numbers):
+        r = numbers.execute(
+            "PREFIX ex: <http://e/> SELECT ?v WHERE { ?s ex:v ?v } "
+            "ORDER BY (0 - ?v)"
+        )
+        assert r.column("v") == [3, 2, 2, 1]
+
+    def test_secondary_sort_key(self, numbers):
+        r = numbers.execute(
+            "PREFIX ex: <http://e/> SELECT ?s ?v WHERE { ?s ex:v ?v } "
+            "ORDER BY ?v DESC(?s)"
+        )
+        twos = [s for s, v in r.rows if v == 2]
+        assert twos == [URI("http://e/d"), URI("http://e/c")]
+
+    def test_distinct(self, numbers):
+        r = numbers.execute(
+            "PREFIX ex: <http://e/> SELECT DISTINCT ?v "
+            "WHERE { ?s ex:v ?v } ORDER BY ?v"
+        )
+        assert r.column("v") == [1, 2, 3]
+
+    def test_limit_offset(self, numbers):
+        r = numbers.execute(
+            "PREFIX ex: <http://e/> SELECT ?v WHERE { ?s ex:v ?v } "
+            "ORDER BY ?v LIMIT 2 OFFSET 1"
+        )
+        assert r.column("v") == [2, 2]
+
+    def test_limit_zero(self, numbers):
+        r = numbers.execute(
+            "PREFIX ex: <http://e/> SELECT ?v WHERE { ?s ex:v ?v } LIMIT 0"
+        )
+        assert r.rows == []
+
+
+class TestAsk:
+    def test_true(self, foaf):
+        assert foaf.execute(FOAF + 'ASK { ?p foaf:name "Alice" }') is True
+
+    def test_false(self, foaf):
+        assert foaf.execute(FOAF + 'ASK { ?p foaf:name "Zed" }') is False
+
+
+class TestInitialBindings:
+    def test_prebound_variable(self, foaf):
+        r = foaf.select(
+            FOAF + "SELECT ?n WHERE { ?p foaf:name ?n }",
+            bindings={"n": "Bob"},
+        )
+        assert r.rows == [("Bob",)]

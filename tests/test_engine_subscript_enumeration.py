@@ -1,0 +1,77 @@
+"""Variables bound to array subscripts (dissertation section 4.1.2):
+an unbound subscript variable enumerates the valid 1-based indexes."""
+
+import pytest
+
+from repro import SSDM
+
+EXP = "PREFIX ex: <http://e/>\n"
+
+
+@pytest.fixture
+def data(ssdm):
+    ssdm.load_turtle_text("""
+        @prefix ex: <http://e/> .
+        ex:v ex:val (10 20 30) .
+        ex:m ex:val ((1 2) (3 4)) .
+    """)
+    return ssdm
+
+
+class TestEnumeration:
+    def test_vector_enumeration(self, data):
+        r = data.execute(EXP + """
+            SELECT ?i (?a[?i] AS ?e) WHERE { ex:v ex:val ?a }
+            ORDER BY ?i""")
+        assert r.rows == [(1, 10), (2, 20), (3, 30)]
+
+    def test_matrix_enumeration(self, data):
+        r = data.execute(EXP + """
+            SELECT ?i ?j (?a[?i,?j] AS ?e) WHERE { ex:m ex:val ?a }
+            ORDER BY ?i ?j""")
+        assert r.rows == [(1, 1, 1), (1, 2, 2), (2, 1, 3), (2, 2, 4)]
+
+    def test_repeated_variable_is_diagonal(self, data):
+        r = data.execute(EXP + """
+            SELECT ?i (?a[?i,?i] AS ?d) WHERE { ex:m ex:val ?a }
+            ORDER BY ?i""")
+        assert r.rows == [(1, 1), (2, 4)]
+
+    def test_filter_over_enumerated(self, data):
+        r = data.execute(EXP + """
+            SELECT ?i WHERE { ex:v ex:val ?a
+                BIND(?a[?i] AS ?e) FILTER(?e > 15) } ORDER BY ?i""")
+        assert r.column("i") == [2, 3]
+
+    def test_mixed_bound_and_free(self, data):
+        r = data.execute(EXP + """
+            SELECT ?j (?a[2,?j] AS ?e) WHERE { ex:m ex:val ?a }
+            ORDER BY ?j""")
+        assert r.rows == [(1, 3), (2, 4)]
+
+    def test_bound_variable_not_enumerated(self, data):
+        r = data.execute(EXP + """
+            SELECT ?i (?a[?i] AS ?e) WHERE { ex:v ex:val ?a
+                VALUES ?i { 2 } }""")
+        assert r.rows == [(2, 20)]
+
+    def test_enumeration_over_proxy(self, external_ssdm):
+        external_ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:v ex:val "
+            "(5 6 7 8 9 10 11 12 13 14) ."
+        )
+        r = external_ssdm.execute(EXP + """
+            SELECT ?i WHERE { ex:v ex:val ?a
+                BIND(?a[?i] AS ?e) FILTER(?e = 9) }""")
+        assert r.rows == [(5,)]
+
+    def test_aggregate_over_enumeration(self, data):
+        r = data.execute(EXP + """
+            SELECT (COUNT(?i) AS ?n) (SUM(?e) AS ?s) WHERE {
+                ex:m ex:val ?a BIND(?a[?i,?j] AS ?e) }""")
+        assert r.rows == [(4, 10)]
+
+    def test_non_array_base_no_rows_bound(self, data):
+        r = data.execute(EXP + """
+            SELECT ?i WHERE { ex:v ex:label ?a BIND(?a[?i] AS ?e) }""")
+        assert r.rows == []

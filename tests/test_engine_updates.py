@@ -1,0 +1,128 @@
+"""SPARQL Update execution: INSERT/DELETE DATA, DELETE/INSERT WHERE,
+CLEAR, and array externalization on insert."""
+
+import pytest
+
+from repro import SSDM, URI, Literal, NumericArray, ArrayProxy
+
+EXP = "PREFIX ex: <http://e/>\n"
+
+
+class TestInsertData:
+    def test_insert_counts(self, ssdm):
+        n = ssdm.execute(EXP + "INSERT DATA { ex:s ex:p 1 . ex:s ex:q 2 }")
+        assert n == 2
+        assert len(ssdm.graph) == 2
+
+    def test_insert_idempotent(self, ssdm):
+        ssdm.execute(EXP + "INSERT DATA { ex:s ex:p 1 }")
+        ssdm.execute(EXP + "INSERT DATA { ex:s ex:p 1 }")
+        assert len(ssdm.graph) == 1
+
+    def test_insert_array_literal(self, ssdm):
+        ssdm.execute(EXP + "INSERT DATA { ex:s ex:val ((1 2) (3 4)) }")
+        r = ssdm.execute(EXP + "SELECT ?a[2,2] WHERE { ex:s ex:val ?a }")
+        assert r.rows == [(4,)]
+
+    def test_insert_blank_node_shorthand(self, ssdm):
+        ssdm.execute(EXP + 'INSERT DATA { ex:s ex:p [ ex:q "x" ] }')
+        r = ssdm.execute(EXP + 'SELECT ?s WHERE { ex:s ex:p ?b . '
+                         '?b ex:q "x" . BIND(ex:s AS ?s) }')
+        assert len(r.rows) == 1
+
+    def test_insert_into_named_graph(self, ssdm):
+        ssdm.execute(EXP + "INSERT DATA { GRAPH ex:g { ex:s ex:p 1 } }")
+        assert len(ssdm.graph) == 0
+        r = ssdm.execute(EXP +
+                         "SELECT ?v WHERE { GRAPH ex:g { ?s ex:p ?v } }")
+        assert r.rows == [(1,)]
+
+    def test_insert_externalizes_large_arrays(self, external_ssdm):
+        external_ssdm.execute(
+            EXP + "INSERT DATA { ex:s ex:val "
+            "((1 2 3 4 5) (6 7 8 9 10)) }"
+        )
+        stored = list(external_ssdm.graph.values(None, URI("http://e/val")))
+        assert isinstance(stored[0], ArrayProxy)
+
+
+class TestDeleteData:
+    def test_delete_counts(self, ssdm):
+        ssdm.execute(EXP + "INSERT DATA { ex:s ex:p 1 . ex:s ex:q 2 }")
+        n = ssdm.execute(EXP + "DELETE DATA { ex:s ex:p 1 }")
+        assert n == 1
+        assert len(ssdm.graph) == 1
+
+    def test_delete_absent_is_zero(self, ssdm):
+        assert ssdm.execute(EXP + "DELETE DATA { ex:s ex:p 99 }") == 0
+
+
+class TestModify:
+    @pytest.fixture
+    def data(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:status "old" ; ex:v 1 .
+            ex:b ex:status "old" ; ex:v 2 .
+            ex:c ex:status "new" ; ex:v 3 .
+        """)
+        return ssdm
+
+    def test_delete_insert_where(self, data):
+        data.execute(EXP + """
+            DELETE { ?s ex:status "old" }
+            INSERT { ?s ex:status "archived" }
+            WHERE { ?s ex:status "old" }""")
+        r = data.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:status "archived" }""")
+        assert len(r.rows) == 2
+        r = data.execute(EXP + 'SELECT ?s WHERE { ?s ex:status "old" }')
+        assert r.rows == []
+
+    def test_insert_where_computes(self, data):
+        data.execute(EXP + """
+            INSERT { ?s ex:doubled ?d } WHERE { ?s ex:v ?v
+                BIND(?v * 2 AS ?d) }""")
+        r = data.execute(EXP +
+                         "SELECT ?d WHERE { ex:b ex:doubled ?d }")
+        assert r.rows == [(4,)]
+
+    def test_delete_where_shorthand(self, data):
+        data.execute(EXP + 'DELETE WHERE { ?s ex:status "old" }')
+        assert len(list(data.graph.triples(
+            None, URI("http://e/status"), Literal("old")
+        ))) == 0
+
+    def test_unbound_template_vars_skipped(self, data):
+        # ?m is never bound: the template instantiation skips those rows
+        data.execute(EXP + """
+            INSERT { ?s ex:copy ?m } WHERE { ?s ex:v ?v
+                OPTIONAL { ?s ex:missing ?m } }""")
+        assert data.graph.count(None, URI("http://e/copy"), None) == 0
+
+    def test_snapshot_semantics(self, data):
+        # inserting while matching must not re-match the new triples
+        data.execute(EXP + """
+            INSERT { ?s ex:v 100 } WHERE { ?s ex:v ?v }""")
+        # each subject got one new value; originals intact
+        assert data.graph.count(None, URI("http://e/v"), None) == 6
+
+
+class TestClear:
+    def test_clear_named_graph(self, ssdm):
+        ssdm.execute(EXP + "INSERT DATA { GRAPH ex:g { ex:s ex:p 1 } }")
+        n = ssdm.execute(EXP + "CLEAR GRAPH ex:g")
+        assert n == 1
+        r = ssdm.execute(EXP +
+                         "SELECT ?v WHERE { GRAPH ex:g { ?s ex:p ?v } }")
+        assert r.rows == []
+
+    def test_clear_all(self, ssdm):
+        ssdm.execute(EXP + "INSERT DATA { ex:s ex:p 1 }")
+        ssdm.execute(EXP + "INSERT DATA { GRAPH ex:g { ex:s ex:p 2 } }")
+        n = ssdm.execute("CLEAR ALL")
+        assert n == 2
+        assert len(ssdm.dataset) == 0
+
+    def test_clear_unknown_graph(self, ssdm):
+        assert ssdm.execute(EXP + "CLEAR GRAPH ex:nothing") == 0

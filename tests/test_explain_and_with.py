@@ -1,0 +1,57 @@
+"""EXPLAIN variants and WITH-graph updates."""
+
+import pytest
+
+from repro import SSDM, URI
+
+
+class TestExplainCosts:
+    def test_costs_section_present(self, foaf):
+        text = foaf.explain(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+            "SELECT ?n WHERE { ?p a foaf:Person ; foaf:name ?n }",
+            costs=True,
+        )
+        assert "-- cost estimates --" in text
+        assert "~" in text
+
+    def test_selective_pattern_listed_first(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:common 1 . ex:b ex:common 2 . ex:c ex:common 3 .
+            ex:a ex:rare 1 .
+        """)
+        text = ssdm.explain(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE "
+            "{ ?s ex:common ?v . ?s ex:rare ?w }",
+            costs=True,
+        )
+        cost_lines = [
+            line for line in text.splitlines() if "~" in line
+        ]
+        assert "rare" in cost_lines[0]
+
+
+class TestWithGraphUpdates:
+    def test_with_scopes_modify(self, ssdm):
+        ssdm.execute(
+            "PREFIX ex: <http://e/> "
+            "INSERT DATA { GRAPH ex:g { ex:s ex:p 1 } }"
+        )
+        ssdm.execute(
+            "PREFIX ex: <http://e/> WITH ex:g "
+            "DELETE { ?s ex:p ?v } INSERT { ?s ex:q ?v } "
+            "WHERE { ?s ex:p ?v }"
+        )
+        named = ssdm.dataset.graph(URI("http://e/g"))
+        assert named.count(None, URI("http://e/q"), None) == 1
+        assert named.count(None, URI("http://e/p"), None) == 0
+        assert len(ssdm.graph) == 0
+
+    def test_with_does_not_touch_default(self, ssdm):
+        ssdm.execute("PREFIX ex: <http://e/> INSERT DATA { ex:s ex:p 1 }")
+        ssdm.execute(
+            "PREFIX ex: <http://e/> WITH ex:g "
+            "DELETE { ?s ex:p ?v } WHERE { ?s ex:p ?v }"
+        )
+        assert len(ssdm.graph) == 1

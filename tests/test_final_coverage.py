@@ -1,0 +1,125 @@
+"""Final coverage round: multi-column views, path corner cases,
+constant-folding soundness, and convenience APIs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SSDM, Literal, NumericArray, URI
+from repro.algebra.rewriter import fold_constants
+from repro.engine.bindings import Bindings
+from repro.engine.expr import Evaluator
+from repro.sparql import ast, parse_query, serialize_query
+
+EXP = "PREFIX ex: <http://e/>\n"
+
+
+class TestMultiColumnViews:
+    def test_view_with_two_columns_returns_dicts(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:x 1 ; ex:y 2 .
+        """)
+        ssdm.execute(EXP + """
+            DEFINE FUNCTION ex:pair(?s) AS
+            SELECT ?x ?y WHERE { ?s ex:x ?x ; ex:y ?y }""")
+        function = ssdm.functions.require(URI("http://e/pair"))
+        result = ssdm.engine.call_view(
+            function, [URI("http://e/a")]
+        )
+        assert result == [{"x": Literal(1), "y": Literal(2)}]
+
+
+class TestPathCorners:
+    def test_question_mark_both_unbound(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p ex:b ."
+        )
+        r = ssdm.execute(EXP + "SELECT ?x ?y WHERE { ?x ex:p? ?y }")
+        pairs = set(r.rows)
+        # reflexive pairs for every node plus the direct edge
+        assert (URI("http://e/a"), URI("http://e/b")) in pairs
+        assert (URI("http://e/a"), URI("http://e/a")) in pairs
+        assert (URI("http://e/b"), URI("http://e/b")) in pairs
+
+    def test_star_with_both_ends_bound(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:p ex:b . ex:b ex:p ex:c .
+        """)
+        assert ssdm.execute(EXP + "ASK { ex:a ex:p* ex:c }") is True
+        assert ssdm.execute(EXP + "ASK { ex:c ex:p* ex:a }") is False
+        assert ssdm.execute(EXP + "ASK { ex:a ex:p* ex:a }") is True
+
+    def test_sequence_driven_from_object(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:p ex:b . ex:b ex:q ex:c .
+            ex:x ex:p ex:y . ex:y ex:q ex:c .
+        """)
+        r = ssdm.execute(EXP +
+                         "SELECT ?s WHERE { ?s ex:p/ex:q ex:c } "
+                         "ORDER BY ?s")
+        assert r.column("s") == [URI("http://e/a"), URI("http://e/x")]
+
+
+class TestFoldingSoundness:
+    numeric_expr = st.recursive(
+        st.one_of(
+            st.integers(-50, 50).map(lambda v: ast.TermExpr(Literal(v))),
+            st.floats(-10, 10).map(
+                lambda v: ast.TermExpr(Literal(round(v, 3)))
+            ),
+        ),
+        lambda sub: st.tuples(
+            st.sampled_from(["+", "-", "*", "/"]), sub, sub
+        ).map(lambda t: ast.BinaryOp(*t)),
+        max_leaves=8,
+    )
+
+    @given(numeric_expr)
+    @settings(max_examples=150, deadline=None)
+    def test_fold_preserves_value(self, expr):
+        evaluator = Evaluator()
+        folded = fold_constants(expr)
+        try:
+            original = evaluator.evaluate(expr, Bindings.EMPTY)
+        except Exception:
+            return                        # e.g. division by zero
+        result = evaluator.evaluate(folded, Bindings.EMPTY)
+        assert result == pytest.approx(original)
+
+
+class TestConvenience:
+    def test_serialize_query_reexported(self):
+        query = parse_query("ASK { ?s ?p ?o }")
+        assert "ASK" in serialize_query(query)
+
+    def test_distinct_aggregate_over_arrays(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:v (1 2) . ex:b ex:v (1 2) . ex:c ex:v (3 4) .
+        """)
+        r = ssdm.execute(EXP + """
+            SELECT (COUNT(DISTINCT ?a) AS ?n) WHERE { ?s ex:v ?a }""")
+        assert r.rows == [(2,)]
+
+    def test_bindings_repr_stable(self):
+        b = Bindings({"x": 1, "a": 2})
+        assert repr(b) == "{?a=2, ?x=1}"
+
+    def test_result_column_missing_raises(self, foaf):
+        r = foaf.execute("""PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?n WHERE { ?p foaf:name ?n }""")
+        with pytest.raises(ValueError):
+            r.column("nope")
+
+    def test_numeric_array_from_bool_filter_result(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:v (1 2 3) ."
+        )
+        # IF inside a mapper producing 0/1 indicator values
+        r = ssdm.execute(EXP + """
+            SELECT (array_sum(array_map(FN(?x) IF(?x > 1, 1, 0), ?a))
+                    AS ?count)
+            WHERE { ex:a ex:v ?a }""")
+        assert r.rows == [(2.0,)]

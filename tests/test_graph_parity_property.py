@@ -1,0 +1,72 @@
+"""Property: SqlTripleGraph behaves exactly like the in-memory Graph.
+
+The same random sequence of add/remove operations and pattern queries
+must give identical observable state on both implementations — the
+contract that lets the engine run unchanged over either store.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Graph, Literal, URI
+from repro.storage import SqlTripleGraph
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.integers(0, 3),               # subject
+        st.integers(0, 2),               # predicate
+        st.one_of(
+            st.integers(0, 3),           # numeric literal
+            st.sampled_from(["x", "y"]),
+        ),
+    ),
+    max_size=30,
+)
+
+
+def term(o):
+    return Literal(o)
+
+
+def subject(i):
+    return URI("http://e/s%d" % i)
+
+
+def predicate(i):
+    return URI("http://e/p%d" % i)
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_same_observable_state(ops):
+    memory = Graph()
+    relational = SqlTripleGraph()
+    for action, s, p, o in ops:
+        triple = (subject(s), predicate(p), term(o))
+        if action == "add":
+            memory.add(*triple)
+            relational.add(*triple)
+        else:
+            assert memory.remove(*triple) == relational.remove(*triple)
+    assert len(memory) == len(relational)
+    memory_set = {
+        (t.subject, t.property, t.value) for t in memory.triples()
+    }
+    relational_set = {
+        (t.subject, t.property, t.value) for t in relational.triples()
+    }
+    assert memory_set == relational_set
+    # pattern queries agree on every bound combination
+    for s in range(4):
+        assert (
+            {(t.property, t.value) for t in memory.triples(subject(s))}
+            == {(t.property, t.value)
+                for t in relational.triples(subject(s))}
+        )
+    for p in range(3):
+        assert memory.statistics.property_count(predicate(p)) == \
+            relational.statistics.property_count(predicate(p))
+        assert memory.statistics.distinct_subjects(predicate(p)) == \
+            relational.statistics.distinct_subjects(predicate(p))
+    relational.close()

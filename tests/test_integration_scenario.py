@@ -1,0 +1,121 @@
+"""End-to-end integration scenario exercising subsystem interplay:
+
+load (consolidating) -> externalize -> mediate relational data ->
+define functions -> query across everything -> update -> serialize ->
+reload -> serve over TCP.
+"""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro import SSDM, NumericArray, SqlArrayStore, URI
+from repro.client import SSDMClient, SSDMServer
+from repro.loaders.rdbview import load_relational
+
+
+@pytest.fixture
+def scenario(tmp_path):
+    store = SqlArrayStore(chunk_bytes=512)
+    ssdm = SSDM(array_store=store, externalize_threshold=32)
+
+    # 1. native RDF-with-Arrays data (consolidated while loading)
+    ssdm.load_turtle_text("""
+        @prefix lab: <http://lab.example.org/> .
+        lab:exp1 a lab:Experiment ; lab:operator "ann" ;
+            lab:series (%s) .
+        lab:exp2 a lab:Experiment ; lab:operator "bob" ;
+            lab:series (%s) .
+    """ % (
+        " ".join(str(i) for i in range(100)),
+        " ".join(str(i * i % 97) for i in range(100)),
+    ))
+
+    # 2. mediated relational catalogue
+    catalogue = sqlite3.connect(":memory:")
+    catalogue.executescript("""
+        CREATE TABLE operator (id INTEGER PRIMARY KEY, name TEXT,
+                               grade INTEGER);
+        INSERT INTO operator VALUES (1, 'ann', 3), (2, 'bob', 1);
+    """)
+    load_relational(ssdm, catalogue, "http://hr.example.org/")
+
+    # 3. query-level glue
+    ssdm.prefix("lab", "http://lab.example.org/")
+    ssdm.prefix("op", "http://hr.example.org/operator#")
+    ssdm.execute("""
+        DEFINE FUNCTION lab:seriesMean(?e) AS
+        SELECT (array_avg(?s) AS ?m) WHERE { ?e lab:series ?s }""")
+    return ssdm, store
+
+
+class TestScenario:
+    def test_arrays_externalized(self, scenario):
+        ssdm, store = scenario
+        assert store.stats.arrays_stored == 2
+
+    def test_cross_source_join(self, scenario):
+        ssdm, _ = scenario
+        result = ssdm.execute("""
+            SELECT ?name ?grade (lab:seriesMean(?e) AS ?mean) WHERE {
+                ?e a lab:Experiment ; lab:operator ?name .
+                ?o op:name ?name ; op:grade ?grade }
+            ORDER BY ?name""")
+        assert result.columns == ["name", "grade", "mean"]
+        assert result.rows[0][0] == "ann"
+        assert result.rows[0][2] == pytest.approx(49.5)
+
+    def test_filter_on_lazy_slice(self, scenario):
+        ssdm, store = scenario
+        store.stats.reset()
+        result = ssdm.execute("""
+            SELECT ?e WHERE { ?e lab:series ?s
+                FILTER(array_avg(?s[1:10]) < 10) }""")
+        assert result.rows == [(URI("http://lab.example.org/exp1"),)]
+        # only the needed chunks were fetched (2 arrays x few chunks)
+        total = sum(
+            store.meta(i).layout.chunk_count for i in store.array_ids()
+        )
+        assert store.stats.chunks_fetched < total
+
+    def test_update_then_requery(self, scenario):
+        ssdm, _ = scenario
+        ssdm.execute("""
+            PREFIX lab: <http://lab.example.org/>
+            INSERT { ?e lab:meanLevel ?m } WHERE {
+                ?e a lab:Experiment BIND(lab:seriesMean(?e) AS ?m) }""")
+        result = ssdm.execute("""
+            SELECT ?m WHERE {
+                <http://lab.example.org/exp1> lab:meanLevel ?m }""")
+        assert result.rows == [(49.5,)]
+
+    def test_serialize_reload_preserves_answers(self, scenario):
+        ssdm, _ = scenario
+        text = ssdm.graph.to_turtle()
+        fresh = SSDM()
+        fresh.load_turtle_text(text)
+        fresh.prefix("lab", "http://lab.example.org/")
+        before = ssdm.execute(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }"
+        ).scalar()
+        after = fresh.execute(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }"
+        ).scalar()
+        assert before == after
+
+    def test_serve_scenario_over_tcp(self, scenario):
+        ssdm, _ = scenario
+        server = SSDMServer(ssdm).start()
+        try:
+            client = SSDMClient("127.0.0.1", server.server_address[1])
+            result = client.query("""
+                PREFIX lab: <http://lab.example.org/>
+                SELECT ?name (array_max(?s) AS ?peak) WHERE {
+                    ?e lab:operator ?name ; lab:series ?s }
+                ORDER BY ?name""")
+            assert len(result.rows) == 2
+            assert result.rows[0][1] == 99.0
+            client.close()
+        finally:
+            server.stop()

@@ -1,0 +1,329 @@
+"""Data loaders: Turtle, NTriples, collection consolidation, Data Cube,
+and file links."""
+
+import numpy as np
+import pytest
+
+from repro import SSDM, URI, BlankNode, Literal, NumericArray, ArrayProxy
+from repro.exceptions import ParseError, StorageError
+from repro.rdf.namespace import RDF, QB
+from repro.loaders.collections import consolidate_collections
+from repro.loaders.datacube import SSDM_NS, consolidate_data_cube
+from repro.loaders.filelink import NpyLinkStore
+
+
+class TestTurtle:
+    def test_basic_triples(self, ssdm):
+        n = ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:p ex:b .
+            ex:a ex:q 5 .
+        """)
+        assert n == 2
+        assert len(ssdm.graph) == 2
+
+    def test_semicolon_comma(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:p 1 , 2 ; ex:q 3 .
+        """)
+        assert len(ssdm.graph) == 3
+
+    def test_a_keyword(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a a ex:Thing ."
+        )
+        assert ssdm.graph.value(URI("http://e/a"), RDF.type) == \
+            URI("http://e/Thing")
+
+    def test_blank_node_labels_shared(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            _:x ex:p 1 . _:x ex:q 2 .
+        """)
+        subjects = set(ssdm.graph.subjects())
+        assert len(subjects) == 1
+
+    def test_blank_node_property_list(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:knows [ ex:name "Nested" ] .
+        """)
+        nested = ssdm.graph.value(URI("http://e/a"), URI("http://e/knows"))
+        assert isinstance(nested, BlankNode)
+        assert ssdm.graph.value(nested, URI("http://e/name")) == \
+            Literal("Nested")
+
+    def test_literals(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+            ex:a ex:s "text" ; ex:l "chat"@fr ; ex:i 5 ; ex:d 2.5 ;
+                 ex:b true ; ex:n -7 ; ex:t "9"^^xsd:integer .
+        """)
+        g = ssdm.graph
+        a = URI("http://e/a")
+        assert g.value(a, URI("http://e/l")) == Literal("chat", lang="fr")
+        assert g.value(a, URI("http://e/t")) == Literal(9)
+        assert g.value(a, URI("http://e/n")) == Literal(-7)
+        assert g.value(a, URI("http://e/b")) == Literal(True)
+
+    def test_collection_consolidated_to_array(self, ssdm):
+        n = ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:m ex:val ((1 2) (3 4)) .
+        """)
+        assert n == 1                       # one triple, not 13
+        value = ssdm.graph.value(URI("http://e/m"), URI("http://e/val"))
+        assert isinstance(value, NumericArray)
+        assert value.shape == (2, 2)
+
+    def test_collection_unconsolidated_mode(self, ssdm):
+        n = ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:m ex:val ((1 2) (3 4)) .",
+            consolidate=False,
+        )
+        # figure 4 of the dissertation: 13 triples for a 2x2 matrix
+        assert n == 13
+
+    def test_mixed_collection_stays_list(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:m ex:val (1 "two" 3) .
+        """)
+        assert ssdm.graph.count(None, RDF.first, None) == 3
+
+    def test_empty_collection_is_nil(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:m ex:val () ."
+        )
+        assert ssdm.graph.value(
+            URI("http://e/m"), URI("http://e/val")
+        ) == RDF.nil
+
+    def test_sparql_style_prefix(self, ssdm):
+        ssdm.load_turtle_text(
+            "PREFIX ex: <http://e/>\nex:a ex:p 1 ."
+        )
+        assert len(ssdm.graph) == 1
+
+    def test_base_directive(self, ssdm):
+        ssdm.load_turtle_text(
+            "@base <http://base/> . <a> <p> 1 ."
+        )
+        assert ssdm.graph.value(
+            URI("http://base/a"), URI("http://base/p")
+        ) == Literal(1)
+
+    def test_comments_ignored(self, ssdm):
+        ssdm.load_turtle_text("""
+            # a comment
+            @prefix ex: <http://e/> . # inline
+            ex:a ex:p 1 .
+        """)
+        assert len(ssdm.graph) == 1
+
+    def test_malformed_raises(self, ssdm):
+        with pytest.raises(ParseError):
+            ssdm.load_turtle_text("@prefix ex: <http://e/> . ex:a ex:p .")
+
+    def test_load_into_named_graph(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:p 1 .",
+            graph=URI("http://g/x"),
+        )
+        assert len(ssdm.graph) == 0
+        assert len(ssdm.dataset.graph(URI("http://g/x"))) == 1
+
+    def test_load_from_file(self, ssdm, tmp_path):
+        path = tmp_path / "data.ttl"
+        path.write_text("@prefix ex: <http://e/> . ex:a ex:p 1 .")
+        assert ssdm.load_turtle(str(path)) == 1
+
+    def test_ntriples(self, ssdm):
+        from repro.loaders.ntriples import load_ntriples_text
+        n = load_ntriples_text(ssdm, """
+<http://e/a> <http://e/p> <http://e/b> .
+<http://e/a> <http://e/q> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+""")
+        assert n == 2
+        assert ssdm.graph.value(
+            URI("http://e/a"), URI("http://e/q")
+        ) == Literal(5)
+
+
+class TestCollectionConsolidation:
+    def test_consolidates_numeric_list(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:m ex:val ((1 2) (3 4)) .",
+            consolidate=False,
+        )
+        stats = consolidate_collections(ssdm.graph)
+        assert stats["arrays"] == 1
+        assert stats["triples_removed"] == 12
+        value = ssdm.graph.value(URI("http://e/m"), URI("http://e/val"))
+        assert value == NumericArray([[1, 2], [3, 4]])
+
+    def test_leaves_mixed_list(self, ssdm):
+        ssdm.load_turtle_text(
+            '@prefix ex: <http://e/> . ex:m ex:val (1 "x") .',
+            consolidate=False,
+        )
+        stats = consolidate_collections(ssdm.graph)
+        assert stats["arrays"] == 0
+        assert ssdm.graph.count(None, RDF.first, None) == 2
+
+    def test_leaves_ragged_nesting(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:m ex:val ((1 2) (3)) .",
+            consolidate=False,
+        )
+        stats = consolidate_collections(ssdm.graph)
+        assert stats["arrays"] == 0
+
+    def test_multiple_references_rewired(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:m ex:val (1 2 3) . "
+            "ex:n ex:val (4 5) .",
+            consolidate=False,
+        )
+        stats = consolidate_collections(ssdm.graph)
+        assert stats["arrays"] == 2
+        assert ssdm.graph.value(
+            URI("http://e/n"), URI("http://e/val")
+        ) == NumericArray([4, 5])
+
+    def test_queryable_after_consolidation(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:m ex:val (5 6 7) .",
+            consolidate=False,
+        )
+        consolidate_collections(ssdm.graph)
+        r = ssdm.execute(
+            "PREFIX ex: <http://e/> SELECT ?a[2] WHERE { ex:m ex:val ?a }"
+        )
+        assert r.rows == [(6,)]
+
+
+DATACUBE_TTL = """
+@prefix ex: <http://e/> .
+@prefix qb: <http://purl.org/linked-data/cube#> .
+ex:ds a qb:DataSet ; qb:structure ex:dsd .
+ex:dsd qb:component [ qb:dimension ex:year ] ,
+                    [ qb:dimension ex:region ] ,
+                    [ qb:measure ex:amount ] .
+ex:o11 a qb:Observation ; qb:dataSet ex:ds ;
+    ex:year 2010 ; ex:region "north" ; ex:amount 10.0 .
+ex:o12 a qb:Observation ; qb:dataSet ex:ds ;
+    ex:year 2010 ; ex:region "south" ; ex:amount 20.0 .
+ex:o21 a qb:Observation ; qb:dataSet ex:ds ;
+    ex:year 2011 ; ex:region "north" ; ex:amount 30.0 .
+ex:o22 a qb:Observation ; qb:dataSet ex:ds ;
+    ex:year 2011 ; ex:region "south" ; ex:amount 40.0 .
+"""
+
+
+class TestDataCube:
+    def test_consolidation_stats(self, ssdm):
+        ssdm.load_turtle_text(DATACUBE_TTL)
+        before = len(ssdm.graph)
+        stats = consolidate_data_cube(ssdm)
+        assert stats["datasets"] == 1
+        assert stats["arrays"] == 1
+        assert len(ssdm.graph) < before
+
+    def test_dense_array_contents(self, ssdm):
+        ssdm.load_turtle_text(DATACUBE_TTL)
+        consolidate_data_cube(ssdm)
+        r = ssdm.execute("""
+            PREFIX ssdm: <http://udbl.uu.se/ssdm#>
+            SELECT ?arr WHERE {
+                <http://e/ds> ssdm:dataArray ?d .
+                ?d ssdm:array ?arr }""")
+        array = r.rows[0][0]
+        # dimensions sort: region before year -> shape (2 regions, 2 years)
+        assert array.shape == (2, 2)
+        assert sorted(v for row in array.to_nested_lists()
+                      for v in row) == [10.0, 20.0, 30.0, 40.0]
+
+    def test_numeric_dimension_becomes_array(self, ssdm):
+        ssdm.load_turtle_text(DATACUBE_TTL)
+        consolidate_data_cube(ssdm)
+        r = ssdm.execute("""
+            PREFIX ssdm: <http://udbl.uu.se/ssdm#>
+            SELECT ?vals WHERE {
+                ?d ssdm:property <http://e/year> ; ssdm:values ?vals }""")
+        assert r.rows[0][0].to_nested_lists() == [2010, 2011]
+
+    def test_observations_removed(self, ssdm):
+        ssdm.load_turtle_text(DATACUBE_TTL)
+        consolidate_data_cube(ssdm)
+        assert ssdm.graph.count(None, QB.dataSet, None) == 0
+
+    def test_incomplete_dataset_skipped(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            @prefix qb: <http://purl.org/linked-data/cube#> .
+            ex:ds a qb:DataSet .
+        """)
+        stats = consolidate_data_cube(ssdm)
+        assert stats["datasets"] == 0
+
+    def test_dimension_inference_without_dsd(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            @prefix qb: <http://purl.org/linked-data/cube#> .
+            ex:ds a qb:DataSet .
+            ex:o1 a qb:Observation ; qb:dataSet ex:ds ;
+                ex:dim "a" ; ex:m 1.5 .
+            ex:o2 a qb:Observation ; qb:dataSet ex:ds ;
+                ex:dim "b" ; ex:m 2.5 .
+        """)
+        stats = consolidate_data_cube(ssdm)
+        assert stats["datasets"] == 1
+
+
+class TestFileLinks:
+    def test_link_and_query(self, ssdm, tmp_path):
+        data = np.arange(100, dtype=np.float64)
+        path = str(tmp_path / "a.npy")
+        np.save(path, data)
+        proxy = ssdm.link_file(
+            URI("http://e/r"), URI("http://e/data"), path
+        )
+        assert isinstance(proxy, ArrayProxy)
+        r = ssdm.execute("""
+            SELECT (array_sum(?a) AS ?s) ?a[5]
+            WHERE { <http://e/r> <http://e/data> ?a }""")
+        assert r.rows[0][0] == data.sum()
+        assert r.rows[0][1] == 4.0
+
+    def test_link_2d(self, ssdm, tmp_path):
+        data = np.arange(12, dtype=np.float64).reshape(3, 4)
+        path = str(tmp_path / "m.npy")
+        np.save(path, data)
+        store = NpyLinkStore(chunk_bytes=32)
+        proxy = store.link(path)
+        assert proxy.shape == (3, 4)
+        out = proxy.subscript([None, 1]).resolve()
+        assert out.to_nested_lists() == data[:, 1].tolist()
+
+    def test_store_is_read_only(self, tmp_path):
+        store = NpyLinkStore()
+        with pytest.raises(StorageError):
+            store.put(NumericArray([1, 2]))
+
+    def test_missing_file_raises(self):
+        store = NpyLinkStore()
+        with pytest.raises(StorageError):
+            store.link("/nonexistent/file.npy")
+
+    def test_shared_store_on_ssdm(self, ssdm, tmp_path):
+        for name in ("x", "y"):
+            path = str(tmp_path / ("%s.npy" % name))
+            np.save(path, np.ones(10))
+            ssdm.link_file(
+                URI("http://e/" + name), URI("http://e/data"), path
+            )
+        assert len(ssdm.graph) == 2
+        assert ssdm._npy_link_store is not None

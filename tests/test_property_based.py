@@ -1,0 +1,251 @@
+"""Property-based tests (hypothesis) on core invariants:
+
+- array descriptor algebra vs. numpy ground truth;
+- SPD emissions exactly cover their input stream;
+- chunked store round-trips arbitrary arrays under every strategy;
+- graph add/remove is a faithful set;
+- literal lexical round-trips;
+- bindings compatibility laws.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arrays import NumericArray, Span
+from repro.arrays.chunks import chunks_of_runs, linear_indices_of_runs
+from repro.engine.bindings import Bindings
+from repro.rdf import Graph, Literal, URI, XSD
+from repro.storage import APRResolver, MemoryArrayStore, Strategy
+from repro.storage.spd import detect_patterns
+
+
+# -- strategies -------------------------------------------------------------
+
+shapes = st.lists(st.integers(1, 8), min_size=1, max_size=3).map(tuple)
+
+
+@st.composite
+def array_and_subscripts(draw):
+    shape = draw(shapes)
+    array = np.arange(int(np.prod(shape)), dtype=np.float64).reshape(shape)
+    subscripts = []
+    np_index = []
+    for extent in shape:
+        kind = draw(st.sampled_from(["int", "span", "whole"]))
+        if kind == "int":
+            index = draw(st.integers(0, extent - 1))
+            subscripts.append(index)
+            np_index.append(index)
+        elif kind == "whole":
+            subscripts.append(None)
+            np_index.append(slice(None))
+        else:
+            start = draw(st.integers(0, extent - 1))
+            stop = draw(st.integers(start + 1, extent))
+            step = draw(st.integers(1, 3))
+            subscripts.append(Span(start, stop, step))
+            np_index.append(slice(start, stop, step))
+    return array, subscripts, tuple(np_index)
+
+
+class TestDescriptorAlgebra:
+    @given(array_and_subscripts())
+    @settings(max_examples=200, deadline=None)
+    def test_subscript_matches_numpy(self, case):
+        array, subscripts, np_index = case
+        nma = NumericArray(array)
+        result = nma.subscript(subscripts)
+        expected = array[np_index]
+        if isinstance(result, NumericArray):
+            assert np.array_equal(result.to_numpy(), expected)
+        else:
+            assert result == expected
+
+    @given(shapes, st.randoms())
+    @settings(max_examples=100, deadline=None)
+    def test_transpose_involution(self, shape, rng):
+        array = np.arange(int(np.prod(shape)),
+                          dtype=np.float64).reshape(shape)
+        nma = NumericArray(array)
+        perm = list(range(len(shape)))
+        rng.shuffle(perm)
+        twice = nma.transpose(tuple(perm)).transpose(
+            tuple(np.argsort(perm))
+        )
+        assert np.array_equal(twice.to_numpy(), array)
+
+    @given(array_and_subscripts())
+    @settings(max_examples=100, deadline=None)
+    def test_runs_enumerate_view_in_order(self, case):
+        array, subscripts, np_index = case
+        nma = NumericArray(array)
+        view = nma.subscript(subscripts)
+        if not isinstance(view, NumericArray):
+            return
+        indices = linear_indices_of_runs(list(view.iter_runs()))
+        flat_from_runs = nma.buffer[indices]
+        assert np.array_equal(
+            flat_from_runs, view.to_numpy().reshape(-1)
+        )
+
+
+class TestSPDProperties:
+    @given(st.lists(st.integers(0, 200), min_size=0, max_size=60),
+           st.integers(2, 5))
+    @settings(max_examples=200, deadline=None)
+    def test_emissions_cover_input_exactly(self, stream, min_run):
+        emitted = []
+        for emission in detect_patterns(stream, min_run=min_run):
+            if emission[0] == "range":
+                _, first, last, step = emission
+                assert step > 0
+                assert (last - first) % step == 0
+                run = list(range(first, last + 1, step))
+                assert len(run) >= min_run
+                emitted.extend(run)
+            else:
+                emitted.append(emission[1])
+        assert emitted == stream
+
+    @given(st.integers(0, 50), st.integers(1, 9), st.integers(3, 30))
+    @settings(max_examples=100, deadline=None)
+    def test_arithmetic_stream_single_range(self, start, step, count):
+        stream = [start + i * step for i in range(count)]
+        out = detect_patterns(stream)
+        assert out == [("range", stream[0], stream[-1], step)]
+
+
+class TestStorageRoundTrip:
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False,
+                      width=32),
+            min_size=1, max_size=400,
+        ),
+        st.integers(1, 40),
+        st.sampled_from(list(Strategy)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_any_chunking(self, values, epc, strategy):
+        store = MemoryArrayStore(chunk_bytes=epc * 8)
+        array = NumericArray(np.array(values, dtype=np.float64))
+        proxy = store.put(array)
+        out = APRResolver(store, strategy=strategy, buffer_size=7) \
+            .resolve([proxy])[0]
+        assert out == array
+
+    @given(st.integers(2, 20), st.integers(2, 20), st.integers(1, 33))
+    @settings(max_examples=60, deadline=None)
+    def test_column_roundtrip(self, rows, cols, epc):
+        store = MemoryArrayStore(chunk_bytes=epc * 8)
+        data = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+        proxy = store.put(NumericArray(data))
+        column = proxy.subscript([None, cols - 1]).resolve()
+        assert column.to_nested_lists() == data[:, cols - 1].tolist()
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_delegated_sum_matches(self, values):
+        store = MemoryArrayStore(chunk_bytes=32)
+        proxy = store.put(NumericArray(
+            np.array(values, dtype=np.float64)
+        ))
+        resolver = APRResolver(store)
+        assert resolver.resolve_aggregate(proxy, "sum") == \
+            pytest.approx(float(sum(values)))
+
+
+class TestChunkCoverage:
+    @given(array_and_subscripts(), st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_chunks_cover_all_indices(self, case, epc):
+        array, subscripts, _ = case
+        nma = NumericArray(array)
+        view = nma.subscript(subscripts)
+        if not isinstance(view, NumericArray):
+            return
+        runs = list(view.iter_runs())
+        chunk_ids = set(chunks_of_runs(runs, epc))
+        for index in linear_indices_of_runs(runs):
+            assert index // epc in chunk_ids
+
+
+class TestGraphSetSemantics:
+    @given(st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 3), st.integers(0, 5)),
+        max_size=40,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_graph_matches_python_set(self, operations):
+        graph = Graph()
+        model = set()
+        for s, p, v in operations:
+            triple = (URI("s%d" % s), URI("p%d" % p), Literal(v))
+            if triple in model:
+                graph.remove(*triple)
+                model.discard(triple)
+            else:
+                graph.add(*triple)
+                model.add(triple)
+        assert len(graph) == len(model)
+        assert set(
+            (t.subject, t.property, t.value) for t in graph.triples()
+        ) == model
+
+
+class TestLiteralRoundTrip:
+    @given(st.integers(-10**12, 10**12))
+    def test_integer_lexical(self, value):
+        lit = Literal(value)
+        back = Literal.from_lexical(lit.lexical_form(), XSD.integer)
+        assert back.value == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_double_lexical(self, value):
+        lit = Literal(value)
+        back = Literal.from_lexical(lit.lexical_form(), XSD.double)
+        assert back.value == pytest.approx(value)
+
+    @given(st.booleans())
+    def test_boolean_lexical(self, value):
+        lit = Literal(value)
+        back = Literal.from_lexical(lit.lexical_form(), XSD.boolean)
+        assert back.value is value
+
+
+class TestBindingsLaws:
+    kv = st.dictionaries(
+        st.sampled_from("abcde"), st.integers(0, 3), max_size=4
+    )
+
+    @given(kv, kv)
+    def test_compatibility_symmetric(self, d1, d2):
+        b1 = Bindings(d1)
+        b2 = Bindings(d2)
+        assert b1.compatible(b2) == b2.compatible(b1)
+
+    @given(kv)
+    def test_self_compatible(self, d):
+        b = Bindings(d)
+        assert b.compatible(b)
+
+    @given(kv, kv)
+    def test_merge_of_compatible_contains_both(self, d1, d2):
+        b1 = Bindings(d1)
+        b2 = Bindings(d2)
+        if b1.compatible(b2):
+            merged = b1.merge(b2)
+            for name in d1:
+                if name not in d2:
+                    assert merged.get(name) == d1[name]
+            for name, value in d2.items():
+                assert merged.get(name) == value
+
+    @given(kv, st.sampled_from("abcde"), st.integers(0, 3))
+    def test_extended_is_persistent(self, d, name, value):
+        base = Bindings(d)
+        extended = base.extended(name, value)
+        assert extended.get(name) == value
+        if name not in d:
+            assert base.get(name) is None

@@ -1,0 +1,130 @@
+"""RDB-to-RDF direct mapping (section 2.3.1)."""
+
+import sqlite3
+
+import pytest
+
+from repro import SSDM, Literal, URI
+from repro.loaders.rdbview import RelationalView, load_relational
+from repro.rdf.namespace import RDF
+
+BASE = "http://db.example.org/"
+
+
+@pytest.fixture
+def database():
+    connection = sqlite3.connect(":memory:")
+    connection.executescript("""
+        CREATE TABLE department (
+            id INTEGER PRIMARY KEY,
+            name TEXT NOT NULL
+        );
+        CREATE TABLE employee (
+            id INTEGER PRIMARY KEY,
+            name TEXT NOT NULL,
+            salary REAL,
+            dept INTEGER REFERENCES department(id)
+        );
+        INSERT INTO department VALUES (1, 'research'), (2, 'sales');
+        INSERT INTO employee VALUES
+            (10, 'ann', 5000.0, 1),
+            (11, 'bob', 4000.0, 1),
+            (12, 'cid', NULL, 2);
+    """)
+    connection.commit()
+    return connection
+
+
+class TestDirectMapping:
+    def test_tables_discovered(self, database):
+        view = RelationalView(database, BASE)
+        assert set(view.tables()) == {"department", "employee"}
+
+    def test_row_subjects_from_primary_key(self, database):
+        view = RelationalView(database, BASE)
+        triples = list(view.triples(["department"]))
+        subjects = {t[0] for t in triples}
+        assert URI(BASE + "department/1") in subjects
+
+    def test_class_triples(self, database):
+        view = RelationalView(database, BASE)
+        triples = list(view.triples(["department"]))
+        classes = [t for t in triples if t[1] == RDF.type]
+        assert len(classes) == 2
+        assert all(t[2] == URI(BASE + "department") for t in classes)
+
+    def test_column_properties(self, database):
+        view = RelationalView(database, BASE)
+        triples = list(view.triples(["employee"]))
+        names = [
+            t for t in triples
+            if t[1] == URI(BASE + "employee#name")
+        ]
+        assert {t[2] for t in names} == {
+            Literal("ann"), Literal("bob"), Literal("cid")
+        }
+
+    def test_null_produces_no_triple(self, database):
+        view = RelationalView(database, BASE)
+        triples = list(view.triples(["employee"]))
+        salaries = [
+            t for t in triples
+            if t[1] == URI(BASE + "employee#salary")
+        ]
+        assert len(salaries) == 2
+
+    def test_foreign_key_object_property(self, database):
+        view = RelationalView(database, BASE)
+        triples = list(view.triples(["employee"]))
+        refs = [
+            t for t in triples
+            if t[1] == URI(BASE + "employee#ref-dept")
+        ]
+        assert (len(refs)) == 3
+        assert URI(BASE + "department/1") in {t[2] for t in refs}
+
+
+class TestQueryingTheView:
+    @pytest.fixture
+    def ssdm(self, database):
+        instance = SSDM()
+        count = load_relational(instance, database, BASE)
+        assert count > 0
+        instance.prefix("emp", BASE + "employee#")
+        instance.prefix("dept", BASE + "department#")
+        return instance
+
+    def test_join_across_tables(self, ssdm):
+        r = ssdm.execute("""
+            SELECT ?ename ?dname WHERE {
+                ?e emp:name ?ename ; emp:ref-dept ?d .
+                ?d dept:name ?dname }
+            ORDER BY ?ename""")
+        assert ("ann", "research") in r.rows
+        assert ("cid", "sales") in r.rows
+
+    def test_aggregate_over_view(self, ssdm):
+        r = ssdm.execute("""
+            SELECT ?dname (AVG(?salary) AS ?mean) WHERE {
+                ?e emp:salary ?salary ; emp:ref-dept ?d .
+                ?d dept:name ?dname }
+            GROUP BY ?dname""")
+        assert r.rows == [("research", 4500.0)]
+
+    def test_filter_on_numeric_column(self, ssdm):
+        r = ssdm.execute("""
+            SELECT ?name WHERE { ?e emp:name ?name ; emp:salary ?s
+                FILTER(?s > 4500) }""")
+        assert r.rows == [("ann",)]
+
+    def test_mediated_and_native_data_combine(self, ssdm):
+        # annotate a mediated row with native RDF + array data
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            <%semployee/10> ex:scores (90 85 97) .
+        """ % BASE)
+        r = ssdm.execute("""
+            PREFIX ex: <http://e/>
+            SELECT ?name (array_max(?sc) AS ?best) WHERE {
+                ?e emp:name ?name ; ex:scores ?sc }""")
+        assert r.rows == [("ann", 97.0)]

@@ -1,0 +1,99 @@
+"""Turtle serialization and its round trip through the loader."""
+
+import pytest
+
+from repro import SSDM, Graph, URI, BlankNode, Literal, NumericArray
+from repro.rdf.namespace import FOAF, RDF
+from repro.rdf.serializer import serialize_turtle
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    alice = URI("http://example.org/alice")
+    g.add(alice, RDF.type, FOAF.Person)
+    g.add(alice, FOAF.name, Literal("Alice"))
+    g.add(alice, FOAF.age, Literal(30))
+    g.add(alice, FOAF.nick, Literal("Al", lang="en"))
+    return g
+
+
+class TestSerialization:
+    def test_prefixes_abbreviate(self, graph):
+        text = graph.to_turtle()
+        assert "foaf:name" in text
+        assert "@prefix foaf:" in text
+
+    def test_a_shorthand(self, graph):
+        text = graph.to_turtle()
+        assert " a foaf:Person" in text
+
+    def test_unused_prefixes_omitted(self, graph):
+        text = graph.to_turtle()
+        assert "@prefix qb:" not in text
+
+    def test_custom_prefix(self, graph):
+        graph.add(URI("http://example.org/alice"),
+                  URI("http://example.org/p"), Literal(1))
+        text = graph.to_turtle(prefixes={"ex": "http://example.org/"})
+        assert "ex:alice" in text
+
+    def test_subject_grouping(self, graph):
+        text = graph.to_turtle()
+        # one subject block: exactly one non-prefix statement terminator
+        statements = [
+            line for line in text.splitlines()
+            if line.rstrip().endswith(" .")
+            and not line.startswith("@prefix")
+        ]
+        assert len(statements) == 1
+
+    def test_language_tag_kept(self, graph):
+        assert '"Al"@en' in graph.to_turtle()
+
+    def test_array_as_collection(self):
+        g = Graph()
+        g.add(URI("http://e/m"), URI("http://e/val"),
+              NumericArray([[1, 2], [3, 4]]))
+        assert "((1 2) (3 4))" in g.to_turtle()
+
+    def test_empty_graph(self):
+        assert Graph().to_turtle() == ""
+
+    def test_blank_nodes_labelled(self):
+        g = Graph()
+        g.add(BlankNode("x"), URI("http://e/p"), Literal(1))
+        assert "_:x" in g.to_turtle()
+
+
+class TestRoundTrip:
+    def test_roundtrip_plain(self, graph):
+        text = graph.to_turtle()
+        ssdm = SSDM()
+        ssdm.load_turtle_text(text)
+        assert len(ssdm.graph) == len(graph)
+        for triple in graph.triples():
+            assert triple in ssdm.graph
+
+    def test_roundtrip_arrays(self):
+        g = Graph()
+        g.add(URI("http://e/m"), URI("http://e/val"),
+              NumericArray([[1.5, 2.5], [3.5, 4.5]]))
+        ssdm = SSDM()
+        ssdm.load_turtle_text(g.to_turtle())
+        value = ssdm.graph.value(URI("http://e/m"), URI("http://e/val"))
+        assert value == NumericArray([[1.5, 2.5], [3.5, 4.5]])
+
+    def test_roundtrip_proxy_resolves(self, external_ssdm):
+        external_ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:m ex:val "
+            "(1 2 3 4 5 6 7 8 9 10) ."
+        )
+        text = external_ssdm.graph.to_turtle()
+        assert "(1 2 3 4 5 6 7 8 9 10)" in text
+
+    def test_construct_result_serializable(self, foaf):
+        g = foaf.execute("""PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            CONSTRUCT { ?p foaf:nick ?n } WHERE { ?p foaf:name ?n }""")
+        text = g.to_turtle()
+        assert "foaf:nick" in text

@@ -1,0 +1,145 @@
+"""RDF term model: construction, equality, hashing, serialization."""
+
+import pytest
+
+from repro.exceptions import SciSparqlError
+from repro.rdf import URI, BlankNode, Literal, XSD
+from repro.rdf.term import Triple, is_term, term_key
+
+
+class TestURI:
+    def test_equality_by_value(self):
+        assert URI("http://a") == URI("http://a")
+        assert URI("http://a") != URI("http://b")
+
+    def test_hashable(self):
+        assert len({URI("http://a"), URI("http://a")}) == 1
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            URI("http://a").value = "x"
+
+    def test_n3(self):
+        assert URI("http://a").n3() == "<http://a>"
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            URI(42)
+
+    def test_str(self):
+        assert str(URI("http://a")) == "http://a"
+
+
+class TestBlankNode:
+    def test_fresh_labels_unique(self):
+        assert BlankNode() != BlankNode()
+
+    def test_same_label_equal(self):
+        assert BlankNode("x") == BlankNode("x")
+
+    def test_n3(self):
+        assert BlankNode("x").n3() == "_:x"
+
+    def test_not_equal_to_uri(self):
+        assert BlankNode("x") != URI("x")
+
+
+class TestLiteral:
+    def test_default_datatypes(self):
+        assert Literal(1).datatype == XSD.integer
+        assert Literal(1.5).datatype == XSD.double
+        assert Literal(True).datatype == XSD.boolean
+        assert Literal("s").datatype == XSD.string
+
+    def test_bool_is_not_integer(self):
+        # bool is an int subclass; the datatype must still be boolean
+        assert Literal(True).datatype == XSD.boolean
+        assert Literal(True) != Literal(1)
+
+    def test_language_tagged(self):
+        lit = Literal("chat", lang="fr")
+        assert lit.lang == "fr"
+        assert lit.datatype == Literal.LANG_STRING
+
+    def test_lang_requires_string(self):
+        with pytest.raises(TypeError):
+            Literal(3, lang="en")
+
+    def test_equality_includes_datatype(self):
+        assert Literal("1") != Literal(1)
+
+    def test_numeric_check(self):
+        assert Literal(3).is_numeric()
+        assert Literal(3.5).is_numeric()
+        assert not Literal(True).is_numeric()
+        assert not Literal("3").is_numeric()
+
+    def test_from_lexical_integer(self):
+        lit = Literal.from_lexical("42", XSD.integer)
+        assert lit.value == 42 and isinstance(lit.value, int)
+
+    def test_from_lexical_double(self):
+        assert Literal.from_lexical("2.5", XSD.double).value == 2.5
+
+    def test_from_lexical_boolean(self):
+        assert Literal.from_lexical("true", XSD.boolean).value is True
+        assert Literal.from_lexical("0", XSD.boolean).value is False
+        with pytest.raises(ValueError):
+            Literal.from_lexical("nope", XSD.boolean)
+
+    def test_from_lexical_unknown_datatype_keeps_string(self):
+        custom = URI("http://example.org/dt")
+        lit = Literal.from_lexical("raw", custom)
+        assert lit.value == "raw"
+        assert lit.datatype == custom
+
+    def test_n3_plain_string(self):
+        assert Literal("hi").n3() == '"hi"'
+
+    def test_n3_escapes(self):
+        assert Literal('a"b\n').n3() == '"a\\"b\\n"'
+
+    def test_n3_typed(self):
+        assert "^^" in Literal(5).n3()
+
+    def test_n3_lang(self):
+        assert Literal("chat", lang="fr").n3() == '"chat"@fr'
+
+    def test_lexical_form_boolean(self):
+        assert Literal(True).lexical_form() == "true"
+
+
+class TestTermKey:
+    def test_order_across_kinds(self):
+        unbound = term_key(None)
+        blank = term_key(BlankNode("a"))
+        uri = term_key(URI("http://a"))
+        lit = term_key(Literal(1))
+        assert unbound < blank < uri < lit
+
+    def test_numeric_order_ignores_type(self):
+        assert term_key(Literal(1)) < term_key(Literal(1.5))
+        assert term_key(Literal(2)) == term_key(Literal(2.0))
+
+    def test_strings_after_numbers(self):
+        assert term_key(Literal(999)) < term_key(Literal("a"))
+
+
+class TestTriple:
+    def test_named_fields(self):
+        t = Triple(URI("s"), URI("p"), Literal(1))
+        assert t.subject == URI("s")
+        assert t.property == URI("p")
+        assert t.value == Literal(1)
+
+    def test_n3(self):
+        t = Triple(URI("s"), URI("p"), Literal("x"))
+        assert t.n3() == '<s> <p> "x" .'
+
+
+def test_is_term_accepts_arrays():
+    from repro.arrays import NumericArray
+    assert is_term(NumericArray([1, 2]))
+    assert is_term(URI("x"))
+    assert not is_term(42)
+    assert not is_term("plain string")

@@ -1,0 +1,89 @@
+"""W3C SPARQL results-JSON encoding with the SSDM array extension."""
+
+import json
+
+import pytest
+
+from repro import SSDM, Literal, NumericArray, URI
+from repro.client.results_format import (
+    ARRAY_DATATYPE, from_sparql_json, to_sparql_json,
+)
+from repro.ssdm import QueryResult
+
+
+class TestEncoding:
+    def test_select_structure(self, foaf):
+        result = foaf.execute("""
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?name WHERE { ?p foaf:name ?name } ORDER BY ?name""")
+        raw = json.loads(to_sparql_json(result))
+        assert raw["head"]["vars"] == ["name"]
+        assert raw["results"]["bindings"][0]["name"] == {
+            "type": "literal", "value": "Alice"
+        }
+
+    def test_ask_boolean(self):
+        assert json.loads(to_sparql_json(True))["boolean"] is True
+
+    def test_typed_numbers(self):
+        result = QueryResult(["i", "d"], [(5, 2.5)])
+        raw = json.loads(to_sparql_json(result))
+        cell = raw["results"]["bindings"][0]
+        assert cell["i"]["datatype"].endswith("integer")
+        assert cell["d"]["datatype"].endswith("double")
+
+    def test_unbound_omitted(self):
+        result = QueryResult(["a", "b"], [(1, None)])
+        raw = json.loads(to_sparql_json(result))
+        assert "b" not in raw["results"]["bindings"][0]
+
+    def test_array_as_typed_literal(self):
+        result = QueryResult(["m"], [(NumericArray([[1, 2], [3, 4]]),)])
+        raw = json.loads(to_sparql_json(result))
+        cell = raw["results"]["bindings"][0]["m"]
+        assert cell["datatype"] == ARRAY_DATATYPE
+        assert cell["value"] == "((1 2) (3 4))"
+
+    def test_language_tag(self):
+        result = QueryResult(["t"], [(Literal("chat", lang="fr"),)])
+        raw = json.loads(to_sparql_json(result))
+        assert raw["results"]["bindings"][0]["t"]["xml:lang"] == "fr"
+
+
+class TestRoundTrip:
+    def test_scalar_roundtrip(self):
+        result = QueryResult(
+            ["u", "i", "s", "b"],
+            [(URI("http://e/x"), 7, "text", True)],
+        )
+        columns, rows = from_sparql_json(to_sparql_json(result))
+        assert columns == ["u", "i", "s", "b"]
+        assert rows == [(URI("http://e/x"), 7, "text", True)]
+
+    def test_array_roundtrip(self):
+        array = NumericArray([[1, 2], [3, 4]])
+        result = QueryResult(["m"], [(array,)])
+        _, rows = from_sparql_json(to_sparql_json(result))
+        assert rows[0][0] == array
+
+    def test_float_array_roundtrip(self):
+        array = NumericArray([1.5, -2.25])
+        result = QueryResult(["v"], [(array,)])
+        _, rows = from_sparql_json(to_sparql_json(result))
+        assert rows[0][0] == array
+
+    def test_unbound_roundtrip(self):
+        result = QueryResult(["a"], [(None,)])
+        _, rows = from_sparql_json(to_sparql_json(result))
+        assert rows == [(None,)]
+
+    def test_ask_roundtrip(self):
+        assert from_sparql_json(to_sparql_json(False)) is False
+
+    def test_end_to_end_query(self, arrays):
+        result = arrays.execute("""
+            PREFIX ex: <http://example.org/>
+            SELECT ?l ?a[1] WHERE { ?s ex:val ?a ; ex:label ?l }
+            ORDER BY ?l""")
+        columns, rows = from_sparql_json(to_sparql_json(result))
+        assert len(rows) == 3

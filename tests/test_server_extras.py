@@ -1,0 +1,87 @@
+"""Additional client/server protocol coverage."""
+
+import json
+import socket
+
+import pytest
+
+from repro import SSDM
+from repro.client import SSDMClient, SSDMServer
+
+
+@pytest.fixture
+def server():
+    ssdm = SSDM()
+    ssdm.load_turtle_text("""
+        @prefix ex: <http://e/> .
+        ex:a ex:p 1 ; ex:name "Ann" .
+    """)
+    instance = SSDMServer(ssdm).start()
+    yield instance
+    instance.stop()
+
+
+def test_construct_ships_ntriples(server):
+    client = SSDMClient("127.0.0.1", server.server_address[1])
+    text = client.query(
+        "PREFIX ex: <http://e/> "
+        "CONSTRUCT { ?s ex:q ?v } WHERE { ?s ex:p ?v }"
+    )
+    client.close()
+    assert isinstance(text, str)
+    assert "<http://e/q>" in text
+
+
+def test_unknown_op_rejected(server):
+    raw = socket.create_connection(
+        ("127.0.0.1", server.server_address[1]), 5.0
+    )
+    handle = raw.makefile("rwb")
+    handle.write(b'{"op": "frobnicate"}\n')
+    handle.flush()
+    response = json.loads(handle.readline())
+    raw.close()
+    assert response["ok"] is False
+    assert "unknown op" in response["error"]
+
+
+def test_malformed_json_reported(server):
+    raw = socket.create_connection(
+        ("127.0.0.1", server.server_address[1]), 5.0
+    )
+    handle = raw.makefile("rwb")
+    handle.write(b"this is not json\n")
+    handle.flush()
+    response = json.loads(handle.readline())
+    raw.close()
+    assert response["ok"] is False
+
+
+def test_two_concurrent_clients(server):
+    port = server.server_address[1]
+    first = SSDMClient("127.0.0.1", port)
+    second = SSDMClient("127.0.0.1", port)
+    assert first.query("PREFIX ex: <http://e/> ASK { ex:a ex:p 1 }")
+    assert second.query("PREFIX ex: <http://e/> ASK { ex:a ex:p 1 }")
+    # interleave: updates from one are visible to the other
+    first.update("PREFIX ex: <http://e/> INSERT DATA { ex:b ex:p 2 }")
+    assert second.query("PREFIX ex: <http://e/> ASK { ex:b ex:p 2 }")
+    first.close()
+    second.close()
+
+
+def test_blank_lines_skipped(server):
+    raw = socket.create_connection(
+        ("127.0.0.1", server.server_address[1]), 5.0
+    )
+    handle = raw.makefile("rwb")
+    handle.write(b"\n\n")
+    handle.write(
+        b'{"op": "query", "text": '
+        b'"PREFIX ex: <http://e/> ASK { ex:a ex:p 1 }"}\n'
+    )
+    handle.flush()
+    response = json.loads(handle.readline())
+    raw.close()
+    assert response["ok"] is True
+    assert response["result"] is True

@@ -1,0 +1,130 @@
+"""Tokenizer: token kinds, tricky ambiguities, error reporting."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.sparql.lexer import (
+    BLANK, DECIMAL, DOUBLE, EOF, INTEGER, IRI, LANGTAG, NAME, PNAME, PUNCT,
+    STRING, VAR, Lexer,
+)
+
+
+def kinds(text):
+    return [t.kind for t in Lexer(text).tokens()[:-1]]
+
+
+def values(text):
+    return [t.value for t in Lexer(text).tokens()[:-1]]
+
+
+class TestBasicTokens:
+    def test_iri(self):
+        tokens = Lexer("<http://example.org/x>").tokens()
+        assert tokens[0].kind == IRI
+        assert tokens[0].value == "http://example.org/x"
+
+    def test_var_question_and_dollar(self):
+        assert values("?x $y") == ["x", "y"]
+        assert kinds("?x $y") == [VAR, VAR]
+
+    def test_blank_node(self):
+        tokens = Lexer("_:b1").tokens()
+        assert tokens[0].kind == BLANK and tokens[0].value == "b1"
+
+    def test_pname(self):
+        tokens = Lexer("foaf:name").tokens()
+        assert tokens[0].kind == PNAME
+        assert tokens[0].value == ("foaf", "name")
+
+    def test_default_prefix_pname(self):
+        tokens = Lexer(":alice").tokens()
+        assert tokens[0].value == ("", "alice")
+
+    def test_numbers(self):
+        assert kinds("42 3.5 1e3 .5") == [INTEGER, DECIMAL, DOUBLE, DECIMAL]
+        assert values("42 3.5") == [42, 3.5]
+
+    def test_keywords_are_names(self):
+        assert kinds("SELECT where FiLtEr") == [NAME, NAME, NAME]
+
+    def test_langtag(self):
+        tokens = Lexer('"chat"@fr-BE').tokens()
+        assert tokens[1].kind == LANGTAG and tokens[1].value == "fr-BE"
+
+    def test_eof_terminated(self):
+        assert Lexer("").tokens()[-1].kind == EOF
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_single_quoted(self):
+        assert values("'hello'") == ["hello"]
+
+    def test_escapes(self):
+        assert values(r'"a\tb\nc\"d"') == ["a\tb\nc\"d"]
+
+    def test_unicode_escape(self):
+        assert values(r'"é"') == ["é"]
+
+    def test_long_string(self):
+        assert values('"""multi\nline"""') == ["multi\nline"]
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            Lexer('"oops').tokens()
+
+    def test_newline_in_short_string(self):
+        with pytest.raises(ParseError):
+            Lexer('"a\nb"').tokens()
+
+    def test_bad_escape(self):
+        with pytest.raises(ParseError):
+            Lexer(r'"\q"').tokens()
+
+
+class TestAmbiguities:
+    def test_colon_number_is_range_not_pname(self):
+        # ?a[1:3] must tokenize ':' as punctuation
+        assert kinds("1:3") == [INTEGER, PUNCT, INTEGER]
+
+    def test_pname_does_not_swallow_dot(self):
+        tokens = Lexer(":s :p :o.").tokens()
+        assert tokens[2].value == ("", "o")
+        assert tokens[3].value == "."
+
+    def test_less_than_operator(self):
+        assert kinds("?x < 3") == [VAR, PUNCT, INTEGER]
+
+    def test_iri_vs_less_than(self):
+        assert kinds("<http://x> < 3") == [IRI, PUNCT, INTEGER]
+
+    def test_question_mark_path_modifier(self):
+        # '?' not followed by a name char is punctuation
+        assert kinds("p? ") == [NAME, PUNCT]
+
+    def test_double_caret(self):
+        assert values('"5"^^xsd:integer')[1] == "^^"
+
+    def test_logical_operators(self):
+        assert values("&& || != <= >=") == ["&&", "||", "!=", "<=", ">="]
+
+    def test_comment_skipped(self):
+        assert kinds("?x # comment\n?y") == [VAR, VAR]
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        tokens = Lexer("?x\n  ?y").tokens()
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            Lexer("?x ☃").tokens()
+        except ParseError as error:
+            assert error.line == 1
+            assert error.column == 4
+        else:
+            pytest.fail("expected ParseError")

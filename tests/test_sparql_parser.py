@@ -1,0 +1,472 @@
+"""Parser: AST shapes for queries, patterns, expressions, and updates."""
+
+import pytest
+
+from repro.arrays import NumericArray
+from repro.exceptions import ParseError
+from repro.rdf import Literal, URI, RDF
+from repro.sparql import ast, parse_query
+
+EX = "PREFIX ex: <http://example.org/>\n"
+
+
+class TestSelectClause:
+    def test_star(self):
+        q = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert q.projection == "*"
+
+    def test_plain_variables(self):
+        q = parse_query("SELECT ?a ?b WHERE { ?a ?p ?b }")
+        assert [v.name for v, alias in q.projection] == ["a", "b"]
+
+    def test_expression_with_alias(self):
+        q = parse_query("SELECT (?a + 1 AS ?b) WHERE { ?a ?p ?o }")
+        expr, alias = q.projection[0]
+        assert isinstance(expr, ast.BinaryOp)
+        assert alias.name == "b"
+
+    def test_bare_array_subscript_projection(self):
+        q = parse_query("SELECT ?a[2,1] WHERE { ?s ?p ?a }")
+        expr, alias = q.projection[0]
+        assert isinstance(expr, ast.ArraySubscript)
+        assert alias is None
+
+    def test_distinct_flag(self):
+        q = parse_query("SELECT DISTINCT ?a WHERE { ?a ?p ?o }")
+        assert q.distinct
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT WHERE { ?s ?p ?o }")
+
+    def test_missing_as_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT (?a + 1) WHERE { ?a ?p ?o }")
+
+
+class TestPrologue:
+    def test_prefix_resolution(self):
+        q = parse_query(EX + "SELECT ?s WHERE { ?s ex:p 1 }")
+        pattern = q.where.elements[0]
+        assert pattern.predicate == URI("http://example.org/p")
+
+    def test_default_prefix(self):
+        q = parse_query(
+            "PREFIX : <http://d/> SELECT ?s WHERE { ?s :p 1 }"
+        )
+        assert q.where.elements[0].predicate == URI("http://d/p")
+
+    def test_well_known_prefixes_available(self):
+        q = parse_query("SELECT ?s WHERE { ?s rdf:type ?t }")
+        assert q.where.elements[0].predicate == RDF.type
+
+    def test_undefined_prefix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?s WHERE { ?s nope:p 1 }")
+
+    def test_base_resolution(self):
+        q = parse_query(
+            "BASE <http://base/> SELECT ?s WHERE { ?s <p> 1 }"
+        )
+        assert q.where.elements[0].predicate == URI("http://base/p")
+
+
+class TestTriplesBlocks:
+    def test_predicate_object_lists(self):
+        q = parse_query(
+            EX + "SELECT ?s WHERE { ?s ex:a 1 ; ex:b 2 , 3 }"
+        )
+        patterns = q.where.elements
+        assert len(patterns) == 3
+        assert all(p.subject == ast.Var("s") for p in patterns)
+
+    def test_a_keyword(self):
+        q = parse_query("SELECT ?s WHERE { ?s a ?t }")
+        assert q.where.elements[0].predicate == RDF.type
+
+    def test_blank_node_property_list(self):
+        q = parse_query(
+            EX + 'SELECT ?n WHERE { [] ex:name "A" ; ex:knows '
+            '[ ex:name ?n ] }'
+        )
+        # anonymous subjects become internal variables
+        names = {p.subject.name for p in q.where.elements
+                 if isinstance(p.subject, ast.Var)}
+        assert any(name.startswith("_anon") for name in names)
+
+    def test_numeric_collection_becomes_array(self):
+        q = parse_query(EX + "SELECT ?s WHERE { ?s ex:val ((1 2) (3 4)) }")
+        value = q.where.elements[0].value
+        assert isinstance(value, NumericArray)
+        assert value.shape == (2, 2)
+
+    def test_mixed_collection_becomes_list_pattern(self):
+        q = parse_query(EX + 'SELECT ?s WHERE { ?s ex:val (1 "x") }')
+        predicates = {p.predicate for p in q.where.elements
+                      if isinstance(p, ast.TriplePattern)}
+        assert RDF.first in predicates
+        assert RDF.rest in predicates
+
+    def test_literal_forms(self):
+        q = parse_query(
+            'SELECT ?s WHERE { ?s ?p "x"@en . ?s ?q '
+            '"5"^^<http://www.w3.org/2001/XMLSchema#integer> . '
+            "?s ?r true . ?s ?t -2.5 }"
+        )
+        values = [p.value for p in q.where.elements]
+        assert values[0] == Literal("x", lang="en")
+        assert values[1] == Literal(5)
+        assert values[2] == Literal(True)
+        assert values[3] == Literal(-2.5)
+
+
+class TestGraphPatterns:
+    def test_optional(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o OPTIONAL { ?o ?q ?r } }")
+        assert isinstance(q.where.elements[1], ast.OptionalPattern)
+
+    def test_union_chain(self):
+        q = parse_query(
+            "SELECT ?s WHERE { { ?s ?p 1 } UNION { ?s ?p 2 } "
+            "UNION { ?s ?p 3 } }"
+        )
+        union = q.where.elements[0]
+        assert isinstance(union, ast.UnionPattern)
+        assert len(union.alternatives) == 3
+
+    def test_minus(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o MINUS { ?s ?q 1 } }")
+        assert isinstance(q.where.elements[1], ast.MinusPattern)
+
+    def test_graph_with_uri(self):
+        q = parse_query(
+            EX + "SELECT ?s WHERE { GRAPH ex:g { ?s ?p ?o } }"
+        )
+        scope = q.where.elements[0]
+        assert isinstance(scope, ast.GraphGraphPattern)
+        assert scope.graph == URI("http://example.org/g")
+
+    def test_graph_with_variable(self):
+        q = parse_query("SELECT ?s WHERE { GRAPH ?g { ?s ?p ?o } }")
+        assert q.where.elements[0].graph == ast.Var("g")
+
+    def test_bind(self):
+        q = parse_query("SELECT ?b WHERE { ?s ?p ?a BIND(?a * 2 AS ?b) }")
+        bind = q.where.elements[1]
+        assert isinstance(bind, ast.BindClause)
+        assert bind.var.name == "b"
+
+    def test_values_single_var(self):
+        q = parse_query("SELECT ?v WHERE { VALUES ?v { 1 2 3 } }")
+        clause = q.where.elements[0]
+        assert len(clause.rows) == 3
+
+    def test_values_multi_var_with_undef(self):
+        q = parse_query(
+            "SELECT ?a WHERE { VALUES (?a ?b) { (1 2) (UNDEF 4) } }"
+        )
+        clause = q.where.elements[0]
+        assert clause.rows[1][0] is None
+
+    def test_values_arity_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?a WHERE { VALUES (?a ?b) { (1) } }")
+
+    def test_subselect(self):
+        q = parse_query(
+            "SELECT ?x WHERE { { SELECT (MAX(?v) AS ?x) "
+            "WHERE { ?s ?p ?v } } }"
+        )
+        inner = q.where.elements[0]
+        if isinstance(inner, ast.GroupPattern):
+            inner = inner.elements[0]
+        assert isinstance(inner, ast.SubSelect)
+
+    def test_nested_group(self):
+        q = parse_query("SELECT ?s WHERE { { ?s ?p ?o . ?o ?q ?r } }")
+        assert isinstance(q.where.elements[0], ast.GroupPattern)
+
+
+class TestPropertyPaths:
+    def test_plain_uri_not_wrapped(self):
+        q = parse_query(EX + "SELECT ?s WHERE { ?s ex:p ?o }")
+        assert isinstance(q.where.elements[0].predicate, URI)
+
+    def test_sequence(self):
+        q = parse_query(EX + "SELECT ?s WHERE { ?s ex:p/ex:q ?o }")
+        path = q.where.elements[0].predicate
+        assert isinstance(path, ast.PathSequence)
+        assert len(path.parts) == 2
+
+    def test_alternative(self):
+        q = parse_query(EX + "SELECT ?s WHERE { ?s ex:p|ex:q ?o }")
+        assert isinstance(q.where.elements[0].predicate,
+                          ast.PathAlternative)
+
+    def test_inverse(self):
+        q = parse_query(EX + "SELECT ?s WHERE { ?s ^ex:p ?o }")
+        assert isinstance(q.where.elements[0].predicate, ast.PathInverse)
+
+    def test_star_plus_question(self):
+        for mod in "*+?":
+            q = parse_query(EX + "SELECT ?s WHERE { ?s ex:p%s ?o }" % mod)
+            path = q.where.elements[0].predicate
+            assert isinstance(path, ast.PathMod)
+            assert path.modifier == mod
+
+    def test_grouped_path(self):
+        q = parse_query(
+            EX + "SELECT ?s WHERE { ?s (ex:p|^ex:q)+/ex:r ?o }"
+        )
+        path = q.where.elements[0].predicate
+        assert isinstance(path, ast.PathSequence)
+        assert isinstance(path.parts[0], ast.PathMod)
+
+    def test_negated_property_set(self):
+        q = parse_query(EX + "SELECT ?s WHERE { ?s !(ex:p|^ex:q) ?o }")
+        path = q.where.elements[0].predicate
+        assert isinstance(path, ast.PathNegated)
+        assert len(path.forward) == 1
+        assert len(path.inverse) == 1
+
+
+class TestExpressions:
+    def parse_filter(self, text):
+        q = parse_query("SELECT ?x WHERE { ?x ?p ?v FILTER(%s) }" % text)
+        return q.where.elements[1].expr
+
+    def test_precedence_or_and(self):
+        expr = self.parse_filter("?a || ?b && ?c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_precedence_arith_vs_compare(self):
+        expr = self.parse_filter("?a + 1 < ?b * 2")
+        assert expr.op == "<"
+        assert expr.left.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_not(self):
+        expr = self.parse_filter("!BOUND(?v)")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "!"
+
+    def test_in_expression(self):
+        expr = self.parse_filter("?v IN (1, 2, 3)")
+        assert isinstance(expr, ast.InExpr) and not expr.negated
+
+    def test_not_in(self):
+        expr = self.parse_filter("?v NOT IN (1)")
+        assert expr.negated
+
+    def test_exists(self):
+        expr = self.parse_filter("EXISTS { ?x ?q 1 }")
+        assert isinstance(expr, ast.ExistsExpr) and not expr.negated
+
+    def test_not_exists(self):
+        expr = self.parse_filter("NOT EXISTS { ?x ?q 1 }")
+        assert expr.negated
+
+    def test_builtin_call(self):
+        expr = self.parse_filter('REGEX(?v, "^a", "i")')
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "REGEX"
+        assert len(expr.args) == 3
+
+    def test_unknown_bare_name_rejected(self):
+        with pytest.raises(ParseError):
+            self.parse_filter("frobnicate(?v)")
+
+    def test_uri_function_call(self):
+        expr = self.parse_filter("<http://f>(?v, 2)")
+        assert expr.name == URI("http://f")
+
+    def test_closure(self):
+        expr = self.parse_filter("array_sum(array_map(FN(?x) ?x+1, ?v))")
+        closure = expr.args[0].args[0]
+        assert isinstance(closure, ast.Closure)
+        assert [p.name for p in closure.params] == ["x"]
+
+    def test_closure_multiple_params(self):
+        q = parse_query(
+            "SELECT (array_map(FN(?x ?y) ?x*?y, ?a, ?b) AS ?c) "
+            "WHERE { ?s ?p ?a ; ?q ?b }"
+        )
+        closure = q.projection[0][0].args[0]
+        assert len(closure.params) == 2
+
+
+class TestArraySubscripts:
+    def subscript(self, text):
+        q = parse_query("SELECT ?x WHERE { ?s ?p ?a FILTER(?a%s > 0) }"
+                        % text)
+        return q.where.elements[1].expr.left
+
+    def test_single_indexes(self):
+        node = self.subscript("[2,3]")
+        assert isinstance(node, ast.ArraySubscript)
+        assert len(node.subscripts) == 2
+
+    def test_range(self):
+        node = self.subscript("[1:5]")
+        sub = node.subscripts[0]
+        assert isinstance(sub, ast.RangeSubscript)
+        assert sub.stride is None
+
+    def test_range_with_stride(self):
+        node = self.subscript("[1:2:9]")
+        sub = node.subscripts[0]
+        assert sub.lo is not None and sub.stride is not None \
+            and sub.hi is not None
+
+    def test_open_ranges(self):
+        node = self.subscript("[:,3:]")
+        whole, from3 = node.subscripts
+        assert whole.lo is None and whole.hi is None
+        assert from3.lo is not None and from3.hi is None
+
+    def test_expression_subscript(self):
+        node = self.subscript("[?i + 1]")
+        assert isinstance(node.subscripts[0], ast.BinaryOp)
+
+    def test_chained_subscripts(self):
+        node = self.subscript("[1][2]")
+        assert isinstance(node.base, ast.ArraySubscript)
+
+
+class TestSolutionModifiers:
+    def test_group_by_having(self):
+        q = parse_query(
+            "SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a ?p ?b } "
+            "GROUP BY ?a HAVING (COUNT(?b) > 2)"
+        )
+        assert len(q.modifiers.group_by) == 1
+        assert len(q.modifiers.having) == 1
+
+    def test_order_by_mixed(self):
+        q = parse_query(
+            "SELECT ?a WHERE { ?a ?p ?b } ORDER BY DESC(?b) ?a"
+        )
+        (expr1, asc1), (expr2, asc2) = q.modifiers.order_by
+        assert not asc1 and asc2
+
+    def test_limit_offset(self):
+        q = parse_query("SELECT ?a WHERE { ?a ?p ?b } LIMIT 5 OFFSET 2")
+        assert q.modifiers.limit == 5
+        assert q.modifiers.offset == 2
+
+    def test_aggregates(self):
+        q = parse_query(
+            "SELECT (COUNT(DISTINCT ?b) AS ?n) "
+            '(GROUP_CONCAT(?b; SEPARATOR=",") AS ?all) '
+            "WHERE { ?a ?p ?b }"
+        )
+        count = q.projection[0][0]
+        concat = q.projection[1][0]
+        assert count.distinct
+        assert concat.separator == ","
+
+    def test_count_star(self):
+        q = parse_query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+        assert q.projection[0][0].expr is None
+
+
+class TestOtherQueryForms:
+    def test_ask(self):
+        q = parse_query("ASK { ?s ?p ?o }")
+        assert isinstance(q, ast.AskQuery)
+
+    def test_construct(self):
+        q = parse_query(
+            EX + "CONSTRUCT { ?s ex:q ?o } WHERE { ?s ex:p ?o }"
+        )
+        assert isinstance(q, ast.ConstructQuery)
+        assert len(q.template) == 1
+
+    def test_describe(self):
+        q = parse_query(EX + "DESCRIBE ex:thing")
+        assert isinstance(q, ast.DescribeQuery)
+
+    def test_describe_with_where(self):
+        q = parse_query(EX + "DESCRIBE ?s WHERE { ?s ex:p 1 }")
+        assert q.where is not None
+
+    def test_from_clauses(self):
+        q = parse_query(
+            EX + "SELECT ?s FROM ex:g1 FROM NAMED ex:g2 WHERE { ?s ?p ?o }"
+        )
+        assert q.from_graphs == [URI("http://example.org/g1")]
+        assert q.from_named == [URI("http://example.org/g2")]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("ASK { ?s ?p ?o } garbage")
+
+
+class TestFunctionDefinitions:
+    def test_expression_body(self):
+        q = parse_query(EX + "DEFINE FUNCTION ex:f(?x ?y) AS ?x + ?y")
+        assert isinstance(q, ast.FunctionDefinition)
+        assert [p.name for p in q.params] == ["x", "y"]
+        assert isinstance(q.body, ast.BinaryOp)
+
+    def test_query_body(self):
+        q = parse_query(
+            EX + "DEFINE FUNCTION ex:f(?s) AS SELECT ?v "
+            "WHERE { ?s ex:p ?v }"
+        )
+        assert isinstance(q.body, ast.SelectQuery)
+
+    def test_zero_params(self):
+        q = parse_query(EX + "DEFINE FUNCTION ex:f() AS 42")
+        assert q.params == []
+
+
+class TestUpdates:
+    def test_insert_data(self):
+        q = parse_query(EX + "INSERT DATA { ex:s ex:p 1 . ex:s ex:q 2 }")
+        assert isinstance(q, ast.InsertData)
+        assert len(q.triples) == 2
+
+    def test_insert_data_array(self):
+        q = parse_query(EX + "INSERT DATA { ex:s ex:p ((1 2)(3 4)) }")
+        assert isinstance(q.triples[0].value, NumericArray)
+
+    def test_delete_data(self):
+        q = parse_query(EX + "DELETE DATA { ex:s ex:p 1 }")
+        assert isinstance(q, ast.DeleteData)
+
+    def test_modify(self):
+        q = parse_query(
+            EX + "DELETE { ?s ex:p ?o } INSERT { ?s ex:q ?o } "
+            "WHERE { ?s ex:p ?o }"
+        )
+        assert isinstance(q, ast.Modify)
+        assert len(q.delete_template) == 1
+        assert len(q.insert_template) == 1
+
+    def test_delete_where_shorthand(self):
+        q = parse_query(EX + "DELETE WHERE { ?s ex:p ?o }")
+        assert isinstance(q, ast.Modify)
+        assert len(q.delete_template) == 1
+        assert q.insert_template == []
+
+    def test_insert_where(self):
+        q = parse_query(
+            EX + "INSERT { ?s ex:q ?o } WHERE { ?s ex:p ?o }"
+        )
+        assert q.delete_template == []
+
+    def test_clear_graph(self):
+        q = parse_query(EX + "CLEAR GRAPH ex:g")
+        assert isinstance(q, ast.ClearGraph)
+        assert q.graph == URI("http://example.org/g")
+
+    def test_clear_all(self):
+        q = parse_query("CLEAR ALL")
+        assert q.graph == "ALL"
+
+    def test_insert_data_graph(self):
+        q = parse_query(
+            EX + "INSERT DATA { GRAPH ex:g { ex:s ex:p 1 } }"
+        )
+        assert q.graph == URI("http://example.org/g")

@@ -1,0 +1,84 @@
+"""Query serialization: parse -> serialize -> parse is a fixpoint."""
+
+import pytest
+
+from repro.sparql import parse_query
+from repro.sparql.serializer import serialize_query
+
+ROUNDTRIP_QUERIES = [
+    "SELECT * WHERE { ?s ?p ?o }",
+    "SELECT DISTINCT ?s WHERE { ?s ?p ?o } LIMIT 3 OFFSET 1",
+    "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:p 1 ; ex:q ?v "
+    "FILTER(?v > 1 && ?v != 5) }",
+    "PREFIX ex: <http://e/> SELECT (?a + 1 AS ?b) WHERE { ?s ex:p ?a }",
+    "SELECT ?s WHERE { ?s ?p ?o OPTIONAL { ?o ?q ?r FILTER(?r < ?o) } }",
+    "SELECT ?s WHERE { { ?s ?p 1 } UNION { ?s ?p 2 } UNION { ?s ?p 3 } }",
+    "SELECT ?s WHERE { ?s ?p ?o MINUS { ?s ?q 1 } }",
+    "PREFIX ex: <http://e/> SELECT ?s WHERE { GRAPH ex:g { ?s ?p ?o } }",
+    "SELECT ?s WHERE { GRAPH ?g { ?s ?p ?o } }",
+    "SELECT ?v WHERE { VALUES (?v ?w) { (1 2) (UNDEF 4) } }",
+    "SELECT ?s WHERE { ?s ?p ?v BIND(?v * 2 AS ?d) FILTER(BOUND(?d)) }",
+    "PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:p/ex:q ?y }",
+    "PREFIX ex: <http://e/> SELECT ?x WHERE { ?x (ex:p|^ex:q)+ ?y }",
+    "PREFIX ex: <http://e/> SELECT ?x WHERE { ?x !(ex:p|^ex:q) ?y }",
+    "SELECT ?a (COUNT(DISTINCT ?b) AS ?n) WHERE { ?a ?p ?b } "
+    "GROUP BY ?a HAVING (COUNT(DISTINCT ?b) > 1) ORDER BY DESC(?n)",
+    'SELECT (GROUP_CONCAT(?n; SEPARATOR=", ") AS ?all) '
+    "WHERE { ?s ?p ?n }",
+    "SELECT ?a[2,3] WHERE { ?s ?p ?a }",
+    "SELECT ?a[1:100] ?a[1:2:9] ?a[:,3] WHERE { ?s ?p ?a }",
+    "SELECT (array_map(FN(?x) ?x * 2 + 1, ?a) AS ?b) WHERE { ?s ?p ?a }",
+    "SELECT (array_sum(?a[1:3]) AS ?s) WHERE { ?s ?p ?a "
+    "FILTER(?a = (1 2 3)) }",
+    "SELECT ?s WHERE { ?s ?p ?v FILTER(?v IN (1, 2, 3)) }",
+    "SELECT ?s WHERE { ?s ?p ?v FILTER(EXISTS { ?s ?q 1 }) }",
+    "SELECT ?s WHERE { ?s ?p ?v FILTER(NOT EXISTS { ?s ?q 1 }) }",
+    "SELECT ?x WHERE { { SELECT (MAX(?v) AS ?x) WHERE { ?s ?p ?v } } }",
+    "PREFIX ex: <http://e/> SELECT ?s FROM ex:g1 FROM NAMED ex:g2 "
+    "WHERE { ?s ?p ?o }",
+    "ASK { ?s ?p 3.5 }",
+    "PREFIX ex: <http://e/> CONSTRUCT { ?s ex:q ?o } WHERE { ?s ex:p ?o }",
+    "PREFIX ex: <http://e/> DESCRIBE ex:thing",
+    "PREFIX ex: <http://e/> DEFINE FUNCTION ex:f(?x ?y) AS ?x * ?y + 1",
+    "PREFIX ex: <http://e/> DEFINE FUNCTION ex:g(?s) AS "
+    "SELECT ?v WHERE { ?s ex:p ?v }",
+    "PREFIX ex: <http://e/> INSERT DATA { ex:s ex:p 1 . ex:s ex:q "
+    '"x"@en }',
+    "PREFIX ex: <http://e/> INSERT DATA { ex:s ex:val ((1 2) (3 4)) }",
+    "PREFIX ex: <http://e/> DELETE DATA { ex:s ex:p 1 }",
+    "PREFIX ex: <http://e/> DELETE { ?s ex:p ?o } INSERT { ?s ex:q ?o } "
+    "WHERE { ?s ex:p ?o }",
+    "PREFIX ex: <http://e/> WITH ex:g DELETE { ?s ex:p ?o } "
+    "WHERE { ?s ex:p ?o }",
+    "PREFIX ex: <http://e/> CLEAR GRAPH ex:g",
+    "CLEAR ALL",
+]
+
+
+@pytest.mark.parametrize("text", ROUNDTRIP_QUERIES)
+def test_parse_serialize_parse_fixpoint(text):
+    first = parse_query(text)
+    rendered = serialize_query(first)
+    second = parse_query(rendered)
+    assert first == second, rendered
+
+
+def test_serialized_text_is_readable():
+    query = parse_query(
+        "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:p ?v "
+        "FILTER(?v > 1) } ORDER BY ?s LIMIT 5"
+    )
+    text = serialize_query(query)
+    assert "SELECT ?s" in text
+    assert "FILTER" in text
+    assert "LIMIT 5" in text
+
+
+def test_roundtrip_preserves_semantics(foaf):
+    original = """PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+        SELECT ?n WHERE { ?a foaf:knows ?b . ?b foaf:name ?n }
+        ORDER BY ?n"""
+    first = foaf.execute(original)
+    rendered = serialize_query(foaf.parse(original))
+    second = foaf.execute(rendered)
+    assert first.rows == second.rows

@@ -1,0 +1,187 @@
+"""Relational triple storage (section 6.2.1): the SqlTripleGraph."""
+
+import numpy as np
+import pytest
+
+from repro import SSDM, ArrayProxy, Literal, NumericArray, URI, BlankNode
+from repro.storage import SqlTripleGraph
+
+EXP = "PREFIX ex: <http://e/>\n"
+
+
+@pytest.fixture
+def graph():
+    return SqlTripleGraph(externalize_threshold=8)
+
+
+def e(name):
+    return URI("http://e/" + name)
+
+
+class TestBasicStorage:
+    def test_add_and_len(self, graph):
+        graph.add(e("a"), e("p"), Literal(1))
+        graph.add(e("a"), e("q"), Literal("text"))
+        assert len(graph) == 2
+
+    def test_duplicate_ignored(self, graph):
+        graph.add(e("a"), e("p"), Literal(1))
+        graph.add(e("a"), e("p"), Literal(1))
+        assert len(graph) == 1
+
+    def test_remove(self, graph):
+        graph.add(e("a"), e("p"), Literal(1))
+        assert graph.remove(e("a"), e("p"), Literal(1))
+        assert not graph.remove(e("a"), e("p"), Literal(1))
+        assert len(graph) == 0
+
+    def test_contains(self, graph):
+        graph.add(e("a"), e("p"), e("b"))
+        assert (e("a"), e("p"), e("b")) in graph
+        assert (e("a"), e("p"), e("c")) not in graph
+
+    def test_clear(self, graph):
+        graph.add(e("a"), e("p"), Literal(1))
+        graph.clear()
+        assert len(graph) == 0
+
+
+class TestValuePartitioning:
+    """Each value type must round-trip through its partition."""
+
+    @pytest.mark.parametrize("value", [
+        URI("http://e/x"),
+        BlankNode("bn1"),
+        Literal(42),
+        Literal(-2.5),
+        Literal(True),
+        Literal("plain string"),
+        Literal("chat", lang="fr"),
+        Literal("2020-01-01",
+                URI("http://www.w3.org/2001/XMLSchema#date")),
+    ])
+    def test_roundtrip(self, graph, value):
+        graph.add(e("s"), e("p"), value)
+        stored = graph.value(e("s"), e("p"))
+        assert stored == value
+
+    def test_small_array_resident(self, graph):
+        array = NumericArray([[1, 2], [3, 4]])
+        graph.add(e("s"), e("p"), array)
+        stored = graph.value(e("s"), e("p"))
+        assert isinstance(stored, NumericArray)
+        assert stored == array
+
+    def test_large_array_externalized_to_chunks(self, graph):
+        array = NumericArray(np.arange(100, dtype=np.float64))
+        graph.add(e("s"), e("p"), array)
+        stored = graph.value(e("s"), e("p"))
+        assert isinstance(stored, ArrayProxy)
+        assert stored.resolve() == array
+
+    def test_numeric_lookup_int_float_distinct_lexical(self, graph):
+        graph.add(e("s"), e("p"), Literal(1))
+        # exact-term lookup distinguishes 1 from 1.0 (different lexical)
+        assert list(graph.triples(None, None, Literal(1)))
+        assert not list(graph.triples(None, None, Literal(1.0)))
+
+
+class TestPatternMatching:
+    @pytest.fixture
+    def filled(self, graph):
+        graph.add(e("a"), e("knows"), e("b"))
+        graph.add(e("a"), e("knows"), e("c"))
+        graph.add(e("b"), e("knows"), e("c"))
+        graph.add(e("a"), e("age"), Literal(30))
+        return graph
+
+    def test_by_subject(self, filled):
+        assert len(list(filled.triples(e("a")))) == 3
+
+    def test_by_predicate(self, filled):
+        assert len(list(filled.triples(None, e("knows")))) == 3
+
+    def test_by_value(self, filled):
+        assert len(list(filled.triples(None, None, e("c")))) == 2
+
+    def test_fully_bound(self, filled):
+        assert len(list(filled.triples(e("a"), e("knows"), e("b")))) == 1
+
+    def test_accessors(self, filled):
+        assert set(filled.subjects(e("knows"))) == {e("a"), e("b")}
+        assert filled.value(e("a"), e("age")) == Literal(30)
+        assert set(filled.properties(e("a"))) == {e("knows"), e("age")}
+
+    def test_statistics(self, filled):
+        stats = filled.statistics
+        assert stats.triple_count == 4
+        assert stats.property_count(e("knows")) == 3
+        assert stats.distinct_subjects(e("knows")) == 2
+        assert stats.fanout(e("knows")) == pytest.approx(1.5)
+
+    def test_numeric_range_delegation(self, filled):
+        filled.add(e("b"), e("age"), Literal(40))
+        subjects = filled.numeric_range_subjects(e("age"), low=35)
+        assert subjects == [e("b")]
+
+
+class TestQueriesOverSqlGraph:
+    @pytest.fixture
+    def ssdm(self):
+        instance = SSDM.with_triple_store(
+            SqlTripleGraph(externalize_threshold=8)
+        )
+        instance.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:m ex:val ((1 2 3) (4 5 6) (7 8 9)) ; ex:label "m" .
+            ex:a ex:v 10 . ex:b ex:v 20 .
+        """)
+        return instance
+
+    def test_metadata_query(self, ssdm):
+        r = ssdm.execute(EXP + """
+            SELECT ?s WHERE { ?s ex:v ?v FILTER(?v > 15) }""")
+        assert r.rows == [(e("b"),)]
+
+    def test_array_query_through_sql_triples(self, ssdm):
+        r = ssdm.execute(EXP + """
+            SELECT ?a[2,3] (array_sum(?a) AS ?s)
+            WHERE { ex:m ex:val ?a }""")
+        assert r.rows == [(6, 45.0)]
+
+    def test_arrays_externalized(self, ssdm):
+        stored = ssdm.graph.value(e("m"), e("val"))
+        assert isinstance(stored, ArrayProxy)
+
+    def test_updates(self, ssdm):
+        ssdm.execute(EXP + "INSERT DATA { ex:x ex:v 99 }")
+        assert ssdm.execute(EXP + "ASK { ex:x ex:v 99 }") is True
+        ssdm.execute(EXP + "DELETE WHERE { ex:x ex:v ?v }")
+        assert ssdm.execute(EXP + "ASK { ex:x ex:v 99 }") is False
+
+    def test_aggregation(self, ssdm):
+        r = ssdm.execute(EXP +
+                         "SELECT (SUM(?v) AS ?t) WHERE { ?s ex:v ?v }")
+        assert r.rows == [(30,)]
+
+    def test_optimizer_uses_sql_statistics(self, ssdm):
+        text = ssdm.explain(
+            EXP + "SELECT ?s WHERE { ?s ex:v ?v . ?s ex:label ?l }",
+            costs=True,
+        )
+        assert "~" in text
+
+
+class TestPersistence:
+    def test_reopen_database(self, tmp_path):
+        path = str(tmp_path / "graph.db")
+        graph = SqlTripleGraph(path, externalize_threshold=8)
+        graph.add(e("a"), e("p"), Literal(7))
+        graph.add(e("a"), e("arr"),
+                  NumericArray(np.arange(50, dtype=np.float64)))
+        graph.close()
+        reopened = SqlTripleGraph(path, externalize_threshold=8)
+        assert len(reopened) == 2
+        assert reopened.value(e("a"), e("p")) == Literal(7)
+        proxy = reopened.value(e("a"), e("arr"))
+        assert proxy.resolve().element_count == 50

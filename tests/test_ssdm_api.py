@@ -1,0 +1,143 @@
+"""The SSDM facade: results API, prefixes, explain, externalization."""
+
+import pytest
+
+from repro import (
+    SSDM, ArrayProxy, MemoryArrayStore, NumericArray, QueryError,
+    QueryResult, URI, Literal,
+)
+
+
+class TestQueryResult:
+    @pytest.fixture
+    def result(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:v 1 . ex:b ex:v 2 .
+        """)
+        return ssdm.execute(
+            "PREFIX ex: <http://e/> SELECT ?s ?v WHERE { ?s ex:v ?v } "
+            "ORDER BY ?v"
+        )
+
+    def test_len_and_iter(self, result):
+        assert len(result) == 2
+        assert list(result) == result.rows
+
+    def test_columns(self, result):
+        assert result.columns == ["s", "v"]
+
+    def test_column_accessor(self, result):
+        assert result.column("v") == [1, 2]
+
+    def test_as_dicts(self, result):
+        dicts = result.as_dicts()
+        assert dicts[0]["v"] == 1
+
+    def test_scalar_requires_1x1(self, result):
+        with pytest.raises(QueryError):
+            result.scalar()
+
+    def test_scalar(self, ssdm):
+        ssdm.load_turtle_text("@prefix ex: <http://e/> . ex:a ex:v 7 .")
+        assert ssdm.execute(
+            "PREFIX ex: <http://e/> SELECT ?v WHERE { ?s ex:v ?v }"
+        ).scalar() == 7
+
+    def test_resolved_materializes_proxies(self, external_ssdm):
+        external_ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:val "
+            "(1 2 3 4 5 6 7 8 9 10) ."
+        )
+        r = external_ssdm.execute(
+            "PREFIX ex: <http://e/> SELECT ?a WHERE { ?s ex:val ?a }"
+        )
+        assert isinstance(r.rows[0][0], ArrayProxy)
+        resolved = r.resolved()
+        assert isinstance(resolved.rows[0][0], NumericArray)
+
+
+class TestPrefixes:
+    def test_persistent_prefix(self, ssdm):
+        ssdm.prefix("ex", "http://e/")
+        ssdm.load_turtle_text("@prefix ex: <http://e/> . ex:a ex:v 1 .")
+        r = ssdm.execute("SELECT ?v WHERE { ex:a ex:v ?v }")
+        assert r.rows == [(1,)]
+
+    def test_query_prefix_overrides(self, ssdm):
+        ssdm.prefix("ex", "http://one/")
+        ssdm.add(URI("http://two/a"), URI("http://two/v"), Literal(1))
+        r = ssdm.execute(
+            "PREFIX ex: <http://two/> SELECT ?v WHERE { ex:a ex:v ?v }"
+        )
+        assert r.rows == [(1,)]
+
+
+class TestDispatch:
+    def test_select_returns_result(self, ssdm):
+        assert isinstance(
+            ssdm.execute("SELECT ?s WHERE { ?s ?p ?o }"), QueryResult
+        )
+
+    def test_select_helper_rejects_ask(self, ssdm):
+        with pytest.raises(QueryError):
+            ssdm.select("ASK { ?s ?p ?o }")
+
+    def test_ask_helper(self, ssdm):
+        assert ssdm.ask("ASK { ?s ?p ?o }") is False
+
+    def test_ask_helper_rejects_select(self, ssdm):
+        with pytest.raises(QueryError):
+            ssdm.ask("SELECT ?s WHERE { ?s ?p ?o }")
+
+    def test_define_returns_function(self, ssdm):
+        function = ssdm.execute(
+            "PREFIX ex: <http://e/> DEFINE FUNCTION ex:f(?x) AS ?x"
+        )
+        assert function.arity() == 1
+
+
+class TestExternalization:
+    def test_small_arrays_stay_resident(self):
+        store = MemoryArrayStore()
+        ssdm = SSDM(array_store=store, externalize_threshold=100)
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:val (1 2 3) ."
+        )
+        value = ssdm.graph.value(URI("http://e/a"), URI("http://e/val"))
+        assert isinstance(value, NumericArray)
+        assert store.stats.arrays_stored == 0
+
+    def test_large_arrays_externalized(self):
+        store = MemoryArrayStore()
+        ssdm = SSDM(array_store=store, externalize_threshold=2)
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:val (1 2 3) ."
+        )
+        value = ssdm.graph.value(URI("http://e/a"), URI("http://e/val"))
+        assert isinstance(value, ArrayProxy)
+        assert store.stats.arrays_stored == 1
+
+    def test_no_store_keeps_everything_resident(self, ssdm):
+        ssdm.load_turtle_text(
+            "@prefix ex: <http://e/> . ex:a ex:val "
+            "(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15) ."
+        )
+        value = ssdm.graph.value(URI("http://e/a"), URI("http://e/val"))
+        assert isinstance(value, NumericArray)
+
+
+class TestExplain:
+    def test_explain_mentions_operators(self, foaf):
+        text = foaf.explain("""PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT DISTINCT ?n WHERE {
+                ?a foaf:knows ?b . ?b foaf:name ?n } LIMIT 5""")
+        for operator in ("BGP", "Project", "Distinct", "Slice"):
+            assert operator in text
+
+    def test_plan_api(self, foaf):
+        plan, columns = foaf.plan(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+            "SELECT ?n WHERE { ?p foaf:name ?n }"
+        )
+        assert columns == ["n"]

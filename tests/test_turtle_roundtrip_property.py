@@ -1,0 +1,61 @@
+"""Property: serialize(graph) -> load -> the same graph, for random
+graphs mixing URIs, literals, language tags, and array values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SSDM, Graph, Literal, NumericArray, URI
+
+local_names = st.text(
+    alphabet="abcdefgh", min_size=1, max_size=4
+)
+
+uris = local_names.map(lambda s: URI("http://example.org/" + s))
+
+plain_literals = st.one_of(
+    st.integers(-1000, 1000).map(Literal),
+    st.booleans().map(Literal),
+    st.text(alphabet="xyz ", max_size=6).map(Literal),
+    st.text(alphabet="xyz", min_size=1, max_size=6).map(
+        lambda s: Literal(s, lang="en")
+    ),
+)
+
+array_values = st.lists(
+    st.integers(-99, 99), min_size=1, max_size=6
+).map(NumericArray)
+
+values = st.one_of(uris, plain_literals, array_values)
+
+triples = st.lists(st.tuples(uris, uris, values), max_size=20)
+
+
+@given(triples)
+@settings(max_examples=80, deadline=None)
+def test_turtle_roundtrip(raw):
+    graph = Graph()
+    for s, p, v in raw:
+        graph.add(s, p, v)
+    text = graph.to_turtle()
+    ssdm = SSDM()
+    ssdm.load_turtle_text(text)
+    assert len(ssdm.graph) == len(graph)
+    for triple in graph.triples():
+        assert triple in ssdm.graph, (triple, text)
+
+
+@given(st.lists(st.lists(st.integers(-99, 99), min_size=2, max_size=4),
+                min_size=2, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_matrix_roundtrip(rows):
+    # rectangularize
+    width = min(len(r) for r in rows)
+    matrix = [r[:width] for r in rows]
+    graph = Graph()
+    graph.add(URI("http://e/m"), URI("http://e/val"),
+              NumericArray(matrix))
+    ssdm = SSDM()
+    ssdm.load_turtle_text(graph.to_turtle())
+    value = ssdm.graph.value(URI("http://e/m"), URI("http://e/val"))
+    assert value == NumericArray(matrix)
