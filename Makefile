@@ -1,0 +1,14 @@
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-check
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks -q --benchmark-only \
+		--benchmark-json=bench_results_new.json
+
+# Gate: fail if exp1/exp7 means regressed >25% vs the committed baseline
+bench-check:
+	$(PY) benchmarks/check_regression.py bench_results_new.json

@@ -1,12 +1,14 @@
 """Experiment 2 (section 6.3.3): varying the buffer size.
 
-Fixes the BUFFER strategy on the SQL back-end and sweeps the number of
-chunk ids batched per request, on a regular (column) and an irregular
-(random) access pattern.
+Sweeps the number of chunk ids batched per request on the SQL back-end,
+on a regular (column) and an irregular (random) access pattern, under
+both the plain BUFFER strategy and PREFETCH (whose leftover singles are
+batched by the same parameter while its pipeline overlaps the requests).
 
 Expected shape (paper): time and round trips drop steeply as the buffer
 grows from 1, then plateau once most of a query's chunks fit in one
-batch; growing the buffer further buys nothing.
+batch; growing the buffer further buys nothing.  PREFETCH flattens the
+curve: once the working set is pooled, buffer size stops mattering.
 """
 
 import pytest
@@ -20,12 +22,16 @@ BUFFER_SIZES = (1, 4, 16, 64, 256, 1024)
 
 
 @pytest.mark.parametrize("populated_store", ["sql"], indirect=True)
+@pytest.mark.parametrize("strategy",
+                         (Strategy.BUFFER, Strategy.PREFETCH),
+                         ids=lambda s: s.value)
 @pytest.mark.parametrize("buffer_size", BUFFER_SIZES)
 @pytest.mark.parametrize("pattern", ("column", "random"))
-def test_buffer_size(benchmark, populated_store, buffer_size, pattern):
+def test_buffer_size(benchmark, populated_store, strategy, buffer_size,
+                     pattern):
     store, proxies = populated_store
     resolver = APRResolver(
-        store, strategy=Strategy.BUFFER, buffer_size=buffer_size
+        store, strategy=strategy, buffer_size=buffer_size
     )
 
     def run():
@@ -38,6 +44,7 @@ def test_buffer_size(benchmark, populated_store, buffer_size, pattern):
     stats = store.stats.snapshot()
     benchmark.extra_info.update({
         "pattern": pattern,
+        "strategy": strategy.value,
         "buffer_size": buffer_size,
         "requests_per_run": stats["requests"] / rounds_executed,
     })

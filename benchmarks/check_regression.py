@@ -1,0 +1,137 @@
+"""Benchmark regression gate: fresh results vs the committed baseline.
+
+Compares a freshly produced pytest-benchmark JSON file against the
+repository's committed ``bench_results.json`` and fails when any watched
+benchmark's mean regressed by more than the threshold (default 25%).
+
+Watched are the experiments most sensitive to the retrieval pipeline:
+Experiment 1 (retrieval strategies) and Experiment 7 (workbench
+transfers over the wire).  Benchmarks present on only one side — new
+strategies, renamed tests — are reported but never fail the gate.
+
+Usage (see ``make bench`` / ``make bench-check``):
+
+    pytest benchmarks -q --benchmark-only \
+        --benchmark-json=bench_results_new.json
+    python benchmarks/check_regression.py bench_results_new.json
+
+or as a pytest target:
+
+    BENCH_RESULTS=bench_results_new.json \
+        pytest benchmarks/check_regression.py -m bench_check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import pytest
+
+#: Parametrized groups gated on every variant present in both files.
+WATCHED_GROUPS = ("test_retrieval",)
+#: Individual benchmarks gated by exact name.
+WATCHED_NAMES = (
+    "test_store_and_annotate",
+    "test_find_by_metadata",
+    "test_fetch_whole_array_over_wire",
+    "test_fetch_window_over_wire",
+    "test_server_side_reduction_over_wire",
+)
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench_results.json",
+)
+
+
+def load_means(path):
+    """{benchmark name: mean seconds} from a pytest-benchmark JSON."""
+    with open(path) as handle:
+        raw = json.load(handle)
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in raw["benchmarks"]
+    }
+
+
+def watched(name):
+    return name in WATCHED_NAMES or name.split("[")[0] in WATCHED_GROUPS
+
+
+def compare(fresh_means, baseline_means, threshold=DEFAULT_THRESHOLD):
+    """Returns (regressions, compared, only_fresh) over watched names.
+
+    ``regressions`` lists (name, baseline_mean, fresh_mean, ratio) for
+    every benchmark whose fresh mean exceeds baseline * (1+threshold).
+    """
+    regressions = []
+    compared = 0
+    only_fresh = []
+    for name, fresh_mean in sorted(fresh_means.items()):
+        if not watched(name):
+            continue
+        baseline_mean = baseline_means.get(name)
+        if baseline_mean is None:
+            only_fresh.append(name)
+            continue
+        compared += 1
+        if fresh_mean > baseline_mean * (1.0 + threshold):
+            regressions.append((
+                name, baseline_mean, fresh_mean,
+                fresh_mean / baseline_mean,
+            ))
+    return regressions, compared, only_fresh
+
+
+def run_gate(fresh_path, baseline_path, threshold, out=sys.stdout):
+    fresh_means = load_means(fresh_path)
+    baseline_means = load_means(baseline_path)
+    regressions, compared, only_fresh = compare(
+        fresh_means, baseline_means, threshold
+    )
+    out.write(
+        "compared %d watched benchmarks (threshold %.0f%%)\n"
+        % (compared, threshold * 100)
+    )
+    for name in only_fresh:
+        out.write("  new (no baseline, not gated): %s\n" % name)
+    for name, base, fresh, ratio in regressions:
+        out.write(
+            "  REGRESSION %s: %.2fms -> %.2fms (%.2fx)\n"
+            % (name, base * 1000, fresh * 1000, ratio)
+        )
+    if not regressions:
+        out.write("no regressions\n")
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly produced benchmark JSON")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args(argv)
+    regressions = run_gate(args.fresh, args.baseline, args.threshold)
+    return 1 if regressions else 0
+
+
+@pytest.mark.bench_check
+def test_no_regression():
+    """Pytest entry point for the gate (opt-in via -m bench_check)."""
+    fresh = os.environ.get("BENCH_RESULTS", "bench_results_new.json")
+    if not os.path.exists(fresh):
+        pytest.skip("no fresh benchmark results at %r" % fresh)
+    regressions = run_gate(fresh, DEFAULT_BASELINE, DEFAULT_THRESHOLD)
+    assert not regressions, "benchmark regressions: %r" % (
+        [r[0] for r in regressions],
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,8 +61,9 @@ def main(path):
          ["backend", "pattern", "strategy"]),
         ("Experiment 2 — buffer size (§6.3.3)",
          "test_buffer_size",
-         ["pattern", "buffer_size", "mean_ms", "requests_per_run"],
-         ["pattern", "buffer_size"]),
+         ["pattern", "strategy", "buffer_size", "mean_ms",
+          "requests_per_run"],
+         ["pattern", "strategy", "buffer_size"]),
         ("Experiment 3 — chunk size (§6.3.4)",
          "test_chunk_size",
          ["pattern", "chunk_bytes", "mean_ms", "requests_per_run",
@@ -111,6 +112,7 @@ def main(path):
         ("Experiment 7 — workbench transfers (ch. 7)",
          ["test_store_and_annotate", "test_find_by_metadata",
           "test_fetch_whole_array_over_wire",
+          "test_fetch_whole_array_prefetch_over_wire",
           "test_fetch_window_over_wire",
           "test_server_side_reduction_over_wire"]),
         ("Ablations",

@@ -33,18 +33,26 @@ def main():
 
     print("\n-- retrieval strategies on a column access "
           "(regular stride, crosses every chunk row) --")
-    header = "%-8s" + "%18s" * 3
-    print(header % (("backend",) + tuple(s.value for s in Strategy)))
+    strategies = list(Strategy)
+    header = "%-8s" + "%18s" * len(strategies)
+    print(header % (("backend",) + tuple(s.value for s in strategies)))
     for name, store in stores.items():
         proxy = store.put(NumericArray(data))
         cells = []
-        for strategy in Strategy:
+        for strategy in strategies:
             store.stats.reset()
             out = APRResolver(store, strategy=strategy, buffer_size=64) \
                 .resolve([proxy.subscript([None, 10])])[0]
             assert out.to_nested_lists() == data[:, 10].tolist()
             cells.append("%d requests" % store.stats.requests)
         print(header % ((name,) + tuple(cells)))
+
+    print("\n-- per-resolve statistics (set by every APR resolve) --")
+    last = stores["sqlite"].last_resolve_stats
+    print("   strategy=%s chunks_fetched=%d requests=%d "
+          "cache_hit_ratio=%.2f"
+          % (last["strategy"], last["chunks_fetched"], last["requests"],
+             last["cache_hit_ratio"]))
 
     print("\n-- what the Sequence Pattern Detector sees --")
     store = stores["sqlite"]

@@ -70,12 +70,21 @@ class ChunkLayout:
 def linear_indices_of_runs(runs):
     """Flatten (start, step, count) runs into one int64 index vector,
     in row-major visit order."""
-    pieces = []
-    for start, step, count in runs:
-        pieces.append(start + step * np.arange(count, dtype=np.int64))
-    if not pieces:
+    runs = [run for run in runs if run[2] > 0]
+    if not runs:
         return np.empty(0, dtype=np.int64)
-    return np.concatenate(pieces)
+    if len(runs) == 1:
+        start, step, count = runs[0]
+        return start + step * np.arange(count, dtype=np.int64)
+    # One vectorized pass instead of an arange per run: position within
+    # the output minus the first position of its run gives the ramp.
+    starts = np.array([r[0] for r in runs], dtype=np.int64)
+    steps = np.array([r[1] for r in runs], dtype=np.int64)
+    counts = np.array([r[2] for r in runs], dtype=np.int64)
+    ends = np.cumsum(counts)
+    ramp = np.arange(ends[-1], dtype=np.int64) \
+        - np.repeat(ends - counts, counts)
+    return np.repeat(starts, counts) + np.repeat(steps, counts) * ramp
 
 
 def chunks_of_runs(runs, elements_per_chunk):
@@ -122,10 +131,33 @@ def assemble_from_chunks(indices, chunk_arrays, elements_per_chunk, dtype):
         return out
     chunk_ids = indices // elements_per_chunk
     offsets = indices - chunk_ids * elements_per_chunk
-    for chunk_id in np.unique(chunk_ids):
-        chunk = chunk_arrays.get(int(chunk_id))
-        if chunk is None:
-            raise StorageError("chunk %d was not fetched" % chunk_id)
-        mask = chunk_ids == chunk_id
-        out[mask] = chunk[offsets[mask]]
+    if len(indices) <= 4:
+        # Tiny gathers (point accesses) would be dominated by the
+        # vectorized path's setup; look elements up directly.
+        for i, (cid, off) in enumerate(zip(chunk_ids.tolist(),
+                                           offsets.tolist())):
+            chunk = chunk_arrays.get(cid)
+            if chunk is None:
+                raise StorageError("chunk %d was not fetched" % cid)
+            out[i] = chunk[off]
+        return out
+    # Concatenate the fetched chunks once and gather with a single fancy
+    # index — O(n log c) instead of a boolean mask per chunk (O(n * c)).
+    ids = sorted(chunk_arrays)
+    pieces = [chunk_arrays[cid] for cid in ids]
+    ids = np.asarray(ids, dtype=np.int64)
+    starts = np.zeros(len(pieces), dtype=np.int64)
+    np.cumsum([len(p) for p in pieces[:-1]], out=starts[1:])
+    rank = np.searchsorted(ids, chunk_ids)
+    if rank.size and (
+        rank.max() >= len(ids)
+        or not np.array_equal(ids[np.minimum(rank, len(ids) - 1)],
+                              chunk_ids)
+    ):
+        missing = set(chunk_ids.tolist()) - set(ids.tolist())
+        raise StorageError(
+            "chunk %d was not fetched" % min(missing)
+        )
+    base = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+    out[:] = base[starts[rank] + offsets]
     return out

@@ -111,6 +111,55 @@ def _decode(cell):
     raise SciSparqlError("cannot decode results cell %r" % (cell,))
 
 
+def explain_payload(ssdm, text, objectlog=False, costs=False):
+    """The body of an EXPLAIN response: plan text plus live counters.
+
+    Alongside the optimized logical plan this ships the storage-traffic
+    and buffer-pool statistics (hits, misses, prefetch-hits,
+    wasted-prefetches, in-flight-waits, bytes in/out) so a client can
+    see what the prefetch pipeline did for recent queries.
+    """
+    return {
+        "plan": ssdm.explain(text, objectlog=objectlog, costs=costs),
+        "stats": ssdm.stats(),
+    }
+
+
+#: Buffer-pool counters rendered by :func:`format_explain`, in order.
+_POOL_COUNTERS = (
+    "lookups", "hits", "misses", "prefetch_hits", "wasted_prefetches",
+    "inflight_waits", "rejected", "evictions", "bytes_in", "bytes_out",
+)
+
+
+def format_explain(payload):
+    """Render an explain payload as human-readable text."""
+    lines = [payload["plan"]]
+    stats = payload.get("stats") or {}
+    storage = stats.get("storage")
+    if storage:
+        lines.append("")
+        lines.append("-- storage traffic --")
+        for name in ("requests", "chunks_fetched", "bytes_fetched",
+                     "arrays_stored", "aggregates_delegated"):
+            lines.append("  %-20s %d" % (name, storage.get(name, 0)))
+    pool = stats.get("buffer_pool")
+    if pool:
+        lines.append("")
+        lines.append("-- buffer pool --")
+        for name in _POOL_COUNTERS:
+            lines.append("  %-20s %d" % (name, pool.get(name, 0)))
+    last = stats.get("last_resolve")
+    if last:
+        lines.append("")
+        lines.append("-- last resolve --")
+        for name in ("strategy", "requests", "chunks_fetched",
+                     "cache_hit_ratio"):
+            if name in last:
+                lines.append("  %-20s %s" % (name, last[name]))
+    return "\n".join(lines)
+
+
 def _parse_array(text):
     """Parse the nested collection syntax '((1 2) (3 4))'."""
     tokens = text.replace("(", " ( ").replace(")", " ) ").split()

@@ -6,9 +6,16 @@ protocol on TCP:
 
     request:  {"op": "query",  "text": "<SciSPARQL>"}
     request:  {"op": "update", "text": "<SciSPARQL update>"}
+    request:  {"op": "stats"}
+    request:  {"op": "explain", "text": "<SciSPARQL>"}
     response: {"ok": true, "columns": [...], "rows": [[...], ...]}
               {"ok": true, "result": <bool-or-int>}
+              {"ok": true, "stats": {...}} / {"ok": true, "plan": "..."}
               {"ok": false, "error": "..."}
+
+Queries run concurrently (sharing the process-wide chunk buffer pool, so
+parallel requests deduplicate their fetches); updates take the server's
+write lock and run exclusively.
 
 Array values cross the wire as ``{"@array": <nested lists>}``; proxies are
 resolved server-side before serialization, so the client never needs
@@ -21,6 +28,7 @@ import json
 import socket
 import socketserver
 import threading
+from contextlib import contextmanager
 from typing import Optional
 
 from repro.arrays.nma import NumericArray
@@ -69,6 +77,54 @@ def deserialize_value(payload):
     return payload
 
 
+class _ReadWriteLock:
+    """Many concurrent readers (queries) or one writer (updates)."""
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    def acquire_read(self):
+        with self._condition:
+            while self._writing:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self):
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self):
+        with self._condition:
+            while self._writing or self._readers:
+                self._condition.wait()
+            self._writing = True
+
+    def release_write(self):
+        with self._condition:
+            self._writing = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def reading(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def writing(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self):
         for line in self.rfile:
@@ -103,14 +159,31 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         super().__init__((host, port), _Handler)
         self.ssdm = ssdm
         self._thread: Optional[threading.Thread] = None
-        self._lock = threading.Lock()
+        self._lock = _ReadWriteLock()
 
     def ssdm_dispatch(self, request):
         op = request.get("op")
         text = request.get("text", "")
+        if op == "stats":
+            return {"ok": True, "stats": self.ssdm.stats()}
+        if op == "explain":
+            from repro.client.results_format import explain_payload
+            with self._lock.reading():
+                payload = explain_payload(
+                    self.ssdm, text,
+                    objectlog=bool(request.get("objectlog")),
+                    costs=bool(request.get("costs")),
+                )
+            return {"ok": True, **payload}
         if op not in ("query", "update"):
             return {"ok": False, "error": "unknown op %r" % (op,)}
-        with self._lock:
+        # queries share the graph read-only and may overlap — the buffer
+        # pool deduplicates their chunk fetches; updates run exclusively
+        guard = (
+            self._lock.writing() if op == "update"
+            else self._lock.reading()
+        )
+        with guard:
             result = self.ssdm.execute(text)
         if isinstance(result, QueryResult):
             return {
@@ -183,3 +256,15 @@ class SSDMClient:
     def update(self, text):
         response = self._call({"op": "update", "text": text})
         return response.get("result")
+
+    def stats(self):
+        """The server's storage and buffer-pool counters."""
+        return self._call({"op": "stats"})["stats"]
+
+    def explain(self, text, objectlog=False, costs=False):
+        """EXPLAIN a query server-side; returns {plan, stats}."""
+        response = self._call({
+            "op": "explain", "text": text,
+            "objectlog": objectlog, "costs": costs,
+        })
+        return {"plan": response["plan"], "stats": response["stats"]}

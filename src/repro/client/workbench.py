@@ -47,6 +47,9 @@ class WorkbenchClient:
         #: Elements shipped to the client by fetch() calls (transfer
         #: accounting for the chapter-7 comparison).
         self.elements_transferred = 0
+        #: APR statistics of the most recent fetch(): chunks fetched,
+        #: requests issued, and the buffer-pool hit ratio.
+        self.last_fetch_stats = None
 
     # -- producing results ------------------------------------------------------
 
@@ -111,12 +114,19 @@ class WorkbenchClient:
             % (WB.base, subscript, uri.value)
         )
         value = self.ssdm.execute(query).scalar()
+        store = None
         if isinstance(value, ArrayProxy):
+            store = value.store
             value = value.resolve()
         if isinstance(value, NumericArray):
             self.elements_transferred += value.element_count
         else:
             self.elements_transferred += 1
+        if store is None:
+            # slices resolve during evaluation, through the link store
+            store = getattr(self.ssdm, "_npy_link_store", None) \
+                or getattr(self.ssdm, "array_store", None)
+        self.last_fetch_stats = getattr(store, "last_resolve_stats", None)
         return value
 
     def reduce(self, uri, op, subscript=""):

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import QueryError
 from repro.rdf.term import BlankNode, Literal, URI
 from repro.sparql import ast
@@ -42,6 +43,7 @@ def execute_update(engine, dataset, update, store_array=None):
         count = 0
         for triple in _instantiate_all(update.triples, Bindings.EMPTY):
             if graph.remove(triple[0], triple[1], triple[2]):
+                _invalidate_array(triple[2])
                 count += 1
         return count
     if isinstance(update, ast.Modify):
@@ -64,6 +66,7 @@ def execute_update(engine, dataset, update, store_array=None):
         count = 0
         for triple in deletions:
             if graph.remove(*triple):
+                _invalidate_array(triple[2])
                 count += 1
         for triple in insertions:
             value = triple[2]
@@ -75,17 +78,38 @@ def execute_update(engine, dataset, update, store_array=None):
     if isinstance(update, ast.ClearGraph):
         if update.graph == "ALL":
             count = len(dataset)
-            dataset.default_graph.clear()
-            for graph in dataset.named_graphs().values():
+            for graph in [dataset.default_graph] + list(
+                dataset.named_graphs().values()
+            ):
+                _invalidate_graph_arrays(graph)
                 graph.clear()
             return count
         graph = dataset.graph(update.graph, create=False)
         if graph is None:
             return 0
         count = len(graph)
+        _invalidate_graph_arrays(graph)
         graph.clear()
         return count
     raise QueryError("unsupported update %r" % (update,))
+
+
+def _invalidate_array(value):
+    """Drop buffer-pool entries of a deleted array value.
+
+    Deleting the triple severs the last reference SSDM tracks; stale
+    pool entries under a recycled array id must never be served.
+    """
+    if isinstance(value, ArrayProxy):
+        invalidate = getattr(value.store, "invalidate_cached", None)
+        if invalidate is not None:
+            invalidate(value.array_id)
+
+
+def _invalidate_graph_arrays(graph):
+    """Invalidate pooled chunks of every array value in a graph."""
+    for triple in list(graph.triples()):
+        _invalidate_array(triple.value)
 
 
 def _translate_where(where):

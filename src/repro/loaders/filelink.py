@@ -33,6 +33,8 @@ class NpyLinkStore(ArrayStore):
     supports_batch = True
     supports_ranges = True
     supports_aggregates = False
+    #: memory-mapped windows are safe for concurrent readers
+    thread_safe = True
 
     def __init__(self, chunk_bytes=DEFAULT_CHUNK_BYTES):
         super().__init__(chunk_bytes=chunk_bytes)

@@ -139,6 +139,27 @@ class SSDM:
         """Expose a Python callable as a SciSPARQL foreign function."""
         return self.functions.register_foreign(name, fn, cost, fanout)
 
+    def stats(self):
+        """Storage-traffic and buffer-pool counters of this instance.
+
+        Returns a dict with a ``storage`` block (the array store's
+        :class:`~repro.storage.asei.StorageStats` snapshot, or None
+        without an ``array_store``), a ``buffer_pool`` block (the chunk
+        pool's hit/miss/prefetch counters), and the store's
+        ``last_resolve`` statistics when a resolve has happened.
+        """
+        from repro.storage.bufferpool import shared_pool
+
+        store = self.array_store
+        pool = getattr(store, "buffer_pool", None)
+        if pool is None:
+            pool = shared_pool()
+        return {
+            "storage": store.stats.snapshot() if store is not None else None,
+            "buffer_pool": pool.stats(),
+            "last_resolve": getattr(store, "last_resolve_stats", None),
+        }
+
     @property
     def graph(self):
         return self.dataset.default_graph

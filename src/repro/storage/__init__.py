@@ -5,12 +5,14 @@ memory are linearized, chunked, and stored in an external system behind the
 *Array Storage Extensibility Interface* (ASEI).  Triple values then hold
 :class:`~repro.arrays.ArrayProxy` descriptors, and the array-proxy-resolve
 (APR) operator fetches exactly the chunks a query's view touches, using one
-of three retrieval strategies:
+of four retrieval strategies:
 
-- ``SINGLE`` — one back-end request per chunk;
-- ``BUFFER`` — batch up to *buffer_size* chunk ids per request (IN-lists);
-- ``SPD``    — run the Sequence Pattern Detector over the chunk-id stream
-  and issue range requests for the arithmetic subsequences it finds.
+- ``SINGLE``   — one back-end request per chunk;
+- ``BUFFER``   — batch up to *buffer_size* chunk ids per request (IN-lists);
+- ``SPD``      — run the Sequence Pattern Detector over the chunk-id stream
+  and issue range requests for the arithmetic subsequences it finds;
+- ``PREFETCH`` — SPD planning plus a parallel fetch pipeline through the
+  process-wide, instrumented chunk :class:`BufferPool`.
 
 Back-ends provided: in-memory (:class:`MemoryArrayStore`), binary files
 (:class:`FileArrayStore`), and an RDBMS via SQLite
@@ -24,6 +26,7 @@ from repro.storage.sqlstore import SqlArrayStore
 from repro.storage.sqlgraph import SqlTripleGraph
 from repro.storage.apr import APRResolver, Strategy
 from repro.storage.spd import SequencePatternDetector
+from repro.storage.bufferpool import BufferPool, set_shared_pool, shared_pool
 from repro.storage.cache import ChunkCache
 
 __all__ = [
@@ -36,5 +39,8 @@ __all__ = [
     "APRResolver",
     "Strategy",
     "SequencePatternDetector",
+    "BufferPool",
+    "shared_pool",
+    "set_shared_pool",
     "ChunkCache",
 ]

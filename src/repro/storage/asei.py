@@ -17,6 +17,9 @@ quantities the paper's experiments compare across strategies.
 
 from __future__ import annotations
 
+import itertools
+import threading
+from concurrent.futures import Future
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,15 +28,25 @@ from repro.arrays.chunks import ChunkLayout, DEFAULT_CHUNK_BYTES
 from repro.arrays.nma import ELEMENT_TYPES, NumericArray, dtype_code
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import StorageError
+from repro.storage.bufferpool import shared_pool
+
+#: Per-instance namespace tokens so many stores can share one buffer
+#: pool without their (integer) array ids colliding.
+_POOL_TOKENS = itertools.count(1)
 
 
 class StorageStats:
-    """Counters of back-end traffic, reset between measurements."""
+    """Counters of back-end traffic, reset between measurements.
+
+    Updates go through :meth:`count` under a lock so concurrent
+    prefetch workers do not lose increments.
+    """
 
     __slots__ = ("requests", "chunks_fetched", "bytes_fetched",
-                 "arrays_stored", "aggregates_delegated")
+                 "arrays_stored", "aggregates_delegated", "_lock")
 
     def __init__(self):
+        self._lock = threading.Lock()
         self.reset()
 
     def reset(self):
@@ -43,14 +56,28 @@ class StorageStats:
         self.arrays_stored = 0
         self.aggregates_delegated = 0
 
+    def count(self, **deltas):
+        """Atomically add the given deltas to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def count_fetch(self, chunks, nbytes):
+        """Record one fetch round trip; hot path, so no kwargs."""
+        with self._lock:
+            self.requests += 1
+            self.chunks_fetched += chunks
+            self.bytes_fetched += nbytes
+
     def snapshot(self):
-        return {
-            "requests": self.requests,
-            "chunks_fetched": self.chunks_fetched,
-            "bytes_fetched": self.bytes_fetched,
-            "arrays_stored": self.arrays_stored,
-            "aggregates_delegated": self.aggregates_delegated,
-        }
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "chunks_fetched": self.chunks_fetched,
+                "bytes_fetched": self.bytes_fetched,
+                "arrays_stored": self.arrays_stored,
+                "aggregates_delegated": self.aggregates_delegated,
+            }
 
     def __repr__(self):
         return "StorageStats(%r)" % (self.snapshot(),)
@@ -81,13 +108,30 @@ class ArrayStore:
     supports_batch = False
     supports_ranges = False
     supports_aggregates = False
+    #: Whether concurrent threads may call the retrieval methods.  A
+    #: back-end declaring True enables the APR prefetch pipeline to
+    #: overlap its fetches; False degrades async requests to synchronous
+    #: ones (correct, just unoverlapped).
+    thread_safe = False
 
-    def __init__(self, chunk_bytes=DEFAULT_CHUNK_BYTES):
+    def __init__(self, chunk_bytes=DEFAULT_CHUNK_BYTES, buffer_pool=None,
+                 default_strategy=None):
         self.chunk_bytes = int(chunk_bytes)
         self.stats = StorageStats()
         self._meta: Dict[object, ArrayMeta] = {}
         self._next_id = 1
         self._default_resolver = None
+        #: The chunk buffer pool this store participates in — the
+        #: process-wide pool unless a private one is injected.
+        self.buffer_pool = buffer_pool if buffer_pool is not None \
+            else shared_pool()
+        self._pool_token = next(_POOL_TOKENS)
+        #: Default APR strategy for ``resolve()`` / proxy resolution
+        #: (None -> the APR default).
+        self.default_strategy = default_strategy
+        #: Statistics of the most recent APR resolve against this store
+        #: (set by the resolver; approximate under concurrency).
+        self.last_resolve_stats = None
 
     # -- registration ---------------------------------------------------------
 
@@ -108,7 +152,10 @@ class ArrayStore:
         for chunk_id, start, count in layout.chunk_slices():
             self._write_chunk(array_id, chunk_id, flat[start:start + count])
         self._register_meta(meta)
-        self.stats.arrays_stored += 1
+        self.stats.count(arrays_stored=1)
+        # drop any stale pool entries under this id (defensive: ids may
+        # be recycled by a reopened persistent store)
+        self.invalidate_cached(array_id)
         return ArrayProxy(self, array_id, element_type, array.shape)
 
     def proxy(self, array_id):
@@ -133,15 +180,34 @@ class ArrayStore:
         self._next_id += 1
         return array_id
 
+    # -- buffer-pool participation ------------------------------------------------
+
+    def pool_key(self, array_id):
+        """This array's namespace in the shared buffer pool."""
+        return (self._pool_token, array_id)
+
+    def invalidate_cached(self, array_id=None):
+        """Drop pooled chunks of one array (or all of this store's).
+
+        Called on writes and by SPARQL Update execution when an array
+        value is deleted or replaced, so the pool never serves stale
+        chunks for a recycled array id.
+        """
+        if self.buffer_pool is None:
+            return
+        if array_id is not None:
+            self.buffer_pool.invalidate(self.pool_key(array_id))
+            return
+        for known_id in list(self._meta):
+            self.buffer_pool.invalidate(self.pool_key(known_id))
+
     # -- retrieval (back-end contract) -----------------------------------------
 
     def get_chunk(self, array_id, chunk_id):
         """One chunk as a 1-D numpy array; one round trip."""
         meta = self.meta(array_id)
         data = self._read_chunk(array_id, chunk_id)
-        self.stats.requests += 1
-        self.stats.chunks_fetched += 1
-        self.stats.bytes_fetched += data.nbytes
+        self.stats.count_fetch(1, data.nbytes)
         return data
 
     def get_chunks(self, array_id, chunk_ids):
@@ -154,9 +220,8 @@ class ArrayStore:
         if not self.supports_batch:
             return {cid: self.get_chunk(array_id, cid) for cid in chunk_ids}
         result = self._read_chunks(array_id, list(chunk_ids))
-        self.stats.requests += 1
-        self.stats.chunks_fetched += len(result)
-        self.stats.bytes_fetched += sum(a.nbytes for a in result.values())
+        self.stats.count_fetch(
+            len(result), sum(a.nbytes for a in result.values()))
         return result
 
     def get_chunk_ranges(self, array_id, ranges):
@@ -171,10 +236,30 @@ class ArrayStore:
                 chunk_ids.extend(range(first, last + 1, step))
             return self.get_chunks(array_id, chunk_ids)
         result = self._read_chunk_ranges(array_id, list(ranges))
-        self.stats.requests += 1
-        self.stats.chunks_fetched += len(result)
-        self.stats.bytes_fetched += sum(a.nbytes for a in result.values())
+        self.stats.count_fetch(
+            len(result), sum(a.nbytes for a in result.values()))
         return result
+
+    # -- asynchronous retrieval (prefetch pipeline) ---------------------------------
+
+    def get_chunks_async(self, array_id, chunk_ids, executor=None):
+        """Schedule a batched fetch; returns a Future of {id: chunk}.
+
+        On a ``thread_safe`` back-end the request runs on ``executor``
+        so callers can overlap fetches; otherwise it completes
+        synchronously (same result, no overlap).
+        """
+        chunk_ids = list(chunk_ids)
+        if executor is not None and self.thread_safe:
+            return executor.submit(self.get_chunks, array_id, chunk_ids)
+        return _completed(self.get_chunks, array_id, chunk_ids)
+
+    def get_chunk_ranges_async(self, array_id, ranges, executor=None):
+        """Schedule a range fetch; returns a Future of {id: chunk}."""
+        ranges = [tuple(r) for r in ranges]
+        if executor is not None and self.thread_safe:
+            return executor.submit(self.get_chunk_ranges, array_id, ranges)
+        return _completed(self.get_chunk_ranges, array_id, ranges)
 
     def aggregate(self, array_id, op):
         """Whole-array aggregate computed back-end-side (AAPR delegation).
@@ -196,7 +281,10 @@ class ArrayStore:
 
         if strategy is None and buffer_size is None:
             if self._default_resolver is None:
-                self._default_resolver = APRResolver(self)
+                kwargs = {}
+                if self.default_strategy is not None:
+                    kwargs["strategy"] = self.default_strategy
+                self._default_resolver = APRResolver(self, **kwargs)
             resolver = self._default_resolver
         else:
             kwargs = {}
@@ -227,3 +315,13 @@ class ArrayStore:
     def _load_meta(self, array_id):
         """Hook for back-ends that can recover metadata from persistence."""
         return None
+
+
+def _completed(fn, *args):
+    """A Future resolved synchronously with fn(*args) (or its error)."""
+    future = Future()
+    try:
+        future.set_result(fn(*args))
+    except Exception as error:  # propagate through the future contract
+        future.set_exception(error)
+    return future

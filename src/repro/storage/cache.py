@@ -1,73 +1,27 @@
-"""LRU cache of fetched chunks, shared across APR invocations.
+"""LRU cache of fetched chunks — thin alias over the buffer pool.
 
-Models the chunk buffer SSDM keeps between array accesses (dissertation
-section 6.2), so repeated queries over overlapping views do not re-fetch
-from the back-end.  Bounded by total bytes; eviction is least-recently-used.
+Historically this module held ``ChunkCache``, a single-threaded LRU map
+one APR resolver could attach privately.  It is now a subclass of the
+process-wide :class:`~repro.storage.bufferpool.BufferPool`, which keeps
+the old surface (``get``/``put``/``invalidate``/``hits``/``misses``)
+while fixing two long-standing defects:
+
+- a single chunk larger than ``max_bytes`` is *rejected* (and counted)
+  instead of being admitted and permanently blowing the byte budget;
+- entries are keyed by a two-level dict (``array_id -> {chunk_id: buf}``)
+  so per-array invalidation is O(chunks of that array), not O(pool size).
+
+New code should use :class:`~repro.storage.bufferpool.BufferPool`
+directly (usually the process-wide instance from ``shared_pool()``).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Optional, Tuple
-
-import numpy as np
+from repro.storage.bufferpool import BufferPool
 
 
-class ChunkCache:
+class ChunkCache(BufferPool):
     """Byte-bounded LRU map of (array_id, chunk_id) -> chunk buffer."""
 
     def __init__(self, max_bytes=16 * 1024 * 1024):
-        self.max_bytes = int(max_bytes)
-        self._entries: "OrderedDict[Tuple[object, int], np.ndarray]" = (
-            OrderedDict()
-        )
-        self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self):
-        return len(self._entries)
-
-    @property
-    def current_bytes(self):
-        return self._bytes
-
-    def get(self, array_id, chunk_id):
-        key = (array_id, chunk_id)
-        chunk = self._entries.get(key)
-        if chunk is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return chunk
-
-    def put(self, array_id, chunk_id, chunk):
-        key = (array_id, chunk_id)
-        if key in self._entries:
-            self._bytes -= self._entries[key].nbytes
-            self._entries.move_to_end(key)
-        self._entries[key] = chunk
-        self._bytes += chunk.nbytes
-        while self._bytes > self.max_bytes and len(self._entries) > 1:
-            _, evicted = self._entries.popitem(last=False)
-            self._bytes -= evicted.nbytes
-
-    def invalidate(self, array_id=None):
-        """Drop cached chunks of one array, or everything."""
-        if array_id is None:
-            self._entries.clear()
-            self._bytes = 0
-            return
-        doomed = [key for key in self._entries if key[0] == array_id]
-        for key in doomed:
-            self._bytes -= self._entries[key].nbytes
-            del self._entries[key]
-
-    def stats(self):
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._entries),
-            "bytes": self._bytes,
-        }
+        super().__init__(max_bytes=max_bytes)

@@ -32,6 +32,9 @@ class FileArrayStore(ArrayStore):
     supports_batch = True
     supports_ranges = True
     supports_aggregates = False
+    #: every read opens its own file handle, so concurrent prefetch
+    #: workers never share seek positions
+    thread_safe = True
 
     def __init__(self, directory, chunk_bytes=None, **kwargs):
         if chunk_bytes is not None:

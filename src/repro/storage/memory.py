@@ -22,6 +22,8 @@ class MemoryArrayStore(ArrayStore):
     supports_batch = True
     supports_ranges = True
     supports_aggregates = True
+    #: dict reads are safe under concurrent prefetch workers
+    thread_safe = True
 
     def __init__(self, chunk_bytes=None, **kwargs):
         if chunk_bytes is not None:
@@ -56,8 +58,7 @@ class MemoryArrayStore(ArrayStore):
             self._read_chunk(array_id, chunk_id)
             for chunk_id in range(meta.layout.chunk_count)
         ]
-        self.stats.requests += 1
-        self.stats.aggregates_delegated += 1
+        self.stats.count(requests=1, aggregates_delegated=1)
         flat = np.concatenate(pieces) if pieces else np.empty(0)
         if flat.size == 0:
             raise StorageError("aggregate of empty array %r" % (array_id,))

@@ -70,6 +70,26 @@ class SequencePatternDetector:
         out = self._close(final=True)
         return out
 
+    def predict(self, count):
+        """Extrapolate the next ``count`` chunk ids of the current run.
+
+        Prefetching uses this to fetch *ahead* of the demand stream: if
+        the detector holds a confirmed arithmetic run (length >=
+        ``min_run``), the ids that would extend it are the best guess
+        for what a query touching a regular view needs next.  Returns
+        ``[]`` when no run is established — predicting from noise would
+        only produce wasted prefetches.
+
+        Must be called before :meth:`flush`, which drains the run.
+        """
+        pending = self._pending
+        if (count <= 0 or self._step is None
+                or len(pending) < self.min_run):
+            return []
+        last = pending[-1]
+        step = self._step
+        return [last + step * (i + 1) for i in range(count)]
+
     def _close(self, final=False):
         pending = self._pending
         out = []

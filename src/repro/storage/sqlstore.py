@@ -18,6 +18,7 @@ clustered primary key).
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -50,6 +51,9 @@ class SqlArrayStore(ArrayStore):
     supports_batch = True
     supports_ranges = True
     supports_aggregates = True
+    #: reads share one connection but are serialized by ``_db_lock``,
+    #: so concurrent prefetch workers and server threads are safe
+    thread_safe = True
 
     #: SQLite's bound-parameter limit caps IN-list length; large buffers
     #: are split transparently.
@@ -60,12 +64,12 @@ class SqlArrayStore(ArrayStore):
             kwargs["chunk_bytes"] = chunk_bytes
         super().__init__(**kwargs)
         self.database = database
-        # access is serialized by the owning SSDM/server; allow the
-        # connection to cross threads (the TCP server handles
-        # requests on worker threads under a lock)
+        # one shared connection crossing threads: every statement runs
+        # under _db_lock (prefetch workers + TCP server threads)
         self._connection = sqlite3.connect(
             database, check_same_thread=False
         )
+        self._db_lock = threading.Lock()
         self._connection.executescript(_SCHEMA)
         self._recover_ids()
 
@@ -81,25 +85,27 @@ class SqlArrayStore(ArrayStore):
     # -- metadata persistence --------------------------------------------------
 
     def _register_meta(self, meta):
-        self._connection.execute(
-            "INSERT INTO arrays (array_id, element_type, shape,"
-            " element_count, chunk_bytes) VALUES (?, ?, ?, ?, ?)",
-            (
-                meta.array_id,
-                meta.element_type,
-                ",".join(str(e) for e in meta.shape),
-                meta.layout.element_count,
-                meta.layout.chunk_bytes,
-            ),
-        )
-        self._connection.commit()
+        with self._db_lock:
+            self._connection.execute(
+                "INSERT INTO arrays (array_id, element_type, shape,"
+                " element_count, chunk_bytes) VALUES (?, ?, ?, ?, ?)",
+                (
+                    meta.array_id,
+                    meta.element_type,
+                    ",".join(str(e) for e in meta.shape),
+                    meta.layout.element_count,
+                    meta.layout.chunk_bytes,
+                ),
+            )
+            self._connection.commit()
 
     def _load_meta(self, array_id):
-        row = self._connection.execute(
-            "SELECT element_type, shape, element_count, chunk_bytes"
-            " FROM arrays WHERE array_id=?",
-            (array_id,),
-        ).fetchone()
+        with self._db_lock:
+            row = self._connection.execute(
+                "SELECT element_type, shape, element_count, chunk_bytes"
+                " FROM arrays WHERE array_id=?",
+                (array_id,),
+            ).fetchone()
         if row is None:
             return None
         element_type, shape_text, element_count, chunk_bytes = row
@@ -111,21 +117,24 @@ class SqlArrayStore(ArrayStore):
     # -- chunk IO -----------------------------------------------------------------
 
     def _write_chunk(self, array_id, chunk_id, data):
-        self._connection.execute(
-            "INSERT OR REPLACE INTO chunks (array_id, chunk_id, data)"
-            " VALUES (?, ?, ?)",
-            (array_id, chunk_id, np.ascontiguousarray(data).tobytes()),
-        )
+        with self._db_lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO chunks (array_id, chunk_id, data)"
+                " VALUES (?, ?, ?)",
+                (array_id, chunk_id, np.ascontiguousarray(data).tobytes()),
+            )
 
     def _decode(self, array_id, blob):
         dtype = ELEMENT_TYPES[self.meta(array_id).element_type]
         return np.frombuffer(blob, dtype=dtype)
 
     def _read_chunk(self, array_id, chunk_id):
-        row = self._connection.execute(
-            "SELECT data FROM chunks WHERE array_id=? AND chunk_id=?",
-            (array_id, chunk_id),
-        ).fetchone()
+        self.meta(array_id)  # resolve metadata before taking the lock
+        with self._db_lock:
+            row = self._connection.execute(
+                "SELECT data FROM chunks WHERE array_id=? AND chunk_id=?",
+                (array_id, chunk_id),
+            ).fetchone()
         if row is None:
             raise StorageError(
                 "missing chunk %r of array %r" % (chunk_id, array_id)
@@ -133,16 +142,18 @@ class SqlArrayStore(ArrayStore):
         return self._decode(array_id, row[0])
 
     def _read_chunks(self, array_id, chunk_ids):
+        self.meta(array_id)
         result = {}
         unique = sorted(set(chunk_ids))
         for start in range(0, len(unique), self.MAX_IN_LIST):
             batch = unique[start:start + self.MAX_IN_LIST]
             placeholders = ",".join("?" * len(batch))
-            rows = self._connection.execute(
-                "SELECT chunk_id, data FROM chunks"
-                " WHERE array_id=? AND chunk_id IN (%s)" % placeholders,
-                [array_id] + batch,
-            ).fetchall()
+            with self._db_lock:
+                rows = self._connection.execute(
+                    "SELECT chunk_id, data FROM chunks"
+                    " WHERE array_id=? AND chunk_id IN (%s)" % placeholders,
+                    [array_id] + batch,
+                ).fetchall()
             for chunk_id, blob in rows:
                 result[chunk_id] = self._decode(array_id, blob)
         missing = set(unique) - set(result)
@@ -153,21 +164,23 @@ class SqlArrayStore(ArrayStore):
         return result
 
     def _read_chunk_ranges(self, array_id, ranges):
+        self.meta(array_id)
         result = {}
         for first, last, step in ranges:
-            if step == 1:
-                rows = self._connection.execute(
-                    "SELECT chunk_id, data FROM chunks"
-                    " WHERE array_id=? AND chunk_id BETWEEN ? AND ?",
-                    (array_id, first, last),
-                ).fetchall()
-            else:
-                rows = self._connection.execute(
-                    "SELECT chunk_id, data FROM chunks"
-                    " WHERE array_id=? AND chunk_id BETWEEN ? AND ?"
-                    " AND (chunk_id - ?) % ? = 0",
-                    (array_id, first, last, first, step),
-                ).fetchall()
+            with self._db_lock:
+                if step == 1:
+                    rows = self._connection.execute(
+                        "SELECT chunk_id, data FROM chunks"
+                        " WHERE array_id=? AND chunk_id BETWEEN ? AND ?",
+                        (array_id, first, last),
+                    ).fetchall()
+                else:
+                    rows = self._connection.execute(
+                        "SELECT chunk_id, data FROM chunks"
+                        " WHERE array_id=? AND chunk_id BETWEEN ? AND ?"
+                        " AND (chunk_id - ?) % ? = 0",
+                        (array_id, first, last, first, step),
+                    ).fetchall()
             for chunk_id, blob in rows:
                 result[chunk_id] = self._decode(array_id, blob)
         return result
@@ -184,15 +197,17 @@ class SqlArrayStore(ArrayStore):
             raise StorageError("unknown aggregate %r" % (op,))
         meta = self.meta(array_id)
         dtype = ELEMENT_TYPES[meta.element_type]
-        cursor = self._connection.execute(
-            "SELECT data FROM chunks WHERE array_id=? ORDER BY chunk_id",
-            (array_id,),
-        )
+        with self._db_lock:
+            rows = self._connection.execute(
+                "SELECT data FROM chunks WHERE array_id=?"
+                " ORDER BY chunk_id",
+                (array_id,),
+            ).fetchall()
         total = 0.0
         count = 0
         low = None
         high = None
-        for (blob,) in cursor:
+        for (blob,) in rows:
             piece = np.frombuffer(blob, dtype=dtype)
             if piece.size == 0:
                 continue
@@ -202,8 +217,7 @@ class SqlArrayStore(ArrayStore):
             piece_max = float(np.max(piece))
             low = piece_min if low is None else min(low, piece_min)
             high = piece_max if high is None else max(high, piece_max)
-        self.stats.requests += 1
-        self.stats.aggregates_delegated += 1
+        self.stats.count(requests=1, aggregates_delegated=1)
         if count == 0:
             raise StorageError("aggregate of empty array %r" % (array_id,))
         if op == "sum":

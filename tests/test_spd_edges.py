@@ -1,0 +1,108 @@
+"""Edge cases of the Sequence Pattern Detector (SPD).
+
+Boundary run lengths, non-increasing streams, duplicates, the
+order-preservation invariant the APR layer depends on, and the
+``predict`` extrapolation the prefetch pipeline uses.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.spd import (
+    RANGE, SINGLE, SequencePatternDetector, detect_patterns,
+)
+
+
+def expand(emissions):
+    """Flatten emissions back into the chunk-id stream they encode."""
+    out = []
+    for emission in emissions:
+        if emission[0] == RANGE:
+            _, first, last, step = emission
+            out.extend(range(first, last + 1, step))
+        else:
+            out.append(emission[1])
+    return out
+
+
+class TestMinRunBoundary:
+    def test_run_of_exactly_min_run_becomes_a_range(self):
+        assert detect_patterns([0, 1, 2], min_run=3) == [(RANGE, 0, 2, 1)]
+
+    def test_run_one_short_of_min_run_stays_singles(self):
+        assert detect_patterns([0, 1], min_run=3) == [
+            (SINGLE, 0), (SINGLE, 1)
+        ]
+
+    def test_boundary_respects_custom_min_run(self):
+        assert detect_patterns([5, 10], min_run=2) == [(RANGE, 5, 10, 5)]
+        assert detect_patterns([5], min_run=2) == [(SINGLE, 5)]
+
+    def test_run_at_boundary_then_tail(self):
+        assert detect_patterns([0, 2, 4, 9], min_run=3) == [
+            (RANGE, 0, 4, 2), (SINGLE, 9)
+        ]
+
+
+class TestDescending:
+    def test_descending_sequence_never_forms_ranges(self):
+        emissions = detect_patterns([9, 7, 5, 3, 1], min_run=3)
+        assert emissions == [(SINGLE, cid) for cid in (9, 7, 5, 3, 1)]
+
+    def test_descending_then_ascending_recovers(self):
+        emissions = detect_patterns([5, 4, 10, 11, 12], min_run=3)
+        assert (RANGE, 10, 12, 1) in emissions
+        assert expand(emissions) == [5, 4, 10, 11, 12]
+
+
+class TestDuplicates:
+    def test_duplicate_ids_emit_as_singles(self):
+        emissions = detect_patterns([3, 3, 3], min_run=3)
+        assert emissions == [(SINGLE, 3)] * 3
+
+    def test_duplicate_breaks_a_run_but_keeps_every_id(self):
+        emissions = detect_patterns([0, 1, 2, 2, 3], min_run=3)
+        assert expand(emissions) == [0, 1, 2, 2, 3]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ids=st.lists(st.integers(min_value=0, max_value=200), max_size=60),
+    min_run=st.integers(min_value=2, max_value=5),
+)
+def test_emissions_reconstruct_the_input_stream(ids, min_run):
+    """Every chunk id appears exactly once, in feed order — the
+    invariant that makes SPD-planned fetches complete and orderable."""
+    assert expand(detect_patterns(ids, min_run=min_run)) == ids
+
+
+class TestPredict:
+    def test_no_prediction_before_a_confirmed_run(self):
+        spd = SequencePatternDetector(min_run=3)
+        for cid in (0, 1):
+            spd.feed(cid)
+        assert spd.predict(4) == []
+
+    def test_extrapolates_a_confirmed_run(self):
+        spd = SequencePatternDetector(min_run=3)
+        for cid in (0, 2, 4):
+            spd.feed(cid)
+        assert spd.predict(3) == [6, 8, 10]
+
+    def test_zero_count_and_flushed_state_predict_nothing(self):
+        spd = SequencePatternDetector(min_run=3)
+        for cid in (0, 1, 2):
+            spd.feed(cid)
+        assert spd.predict(0) == []
+        spd.flush()
+        assert spd.predict(4) == []
+
+    def test_prediction_does_not_disturb_emissions(self):
+        spd = SequencePatternDetector(min_run=3)
+        emissions = []
+        for cid in (0, 1, 2, 3):
+            emissions.extend(spd.feed(cid))
+        spd.predict(8)
+        emissions.extend(spd.flush())
+        assert emissions == [(RANGE, 0, 3, 1)]
