@@ -1,9 +1,14 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-check
+.PHONY: test test-robustness bench bench-check
 
 test:
 	$(PY) -m pytest -x -q
+
+# Request-lifecycle suites: deadlines, cancellation, fair locking,
+# retry/reconnect, and the fault-injection harness (also run by `test`)
+test-robustness:
+	$(PY) -m pytest tests/test_lifecycle.py tests/test_server_extras.py -q
 
 bench:
 	$(PY) -m pytest benchmarks -q --benchmark-only \

@@ -32,7 +32,10 @@ from repro.storage import (
 )
 from repro.exceptions import (
     SciSparqlError, ParseError, QueryError, EvaluationError, StorageError,
+    RequestTimeoutError, RequestCancelledError, ServerOverloadedError,
+    ConnectionClosedError,
 )
+from repro.lifecycle import Deadline, current_deadline, deadline_scope
 
 __version__ = "1.0.0"
 
@@ -65,5 +68,12 @@ __all__ = [
     "QueryError",
     "EvaluationError",
     "StorageError",
+    "RequestTimeoutError",
+    "RequestCancelledError",
+    "ServerOverloadedError",
+    "ConnectionClosedError",
+    "Deadline",
+    "current_deadline",
+    "deadline_scope",
     "__version__",
 ]

@@ -4,18 +4,29 @@ SSDM can run stand-alone, client-server, or peer-to-peer (section 5.1);
 this module provides the client-server mode over a line-delimited JSON
 protocol on TCP:
 
-    request:  {"op": "query",  "text": "<SciSPARQL>"}
+    request:  {"op": "query",  "text": "<SciSPARQL>", "timeout_ms": 500}
     request:  {"op": "update", "text": "<SciSPARQL update>"}
     request:  {"op": "stats"}
     request:  {"op": "explain", "text": "<SciSPARQL>"}
     response: {"ok": true, "columns": [...], "rows": [[...], ...]}
               {"ok": true, "result": <bool-or-int>}
               {"ok": true, "stats": {...}} / {"ok": true, "plan": "..."}
-              {"ok": false, "error": "..."}
+              {"ok": false, "code": "TIMEOUT", "error": "...",
+               "retryable": false}
 
 Queries run concurrently (sharing the process-wide chunk buffer pool, so
 parallel requests deduplicate their fetches); updates take the server's
-write lock and run exclusively.
+write lock and run exclusively.  The lock is writer-fair: a queued update
+blocks *new* readers, so a continuous query stream cannot starve updates.
+
+Request lifecycle (see ``docs/LANGUAGE.md``): each request is minted a
+:class:`~repro.lifecycle.Deadline` from its ``timeout_ms`` field (falling
+back to the server's ``default_timeout_ms``); engine and storage loops
+poll it cooperatively, and expiry surfaces as an ``{"ok": false, "code":
+"TIMEOUT"}`` response with the handler thread, read lock, and buffer-pool
+pins all released.  Admission control sheds requests beyond
+``max_concurrent`` with code ``OVERLOAD`` instead of queueing unboundedly;
+the client retries retryable failures with exponential backoff.
 
 Array values cross the wire as ``{"@array": <nested lists>}``; proxies are
 resolved server-side before serialization, so the client never needs
@@ -28,12 +39,21 @@ import json
 import socket
 import socketserver
 import threading
+import time
 from contextlib import contextmanager
 from typing import Optional
 
 from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
-from repro.exceptions import SciSparqlError
+from repro.exceptions import (
+    ConnectionClosedError,
+    RequestTimeoutError,
+    SciSparqlError,
+    ServerOverloadedError,
+    error_code,
+    error_from_code,
+)
+from repro.lifecycle import Deadline, deadline_scope
 from repro.rdf.term import BlankNode, Literal, URI
 from repro.ssdm import SSDM, QueryResult
 
@@ -68,6 +88,11 @@ def deserialize_value(payload):
         if "@bnode" in payload:
             return BlankNode(payload["@bnode"])
         if "@literal" in payload:
+            lang = payload.get("lang")
+            if lang:
+                # language-tagged string: reconstruct the tag (the
+                # datatype is implied to be rdf:langString)
+                return Literal(payload["@literal"], lang=lang)
             return Literal.from_lexical(
                 payload["@literal"], URI(payload["datatype"])
             )
@@ -78,18 +103,42 @@ def deserialize_value(payload):
 
 
 class _ReadWriteLock:
-    """Many concurrent readers (queries) or one writer (updates)."""
+    """Many concurrent readers (queries) or one writer (updates).
+
+    Writer-fair: while a writer is queued, *new* readers block (readers
+    already inside drain first), so a continuous query stream cannot
+    starve updates.  Both acquire methods take an optional timeout and
+    return False on expiry, letting a request whose deadline passes
+    while waiting for the lock give up instead of blocking its handler
+    thread indefinitely.
+    """
 
     def __init__(self):
         self._condition = threading.Condition()
         self._readers = 0
         self._writing = False
+        self._writers_waiting = 0
 
-    def acquire_read(self):
+    def _wait(self, end):
+        """One condition wait bounded by the monotonic ``end`` time;
+        returns False when the budget is already exhausted."""
+        if end is None:
+            self._condition.wait()
+            return True
+        left = end - time.monotonic()
+        if left <= 0:
+            return False
+        self._condition.wait(left)
+        return True
+
+    def acquire_read(self, timeout=None):
+        end = None if timeout is None else time.monotonic() + timeout
         with self._condition:
-            while self._writing:
-                self._condition.wait()
+            while self._writing or self._writers_waiting:
+                if not self._wait(end):
+                    return False
             self._readers += 1
+            return True
 
     def release_read(self):
         with self._condition:
@@ -97,11 +146,21 @@ class _ReadWriteLock:
             if self._readers == 0:
                 self._condition.notify_all()
 
-    def acquire_write(self):
+    def acquire_write(self, timeout=None):
+        end = None if timeout is None else time.monotonic() + timeout
         with self._condition:
-            while self._writing or self._readers:
-                self._condition.wait()
-            self._writing = True
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    if not self._wait(end):
+                        return False
+                self._writing = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+                if not self._writers_waiting and not self._writing:
+                    # a timed-out writer leaves: unblock queued readers
+                    self._condition.notify_all()
 
     def release_write(self):
         with self._condition:
@@ -109,20 +168,33 @@ class _ReadWriteLock:
             self._condition.notify_all()
 
     @contextmanager
-    def reading(self):
-        self.acquire_read()
+    def reading(self, deadline=None):
+        if not self.acquire_read(_lock_budget(deadline)):
+            raise RequestTimeoutError(
+                "timed out waiting for the server's read lock"
+            )
         try:
             yield
         finally:
             self.release_read()
 
     @contextmanager
-    def writing(self):
-        self.acquire_write()
+    def writing(self, deadline=None):
+        if not self.acquire_write(_lock_budget(deadline)):
+            raise RequestTimeoutError(
+                "timed out waiting for the server's write lock"
+            )
         try:
             yield
         finally:
             self.release_write()
+
+
+def _lock_budget(deadline):
+    """Seconds a lock acquisition may wait under ``deadline``."""
+    if deadline is None:
+        return None
+    return deadline.remaining()
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -134,16 +206,48 @@ class _Handler(socketserver.StreamRequestHandler):
             try:
                 request = json.loads(line.decode("utf-8"))
                 response = self.server.ssdm_dispatch(request)
+            except SciSparqlError as error:
+                response = _error_response(error)
             except Exception as error:
-                response = {"ok": False, "error": str(error)}
-            self.wfile.write(
-                (json.dumps(response) + "\n").encode("utf-8")
-            )
-            self.wfile.flush()
+                response = {
+                    "ok": False, "code": "INTERNAL", "error": str(error),
+                    "retryable": False,
+                }
+            try:
+                payload = json.dumps(response)
+            except (TypeError, ValueError) as error:
+                # a non-JSON-serializable value reached the response
+                # (e.g. inside an {"@repr": ...} payload): never kill
+                # the connection without an answer
+                payload = json.dumps({
+                    "ok": False, "code": "INTERNAL",
+                    "error": "response not serializable: %s" % (error,),
+                    "retryable": False,
+                })
+            try:
+                self.wfile.write((payload + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except OSError:
+                return           # client went away mid-response
+
+
+def _error_response(error):
+    return {
+        "ok": False,
+        "code": error_code(error),
+        "error": str(error),
+        "retryable": bool(getattr(error, "retryable", False)),
+    }
 
 
 class SSDMServer(socketserver.ThreadingTCPServer):
     """Serves one SSDM instance on a TCP port.
+
+    ``default_timeout_ms`` bounds every request that does not carry its
+    own ``timeout_ms`` field (None = unbounded); ``max_concurrent``
+    caps simultaneously executing query/update/explain requests —
+    excess requests are shed immediately with an ``OVERLOAD`` error
+    (``stats`` requests always pass, so monitoring works under load).
 
     >>> server = SSDMServer(SSDM(), port=0)   # 0 = ephemeral port
     >>> port = server.server_address[1]
@@ -155,36 +259,75 @@ class SSDMServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, ssdm, host="127.0.0.1", port=0):
+    def __init__(self, ssdm, host="127.0.0.1", port=0,
+                 default_timeout_ms=None, max_concurrent=64):
         super().__init__((host, port), _Handler)
         self.ssdm = ssdm
         self._thread: Optional[threading.Thread] = None
         self._lock = _ReadWriteLock()
+        self.default_timeout_ms = default_timeout_ms
+        self.max_concurrent = (
+            None if max_concurrent is None else int(max_concurrent)
+        )
+        self._admission = threading.Lock()
+        self._active = 0
+        #: Lifecycle counters, surfaced in the ``stats`` op.
+        self._counters = {
+            "requests": 0, "timeouts": 0, "shed": 0, "errors": 0,
+        }
+
+    # -- request dispatch --------------------------------------------------------
 
     def ssdm_dispatch(self, request):
         op = request.get("op")
-        text = request.get("text", "")
         if op == "stats":
-            return {"ok": True, "stats": self.ssdm.stats()}
+            return {"ok": True, "stats": self._stats_payload()}
+        if op not in ("query", "update", "explain"):
+            return {"ok": False, "code": "BAD_REQUEST",
+                    "error": "unknown op %r" % (op,), "retryable": False}
+        deadline = self._deadline_for(request)
+        if not self._admit():
+            return _error_response(ServerOverloadedError(
+                "server is at its concurrent-request limit (%d)"
+                % self.max_concurrent
+            ))
+        try:
+            with deadline_scope(deadline):
+                return self._dispatch_admitted(op, request, deadline)
+        except SciSparqlError as error:
+            code = error_code(error)
+            with self._admission:
+                if code in ("TIMEOUT", "CANCELLED"):
+                    self._counters["timeouts"] += 1
+                else:
+                    self._counters["errors"] += 1
+            return _error_response(error)
+        finally:
+            with self._admission:
+                self._active -= 1
+
+    def _dispatch_admitted(self, op, request, deadline):
+        text = request.get("text", "")
         if op == "explain":
             from repro.client.results_format import explain_payload
-            with self._lock.reading():
+            with self._lock.reading(deadline):
                 payload = explain_payload(
                     self.ssdm, text,
                     objectlog=bool(request.get("objectlog")),
                     costs=bool(request.get("costs")),
                 )
             return {"ok": True, **payload}
-        if op not in ("query", "update"):
-            return {"ok": False, "error": "unknown op %r" % (op,)}
         # queries share the graph read-only and may overlap — the buffer
         # pool deduplicates their chunk fetches; updates run exclusively
         guard = (
-            self._lock.writing() if op == "update"
-            else self._lock.reading()
+            self._lock.writing(deadline) if op == "update"
+            else self._lock.reading(deadline)
         )
         with guard:
             result = self.ssdm.execute(text)
+        # serialization stays under the deadline (it may resolve array
+        # proxies) but outside the lock, so slow transfers don't block
+        # writers
         if isinstance(result, QueryResult):
             return {
                 "ok": True,
@@ -203,6 +346,42 @@ class SSDMServer(socketserver.ThreadingTCPServer):
             return {"ok": True, "ntriples": result.to_ntriples()}
         return {"ok": True, "result": repr(result)}
 
+    def _deadline_for(self, request):
+        timeout_ms = request.get("timeout_ms", self.default_timeout_ms)
+        if timeout_ms is None:
+            return Deadline(None)
+        try:
+            timeout_ms = float(timeout_ms)
+        except (TypeError, ValueError):
+            raise SciSparqlError(
+                "timeout_ms must be a number, got %r" % (timeout_ms,)
+            )
+        return Deadline.after_ms(timeout_ms)
+
+    def _admit(self):
+        with self._admission:
+            self._counters["requests"] += 1
+            if (
+                self.max_concurrent is not None
+                and self._active >= self.max_concurrent
+            ):
+                self._counters["shed"] += 1
+                return False
+            self._active += 1
+            return True
+
+    def _stats_payload(self):
+        stats = self.ssdm.stats()
+        with self._admission:
+            stats["server"] = dict(
+                self._counters,
+                active=self._active,
+                max_concurrent=self.max_concurrent,
+            )
+        return stats
+
+    # -- process control ---------------------------------------------------------
+
     def start(self):
         self._thread = threading.Thread(
             target=self.serve_forever, daemon=True
@@ -216,33 +395,117 @@ class SSDMServer(socketserver.ThreadingTCPServer):
 
 
 class SSDMClient:
-    """Blocking client for :class:`SSDMServer`."""
+    """Blocking client for :class:`SSDMServer` with retry + reconnect.
 
-    def __init__(self, host="127.0.0.1", port=0, timeout=30.0):
-        self._socket = socket.create_connection((host, port), timeout)
-        self._file = self._socket.makefile("rwb")
+    Server-reported errors surface as the typed exceptions of
+    :mod:`repro.exceptions` (``TIMEOUT`` ->
+    :class:`~repro.exceptions.RequestTimeoutError`, ``PARSE`` ->
+    :class:`~repro.exceptions.ParseError`, ...).  Retryable failures —
+    an ``OVERLOAD`` shed or a dropped connection — are retried up to
+    ``retries`` times with exponential backoff (``backoff`` seconds
+    doubling each attempt by default), re-establishing the connection
+    first when it was lost.  Updates are retried only after an
+    ``OVERLOAD`` (the request was never admitted); a connection lost
+    mid-update is never replayed, because the server may already have
+    applied it.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, timeout=30.0,
+                 retries=2, backoff=0.05, backoff_factor=2.0):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_factor = float(backoff_factor)
         #: Bytes received from the server, for transfer-volume accounting.
         self.bytes_received = 0
+        #: Retry attempts performed over this client's lifetime.
+        self.retries_performed = 0
+        self._socket = None
+        self._file = None
+        self._connect()
+
+    def _connect(self):
+        self._socket = socket.create_connection(
+            (self._host, self._port), self._timeout
+        )
+        self._file = self._socket.makefile("rwb")
 
     def close(self):
-        self._file.close()
-        self._socket.close()
+        if self._file is not None:
+            self._file.close()
+            self._socket.close()
+            self._file = None
+            self._socket = None
 
-    def _call(self, request):
-        self._file.write((json.dumps(request) + "\n").encode("utf-8"))
-        self._file.flush()
-        line = self._file.readline()
+    def _reconnect(self):
+        try:
+            self.close()
+        except OSError:
+            self._file = None
+            self._socket = None
+        self._connect()
+
+    def _call(self, request, idempotent=True):
+        delay = self.backoff
+        failure = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.retries_performed += 1
+                time.sleep(delay)
+                delay *= self.backoff_factor
+            try:
+                if self._file is None:
+                    self._connect()
+                return self._call_once(request)
+            except ConnectionClosedError as error:
+                failure = error
+                try:
+                    self._reconnect()
+                except OSError as network:
+                    failure = ConnectionClosedError(
+                        "reconnect to %s:%s failed: %s"
+                        % (self._host, self._port, network)
+                    )
+                if not idempotent:
+                    # the lost request may have been applied server-side
+                    raise failure
+            except ServerOverloadedError as error:
+                failure = error      # shed pre-execution: always safe
+            except SciSparqlError:
+                raise                # typed server error: not retryable
+        raise failure
+
+    def _call_once(self, request):
+        try:
+            self._file.write((json.dumps(request) + "\n").encode("utf-8"))
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as error:
+            raise ConnectionClosedError(
+                "connection to the server lost: %s" % (error,)
+            )
+        if not line:
+            raise ConnectionClosedError(
+                "server closed the connection before responding"
+            )
         self.bytes_received += len(line)
         response = json.loads(line.decode("utf-8"))
         if not response.get("ok"):
-            raise SciSparqlError(
-                "server error: %s" % response.get("error")
+            raise error_from_code(
+                response.get("code", "INTERNAL"),
+                "server error: %s" % response.get("error"),
             )
         return response
 
-    def query(self, text):
-        """Run a SELECT/ASK; returns QueryResult or bool."""
-        response = self._call({"op": "query", "text": text})
+    def query(self, text, timeout_ms=None):
+        """Run a SELECT/ASK; returns QueryResult or bool.
+
+        ``timeout_ms`` bounds the server-side execution; expiry raises
+        :class:`~repro.exceptions.RequestTimeoutError`.
+        """
+        response = self._call(_request("query", text, timeout_ms))
         if "columns" in response:
             rows = [
                 tuple(deserialize_value(v) for v in row)
@@ -253,12 +516,14 @@ class SSDMClient:
             return response["ntriples"]
         return response.get("result")
 
-    def update(self, text):
-        response = self._call({"op": "update", "text": text})
+    def update(self, text, timeout_ms=None):
+        response = self._call(
+            _request("update", text, timeout_ms), idempotent=False
+        )
         return response.get("result")
 
     def stats(self):
-        """The server's storage and buffer-pool counters."""
+        """The server's storage, buffer-pool, and lifecycle counters."""
         return self._call({"op": "stats"})["stats"]
 
     def explain(self, text, objectlog=False, costs=False):
@@ -268,3 +533,10 @@ class SSDMClient:
             "objectlog": objectlog, "costs": costs,
         })
         return {"plan": response["plan"], "stats": response["stats"]}
+
+
+def _request(op, text, timeout_ms):
+    request = {"op": op, "text": text}
+    if timeout_ms is not None:
+        request["timeout_ms"] = timeout_ms
+    return request

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import EvaluationError, QueryError
+from repro.lifecycle import current_deadline
 from repro.rdf.term import BlankNode, Literal, URI, term_key
 from repro.sparql import ast
 from repro.algebra import logical
@@ -46,10 +47,19 @@ class QueryEngine:
     # -- public API -------------------------------------------------------------
 
     def run(self, plan, graph=None, initial=None):
-        """Evaluate a plan; yields Bindings."""
+        """Evaluate a plan; yields Bindings.
+
+        The ambient request deadline (when one is installed) is polled
+        once per produced solution, so a query generating an unbounded
+        solution stream is cancellable between results.
+        """
         graph = graph if graph is not None else self.dataset.default_graph
         inputs = [initial if initial is not None else Bindings.EMPTY]
-        yield from self._eval(plan, iter(inputs), graph)
+        deadline = current_deadline()
+        for solution in self._eval(plan, iter(inputs), graph):
+            if deadline is not None:
+                deadline.check()
+            yield solution
 
     # -- dispatcher --------------------------------------------------------------
 
@@ -66,24 +76,34 @@ class QueryEngine:
 
     def _eval_BGP(self, node, inputs, graph):
         patterns = node.patterns
+        deadline = current_deadline()
         for bindings in inputs:
-            yield from self._match_patterns(patterns, 0, bindings, graph)
+            if deadline is not None:
+                deadline.check()
+            yield from self._match_patterns(
+                patterns, 0, bindings, graph, deadline
+            )
 
-    def _match_patterns(self, patterns, index, bindings, graph):
+    def _match_patterns(self, patterns, index, bindings, graph,
+                        deadline=None):
         if index == len(patterns):
             yield bindings
             return
         pattern = patterns[index]
-        for extended in self._match_one(pattern, bindings, graph):
+        for extended in self._match_one(pattern, bindings, graph, deadline):
             yield from self._match_patterns(
-                patterns, index + 1, extended, graph
+                patterns, index + 1, extended, graph, deadline
             )
 
-    def _match_one(self, pattern, bindings, graph):
+    def _match_one(self, pattern, bindings, graph, deadline=None):
         subject = self._resolve(pattern.subject, bindings)
         predicate = self._resolve(pattern.predicate, bindings)
         value = self._resolve_value(pattern.value, bindings)
         for triple in graph.triples(subject, predicate, value):
+            # poll inside the innermost scan: a selective pattern over a
+            # large graph may iterate long without producing a solution
+            if deadline is not None and deadline.expired():
+                deadline.check()
             extended = bindings
             consistent = True
             for component, found in (
@@ -115,12 +135,15 @@ class QueryEngine:
         return component
 
     def _eval_PathScan(self, node, inputs, graph):
+        deadline = current_deadline()
         for bindings in inputs:
             subject = self._resolve(node.subject, bindings)
             value = self._resolve_value(node.value, bindings)
             for found_subject, found_value in path_eval.eval_path(
                 graph, node.path, subject, value
             ):
+                if deadline is not None and deadline.expired():
+                    deadline.check()
                 extended = bindings
                 consistent = True
                 for component, found in (

@@ -5,6 +5,16 @@ one base class.  Parse errors carry position information; query-evaluation
 errors follow the SPARQL convention of being *suppressible* inside FILTER
 expressions (an error there makes the filter fail rather than aborting the
 whole query, see dissertation section 3.6 "Error Handling").
+
+Request-lifecycle errors (timeout, cancellation, overload, lost
+connection) deliberately do NOT derive from :class:`EvaluationError`, so
+they are never suppressed by FILTER/BIND error semantics: an expired
+deadline aborts the whole query no matter where the engine happens to be.
+
+Every error class carries a wire ``code`` and a ``retryable`` flag; the
+client/server protocol ships ``{"ok": false, "code": ..., "error": ...}``
+and :func:`error_from_code` maps the code back to the matching typed
+exception on the client side.
 """
 
 from __future__ import annotations
@@ -13,6 +23,11 @@ from __future__ import annotations
 class SciSparqlError(Exception):
     """Base class for all errors raised by this library."""
 
+    #: Wire-protocol error code (see ``docs/LANGUAGE.md``).
+    code = "INTERNAL"
+    #: Whether a client may transparently retry the request.
+    retryable = False
+
 
 class ParseError(SciSparqlError):
     """Syntax error in a SciSPARQL query or an RDF serialization.
@@ -20,6 +35,8 @@ class ParseError(SciSparqlError):
     Carries the 1-based ``line`` and ``column`` of the offending token when
     they are known.
     """
+
+    code = "PARSE"
 
     def __init__(self, message, line=None, column=None):
         self.line = line
@@ -32,6 +49,8 @@ class ParseError(SciSparqlError):
 class QueryError(SciSparqlError):
     """Semantic error detected while translating or optimizing a query."""
 
+    code = "EVAL"
+
 
 class EvaluationError(SciSparqlError):
     """Runtime error while evaluating an expression.
@@ -40,6 +59,8 @@ class EvaluationError(SciSparqlError):
     inside a FILTER they eliminate the candidate solution, and in a SELECT
     expression they produce an unbound value.
     """
+
+    code = "EVAL"
 
 
 class TypeMismatchError(EvaluationError):
@@ -53,6 +74,8 @@ class ArrayBoundsError(EvaluationError):
 class StorageError(SciSparqlError):
     """Failure in an array-storage back-end (ASEI implementation)."""
 
+    code = "STORAGE"
+
 
 class UnknownFunctionError(EvaluationError):
     """A query referenced a function that has not been defined.
@@ -61,3 +84,75 @@ class UnknownFunctionError(EvaluationError):
     expression error: inside a FILTER it eliminates the candidate
     solution rather than aborting the query.
     """
+
+
+# -- request-lifecycle errors -------------------------------------------------------
+
+
+class RequestCancelledError(SciSparqlError):
+    """The request's cancellation token was triggered.
+
+    Deliberately not an :class:`EvaluationError`: cancellation aborts the
+    whole query instead of being suppressed by FILTER semantics.
+    """
+
+    code = "CANCELLED"
+
+
+class RequestTimeoutError(RequestCancelledError):
+    """The request ran past its deadline and was cooperatively aborted."""
+
+    code = "TIMEOUT"
+
+
+class ServerOverloadedError(SciSparqlError):
+    """The server shed this request at admission (connection limit).
+
+    Always safe to retry: the request was rejected before any part of it
+    executed.
+    """
+
+    code = "OVERLOAD"
+    retryable = True
+
+
+class ConnectionClosedError(SciSparqlError):
+    """The server connection dropped before a response arrived.
+
+    Retryable for idempotent requests (queries); an update interrupted
+    mid-request may or may not have been applied, so the client refuses
+    to retry it transparently.
+    """
+
+    code = "CONNECTION"
+    retryable = True
+
+
+# -- wire-protocol error code mapping ------------------------------------------------
+
+_CODE_CLASSES = {
+    "TIMEOUT": RequestTimeoutError,
+    "CANCELLED": RequestCancelledError,
+    "PARSE": ParseError,
+    "EVAL": QueryError,
+    "STORAGE": StorageError,
+    "OVERLOAD": ServerOverloadedError,
+    "CONNECTION": ConnectionClosedError,
+}
+
+
+def error_code(error):
+    """The wire code for an exception (INTERNAL for foreign ones)."""
+    if isinstance(error, SciSparqlError):
+        return error.code
+    return "INTERNAL"
+
+
+def error_from_code(code, message):
+    """Rebuild the typed exception for a server-reported error code.
+
+    Unknown codes degrade to the :class:`SciSparqlError` base class so
+    old clients keep working against newer servers.
+    """
+    cls = _CODE_CLASSES.get(code, SciSparqlError)
+    return cls(message)

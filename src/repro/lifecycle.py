@@ -1,0 +1,163 @@
+"""Request lifecycle: deadlines and cooperative cancellation.
+
+The server mints one :class:`Deadline` per request (default budget plus a
+per-request ``timeout_ms`` override) and installs it as the *ambient*
+deadline of the handler thread.  Long-running loops down the stack — the
+engine's solution iteration, APR's fetch pipeline, ASEI batched reads —
+poll the ambient deadline at their loop boundaries, so a timed-out query
+stops consuming CPU, releases its buffer-pool pins, and surfaces a typed
+:class:`~repro.exceptions.RequestTimeoutError` instead of holding a
+handler thread (and the server's read lock) forever.
+
+Cancellation is cooperative: nothing is interrupted preemptively, which
+keeps invariants simple — every ``finally`` block on the unwind path runs
+(pins are unpinned, in-flight claims failed, locks released).  The cost is
+that a loop which never polls cannot be cancelled; the polling points
+cover every loop that does storage I/O or unbounded solution generation.
+
+Threads fetching on behalf of a request (the APR prefetch pool) do not
+inherit thread-local state, so :meth:`ArrayStore.get_chunks_async
+<repro.storage.asei.ArrayStore>` captures the ambient deadline at submit
+time and re-installs it inside the worker via :func:`deadline_scope`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.exceptions import RequestCancelledError, RequestTimeoutError
+
+#: Granularity of cooperative sleeps: how quickly a sleeping worker
+#: notices an expired deadline or a cancel() from another thread.
+_SLEEP_SLICE_SECONDS = 0.02
+
+
+class Deadline:
+    """A cancellation token with an optional wall-clock budget.
+
+    ``timeout_seconds=None`` makes an unbounded token that can still be
+    cancelled explicitly.  All methods are safe to call from any thread;
+    ``cancel()`` is typically called by a thread other than the one
+    running the request.
+
+    >>> Deadline(60).expired()
+    False
+    >>> d = Deadline(None); d.cancel(); d.expired()
+    True
+    """
+
+    __slots__ = ("timeout_seconds", "_expires_at", "_cancelled")
+
+    def __init__(self, timeout_seconds=None):
+        self.timeout_seconds = (
+            None if timeout_seconds is None else float(timeout_seconds)
+        )
+        self._expires_at = (
+            None if self.timeout_seconds is None
+            else time.monotonic() + self.timeout_seconds
+        )
+        self._cancelled = False
+
+    @classmethod
+    def after_ms(cls, timeout_ms):
+        """A deadline ``timeout_ms`` milliseconds from now (None = none)."""
+        if timeout_ms is None:
+            return cls(None)
+        return cls(float(timeout_ms) / 1000.0)
+
+    def cancel(self):
+        """Trip the token; every subsequent check() raises."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self):
+        return self._cancelled
+
+    def expired(self):
+        """True once the budget has elapsed or cancel() was called."""
+        return self._cancelled or (
+            self._expires_at is not None
+            and time.monotonic() >= self._expires_at
+        )
+
+    def remaining(self):
+        """Seconds left (never negative), or None when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def check(self):
+        """Raise the matching lifecycle error when the token tripped."""
+        if self._cancelled:
+            raise RequestCancelledError("request cancelled")
+        if (
+            self._expires_at is not None
+            and time.monotonic() >= self._expires_at
+        ):
+            raise RequestTimeoutError(
+                "request exceeded its %.0f ms deadline"
+                % (self.timeout_seconds * 1000.0)
+            )
+
+    def sleep(self, seconds):
+        """Sleep cooperatively: wake and raise when the token trips.
+
+        Used by the fault-injection latency knob so that injected
+        back-end latency never outlives the request's budget.
+        """
+        end = time.monotonic() + float(seconds)
+        while True:
+            self.check()
+            left = end - time.monotonic()
+            if left <= 0:
+                return
+            time.sleep(min(left, _SLEEP_SLICE_SECONDS))
+
+
+# -- the ambient (per-thread) deadline ----------------------------------------------
+
+_ambient = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline governing the current thread's request, or None."""
+    return getattr(_ambient, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline):
+    """Install ``deadline`` as the thread's ambient deadline.
+
+    Scopes nest; the previous ambient deadline is restored on exit.
+    Passing None temporarily clears the ambient deadline (used for
+    background work that must not inherit a request's budget).
+    """
+    previous = getattr(_ambient, "deadline", None)
+    _ambient.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _ambient.deadline = previous
+
+
+def check_deadline():
+    """Poll the ambient deadline; no-op when none is installed."""
+    deadline = getattr(_ambient, "deadline", None)
+    if deadline is not None:
+        deadline.check()
+
+
+def run_with_deadline(deadline, fn, *args):
+    """Call ``fn(*args)`` with ``deadline`` installed as ambient.
+
+    The bridge for handing a request's deadline across a thread-pool
+    boundary: capture ``current_deadline()`` at submit time, run the
+    worker through this wrapper.
+    """
+    if deadline is None:
+        return fn(*args)
+    with deadline_scope(deadline):
+        return fn(*args)

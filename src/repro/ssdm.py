@@ -34,6 +34,7 @@ from repro.engine.eval import QueryEngine, _storable
 from repro.engine.functions import runtime
 from repro.engine.udf import FunctionRegistry
 from repro.engine.update import execute_update
+from repro.lifecycle import Deadline, deadline_scope
 
 
 class QueryResult:
@@ -263,13 +264,29 @@ class SSDM:
             text_out = "\n".join(lines)
         return text_out
 
-    def execute(self, text, bindings=None):
+    def execute(self, text, bindings=None, deadline=None, timeout=None):
         """Parse and execute any SciSPARQL statement.
 
         Returns a :class:`QueryResult` for SELECT, ``bool`` for ASK, a
         :class:`Graph` for CONSTRUCT / DESCRIBE, an update count for
         updates, and the registered function for DEFINE FUNCTION.
+
+        ``deadline`` (a :class:`~repro.lifecycle.Deadline`) or
+        ``timeout`` (seconds) bound the execution: the engine, APR, and
+        ASEI loops poll the deadline cooperatively and abort with
+        :class:`~repro.exceptions.RequestTimeoutError` once it expires.
+        Without either, an ambient deadline installed by a caller (the
+        SSDM server installs one per request) still applies.
         """
+        if deadline is None and timeout is not None:
+            deadline = Deadline(timeout)
+        if deadline is not None:
+            with deadline_scope(deadline):
+                deadline.check()
+                return self._execute(text, bindings)
+        return self._execute(text, bindings)
+
+    def _execute(self, text, bindings=None):
         statement = self.parse(text)
         if isinstance(statement, ast.SelectQuery):
             return self._run_select(statement, bindings)

@@ -20,6 +20,7 @@ Back-ends provided: in-memory (:class:`MemoryArrayStore`), binary files
 """
 
 from repro.storage.asei import ArrayStore, StorageStats
+from repro.storage.faults import FaultPlan
 from repro.storage.memory import MemoryArrayStore
 from repro.storage.filestore import FileArrayStore
 from repro.storage.sqlstore import SqlArrayStore
@@ -32,6 +33,7 @@ from repro.storage.cache import ChunkCache
 __all__ = [
     "ArrayStore",
     "StorageStats",
+    "FaultPlan",
     "MemoryArrayStore",
     "FileArrayStore",
     "SqlArrayStore",

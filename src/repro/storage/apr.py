@@ -43,6 +43,7 @@ from repro.arrays.chunks import (
 from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import StorageError
+from repro.lifecycle import current_deadline, deadline_scope
 from repro.storage.bufferpool import BufferPool, shared_pool
 from repro.storage.cache import ChunkCache
 from repro.storage.spd import RANGE, SINGLE, SequencePatternDetector
@@ -118,6 +119,9 @@ class APRResolver:
         chunk needs are united before any request is issued.
         """
         proxies = list(proxies)
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check()
         for proxy in proxies:
             if not isinstance(proxy, ArrayProxy):
                 raise StorageError("cannot resolve %r" % (proxy,))
@@ -192,7 +196,10 @@ class APRResolver:
         order = np.argsort(indices // epc, kind="stable")
         sorted_indices = indices[order]
         position = 0
+        deadline = current_deadline()
         for start in range(0, len(chunk_ids), self.buffer_size):
+            if deadline is not None:
+                deadline.check()
             batch = chunk_ids[start:start + self.buffer_size]
             chunks = self._fetch(proxy.array_id, batch)
             batch_set = set(batch)
@@ -347,6 +354,7 @@ class APRResolver:
         """
         pool = self._pool()
         key = self._pool_key(array_id)
+        deadline = current_deadline()
         cached, owned, waiting = pool.claim(key, unique)
         chunks: Dict[int, np.ndarray] = dict(cached)
         if not owned and not waiting:
@@ -363,6 +371,8 @@ class APRResolver:
             units, predicted = self._plan_units(owned)
             window = deque()
             for unit in units:
+                if deadline is not None:
+                    deadline.check()
                 while len(window) >= self.prefetch_depth:
                     self._complete_unit(
                         window.popleft(), pool, key, chunks, published
@@ -379,9 +389,20 @@ class APRResolver:
                     pool, key, executor, array_id, predicted, set(unique)
                 )
             for chunk_id, fetch in waiting.items():
-                chunks[chunk_id] = pool.wait(
-                    fetch, timeout=INFLIGHT_WAIT_SECONDS
-                )
+                timeout = INFLIGHT_WAIT_SECONDS
+                if deadline is not None:
+                    deadline.check()
+                    left = deadline.remaining()
+                    if left is not None:
+                        # wake shortly after our own deadline: the owner
+                        # may be budget-free, but we are not
+                        timeout = min(timeout, left + 0.05)
+                try:
+                    chunks[chunk_id] = pool.wait(fetch, timeout=timeout)
+                except TimeoutError:
+                    if deadline is not None:
+                        deadline.check()   # ours expired -> TIMEOUT
+                    raise                  # owner really is stuck
         finally:
             unpublished = [cid for cid in owned if cid not in published]
             if unpublished:
@@ -424,9 +445,13 @@ class APRResolver:
         _, owned, _ = pool.claim(key, wanted, record=False)
         if not owned:
             return
-        future = self.store.get_chunks_async(
-            array_id, owned, executor=executor
-        )
+        # Speculation outlives the demanding request, so it must not
+        # inherit its deadline: a speculative fetch failing with one
+        # request's TIMEOUT would poison waiters from other requests.
+        with deadline_scope(None):
+            future = self.store.get_chunks_async(
+                array_id, owned, executor=executor
+            )
 
         def _deliver(done):
             try:

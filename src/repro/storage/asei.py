@@ -28,6 +28,9 @@ from repro.arrays.chunks import ChunkLayout, DEFAULT_CHUNK_BYTES
 from repro.arrays.nma import ELEMENT_TYPES, NumericArray, dtype_code
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import StorageError
+from repro.lifecycle import (
+    check_deadline, current_deadline, run_with_deadline,
+)
 from repro.storage.bufferpool import shared_pool
 
 #: Per-instance namespace tokens so many stores can share one buffer
@@ -115,9 +118,12 @@ class ArrayStore:
     thread_safe = False
 
     def __init__(self, chunk_bytes=DEFAULT_CHUNK_BYTES, buffer_pool=None,
-                 default_strategy=None):
+                 default_strategy=None, faults=None):
         self.chunk_bytes = int(chunk_bytes)
         self.stats = StorageStats()
+        #: Optional :class:`~repro.storage.faults.FaultPlan` injecting
+        #: deterministic latency/errors into this store's operations.
+        self.faults = faults
         self._meta: Dict[object, ArrayMeta] = {}
         self._next_id = 1
         self._default_resolver = None
@@ -150,6 +156,8 @@ class ArrayStore:
         meta = ArrayMeta(array_id, element_type, array.shape, layout)
         self._meta[array_id] = meta
         for chunk_id, start, count in layout.chunk_slices():
+            if self.faults is not None:
+                self.faults.on_write()
             self._write_chunk(array_id, chunk_id, flat[start:start + count])
         self._register_meta(meta)
         self.stats.count(arrays_stored=1)
@@ -205,7 +213,10 @@ class ArrayStore:
 
     def get_chunk(self, array_id, chunk_id):
         """One chunk as a 1-D numpy array; one round trip."""
+        check_deadline()
         meta = self.meta(array_id)
+        if self.faults is not None:
+            self.faults.on_read()
         data = self._read_chunk(array_id, chunk_id)
         self.stats.count_fetch(1, data.nbytes)
         return data
@@ -219,7 +230,11 @@ class ArrayStore:
         """
         if not self.supports_batch:
             return {cid: self.get_chunk(array_id, cid) for cid in chunk_ids}
-        result = self._read_chunks(array_id, list(chunk_ids))
+        check_deadline()
+        chunk_ids = list(chunk_ids)
+        if self.faults is not None:
+            self.faults.on_read(len(chunk_ids))
+        result = self._read_chunks(array_id, chunk_ids)
         self.stats.count_fetch(
             len(result), sum(a.nbytes for a in result.values()))
         return result
@@ -235,7 +250,13 @@ class ArrayStore:
             for first, last, step in ranges:
                 chunk_ids.extend(range(first, last + 1, step))
             return self.get_chunks(array_id, chunk_ids)
-        result = self._read_chunk_ranges(array_id, list(ranges))
+        check_deadline()
+        ranges = list(ranges)
+        if self.faults is not None:
+            self.faults.on_read(sum(
+                (last - first) // step + 1 for first, last, step in ranges
+            ))
+        result = self._read_chunk_ranges(array_id, ranges)
         self.stats.count_fetch(
             len(result), sum(a.nbytes for a in result.values()))
         return result
@@ -247,18 +268,27 @@ class ArrayStore:
 
         On a ``thread_safe`` back-end the request runs on ``executor``
         so callers can overlap fetches; otherwise it completes
-        synchronously (same result, no overlap).
+        synchronously (same result, no overlap).  The submitting
+        thread's ambient deadline is carried into the worker, so a
+        timed-out request's outstanding fetches abort instead of
+        occupying pool workers.
         """
         chunk_ids = list(chunk_ids)
         if executor is not None and self.thread_safe:
-            return executor.submit(self.get_chunks, array_id, chunk_ids)
+            return executor.submit(
+                run_with_deadline, current_deadline(),
+                self.get_chunks, array_id, chunk_ids,
+            )
         return _completed(self.get_chunks, array_id, chunk_ids)
 
     def get_chunk_ranges_async(self, array_id, ranges, executor=None):
         """Schedule a range fetch; returns a Future of {id: chunk}."""
         ranges = [tuple(r) for r in ranges]
         if executor is not None and self.thread_safe:
-            return executor.submit(self.get_chunk_ranges, array_id, ranges)
+            return executor.submit(
+                run_with_deadline, current_deadline(),
+                self.get_chunk_ranges, array_id, ranges,
+            )
         return _completed(self.get_chunk_ranges, array_id, ranges)
 
     def aggregate(self, array_id, op):

@@ -1,0 +1,123 @@
+"""Deterministic fault injection for ASEI back-ends.
+
+Robustness features (deadlines, retries, typed storage errors) are only
+trustworthy if they can be exercised deterministically.  A
+:class:`FaultPlan` attached to any :class:`~repro.storage.asei.ArrayStore`
+(the ``faults=`` constructor argument, or assigned to ``store.faults``)
+injects two kinds of misbehaviour into the store's read/write paths:
+
+- **Latency** — ``read_latency`` / ``write_latency`` seconds *per chunk*
+  touched by an operation.  The sleep is cooperative: when the calling
+  thread carries an ambient :class:`~repro.lifecycle.Deadline`, an
+  expiring budget interrupts the sleep with a
+  :class:`~repro.exceptions.RequestTimeoutError`, which is exactly how a
+  slow real back-end behaves under the request lifecycle.
+- **Errors** — ``error_every=N`` fails every Nth read operation
+  (fully deterministic), and ``error_rate=p`` fails each read with
+  probability ``p`` drawn from a seeded private RNG (deterministic
+  *sequence* for a fixed seed).
+
+Injection happens per *operation* (one round trip) for errors and per
+*chunk* for latency, mirroring how real transports charge: a batched
+IN-list read is one failure domain but its transfer time grows with the
+number of chunks shipped.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.exceptions import StorageError
+from repro.lifecycle import current_deadline
+
+
+class FaultPlan:
+    """Configurable per-op latency and error injection for one store.
+
+    Thread-safe: the APR prefetch pipeline calls into stores from
+    multiple worker threads, and counters must not lose increments.
+
+    >>> plan = FaultPlan(error_every=2)
+    >>> plan.on_read()           # op 1: fine
+    >>> try:
+    ...     plan.on_read()       # op 2: injected failure
+    ... except Exception as e:
+    ...     print(type(e).__name__)
+    StorageError
+    """
+
+    def __init__(self, read_latency=0.0, write_latency=0.0,
+                 error_every=0, error_rate=0.0, seed=0x5EED):
+        self.read_latency = float(read_latency)
+        self.write_latency = float(write_latency)
+        self.error_every = int(error_every)
+        self.error_rate = float(error_rate)
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+        self.reads = 0
+        self.writes = 0
+        self.injected_errors = 0
+        self.slept_seconds = 0.0
+
+    # -- hooks called by the ASEI base class ---------------------------------------
+
+    def on_read(self, chunk_count=1):
+        """Apply read faults for one operation touching ``chunk_count``
+        chunks; called by the ASEI retrieval methods before the read."""
+        with self._lock:
+            self.reads += 1
+            op = self.reads
+            fail = self._decide_locked(op)
+        self._sleep(self.read_latency * max(1, int(chunk_count)))
+        if fail:
+            with self._lock:
+                self.injected_errors += 1
+            raise StorageError(
+                "injected fault on read op %d" % op
+            )
+
+    def on_write(self, chunk_count=1):
+        """Apply write latency for one operation (writes never fail —
+        update durability is out of scope for the shim)."""
+        with self._lock:
+            self.writes += 1
+        self._sleep(self.write_latency * max(1, int(chunk_count)))
+
+    # -- internals -----------------------------------------------------------------
+
+    def _decide_locked(self, op):
+        if self.error_every and op % self.error_every == 0:
+            return True
+        if self.error_rate and self._random.random() < self.error_rate:
+            return True
+        return False
+
+    def _sleep(self, seconds):
+        if seconds <= 0:
+            return
+        deadline = current_deadline()
+        started = time.monotonic()
+        try:
+            if deadline is not None:
+                deadline.sleep(seconds)
+            else:
+                time.sleep(seconds)
+        finally:
+            with self._lock:
+                self.slept_seconds += time.monotonic() - started
+
+    # -- reporting -----------------------------------------------------------------
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "reads": self.reads,
+                "writes": self.writes,
+                "injected_errors": self.injected_errors,
+                "slept_seconds": self.slept_seconds,
+            }
+
+    def __repr__(self):
+        return "FaultPlan(%r)" % (self.snapshot(),)

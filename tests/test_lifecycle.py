@@ -1,0 +1,344 @@
+"""Request-lifecycle unit tests: deadlines, cancellation, fault
+injection, the writer-fair server lock, and the error taxonomy."""
+
+import threading
+import time
+
+import pytest
+
+from repro import SSDM
+from repro.client.server import _ReadWriteLock
+from repro.exceptions import (
+    ConnectionClosedError,
+    EvaluationError,
+    ParseError,
+    QueryError,
+    RequestCancelledError,
+    RequestTimeoutError,
+    SciSparqlError,
+    ServerOverloadedError,
+    StorageError,
+    error_code,
+    error_from_code,
+)
+from repro.lifecycle import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    run_with_deadline,
+)
+from repro.storage import APRResolver, FaultPlan, MemoryArrayStore
+from repro.storage.bufferpool import BufferPool
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+        deadline.check()          # no raise
+
+    def test_cancel_trips_the_token(self):
+        deadline = Deadline(None)
+        deadline.cancel()
+        assert deadline.expired()
+        with pytest.raises(RequestCancelledError):
+            deadline.check()
+
+    def test_budget_expires(self):
+        deadline = Deadline(0.01)
+        assert not deadline.expired()
+        time.sleep(0.02)
+        assert deadline.expired()
+        with pytest.raises(RequestTimeoutError):
+            deadline.check()
+
+    def test_after_ms(self):
+        assert Deadline.after_ms(None).remaining() is None
+        remaining = Deadline.after_ms(5000).remaining()
+        assert 4.0 < remaining <= 5.0
+
+    def test_remaining_never_negative(self):
+        deadline = Deadline(0.001)
+        time.sleep(0.01)
+        assert deadline.remaining() == 0.0
+
+    def test_timeout_is_a_cancellation(self):
+        # one except-clause catches both forms of lifecycle abort
+        assert issubclass(RequestTimeoutError, RequestCancelledError)
+
+    def test_timeout_is_not_suppressible_eval_error(self):
+        # FILTER/BIND error suppression must never swallow a timeout
+        assert not issubclass(RequestTimeoutError, EvaluationError)
+
+    def test_cooperative_sleep_interrupted(self):
+        deadline = Deadline(0.05)
+        started = time.monotonic()
+        with pytest.raises(RequestTimeoutError):
+            deadline.sleep(10.0)
+        assert time.monotonic() - started < 1.0
+
+    def test_scope_installs_and_restores(self):
+        assert current_deadline() is None
+        outer = Deadline(None)
+        inner = Deadline(None)
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_scope_of_none_clears(self):
+        with deadline_scope(Deadline(None)):
+            with deadline_scope(None):
+                assert current_deadline() is None
+
+    def test_check_deadline_helper(self):
+        check_deadline()          # no ambient deadline: no-op
+        expired = Deadline(0.0)
+        with deadline_scope(expired):
+            with pytest.raises(RequestTimeoutError):
+                check_deadline()
+
+    def test_run_with_deadline_bridges_threads(self):
+        deadline = Deadline(None)
+        seen = {}
+
+        def worker():
+            seen["deadline"] = current_deadline()
+
+        thread = threading.Thread(
+            target=run_with_deadline, args=(deadline, worker)
+        )
+        thread.start()
+        thread.join()
+        assert seen["deadline"] is deadline
+
+
+class TestErrorTaxonomy:
+    def test_codes(self):
+        assert error_code(RequestTimeoutError("x")) == "TIMEOUT"
+        assert error_code(RequestCancelledError("x")) == "CANCELLED"
+        assert error_code(ParseError("x")) == "PARSE"
+        assert error_code(QueryError("x")) == "EVAL"
+        assert error_code(EvaluationError("x")) == "EVAL"
+        assert error_code(StorageError("x")) == "STORAGE"
+        assert error_code(ServerOverloadedError("x")) == "OVERLOAD"
+        assert error_code(ConnectionClosedError("x")) == "CONNECTION"
+        assert error_code(SciSparqlError("x")) == "INTERNAL"
+        assert error_code(ValueError("x")) == "INTERNAL"
+
+    def test_retryable_flags(self):
+        assert ServerOverloadedError("x").retryable
+        assert ConnectionClosedError("x").retryable
+        assert not RequestTimeoutError("x").retryable
+        assert not StorageError("x").retryable
+
+    def test_round_trip_through_codes(self):
+        for error in (RequestTimeoutError("t"), ServerOverloadedError("o"),
+                      StorageError("s"), ParseError("p"), QueryError("q")):
+            rebuilt = error_from_code(error_code(error), str(error))
+            assert type(rebuilt) is type(error)
+
+    def test_unknown_code_degrades_to_base(self):
+        rebuilt = error_from_code("SOMETHING_NEW", "msg")
+        assert type(rebuilt) is SciSparqlError
+
+
+class TestFaultPlan:
+    def test_error_every_is_deterministic(self):
+        plan = FaultPlan(error_every=2)
+        plan.on_read()
+        with pytest.raises(StorageError):
+            plan.on_read()
+        plan.on_read()
+        with pytest.raises(StorageError):
+            plan.on_read()
+        assert plan.snapshot()["injected_errors"] == 2
+
+    def test_error_rate_sequence_is_seeded(self):
+        def failures(plan):
+            out = []
+            for _ in range(200):
+                try:
+                    plan.on_read()
+                    out.append(False)
+                except StorageError:
+                    out.append(True)
+            return out
+
+        first = failures(FaultPlan(error_rate=0.3, seed=7))
+        second = failures(FaultPlan(error_rate=0.3, seed=7))
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_latency_scales_with_chunk_count(self):
+        plan = FaultPlan(read_latency=0.01)
+        started = time.monotonic()
+        plan.on_read(chunk_count=3)
+        assert time.monotonic() - started >= 0.03
+        assert plan.snapshot()["slept_seconds"] >= 0.03
+
+    def test_latency_is_cooperative_with_deadline(self):
+        plan = FaultPlan(read_latency=30.0)
+        started = time.monotonic()
+        with deadline_scope(Deadline(0.05)):
+            with pytest.raises(RequestTimeoutError):
+                plan.on_read()
+        assert time.monotonic() - started < 1.0
+
+    def test_store_applies_faults(self):
+        store = MemoryArrayStore(
+            chunk_bytes=64, buffer_pool=BufferPool(1 << 20),
+            faults=FaultPlan(error_every=1),
+        )
+        proxy = store.put(list(range(64)))
+        with pytest.raises(StorageError):
+            store.get_chunk(proxy.array_id, 0)
+
+
+class TestWriterFairLock:
+    def test_queued_writer_blocks_new_readers(self):
+        lock = _ReadWriteLock()
+        assert lock.acquire_read(0.1)
+        outcome = {}
+
+        def writer():
+            outcome["acquired"] = lock.acquire_write(5.0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        for _ in range(100):              # wait for the writer to queue
+            if lock._writers_waiting:
+                break
+            time.sleep(0.01)
+        assert lock._writers_waiting == 1
+        # a NEW reader must now be held back: this is the fairness fix —
+        # the old lock admitted it and starved the writer indefinitely
+        assert lock.acquire_read(0.15) is False
+        lock.release_read()               # drain the pre-queued reader
+        thread.join(5.0)
+        assert outcome["acquired"] is True
+        lock.release_write()
+        assert lock.acquire_read(0.5)     # readers resume afterwards
+        lock.release_read()
+
+    def test_writer_timeout_unblocks_readers(self):
+        lock = _ReadWriteLock()
+        assert lock.acquire_read(0.1)
+        # writer gives up while a reader is inside
+        assert lock.acquire_write(0.05) is False
+        # its departure must re-admit new readers
+        assert lock.acquire_read(0.5)
+        lock.release_read()
+        lock.release_read()
+
+    def test_update_not_starved_by_query_stream(self):
+        """Regression: continuous overlapping readers + one writer."""
+        lock = _ReadWriteLock()
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                if lock.acquire_read(0.1):
+                    time.sleep(0.002)
+                    lock.release_read()
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        time.sleep(0.05)                  # readers are streaming
+        started = time.monotonic()
+        acquired = lock.acquire_write(5.0)
+        elapsed = time.monotonic() - started
+        if acquired:
+            lock.release_write()
+        stop.set()
+        for thread in readers:
+            thread.join(2.0)
+        assert acquired, "writer starved by continuous readers"
+        assert elapsed < 2.0
+
+    def test_exclusive_writer(self):
+        lock = _ReadWriteLock()
+        assert lock.acquire_write(0.1)
+        assert lock.acquire_read(0.05) is False
+        assert lock.acquire_write(0.05) is False
+        lock.release_write()
+        assert lock.acquire_read(0.1)
+        lock.release_read()
+
+
+def _slow_array_ssdm(read_latency, pool=None):
+    """An SSDM whose externalized array reads sleep per chunk."""
+
+    class NoAggregateStore(MemoryArrayStore):
+        supports_aggregates = False       # force chunk streaming
+
+    pool = pool if pool is not None else BufferPool(4 << 20)
+    store = NoAggregateStore(
+        chunk_bytes=64, buffer_pool=pool,
+        faults=FaultPlan(read_latency=read_latency),
+    )
+    store._default_resolver = APRResolver(store, strategy="prefetch")
+    ssdm = SSDM(array_store=store, externalize_threshold=32)
+    elements = " ".join(str(i) for i in range(256))
+    ssdm.load_turtle_text(
+        "@prefix ex: <http://e/> . ex:m ex:val (%s) ; ex:n 7 ." % elements
+    )
+    return ssdm, store, pool
+
+
+SLOW_AGGREGATE = (
+    "PREFIX ex: <http://e/> "
+    "SELECT (array_sum(?a) AS ?s) WHERE { ex:m ex:val ?a }"
+)
+
+
+class TestExecuteDeadline:
+    def test_expired_deadline_rejects_before_parse(self):
+        ssdm = SSDM()
+        with pytest.raises(RequestTimeoutError):
+            ssdm.execute("ASK { ?s ?p ?o }", timeout=0.0)
+
+    def test_slow_storage_query_times_out(self):
+        ssdm, store, pool = _slow_array_ssdm(read_latency=0.02)
+        started = time.monotonic()
+        with pytest.raises(RequestTimeoutError):
+            ssdm.execute(SLOW_AGGREGATE, timeout=0.2)
+        # within 2x the deadline, not the ~5s the fetches would take
+        assert time.monotonic() - started < 0.4
+        # buffer-pool pins released on the abort path
+        assert pool.stats()["pinned"] == 0
+
+    def test_untimed_query_still_succeeds(self):
+        ssdm, store, pool = _slow_array_ssdm(read_latency=0.0)
+        result = ssdm.execute(SLOW_AGGREGATE)
+        assert result.scalar() == pytest.approx(sum(range(256)))
+
+    def test_cancel_aborts_solution_stream(self):
+        ssdm = SSDM()
+        for i in range(400):
+            ssdm.load_turtle_text(
+                "@prefix ex: <http://e/> . ex:s%d ex:p %d ." % (i, i)
+            )
+        deadline = Deadline(None)
+        threading.Timer(0.05, deadline.cancel).start()
+        started = time.monotonic()
+        with pytest.raises(RequestCancelledError):
+            # 400 x 400 cross join: far more work than the cancel window
+            ssdm.execute(
+                "PREFIX ex: <http://e/> SELECT ?a ?b "
+                "WHERE { ?a ex:p ?x . ?b ex:p ?y }",
+                deadline=deadline,
+            )
+        assert time.monotonic() - started < 5.0
+
+    def test_storage_fault_surfaces_as_storage_error(self):
+        ssdm, store, pool = _slow_array_ssdm(read_latency=0.0)
+        store.faults = FaultPlan(error_every=1)
+        with pytest.raises(StorageError):
+            ssdm.execute(SLOW_AGGREGATE)
+        assert pool.stats()["pinned"] == 0

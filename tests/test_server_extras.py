@@ -1,12 +1,28 @@
-"""Additional client/server protocol coverage."""
+"""Additional client/server protocol coverage: wire round-trips for
+every term kind, the request lifecycle (deadlines, structured errors,
+admission control), retry/reconnect behaviour, and deterministic
+fault-injection integration."""
 
 import json
 import socket
+import threading
+import time
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro import SSDM
+from repro import SSDM, NumericArray, URI
 from repro.client import SSDMClient, SSDMServer
+from repro.client.server import deserialize_value, serialize_value
+from repro.exceptions import (
+    ConnectionClosedError,
+    RequestTimeoutError,
+    ServerOverloadedError,
+    StorageError,
+)
+from repro.rdf.term import BlankNode, Literal
+from repro.storage import APRResolver, FaultPlan, MemoryArrayStore
+from repro.storage.bufferpool import BufferPool
 
 
 @pytest.fixture
@@ -85,3 +101,376 @@ def test_blank_lines_skipped(server):
     raw.close()
     assert response["ok"] is True
     assert response["result"] is True
+
+
+# -- wire-protocol round trips: every term kind -------------------------------------
+
+_texts = st.text(max_size=24)
+_uris = st.builds(URI, st.text(min_size=1, max_size=40))
+_bnode_labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=12
+)
+_plain_literals = st.builds(
+    Literal,
+    st.one_of(
+        st.booleans(),
+        st.integers(min_value=-10**12, max_value=10**12),
+        st.floats(allow_nan=False, allow_infinity=False),
+        _texts,
+    ),
+)
+_lang_literals = st.builds(
+    lambda value, lang: Literal(value, lang=lang),
+    _texts, st.sampled_from(["en", "fr", "de", "en-GB", "pt-BR"]),
+)
+_typed_literals = st.builds(
+    lambda value: Literal(value, URI("http://e/opaque-datatype")),
+    _texts,
+)
+_arrays = st.one_of(
+    st.builds(
+        NumericArray,
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False,
+                      min_value=-1e9, max_value=1e9),
+            min_size=1, max_size=8,
+        ),
+    ),
+    st.builds(
+        NumericArray,
+        st.integers(min_value=1, max_value=3).flatmap(
+            lambda width: st.lists(
+                st.lists(st.integers(min_value=-100, max_value=100),
+                         min_size=width, max_size=width),
+                min_size=1, max_size=4,
+            )
+        ),
+    ),
+)
+_terms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**12, max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False),
+    _texts,
+    _uris,
+    st.builds(BlankNode, _bnode_labels),
+    _plain_literals,
+    _lang_literals,
+    _typed_literals,
+    _arrays,
+)
+
+
+class TestWireRoundTrip:
+    @given(term=_terms)
+    @settings(max_examples=200, deadline=None)
+    def test_every_term_kind_round_trips(self, term):
+        wire = json.loads(json.dumps(serialize_value(term)))
+        assert deserialize_value(wire) == term
+
+    def test_lang_literal_keeps_its_tag(self):
+        # regression: the lang field used to be dropped client-side
+        literal = Literal("chat", lang="fr")
+        back = deserialize_value(json.loads(json.dumps(
+            serialize_value(literal)
+        )))
+        assert back == literal
+        assert back.lang == "fr"
+        assert back.datatype == Literal.LANG_STRING
+
+    def test_repr_fallback_is_serializable(self):
+        wire = serialize_value(object())
+        assert set(wire) == {"@repr"}
+        payload = json.loads(json.dumps(wire))
+        assert deserialize_value(payload) == payload   # opaque, kept as-is
+
+    def test_lang_literal_over_the_wire(self, server):
+        client = SSDMClient("127.0.0.1", server.server_address[1])
+        client.update(
+            'PREFIX ex: <http://e/> '
+            'INSERT DATA { ex:a ex:label "chat"@fr }'
+        )
+        result = client.query(
+            "PREFIX ex: <http://e/> SELECT ?l WHERE { ex:a ex:label ?l }"
+        )
+        client.close()
+        assert result.rows == [(Literal("chat", lang="fr"),)]
+        assert result.rows[0][0].lang == "fr"
+
+
+# -- lifecycle integration: timeouts, overload, retry, faults ------------------------
+
+
+def _slow_server(read_latency, max_concurrent=8, default_timeout_ms=None):
+    """A server whose externalized-array reads sleep per chunk."""
+
+    class NoAggregateStore(MemoryArrayStore):
+        supports_aggregates = False       # force chunk streaming
+
+    pool = BufferPool(4 << 20)
+    store = NoAggregateStore(
+        chunk_bytes=64, buffer_pool=pool,
+        faults=FaultPlan(read_latency=read_latency),
+    )
+    store._default_resolver = APRResolver(store, strategy="prefetch")
+    ssdm = SSDM(array_store=store, externalize_threshold=32)
+    elements = " ".join(str(i) for i in range(256))
+    ssdm.load_turtle_text(
+        "@prefix ex: <http://e/> . ex:m ex:val (%s) ; ex:n 7 ." % elements
+    )
+    instance = SSDMServer(
+        ssdm, max_concurrent=max_concurrent,
+        default_timeout_ms=default_timeout_ms,
+    ).start()
+    return instance, store, pool
+
+
+SLOW_AGGREGATE = (
+    "PREFIX ex: <http://e/> "
+    "SELECT (array_sum(?a) AS ?s) WHERE { ex:m ex:val ?a }"
+)
+QUICK_ASK = "PREFIX ex: <http://e/> ASK { ex:m ex:n 7 }"
+
+
+class TestRequestLifecycle:
+    def test_timeout_ms_yields_structured_timeout_response(self):
+        server, store, pool = _slow_server(read_latency=0.02)
+        try:
+            raw = socket.create_connection(
+                ("127.0.0.1", server.server_address[1]), 5.0
+            )
+            handle = raw.makefile("rwb")
+            request = {"op": "query", "text": SLOW_AGGREGATE,
+                       "timeout_ms": 150}
+            started = time.monotonic()
+            handle.write((json.dumps(request) + "\n").encode())
+            handle.flush()
+            response = json.loads(handle.readline())
+            elapsed = time.monotonic() - started
+            raw.close()
+            assert response["ok"] is False
+            assert response["code"] == "TIMEOUT"
+            assert elapsed < 2 * 0.150 + 0.15     # bounded, not ~5s
+        finally:
+            server.stop()
+
+    def test_timeout_releases_pins_and_queued_update_completes(self):
+        """The acceptance scenario: a timed-out query answers within 2x
+        its deadline, releases its buffer-pool pins, and a concurrently
+        queued update (blocked behind the query's read lock) completes."""
+        server, store, pool = _slow_server(read_latency=0.02)
+        port = server.server_address[1]
+        try:
+            pinned_before = pool.stats()["pinned"]
+            querier = SSDMClient("127.0.0.1", port, retries=0)
+            updater = SSDMClient("127.0.0.1", port, retries=0)
+            outcome = {}
+
+            def run_query():
+                started = time.monotonic()
+                try:
+                    querier.query(SLOW_AGGREGATE, timeout_ms=300)
+                    outcome["error"] = None
+                except Exception as error:
+                    outcome["error"] = error
+                outcome["elapsed"] = time.monotonic() - started
+
+            thread = threading.Thread(target=run_query)
+            thread.start()
+            time.sleep(0.1)       # query holds the read lock, fetching
+            count = updater.update(
+                "PREFIX ex: <http://e/> INSERT DATA { ex:x ex:n 1 }",
+                timeout_ms=10000,
+            )
+            assert count == 1     # writer got in once the query timed out
+            thread.join(5.0)
+            assert isinstance(outcome["error"], RequestTimeoutError)
+            assert outcome["elapsed"] < 2 * 0.300
+            assert pool.stats()["pinned"] == pinned_before
+            stats = updater.stats()
+            assert stats["server"]["timeouts"] >= 1
+            querier.close()
+            updater.close()
+        finally:
+            server.stop()
+
+    def test_overload_shed_and_client_retry(self):
+        server, store, pool = _slow_server(
+            read_latency=0.02, max_concurrent=1
+        )
+        port = server.server_address[1]
+        try:
+            slow = SSDMClient("127.0.0.1", port, retries=0)
+            blocked = {}
+
+            def run_slow():
+                try:
+                    slow.query(SLOW_AGGREGATE, timeout_ms=400)
+                except RequestTimeoutError:
+                    pass
+
+            thread = threading.Thread(target=run_slow)
+            thread.start()
+            time.sleep(0.1)       # the single admission slot is taken
+            # a no-retry client is shed immediately with OVERLOAD
+            shed = SSDMClient("127.0.0.1", port, retries=0)
+            with pytest.raises(ServerOverloadedError):
+                shed.query(QUICK_ASK)
+            shed.close()
+            # a retrying client backs off past the slow query's timeout
+            patient = SSDMClient(
+                "127.0.0.1", port, retries=4, backoff=0.2
+            )
+            assert patient.query(QUICK_ASK) is True
+            assert patient.retries_performed >= 1
+            stats = patient.stats()
+            assert stats["server"]["shed"] >= 1
+            patient.close()
+            thread.join(5.0)
+            slow.close()
+        finally:
+            server.stop()
+
+    def test_injected_storage_fault_maps_to_storage_code(self):
+        server, store, pool = _slow_server(read_latency=0.0)
+        store.faults = FaultPlan(error_every=1)
+        port = server.server_address[1]
+        try:
+            client = SSDMClient("127.0.0.1", port, retries=0)
+            with pytest.raises(StorageError):
+                client.query(SLOW_AGGREGATE)
+            assert pool.stats()["pinned"] == 0
+            client.close()
+        finally:
+            server.stop()
+
+    def test_default_timeout_applies_without_request_field(self):
+        server, store, pool = _slow_server(
+            read_latency=0.02, default_timeout_ms=150
+        )
+        port = server.server_address[1]
+        try:
+            client = SSDMClient("127.0.0.1", port, retries=0)
+            with pytest.raises(RequestTimeoutError):
+                client.query(SLOW_AGGREGATE)
+            client.close()
+        finally:
+            server.stop()
+
+    def test_bad_timeout_ms_rejected(self, server):
+        raw = socket.create_connection(
+            ("127.0.0.1", server.server_address[1]), 5.0
+        )
+        handle = raw.makefile("rwb")
+        handle.write((json.dumps({
+            "op": "query", "text": QUICK_ASK, "timeout_ms": "soonish",
+        }) + "\n").encode())
+        handle.flush()
+        response = json.loads(handle.readline())
+        raw.close()
+        assert response["ok"] is False
+        assert "timeout_ms" in response["error"]
+
+
+class TestConnectionRobustness:
+    def test_eof_is_a_clear_connection_error(self):
+        """Regression: a dropped connection used to surface as a bare
+        JSONDecodeError on b""."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+
+        def close_on_request():
+            conn, _ = listener.accept()
+            conn.recv(4096)
+            conn.close()
+
+        thread = threading.Thread(target=close_on_request, daemon=True)
+        thread.start()
+        client = SSDMClient("127.0.0.1", port, retries=0)
+        with pytest.raises(ConnectionClosedError):
+            client.query(QUICK_ASK)
+        client.close()
+        listener.close()
+
+    def test_retry_reconnects_after_dropped_connection(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+
+        def flaky_server():
+            # first connection: read the request, drop without replying
+            conn, _ = listener.accept()
+            conn.recv(4096)
+            conn.close()
+            # second connection (the reconnect): answer properly
+            conn, _ = listener.accept()
+            reader = conn.makefile("rb")
+            reader.readline()
+            conn.sendall(b'{"ok": true, "result": true}\n')
+            conn.close()
+
+        thread = threading.Thread(target=flaky_server, daemon=True)
+        thread.start()
+        client = SSDMClient("127.0.0.1", port, retries=2, backoff=0.01)
+        assert client.query(QUICK_ASK) is True
+        assert client.retries_performed == 1
+        client.close()
+        listener.close()
+
+    def test_update_not_replayed_after_connection_loss(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def drop_everything():
+            while True:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                accepted.append(1)
+                conn.recv(4096)
+                conn.close()
+
+        thread = threading.Thread(target=drop_everything, daemon=True)
+        thread.start()
+        client = SSDMClient("127.0.0.1", port, retries=3, backoff=0.01)
+        with pytest.raises(ConnectionClosedError):
+            client.update("INSERT DATA { <http://e/a> <http://e/p> 1 }")
+        # one request connection (+1 reconnect), but no replay of the op
+        assert client.retries_performed == 0
+        client.close()
+        listener.close()
+
+    def test_unserializable_response_reports_internal_error(self, server):
+        # force a payload json.dumps cannot encode: the handler must
+        # answer with an INTERNAL error instead of killing the socket
+        server.ssdm_dispatch = lambda request: {"ok": True, "x": object()}
+        raw = socket.create_connection(
+            ("127.0.0.1", server.server_address[1]), 5.0
+        )
+        handle = raw.makefile("rwb")
+        handle.write((json.dumps({"op": "query", "text": QUICK_ASK})
+                      + "\n").encode())
+        handle.flush()
+        response = json.loads(handle.readline())
+        raw.close()
+        assert response["ok"] is False
+        assert response["code"] == "INTERNAL"
+        assert "serializable" in response["error"]
+
+    def test_stats_include_server_lifecycle_block(self, server):
+        client = SSDMClient("127.0.0.1", server.server_address[1])
+        client.query(QUICK_ASK)
+        stats = client.stats()
+        client.close()
+        block = stats["server"]
+        assert block["requests"] >= 1
+        assert block["active"] >= 0
+        assert "shed" in block and "timeouts" in block
