@@ -1,14 +1,19 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test test-robustness bench bench-check
+.PHONY: test test-robustness test-durability bench bench-check
 
-test:
+test: test-robustness test-durability
 	$(PY) -m pytest -x -q
 
 # Request-lifecycle suites: deadlines, cancellation, fair locking,
 # retry/reconnect, and the fault-injection harness (also run by `test`)
 test-robustness:
 	$(PY) -m pytest tests/test_lifecycle.py tests/test_server_extras.py -q
+
+# Durability suite: WAL record round-trips, the simulated-crash matrix,
+# checksummed reads, and verify/repair quarantine (also run by `test`)
+test-durability:
+	$(PY) -m pytest tests/test_durability.py -q
 
 bench:
 	$(PY) -m pytest benchmarks -q --benchmark-only \

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Integrity check (and optional repair) of an ASEI array store.
+
+Scans every chunk of every array against its recorded checksum and
+prints a report; with ``--repair``, damaged chunks are quarantined so
+later reads fail fast as *missing* instead of re-fetching bad bytes.
+
+    python scripts/fsck_store.py --file  /path/to/store/dir
+    python scripts/fsck_store.py --sql   /path/to/arrays.db --repair
+    python scripts/fsck_store.py --wal   /path/to/journal/dir
+
+``--wal`` checks a dataset journal instead: it scans the log, reports
+how many records are intact, and (with ``--repair``) truncates any
+torn tail exactly as ``SSDM.open`` would.
+
+Exit status: 0 = clean, 1 = damage found, 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+)
+
+from repro.storage.durability import WriteAheadLog, DatasetJournal  # noqa: E402
+from repro.storage.filestore import FileArrayStore  # noqa: E402
+from repro.storage.sqlstore import SqlArrayStore  # noqa: E402
+
+
+def check_store(store, repair):
+    report = store.repair() if repair else store.verify()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    damaged = report["corrupt"] or report["missing"]
+    if damaged and not repair:
+        print("damage found; rerun with --repair to quarantine",
+              file=sys.stderr)
+    return 1 if damaged else 0
+
+
+def check_wal(directory, repair):
+    path = os.path.join(directory, DatasetJournal.LOG_NAME)
+    if not os.path.exists(path):
+        print("no %s in %s" % (DatasetJournal.LOG_NAME, directory),
+              file=sys.stderr)
+        return 2
+    wal = WriteAheadLog(path)
+    intact = 0
+    good_offset = 0
+    for _, _, end in wal.scan():
+        intact += 1
+        good_offset = end
+    size = os.path.getsize(path)
+    torn = size - good_offset
+    print(json.dumps({
+        "path": path, "records_intact": intact,
+        "bytes_intact": good_offset, "bytes_torn": torn,
+    }, indent=2, sort_keys=True))
+    if torn and repair:
+        wal.recover()
+        print("truncated %d torn bytes" % torn, file=sys.stderr)
+        return 0
+    if torn:
+        print("torn tail found; rerun with --repair to truncate "
+              "(recovery on SSDM.open does the same)", file=sys.stderr)
+    return 1 if torn else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--file", metavar="DIR",
+                        help="a FileArrayStore directory")
+    target.add_argument("--sql", metavar="DB",
+                        help="a SqlArrayStore database file")
+    target.add_argument("--wal", metavar="DIR",
+                        help="a dataset-journal directory")
+    parser.add_argument("--repair", action="store_true",
+                        help="quarantine damaged chunks / truncate a "
+                             "torn WAL tail")
+    args = parser.parse_args(argv)
+
+    if args.wal:
+        return check_wal(args.wal, args.repair)
+    if args.file:
+        if not os.path.isdir(args.file):
+            print("not a directory: %s" % args.file, file=sys.stderr)
+            return 2
+        return check_store(FileArrayStore(args.file), args.repair)
+    if not os.path.exists(args.sql):
+        print("no such database: %s" % args.sql, file=sys.stderr)
+        return 2
+    return check_store(SqlArrayStore(args.sql), args.repair)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

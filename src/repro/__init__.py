@@ -29,9 +29,11 @@ from repro.arrays import NumericArray, ArrayProxy, Span
 from repro.storage import (
     MemoryArrayStore, FileArrayStore, SqlArrayStore,
     APRResolver, Strategy, ChunkCache,
+    DatasetJournal, WriteAheadLog, FaultPlan, SimulatedCrash,
 )
 from repro.exceptions import (
     SciSparqlError, ParseError, QueryError, EvaluationError, StorageError,
+    CorruptionError,
     RequestTimeoutError, RequestCancelledError, ServerOverloadedError,
     ConnectionClosedError,
 )
@@ -63,11 +65,16 @@ __all__ = [
     "APRResolver",
     "Strategy",
     "ChunkCache",
+    "DatasetJournal",
+    "WriteAheadLog",
+    "FaultPlan",
+    "SimulatedCrash",
     "SciSparqlError",
     "ParseError",
     "QueryError",
     "EvaluationError",
     "StorageError",
+    "CorruptionError",
     "RequestTimeoutError",
     "RequestCancelledError",
     "ServerOverloadedError",

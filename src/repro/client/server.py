@@ -8,6 +8,7 @@ protocol on TCP:
     request:  {"op": "update", "text": "<SciSPARQL update>"}
     request:  {"op": "stats"}
     request:  {"op": "explain", "text": "<SciSPARQL>"}
+    request:  {"op": "verify", "repair": false}
     response: {"ok": true, "columns": [...], "rows": [[...], ...]}
               {"ok": true, "result": <bool-or-int>}
               {"ok": true, "stats": {...}} / {"ok": true, "plan": "..."}
@@ -282,7 +283,7 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         op = request.get("op")
         if op == "stats":
             return {"ok": True, "stats": self._stats_payload()}
-        if op not in ("query", "update", "explain"):
+        if op not in ("query", "update", "explain", "verify"):
             return {"ok": False, "code": "BAD_REQUEST",
                     "error": "unknown op %r" % (op,), "retryable": False}
         deadline = self._deadline_for(request)
@@ -317,6 +318,20 @@ class SSDMServer(socketserver.ThreadingTCPServer):
                     costs=bool(request.get("costs")),
                 )
             return {"ok": True, **payload}
+        if op == "verify":
+            store = self.ssdm.array_store
+            if store is None:
+                return {"ok": True, "report": None}
+            # repair moves chunks aside, so it takes the write lock;
+            # a plain verify only reads and can overlap with queries
+            repair = bool(request.get("repair"))
+            guard = (
+                self._lock.writing(deadline) if repair
+                else self._lock.reading(deadline)
+            )
+            with guard:
+                report = store.repair() if repair else store.verify()
+            return {"ok": True, "report": report}
         # queries share the graph read-only and may overlap — the buffer
         # pool deduplicates their chunk fetches; updates run exclusively
         guard = (
@@ -525,6 +540,20 @@ class SSDMClient:
     def stats(self):
         """The server's storage, buffer-pool, and lifecycle counters."""
         return self._call({"op": "stats"})["stats"]
+
+    def verify(self, repair=False, timeout_ms=None):
+        """Run an integrity scan of the server's array store.
+
+        Returns the verify/repair report dict, or None when the server
+        has no array store.  With ``repair=True`` damaged chunks are
+        quarantined (the request is not retried on connection loss, as
+        a repair may have been applied server-side).
+        """
+        request = {"op": "verify", "repair": bool(repair)}
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        response = self._call(request, idempotent=not repair)
+        return response.get("report")
 
     def explain(self, text, objectlog=False, costs=False):
         """EXPLAIN a query server-side; returns {plan, stats}."""

@@ -21,27 +21,42 @@ from repro.engine.bindings import Bindings
 from repro.engine.eval import _storable
 
 
-def execute_update(engine, dataset, update, store_array=None):
+def execute_update(engine, dataset, update, store_array=None, journal=None):
     """Execute one update AST; returns the number of triples affected.
 
     ``store_array`` is an optional callable mapping a resident array to
     its stored representation (SSDM passes its back-end hook so inserted
     arrays land in external storage).
+
+    ``journal`` is an optional
+    :class:`~repro.storage.durability.DatasetJournal`.  The concrete
+    delta of the update — the triples actually inserted and deleted,
+    with array values already externalized so proxies carry their final
+    store ids — is appended (and fsync'd) *before* the dataset mutates.
+    A crash before the append loses the whole update; a crash after it
+    replays the whole update: never half of one.  Array chunks are
+    shipped to the back-end before the append, so the worst crash
+    outcome is an orphaned (unreferenced) array, which ``verify()``
+    surfaces — never a journal record pointing at missing chunks.
     """
     if isinstance(update, ast.InsertData):
         graph = dataset.graph(update.graph)
-        count = 0
-        for triple in _instantiate_all(update.triples, Bindings.EMPTY):
-            value = triple[2]
-            if store_array is not None:
-                value = store_array(value)
-            graph.add(triple[0], triple[1], value)
-            count += 1
-        return count
+        insertions = [
+            (s, p, store_array(v) if store_array is not None else v)
+            for s, p, v in _instantiate_all(update.triples, Bindings.EMPTY)
+        ]
+        if journal is not None:
+            journal.log_update("insert", update.graph, insert=insertions)
+        for triple in insertions:
+            graph.add(*triple)
+        return len(insertions)
     if isinstance(update, ast.DeleteData):
         graph = dataset.graph(update.graph)
+        deletions = _instantiate_all(update.triples, Bindings.EMPTY)
+        if journal is not None:
+            journal.log_update("delete", update.graph, delete=deletions)
         count = 0
-        for triple in _instantiate_all(update.triples, Bindings.EMPTY):
+        for triple in deletions:
             if graph.remove(triple[0], triple[1], triple[2]):
                 _invalidate_array(triple[2])
                 count += 1
@@ -60,8 +75,15 @@ def execute_update(engine, dataset, update, store_array=None):
                                  skip_unbound=True)
             )
             insertions.extend(
-                _instantiate_all(update.insert_template, solution,
-                                 skip_unbound=True)
+                (s, p, store_array(v) if store_array is not None else v)
+                for s, p, v in _instantiate_all(
+                    update.insert_template, solution, skip_unbound=True
+                )
+            )
+        if journal is not None:
+            journal.log_update(
+                "modify", update.graph,
+                insert=insertions, delete=deletions,
             )
         count = 0
         for triple in deletions:
@@ -69,14 +91,13 @@ def execute_update(engine, dataset, update, store_array=None):
                 _invalidate_array(triple[2])
                 count += 1
         for triple in insertions:
-            value = triple[2]
-            if store_array is not None:
-                value = store_array(value)
-            graph.add(triple[0], triple[1], value)
+            graph.add(*triple)
             count += 1
         return count
     if isinstance(update, ast.ClearGraph):
         if update.graph == "ALL":
+            if journal is not None:
+                journal.log_update("clear", "ALL")
             count = len(dataset)
             for graph in [dataset.default_graph] + list(
                 dataset.named_graphs().values()
@@ -87,6 +108,8 @@ def execute_update(engine, dataset, update, store_array=None):
         graph = dataset.graph(update.graph, create=False)
         if graph is None:
             return 0
+        if journal is not None:
+            journal.log_update("clear", update.graph)
         count = len(graph)
         _invalidate_graph_arrays(graph)
         graph.clear()

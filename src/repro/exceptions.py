@@ -77,6 +77,22 @@ class StorageError(SciSparqlError):
     code = "STORAGE"
 
 
+class CorruptionError(StorageError):
+    """Stored data failed an integrity check (checksum / framing).
+
+    Deliberately non-retryable: re-reading a torn chunk or a bit-flipped
+    buffer yields the same bytes.  The ASEI read paths raise this
+    *before* a corrupt buffer can reach the chunk buffer pool or a query
+    result, so corruption surfaces as a typed error — never as wrong
+    answers.  Recovery is an administrative action
+    (:meth:`~repro.storage.asei.ArrayStore.repair`, or restoring from a
+    replica), which is why clients must not transparently retry.
+    """
+
+    code = "CORRUPT"
+    retryable = False
+
+
 class UnknownFunctionError(EvaluationError):
     """A query referenced a function that has not been defined.
 
@@ -136,6 +152,7 @@ _CODE_CLASSES = {
     "PARSE": ParseError,
     "EVAL": QueryError,
     "STORAGE": StorageError,
+    "CORRUPT": CorruptionError,
     "OVERLOAD": ServerOverloadedError,
     "CONNECTION": ConnectionClosedError,
 }

@@ -103,15 +103,71 @@ class SSDM:
     externalize_threshold:
         Element-count cutoff above which arrays are externalized
         (default 64; irrelevant without an ``array_store``).
+    journal:
+        Optional :class:`~repro.storage.durability.DatasetJournal`.
+        When set, every update appends its concrete delta to the
+        write-ahead log *before* mutating the dataset; use
+        :meth:`open` to construct an instance that also replays the
+        log on startup (crash recovery).
     """
 
-    def __init__(self, array_store=None, externalize_threshold=64):
+    def __init__(self, array_store=None, externalize_threshold=64,
+                 journal=None):
         self.dataset = Dataset()
         self.functions = FunctionRegistry()
         self.engine = QueryEngine(self.dataset, self.functions)
         self.array_store = array_store
         self.externalize_threshold = int(externalize_threshold)
+        self.journal = journal
         self.prefixes: Dict[str, str] = {}
+
+    @classmethod
+    def open(cls, path, array_store=None, faults=None, fsync=True,
+             **kwargs):
+        """A durable SSDM: WAL-journaled updates plus crash recovery.
+
+        ``path`` is the journal directory (created on demand) holding
+        ``wal.log``.  The log is recovered immediately — truncated at
+        the first torn or checksum-failing record, then replayed into
+        the fresh dataset — so after a crash the instance reopens in
+        the exact state the last fsync'd update left behind.
+
+        ``array_store`` should be a *persistent* back-end
+        (:class:`~repro.storage.FileArrayStore` /
+        :class:`~repro.storage.SqlArrayStore`); the journal references
+        externalized arrays by store id rather than copying chunks into
+        the log.  ``faults`` threads a
+        :class:`~repro.storage.FaultPlan` into the journal's append
+        path for crash-recovery testing.
+        """
+        from repro.storage.durability import DatasetJournal
+
+        journal = DatasetJournal(
+            path, array_store=array_store, faults=faults, fsync=fsync
+        )
+        instance = cls(
+            array_store=array_store, journal=journal, **kwargs
+        )
+        journal.replay(instance.dataset)
+        return instance
+
+    def snapshot(self):
+        """Compact the journal to the dataset's current state.
+
+        Long logs replay slowly; a snapshot rewrites the log as one
+        CLEAR ALL record plus one insert record per non-empty graph
+        (atomically, so a crash mid-snapshot keeps the old log).
+        Returns the new last sequence number, or None without a
+        journal.
+        """
+        if self.journal is None:
+            return None
+        return self.journal.snapshot(self.dataset)
+
+    def close(self):
+        """Release the journal's file handle (safe to call twice)."""
+        if self.journal is not None:
+            self.journal.close()
 
     @classmethod
     def with_triple_store(cls, graph, **kwargs):
@@ -159,6 +215,13 @@ class SSDM:
             "storage": store.stats.snapshot() if store is not None else None,
             "buffer_pool": pool.stats(),
             "last_resolve": getattr(store, "last_resolve_stats", None),
+            "durability": {
+                "journal": (
+                    self.journal.stats() if self.journal is not None
+                    else None
+                ),
+                "last_verify": getattr(store, "last_verify", None),
+            },
         }
 
     @property
@@ -305,6 +368,7 @@ class SSDM:
             return execute_update(
                 self.engine, self.dataset, statement,
                 store_array=self._store_array,
+                journal=self.journal,
             )
         raise QueryError("cannot execute %r" % (statement,))
 

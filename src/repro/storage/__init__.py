@@ -17,10 +17,22 @@ of four retrieval strategies:
 Back-ends provided: in-memory (:class:`MemoryArrayStore`), binary files
 (:class:`FileArrayStore`), and an RDBMS via SQLite
 (:class:`SqlArrayStore`).
+
+The durability layer (:mod:`repro.storage.durability`) adds a
+write-ahead :class:`DatasetJournal` for the RDF image, checksummed chunk
+reads in the persistent back-ends (corruption raises a typed ``CORRUPT``
+error instead of returning wrong bytes), and ``verify()`` / ``repair()``
+scans that quarantine damaged chunks.
 """
 
 from repro.storage.asei import ArrayStore, StorageStats
-from repro.storage.faults import FaultPlan
+from repro.storage.durability import (
+    DatasetJournal,
+    WriteAheadLog,
+    atomic_write_bytes,
+    payload_crc,
+)
+from repro.storage.faults import FaultPlan, SimulatedCrash
 from repro.storage.memory import MemoryArrayStore
 from repro.storage.filestore import FileArrayStore
 from repro.storage.sqlstore import SqlArrayStore
@@ -33,7 +45,12 @@ from repro.storage.cache import ChunkCache
 __all__ = [
     "ArrayStore",
     "StorageStats",
+    "DatasetJournal",
+    "WriteAheadLog",
+    "atomic_write_bytes",
+    "payload_crc",
     "FaultPlan",
+    "SimulatedCrash",
     "MemoryArrayStore",
     "FileArrayStore",
     "SqlArrayStore",

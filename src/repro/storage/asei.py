@@ -17,6 +17,7 @@ quantities the paper's experiments compare across strategies.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import threading
 from concurrent.futures import Future
@@ -27,7 +28,7 @@ import numpy as np
 from repro.arrays.chunks import ChunkLayout, DEFAULT_CHUNK_BYTES
 from repro.arrays.nma import ELEMENT_TYPES, NumericArray, dtype_code
 from repro.arrays.proxy import ArrayProxy
-from repro.exceptions import StorageError
+from repro.exceptions import CorruptionError, StorageError
 from repro.lifecycle import (
     check_deadline, current_deadline, run_with_deadline,
 )
@@ -46,7 +47,8 @@ class StorageStats:
     """
 
     __slots__ = ("requests", "chunks_fetched", "bytes_fetched",
-                 "arrays_stored", "aggregates_delegated", "_lock")
+                 "arrays_stored", "aggregates_delegated",
+                 "corrupt_chunks", "chunks_quarantined", "_lock")
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -58,6 +60,8 @@ class StorageStats:
         self.bytes_fetched = 0
         self.arrays_stored = 0
         self.aggregates_delegated = 0
+        self.corrupt_chunks = 0
+        self.chunks_quarantined = 0
 
     def count(self, **deltas):
         """Atomically add the given deltas to the named counters."""
@@ -80,6 +84,8 @@ class StorageStats:
                 "bytes_fetched": self.bytes_fetched,
                 "arrays_stored": self.arrays_stored,
                 "aggregates_delegated": self.aggregates_delegated,
+                "corrupt_chunks": self.corrupt_chunks,
+                "chunks_quarantined": self.chunks_quarantined,
             }
 
     def __repr__(self):
@@ -118,7 +124,8 @@ class ArrayStore:
     thread_safe = False
 
     def __init__(self, chunk_bytes=DEFAULT_CHUNK_BYTES, buffer_pool=None,
-                 default_strategy=None, faults=None):
+                 default_strategy=None, faults=None,
+                 verify_checksums=True):
         self.chunk_bytes = int(chunk_bytes)
         self.stats = StorageStats()
         #: Optional :class:`~repro.storage.faults.FaultPlan` injecting
@@ -138,6 +145,13 @@ class ArrayStore:
         #: Statistics of the most recent APR resolve against this store
         #: (set by the resolver; approximate under concurrency).
         self.last_resolve_stats = None
+        #: Whether read paths verify per-chunk checksums when the
+        #: back-end persists them (raising
+        #: :class:`~repro.exceptions.CorruptionError` on mismatch).
+        self.verify_checksums = bool(verify_checksums)
+        #: Report of the most recent :meth:`verify` / :meth:`repair`
+        #: scan, surfaced through ``SSDM.stats()``.
+        self.last_verify = None
 
     # -- registration ---------------------------------------------------------
 
@@ -155,11 +169,24 @@ class ArrayStore:
         array_id = self._allocate_id()
         meta = ArrayMeta(array_id, element_type, array.shape, layout)
         self._meta[array_id] = meta
-        for chunk_id, start, count in layout.chunk_slices():
-            if self.faults is not None:
-                self.faults.on_write()
-            self._write_chunk(array_id, chunk_id, flat[start:start + count])
-        self._register_meta(meta)
+        try:
+            # all-or-nothing: the transaction hook lets transactional
+            # back-ends make the chunk writes + metadata one atomic
+            # unit, and _flush_chunks lets file back-ends order
+            # data -> checksums -> metadata so a half-written array is
+            # never registered (torn chunks stay unreachable orphans)
+            with self._put_transaction(meta):
+                for chunk_id, start, count in layout.chunk_slices():
+                    if self.faults is not None:
+                        self.faults.on_write()
+                    self._write_chunk(
+                        array_id, chunk_id, flat[start:start + count]
+                    )
+                self._flush_chunks(meta)
+                self._register_meta(meta)
+        except BaseException:
+            self._meta.pop(array_id, None)
+            raise
         self.stats.count(arrays_stored=1)
         # drop any stale pool entries under this id (defensive: ids may
         # be recycled by a reopened persistent store)
@@ -217,7 +244,7 @@ class ArrayStore:
         meta = self.meta(array_id)
         if self.faults is not None:
             self.faults.on_read()
-        data = self._read_chunk(array_id, chunk_id)
+        data = self._count_corrupt(self._read_chunk, array_id, chunk_id)
         self.stats.count_fetch(1, data.nbytes)
         return data
 
@@ -234,7 +261,7 @@ class ArrayStore:
         chunk_ids = list(chunk_ids)
         if self.faults is not None:
             self.faults.on_read(len(chunk_ids))
-        result = self._read_chunks(array_id, chunk_ids)
+        result = self._count_corrupt(self._read_chunks, array_id, chunk_ids)
         self.stats.count_fetch(
             len(result), sum(a.nbytes for a in result.values()))
         return result
@@ -256,7 +283,9 @@ class ArrayStore:
             self.faults.on_read(sum(
                 (last - first) // step + 1 for first, last, step in ranges
             ))
-        result = self._read_chunk_ranges(array_id, ranges)
+        result = self._count_corrupt(
+            self._read_chunk_ranges, array_id, ranges
+        )
         self.stats.count_fetch(
             len(result), sum(a.nbytes for a in result.values()))
         return result
@@ -302,6 +331,111 @@ class ArrayStore:
             "back-end %s cannot delegate aggregates"
             % type(self).__name__
         )
+
+    def _count_corrupt(self, read, *args):
+        """Run one read, counting checksum failures in the stats."""
+        try:
+            return read(*args)
+        except CorruptionError:
+            self.stats.count(corrupt_chunks=1)
+            raise
+
+    # -- integrity scanning (durability layer) ---------------------------------
+
+    def verify(self, array_id=None, repair=False):
+        """Scan stored chunks against their checksums; returns a report.
+
+        Every chunk of every known array (or of one ``array_id``) is
+        read through the back-end's verifying read path.  The report
+        maps the outcome::
+
+            {"arrays_checked": n, "chunks_checked": n, "ok": n,
+             "corrupt": [[array_id, chunk_id], ...],
+             "missing": [[array_id, chunk_id-or-None], ...],
+             "quarantined": [[array_id, chunk_id], ...]}
+
+        With ``repair=True`` corrupt/missing chunks are quarantined via
+        the back-end's :meth:`_quarantine_chunk` (moved out of the way
+        so later reads fail fast with a *missing* error instead of
+        re-reading bad bytes), and their buffer-pool entries dropped.
+        The report is kept as :attr:`last_verify` and the corruption
+        counters land in :attr:`stats`.
+        """
+        ids = [array_id] if array_id is not None else self._all_array_ids()
+        report = {
+            "arrays_checked": 0, "chunks_checked": 0, "ok": 0,
+            "corrupt": [], "missing": [], "quarantined": [],
+        }
+        for aid in ids:
+            try:
+                meta = self.meta(aid)
+            except StorageError:
+                report["missing"].append([aid, None])
+                continue
+            report["arrays_checked"] += 1
+            for chunk_id in range(meta.layout.chunk_count):
+                report["chunks_checked"] += 1
+                try:
+                    # the raw read path: verifies checksums but skips
+                    # deadline polling and traffic accounting (this is
+                    # an administrative scan, not query traffic)
+                    self._read_chunk(aid, chunk_id)
+                except CorruptionError:
+                    report["corrupt"].append([aid, chunk_id])
+                except StorageError:
+                    report["missing"].append([aid, chunk_id])
+                else:
+                    report["ok"] += 1
+        if repair:
+            damaged = report["corrupt"] + [
+                entry for entry in report["missing"]
+                if entry[1] is not None
+            ]
+            for aid, chunk_id in damaged:
+                if self._quarantine_chunk(aid, chunk_id):
+                    report["quarantined"].append([aid, chunk_id])
+                    self.invalidate_cached(aid)
+        self.stats.count(
+            corrupt_chunks=len(report["corrupt"]),
+            chunks_quarantined=len(report["quarantined"]),
+        )
+        self.last_verify = report
+        return report
+
+    def repair(self, array_id=None):
+        """Scan and quarantine bad chunks; returns the verify report."""
+        return self.verify(array_id=array_id, repair=True)
+
+    def _all_array_ids(self):
+        """Every array id this store knows of (back-ends with persistent
+        metadata override to include arrays not yet loaded)."""
+        return list(self._meta)
+
+    def _quarantine_chunk(self, array_id, chunk_id):
+        """Move one bad chunk out of the read path; returns True when
+        something was quarantined.  Default: back-end cannot."""
+        return False
+
+    def _put_transaction(self, meta):
+        """Context manager making one ``put`` atomic (default no-op)."""
+        return contextlib.nullcontext()
+
+    def _flush_chunks(self, meta):
+        """Hook after a put's chunk writes, before metadata registration
+        (file back-ends fsync data and persist checksums here)."""
+
+    def _fault_read_bytes(self, raw):
+        """Apply at-rest read corruption from the fault plan (bit
+        flips), *before* checksum verification."""
+        if self.faults is not None:
+            return self.faults.mangle_read(raw)
+        return raw
+
+    def _fault_write_bytes(self, payload):
+        """Apply torn-write injection; returns (bytes, crash_after)."""
+        if self.faults is not None:
+            return self.faults.mangle_write(payload)
+        return payload, False
 
     # -- resolution -----------------------------------------------------------
 

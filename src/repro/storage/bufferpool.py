@@ -25,6 +25,11 @@ one process-wide pool can serve many stores without id collisions.
 
 Chunks larger than the pool's byte budget are rejected outright (and
 counted) instead of being admitted and permanently blowing the budget.
+
+Corrupt chunks never enter the pool: the checksummed store read paths
+verify fetched bytes *before* publishing them (a mismatch raises
+:class:`~repro.exceptions.CorruptionError` instead of returning data),
+so a cached chunk is always one that passed verification.
 """
 
 from __future__ import annotations

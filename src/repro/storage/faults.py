@@ -21,6 +21,23 @@ Injection happens per *operation* (one round trip) for errors and per
 *chunk* for latency, mirroring how real transports charge: a batched
 IN-list read is one failure domain but its transfer time grows with the
 number of chunks shipped.
+
+For the durability layer (WAL journal, checksummed chunk storage) the
+plan additionally injects *storage corruption* and *simulated crashes*,
+so every recovery path is deterministically testable:
+
+- **Crash points** — ``crash_after_wal`` / ``crash_before_wal`` raise
+  :class:`SimulatedCrash` at the named point of the update path (the
+  journal calls :meth:`crash_point`).  A test catches the crash, drops
+  the in-memory state, and reopens from disk — exactly the
+  kill-the-process experiment, without forking.
+- **Torn writes** — ``torn_write=N`` truncates the payload of the Nth
+  durable write (chunk or WAL record) to half its length and schedules
+  a crash immediately after, modelling power loss mid-``write(2)``.
+- **Bit flips** — ``bit_flip_rate=p`` flips one random bit of a read
+  payload with seeded probability ``p`` *before* checksum verification,
+  modelling at-rest corruption; the checksummed read paths must turn it
+  into a typed ``CORRUPT`` error, never a wrong answer.
 """
 
 from __future__ import annotations
@@ -31,6 +48,15 @@ import time
 
 from repro.exceptions import StorageError
 from repro.lifecycle import current_deadline
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected process death (see :class:`FaultPlan` crash points).
+
+    Deliberately *not* a :class:`~repro.exceptions.SciSparqlError`: no
+    retry/suppression machinery may swallow it — the test harness
+    catches it, abandons the instance, and recovers from disk.
+    """
 
 
 class FaultPlan:
@@ -49,17 +75,29 @@ class FaultPlan:
     """
 
     def __init__(self, read_latency=0.0, write_latency=0.0,
-                 error_every=0, error_rate=0.0, seed=0x5EED):
+                 error_every=0, error_rate=0.0, seed=0x5EED,
+                 crash_after_wal=False, crash_before_wal=False,
+                 torn_write=0, bit_flip_rate=0.0):
         self.read_latency = float(read_latency)
         self.write_latency = float(write_latency)
         self.error_every = int(error_every)
         self.error_rate = float(error_rate)
+        self.crash_after_wal = bool(crash_after_wal)
+        self.crash_before_wal = bool(crash_before_wal)
+        #: 1-based index of the durable write whose payload is torn
+        #: (0 = disabled); a crash follows the truncated write.
+        self.torn_write = int(torn_write)
+        self.bit_flip_rate = float(bit_flip_rate)
         self._random = random.Random(seed)
         self._lock = threading.Lock()
         self.reads = 0
         self.writes = 0
         self.injected_errors = 0
         self.slept_seconds = 0.0
+        self.durable_writes = 0
+        self.torn_writes = 0
+        self.bit_flips = 0
+        self.crashes = 0
 
     # -- hooks called by the ASEI base class ---------------------------------------
 
@@ -79,11 +117,62 @@ class FaultPlan:
             )
 
     def on_write(self, chunk_count=1):
-        """Apply write latency for one operation (writes never fail —
-        update durability is out of scope for the shim)."""
+        """Apply write latency for one operation (write *failures* are
+        injected at the payload level via :meth:`mangle_write`)."""
         with self._lock:
             self.writes += 1
         self._sleep(self.write_latency * max(1, int(chunk_count)))
+
+    # -- durability faults (called by journal and store write/read paths) ----------
+
+    def crash_point(self, name):
+        """Simulate process death at a named point of the update path.
+
+        Points currently wired: ``before_wal`` (before the journal
+        record is appended) and ``after_wal`` (record durable, mutation
+        not yet applied).
+        """
+        armed = (
+            (name == "after_wal" and self.crash_after_wal)
+            or (name == "before_wal" and self.crash_before_wal)
+        )
+        if armed:
+            with self._lock:
+                self.crashes += 1
+            raise SimulatedCrash("injected crash at %s" % name)
+
+    def mangle_write(self, payload):
+        """Apply torn-write injection to one durable write payload.
+
+        Returns ``(payload, crash_after)``: the (possibly truncated)
+        bytes the caller must actually write, and whether it must raise
+        :class:`SimulatedCrash` immediately after writing them.
+        """
+        with self._lock:
+            self.durable_writes += 1
+            if self.torn_write and self.durable_writes == self.torn_write:
+                self.torn_writes += 1
+                self.crashes += 1
+                return payload[: len(payload) // 2], True
+        return payload, False
+
+    def mangle_read(self, payload):
+        """Maybe flip one bit of a read payload (at-rest corruption).
+
+        Runs *before* checksum verification in the store read paths, so
+        an injected flip must surface as a ``CORRUPT`` error.
+        """
+        if not self.bit_flip_rate or not payload:
+            return payload
+        with self._lock:
+            if self._random.random() >= self.bit_flip_rate:
+                return payload
+            position = self._random.randrange(len(payload))
+            bit = 1 << self._random.randrange(8)
+            self.bit_flips += 1
+        mutable = bytearray(payload)
+        mutable[position] ^= bit
+        return bytes(mutable)
 
     # -- internals -----------------------------------------------------------------
 
@@ -117,6 +206,10 @@ class FaultPlan:
                 "writes": self.writes,
                 "injected_errors": self.injected_errors,
                 "slept_seconds": self.slept_seconds,
+                "durable_writes": self.durable_writes,
+                "torn_writes": self.torn_writes,
+                "bit_flips": self.bit_flips,
+                "crashes": self.crashes,
             }
 
     def __repr__(self):

@@ -8,22 +8,41 @@ read — the file system's natural advantage the paper's comparison
 highlights (section 2.5: "sequential access to chunks provides a
 substantial performance boost over random access").
 
-A small JSON sidecar per array persists shape and dtype so a store can be
-reopened on the same directory.
+Durability layout (per array id N under the base directory):
+
+- ``array_N.bin`` — the chunk data, written first and fsync'd before the
+  array becomes visible;
+- ``array_N.crc`` — the checksum sidecar: one big-endian ``uint32`` CRC
+  per chunk, written atomically (temp + fsync + rename) after the data;
+- ``array_N.json`` — shape/dtype metadata, written *last* and atomically,
+  so a crash mid-``put`` leaves at worst an unreachable orphan — never a
+  registered array with torn chunks.
+
+Every read verifies the fetched bytes against the sidecar and raises a
+typed :class:`~repro.exceptions.CorruptionError` on mismatch (including
+short reads from a truncated file), so torn writes and bit rot surface as
+``CORRUPT`` errors instead of wrong query results.  Stores written before
+checksums existed (no ``.crc`` file) stay readable, unverified.
+``repair()`` quarantines damaged arrays into a ``quarantine/`` subdir.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Tuple
+import struct
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.arrays.chunks import ChunkLayout
 from repro.arrays.nma import ELEMENT_TYPES
-from repro.exceptions import StorageError
+from repro.exceptions import CorruptionError, StorageError
 from repro.storage.asei import ArrayMeta, ArrayStore
+from repro.storage.durability import (
+    atomic_write_bytes, fsync_directory, payload_crc,
+)
+from repro.storage.faults import SimulatedCrash
 
 
 class FileArrayStore(ArrayStore):
@@ -36,12 +55,17 @@ class FileArrayStore(ArrayStore):
     #: workers never share seek positions
     thread_safe = True
 
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(self, directory, chunk_bytes=None, **kwargs):
         if chunk_bytes is not None:
             kwargs["chunk_bytes"] = chunk_bytes
         super().__init__(**kwargs)
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
+        #: chunk-checksum tables: array_id -> {chunk_id: crc}, or None
+        #: for legacy arrays persisted without a sidecar
+        self._crcs: Dict[int, Optional[Dict[int, int]]] = {}
         self._recover_ids()
 
     def _recover_ids(self):
@@ -60,19 +84,24 @@ class FileArrayStore(ArrayStore):
     def _meta_path(self, array_id):
         return os.path.join(self.directory, "array_%d.json" % array_id)
 
+    def _crc_path(self, array_id):
+        return os.path.join(self.directory, "array_%d.crc" % array_id)
+
     # -- persistence of metadata ------------------------------------------------
 
     def _register_meta(self, meta):
-        with open(self._meta_path(meta.array_id), "w") as handle:
-            json.dump(
-                {
-                    "element_type": meta.element_type,
-                    "shape": list(meta.shape),
-                    "element_count": meta.layout.element_count,
-                    "chunk_bytes": meta.layout.chunk_bytes,
-                },
-                handle,
-            )
+        payload = json.dumps(
+            {
+                "element_type": meta.element_type,
+                "shape": list(meta.shape),
+                "element_count": meta.layout.element_count,
+                "chunk_bytes": meta.layout.chunk_bytes,
+            }
+        ).encode("utf-8")
+        # temp file + fsync + rename: a reader (or a reopened store)
+        # sees either no metadata or complete metadata, never a torn
+        # JSON document
+        atomic_write_bytes(self._meta_path(meta.array_id), payload)
 
     def _load_meta(self, array_id):
         path = self._meta_path(array_id)
@@ -86,15 +115,100 @@ class FileArrayStore(ArrayStore):
         )
         return ArrayMeta(array_id, raw["element_type"], raw["shape"], layout)
 
+    def _all_array_ids(self):
+        ids = set(self._meta)
+        for name in os.listdir(self.directory):
+            if name.startswith("array_") and name.endswith(".json"):
+                try:
+                    ids.add(int(name[6:-5]))
+                except ValueError:
+                    continue
+        return sorted(ids, key=str)
+
+    # -- checksum sidecar --------------------------------------------------------
+
+    def _crc_table(self, array_id):
+        """The chunk-checksum table of one array, or None (legacy)."""
+        if array_id in self._crcs:
+            return self._crcs[array_id]
+        path = self._crc_path(array_id)
+        if not os.path.exists(path):
+            self._crcs[array_id] = None
+            return None
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        count = len(raw) // 4
+        values = struct.unpack(">%dI" % count, raw[: count * 4])
+        table = dict(enumerate(values))
+        self._crcs[array_id] = table
+        return table
+
+    def _store_crc_table(self, array_id, table):
+        """Persist a checksum table atomically and cache it."""
+        count = (max(table) + 1) if table else 0
+        values = [table.get(index, 0) for index in range(count)]
+        atomic_write_bytes(
+            self._crc_path(array_id), struct.pack(">%dI" % count, *values)
+        )
+        self._crcs[array_id] = dict(table)
+
+    def _verified(self, array_id, chunk_id, raw, expected_bytes):
+        """Short-read + checksum verification of one chunk's bytes."""
+        raw = self._fault_read_bytes(raw)
+        if len(raw) < expected_bytes:
+            raise CorruptionError(
+                "short read of chunk %d of array %r: %d of %d bytes "
+                "(file truncated by a torn write?)"
+                % (chunk_id, array_id, len(raw), expected_bytes)
+            )
+        if self.verify_checksums:
+            table = self._crc_table(array_id)
+            if table is not None:
+                expected = table.get(chunk_id)
+                if expected is None or payload_crc(raw) != expected:
+                    raise CorruptionError(
+                        "chunk %d of array %r failed its checksum"
+                        % (chunk_id, array_id)
+                    )
+        return raw
+
     # -- chunk IO -----------------------------------------------------------------
 
     def _write_chunk(self, array_id, chunk_id, data):
         layout = self.meta(array_id).layout
         path = self._data_path(array_id)
+        payload = np.ascontiguousarray(data).tobytes()
+        # checksum the pristine payload; fault injection may tear the
+        # bytes that actually hit the disk, which the next read detects
+        table = self._crcs.setdefault(array_id, {})
+        if table is None:
+            table = self._crcs[array_id] = {}
+        table[chunk_id] = payload_crc(payload)
+        payload, crash_after = self._fault_write_bytes(payload)
         mode = "r+b" if os.path.exists(path) else "wb"
         with open(path, mode) as handle:
             handle.seek(chunk_id * layout.chunk_bytes)
-            handle.write(np.ascontiguousarray(data).tobytes())
+            handle.write(payload)
+        if crash_after:
+            raise SimulatedCrash(
+                "injected crash after torn write of chunk %d of array %r"
+                % (chunk_id, array_id)
+            )
+
+    def _flush_chunks(self, meta):
+        """Durability ordering of a put: fsync data, then checksums.
+
+        Metadata registration (which makes the array visible) follows in
+        the base class, so the sequence on disk is always
+        data -> checksums -> metadata.
+        """
+        path = self._data_path(meta.array_id)
+        if os.path.exists(path):
+            with open(path, "r+b") as handle:
+                os.fsync(handle.fileno())
+        table = self._crcs.get(meta.array_id) or {}
+        self._store_crc_table(meta.array_id, table)
+        fsync_directory(self.directory)
 
     def _read_chunk(self, array_id, chunk_id):
         meta = self.meta(array_id)
@@ -105,9 +219,15 @@ class FileArrayStore(ArrayStore):
                 "chunk %d outside array %r" % (chunk_id, array_id)
             )
         dtype = ELEMENT_TYPES[meta.element_type]
-        with open(self._data_path(array_id), "rb") as handle:
-            handle.seek(chunk_id * layout.chunk_bytes)
-            raw = handle.read(count * dtype.itemsize)
+        try:
+            with open(self._data_path(array_id), "rb") as handle:
+                handle.seek(chunk_id * layout.chunk_bytes)
+                raw = handle.read(count * dtype.itemsize)
+        except FileNotFoundError:
+            raise StorageError(
+                "missing data file of array %r" % (array_id,)
+            )
+        raw = self._verified(array_id, chunk_id, raw, count * dtype.itemsize)
         return np.frombuffer(raw, dtype=dtype)
 
     def _read_chunks(self, array_id, chunk_ids):
@@ -115,7 +235,13 @@ class FileArrayStore(ArrayStore):
         layout = meta.layout
         dtype = ELEMENT_TYPES[meta.element_type]
         result = {}
-        with open(self._data_path(array_id), "rb") as handle:
+        try:
+            handle = open(self._data_path(array_id), "rb")
+        except FileNotFoundError:
+            raise StorageError(
+                "missing data file of array %r" % (array_id,)
+            )
+        with handle:
             for chunk_id in sorted(set(chunk_ids)):
                 count = layout.chunk_extent(chunk_id)
                 if count == 0:
@@ -124,6 +250,9 @@ class FileArrayStore(ArrayStore):
                     )
                 handle.seek(chunk_id * layout.chunk_bytes)
                 raw = handle.read(count * dtype.itemsize)
+                raw = self._verified(
+                    array_id, chunk_id, raw, count * dtype.itemsize
+                )
                 result[chunk_id] = np.frombuffer(raw, dtype=dtype)
         return result
 
@@ -132,7 +261,13 @@ class FileArrayStore(ArrayStore):
         layout = meta.layout
         dtype = ELEMENT_TYPES[meta.element_type]
         result = {}
-        with open(self._data_path(array_id), "rb") as handle:
+        try:
+            handle = open(self._data_path(array_id), "rb")
+        except FileNotFoundError:
+            raise StorageError(
+                "missing data file of array %r" % (array_id,)
+            )
+        with handle:
             for first, last, step in ranges:
                 if step == 1:
                     # contiguous range: a single large sequential read
@@ -152,15 +287,46 @@ class FileArrayStore(ArrayStore):
                         chunk_id = first + index
                         count = layout.chunk_extent(chunk_id)
                         start = index * layout.chunk_bytes
-                        result[chunk_id] = np.frombuffer(
-                            raw, dtype=dtype,
-                            count=count,
-                            offset=start,
+                        piece = raw[start:start + count * dtype.itemsize]
+                        piece = self._verified(
+                            array_id, chunk_id, piece,
+                            count * dtype.itemsize,
                         )
+                        result[chunk_id] = np.frombuffer(piece, dtype=dtype)
                 else:
                     for chunk_id in range(first, last + 1, step):
                         count = layout.chunk_extent(chunk_id)
                         handle.seek(chunk_id * layout.chunk_bytes)
                         raw = handle.read(count * dtype.itemsize)
+                        raw = self._verified(
+                            array_id, chunk_id, raw,
+                            count * dtype.itemsize,
+                        )
                         result[chunk_id] = np.frombuffer(raw, dtype=dtype)
         return result
+
+    # -- quarantine ---------------------------------------------------------------
+
+    def _quarantine_chunk(self, array_id, chunk_id):
+        """Quarantine the whole damaged array (one flat file per array:
+        individual chunks cannot be excised).  Files move into
+        ``quarantine/``; the array's id then reads as *missing*."""
+        quarantine = os.path.join(self.directory, self.QUARANTINE_DIR)
+        moved = False
+        for path in (
+            self._data_path(array_id),
+            self._crc_path(array_id),
+            self._meta_path(array_id),
+        ):
+            if not os.path.exists(path):
+                continue
+            os.makedirs(quarantine, exist_ok=True)
+            os.replace(
+                path, os.path.join(quarantine, os.path.basename(path))
+            )
+            moved = True
+        if moved:
+            self._meta.pop(array_id, None)
+            self._crcs.pop(array_id, None)
+            fsync_directory(self.directory)
+        return moved

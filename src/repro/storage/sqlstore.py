@@ -13,10 +13,21 @@ the paper's strategies:
 The paper used a commercial RDBMS over JDBC; SQLite preserves the relevant
 economics (per-statement overhead vs. batched / range scans over a
 clustered primary key).
+
+Durability: file-backed databases run with ``journal_mode=WAL`` (a crash
+never tears a committed transaction) and a ``busy_timeout`` so a second
+process contending for the file waits instead of failing instantly.  The
+``chunks`` table carries a per-chunk CRC column verified on every fetch —
+a mismatching BLOB raises a typed
+:class:`~repro.exceptions.CorruptionError` instead of yielding wrong
+bytes — and a multi-chunk ``put`` runs inside one explicit transaction,
+so a half-written array is never visible.  ``repair()`` moves damaged
+rows into a ``quarantined_chunks`` table.
 """
 
 from __future__ import annotations
 
+import contextlib
 import sqlite3
 import threading
 from typing import Dict, List, Tuple
@@ -25,8 +36,10 @@ import numpy as np
 
 from repro.arrays.chunks import ChunkLayout
 from repro.arrays.nma import ELEMENT_TYPES
-from repro.exceptions import StorageError
+from repro.exceptions import CorruptionError, StorageError
 from repro.storage.asei import ArrayMeta, ArrayStore
+from repro.storage.durability import payload_crc
+from repro.storage.faults import SimulatedCrash
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS arrays (
@@ -40,6 +53,14 @@ CREATE TABLE IF NOT EXISTS chunks (
     array_id INTEGER NOT NULL,
     chunk_id INTEGER NOT NULL,
     data     BLOB NOT NULL,
+    checksum INTEGER,
+    PRIMARY KEY (array_id, chunk_id)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS quarantined_chunks (
+    array_id INTEGER NOT NULL,
+    chunk_id INTEGER NOT NULL,
+    data     BLOB NOT NULL,
+    checksum INTEGER,
     PRIMARY KEY (array_id, chunk_id)
 ) WITHOUT ROWID;
 """
@@ -59,19 +80,44 @@ class SqlArrayStore(ArrayStore):
     #: are split transparently.
     MAX_IN_LIST = 500
 
-    def __init__(self, database=":memory:", chunk_bytes=None, **kwargs):
+    def __init__(self, database=":memory:", chunk_bytes=None,
+                 busy_timeout_ms=5000, **kwargs):
         if chunk_bytes is not None:
             kwargs["chunk_bytes"] = chunk_bytes
         super().__init__(**kwargs)
         self.database = database
         # one shared connection crossing threads: every statement runs
-        # under _db_lock (prefetch workers + TCP server threads)
+        # under _db_lock (prefetch workers + TCP server threads); the
+        # lock is re-entrant so an explicit put-transaction can span
+        # the per-statement acquisitions of _write_chunk/_register_meta
         self._connection = sqlite3.connect(
             database, check_same_thread=False
         )
-        self._db_lock = threading.Lock()
+        self._db_lock = threading.RLock()
+        # WAL survives crashes without torn pages and lets readers in
+        # other connections proceed during a write; a :memory: database
+        # reports "memory" here, which is fine — it has no crash story
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute(
+            "PRAGMA busy_timeout=%d" % int(busy_timeout_ms)
+        )
         self._connection.executescript(_SCHEMA)
+        self._migrate_checksum_column()
         self._recover_ids()
+
+    def _migrate_checksum_column(self):
+        """Add the checksum column to databases from before it existed
+        (their rows read back with checksum NULL = unverified)."""
+        columns = [
+            row[1] for row in self._connection.execute(
+                "PRAGMA table_info(chunks)"
+            ).fetchall()
+        ]
+        if "checksum" not in columns:
+            self._connection.execute(
+                "ALTER TABLE chunks ADD COLUMN checksum INTEGER"
+            )
+            self._connection.commit()
 
     def close(self):
         self._connection.close()
@@ -114,17 +160,66 @@ class SqlArrayStore(ArrayStore):
         shape = tuple(int(e) for e in shape_text.split(",") if e)
         return ArrayMeta(array_id, element_type, shape, layout)
 
+    def _all_array_ids(self):
+        with self._db_lock:
+            rows = self._connection.execute(
+                "SELECT array_id FROM arrays"
+            ).fetchall()
+        ids = set(self._meta)
+        ids.update(row[0] for row in rows)
+        return sorted(ids, key=str)
+
+    # -- atomic multi-chunk put ---------------------------------------------------
+
+    @contextlib.contextmanager
+    def _put_transaction(self, meta):
+        """All chunk writes + metadata of one put commit atomically.
+
+        The re-entrant ``_db_lock`` is held for the whole transaction so
+        concurrent readers on the shared connection never observe (or
+        interleave statements into) a half-written array.
+        """
+        with self._db_lock:
+            self._connection.execute("BEGIN IMMEDIATE")
+            try:
+                yield
+            except BaseException:
+                self._connection.rollback()
+                raise
+            else:
+                self._connection.commit()
+
     # -- chunk IO -----------------------------------------------------------------
 
     def _write_chunk(self, array_id, chunk_id, data):
+        payload = np.ascontiguousarray(data).tobytes()
+        # checksum the pristine payload; injected faults may tear the
+        # BLOB that is actually stored, which the next read detects
+        checksum = payload_crc(payload)
+        payload, crash_after = self._fault_write_bytes(payload)
         with self._db_lock:
             self._connection.execute(
-                "INSERT OR REPLACE INTO chunks (array_id, chunk_id, data)"
-                " VALUES (?, ?, ?)",
-                (array_id, chunk_id, np.ascontiguousarray(data).tobytes()),
+                "INSERT OR REPLACE INTO chunks"
+                " (array_id, chunk_id, data, checksum) VALUES (?, ?, ?, ?)",
+                (array_id, chunk_id, payload, checksum),
+            )
+        if crash_after:
+            raise SimulatedCrash(
+                "injected crash after torn write of chunk %d of array %r"
+                % (chunk_id, array_id)
             )
 
-    def _decode(self, array_id, blob):
+    def _decode(self, array_id, chunk_id, blob, checksum):
+        blob = self._fault_read_bytes(blob)
+        if (
+            self.verify_checksums
+            and checksum is not None
+            and payload_crc(blob) != checksum
+        ):
+            raise CorruptionError(
+                "chunk %r of array %r failed its checksum"
+                % (chunk_id, array_id)
+            )
         dtype = ELEMENT_TYPES[self.meta(array_id).element_type]
         return np.frombuffer(blob, dtype=dtype)
 
@@ -132,14 +227,15 @@ class SqlArrayStore(ArrayStore):
         self.meta(array_id)  # resolve metadata before taking the lock
         with self._db_lock:
             row = self._connection.execute(
-                "SELECT data FROM chunks WHERE array_id=? AND chunk_id=?",
+                "SELECT data, checksum FROM chunks"
+                " WHERE array_id=? AND chunk_id=?",
                 (array_id, chunk_id),
             ).fetchone()
         if row is None:
             raise StorageError(
                 "missing chunk %r of array %r" % (chunk_id, array_id)
             )
-        return self._decode(array_id, row[0])
+        return self._decode(array_id, chunk_id, row[0], row[1])
 
     def _read_chunks(self, array_id, chunk_ids):
         self.meta(array_id)
@@ -150,12 +246,14 @@ class SqlArrayStore(ArrayStore):
             placeholders = ",".join("?" * len(batch))
             with self._db_lock:
                 rows = self._connection.execute(
-                    "SELECT chunk_id, data FROM chunks"
+                    "SELECT chunk_id, data, checksum FROM chunks"
                     " WHERE array_id=? AND chunk_id IN (%s)" % placeholders,
                     [array_id] + batch,
                 ).fetchall()
-            for chunk_id, blob in rows:
-                result[chunk_id] = self._decode(array_id, blob)
+            for chunk_id, blob, checksum in rows:
+                result[chunk_id] = self._decode(
+                    array_id, chunk_id, blob, checksum
+                )
         missing = set(unique) - set(result)
         if missing:
             raise StorageError(
@@ -170,20 +268,47 @@ class SqlArrayStore(ArrayStore):
             with self._db_lock:
                 if step == 1:
                     rows = self._connection.execute(
-                        "SELECT chunk_id, data FROM chunks"
+                        "SELECT chunk_id, data, checksum FROM chunks"
                         " WHERE array_id=? AND chunk_id BETWEEN ? AND ?",
                         (array_id, first, last),
                     ).fetchall()
                 else:
                     rows = self._connection.execute(
-                        "SELECT chunk_id, data FROM chunks"
+                        "SELECT chunk_id, data, checksum FROM chunks"
                         " WHERE array_id=? AND chunk_id BETWEEN ? AND ?"
                         " AND (chunk_id - ?) % ? = 0",
                         (array_id, first, last, first, step),
                     ).fetchall()
-            for chunk_id, blob in rows:
-                result[chunk_id] = self._decode(array_id, blob)
+            for chunk_id, blob, checksum in rows:
+                result[chunk_id] = self._decode(
+                    array_id, chunk_id, blob, checksum
+                )
         return result
+
+    # -- quarantine ---------------------------------------------------------------
+
+    def _quarantine_chunk(self, array_id, chunk_id):
+        """Move one damaged row aside; later reads get a clean missing-
+        chunk StorageError instead of re-fetching bad bytes."""
+        with self._db_lock:
+            self._connection.execute("BEGIN IMMEDIATE")
+            try:
+                moved = self._connection.execute(
+                    "INSERT OR REPLACE INTO quarantined_chunks"
+                    " SELECT * FROM chunks"
+                    "  WHERE array_id=? AND chunk_id=?",
+                    (array_id, chunk_id),
+                ).rowcount
+                self._connection.execute(
+                    "DELETE FROM chunks WHERE array_id=? AND chunk_id=?",
+                    (array_id, chunk_id),
+                )
+            except BaseException:
+                self._connection.rollback()
+                raise
+            else:
+                self._connection.commit()
+        return bool(moved)
 
     # -- delegated aggregates ----------------------------------------------------
 
@@ -195,20 +320,19 @@ class SqlArrayStore(ArrayStore):
         """
         if op not in ("sum", "avg", "min", "max"):
             raise StorageError("unknown aggregate %r" % (op,))
-        meta = self.meta(array_id)
-        dtype = ELEMENT_TYPES[meta.element_type]
+        self.meta(array_id)
         with self._db_lock:
             rows = self._connection.execute(
-                "SELECT data FROM chunks WHERE array_id=?"
-                " ORDER BY chunk_id",
+                "SELECT chunk_id, data, checksum FROM chunks"
+                " WHERE array_id=? ORDER BY chunk_id",
                 (array_id,),
             ).fetchall()
         total = 0.0
         count = 0
         low = None
         high = None
-        for (blob,) in rows:
-            piece = np.frombuffer(blob, dtype=dtype)
+        for chunk_id, blob, checksum in rows:
+            piece = self._decode(array_id, chunk_id, blob, checksum)
             if piece.size == 0:
                 continue
             total += float(np.sum(piece))

@@ -1,0 +1,583 @@
+"""Durability layer: WAL round-trips, crash recovery, checksummed reads.
+
+Three families of guarantees are exercised:
+
+- **Journal codec** — hypothesis round-trips of the N-Triples-based
+  record encoding over every update kind and over randomized RDF terms
+  (URIs, blank nodes, plain/lang/typed literals, numeric arrays).
+- **Crash recovery** — a simulated-crash matrix (crash before the WAL
+  append, after it, and torn writes at every durable-write position)
+  across the persistent stores, asserting the reopened instance equals
+  exactly the pre-update or the post-update dataset — never anything in
+  between.
+- **Checksummed storage** — bit flips and truncations surface as typed
+  ``CORRUPT`` errors (never wrong results, never cached), and
+  ``verify()`` / ``repair()`` report and quarantine the damage.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    SSDM,
+    BlankNode,
+    CorruptionError,
+    FaultPlan,
+    FileArrayStore,
+    Literal,
+    NumericArray,
+    SimulatedCrash,
+    SqlArrayStore,
+    StorageError,
+    URI,
+)
+from repro.storage.durability import (
+    DatasetJournal,
+    WriteAheadLog,
+    decode_triple,
+    encode_triple,
+    payload_crc,
+)
+
+EX = "PREFIX ex: <http://example.org/> "
+
+
+# -- helpers --------------------------------------------------------------------------
+
+
+def make_store(kind, base, faults=None):
+    os.makedirs(base, exist_ok=True)
+    if kind == "file":
+        return FileArrayStore(
+            os.path.join(base, "arrays"), chunk_bytes=64, faults=faults
+        )
+    return SqlArrayStore(
+        os.path.join(base, "arrays.db"), chunk_bytes=64, faults=faults
+    )
+
+
+def open_ssdm(base, kind, faults=None):
+    store = make_store(kind, base, faults=faults)
+    ssdm = SSDM.open(
+        os.path.join(base, "journal"), array_store=store,
+        faults=faults, externalize_threshold=4,
+    )
+    ssdm.prefix("ex", "http://example.org/")
+    return ssdm
+
+
+def dataset_lines(ssdm):
+    """A canonical, store-independent image of the whole dataset."""
+    out = {}
+    graphs = [("", ssdm.dataset.default_graph)]
+    graphs.extend(
+        (name.value, graph)
+        for name, graph in ssdm.dataset.named_graphs().items()
+    )
+    for name, graph in graphs:
+        out[name] = sorted(
+            encode_triple(*triple) for triple in graph.triples()
+        )
+    return {name: lines for name, lines in out.items() if lines}
+
+
+# -- WAL framing ----------------------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    @given(payloads=st.lists(st.binary(min_size=0, max_size=200),
+                             max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_append_scan_roundtrip(self, tmp_path_factory, payloads):
+        path = str(tmp_path_factory.mktemp("wal") / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        for payload in payloads:
+            wal.append(payload)
+        wal.close()
+        recovered = WriteAheadLog(path).recover()
+        assert [p for _, p in recovered] == payloads
+        assert [s for s, _ in recovered] == list(
+            range(1, len(payloads) + 1)
+        )
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        for i in range(3):
+            wal.append(b"record-%d" % i)
+        wal.close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 5)
+        fresh = WriteAheadLog(path)
+        records = fresh.recover()
+        assert [p for _, p in records] == [b"record-0", b"record-1"]
+        assert fresh.truncated_bytes > 0
+        # the log is clean again: appends extend the surviving prefix
+        assert fresh.append(b"record-2b") == 3
+        fresh.close()
+        final = [p for _, p in WriteAheadLog(path).recover()]
+        assert final == [b"record-0", b"record-1", b"record-2b"]
+
+    def test_corrupt_record_stops_recovery(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(b"a" * 50)
+        second_start = os.path.getsize(path)
+        wal.append(b"b" * 50)
+        wal.append(b"c" * 50)
+        wal.close()
+        with open(path, "r+b") as handle:
+            handle.seek(second_start + 30)
+            handle.write(b"\xff")
+        records = WriteAheadLog(path).recover()
+        assert [p for _, p in records] == [b"a" * 50]
+
+    def test_torn_write_injection_truncates_frame(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, faults=FaultPlan(torn_write=2))
+        wal.append(b"first")
+        with pytest.raises(SimulatedCrash):
+            wal.append(b"second")
+        wal.close()
+        assert [p for _, p in WriteAheadLog(path).recover()] == [b"first"]
+
+    def test_crc_detects_any_single_bit_flip(self):
+        body = b"\x00" * 8 + b"\x00\x00\x00\x05" + b"hello"
+        reference = payload_crc(body)
+        for byte in range(len(body)):
+            flipped = bytearray(body)
+            flipped[byte] ^= 0x40
+            assert payload_crc(bytes(flipped)) != reference
+
+
+# -- the triple codec -----------------------------------------------------------------
+
+
+_SAFE_CHARS = st.characters(
+    blacklist_categories=("Cs",)       # no lone surrogates (not UTF-8)
+)
+_URI_TEXT = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789:/#.-_", min_size=1,
+    max_size=30,
+).map(lambda s: "http://example.org/" + s)
+_LITERALS = st.one_of(
+    st.text(alphabet=_SAFE_CHARS, max_size=40).map(Literal),
+    st.tuples(
+        st.text(alphabet=_SAFE_CHARS, max_size=20),
+        st.sampled_from(["en", "de", "sv"]),
+    ).map(lambda pair: Literal(pair[0], lang=pair[1])),
+    st.integers(min_value=-10**12, max_value=10**12).map(Literal),
+    st.floats(allow_nan=False, allow_infinity=False).map(Literal),
+    st.booleans().map(Literal),
+)
+_ARRAYS = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=12
+).map(lambda data: NumericArray(np.asarray(data, dtype=np.float64)))
+_SUBJECTS = st.one_of(
+    _URI_TEXT.map(URI),
+    st.integers(min_value=0, max_value=10**6).map(
+        lambda n: BlankNode("b%d" % n)
+    ),
+)
+_VALUES = st.one_of(_SUBJECTS, _LITERALS, _ARRAYS)
+
+
+class TestTripleCodec:
+    @given(_SUBJECTS, _URI_TEXT.map(URI), _VALUES)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, subject, prop, value):
+        line = encode_triple(subject, prop, value)
+        back_s, back_p, back_v = decode_triple(line)
+        assert back_s == subject
+        assert back_p == prop
+        if isinstance(value, NumericArray):
+            assert np.array_equal(back_v.to_numpy(), value.to_numpy())
+        else:
+            assert back_v == value
+
+    def test_proxy_roundtrip_references_store_id(self, tmp_path):
+        from repro import Span
+
+        store = FileArrayStore(str(tmp_path), chunk_bytes=64)
+        proxy = store.put(np.arange(32, dtype=np.float64))
+        view = proxy.subscript([Span(2, 9)])
+        line = encode_triple(URI("http://e/s"), URI("http://e/p"), view)
+        # chunks never get copied into the record
+        assert len(line) < 300
+        _, _, decoded = decode_triple(line, store)
+        assert decoded.array_id == view.array_id
+        assert decoded.shape == view.shape
+        assert decoded.offset == view.offset
+        assert np.array_equal(
+            decoded.resolve().to_numpy(), view.resolve().to_numpy()
+        )
+
+    def test_proxy_without_store_is_an_error(self, tmp_path):
+        store = FileArrayStore(str(tmp_path), chunk_bytes=64)
+        proxy = store.put(np.arange(32, dtype=np.float64))
+        line = encode_triple(URI("http://e/s"), URI("http://e/p"), proxy)
+        with pytest.raises(StorageError):
+            decode_triple(line, None)
+
+    def test_replayed_blank_labels_do_not_collide(self, tmp_path):
+        line = "_:b%d <http://e/p> \"x\" ." % (BlankNode._counter + 50)
+        replayed, _, _ = decode_triple(line)
+        fresh = BlankNode()
+        assert fresh.label != replayed.label
+
+    def test_garbage_line_raises_corruption(self):
+        for line in ["", "<u> <p>", "<u <p> <o> .", '<u> <p> "x" . extra']:
+            with pytest.raises(CorruptionError):
+                decode_triple(line)
+
+
+# -- journal records over every update kind -------------------------------------------
+
+
+UPDATE_STATEMENTS = {
+    "insert": EX + 'INSERT DATA { ex:x ex:val ((1 2 3 4 5 6 7 8) '
+                   '(9 10 11 12 13 14 15 16)) . ex:x ex:tag "fresh" }',
+    "delete": EX + 'DELETE DATA { ex:seed ex:name "Seed" }',
+    "modify": EX + 'DELETE { ?s ex:name ?n } INSERT { ?s ex:name "New" } '
+                   'WHERE { ?s ex:name ?n }',
+    "clear": "CLEAR ALL",
+}
+
+
+def seed_instance(base, kind, faults=None):
+    """A durable SSDM with one plain triple and one externalized array."""
+    ssdm = open_ssdm(base, kind, faults=faults)
+    ssdm.execute(EX + 'INSERT DATA { ex:seed ex:name "Seed" }')
+    ssdm.execute(
+        EX + "INSERT DATA { ex:seed ex:data (1 2 3 4 5 6 7 8 9 10) }"
+    )
+    return ssdm
+
+
+class TestJournaledUpdates:
+    @pytest.mark.parametrize("kind", sorted(UPDATE_STATEMENTS))
+    @pytest.mark.parametrize("store_kind", ["file", "sql"])
+    def test_every_update_kind_replays(self, tmp_path, store_kind, kind):
+        base = str(tmp_path)
+        ssdm = seed_instance(base, store_kind)
+        ssdm.execute(UPDATE_STATEMENTS[kind])
+        expected = dataset_lines(ssdm)
+        ssdm.close()
+        reopened = open_ssdm(base, store_kind)
+        assert dataset_lines(reopened) == expected
+        reopened.close()
+
+    def test_named_graph_updates_replay(self, tmp_path):
+        base = str(tmp_path)
+        ssdm = open_ssdm(base, "file")
+        ssdm.execute(
+            EX + 'INSERT DATA { GRAPH ex:g { ex:a ex:p "in-g" } }'
+        )
+        ssdm.execute(EX + 'INSERT DATA { ex:a ex:p "in-default" }')
+        expected = dataset_lines(ssdm)
+        assert len(expected) == 2
+        ssdm.close()
+        reopened = open_ssdm(base, "file")
+        assert dataset_lines(reopened) == expected
+        # clearing just the named graph replays too
+        reopened.execute(EX + "CLEAR GRAPH ex:g")
+        cleared = dataset_lines(reopened)
+        reopened.close()
+        final = open_ssdm(base, "file")
+        assert dataset_lines(final) == cleared
+        final.close()
+
+    def test_snapshot_compacts_and_preserves_state(self, tmp_path):
+        base = str(tmp_path)
+        ssdm = seed_instance(base, "file")
+        for i in range(10):
+            ssdm.execute(
+                EX + 'INSERT DATA { ex:s ex:v "%d" }' % i
+            )
+            ssdm.execute(
+                EX + 'DELETE DATA { ex:s ex:v "%d" }' % i
+            )
+        before = os.path.getsize(
+            os.path.join(base, "journal", "wal.log")
+        )
+        expected = dataset_lines(ssdm)
+        ssdm.snapshot()
+        after = os.path.getsize(os.path.join(base, "journal", "wal.log"))
+        assert after < before
+        ssdm.close()
+        reopened = open_ssdm(base, "file")
+        assert dataset_lines(reopened) == expected
+        assert reopened.stats()["durability"]["journal"][
+            "records_replayed"
+        ] <= 3
+        reopened.close()
+
+    def test_updates_without_journal_still_work(self, ssdm):
+        ssdm.prefix("ex", "http://example.org/")
+        assert ssdm.journal is None
+        assert ssdm.execute(EX + 'INSERT DATA { ex:a ex:p "v" }') == 1
+        assert ssdm.snapshot() is None
+
+
+# -- the simulated-crash matrix -------------------------------------------------------
+
+
+def run_crash_experiment(tmp_path, store_kind, kind, faults):
+    """Seed, crash during one update, reopen.
+
+    Returns ``(pre, post, got, crashed)``: the dataset images before
+    and after the update (from a fault-free twin), the image the
+    crashed-and-recovered instance converged to, and whether the fault
+    plan actually fired.
+    """
+    base = str(tmp_path)
+    # a fault-free twin computes the exact post-update image
+    twin_base = os.path.join(base, "twin")
+    twin = seed_instance(twin_base, store_kind)
+    pre = dataset_lines(twin)
+    twin.execute(UPDATE_STATEMENTS[kind])
+    post = dataset_lines(twin)
+    twin.close()
+
+    crash_base = os.path.join(base, "crash")
+    victim = seed_instance(crash_base, store_kind)
+    victim.journal.faults = faults
+    victim.journal.wal.faults = faults
+    victim.array_store.faults = faults
+    crashed = False
+    try:
+        victim.execute(UPDATE_STATEMENTS[kind])
+    except SimulatedCrash:
+        crashed = True
+    victim.close()
+
+    recovered = open_ssdm(crash_base, store_kind)
+    got = dataset_lines(recovered)
+    recovered.close()
+    return pre, post, got, crashed
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("kind", sorted(UPDATE_STATEMENTS))
+    @pytest.mark.parametrize("store_kind", ["file", "sql"])
+    def test_crash_before_wal_loses_the_update(
+        self, tmp_path, store_kind, kind
+    ):
+        pre, post, got, crashed = run_crash_experiment(
+            tmp_path, store_kind, kind, FaultPlan(crash_before_wal=True)
+        )
+        assert crashed
+        assert got == pre
+
+    @pytest.mark.parametrize("kind", sorted(UPDATE_STATEMENTS))
+    @pytest.mark.parametrize("store_kind", ["file", "sql"])
+    def test_crash_after_wal_replays_the_update(
+        self, tmp_path, store_kind, kind
+    ):
+        pre, post, got, crashed = run_crash_experiment(
+            tmp_path, store_kind, kind, FaultPlan(crash_after_wal=True)
+        )
+        assert crashed
+        assert got == post
+
+    @pytest.mark.parametrize("position", [1, 2, 3, 4])
+    @pytest.mark.parametrize("store_kind", ["file", "sql"])
+    def test_torn_write_at_every_position_converges(
+        self, tmp_path, store_kind, position
+    ):
+        """Tear the Nth durable write of an array-inserting update.
+
+        The insert of a 16-element array makes two chunk writes and
+        then one WAL append; whichever of them tears, recovery must
+        land on exactly the pre- or post-update image (a torn chunk
+        write or torn WAL append loses the update; positions past the
+        last durable write of the statement cannot crash it at all, so
+        those runs are skipped).
+        """
+        faults = FaultPlan(torn_write=position)
+        pre, post, got, crashed = run_crash_experiment(
+            tmp_path, store_kind, "insert", faults
+        )
+        if not crashed:
+            assert got == post
+            pytest.skip(
+                "update finished before durable write %d" % position
+            )
+        assert got in (pre, post)
+
+
+# -- checksummed chunk storage --------------------------------------------------------
+
+
+class TestChecksummedReads:
+    @pytest.mark.parametrize("store_kind", ["file", "sql"])
+    def test_bit_flip_is_typed_corrupt_never_wrong_results(
+        self, tmp_path, store_kind
+    ):
+        faults = FaultPlan(bit_flip_rate=1.0)
+        store = make_store(store_kind, str(tmp_path), faults=faults)
+        proxy = store.put(np.arange(40, dtype=np.float64))
+        with pytest.raises(CorruptionError) as caught:
+            store.get_chunk(proxy.array_id, 0)
+        assert caught.value.code == "CORRUPT"
+        assert caught.value.retryable is False
+        assert isinstance(caught.value, StorageError)
+        assert store.stats.snapshot()["corrupt_chunks"] >= 1
+
+    @pytest.mark.parametrize("store_kind", ["file", "sql"])
+    def test_corrupt_chunks_never_enter_the_buffer_pool(
+        self, tmp_path, store_kind
+    ):
+        faults = FaultPlan(bit_flip_rate=1.0)
+        store = make_store(store_kind, str(tmp_path), faults=faults)
+        data = np.arange(40, dtype=np.float64)
+        proxy = store.put(data)
+        with pytest.raises(CorruptionError):
+            proxy.resolve()
+        # heal the medium: the pool must re-fetch, not serve the
+        # corrupt bytes it must never have admitted
+        faults.bit_flip_rate = 0.0
+        assert np.array_equal(
+            proxy.resolve().to_numpy().reshape(-1), data
+        )
+
+    def test_short_read_raises_storage_error(self, tmp_path):
+        store = FileArrayStore(str(tmp_path), chunk_bytes=64)
+        proxy = store.put(np.arange(40, dtype=np.float64))
+        path = os.path.join(str(tmp_path), "array_%d.bin" % proxy.array_id)
+        os.truncate(path, os.path.getsize(path) - 3)
+        last = proxy.store.meta(proxy.array_id).layout.chunk_count - 1
+        with pytest.raises(StorageError) as caught:
+            store.get_chunk(proxy.array_id, last)
+        assert isinstance(caught.value, CorruptionError)
+        assert "short read" in str(caught.value)
+
+    def test_sql_put_is_transactional(self, tmp_path):
+        db = os.path.join(str(tmp_path), "arrays.db")
+        store = SqlArrayStore(db, chunk_bytes=64,
+                              faults=FaultPlan(torn_write=3))
+        with pytest.raises(SimulatedCrash):
+            store.put(np.arange(100, dtype=np.float64))
+        reopened = SqlArrayStore(db, chunk_bytes=64)
+        assert reopened._all_array_ids() == []
+        with reopened._db_lock:
+            count = reopened._connection.execute(
+                "SELECT COUNT(*) FROM chunks"
+            ).fetchone()[0]
+        assert count == 0
+
+    def test_file_put_crash_leaves_no_visible_array(self, tmp_path):
+        directory = os.path.join(str(tmp_path), "arrays")
+        store = FileArrayStore(directory, chunk_bytes=64,
+                               faults=FaultPlan(torn_write=3))
+        with pytest.raises(SimulatedCrash):
+            store.put(np.arange(100, dtype=np.float64))
+        reopened = FileArrayStore(directory, chunk_bytes=64)
+        assert reopened._all_array_ids() == []
+
+    def test_legacy_file_arrays_without_sidecar_stay_readable(
+        self, tmp_path
+    ):
+        store = FileArrayStore(str(tmp_path), chunk_bytes=64)
+        data = np.arange(40, dtype=np.float64)
+        proxy = store.put(data)
+        os.remove(os.path.join(
+            str(tmp_path), "array_%d.crc" % proxy.array_id
+        ))
+        reopened = FileArrayStore(str(tmp_path), chunk_bytes=64)
+        assert np.array_equal(
+            reopened.get_chunk(proxy.array_id, 0),
+            data[:8],
+        )
+
+
+# -- verify / repair ------------------------------------------------------------------
+
+
+def corrupt_first_chunk(store_kind, base, array_id):
+    if store_kind == "file":
+        path = os.path.join(base, "arrays", "array_%d.bin" % array_id)
+        with open(path, "r+b") as handle:
+            handle.seek(4)
+            byte = handle.read(1)
+            handle.seek(4)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+    else:
+        import sqlite3
+
+        con = sqlite3.connect(os.path.join(base, "arrays.db"))
+        row = con.execute(
+            "SELECT chunk_id, data FROM chunks WHERE array_id=?"
+            " ORDER BY chunk_id LIMIT 1",
+            (array_id,),
+        ).fetchone()
+        blob = bytearray(row[1])
+        blob[4] ^= 0xFF
+        con.execute(
+            "UPDATE chunks SET data=? WHERE array_id=? AND chunk_id=?",
+            (bytes(blob), array_id, row[0]),
+        )
+        con.commit()
+        con.close()
+
+
+class TestVerifyRepair:
+    @pytest.mark.parametrize("store_kind", ["file", "sql"])
+    def test_verify_reports_and_repair_quarantines(
+        self, tmp_path, store_kind
+    ):
+        base = str(tmp_path)
+        store = make_store(store_kind, base)
+        good = store.put(np.arange(40, dtype=np.float64))
+        bad = store.put(np.arange(100, 140, dtype=np.float64))
+        store.close() if hasattr(store, "close") else None
+        corrupt_first_chunk(store_kind, base, bad.array_id)
+
+        fresh = make_store(store_kind, base)
+        report = fresh.verify()
+        assert report["arrays_checked"] == 2
+        assert report["corrupt"] and not report["quarantined"]
+        assert all(
+            array_id == bad.array_id
+            for array_id, _ in report["corrupt"]
+        )
+
+        report = fresh.repair()
+        assert report["quarantined"] == report["corrupt"]
+        assert fresh.stats.snapshot()["chunks_quarantined"] >= 1
+        assert fresh.last_verify["quarantined"]
+
+        # the good array still reads; the quarantined one is missing,
+        # not silently wrong
+        assert np.array_equal(
+            fresh.get_chunk(good.array_id, 0),
+            np.arange(8, dtype=np.float64),
+        )
+        with pytest.raises(StorageError):
+            fresh.get_chunk(bad.array_id, 0)
+
+    def test_memory_store_verify_is_clean(self):
+        from repro import MemoryArrayStore
+
+        store = MemoryArrayStore(chunk_bytes=64)
+        store.put(np.arange(40, dtype=np.float64))
+        report = store.verify()
+        assert report["corrupt"] == []
+        assert report["missing"] == []
+        assert report["chunks_checked"] > 0
+
+    def test_verify_surfaces_in_ssdm_stats(self, tmp_path):
+        ssdm = open_ssdm(str(tmp_path), "file")
+        ssdm.execute(
+            EX + "INSERT DATA { ex:s ex:data (1 2 3 4 5 6 7 8) }"
+        )
+        assert ssdm.stats()["durability"]["last_verify"] is None
+        ssdm.array_store.verify()
+        stats = ssdm.stats()["durability"]
+        assert stats["last_verify"]["arrays_checked"] == 1
+        assert stats["journal"]["records_appended"] == 1
+        ssdm.close()
