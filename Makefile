@@ -1,8 +1,8 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test test-robustness test-durability bench bench-check
+.PHONY: test test-robustness test-durability test-replication bench bench-check
 
-test: test-robustness test-durability
+test: test-robustness test-durability test-replication
 	$(PY) -m pytest -x -q
 
 # Request-lifecycle suites: deadlines, cancellation, fair locking,
@@ -14,6 +14,11 @@ test-robustness:
 # checksummed reads, and verify/repair quarantine (also run by `test`)
 test-durability:
 	$(PY) -m pytest tests/test_durability.py -q
+
+# Replication suite: WAL streaming, replica semantics, epoch-fenced
+# failover, and the deterministic failover matrix (also run by `test`)
+test-replication:
+	$(PY) -m pytest tests/test_replication.py -q
 
 bench:
 	$(PY) -m pytest benchmarks -q --benchmark-only \

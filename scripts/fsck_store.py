@@ -7,13 +7,19 @@ later reads fail fast as *missing* instead of re-fetching bad bytes.
 
     python scripts/fsck_store.py --file  /path/to/store/dir
     python scripts/fsck_store.py --sql   /path/to/arrays.db --repair
-    python scripts/fsck_store.py --wal   /path/to/journal/dir
+    python scripts/fsck_store.py --wal   /path/to/journal/dir --json
 
 ``--wal`` checks a dataset journal instead: it scans the log, reports
 how many records are intact, and (with ``--repair``) truncates any
 torn tail exactly as ``SSDM.open`` would.
 
-Exit status: 0 = clean, 1 = damage found, 2 = usage error.
+``--json`` prints exactly one machine-readable document on stdout::
+
+    {"ok": false, "kind": "wal", "repaired": false, "report": {...}}
+
+Exit status: 0 = clean, 1 = corruption or a torn WAL tail was found
+(even if ``--repair`` fixed it — CI gates on "damage happened"),
+2 = usage error.
 """
 
 import argparse
@@ -31,17 +37,29 @@ from repro.storage.filestore import FileArrayStore  # noqa: E402
 from repro.storage.sqlstore import SqlArrayStore  # noqa: E402
 
 
-def check_store(store, repair):
-    report = store.repair() if repair else store.verify()
-    print(json.dumps(report, indent=2, sort_keys=True))
-    damaged = report["corrupt"] or report["missing"]
-    if damaged and not repair:
-        print("damage found; rerun with --repair to quarantine",
-              file=sys.stderr)
+def _emit(kind, report, damaged, repaired, as_json, advice=None):
+    if as_json:
+        print(json.dumps({
+            "ok": not damaged, "kind": kind,
+            "repaired": bool(repaired), "report": report,
+        }, sort_keys=True))
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if damaged and advice:
+            print(advice, file=sys.stderr)
     return 1 if damaged else 0
 
 
-def check_wal(directory, repair):
+def check_store(store, repair, as_json):
+    report = store.repair() if repair else store.verify()
+    damaged = bool(report["corrupt"] or report["missing"])
+    return _emit(
+        "store", report, damaged, repair, as_json,
+        advice="damage found; rerun with --repair to quarantine",
+    )
+
+
+def check_wal(directory, repair, as_json):
     path = os.path.join(directory, DatasetJournal.LOG_NAME)
     if not os.path.exists(path):
         print("no %s in %s" % (DatasetJournal.LOG_NAME, directory),
@@ -50,23 +68,23 @@ def check_wal(directory, repair):
     wal = WriteAheadLog(path)
     intact = 0
     good_offset = 0
-    for _, _, end in wal.scan():
+    last_seq = 0
+    for seq, _, end in wal.scan():
         intact += 1
         good_offset = end
-    size = os.path.getsize(path)
-    torn = size - good_offset
-    print(json.dumps({
-        "path": path, "records_intact": intact,
-        "bytes_intact": good_offset, "bytes_torn": torn,
-    }, indent=2, sort_keys=True))
+        last_seq = seq
+    torn = os.path.getsize(path) - good_offset
     if torn and repair:
         wal.recover()
-        print("truncated %d torn bytes" % torn, file=sys.stderr)
-        return 0
-    if torn:
-        print("torn tail found; rerun with --repair to truncate "
-              "(recovery on SSDM.open does the same)", file=sys.stderr)
-    return 1 if torn else 0
+    report = {
+        "path": path, "records_intact": intact, "last_seq": last_seq,
+        "bytes_intact": good_offset, "bytes_torn": torn,
+    }
+    return _emit(
+        "wal", report, bool(torn), repair, as_json,
+        advice="torn tail found; rerun with --repair to truncate "
+               "(recovery on SSDM.open does the same)",
+    )
 
 
 def main(argv=None):
@@ -84,19 +102,23 @@ def main(argv=None):
     parser.add_argument("--repair", action="store_true",
                         help="quarantine damaged chunks / truncate a "
                              "torn WAL tail")
+    parser.add_argument("--json", action="store_true",
+                        help="one machine-readable JSON document on "
+                             "stdout (for CI / ops gating)")
     args = parser.parse_args(argv)
 
     if args.wal:
-        return check_wal(args.wal, args.repair)
+        return check_wal(args.wal, args.repair, args.json)
     if args.file:
         if not os.path.isdir(args.file):
             print("not a directory: %s" % args.file, file=sys.stderr)
             return 2
-        return check_store(FileArrayStore(args.file), args.repair)
+        return check_store(FileArrayStore(args.file), args.repair,
+                           args.json)
     if not os.path.exists(args.sql):
         print("no such database: %s" % args.sql, file=sys.stderr)
         return 2
-    return check_store(SqlArrayStore(args.sql), args.repair)
+    return check_store(SqlArrayStore(args.sql), args.repair, args.json)
 
 
 if __name__ == "__main__":

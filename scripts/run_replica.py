@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Launch an SSDM node: a primary, or a read replica tailing one.
+
+Primary (journaled, so it can ship its WAL to replicas):
+
+    python scripts/run_replica.py --data /var/ssdm/p1 --port 8711
+
+Replica tailing that primary:
+
+    python scripts/run_replica.py --data /var/ssdm/r1 --port 8712 \
+        --upstream 127.0.0.1:8711
+
+The replica serves reads (writes answer ``READONLY``), applies the
+primary's WAL stream continuously, and can be promoted at failover:
+
+    python - <<'PY'
+    from repro.client import SSDMClient
+    print(SSDMClient("127.0.0.1", 8712).promote())
+    PY
+
+Optional array store: ``--store-file DIR`` (FileArrayStore) or
+``--store-sql DB`` (SqlArrayStore); the journal references externalized
+arrays by store id, so replicas of a store-backed primary should share
+or mirror the same store.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+)
+
+from repro.client.server import SSDMServer  # noqa: E402
+from repro.replication import REPLICA, start_replica  # noqa: E402
+from repro.ssdm import SSDM  # noqa: E402
+
+
+def _array_store(args):
+    if args.store_file:
+        from repro.storage.filestore import FileArrayStore
+        return FileArrayStore(args.store_file)
+    if args.store_sql:
+        from repro.storage.sqlstore import SqlArrayStore
+        return SqlArrayStore(args.store_sql)
+    return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--data", required=True, metavar="DIR",
+                        help="journal directory (created on demand)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listen port (0 = ephemeral)")
+    parser.add_argument("--upstream", metavar="HOST:PORT",
+                        help="run as a replica tailing this primary")
+    parser.add_argument("--store-file", metavar="DIR",
+                        help="FileArrayStore directory for array chunks")
+    parser.add_argument("--store-sql", metavar="DB",
+                        help="SqlArrayStore database for array chunks")
+    parser.add_argument("--timeout-ms", type=float, default=None,
+                        help="server-wide default request timeout")
+    args = parser.parse_args(argv)
+
+    store = _array_store(args)
+    if args.upstream:
+        host, _, port = args.upstream.rpartition(":")
+        if not host or not port.isdigit():
+            parser.error("--upstream must be HOST:PORT")
+        ssdm, server, tail = start_replica(
+            args.data, host, int(port), host=args.host, port=args.port,
+            array_store=store, default_timeout_ms=args.timeout_ms,
+        )
+        role = REPLICA
+    else:
+        ssdm = SSDM.open(args.data, array_store=store)
+        server = SSDMServer(
+            ssdm, host=args.host, port=args.port,
+            default_timeout_ms=args.timeout_ms,
+        ).start()
+        tail = None
+        role = "primary"
+
+    address = server.server_address
+    print("ssdm %s listening on %s:%d (data: %s)"
+          % (role, address[0], address[1], args.data), flush=True)
+    if tail is not None:
+        print("tailing %s:%s" % tail.upstream, flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if tail is not None:
+            tail.stop()
+        server.stop()
+        ssdm.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,8 +36,12 @@ from repro.exceptions import (
     CorruptionError,
     RequestTimeoutError, RequestCancelledError, ServerOverloadedError,
     ConnectionClosedError,
+    ReadOnlyError, FencedError, ReplicaLaggingError,
 )
 from repro.lifecycle import Deadline, current_deadline, deadline_scope
+from repro.replication import (
+    ReplicationState, ReplicationClient, ReplicaSetClient, start_replica,
+)
 
 __version__ = "1.0.0"
 
@@ -79,6 +83,13 @@ __all__ = [
     "RequestCancelledError",
     "ServerOverloadedError",
     "ConnectionClosedError",
+    "ReadOnlyError",
+    "FencedError",
+    "ReplicaLaggingError",
+    "ReplicationState",
+    "ReplicationClient",
+    "ReplicaSetClient",
+    "start_replica",
     "Deadline",
     "current_deadline",
     "deadline_scope",

@@ -4,14 +4,19 @@ SSDM can run stand-alone, client-server, or peer-to-peer (section 5.1);
 this module provides the client-server mode over a line-delimited JSON
 protocol on TCP:
 
-    request:  {"op": "query",  "text": "<SciSPARQL>", "timeout_ms": 500}
-    request:  {"op": "update", "text": "<SciSPARQL update>"}
-    request:  {"op": "stats"}
+    request:  {"op": "query",  "text": "<SciSPARQL>", "timeout_ms": 500,
+               "min_seq": 12}
+    request:  {"op": "update", "text": "<SciSPARQL update>", "epoch": 2}
+    request:  {"op": "stats"} / {"op": "health"} / {"op": "promote"}
     request:  {"op": "explain", "text": "<SciSPARQL>"}
     request:  {"op": "verify", "repair": false}
+    request:  {"op": "wal_since", "since": 12, "epoch": 2,
+               "max_records": 512, "wait_ms": 100}
     response: {"ok": true, "columns": [...], "rows": [[...], ...]}
-              {"ok": true, "result": <bool-or-int>}
+              {"ok": true, "result": <bool-or-int>, "seq": 13, "epoch": 2}
               {"ok": true, "stats": {...}} / {"ok": true, "plan": "..."}
+              {"ok": true, "records": [[13, "<payload>"], ...],
+               "last_seq": 13, "epoch": 2, "restart": false}
               {"ok": false, "code": "TIMEOUT", "error": "...",
                "retryable": false}
 
@@ -32,6 +37,17 @@ the client retries retryable failures with exponential backoff.
 Array values cross the wire as ``{"@array": <nested lists>}``; proxies are
 resolved server-side before serialization, so the client never needs
 back-end access (the transfer-size economics chapter 7 measures).
+
+Replication (see :mod:`repro.replication`): a server runs in the
+``primary`` or ``replica`` role.  Replicas reject writes with
+``READONLY``; primaries stream their WAL through ``wal_since`` (a
+long-poll bounded by the request deadline) to follower
+``ReplicationClient`` tails.  Every replicated exchange carries a
+fencing *epoch*: the ``promote`` admin op bumps it, and a server that
+sees a newer epoch on any request steps down to a replica and answers
+``FENCED`` — a deposed primary can neither accept stale writes nor ship
+a divergent stream.  A query may carry ``min_seq`` as a read barrier:
+a node whose applied WAL sequence is behind answers ``LAGGING``.
 """
 
 from __future__ import annotations
@@ -48,14 +64,19 @@ from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import (
     ConnectionClosedError,
+    FencedError,
+    ReadOnlyError,
+    ReplicaLaggingError,
     RequestTimeoutError,
     SciSparqlError,
     ServerOverloadedError,
+    StorageError,
     error_code,
     error_from_code,
 )
 from repro.lifecycle import Deadline, deadline_scope
 from repro.rdf.term import BlankNode, Literal, URI
+from repro.replication import PRIMARY, REPLICA, ReplicationState
 from repro.ssdm import SSDM, QueryResult
 
 
@@ -261,7 +282,8 @@ class SSDMServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
     def __init__(self, ssdm, host="127.0.0.1", port=0,
-                 default_timeout_ms=None, max_concurrent=64):
+                 default_timeout_ms=None, max_concurrent=64,
+                 role=PRIMARY, epoch=1):
         super().__init__((host, port), _Handler)
         self.ssdm = ssdm
         self._thread: Optional[threading.Thread] = None
@@ -276,14 +298,47 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         self._counters = {
             "requests": 0, "timeouts": 0, "shed": 0, "errors": 0,
         }
+        #: Replication identity (role + fencing epoch); shared with an
+        #: attached :class:`~repro.replication.ReplicationClient` and
+        #: surfaced through ``SSDM.stats()``.
+        self.replication = ReplicationState(role=role, epoch=epoch)
+        ssdm.replication = self.replication
+        #: follower_id -> {"seq": acked seq, "epoch": follower epoch}
+        self._followers = {}
+        self._repl_client = None
+
+    # -- replication wiring ------------------------------------------------------
+
+    def attach_replication(self, host, port, **kwargs):
+        """Tail ``host:port`` as this server's upstream primary.
+
+        Builds a :class:`~repro.replication.ReplicationClient` sharing
+        this server's replication state and write lock (streamed deltas
+        apply exclusively, like local updates would).  The caller
+        starts/stops it; :meth:`stop` and ``promote`` stop it too.
+        """
+        from repro.replication import ReplicationClient
+
+        client = ReplicationClient(
+            self.ssdm, host, port, state=self.replication,
+            write_guard=self._lock.writing, **kwargs
+        )
+        self._repl_client = client
+        return client
 
     # -- request dispatch --------------------------------------------------------
 
     def ssdm_dispatch(self, request):
         op = request.get("op")
+        # stats / health / promote bypass admission control, so
+        # monitoring and failover keep working on a saturated server
         if op == "stats":
             return {"ok": True, "stats": self._stats_payload()}
-        if op not in ("query", "update", "explain", "verify"):
+        if op == "health":
+            return {"ok": True, "health": self._replication_payload()}
+        if op == "promote":
+            return self._op_promote()
+        if op not in ("query", "update", "explain", "verify", "wal_since"):
             return {"ok": False, "code": "BAD_REQUEST",
                     "error": "unknown op %r" % (op,), "retryable": False}
         deadline = self._deadline_for(request)
@@ -309,6 +364,17 @@ class SSDMServer(socketserver.ThreadingTCPServer):
 
     def _dispatch_admitted(self, op, request, deadline):
         text = request.get("text", "")
+        if op in ("update", "wal_since"):
+            self._observe_request_epoch(request)
+        if op == "wal_since":
+            return self._op_wal_since(request, deadline)
+        if op == "update" and not self.replication.is_primary():
+            raise ReadOnlyError(
+                "this server is a replica (epoch %d): writes must go to "
+                "the primary" % self.replication.snapshot()["epoch"]
+            )
+        if op == "query":
+            self._check_read_barrier(request)
         if op == "explain":
             from repro.client.results_format import explain_payload
             with self._lock.reading(deadline):
@@ -340,6 +406,14 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         )
         with guard:
             result = self.ssdm.execute(text)
+        if op == "update":
+            response = {"ok": True, "result": result,
+                        "epoch": self.replication.snapshot()["epoch"]}
+            if self.ssdm.journal is not None:
+                # the WAL position this write is durable at — clients
+                # use it as a read-your-writes barrier on replicas
+                response["seq"] = self.ssdm.journal.last_seq
+            return response
         # serialization stays under the deadline (it may resolve array
         # proxies) but outside the lock, so slow transfers don't block
         # writers
@@ -360,6 +434,123 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         if hasattr(result, "to_ntriples"):
             return {"ok": True, "ntriples": result.to_ntriples()}
         return {"ok": True, "result": repr(result)}
+
+    # -- replication ops ---------------------------------------------------------
+
+    def _observe_request_epoch(self, request):
+        """Fence this node against requests from a newer epoch.
+
+        A request carrying a higher epoch proves a promotion happened
+        elsewhere: a primary steps down (it must not accept writes or
+        ship its now-divergent stream) and the request is refused with
+        ``FENCED`` so the peer re-probes for the real primary.
+        """
+        epoch = request.get("epoch")
+        if epoch is None:
+            return
+        if self.replication.observe_epoch(int(epoch)):
+            if self._repl_client is not None:
+                self._repl_client.stop(join=False)
+            raise FencedError(
+                "request epoch %d supersedes this node's; it has "
+                "stepped down to a replica" % int(epoch)
+            )
+
+    def _check_read_barrier(self, request):
+        min_seq = request.get("min_seq")
+        if not min_seq:
+            return
+        journal = self.ssdm.journal
+        applied = journal.last_seq if journal is not None else 0
+        if applied < int(min_seq):
+            raise ReplicaLaggingError(
+                "read barrier min_seq=%d not reached: this node has "
+                "applied seq %d" % (int(min_seq), applied)
+            )
+
+    def _op_wal_since(self, request, deadline):
+        """Stream journal records past ``since`` (bounded long-poll).
+
+        Scans the append-only log without the server lock — appends
+        only ever extend the intact prefix, so a concurrent reader sees
+        a consistent record sequence — and therefore never blocks
+        writers while a follower waits for news.
+        """
+        journal = self.ssdm.journal
+        if journal is None:
+            raise StorageError(
+                "this server has no WAL to stream: open its SSDM with "
+                "SSDM.open(path)"
+            )
+        since = int(request.get("since", 0))
+        max_records = max(1, int(request.get("max_records", 512)))
+        state = self.replication.snapshot()
+        if since > journal.last_seq:
+            # the follower is ahead of this log: either we recovered to
+            # an older state or we compacted — a full resync is needed
+            return {"ok": True, "epoch": state["epoch"],
+                    "last_seq": journal.last_seq,
+                    "restart": True, "records": []}
+        self._long_poll_for_records(journal, since, request, deadline)
+        records = journal.records_since(since, limit=max_records)
+        follower_id = request.get("follower_id")
+        if follower_id:
+            with self._admission:
+                self._followers[str(follower_id)] = {
+                    "acked_seq": since,
+                    "epoch": int(request.get("epoch", 0)),
+                }
+        return {
+            "ok": True,
+            "epoch": state["epoch"],
+            "last_seq": journal.last_seq,
+            "restart": False,
+            "records": [
+                [seq, payload.decode("utf-8")] for seq, payload in records
+            ],
+        }
+
+    @staticmethod
+    def _long_poll_for_records(journal, since, request, deadline):
+        """Wait (bounded by ``wait_ms`` and the deadline) for news."""
+        wait_ms = float(request.get("wait_ms", 0) or 0)
+        if wait_ms <= 0:
+            return
+        end = time.monotonic() + wait_ms / 1000.0
+        while journal.last_seq <= since:
+            left = end - time.monotonic()
+            if left <= 0 or deadline.expired():
+                return
+            budget = deadline.remaining()
+            if budget is not None:
+                left = min(left, budget)
+            time.sleep(min(0.01, max(left, 0.0)))
+
+    def _op_promote(self):
+        """Make this node the primary of a new epoch (admin op)."""
+        if self._repl_client is not None:
+            self._repl_client.stop(join=False)
+        epoch = self.replication.promote()
+        return {"ok": True, "role": PRIMARY, "epoch": epoch}
+
+    def _replication_payload(self):
+        journal = self.ssdm.journal
+        wal_seq = journal.last_seq if journal is not None else None
+        state = self.replication.snapshot()
+        with self._admission:
+            followers = {
+                follower_id: dict(
+                    info,
+                    lag=max(0, (wal_seq or 0) - info["acked_seq"]),
+                )
+                for follower_id, info in self._followers.items()
+            }
+        payload = dict(state, wal_seq=wal_seq, followers=followers)
+        payload["upstream"] = (
+            self._repl_client.status() if self._repl_client is not None
+            else None
+        )
+        return payload
 
     def _deadline_for(self, request):
         timeout_ms = request.get("timeout_ms", self.default_timeout_ms)
@@ -393,6 +584,7 @@ class SSDMServer(socketserver.ThreadingTCPServer):
                 active=self._active,
                 max_concurrent=self.max_concurrent,
             )
+        stats["replication"] = self._replication_payload()
         return stats
 
     # -- process control ---------------------------------------------------------
@@ -405,6 +597,8 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         return self
 
     def stop(self):
+        if self._repl_client is not None:
+            self._repl_client.stop(join=False)
         self.shutdown()
         self.server_close()
 
@@ -426,17 +620,23 @@ class SSDMClient:
     """
 
     def __init__(self, host="127.0.0.1", port=0, timeout=30.0,
-                 retries=2, backoff=0.05, backoff_factor=2.0):
+                 retries=2, backoff=0.05, backoff_factor=2.0,
+                 faults=None):
         self._host = host
         self._port = port
         self._timeout = timeout
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.backoff_factor = float(backoff_factor)
+        #: Network fault injection (drop/delay/partition per peer).
+        self.faults = faults
+        self._peer = "%s:%s" % (host, port)
         #: Bytes received from the server, for transfer-volume accounting.
         self.bytes_received = 0
         #: Retry attempts performed over this client's lifetime.
         self.retries_performed = 0
+        #: WAL seq of the last acknowledged update (read-your-writes).
+        self.last_write_seq = 0
         self._socket = None
         self._file = None
         self._connect()
@@ -488,11 +688,27 @@ class SSDMClient:
                     raise failure
             except ServerOverloadedError as error:
                 failure = error      # shed pre-execution: always safe
+            except ReplicaLaggingError as error:
+                if not idempotent:
+                    raise
+                failure = error      # the replica is catching up
             except SciSparqlError:
                 raise                # typed server error: not retryable
         raise failure
 
+    def call(self, request, idempotent=True):
+        """Send one raw protocol request; returns the response dict.
+
+        The building block the replication stream and the replica-set
+        client use for ops without a dedicated helper.  Retry semantics
+        follow ``idempotent`` exactly like :meth:`query` /
+        :meth:`update`.
+        """
+        return self._call(request, idempotent=idempotent)
+
     def _call_once(self, request):
+        if self.faults is not None:
+            self.faults.on_network(self._peer)
         try:
             self._file.write((json.dumps(request) + "\n").encode("utf-8"))
             self._file.flush()
@@ -514,13 +730,23 @@ class SSDMClient:
             )
         return response
 
-    def query(self, text, timeout_ms=None):
+    def query(self, text, timeout_ms=None, min_seq=None,
+              read_your_writes=False):
         """Run a SELECT/ASK; returns QueryResult or bool.
 
         ``timeout_ms`` bounds the server-side execution; expiry raises
-        :class:`~repro.exceptions.RequestTimeoutError`.
+        :class:`~repro.exceptions.RequestTimeoutError`.  ``min_seq``
+        (or ``read_your_writes=True``, which uses the seq of this
+        client's last acknowledged update) installs a read barrier: a
+        replica that has not applied that WAL position answers
+        ``LAGGING`` (retryable — it is catching up).
         """
-        response = self._call(_request("query", text, timeout_ms))
+        request = _request("query", text, timeout_ms)
+        if read_your_writes:
+            min_seq = max(min_seq or 0, self.last_write_seq)
+        if min_seq:
+            request["min_seq"] = int(min_seq)
+        response = self._call(request)
         if "columns" in response:
             rows = [
                 tuple(deserialize_value(v) for v in row)
@@ -531,11 +757,43 @@ class SSDMClient:
             return response["ntriples"]
         return response.get("result")
 
-    def update(self, text, timeout_ms=None):
-        response = self._call(
-            _request("update", text, timeout_ms), idempotent=False
-        )
+    def update(self, text, timeout_ms=None, epoch=None):
+        """Run an update; never replayed after a lost connection.
+
+        ``epoch`` fences the write: a server that has been superseded
+        by a newer epoch answers ``FENCED`` instead of accepting it.
+        On success the server's WAL seq (when journaled) is recorded
+        as ``last_write_seq`` for read-your-writes barriers.
+        """
+        request = _request("update", text, timeout_ms)
+        if epoch is not None:
+            request["epoch"] = int(epoch)
+        response = self._call(request, idempotent=False)
+        seq = response.get("seq")
+        if seq:
+            self.last_write_seq = max(self.last_write_seq, int(seq))
         return response.get("result")
+
+    def health(self):
+        """The server's replication health: role, epoch, seq, lag."""
+        return self._call({"op": "health"})["health"]
+
+    def promote(self):
+        """Promote the server to primary of a new epoch; returns it."""
+        return self._call({"op": "promote"})["epoch"]
+
+    def wal_since(self, since, epoch=None, max_records=512, wait_ms=None,
+                  follower_id=None):
+        """Fetch journal records past ``since`` (one stream poll)."""
+        request = {"op": "wal_since", "since": int(since),
+                   "max_records": int(max_records)}
+        if epoch is not None:
+            request["epoch"] = int(epoch)
+        if wait_ms is not None:
+            request["wait_ms"] = wait_ms
+        if follower_id is not None:
+            request["follower_id"] = follower_id
+        return self._call(request)
 
     def stats(self):
         """The server's storage, buffer-pool, and lifecycle counters."""

@@ -144,6 +144,53 @@ class ConnectionClosedError(SciSparqlError):
     retryable = True
 
 
+# -- replication errors -------------------------------------------------------------
+
+
+class ReadOnlyError(SciSparqlError):
+    """A write was sent to a replica.
+
+    Replicas apply the primary's WAL stream and must never accept
+    direct writes — a write applied on a replica would diverge from the
+    stream and be silently lost on resync.  The request is rejected
+    before any part of it executes, so a replica-set client can safely
+    re-route it to the primary; a single-endpoint client must not
+    blind-retry (the same server keeps refusing until promoted).
+    """
+
+    code = "READONLY"
+    retryable = False
+
+
+class FencedError(SciSparqlError):
+    """An epoch check failed: one side of the exchange is deposed.
+
+    Raised server-side when a request carries a replication epoch newer
+    than the server's own — the server is a stale primary (or a replica
+    of one) whose stream/writes must be refused — and client-side by a
+    :class:`~repro.replication.ReplicationClient` that refuses to apply
+    a stream from a server whose epoch is older than its own.  Never
+    blind-retried: the correct reaction is to re-probe the replica set
+    for the current primary, which the replica-set client does.
+    """
+
+    code = "FENCED"
+    retryable = False
+
+
+class ReplicaLaggingError(SciSparqlError):
+    """A read barrier (``min_seq``) exceeded the replica's applied seq.
+
+    Retryable: the replica is behind but catching up, so the same read
+    can succeed after a backoff — or immediately against another
+    replica (or the primary), which is how the replica-set client
+    implements read-your-writes.
+    """
+
+    code = "LAGGING"
+    retryable = True
+
+
 # -- wire-protocol error code mapping ------------------------------------------------
 
 _CODE_CLASSES = {
@@ -155,6 +202,9 @@ _CODE_CLASSES = {
     "CORRUPT": CorruptionError,
     "OVERLOAD": ServerOverloadedError,
     "CONNECTION": ConnectionClosedError,
+    "READONLY": ReadOnlyError,
+    "FENCED": FencedError,
+    "LAGGING": ReplicaLaggingError,
 }
 
 

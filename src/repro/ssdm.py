@@ -119,6 +119,10 @@ class SSDM:
         self.array_store = array_store
         self.externalize_threshold = int(externalize_threshold)
         self.journal = journal
+        #: :class:`~repro.replication.ReplicationState` when this
+        #: instance is served as a replication-aware node (the server
+        #: sets it); None for embedded use.
+        self.replication = None
         self.prefixes: Dict[str, str] = {}
 
     @classmethod
@@ -222,6 +226,16 @@ class SSDM:
                 ),
                 "last_verify": getattr(store, "last_verify", None),
             },
+            "replication": (
+                dict(
+                    self.replication.snapshot(),
+                    wal_seq=(
+                        self.journal.last_seq if self.journal is not None
+                        else None
+                    ),
+                )
+                if self.replication is not None else None
+            ),
         }
 
     @property

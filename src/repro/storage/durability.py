@@ -167,6 +167,16 @@ class WriteAheadLog:
         self.bytes_appended += len(frame)
         return seq
 
+    @property
+    def next_seq(self):
+        """Sequence number the next :meth:`append` will use."""
+        return self._next_seq
+
+    @property
+    def last_seq(self):
+        """Highest sequence number durably appended (0 = empty log)."""
+        return self._next_seq - 1
+
     @staticmethod
     def _frame(seq, payload):
         body = struct.pack(">QI", seq, len(payload)) + payload
@@ -246,6 +256,16 @@ class WriteAheadLog:
         atomic_write_bytes(self.path, buffer.getvalue(), fsync=self.fsync)
         self._next_seq = seq + 1
         return seq
+
+    def reset(self):
+        """Empty the log (a follower resynchronizing from scratch)."""
+        self.close()
+        if os.path.exists(self.path):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(0)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._next_seq = 1
 
     def close(self):
         if self._handle is not None:
@@ -553,6 +573,60 @@ class DatasetJournal:
             record["delete"] = [encode_triple(*t) for t in delete]
         return json.dumps(record, sort_keys=True).encode("utf-8")
 
+    # -- replication stream ------------------------------------------------------
+
+    @property
+    def last_seq(self):
+        """Highest sequence number durably logged (0 = empty log)."""
+        return self.wal.last_seq
+
+    def records_since(self, seq, limit=None):
+        """Intact ``(seq, payload)`` records with sequence > ``seq``.
+
+        This is the primary side of WAL shipping: a follower asks for
+        everything past its applied position.  The scan re-reads the
+        log file, which is safe concurrently with appends — appended
+        frames only ever extend the intact prefix.
+        """
+        out = []
+        for record_seq, payload, _ in self.wal.scan():
+            if record_seq <= seq:
+                continue
+            out.append((record_seq, payload))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def append_replicated(self, seq, payload):
+        """Durably append one streamed record on a follower.
+
+        The follower's log must stay a byte-level twin of the
+        primary's record sequence, so a gap or replayed duplicate is a
+        hard error — the replication client reacts by resynchronizing
+        from scratch instead of diverging silently.
+        """
+        if seq != self.wal.next_seq:
+            raise StorageError(
+                "replication stream gap: got seq %d, local log expects %d"
+                % (seq, self.wal.next_seq)
+            )
+        return self.wal.append(payload)
+
+    def apply_record(self, dataset, payload):
+        """Apply one journal record (local or streamed) to ``dataset``.
+
+        The single replay path shared by crash recovery and
+        replication: deltas decode through the N-Triples codec, deleted
+        or cleared array values drop their buffer-pool entries, and the
+        mutation happens triple-by-triple exactly as the original
+        update logged it.
+        """
+        self._apply(dataset, payload)
+
+    def reset(self):
+        """Empty the journal (follower full resync)."""
+        self.wal.reset()
+
     # -- recovery ----------------------------------------------------------------
 
     def replay(self, dataset):
@@ -591,7 +665,8 @@ class DatasetJournal:
         elif kind in ("insert", "delete", "modify"):
             graph = dataset.graph(_decode_graph(graph_name))
             for triple in deletes:
-                graph.remove(*triple)
+                if graph.remove(*triple):
+                    _invalidate_pooled(triple[2])
             for triple in inserts:
                 graph.add(*triple)
         else:
@@ -603,12 +678,14 @@ class DatasetJournal:
     @staticmethod
     def _apply_clear(dataset, graph_name):
         if graph_name == ALL_GRAPHS:
-            dataset.default_graph.clear()
-            for graph in dataset.named_graphs().values():
-                graph.clear()
-            return
-        graph = dataset.graph(_decode_graph(graph_name), create=False)
-        if graph is not None:
+            graphs = [dataset.default_graph]
+            graphs.extend(dataset.named_graphs().values())
+        else:
+            graph = dataset.graph(_decode_graph(graph_name), create=False)
+            graphs = [] if graph is None else [graph]
+        for graph in graphs:
+            for triple in list(graph.triples()):
+                _invalidate_pooled(triple.value)
             graph.clear()
 
     # -- snapshot / compaction ----------------------------------------------------
@@ -647,6 +724,19 @@ class DatasetJournal:
             triples_replayed=self.triples_replayed,
             snapshots_taken=self.snapshots_taken,
         )
+
+
+def _invalidate_pooled(value):
+    """Drop buffer-pool entries of an array value leaving the dataset.
+
+    A streamed delete (or clear) severs the replica's reference to the
+    array; pooled chunks under a recycled id must never be served, same
+    as on the primary's direct update path.
+    """
+    if isinstance(value, ArrayProxy):
+        invalidate = getattr(value.store, "invalidate_cached", None)
+        if invalidate is not None:
+            invalidate(value.array_id)
 
 
 def _encode_graph(graph):

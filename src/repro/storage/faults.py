@@ -38,6 +38,22 @@ so every recovery path is deterministically testable:
   payload with seeded probability ``p`` *before* checksum verification,
   modelling at-rest corruption; the checksummed read paths must turn it
   into a typed ``CORRUPT`` error, never a wrong answer.
+
+For the replication layer the plan also models the *network* between
+peers, so failover tests can partition, slow down, or flap individual
+links deterministically.  A peer is the ``"host:port"`` string of one
+endpoint; :class:`~repro.client.SSDMClient` (and therefore the
+replication stream and the replica-set client riding on it) calls
+:meth:`on_network` before every request it sends:
+
+- :meth:`partition` / :meth:`heal` — requests to a partitioned peer
+  raise :class:`~repro.exceptions.ConnectionClosedError` until the
+  link heals, modelling a symmetric network partition;
+- :meth:`drop_requests` — the next N requests to a peer fail with
+  ``ConnectionClosedError`` (transient loss: retries can succeed);
+- :meth:`delay_peer` — every request to a peer sleeps first
+  (cooperatively, like the storage latencies above), modelling a slow
+  or congested link.
 """
 
 from __future__ import annotations
@@ -98,6 +114,12 @@ class FaultPlan:
         self.torn_writes = 0
         self.bit_flips = 0
         self.crashes = 0
+        self._partitioned = set()
+        self._peer_delay = {}
+        self._peer_drops = {}
+        self.net_requests = 0
+        self.net_blocked = 0
+        self.net_dropped = 0
 
     # -- hooks called by the ASEI base class ---------------------------------------
 
@@ -174,6 +196,64 @@ class FaultPlan:
         mutable[position] ^= bit
         return bytes(mutable)
 
+    # -- network faults (called by the client transport per request) ---------------
+
+    def partition(self, *peers):
+        """Cut the link to each ``"host:port"`` peer until healed."""
+        with self._lock:
+            self._partitioned.update(peers)
+
+    def heal(self, *peers):
+        """Restore the link to the given peers (all when none given)."""
+        with self._lock:
+            if not peers:
+                self._partitioned.clear()
+            else:
+                self._partitioned.difference_update(peers)
+
+    def delay_peer(self, peer, seconds):
+        """Sleep ``seconds`` before every request to ``peer`` (0 clears)."""
+        with self._lock:
+            if seconds:
+                self._peer_delay[peer] = float(seconds)
+            else:
+                self._peer_delay.pop(peer, None)
+
+    def drop_requests(self, peer, count):
+        """Fail the next ``count`` requests to ``peer`` as connection loss."""
+        with self._lock:
+            self._peer_drops[peer] = int(count)
+
+    def on_network(self, peer):
+        """Apply network faults for one request to ``peer``.
+
+        Raises :class:`~repro.exceptions.ConnectionClosedError` when the
+        link is partitioned or the request is dropped, after applying
+        any configured per-peer delay (cooperative with deadlines, like
+        the storage latencies).
+        """
+        from repro.exceptions import ConnectionClosedError
+
+        with self._lock:
+            self.net_requests += 1
+            delay = self._peer_delay.get(peer, 0.0)
+            if peer in self._partitioned:
+                self.net_blocked += 1
+                failure = ConnectionClosedError(
+                    "injected network partition to %s" % peer
+                )
+            elif self._peer_drops.get(peer, 0) > 0:
+                self._peer_drops[peer] -= 1
+                self.net_dropped += 1
+                failure = ConnectionClosedError(
+                    "injected request drop to %s" % peer
+                )
+            else:
+                failure = None
+        self._sleep(delay)
+        if failure is not None:
+            raise failure
+
     # -- internals -----------------------------------------------------------------
 
     def _decide_locked(self, op):
@@ -210,6 +290,9 @@ class FaultPlan:
                 "torn_writes": self.torn_writes,
                 "bit_flips": self.bit_flips,
                 "crashes": self.crashes,
+                "net_requests": self.net_requests,
+                "net_blocked": self.net_blocked,
+                "net_dropped": self.net_dropped,
             }
 
     def __repr__(self):

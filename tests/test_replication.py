@@ -1,0 +1,668 @@
+"""WAL-shipping replication: streaming, replicas, fenced failover.
+
+Four families of guarantees are exercised:
+
+- **Stream framing** — hypothesis round-trips of ``records_since`` /
+  ``wal_since`` (resume from any mid-log position, unicode payloads,
+  batch limits), and streaming over a log whose tail was truncated by
+  crash recovery.
+- **Replica semantics** — streamed deltas apply through the journal
+  replay path (invalidating pooled chunks of touched arrays), writes to
+  replicas answer ``READONLY``, and ``min_seq`` read barriers answer
+  ``LAGGING`` until the replica catches up.
+- **Epoch fencing** — promotion bumps the epoch; a deposed primary
+  refuses newer-epoch writes with ``FENCED`` and steps down; a follower
+  refuses a stale primary's stream; a divergent same-seq tail is
+  detected by log matching and resynced, never silently merged.
+- **The failover matrix** — primary crash with a partitioned then
+  healed replica, promotion, client failover, and the old primary
+  rejoining: no acknowledged write is lost, no stale-epoch write is
+  accepted, and the replica-set client answers reads throughout.
+"""
+
+import os
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    SSDM,
+    FaultPlan,
+    FencedError,
+    MemoryArrayStore,
+    NumericArray,
+    ReadOnlyError,
+    ReplicaLaggingError,
+    ReplicaSetClient,
+    ReplicationClient,
+    URI,
+)
+from repro.client import SSDMClient, SSDMServer
+from repro.exceptions import ConnectionClosedError
+from repro.replication import PRIMARY, REPLICA
+from repro.storage.durability import DatasetJournal, WriteAheadLog
+
+EX = "PREFIX ex: <http://example.org/> "
+
+
+def insert(n):
+    return EX + "INSERT DATA { ex:s%d ex:p %d }" % (n, n)
+
+
+def select(n):
+    return EX + "SELECT ?v WHERE { ex:s%d ex:p ?v }" % (n,)
+
+
+class Cluster:
+    """Test harness: builds journaled nodes and tears them all down."""
+
+    def __init__(self, tmp_path):
+        self.tmp_path = tmp_path
+        self._servers = []
+        self._tails = []
+        self._clients = []
+        self._ssdms = []
+
+    def primary(self, name="p", **kwargs):
+        ssdm = SSDM.open(str(self.tmp_path / name), **kwargs)
+        server = SSDMServer(ssdm, role=PRIMARY).start()
+        self._servers.append(server)
+        self._ssdms.append(ssdm)
+        return ssdm, server, server.server_address[1]
+
+    def replica(self, upstream_port, name="r", faults=None,
+                start_tail=False, **kwargs):
+        ssdm = SSDM.open(str(self.tmp_path / name), **kwargs)
+        server = SSDMServer(ssdm, role=REPLICA)
+        tail = server.attach_replication(
+            "127.0.0.1", upstream_port, faults=faults
+        )
+        server.start()
+        if start_tail:
+            tail.start()
+        self._servers.append(server)
+        self._ssdms.append(ssdm)
+        self._tails.append(tail)
+        return ssdm, server, tail, server.server_address[1]
+
+    def client(self, port, **kwargs):
+        kwargs.setdefault("retries", 0)
+        client = SSDMClient("127.0.0.1", port, **kwargs)
+        self._clients.append(client)
+        return client
+
+    def replica_set(self, *ports, **kwargs):
+        client = ReplicaSetClient(
+            [("127.0.0.1", port) for port in ports], **kwargs
+        )
+        self._clients.append(client)
+        return client
+
+    def close(self):
+        for tail in self._tails:
+            tail.stop(join=False)
+        for client in self._clients:
+            try:
+                client.close()
+            except OSError:
+                pass
+        for server in self._servers:
+            try:
+                server.stop()
+            except Exception:
+                pass
+        for ssdm in self._ssdms:
+            ssdm.close()
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    c = Cluster(tmp_path)
+    yield c
+    c.close()
+
+
+def wait_for(predicate, timeout=5.0, message="condition"):
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("timed out waiting for %s" % message)
+
+
+# -- stream framing -------------------------------------------------------------------
+
+
+class TestWalStreaming:
+    @given(
+        payloads=st.lists(
+            st.text(min_size=0, max_size=80), min_size=0, max_size=10
+        ),
+        resume=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_records_since_resumes_from_any_position(
+        self, tmp_path_factory, payloads, resume
+    ):
+        journal = DatasetJournal(
+            str(tmp_path_factory.mktemp("j")), fsync=False
+        )
+        for payload in payloads:
+            journal.wal.append(payload.encode("utf-8"))
+        got = journal.records_since(resume)
+        expected = [
+            (i + 1, p.encode("utf-8"))
+            for i, p in enumerate(payloads) if i + 1 > resume
+        ]
+        assert got == expected
+        journal.close()
+
+    @given(batch=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_wal_since_framing_round_trips_over_the_wire(
+        self, tmp_path_factory, batch
+    ):
+        tmp = tmp_path_factory.mktemp("wire")
+        ssdm = SSDM.open(str(tmp / "p"))
+        server = SSDMServer(ssdm).start()
+        client = SSDMClient(
+            "127.0.0.1", server.server_address[1], retries=0
+        )
+        try:
+            texts = ["naïve — πθ", "plain", 'quo"ted\ttab']
+            for n, _ in enumerate(texts):
+                client.update(insert(n))
+            collected = []
+            since = 0
+            while True:
+                response = client.wal_since(since, max_records=batch)
+                assert not response["restart"]
+                records = response["records"]
+                if not records:
+                    break
+                assert len(records) <= batch
+                collected.extend(records)
+                since = records[-1][0]
+            assert [seq for seq, _ in collected] == [1, 2, 3]
+            # every shipped payload is byte-identical to the log's
+            local = ssdm.journal.records_since(0)
+            assert [
+                payload.encode("utf-8") for _, payload in collected
+            ] == [payload for _, payload in local]
+        finally:
+            client.close()
+            server.stop()
+            ssdm.close()
+
+    def test_stream_resumes_past_a_recovered_torn_tail(self, tmp_path):
+        """A replica whose log lost its torn tail re-fetches the rest."""
+        primary = SSDM.open(str(tmp_path / "p"))
+        server = SSDMServer(primary).start()
+        port = server.server_address[1]
+        try:
+            follower = SSDM.open(str(tmp_path / "f"))
+            tail = ReplicationClient(follower, "127.0.0.1", port)
+            client = SSDMClient("127.0.0.1", port, retries=0)
+            for n in range(4):
+                client.update(insert(n))
+            assert tail.poll_once() == 4
+            tail.stop()
+            follower.close()
+            # tear the follower's last record (crash mid-append)
+            log = str(tmp_path / "f" / DatasetJournal.LOG_NAME)
+            with open(log, "r+b") as handle:
+                handle.truncate(os.path.getsize(log) - 3)
+            reopened = SSDM.open(str(tmp_path / "f"))
+            assert reopened.journal.last_seq == 3
+            assert reopened.execute(select(3)).rows == []
+            fresh = ReplicationClient(reopened, "127.0.0.1", port)
+            assert fresh.poll_once() == 1      # just the lost record
+            assert reopened.journal.last_seq == 4
+            assert reopened.execute(select(3)).rows == [(3,)]
+            fresh.stop()
+            reopened.close()
+            client.close()
+        finally:
+            server.stop()
+            primary.close()
+
+    def test_wal_since_long_poll_returns_within_deadline(self, cluster):
+        ssdm, server, port = cluster.primary()
+        client = cluster.client(port)
+        started = time.monotonic()
+        response = client.wal_since(0, wait_ms=150, follower_id="f1")
+        elapsed = time.monotonic() - started
+        assert response["records"] == []
+        assert not response["restart"]
+        assert 0.1 <= elapsed < 2.0
+        # the poll registered the follower for lag accounting
+        assert "f1" in client.health()["followers"]
+
+    def test_follower_ahead_of_log_gets_restart(self, cluster):
+        ssdm, server, port = cluster.primary()
+        client = cluster.client(port)
+        client.update(insert(1))
+        response = client.wal_since(99)
+        assert response["restart"]
+        assert response["records"] == []
+
+    def test_wal_since_without_journal_is_a_typed_error(self, cluster):
+        ssdm = SSDM()
+        server = SSDMServer(ssdm).start()
+        cluster._servers.append(server)
+        client = cluster.client(server.server_address[1])
+        from repro.exceptions import StorageError
+        with pytest.raises(StorageError):
+            client.wal_since(0)
+
+
+# -- replica semantics ----------------------------------------------------------------
+
+
+class TestReplicaSemantics:
+    def test_replica_applies_stream_and_serves_reads(self, cluster):
+        _, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        rssdm, _, tail, rport = cluster.replica(pport)
+        for n in range(3):
+            pclient.update(insert(n))
+        assert tail.poll_once() == 3
+        rclient = cluster.client(rport)
+        assert rclient.query(select(2)).rows == [(2,)]
+        assert tail.lag() == 0
+
+    def test_writes_to_replica_are_readonly(self, cluster):
+        _, _, pport = cluster.primary()
+        _, _, _, rport = cluster.replica(pport)
+        rclient = cluster.client(rport)
+        with pytest.raises(ReadOnlyError):
+            rclient.update(insert(1))
+        # reads still fine
+        assert rclient.query(EX + "ASK { ex:x ex:p 1 }") is False
+
+    def test_min_seq_barrier_lagging_then_caught_up(self, cluster):
+        _, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        _, _, tail, rport = cluster.replica(pport)
+        pclient.update(insert(1))
+        seq = pclient.last_write_seq
+        assert seq == 1
+        rclient = cluster.client(rport)
+        with pytest.raises(ReplicaLaggingError):
+            rclient.query(select(1), min_seq=seq)
+        tail.poll_once()
+        assert rclient.query(select(1), min_seq=seq).rows == [(1,)]
+        # the primary trivially satisfies its own barrier
+        assert pclient.query(
+            select(1), read_your_writes=True
+        ).rows == [(1,)]
+
+    def test_streamed_delete_invalidates_pooled_chunks(self, cluster):
+        store = MemoryArrayStore(chunk_bytes=64)
+        _, _, pport = cluster.primary(
+            array_store=store, externalize_threshold=4
+        )
+        pclient = cluster.client(pport)
+        values = " ".join(str(v) for v in range(32))
+        pclient.update(EX + "INSERT DATA { ex:m ex:val (%s) }" % values)
+        rssdm, _, tail, _ = cluster.replica(
+            pport, array_store=store, externalize_threshold=4
+        )
+        tail.poll_once()
+        row = rssdm.execute(EX + "SELECT ?a WHERE { ex:m ex:val ?a }")
+        proxy = row.rows[0][0]
+        proxy.resolve()
+        # seed the shared pool with a chunk of the array (the APR
+        # pipeline would do the same during a ranged read)
+        key = store.pool_key(proxy.array_id)
+        pool = store.buffer_pool
+        pool.put(key, 0, b"\x00" * 8)
+        assert pool._arrays.get(key), \
+            "expected pooled chunks before the streamed delete"
+        pclient.update(EX + "DELETE WHERE { ex:m ex:val ?x }")
+        tail.poll_once()
+        assert rssdm.execute(
+            EX + "SELECT ?a WHERE { ex:m ex:val ?a }"
+        ).rows == []
+        assert not pool._arrays.get(key), \
+            "streamed delete must invalidate pooled chunks"
+
+    def test_replication_state_in_stats(self, cluster):
+        pssdm, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        pclient.update(insert(1))
+        _, _, tail, rport = cluster.replica(pport)
+        tail.poll_once()
+        stats = pclient.stats()
+        assert stats["replication"]["role"] == "primary"
+        assert stats["replication"]["epoch"] == 1
+        assert stats["replication"]["wal_seq"] == 1
+        followers = stats["replication"]["followers"]
+        assert followers and all(
+            info["lag"] >= 0 for info in followers.values()
+        )
+        # embedded view, too
+        embedded = pssdm.stats()["replication"]
+        assert embedded["role"] == "primary"
+        assert embedded["wal_seq"] == 1
+        rclient = cluster.client(rport)
+        health = rclient.health()
+        assert health["role"] == "replica"
+        assert health["upstream"]["lag"] == 0
+
+    def test_background_tailing_loop(self, cluster):
+        _, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        rssdm, _, tail, rport = cluster.replica(pport, start_tail=True)
+        pclient.update(insert(7))
+        wait_for(lambda: tail.last_seq >= 1, message="tail catch-up")
+        rclient = cluster.client(rport)
+        assert rclient.query(select(7)).rows == [(7,)]
+        tail.stop()
+        assert not tail.running()
+
+
+# -- epoch fencing --------------------------------------------------------------------
+
+
+class TestEpochFencing:
+    def test_promote_bumps_epoch_and_enables_writes(self, cluster):
+        _, _, pport = cluster.primary()
+        _, _, tail, rport = cluster.replica(pport)
+        rclient = cluster.client(rport)
+        with pytest.raises(ReadOnlyError):
+            rclient.update(insert(1))
+        assert rclient.promote() == 2
+        assert rclient.health()["role"] == "primary"
+        assert rclient.update(insert(1)) == 1
+
+    def test_stale_primary_fences_and_demotes_on_newer_epoch(
+        self, cluster
+    ):
+        _, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        with pytest.raises(FencedError):
+            pclient.update(insert(1), epoch=5)
+        health = pclient.health()
+        assert health["role"] == "replica"
+        assert health["epoch"] == 5
+        # and it now refuses plain writes too: it stepped down
+        with pytest.raises(ReadOnlyError):
+            pclient.update(insert(1))
+
+    def test_follower_refuses_stale_primary_stream(self, cluster):
+        _, _, stale_port = cluster.primary(name="stale")
+        follower = SSDM.open(str(cluster.tmp_path / "f"))
+        cluster._ssdms.append(follower)
+        tail = ReplicationClient(follower, "127.0.0.1", stale_port)
+        cluster._tails.append(tail)
+        tail.state.epoch = 3          # has seen a newer promotion
+        with pytest.raises(FencedError):
+            tail.poll_once()
+        assert tail.fenced
+        # the stale upstream learned the newer epoch and stepped down
+        stale = cluster.client(stale_port)
+        assert stale.health()["role"] == "replica"
+        assert stale.health()["epoch"] == 3
+
+    def test_divergent_same_seq_tail_triggers_resync(self, cluster):
+        """Log matching: a deposed primary's unshipped tail at the same
+        seq as the new history must resync, never merge silently."""
+        pssdm, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        pclient.update(insert(1))
+        # follower with a *different* record at seq 1 (divergent history)
+        follower = SSDM.open(str(cluster.tmp_path / "diverged"))
+        cluster._ssdms.append(follower)
+        follower.execute(insert(99))
+        assert follower.journal.last_seq == 1
+        tail = ReplicationClient(follower, "127.0.0.1", pport)
+        cluster._tails.append(tail)
+        tail.poll_once()              # detects divergence, resyncs
+        assert tail.resyncs == 1
+        tail.poll_once()              # re-tails from zero
+        assert follower.execute(select(1)).rows == [(1,)]
+        assert follower.execute(select(99)).rows == []
+
+    def test_matching_tail_is_not_resynced(self, cluster):
+        _, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        pclient.update(insert(1))
+        follower = SSDM.open(str(cluster.tmp_path / "f"))
+        cluster._ssdms.append(follower)
+        tail = ReplicationClient(follower, "127.0.0.1", pport)
+        cluster._tails.append(tail)
+        assert tail.poll_once() == 1
+        tail.stop()
+        follower.close()
+        # reopen: resume must verify the tail matches and not resync
+        reopened = SSDM.open(str(cluster.tmp_path / "f"))
+        cluster._ssdms.append(reopened)
+        pclient.update(insert(2))
+        fresh = ReplicationClient(reopened, "127.0.0.1", pport)
+        cluster._tails.append(fresh)
+        assert fresh.poll_once() == 1
+        assert fresh.resyncs == 0
+        assert reopened.execute(select(2)).rows == [(2,)]
+
+
+# -- network faults -------------------------------------------------------------------
+
+
+class TestNetworkFaults:
+    def test_partition_and_heal(self, cluster):
+        _, _, pport = cluster.primary()
+        faults = FaultPlan()
+        peer = "127.0.0.1:%d" % pport
+        client = cluster.client(pport, faults=faults)
+        assert client.query(EX + "ASK { ex:x ex:p 1 }") is False
+        faults.partition(peer)
+        with pytest.raises(ConnectionClosedError):
+            client.query(EX + "ASK { ex:x ex:p 1 }")
+        assert faults.net_blocked >= 1
+        faults.heal(peer)
+        assert client.query(EX + "ASK { ex:x ex:p 1 }") is False
+
+    def test_drop_requests_is_transient(self, cluster):
+        _, _, pport = cluster.primary()
+        faults = FaultPlan()
+        peer = "127.0.0.1:%d" % pport
+        client = cluster.client(pport, faults=faults, retries=2,
+                                backoff=0.01)
+        faults.drop_requests(peer, 2)
+        # idempotent reads retry through the dropped requests
+        assert client.query(EX + "ASK { ex:x ex:p 1 }") is False
+        assert faults.net_dropped == 2
+        assert client.retries_performed == 2
+
+    def test_partitioned_tail_reports_disconnected_then_recovers(
+        self, cluster
+    ):
+        _, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        faults = FaultPlan()
+        _, _, tail, _ = cluster.replica(pport, faults=faults)
+        peer = "127.0.0.1:%d" % pport
+        pclient.update(insert(1))
+        faults.partition(peer)
+        assert tail.poll_once() == 0
+        assert not tail.connected
+        assert tail.poll_errors == 1
+        faults.heal()
+        assert tail.poll_once() == 1
+        assert tail.connected
+
+
+# -- the failover matrix --------------------------------------------------------------
+
+
+class TestFailover:
+    def test_deterministic_failover_matrix(self, cluster, tmp_path):
+        """Primary crash, promotion, old-primary rejoin: no acked write
+        lost, no stale-epoch write accepted, reads answered throughout.
+        """
+        faults = FaultPlan()
+        pssdm, pserver, pport = cluster.primary()
+        rssdm, rserver, tail, rport = cluster.replica(pport)
+        rs = cluster.replica_set(pport, rport, faults=faults)
+        rs.probe()
+        assert rs.primary == ("127.0.0.1", pport)
+
+        acked = []
+        for n in range(3):
+            rs.update(insert(n))
+            acked.append(n)
+        tail.poll_once()
+
+        # partition the replica from the client: reads keep working
+        # through the remaining (primary) endpoint
+        replica_peer = "127.0.0.1:%d" % rport
+        faults.partition(replica_peer)
+        assert rs.query(select(0)).rows == [(0,)]
+        faults.heal(replica_peer)
+
+        # one more acked write, shipped before the crash
+        rs.update(insert(3))
+        acked.append(3)
+        tail.poll_once()
+        assert tail.lag() == 0
+
+        # primary dies mid-stream
+        pserver.stop()
+        pssdm.close()
+
+        # reads still answered by the replica (it serves the shipped
+        # history even while the primary is gone)
+        assert rs.query(select(3)).rows == [(3,)]
+
+        # operator promotes the replica
+        new_epoch = rs.promote(("127.0.0.1", rport))
+        assert new_epoch == 2
+        rs.probe()
+        assert rs.primary == ("127.0.0.1", rport)
+
+        # writes flow again, to the new primary
+        rs.update(insert(4))
+        acked.append(4)
+        assert rs.query(select(4), read_your_writes=True).rows == [(4,)]
+
+        # the old primary restarts, still believing it is the primary
+        # of epoch 1
+        reopened = SSDM.open(str(tmp_path / "p"))
+        cluster._ssdms.append(reopened)
+        old = SSDMServer(reopened, role=PRIMARY, epoch=1).start()
+        cluster._servers.append(old)
+        old_port = old.server_address[1]
+
+        # a fenced write: the replica-set client knows epoch 2, so the
+        # stale primary refuses it and steps down
+        stale_client = cluster.client(old_port)
+        with pytest.raises(FencedError):
+            stale_client.update(insert(99), epoch=rs.epoch)
+        assert stale_client.health()["role"] == "replica"
+        with pytest.raises(ReadOnlyError):
+            stale_client.update(insert(99))
+
+        # rejoin: the deposed primary tails the new primary and
+        # converges on its history
+        rejoin_tail = old.attach_replication("127.0.0.1", rport)
+        cluster._tails.append(rejoin_tail)
+        applied = rejoin_tail.poll_once()
+        while rejoin_tail.lag() or applied:
+            applied = rejoin_tail.poll_once()
+        old_client = cluster.client(old_port)
+        for n in acked:
+            assert old_client.query(select(n)).rows == [(n,)], \
+                "acked write %d lost on the rejoined node" % n
+        assert old_client.query(select(99)).rows == []
+
+        # and the new primary never accepted a stale-epoch write
+        new_client = cluster.client(rport)
+        for n in acked:
+            assert new_client.query(select(n)).rows == [(n,)]
+        assert new_client.query(select(99)).rows == []
+
+    def test_replica_set_routes_and_fails_over_reads(self, cluster):
+        faults = FaultPlan()
+        _, _, pport = cluster.primary()
+        _, _, tail, rport = cluster.replica(pport, start_tail=True)
+        rs = cluster.replica_set(pport, rport, faults=faults)
+        rs.probe()
+        rs.update(insert(1))
+        # read-your-writes: the barrier fails over past a lagging or
+        # partitioned replica to a node that has the write
+        faults.partition("127.0.0.1:%d" % rport)
+        assert rs.query(select(1), read_your_writes=True).rows == [(1,)]
+        faults.heal()
+        wait_for(lambda: tail.lag() == 0, message="replica catch-up")
+        assert rs.query(select(1), read_your_writes=True).rows == [(1,)]
+
+    def test_replica_set_write_fails_over_after_promotion(self, cluster):
+        _, _, pport = cluster.primary()
+        _, _, tail, rport = cluster.replica(pport)
+        rs = cluster.replica_set(pport, rport)
+        rs.probe()
+        rs.update(insert(1))
+        tail.poll_once()
+        # the primary silently becomes unavailable; promote the replica
+        # out-of-band (rs only learns through probing)
+        promote_client = cluster.client(rport)
+        promote_client.promote()
+        # the old primary is then fenced by the next rs write carrying
+        # the new epoch discovered at probe time
+        rs.probe()
+        assert rs.epoch == 2
+        assert rs.primary == ("127.0.0.1", rport)
+        assert rs.update(insert(2)) == 1
+
+
+# -- client retry guarantee (regression pin) ------------------------------------------
+
+
+class TestUpdateRetryPin:
+    def test_update_is_never_auto_retried_after_connection_loss(
+        self, cluster
+    ):
+        """Regression pin for the §9 guarantee: a connection lost
+        mid-update raises instead of replaying, even with retries
+        configured, and the update is applied at most once."""
+        ssdm, server, pport = cluster.primary()
+
+        applied = []
+        original = ssdm.execute
+
+        def kill_connection_after_execute(text, *args, **kwargs):
+            result = original(text, *args, **kwargs)
+            if "INSERT" in text:
+                applied.append(text)
+                raise RuntimeError("boom: connection torn post-apply")
+            return result
+
+        ssdm.execute = kill_connection_after_execute
+        client = cluster.client(pport, retries=3, backoff=0.01)
+        # the server answers INTERNAL (not a dropped connection): no
+        # retry happens because the error is typed and non-retryable
+        from repro.exceptions import SciSparqlError
+        with pytest.raises(SciSparqlError):
+            client.update(insert(1))
+        assert client.retries_performed == 0
+        assert len(applied) == 1
+        ssdm.execute = original
+
+    def test_update_connection_loss_raises_without_replay(self, cluster):
+        ssdm, server, pport = cluster.primary()
+        faults = FaultPlan()
+        peer = "127.0.0.1:%d" % pport
+        client = cluster.client(pport, faults=faults, retries=3,
+                                backoff=0.01)
+        client.update(insert(1))
+        before = ssdm.journal.last_seq
+        faults.drop_requests(peer, 1)   # the write never reaches the wire
+        with pytest.raises(ConnectionClosedError):
+            client.update(insert(2))
+        assert client.retries_performed == 0
+        assert ssdm.journal.last_seq == before
+        # a later, explicit re-issue works (the client reconnected)
+        assert client.update(insert(2)) == 1

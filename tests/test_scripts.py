@@ -1,0 +1,115 @@
+"""CLI contracts of the ops scripts.
+
+``fsck_store.py`` is a CI/ops gate: exit 0 only when no damage was
+found, exit 1 when corruption or a torn WAL tail exists (even if
+``--repair`` fixed it — the gate is "damage happened"), exit 2 on
+usage errors; ``--json`` prints exactly one machine-readable document.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "scripts")
+)
+
+import fsck_store  # noqa: E402
+
+from repro import SSDM, FileArrayStore  # noqa: E402
+from repro.storage.durability import DatasetJournal  # noqa: E402
+
+EX = "PREFIX ex: <http://example.org/> "
+
+
+def make_wal(tmp_path, torn=False):
+    directory = str(tmp_path / "wal")
+    ssdm = SSDM.open(directory)
+    ssdm.execute(EX + "INSERT DATA { ex:s ex:p 1 }")
+    ssdm.execute(EX + "INSERT DATA { ex:s ex:p 2 }")
+    ssdm.close()
+    if torn:
+        log = os.path.join(directory, DatasetJournal.LOG_NAME)
+        with open(log, "r+b") as handle:
+            handle.truncate(os.path.getsize(log) - 2)
+    return directory
+
+
+class TestFsckWal:
+    def test_clean_wal_exits_zero(self, tmp_path, capsys):
+        directory = make_wal(tmp_path)
+        assert fsck_store.main(["--wal", directory, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["kind"] == "wal"
+        assert doc["report"]["records_intact"] == 2
+        assert doc["report"]["last_seq"] == 2
+        assert doc["report"]["bytes_torn"] == 0
+
+    def test_torn_tail_exits_nonzero(self, tmp_path, capsys):
+        directory = make_wal(tmp_path, torn=True)
+        assert fsck_store.main(["--wal", directory, "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["report"]["records_intact"] == 1
+        assert doc["report"]["bytes_torn"] > 0
+
+    def test_repair_truncates_but_still_reports_damage(
+        self, tmp_path, capsys
+    ):
+        directory = make_wal(tmp_path, torn=True)
+        assert fsck_store.main(
+            ["--wal", directory, "--repair", "--json"]
+        ) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["repaired"] is True
+        # after the repair a fresh check is clean
+        assert fsck_store.main(["--wal", directory, "--json"]) == 0
+
+    def test_missing_wal_is_a_usage_error(self, tmp_path):
+        assert fsck_store.main(["--wal", str(tmp_path / "nope")]) == 2
+
+
+class TestFsckStore:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        store = FileArrayStore(str(tmp_path / "store"))
+        store.put([[1, 2], [3, 4]])
+        assert fsck_store.main(
+            ["--file", str(tmp_path / "store"), "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["kind"] == "store"
+        assert doc["report"]["corrupt"] == []
+
+    def test_corrupt_chunk_exits_nonzero(self, tmp_path, capsys):
+        directory = str(tmp_path / "store")
+        store = FileArrayStore(directory)
+        proxy = store.put(list(range(64)))
+        data = os.path.join(directory, "array_%d.bin" % proxy.array_id)
+        with open(data, "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"\xff" * 8)
+        assert fsck_store.main(["--file", directory, "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["report"]["corrupt"]
+
+    def test_missing_database_is_a_usage_error(self, tmp_path):
+        assert fsck_store.main(
+            ["--sql", str(tmp_path / "absent.db")]
+        ) == 2
+
+
+class TestRunReplica:
+    def test_bad_upstream_is_a_usage_error(self, tmp_path):
+        import run_replica
+        with pytest.raises(SystemExit) as excinfo:
+            run_replica.main([
+                "--data", str(tmp_path / "r"),
+                "--upstream", "not-an-endpoint",
+            ])
+        assert excinfo.value.code == 2
