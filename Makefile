@@ -1,8 +1,9 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test test-robustness test-durability test-replication bench bench-check
+.PHONY: test test-robustness test-durability test-replication \
+	test-observability bench bench-check
 
-test: test-robustness test-durability test-replication
+test: test-robustness test-durability test-replication test-observability
 	$(PY) -m pytest -x -q
 
 # Request-lifecycle suites: deadlines, cancellation, fair locking,
@@ -19,6 +20,11 @@ test-durability:
 # failover, and the deterministic failover matrix (also run by `test`)
 test-replication:
 	$(PY) -m pytest tests/test_replication.py -q
+
+# Observability suite: query traces, the metrics registry, the
+# slow-query log, and the server metrics/slowlog ops (also run by `test`)
+test-observability:
+	$(PY) -m pytest tests/test_observability.py -q
 
 bench:
 	$(PY) -m pytest benchmarks -q --benchmark-only \

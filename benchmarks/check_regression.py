@@ -9,6 +9,11 @@ Experiment 1 (retrieval strategies) and Experiment 7 (workbench
 transfers over the wire).  Benchmarks present on only one side — new
 strategies, renamed tests — are reported but never fail the gate.
 
+Also gated here: query-tracing overhead.  The observability layer
+promises near-zero cost, so the gate replays an Experiment-1 retrieval
+workload with tracing on and off and fails when the traced run is more
+than 5% slower (``--overhead-threshold``).
+
 Usage (see ``make bench`` / ``make bench-check``):
 
     pytest benchmarks -q --benchmark-only \
@@ -108,6 +113,92 @@ def run_gate(fresh_path, baseline_path, threshold, out=sys.stdout):
     return regressions
 
 
+#: Maximum fractional slowdown tracing may add to the exp1 workload.
+OVERHEAD_THRESHOLD = 0.05
+#: Interleaved off/on repetitions; best-of-N damps scheduler noise.
+OVERHEAD_REPEATS = 7
+
+
+def measure_tracing_overhead(repeats=OVERHEAD_REPEATS):
+    """(off_seconds, on_seconds) for one exp1-style retrieval run.
+
+    Replays the Experiment 1 access-pattern sweep against a memory
+    store, alternating untraced and traced (inside ``trace_query``)
+    runs, and returns the best time of each mode — best-of-N because
+    the *minimum* is what the instrumentation cannot talk its way
+    under, while means soak up unrelated scheduler noise.
+    """
+    import time
+
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(DEFAULT_BASELINE), "src"))
+    from repro import MemoryArrayStore, observability as obs
+    from repro.bench import QueryGenerator, make_benchmark_store
+    from repro.bench.querygen import run_pattern
+    from repro.storage import APRResolver, Strategy
+
+    from benchmarks.conftest import (
+        ARRAYS, CHUNK_BYTES, QUERIES_PER_RUN, SHAPE,
+    )
+
+    from benchmarks.bench_exp1_retrieval import PATTERNS
+
+    store = MemoryArrayStore(chunk_bytes=CHUNK_BYTES)
+    proxies = make_benchmark_store(store, arrays=ARRAYS, shape=SHAPE,
+                                   seed=7)
+    resolver = APRResolver(store, strategy=Strategy.SPD, buffer_size=64)
+
+    def run():
+        generator = QueryGenerator(proxies, seed=11, stride=8, block=16,
+                                   random_points=32)
+        for pattern in PATTERNS:
+            run_pattern(resolver, generator, pattern, QUERIES_PER_RUN)
+
+    def once(traced):
+        # both modes run through trace_query — "tracing off" in
+        # production still passes the disabled branch, so only the
+        # span-tree cost is under test
+        started = time.perf_counter()
+        with obs.trace_query("bench: exp1 retrieval sweep"):
+            run()
+        return time.perf_counter() - started
+
+    previous = obs.set_tracing(True)
+    best = {False: None, True: None}
+    try:
+        # warm imports, store, chunk caches, and both code paths
+        obs.set_tracing(False)
+        once(False)
+        obs.set_tracing(True)
+        once(True)
+        for _ in range(repeats):
+            for traced in (False, True):
+                obs.set_tracing(traced)
+                elapsed = once(traced)
+                if best[traced] is None or elapsed < best[traced]:
+                    best[traced] = elapsed
+    finally:
+        obs.set_tracing(previous)
+    return best[False], best[True]
+
+
+def run_overhead_gate(threshold=OVERHEAD_THRESHOLD, out=sys.stdout):
+    """Returns the fractional overhead when it breaches ``threshold``,
+    else None."""
+    off, on = measure_tracing_overhead()
+    overhead = (on / off) - 1.0
+    out.write(
+        "tracing overhead on exp1: off=%.3fms on=%.3fms (%+.1f%%, "
+        "threshold %.0f%%)\n"
+        % (off * 1000, on * 1000, overhead * 100, threshold * 100)
+    )
+    if overhead > threshold:
+        out.write("  OVERHEAD REGRESSION: tracing costs more than "
+                  "%.0f%%\n" % (threshold * 100))
+        return overhead
+    return None
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly produced benchmark JSON")
@@ -116,9 +207,23 @@ def main(argv=None):
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD,
                         help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--overhead-threshold", type=float,
+                        default=OVERHEAD_THRESHOLD,
+                        help="allowed tracing overhead (default 0.05)")
+    parser.add_argument("--skip-overhead", action="store_true",
+                        help="only compare against the baseline JSON")
     args = parser.parse_args(argv)
     regressions = run_gate(args.fresh, args.baseline, args.threshold)
-    return 1 if regressions else 0
+    overhead = None
+    if not args.skip_overhead:
+        overhead = run_overhead_gate(args.overhead_threshold)
+    return 1 if (regressions or overhead is not None) else 0
+
+
+@pytest.mark.bench_check
+def test_tracing_overhead_under_threshold():
+    """Pytest entry point for the tracing-overhead gate."""
+    assert run_overhead_gate() is None
 
 
 @pytest.mark.bench_check

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Format an SSDM metrics snapshot as text or JSON.
+
+Reads a metrics registry snapshot — from a running server (``--server
+host:port``), from a JSON file (``--file dump.json``, e.g. a saved
+``SSDMClient.metrics()`` payload), or from this process's registry after
+``--exec`` runs a statement against an in-memory SSDM (handy for
+smoke-testing the pipeline) — and renders it:
+
+    python scripts/dump_metrics.py --server 127.0.0.1:4711
+    python scripts/dump_metrics.py --server 127.0.0.1:4711 --json
+    python scripts/dump_metrics.py --file metrics.json
+    python scripts/dump_metrics.py --exec 'SELECT ?s WHERE { ?s ?p ?o }'
+
+Text output prints counters and gauges one per line and histograms as
+count/mean/min/max plus their occupied latency buckets.  ``--json``
+prints the raw snapshot as one machine-readable document.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+)
+
+
+def render_text(snapshot, out=sys.stdout):
+    """Human-readable rendering of one registry snapshot."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        out.write("-- counters --\n")
+        for name in sorted(counters):
+            out.write("%-40s %d\n" % (name, counters[name]))
+    if gauges:
+        out.write("-- gauges --\n")
+        for name in sorted(gauges):
+            out.write("%-40s %s\n" % (name, gauges[name]))
+    if histograms:
+        out.write("-- histograms --\n")
+        for name in sorted(histograms):
+            h = histograms[name]
+            mean = h.get("mean")
+            out.write(
+                "%-40s count=%d sum=%.6f mean=%s min=%s max=%s\n" % (
+                    name, h.get("count", 0), h.get("sum", 0.0),
+                    "-" if mean is None else "%.6f" % mean,
+                    "-" if h.get("min") is None else "%.6f" % h["min"],
+                    "-" if h.get("max") is None else "%.6f" % h["max"],
+                )
+            )
+            for bucket, count in (h.get("buckets") or {}).items():
+                out.write("    %-20s %d\n" % (bucket, count))
+    if not counters and not gauges and not histograms:
+        out.write("(no metrics recorded)\n")
+
+
+def snapshot_from_server(address):
+    from repro.client import SSDMClient
+
+    host, _, port = address.rpartition(":")
+    client = SSDMClient(host or "127.0.0.1", int(port))
+    try:
+        return client.metrics()
+    finally:
+        client.close()
+
+
+def snapshot_from_exec(statement):
+    from repro import SSDM
+    from repro.observability import metrics
+
+    SSDM().execute(statement)
+    return metrics().snapshot()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="format an SSDM metrics snapshot"
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--server", metavar="HOST:PORT",
+        help="fetch the snapshot from a running SSDM server",
+    )
+    source.add_argument(
+        "--file", metavar="PATH",
+        help="read a saved JSON snapshot (use '-' for stdin)",
+    )
+    source.add_argument(
+        "--exec", dest="statement", metavar="SCISPARQL",
+        help="run one statement on an empty in-memory SSDM and dump "
+             "this process's registry",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw snapshot as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    if args.server:
+        snapshot = snapshot_from_server(args.server)
+    elif args.file:
+        handle = sys.stdin if args.file == "-" else open(args.file)
+        with handle:
+            snapshot = json.load(handle)
+        # tolerate a whole stats() payload, not just its metrics block
+        if "metrics" in snapshot and "counters" not in snapshot:
+            snapshot = snapshot["metrics"]
+    else:
+        snapshot = snapshot_from_exec(args.statement)
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True))
+    else:
+        render_text(snapshot)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,10 @@ from repro.exceptions import (
     ReadOnlyError, FencedError, ReplicaLaggingError,
 )
 from repro.lifecycle import Deadline, current_deadline, deadline_scope
+from repro.observability import (
+    MetricsRegistry, QueryTrace, SlowQueryLog,
+    metrics, set_tracing, slow_query_log,
+)
 from repro.replication import (
     ReplicationState, ReplicationClient, ReplicaSetClient, start_replica,
 )
@@ -93,5 +97,11 @@ __all__ = [
     "Deadline",
     "current_deadline",
     "deadline_scope",
+    "MetricsRegistry",
+    "QueryTrace",
+    "SlowQueryLog",
+    "metrics",
+    "set_tracing",
+    "slow_query_log",
     "__version__",
 ]

@@ -10,6 +10,7 @@ predicate-reordering step, section 5.4.5).
 from __future__ import annotations
 
 from repro.algebra.cost import CostModel
+from repro.observability import span as _span
 from repro.algebra.logical import (
     BGP, Distinct, Extend, Filter, GraphScope, Group, Join, LeftJoin, Minus,
     OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit, ValuesTable,
@@ -19,8 +20,9 @@ from repro.algebra.logical import (
 
 def optimize(plan, graph):
     """Return a plan with cost-ordered BGPs for the given graph."""
-    model = CostModel(graph)
-    return _optimize(plan, model, set())
+    with _span("optimize"):
+        model = CostModel(graph)
+        return _optimize(plan, model, set())
 
 
 def _optimize(node, model, bound):

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import QueryError
+from repro.observability import span as _span
 from repro.sparql import ast
 from repro.algebra import logical
 from repro.algebra.logical import (
@@ -34,7 +35,8 @@ def translate(query):
     For ASK returns (plan, []).  CONSTRUCT/DESCRIBE translate their WHERE
     clause; templates are handled by the engine.
     """
-    return Translator().translate_query(query)
+    with _span("translate"):
+        return Translator().translate_query(query)
 
 
 class Translator:

@@ -8,6 +8,7 @@ protocol on TCP:
                "min_seq": 12}
     request:  {"op": "update", "text": "<SciSPARQL update>", "epoch": 2}
     request:  {"op": "stats"} / {"op": "health"} / {"op": "promote"}
+    request:  {"op": "metrics"} / {"op": "slowlog", "threshold_ms": 50}
     request:  {"op": "explain", "text": "<SciSPARQL>"}
     request:  {"op": "verify", "repair": false}
     request:  {"op": "wal_since", "since": 12, "epoch": 2,
@@ -75,6 +76,7 @@ from repro.exceptions import (
     error_from_code,
 )
 from repro.lifecycle import Deadline, deadline_scope
+from repro import observability as obs
 from repro.rdf.term import BlankNode, Literal, URI
 from repro.replication import PRIMARY, REPLICA, ReplicationState
 from repro.ssdm import SSDM, QueryResult
@@ -330,14 +332,19 @@ class SSDMServer(socketserver.ThreadingTCPServer):
 
     def ssdm_dispatch(self, request):
         op = request.get("op")
-        # stats / health / promote bypass admission control, so
-        # monitoring and failover keep working on a saturated server
+        # stats / health / promote / metrics / slowlog bypass admission
+        # control, so monitoring and failover keep working on a
+        # saturated server
         if op == "stats":
             return {"ok": True, "stats": self._stats_payload()}
         if op == "health":
             return {"ok": True, "health": self._replication_payload()}
         if op == "promote":
             return self._op_promote()
+        if op == "metrics":
+            return {"ok": True, "metrics": obs.metrics().snapshot()}
+        if op == "slowlog":
+            return self._op_slowlog(request)
         if op not in ("query", "update", "explain", "verify", "wal_since"):
             return {"ok": False, "code": "BAD_REQUEST",
                     "error": "unknown op %r" % (op,), "retryable": False}
@@ -347,8 +354,11 @@ class SSDMServer(socketserver.ThreadingTCPServer):
                 "server is at its concurrent-request limit (%d)"
                 % self.max_concurrent
             ))
+        registry = obs.metrics()
+        registry.inc("server_requests_total")
         try:
-            with deadline_scope(deadline):
+            with registry.timer("server_request_seconds"), \
+                    deadline_scope(deadline):
                 return self._dispatch_admitted(op, request, deadline)
         except SciSparqlError as error:
             code = error_code(error)
@@ -361,6 +371,22 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         finally:
             with self._admission:
                 self._active -= 1
+
+    def _op_slowlog(self, request):
+        """Serve (and optionally reconfigure or clear) the slow-query
+        log.  ``threshold_ms`` / ``capacity`` adjust the log before the
+        snapshot is taken; ``clear`` empties it afterwards."""
+        log = obs.slow_query_log()
+        if request.get("threshold_ms") is not None \
+                or request.get("capacity") is not None:
+            log.configure(
+                capacity=request.get("capacity"),
+                threshold_ms=request.get("threshold_ms"),
+            )
+        payload = log.snapshot()
+        if request.get("clear"):
+            log.clear()
+        return {"ok": True, "slowlog": payload}
 
     def _dispatch_admitted(self, op, request, deadline):
         text = request.get("text", "")
@@ -798,6 +824,25 @@ class SSDMClient:
     def stats(self):
         """The server's storage, buffer-pool, and lifecycle counters."""
         return self._call({"op": "stats"})["stats"]
+
+    def metrics(self):
+        """The server's process-wide metrics registry snapshot."""
+        return self._call({"op": "metrics"})["metrics"]
+
+    def slowlog(self, threshold_ms=None, capacity=None, clear=False):
+        """The server's slow-query log (worst traces, slowest first).
+
+        ``threshold_ms`` / ``capacity`` reconfigure the log before the
+        snapshot; ``clear=True`` empties it after taking the snapshot.
+        """
+        request = {"op": "slowlog"}
+        if threshold_ms is not None:
+            request["threshold_ms"] = threshold_ms
+        if capacity is not None:
+            request["capacity"] = capacity
+        if clear:
+            request["clear"] = True
+        return self._call(request, idempotent=not clear)["slowlog"]
 
     def verify(self, repair=False, timeout_ms=None):
         """Run an integrity scan of the server's array store.

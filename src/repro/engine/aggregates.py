@@ -6,12 +6,14 @@ aggregated expression errors are skipped rather than failing the group.
 
 from __future__ import annotations
 
+import numbers
+from decimal import Decimal
 from typing import List, Optional
 
 from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import EvaluationError
-from repro.rdf.term import term_key
+from repro.rdf.term import Literal, term_key
 from repro.engine.functions import string_value, to_term
 
 
@@ -43,25 +45,79 @@ def compute(name, values, distinct=False, separator=None):
     raise EvaluationError("unknown aggregate %s" % name)
 
 
+def _as_number(value):
+    """The Python number of one aggregated runtime value, or None.
+
+    SUM/AVG must accept every *numeric* runtime representation, not just
+    raw int/float: ``xsd:decimal`` literals reach the aggregates still
+    wrapped (``runtime()`` only unwraps int/float/bool/str literals), as
+    do raw :class:`~decimal.Decimal` and :class:`~fractions.Fraction`
+    bindings.  Booleans and strings stay rejected — SPARQL numeric
+    aggregates error (skipping the group's binding) on them.
+    """
+    if isinstance(value, Literal):
+        value = value.value
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float, Decimal)):
+        return value
+    # Fraction and other exact rationals register as numbers.Real;
+    # Decimal deliberately does not, hence the explicit case above.
+    if isinstance(value, numbers.Real):
+        return value
+    return None
+
+
 def _numeric_sum(values):
     total = 0
     for value in values:
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
+        number = _as_number(value)
+        if number is None:
             raise EvaluationError(
                 "non-numeric value %r in numeric aggregate" % (value,)
             )
-        total += value
+        try:
+            total += number
+        except TypeError:
+            # Decimal refuses to mix with float: a heterogeneous group
+            # degrades to float arithmetic rather than erroring out
+            total = float(total) + float(number)
     return total
 
 
 def _distinct(values):
-    seen = []
+    """Order-preserving dedup in one pass over the group.
+
+    The previous list-scan (``marker not in seen``) was O(n²) per group
+    and crashed with a raw TypeError on unhashable odd values; this
+    keys a set via :func:`_distinct_key` instead.
+    """
+    seen = set()
     out = []
     for value in values:
-        marker = to_term(value) if not isinstance(
-            value, (NumericArray, ArrayProxy)
-        ) else value
-        if marker not in seen:
-            seen.append(marker)
-            out.append(value)
+        key = _distinct_key(value)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(value)
     return out
+
+
+def _distinct_key(value):
+    """A hashable key with the same distinctions the old term-equality
+    scan made: arrays dedupe by content (NumericArray hashes its bytes)
+    or proxy identity, terms by ``term_key`` widened with datatype /
+    language / value type — so ``"1"^^xsd:integer`` stays distinct from
+    ``"1.0"^^xsd:double`` and a plain ``"a"`` from ``"a"@en``, which a
+    bare ``term_key`` would collapse.  Values no term can represent
+    dedupe by identity instead of erroring the whole aggregate."""
+    if isinstance(value, (NumericArray, ArrayProxy)):
+        return value
+    try:
+        term = to_term(value)
+    except EvaluationError:
+        return ("opaque", id(value))
+    if isinstance(term, Literal):
+        return (term_key(term), term.datatype.value, term.lang,
+                type(term.value).__name__)
+    return term_key(term)

@@ -28,6 +28,28 @@ from repro.engine.bindings import Bindings
 from repro.engine.expr import Evaluator
 from repro.engine.functions import to_term
 from repro.engine.udf import FunctionRegistry
+from repro import observability as obs
+
+#: Plan-node class name -> operator span label.  Unit is deliberately
+#: absent: a one-row constant source earns no span of its own.
+_OP_LABELS = {
+    "BGP": "bgp",
+    "PathScan": "path",
+    "ValuesTable": "values",
+    "Join": "join",
+    "LeftJoin": "leftjoin",
+    "Minus": "minus",
+    "Union": "union",
+    "Filter": "filter",
+    "Extend": "extend",
+    "GraphScope": "graph",
+    "Group": "aggregate",
+    "Project": "project",
+    "Distinct": "distinct",
+    "OrderBy": "orderby",
+    "Slice": "slice",
+    "SubQuery": "subquery",
+}
 
 
 class QueryEngine:
@@ -64,10 +86,51 @@ class QueryEngine:
     # -- dispatcher --------------------------------------------------------------
 
     def _eval(self, node, inputs, graph):
-        method = getattr(self, "_eval_" + type(node).__name__, None)
+        type_name = type(node).__name__
+        method = getattr(self, "_eval_" + type_name, None)
         if method is None:
             raise QueryError("cannot evaluate plan node %r" % (node,))
-        return method(node, inputs, graph)
+        label = _OP_LABELS.get(type_name)
+        if label is None or obs.current_trace() is None:
+            return method(node, inputs, graph)
+        return self._eval_traced(node, label, method, inputs, graph)
+
+    def _eval_traced(self, node, label, method, inputs, graph):
+        """Evaluate one operator under its trace span.
+
+        Each plan node owns exactly one span per trace (re-evaluations —
+        an OPTIONAL's right side runs once per left row — fold into it
+        via ``calls``).  Timing is *inclusive* per pulled row, EXPLAIN
+        ANALYZE style: the span is also installed as the thread's
+        ambient span for the duration of each ``next()``, so storage
+        spans triggered by this operator nest beneath it.  Only the
+        query thread mutates these counters, so they stay lock-free.
+        """
+        trace = obs.current_trace()
+        span_ = trace.operator_span(node, label, obs.current_span())
+        span_.calls += 1
+        counters = span_.counters
+
+        def counted():
+            for item in inputs:
+                counters["rows_in"] = counters.get("rows_in", 0) + 1
+                yield item
+
+        stream = method(node, counted(), graph)
+        state = obs._state
+        while True:
+            previous = getattr(state, "span", None)
+            state.span = span_
+            started = obs._clock()
+            try:
+                item = next(stream)
+            except StopIteration:
+                return
+            finally:
+                span_.elapsed += obs._clock() - started
+                state.span = previous
+            counters["rows_out"] = counters.get("rows_out", 0) + 1
+            yield item
 
     # -- leaves -------------------------------------------------------------------
 

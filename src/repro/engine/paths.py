@@ -124,15 +124,31 @@ def _closure_from(graph, inner, start, value, reflexive):
 
 
 def _negated(graph, path, subject, value):
+    """Negated property set ``!(p1 | ... | ^q1 | ...)``.
+
+    SPARQL 1.1 splits the set by direction: the forward members
+    restrict a forward edge scan, the inverse members an inverse edge
+    scan, and each scan happens only when its side of the set is
+    non-empty — ``!(^q)`` matches *no* forward edges, and ``!(p)``
+    must not touch the reverse index at all (the previous code ran the
+    reverse scan ``graph.triples(value, None, subject)`` even with no
+    inverse members: a full wasted graph pass per evaluation whose
+    filter then dropped every triple).
+    """
     forward = set(path.forward)
     inverse = set(path.inverse)
+    # The forward scan runs for a pure-forward set (!(p): any forward
+    # edge off the list) and for the forward half of a mixed set; a
+    # purely-inverse set (!(^q)) matches reverse edges only, so its
+    # forward scan is skipped entirely.
     if forward or not inverse:
         for triple in graph.triples(subject, None, value):
             if triple.property not in forward:
                 yield (triple.subject, triple.value)
-    for triple in graph.triples(value, None, subject):
-        if inverse and triple.property not in inverse:
-            yield (triple.value, triple.subject)
+    if inverse:
+        for triple in graph.triples(value, None, subject):
+            if triple.property not in inverse:
+                yield (triple.value, triple.subject)
 
 
 def _all_nodes(graph):

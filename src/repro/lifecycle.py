@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from typing import Optional
 
 from repro.exceptions import RequestCancelledError, RequestTimeoutError
+from repro import observability as obs
 
 #: Granularity of cooperative sleeps: how quickly a sleeping worker
 #: notices an expired deadline or a cancel() from another thread.
@@ -90,13 +91,23 @@ class Deadline:
         return max(0.0, self._expires_at - time.monotonic())
 
     def check(self):
-        """Raise the matching lifecycle error when the token tripped."""
+        """Raise the matching lifecycle error when the token tripped.
+
+        The outcome also lands on the active query trace as a
+        ``cancelled`` / ``deadline_expired`` event, so a slow-query-log
+        entry shows *where* in the span tree the request died.
+        """
         if self._cancelled:
+            obs.event("cancelled")
             raise RequestCancelledError("request cancelled")
         if (
             self._expires_at is not None
             and time.monotonic() >= self._expires_at
         ):
+            obs.event(
+                "deadline_expired",
+                budget_ms=round(self.timeout_seconds * 1000.0, 3),
+            )
             raise RequestTimeoutError(
                 "request exceeded its %.0f ms deadline"
                 % (self.timeout_seconds * 1000.0)

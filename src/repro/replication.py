@@ -58,6 +58,7 @@ from repro.exceptions import (
     SciSparqlError,
     ServerOverloadedError,
 )
+from repro import observability as obs
 
 #: Server roles.
 PRIMARY = "primary"
@@ -285,6 +286,7 @@ class ReplicationClient:
         self.upstream_seq = max(
             self.upstream_seq, int(response.get("last_seq", 0))
         )
+        obs.metrics().set_gauge("replication_follower_lag", self.lag())
         if response.get("restart"):
             self._resync()
             return 0
@@ -313,6 +315,7 @@ class ReplicationClient:
 
     def _apply_records(self, records):
         journal = self.ssdm.journal
+        registry = obs.metrics()
         applied = 0
         with self.write_guard():
             for seq, payload in records:
@@ -323,9 +326,13 @@ class ReplicationClient:
                 # WAL-first on the follower too: the record is durable
                 # locally before the dataset mutates, so a follower
                 # crash mid-apply recovers to a consistent state.
-                journal.append_replicated(seq, data)
-                journal.apply_record(self.ssdm.dataset, data)
+                with registry.timer("replication_apply_seconds"):
+                    journal.append_replicated(seq, data)
+                    journal.apply_record(self.ssdm.dataset, data)
                 applied += 1
+        if applied:
+            registry.inc("replication_records_applied_total", applied)
+            registry.set_gauge("replication_follower_lag", self.lag())
         return applied
 
     def _resync(self):

@@ -35,6 +35,7 @@ from repro.engine.functions import runtime
 from repro.engine.udf import FunctionRegistry
 from repro.engine.update import execute_update
 from repro.lifecycle import Deadline, deadline_scope
+from repro import observability as obs
 
 
 class QueryResult:
@@ -123,6 +124,11 @@ class SSDM:
         #: instance is served as a replication-aware node (the server
         #: sets it); None for embedded use.
         self.replication = None
+        #: The :class:`~repro.observability.QueryTrace` of the most
+        #: recent :meth:`execute` call on this instance (best-effort
+        #: under concurrency: server threads each trace their own
+        #: request, but ``last_trace`` holds whichever finished last).
+        self.last_trace = None
         self.prefixes: Dict[str, str] = {}
 
     @classmethod
@@ -218,6 +224,7 @@ class SSDM:
         return {
             "storage": store.stats.snapshot() if store is not None else None,
             "buffer_pool": pool.stats(),
+            "metrics": obs.metrics().snapshot(),
             "last_resolve": getattr(store, "last_resolve_stats", None),
             "durability": {
                 "journal": (
@@ -296,20 +303,25 @@ class SSDM:
             self.parse(text_or_ast) if isinstance(text_or_ast, str)
             else text_or_ast
         )
-        plan, columns = translate(query)
-        plan = rewrite(plan)
-        target = self.dataset.graph(None) if graph is None else graph
-        plan = optimize(plan, target)
+        with obs.span("plan"):
+            plan, columns = translate(query)
+            with obs.span("rewrite"):
+                plan = rewrite(plan)
+            target = self.dataset.graph(None) if graph is None else graph
+            plan = optimize(plan, target)
         return plan, columns
 
-    def explain(self, text, objectlog=False, costs=False):
+    def explain(self, text, objectlog=False, costs=False, analyze=False):
         """The optimized logical plan, pretty-printed.
 
         With ``objectlog=True`` renders the Datalog-style DNF rules of
         the translated query instead (the ObjectLog form of section
         5.4.4 the host DBMS optimizes).  With ``costs=True``, BGP lines
         are followed by per-pattern cardinality estimates in the order
-        the optimizer chose.
+        the optimizer chose.  With ``analyze=True`` the query is
+        *executed* and the plan is followed by the recorded span tree —
+        per-phase and per-operator wall times, row counts, and storage
+        counters (EXPLAIN ANALYZE).
         """
         plan, columns = self.plan(text)
         if objectlog:
@@ -339,6 +351,17 @@ class SSDM:
                         )
                 stack.extend(node.children())
             text_out = "\n".join(lines)
+        if analyze:
+            result = self.execute(text)
+            lines = [text_out, ""]
+            trace = self.last_trace
+            if trace is not None:
+                lines.append(trace.render())
+            else:
+                lines.append("-- trace unavailable (tracing disabled) --")
+            if isinstance(result, QueryResult):
+                lines.append("-- %d row(s) --" % len(result))
+            text_out = "\n".join(lines)
         return text_out
 
     def execute(self, text, bindings=None, deadline=None, timeout=None):
@@ -360,11 +383,19 @@ class SSDM:
         if deadline is not None:
             with deadline_scope(deadline):
                 deadline.check()
-                return self._execute(text, bindings)
-        return self._execute(text, bindings)
+                return self._execute_traced(text, bindings)
+        return self._execute_traced(text, bindings)
+
+    def _execute_traced(self, text, bindings):
+        """Run one statement under a fresh ambient QueryTrace."""
+        with obs.trace_query(text) as trace:
+            if trace is not None:
+                self.last_trace = trace
+            return self._execute(text, bindings)
 
     def _execute(self, text, bindings=None):
-        statement = self.parse(text)
+        with obs.span("parse"):
+            statement = self.parse(text)
         if isinstance(statement, ast.SelectQuery):
             return self._run_select(statement, bindings)
         if isinstance(statement, ast.AskQuery):
@@ -379,11 +410,12 @@ class SSDM:
             )
         if isinstance(statement, (ast.InsertData, ast.DeleteData,
                                   ast.Modify, ast.ClearGraph)):
-            return execute_update(
-                self.engine, self.dataset, statement,
-                store_array=self._store_array,
-                journal=self.journal,
-            )
+            with obs.span("execute"):
+                return execute_update(
+                    self.engine, self.dataset, statement,
+                    store_array=self._store_array,
+                    journal=self.journal,
+                )
         raise QueryError("cannot execute %r" % (statement,))
 
     def select(self, text, bindings=None):
@@ -410,13 +442,15 @@ class SSDM:
     def _run_select(self, query, bindings=None):
         plan, columns, scope = self._prepare(query)
         rows = []
-        with scope:
+        with scope, obs.span("execute") as timing:
             for solution in self.engine.run(
                 plan, graph=scope.graph, initial=self._initial(bindings)
             ):
                 rows.append(tuple(
                     _output(solution.get(name)) for name in columns
                 ))
+            if timing is not None:
+                timing.add("rows", len(rows))
         return QueryResult(columns, rows)
 
     def _prepare(self, query):
@@ -429,14 +463,16 @@ class SSDM:
         on the engine for the duration of evaluation.
         """
         scope = _DatasetScope(self, query)
-        plan, columns = translate(query)
-        plan = rewrite(plan)
-        plan = optimize(plan, scope.graph)
+        with obs.span("plan"):
+            plan, columns = translate(query)
+            with obs.span("rewrite"):
+                plan = rewrite(plan)
+            plan = optimize(plan, scope.graph)
         return plan, columns, scope
 
     def _run_ask(self, query, bindings=None):
         plan, _, scope = self._prepare(query)
-        with scope:
+        with scope, obs.span("execute"):
             for _ in self.engine.run(
                 plan, graph=scope.graph, initial=self._initial(bindings)
             ):
@@ -446,7 +482,7 @@ class SSDM:
     def _run_construct(self, query, bindings=None):
         plan, _, scope = self._prepare(query)
         out = Graph()
-        with scope:
+        with scope, obs.span("execute"):
             for solution in self.engine.run(
                 plan, graph=scope.graph, initial=self._initial(bindings)
             ):
@@ -464,7 +500,7 @@ class SSDM:
         targets = []
         if query.where is not None:
             plan, _, scope = self._prepare(query)
-            with scope:
+            with scope, obs.span("execute"):
                 for solution in self.engine.run(
                     plan, graph=scope.graph,
                     initial=self._initial(bindings)

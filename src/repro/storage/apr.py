@@ -44,6 +44,7 @@ from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import StorageError
 from repro.lifecycle import current_deadline, deadline_scope
+from repro import observability as obs
 from repro.storage.bufferpool import BufferPool, shared_pool
 from repro.storage.cache import ChunkCache
 from repro.storage.spd import RANGE, SINGLE, SequencePatternDetector
@@ -118,6 +119,13 @@ class APRResolver:
         Proxies referring to the same stored array share fetches: their
         chunk needs are united before any request is issued.
         """
+        started = obs._clock()
+        result = self._resolve(proxies)
+        obs.observe_span("apr_resolve", obs._clock() - started,
+                         arrays=len(result))
+        return result
+
+    def _resolve(self, proxies):
         proxies = list(proxies)
         deadline = current_deadline()
         if deadline is not None:
@@ -446,9 +454,10 @@ class APRResolver:
         if not owned:
             return
         # Speculation outlives the demanding request, so it must not
-        # inherit its deadline: a speculative fetch failing with one
-        # request's TIMEOUT would poison waiters from other requests.
-        with deadline_scope(None):
+        # inherit its deadline (a speculative fetch failing with one
+        # request's TIMEOUT would poison waiters from other requests)
+        # nor its trace (spans landing after the trace is sealed).
+        with deadline_scope(None), obs.activate(None):
             future = self.store.get_chunks_async(
                 array_id, owned, executor=executor
             )

@@ -32,6 +32,7 @@ from repro.exceptions import CorruptionError, StorageError
 from repro.lifecycle import (
     check_deadline, current_deadline, run_with_deadline,
 )
+from repro import observability as obs
 from repro.storage.bufferpool import shared_pool
 
 #: Per-instance namespace tokens so many stores can share one buffer
@@ -242,10 +243,17 @@ class ArrayStore:
         """One chunk as a 1-D numpy array; one round trip."""
         check_deadline()
         meta = self.meta(array_id)
+        started = obs._clock()
         if self.faults is not None:
             self.faults.on_read()
-        data = self._count_corrupt(self._read_chunk, array_id, chunk_id)
+        data = self._count_corrupt(
+            self._read_chunk, array_id, chunk_id
+        )
+        elapsed = obs._clock() - started
+        obs.observe_span("chunk_fetch", elapsed,
+                         chunks=1, bytes=data.nbytes)
         self.stats.count_fetch(1, data.nbytes)
+        _observe_fetch(1, data.nbytes, elapsed)
         return data
 
     def get_chunks(self, array_id, chunk_ids):
@@ -259,11 +267,18 @@ class ArrayStore:
             return {cid: self.get_chunk(array_id, cid) for cid in chunk_ids}
         check_deadline()
         chunk_ids = list(chunk_ids)
+        started = obs._clock()
         if self.faults is not None:
             self.faults.on_read(len(chunk_ids))
-        result = self._count_corrupt(self._read_chunks, array_id, chunk_ids)
-        self.stats.count_fetch(
-            len(result), sum(a.nbytes for a in result.values()))
+        result = self._count_corrupt(
+            self._read_chunks, array_id, chunk_ids
+        )
+        nbytes = sum(a.nbytes for a in result.values())
+        elapsed = obs._clock() - started
+        obs.observe_span("chunk_fetch", elapsed,
+                         chunks=len(result), bytes=nbytes)
+        self.stats.count_fetch(len(result), nbytes)
+        _observe_fetch(len(result), nbytes, elapsed)
         return result
 
     def get_chunk_ranges(self, array_id, ranges):
@@ -279,15 +294,21 @@ class ArrayStore:
             return self.get_chunks(array_id, chunk_ids)
         check_deadline()
         ranges = list(ranges)
+        started = obs._clock()
         if self.faults is not None:
             self.faults.on_read(sum(
-                (last - first) // step + 1 for first, last, step in ranges
+                (last - first) // step + 1
+                for first, last, step in ranges
             ))
         result = self._count_corrupt(
             self._read_chunk_ranges, array_id, ranges
         )
-        self.stats.count_fetch(
-            len(result), sum(a.nbytes for a in result.values()))
+        nbytes = sum(a.nbytes for a in result.values())
+        elapsed = obs._clock() - started
+        obs.observe_span("chunk_fetch", elapsed,
+                         chunks=len(result), bytes=nbytes)
+        self.stats.count_fetch(len(result), nbytes)
+        _observe_fetch(len(result), nbytes, elapsed)
         return result
 
     # -- asynchronous retrieval (prefetch pipeline) ---------------------------------
@@ -305,7 +326,7 @@ class ArrayStore:
         chunk_ids = list(chunk_ids)
         if executor is not None and self.thread_safe:
             return executor.submit(
-                run_with_deadline, current_deadline(),
+                _run_adopted, obs.capture(), current_deadline(),
                 self.get_chunks, array_id, chunk_ids,
             )
         return _completed(self.get_chunks, array_id, chunk_ids)
@@ -315,7 +336,7 @@ class ArrayStore:
         ranges = [tuple(r) for r in ranges]
         if executor is not None and self.thread_safe:
             return executor.submit(
-                run_with_deadline, current_deadline(),
+                _run_adopted, obs.capture(), current_deadline(),
                 self.get_chunk_ranges, array_id, ranges,
             )
         return _completed(self.get_chunk_ranges, array_id, ranges)
@@ -489,3 +510,27 @@ def _completed(fn, *args):
     except Exception as error:  # propagate through the future contract
         future.set_exception(error)
     return future
+
+
+def _run_adopted(trace_ctx, deadline, fn, *args):
+    """Run a pool worker under the submitting request's trace + deadline.
+
+    Worker threads inherit no thread-local state, so both the ambient
+    deadline and the (trace, span) context are captured at submit time
+    and re-installed here — a prefetch worker's ``chunk_fetch`` spans
+    accumulate under the operator that demanded the chunks.  Its wall
+    times sum *across* workers, so an aggregate span's elapsed reads as
+    total I/O time, which may exceed the query's wall clock when
+    fetches overlap.
+    """
+    with obs.activate(trace_ctx):
+        return run_with_deadline(deadline, fn, *args)
+
+
+def _observe_fetch(chunks, nbytes, seconds):
+    """Feed one fetch round trip into the process-wide metrics."""
+    registry = obs.metrics()
+    registry.inc("storage_fetch_requests_total")
+    registry.inc("storage_chunks_fetched_total", chunks)
+    registry.inc("storage_bytes_fetched_total", nbytes)
+    registry.observe("storage_fetch_seconds", seconds)

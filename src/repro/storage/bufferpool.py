@@ -39,9 +39,27 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro import observability as obs
+
 #: Default pool budget: generous enough for the benchmark working sets,
 #: small enough to exercise eviction under real workloads.
 DEFAULT_POOL_BYTES = 64 * 1024 * 1024
+
+
+def _observe_pool(hits, misses):
+    """Report demand lookups to the active trace and the metrics.
+
+    Called *outside* the pool lock so instrumentation never extends the
+    critical section every store in the process contends on.
+    """
+    if not hits and not misses:
+        return
+    obs.tick("pool_hit", hits=hits, misses=misses)
+    registry = obs.metrics()
+    if hits:
+        registry.inc("pool_hits_total", hits)
+    if misses:
+        registry.inc("pool_misses_total", misses)
 
 
 class InFlightFetch:
@@ -94,7 +112,10 @@ class BufferPool:
     def get(self, array_key, chunk_id):
         """One cached chunk, or None; counts a hit or a miss."""
         with self._lock:
-            return self._get_locked(array_key, chunk_id)
+            chunk = self._get_locked(array_key, chunk_id)
+        hit = chunk is not None
+        _observe_pool(1 if hit else 0, 0 if hit else 1)
+        return chunk
 
     def _get_locked(self, array_key, chunk_id):
         bucket = self._arrays.get(array_key)
@@ -152,6 +173,8 @@ class BufferPool:
                 else:
                     self._inflight[key] = InFlightFetch()
                     owned.append(chunk_id)
+        if record:
+            _observe_pool(len(cached), len(owned) + len(waiting))
         return cached, owned, waiting
 
     @staticmethod

@@ -54,6 +54,7 @@ from repro.arrays.nma import ELEMENT_TYPES, NumericArray, dtype_code
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import CorruptionError, StorageError
 from repro.rdf.term import BlankNode, Literal, URI
+from repro import observability as obs
 
 #: Datatype URIs marking array values in the journal's N-Triples lines.
 ARRAY_DATATYPE = "urn:x-repro:array"
@@ -152,11 +153,19 @@ class WriteAheadLog:
         crash_after = False
         if self.faults is not None:
             frame, crash_after = self.faults.mangle_write(frame)
+        started = obs._clock()
         handle = self._open_for_append()
         handle.write(frame)
         handle.flush()
         if self.fsync:
             os.fsync(handle.fileno())
+        elapsed = obs._clock() - started
+        obs.observe_span("wal_append", elapsed,
+                         records=1, bytes=len(frame))
+        registry = obs.metrics()
+        registry.inc("wal_appends_total")
+        registry.inc("wal_bytes_appended_total", len(frame))
+        registry.observe("wal_append_seconds", elapsed)
         if crash_after:
             from repro.storage.faults import SimulatedCrash
             raise SimulatedCrash(

@@ -64,6 +64,7 @@ import time
 
 from repro.exceptions import StorageError
 from repro.lifecycle import current_deadline
+from repro import observability as obs
 
 
 class SimulatedCrash(RuntimeError):
@@ -134,6 +135,7 @@ class FaultPlan:
         if fail:
             with self._lock:
                 self.injected_errors += 1
+            obs.event("fault_injected", kind="read_error", op=op)
             raise StorageError(
                 "injected fault on read op %d" % op
             )
@@ -161,6 +163,7 @@ class FaultPlan:
         if armed:
             with self._lock:
                 self.crashes += 1
+            obs.event("fault_injected", kind="crash", point=name)
             raise SimulatedCrash("injected crash at %s" % name)
 
     def mangle_write(self, payload):
@@ -175,7 +178,10 @@ class FaultPlan:
             if self.torn_write and self.durable_writes == self.torn_write:
                 self.torn_writes += 1
                 self.crashes += 1
-                return payload[: len(payload) // 2], True
+                torn = payload[: len(payload) // 2]
+                obs.event("fault_injected", kind="torn_write",
+                          write=self.durable_writes)
+                return torn, True
         return payload, False
 
     def mangle_read(self, payload):
@@ -252,6 +258,7 @@ class FaultPlan:
                 failure = None
         self._sleep(delay)
         if failure is not None:
+            obs.event("fault_injected", kind="network", peer=peer)
             raise failure
 
     # -- internals -----------------------------------------------------------------

@@ -150,6 +150,122 @@ class TestAggregatesInExpressions:
         assert r.rows == [(4,)]
 
 
+class TestNumericCoercion:
+    """SUM/AVG accept every numeric runtime representation (regression:
+    ``_numeric_sum`` used to reject anything but raw int/float, so
+    ``Decimal`` bindings and wrapped ``xsd:decimal`` literals errored)."""
+
+    def test_sum_of_decimals(self):
+        from decimal import Decimal
+
+        from repro.engine.aggregates import compute
+
+        total = compute("SUM", [Decimal("1.10"), Decimal("2.20")])
+        assert total == Decimal("3.30")
+
+    def test_avg_of_decimals_stays_exact(self):
+        from decimal import Decimal
+
+        from repro.engine.aggregates import compute
+
+        mean = compute("AVG", [Decimal("1.5"), Decimal("2.5")])
+        assert mean == Decimal("2.0")
+
+    def test_sum_of_wrapped_decimal_literals(self):
+        # runtime() only unwraps int/float/bool/str literals, so an
+        # xsd:decimal literal holding a Decimal reaches SUM still wrapped
+        from decimal import Decimal
+
+        from repro import Literal, XSD
+        from repro.engine.aggregates import compute
+
+        values = [Literal(Decimal("0.1"), XSD.decimal),
+                  Literal(Decimal("0.2"), XSD.decimal)]
+        assert compute("SUM", values) == Decimal("0.3")
+
+    def test_sum_of_fractions(self):
+        from fractions import Fraction
+
+        from repro.engine.aggregates import compute
+
+        total = compute("SUM", [Fraction(1, 3), Fraction(2, 3)])
+        assert total == 1
+
+    def test_mixed_decimal_and_float_degrades_to_float(self):
+        from decimal import Decimal
+
+        from repro.engine.aggregates import compute
+
+        total = compute("SUM", [Decimal("1.5"), 2.5])
+        assert total == pytest.approx(4.0)
+
+    def test_sum_still_rejects_bools(self):
+        from repro.engine.aggregates import compute
+        from repro.exceptions import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            compute("SUM", [1, True])
+
+    def test_sum_still_rejects_strings(self):
+        from repro.engine.aggregates import compute
+        from repro.exceptions import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            compute("SUM", [1, "2"])
+
+
+class TestDistinctDedup:
+    """DISTINCT aggregates dedupe via hashable keys (regression: the old
+    list scan was O(n²) per group and the keys it built collided or
+    crashed on mixed values)."""
+
+    def test_large_duplicated_group(self):
+        from repro.engine.aggregates import compute
+
+        values = [i % 50 for i in range(20000)]
+        assert compute("COUNT", values, distinct=True) == 50
+        assert compute("SUM", values, distinct=True) == sum(range(50))
+
+    def test_distinct_preserves_first_occurrence_order(self):
+        from repro.engine.aggregates import _distinct
+
+        assert _distinct([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_distinct_keeps_int_float_and_bool_apart(self):
+        from repro.engine.aggregates import _distinct
+
+        assert _distinct([1, 1.0, True, 1]) == [1, 1.0, True]
+
+    def test_distinct_keeps_lang_tags_apart(self):
+        from repro import Literal
+        from repro.engine.aggregates import compute
+
+        values = [Literal("a"), Literal("a", lang="en"), Literal("a")]
+        assert compute("COUNT", values, distinct=True) == 2
+
+    def test_distinct_arrays_by_content(self):
+        from repro import NumericArray
+        from repro.engine.aggregates import compute
+
+        values = [NumericArray([1, 2]), NumericArray([1, 2]),
+                  NumericArray([3, 4])]
+        assert compute("COUNT", values, distinct=True) == 2
+
+    def test_distinct_tolerates_opaque_values(self):
+        # values no RDF term can represent dedupe by identity instead of
+        # raising out of the whole aggregate
+        from repro.engine.aggregates import compute
+
+        opaque = object()
+        values = [opaque, opaque, object(), 7]
+        assert compute("COUNT", values, distinct=True) == 3
+
+    def test_count_distinct_end_to_end(self, sales):
+        r = sales.execute(EXP + """
+            SELECT (COUNT(DISTINCT ?a) AS ?n) WHERE { ?s ex:amount ?a }""")
+        assert r.rows == [(4,)]
+
+
 class TestArrayAggregates:
     def test_avg_of_array_aggregates(self, ssdm):
         ssdm.load_turtle_text("""

@@ -136,3 +136,143 @@ class TestNegatedSets:
             EXP + 'SELECT ?y WHERE { ex:a !(ex:next|ex:alt) ?y }'
         )
         assert r.column("y") == ["A"]     # only ex:name remains
+
+    def test_negated_inverse_only(self, chain):
+        # !(^ex:alt) matches *reverse* edges whose predicate is not
+        # ex:alt — ex:b has one incoming edge, ex:a -ex:next-> ex:b —
+        # and must not match any forward edge out of ex:b
+        r = chain.execute(EXP + "SELECT ?y WHERE { ex:b !(^ex:alt) ?y }")
+        assert r.column("y") == [e("a")]
+
+    def test_negated_inverse_only_excludes_listed(self, chain):
+        # the only incoming edge of ex:b is ex:next, which is on the list
+        r = chain.execute(EXP + "SELECT ?y WHERE { ex:b !(^ex:next) ?y }")
+        assert r.rows == []
+
+    def test_negated_mixed_directions(self, chain):
+        # forward half: edges out of ex:b except ex:next (only ex:name);
+        # inverse half: edges into ex:b except ex:alt (ex:a via ex:next)
+        r = chain.execute(
+            EXP + "SELECT ?y WHERE { ex:b !(ex:next|^ex:alt) ?y }"
+        )
+        assert sorted(r.column("y"), key=str) == ["B", e("a")]
+
+
+class _CountingGraph:
+    """Delegating wrapper that records every ``triples()`` call."""
+
+    def __init__(self, graph):
+        self._graph = graph
+        self.calls = []
+
+    def triples(self, subject=None, prop=None, value=None):
+        self.calls.append((subject, prop, value))
+        return self._graph.triples(subject, prop, value)
+
+
+class TestNegatedScanDirections:
+    """Each half of a negated set scans only when non-empty (regression:
+    the reverse scan used to run — a full graph pass — even for
+    forward-only sets like ``!ex:next``)."""
+
+    @pytest.fixture
+    def graph(self):
+        from repro.rdf import Graph
+
+        g = Graph()
+        g.add(e("a"), e("next"), e("b"))
+        g.add(e("b"), e("next"), e("c"))
+        g.add(e("a"), e("alt"), e("x"))
+        return g
+
+    def _negated(self, forward, inverse):
+        from repro.sparql import ast
+
+        return ast.PathNegated(forward, inverse)
+
+    def test_forward_only_set_never_scans_reverse(self, graph):
+        from repro.engine.paths import eval_path
+
+        counting = _CountingGraph(graph)
+        path = self._negated([e("next")], [])
+        pairs = list(eval_path(counting, path, subject=e("a")))
+        assert pairs == [(e("a"), e("x"))]
+        # exactly one scan, and it is the forward-shaped one
+        assert counting.calls == [(e("a"), None, None)]
+
+    def test_inverse_only_set_never_scans_forward(self, graph):
+        from repro.engine.paths import eval_path
+
+        counting = _CountingGraph(graph)
+        path = self._negated([], [e("alt")])
+        pairs = list(eval_path(counting, path, subject=e("b")))
+        assert pairs == [(e("b"), e("a"))]
+        # exactly one scan, and it is the reverse-shaped one
+        assert counting.calls == [(None, None, e("b"))]
+
+    def test_mixed_set_scans_both_directions(self, graph):
+        from repro.engine.paths import eval_path
+
+        counting = _CountingGraph(graph)
+        path = self._negated([e("next")], [e("next")])
+        pairs = list(eval_path(counting, path, subject=e("a")))
+        assert pairs == [(e("a"), e("x"))]
+        assert counting.calls == [
+            (e("a"), None, None), (None, None, e("a")),
+        ]
+
+
+class TestPathEdgeCases:
+    """Cyclic closures with bound endpoints, ``?`` with bound subject,
+    and value-driven sequences."""
+
+    @pytest.fixture
+    def cycle(self, ssdm):
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:p ex:n ex:q . ex:q ex:n ex:p .
+        """)
+        return ssdm
+
+    def test_plus_cycle_both_bound_reaches_start(self, cycle):
+        r = cycle.execute(EXP + "ASK { ex:p ex:n+ ex:p }")
+        assert r is True
+
+    def test_plus_cycle_both_bound_unreachable(self, cycle):
+        r = cycle.execute(EXP + "ASK { ex:p ex:n+ ex:missing }")
+        assert r is False
+
+    def test_star_cycle_both_bound(self, cycle):
+        assert cycle.execute(EXP + "ASK { ex:p ex:n* ex:q }") is True
+        # * is reflexive even through a cycle
+        assert cycle.execute(EXP + "ASK { ex:p ex:n* ex:p }") is True
+
+    def test_question_mark_subject_equals_value(self, cycle):
+        # zero-length match: no self edge needed when both ends coincide
+        assert cycle.execute(EXP + "ASK { ex:missing ex:n? ex:missing }") \
+            is True
+        assert cycle.execute(EXP + "ASK { ex:p ex:n? ex:missing }") is False
+
+    def test_sequence_driven_from_value_side(self, chain):
+        # only the value end is bound (a literal), so the sequence must
+        # evaluate its tail first and chain backwards
+        r = chain.execute(EXP +
+                          'SELECT ?x WHERE { ?x ex:next/ex:name "C" }')
+        assert r.rows == [(e("b"),)]
+
+    def test_three_step_sequence_from_value_side(self, chain):
+        r = chain.execute(
+            EXP + 'SELECT ?x WHERE { ?x ex:next/ex:next/ex:name "D" }'
+        )
+        assert r.rows == [(e("b"),)]
+
+    def test_plus_set_semantics_on_diamond(self, ssdm):
+        # two routes reach ex:d; path results are sets, so it appears once
+        ssdm.load_turtle_text("""
+            @prefix ex: <http://e/> .
+            ex:a ex:n ex:b . ex:a ex:n ex:c .
+            ex:b ex:n ex:d . ex:c ex:n ex:d .
+        """)
+        r = ssdm.execute(EXP + "SELECT ?y WHERE { ex:a ex:n+ ?y } "
+                         "ORDER BY ?y")
+        assert r.column("y") == [e("b"), e("c"), e("d")]
