@@ -1,7 +1,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-robustness test-durability test-replication \
-	test-observability bench bench-check
+	test-observability bench bench-check footprint
 
 test: test-robustness test-durability test-replication test-observability
 	$(PY) -m pytest -x -q
@@ -30,6 +30,11 @@ bench:
 	$(PY) -m pytest benchmarks -q --benchmark-only \
 		--benchmark-json=bench_results_new.json
 
-# Gate: fail if exp1/exp7 means regressed >25% vs the committed baseline
+# Gate: fail if exp1/exp7/exp8 means regressed >25% vs the baseline
 bench-check:
 	$(PY) benchmarks/check_regression.py bench_results_new.json
+
+# Report dictionary + permutation-index memory cost at the exp8 scale
+# (fails above the per-triple byte budget; see the script's --max-bytes)
+footprint:
+	$(PY) scripts/report_footprint.py

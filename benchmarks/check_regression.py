@@ -4,10 +4,13 @@ Compares a freshly produced pytest-benchmark JSON file against the
 repository's committed ``bench_results.json`` and fails when any watched
 benchmark's mean regressed by more than the threshold (default 25%).
 
-Watched are the experiments most sensitive to the retrieval pipeline:
+Watched are the experiments most sensitive to the retrieval pipeline —
 Experiment 1 (retrieval strategies) and Experiment 7 (workbench
-transfers over the wire).  Benchmarks present on only one side — new
-strategies, renamed tests — are reported but never fail the gate.
+transfers over the wire) — plus Experiment 8 (ID-space BGP evaluation,
+whose speedup-target variants additionally assert the >= 5x floor over
+the hash-index baseline at run time).  Benchmarks present on only one
+side — new strategies, renamed tests — are reported but never fail the
+gate.
 
 Also gated here: query-tracing overhead.  The observability layer
 promises near-zero cost, so the gate replays an Experiment-1 retrieval
@@ -36,7 +39,7 @@ import sys
 import pytest
 
 #: Parametrized groups gated on every variant present in both files.
-WATCHED_GROUPS = ("test_retrieval",)
+WATCHED_GROUPS = ("test_retrieval", "test_bgp", "test_bgp_speedup_target")
 #: Individual benchmarks gated by exact name.
 WATCHED_NAMES = (
     "test_store_and_annotate",
@@ -130,8 +133,13 @@ def measure_tracing_overhead(repeats=OVERHEAD_REPEATS):
     """
     import time
 
-    sys.path.insert(0, os.path.join(
-        os.path.dirname(DEFAULT_BASELINE), "src"))
+    repo_root = os.path.dirname(DEFAULT_BASELINE)
+    sys.path.insert(0, os.path.join(repo_root, "src"))
+    # running as `python benchmarks/check_regression.py` puts only the
+    # benchmarks/ directory on sys.path; the conftest imports below
+    # resolve through the package, so the repo root must be there too
+    if repo_root not in sys.path:
+        sys.path.insert(0, repo_root)
     from repro import MemoryArrayStore, observability as obs
     from repro.bench import QueryGenerator, make_benchmark_store
     from repro.bench.querygen import run_pattern

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Report the dictionary/index memory footprint of the RDF core.
+
+Builds an in-memory graph at a configurable scale (default 100k
+triples, the Experiment 8 geometry) and prints what the dictionary
+encoding and the three sorted permutation indexes cost in bytes —
+the memory side of the ID-space speedup, run as a CI step so footprint
+growth shows up in the job log next to the timing gate:
+
+    python scripts/report_footprint.py
+    python scripts/report_footprint.py --triples 500000 --json
+
+Exits non-zero when the per-triple index cost exceeds ``--max-bytes``
+(default 96: three int64 triple copies plus permutation arrays is
+72 bytes; headroom for numpy overhead on small runs).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+)
+
+from repro import SSDM, Literal, URI  # noqa: E402
+
+
+def populate(graph, triples):
+    """One third chain links, two thirds star satellites — the mix
+    keeps both URI-heavy and literal-heavy terms in the dictionary."""
+    p1 = URI("http://ex.org/p1")
+    q1, q2 = URI("http://ex.org/q1"), URI("http://ex.org/q2")
+    groups = triples // 3
+    for i in range(groups):
+        s = URI("http://ex.org/n%d" % i)
+        graph.add(s, p1, URI("http://ex.org/n%d" % (i + 1)))
+        graph.add(s, q1, Literal(i))
+        graph.add(s, q2, Literal(float(i)))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--triples", type=int, default=102_000)
+    parser.add_argument("--max-bytes", type=float, default=96.0,
+                        help="fail above this many index bytes/triple")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    ssdm = SSDM()
+    populate(ssdm.graph, args.triples)
+    stats = ssdm.stats()["graph"]
+    per_triple = stats["index_bytes"] / max(stats["triples"], 1)
+    report = {
+        "triples": stats["triples"],
+        "terms": stats["dictionary"]["terms"],
+        "index_bytes": stats["index_bytes"],
+        "index_bytes_per_triple": round(per_triple, 2),
+        "pending": stats["pending"],
+        "flushes": stats["flushes"],
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print("rdf core footprint (%d triples):" % report["triples"])
+        print("  dictionary terms:     %d" % report["terms"])
+        print("  permutation indexes:  %.2f MiB (%.1f bytes/triple)"
+              % (report["index_bytes"] / (1024.0 * 1024.0), per_triple))
+        print("  pending delta rows:   %d (after %d merges)"
+              % (report["pending"], report["flushes"]))
+    if per_triple > args.max_bytes:
+        print("FOOTPRINT REGRESSION: %.1f bytes/triple exceeds the "
+              "%.1f budget" % (per_triple, args.max_bytes))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,31 +31,61 @@ class CostModel:
 
         ``bound`` is the set of variable names already bound when this
         pattern would execute.
+
+        Components that are ground *constants* are priced with the exact
+        run length read off the graph's sorted permutation indexes
+        (``graph.pattern_count``, an O(log n) binary search) — no
+        estimation error at all.  Only components bound through a
+        *variable* fall back to averaged fanout/fanin statistics, since
+        the constant they will hold is unknown at planning time.
         """
         subject_bound = self._is_bound(pattern.subject, bound)
-        predicate_bound = self._is_bound(pattern.predicate, bound)
         value_bound = self._is_bound(pattern.value, bound)
 
         total = max(self.stats.triple_count, 1)
-        prop = pattern.predicate if isinstance(
-            pattern.predicate, ast.Var) is False else None
+        prop = None if isinstance(pattern.predicate, ast.Var) \
+            else pattern.predicate
+        subject = None if isinstance(pattern.subject, ast.Var) \
+            else pattern.subject
+        value = None if isinstance(pattern.value, ast.Var) \
+            else pattern.value
+        exact = getattr(self.graph, "pattern_count", None)
 
-        if predicate_bound and prop is not None:
-            count = max(self.stats.property_count(prop), 1)
+        if prop is not None:
             if subject_bound and value_bound:
-                return 0.5                      # existence check
+                # existence check; when fully ground the index even
+                # tells us whether the triple is there at all
+                if exact is not None and subject is not None and \
+                        value is not None:
+                    return 0.5 if exact(subject, prop, value) else 0.25
+                return 0.5
             if subject_bound:
+                if exact is not None and subject is not None:
+                    return float(exact(subject, prop, None))
                 return max(self.stats.fanout(prop), 0.1)
             if value_bound:
+                if exact is not None and value is not None:
+                    return float(exact(None, prop, value))
                 return max(self.stats.fanin(prop), 0.1)
-            return count
-        # predicate unbound (a variable)
+            return max(self.stats.property_count(prop), 1)
+        # predicate unbound (a variable): penalized — no run of a
+        # single permutation index covers an unbound-predicate scan
+        # with both endpoints free
+        factor = self.UNBOUND_PREDICATE_FACTOR
         if subject_bound and value_bound:
-            return 1.0 * self.UNBOUND_PREDICATE_FACTOR
+            if exact is not None and subject is not None and \
+                    value is not None:
+                return float(exact(subject, None, value)) * factor
+            return 1.0 * factor
         if subject_bound or value_bound:
+            constant = subject if subject_bound else value
+            if exact is not None and constant is not None:
+                count = exact(constant, None, None) if subject_bound \
+                    else exact(None, None, constant)
+                return float(count) * factor
             distinct = max(self.stats.distinct_subjects(), 1)
-            return (total / distinct) * self.UNBOUND_PREDICATE_FACTOR
-        return total * self.UNBOUND_PREDICATE_FACTOR
+            return (total / distinct) * factor
+        return total * factor
 
     @staticmethod
     def _is_bound(component, bound):

@@ -59,6 +59,11 @@ class BGP(PlanNode):
 
     def __init__(self, patterns):
         self.patterns = list(patterns)
+        #: Optional projection-pushdown annotation: when set, only these
+        #: variables are observed above this BGP, so the ID-space fast
+        #: path may skip decoding the others (the join itself still
+        #: constrains every variable).  None = decode everything.
+        self.keep = None
 
     def _details(self):
         return "%d patterns" % len(self.patterns)

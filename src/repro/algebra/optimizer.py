@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.algebra.cost import CostModel
 from repro.observability import span as _span
+from repro.sparql import ast
 from repro.algebra.logical import (
     BGP, Distinct, Extend, Filter, GraphScope, Group, Join, LeftJoin, Minus,
     OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit, ValuesTable,
@@ -22,7 +23,35 @@ def optimize(plan, graph):
     """Return a plan with cost-ordered BGPs for the given graph."""
     with _span("optimize"):
         model = CostModel(graph)
-        return _optimize(plan, model, set())
+        plan = _optimize(plan, model, set())
+        _push_projection(plan)
+        return plan
+
+
+def _push_projection(node):
+    """Annotate straight-line ``Project → BGP`` pipelines.
+
+    When nothing between a Project and its BGP observes the dropped
+    variables, the BGP's ID-space decode may skip materializing them
+    (``BGP.keep``).  Only variable-keyed OrderBy nodes may intervene
+    (their sort variables join the kept set); any other operator — in
+    particular Distinct, whose multiplicities depend on the full row —
+    blocks the annotation.  The join itself still binds and constrains
+    every pattern variable.
+    """
+    for child in node.children():
+        _push_projection(child)
+    if not isinstance(node, Project):
+        return
+    needed = set(node.variables)
+    inner = node.input
+    while isinstance(inner, OrderBy):
+        if not all(isinstance(expr, ast.Var) for expr, _ in inner.keys):
+            return
+        needed.update(expr.name for expr, _ in inner.keys)
+        inner = inner.input
+    if isinstance(inner, BGP):
+        inner.keep = needed
 
 
 def _optimize(node, model, bound):

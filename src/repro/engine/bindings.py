@@ -27,6 +27,20 @@ class Bindings:
     def __init__(self, values=None):
         self._values: Dict[str, object] = dict(values) if values else {}
 
+    @classmethod
+    def adopt(cls, values):
+        """Wrap an already-built dict without copying.
+
+        The caller must hand over ownership: the dict must never be
+        mutated afterwards.  This is the constructor for hot paths
+        (pattern matching, ID-space decode) where the mapping was just
+        assembled and the defensive copy in ``__init__`` would double
+        the allocation cost per solution.
+        """
+        self = cls.__new__(cls)
+        self._values = values
+        return self
+
     def get(self, name, default=None):
         return self._values.get(name, default)
 
@@ -46,16 +60,16 @@ class Bindings:
         """A new Bindings with one more (or replaced) binding."""
         values = dict(self._values)
         values[name] = value
-        return Bindings(values)
+        return Bindings.adopt(values)
 
     def extended_many(self, pairs):
         values = dict(self._values)
         values.update(pairs)
-        return Bindings(values)
+        return Bindings.adopt(values)
 
     def project(self, names):
         """Keep only the named variables (absent ones stay absent)."""
-        return Bindings({
+        return Bindings.adopt({
             name: value for name, value in self._values.items()
             if name in names
         })
@@ -79,10 +93,18 @@ class Bindings:
     def merge(self, other):
         values = dict(self._values)
         values.update(other._values)
-        return Bindings(values)
+        return Bindings.adopt(values)
 
     def as_dict(self):
         return dict(self._values)
+
+    def mapping(self):
+        """The internal name→value dict (treat as read-only).
+
+        For hot consumers that do one lookup per result cell; the copy
+        in :meth:`as_dict` would dominate on wide results.
+        """
+        return self._values
 
     def __eq__(self, other):
         return isinstance(other, Bindings) and self._values == other._values

@@ -23,6 +23,7 @@ from repro.algebra.logical import (
     OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit, ValuesTable,
 )
 from repro.engine import aggregates as agg
+from repro.engine import idjoin
 from repro.engine import paths as path_eval
 from repro.engine.bindings import Bindings
 from repro.engine.expr import Evaluator
@@ -118,18 +119,21 @@ class QueryEngine:
 
         stream = method(node, counted(), graph)
         state = obs._state
+        clock = obs._clock
+        advance = stream.__next__
+        counters.setdefault("rows_out", 0)
         while True:
             previous = getattr(state, "span", None)
             state.span = span_
-            started = obs._clock()
+            started = clock()
             try:
-                item = next(stream)
+                item = advance()
             except StopIteration:
                 return
             finally:
-                span_.elapsed += obs._clock() - started
+                span_.elapsed += clock() - started
                 state.span = previous
-            counters["rows_out"] = counters.get("rows_out", 0) + 1
+            counters["rows_out"] += 1
             yield item
 
     # -- leaves -------------------------------------------------------------------
@@ -140,9 +144,20 @@ class QueryEngine:
     def _eval_BGP(self, node, inputs, graph):
         patterns = node.patterns
         deadline = current_deadline()
+        matcher = idjoin.matcher_for(
+            patterns, graph, getattr(node, "keep", None)
+        )
         for bindings in inputs:
             if deadline is not None:
                 deadline.check()
+            if matcher is not None:
+                try:
+                    # the ID-space join runs eagerly inside solve(), so
+                    # a Fallback can only escape before the first row
+                    yield from matcher.solve(bindings)
+                    continue
+                except idjoin.Fallback:
+                    pass
             yield from self._match_patterns(
                 patterns, 0, bindings, graph, deadline
             )
@@ -409,8 +424,14 @@ class QueryEngine:
 
     def _eval_Project(self, node, inputs, graph):
         names = set(node.variables)
+        issuperset = names.issuperset
         for solution in self._eval(node.input, inputs, graph):
-            yield solution.project(names)
+            # a solution binding only projected variables passes
+            # through untouched (the common SELECT-everything case)
+            if issuperset(solution._values):
+                yield solution
+            else:
+                yield solution.project(names)
 
     def _eval_Distinct(self, node, inputs, graph):
         seen = set()

@@ -46,7 +46,8 @@ def execute_update(engine, dataset, update, store_array=None, journal=None):
             for s, p, v in _instantiate_all(update.triples, Bindings.EMPTY)
         ]
         if journal is not None:
-            journal.log_update("insert", update.graph, insert=insertions)
+            journal.log_update("insert", update.graph, insert=insertions,
+                               dictionary=_dictionary(dataset))
         for triple in insertions:
             graph.add(*triple)
         return len(insertions)
@@ -84,6 +85,7 @@ def execute_update(engine, dataset, update, store_array=None, journal=None):
             journal.log_update(
                 "modify", update.graph,
                 insert=insertions, delete=deletions,
+                dictionary=_dictionary(dataset),
             )
         count = 0
         for triple in deletions:
@@ -115,6 +117,11 @@ def execute_update(engine, dataset, update, store_array=None, journal=None):
         graph.clear()
         return count
     raise QueryError("unsupported update %r" % (update,))
+
+
+def _dictionary(dataset):
+    """The dataset's term dictionary for WAL term→id records, if any."""
+    return getattr(dataset, "term_dictionary", None)
 
 
 def _invalidate_array(value):

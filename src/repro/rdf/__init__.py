@@ -16,7 +16,9 @@ from repro.rdf.term import (
     term_key,
 )
 from repro.rdf.namespace import Namespace, RDF, RDFS, XSD, FOAF, QB, OWL
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph, GraphStatistics
+from repro.rdf.hashgraph import HashIndexGraph
 from repro.rdf.dataset import Dataset
 
 __all__ = [
@@ -36,5 +38,7 @@ __all__ = [
     "OWL",
     "Graph",
     "GraphStatistics",
+    "HashIndexGraph",
+    "TermDictionary",
     "Dataset",
 ]

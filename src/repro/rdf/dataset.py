@@ -8,12 +8,19 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.term import URI
 
 
 class Dataset:
     """A collection of graphs queried together.
+
+    All member graphs share one :class:`TermDictionary`, so a term has
+    the same integer ID in every graph and the journal can persist a
+    single assignment stream for the whole dataset.
 
     >>> ds = Dataset()
     >>> g = ds.graph(URI("http://example.org/g1"))
@@ -22,7 +29,8 @@ class Dataset:
     """
 
     def __init__(self):
-        self.default_graph = Graph()
+        self.term_dictionary = TermDictionary()
+        self.default_graph = Graph(dictionary=self.term_dictionary)
         self._named: Dict[URI, Graph] = {}
 
     def graph(self, name=None, create=True):
@@ -37,7 +45,9 @@ class Dataset:
             name = URI(name)
         existing = self._named.get(name)
         if existing is None and create:
-            existing = self._named[name] = Graph(name=name)
+            existing = self._named[name] = Graph(
+                name=name, dictionary=self.term_dictionary
+            )
         return existing
 
     def named_graphs(self):
@@ -59,3 +69,21 @@ class Dataset:
         return len(self.default_graph) + sum(
             len(g) for g in self._named.values()
         )
+
+    def compact_dictionary(self, fresh: TermDictionary):
+        """Swap in a compacted dictionary, remapping every graph.
+
+        Dictionary IDs are append-only, so deletes and snapshots leave
+        dead assignments behind; the journal's :meth:`snapshot` builds
+        ``fresh`` holding only live terms (in snapshot-record order) and
+        calls this to rewrite all graph indexes and statistics through
+        ``old id -> new id``.  Keeps the invariant that the in-memory
+        dictionary equals what a fresh replay of the log reconstructs.
+        """
+        old = self.term_dictionary
+        mapping = np.full(max(len(old), 1), -1, dtype=np.int64)
+        for new_id, term in enumerate(fresh.term_list()):
+            mapping[old.try_encode(term)] = new_id
+        for graph in (self.default_graph, *self._named.values()):
+            graph._remap_ids(mapping, fresh)
+        self.term_dictionary = fresh

@@ -1,0 +1,148 @@
+"""Dictionary encoding of RDF terms into dense integer IDs.
+
+Full-in-memory RDF engines gain most of their speed and footprint by
+replacing term objects with small integers and querying sorted ID-space
+indexes (the k²-triples line of work).  :class:`TermDictionary` is the
+interning side of that design: every distinct term — URI, blank node,
+literal, or array value — receives a dense ``int`` ID at first sight,
+with exact reverse lookup.
+
+IDs are **append-only**: a term, once assigned, keeps its ID for the
+lifetime of the dictionary (compaction builds a *new* dictionary and
+remaps, see :meth:`repro.rdf.dataset.Dataset.compact_dictionary`).  That
+makes the assignment stream journal-able: the WAL persists ``term → id``
+records in assignment order, and replay / replication reconstruct a
+byte-identical ID space (:mod:`repro.storage.durability`).
+
+The two-phase :meth:`preview` / :meth:`commit` pair exists for the WAL's
+write-ahead invariant: an update's fresh assignments are *tentatively*
+numbered for the journal record, and only committed into the dictionary
+after the record is durably appended — an append that fails (torn write,
+injected crash) leaves the dictionary exactly as the durable log
+implies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exceptions import CorruptionError
+
+
+class TermDictionary:
+    """A bijection between RDF terms and dense integer IDs.
+
+    >>> from repro.rdf.term import URI
+    >>> d = TermDictionary()
+    >>> d.encode(URI("ex:a"))
+    0
+    >>> d.encode(URI("ex:b"))
+    1
+    >>> d.encode(URI("ex:a"))
+    0
+    >>> d.decode(1)
+    URI('ex:b')
+    """
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self):
+        self._ids: Dict[object, int] = {}
+        self._terms: List[object] = []
+
+    def __len__(self):
+        return len(self._terms)
+
+    def __contains__(self, term):
+        return term in self._ids
+
+    # -- encoding ----------------------------------------------------------------
+
+    def encode(self, term):
+        """The ID of ``term``, assigning the next dense ID when new."""
+        tid = self._ids.get(term)
+        if tid is None:
+            tid = len(self._terms)
+            self._ids[term] = tid
+            self._terms.append(term)
+        return tid
+
+    def try_encode(self, term):
+        """The ID of ``term`` when already interned, else None."""
+        return self._ids.get(term)
+
+    def decode(self, tid):
+        """The term assigned to ``tid`` (exact reverse lookup)."""
+        return self._terms[tid]
+
+    def term_list(self):
+        """The internal ID-ordered term list (treat as read-only).
+
+        Exposed so hot decode loops can index it directly instead of
+        paying a method call per cell.
+        """
+        return self._terms
+
+    # -- two-phase assignment (WAL write-ahead ordering) -------------------------
+
+    def preview(self, terms: Iterable[object]) -> List[Tuple[int, object]]:
+        """Tentative ``(id, term)`` assignments for the unseen terms.
+
+        Does not mutate the dictionary; duplicates within ``terms`` get
+        one entry.  Pass the result to :meth:`commit` once the journal
+        record holding it is durable.
+        """
+        fresh: List[Tuple[int, object]] = []
+        seen: Dict[object, int] = {}
+        base = len(self._terms)
+        for term in terms:
+            if term in self._ids or term in seen:
+                continue
+            tid = base + len(fresh)
+            seen[term] = tid
+            fresh.append((tid, term))
+        return fresh
+
+    def commit(self, entries: Iterable[Tuple[int, object]]):
+        """Apply assignments produced by :meth:`preview`."""
+        for tid, term in entries:
+            self.bind(term, tid)
+
+    def bind(self, term, tid):
+        """Bind ``term`` to exactly ``tid`` (journal replay path).
+
+        The journal logs assignments densely and in order, so a bind
+        must either restate an existing assignment or extend the
+        dictionary by exactly one ID; anything else means the log and
+        the dictionary disagree — corruption, not a state to guess
+        around.
+        """
+        existing = self._ids.get(term)
+        if existing is not None:
+            if existing != tid:
+                raise CorruptionError(
+                    "dictionary mismatch: term %r has id %d, journal "
+                    "says %d" % (term, existing, tid)
+                )
+            return existing
+        if tid != len(self._terms):
+            raise CorruptionError(
+                "non-dense dictionary id %d for %r (next id is %d)"
+                % (tid, term, len(self._terms))
+            )
+        self._ids[term] = tid
+        self._terms.append(term)
+        return tid
+
+    # -- maintenance --------------------------------------------------------------
+
+    def clear(self):
+        """Drop every assignment (follower full resync)."""
+        self._ids.clear()
+        del self._terms[:]
+
+    def stats(self):
+        return {"terms": len(self._terms)}
+
+    def __repr__(self):
+        return "TermDictionary(%d terms)" % len(self._terms)

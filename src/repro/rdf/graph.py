@@ -1,27 +1,52 @@
-"""In-memory RDF graph with three-way indexing and statistics.
+"""In-memory RDF graph over dictionary-encoded sorted permutation indexes.
 
-The store keeps the classical SPO / POS / OSP index triplet so any triple
-pattern with at least one bound component is answered by hash lookups, the
-strategy used by main-memory RDF stores including SSDM's host system
-(dissertation section 2.2.3).  Per-property cardinality statistics are
-maintained incrementally and feed the cost-based optimizer
-(:mod:`repro.algebra.cost`).
+Terms are interned into dense integer IDs by a
+:class:`~repro.rdf.dictionary.TermDictionary` at add time, and the
+triple set is held as three sorted ``int64`` permutation indexes
+(SPO / POS / OSP, :mod:`repro.rdf.idindex`) — the representation
+full-in-memory RDF engines use to get binary-searchable runs and
+merge-joinable columns instead of per-object hash probes.  Any triple
+pattern with at least one bound component resolves to one contiguous
+run of one index.
+
+Point updates stay cheap through a **pending delta**: single adds and
+removes buffer in Python structures and merge into the sorted base in
+one vectorized pass once the delta grows past an adaptive threshold.
+Readers that need raw sorted arrays (the ID-space BGP fast path, exact
+cost-model run lengths) call :meth:`Graph._ensure_flushed`; the plain
+:meth:`Graph.triples` iterator merges the delta on the fly so
+interleaved updates and scans never pay a flush per call.
+
+Per-property cardinality statistics — triple counts and distinct
+subject/value counts — are maintained *incrementally* on every
+add/remove, so :class:`GraphStatistics` is O(1) reads of counters
+rather than recomputed set unions (they feed the cost-based optimizer
+on every pattern-ordering pass, :mod:`repro.algebra.cost`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Set
+from typing import Dict, Iterator, Set, Tuple
+
+import numpy as np
 
 from repro.exceptions import SciSparqlError
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.idindex import PermutationIndex
 from repro.rdf.term import BlankNode, Literal, Triple, URI, is_term
+
+#: Pending-delta floor before a merge; the threshold grows with the
+#: base (``max(floor, n/8)``) so bulk loads amortize to O(n log n).
+FLUSH_FLOOR = 1024
 
 
 class GraphStatistics:
     """Cardinality statistics used for query optimization.
 
-    Tracks, per property URI: the number of triples, and the number of
-    distinct subjects and values, enabling selectivity estimates for each
-    access direction of a triple-pattern predicate.
+    Every read is O(1) off counters the graph maintains incrementally:
+    per property URI, the number of triples and the number of distinct
+    subjects and values — the selectivity inputs for each access
+    direction of a triple-pattern predicate.
     """
 
     def __init__(self, graph):
@@ -33,35 +58,32 @@ class GraphStatistics:
 
     def property_count(self, prop):
         """Number of triples with the given property."""
-        index = self._graph._pos.get(prop)
-        if index is None:
+        pid = self._graph._dict.try_encode(prop)
+        if pid is None:
             return 0
-        return sum(len(subjects) for subjects in index.values())
+        return self._graph._prop_counts.get(pid, 0)
 
     def distinct_subjects(self, prop=None):
         if prop is None:
-            return len(self._graph._spo)
-        index = self._graph._pos.get(prop)
-        if index is None:
+            return len(self._graph._subject_counts)
+        pid = self._graph._dict.try_encode(prop)
+        if pid is None:
             return 0
-        subjects = set()
-        for subject_set in index.values():
-            subjects.update(subject_set)
-        return len(subjects)
+        return len(self._graph._prop_subjects.get(pid, ()))
 
     def distinct_values(self, prop=None):
         if prop is None:
-            return len(self._graph._osp)
-        index = self._graph._pos.get(prop)
-        if index is None:
+            return len(self._graph._value_counts)
+        pid = self._graph._dict.try_encode(prop)
+        if pid is None:
             return 0
-        return len(index)
+        return len(self._graph._prop_values.get(pid, ()))
 
     def fanout(self, prop):
         """Average number of values per subject for a property.
 
-        Estimates the cardinality of following the property *forward* from
-        a known subject; 1.0 when the property is unknown.
+        Estimates the cardinality of following the property *forward*
+        from a known subject; 1.0 when the property is unknown.
         """
         count = self.property_count(prop)
         subjects = self.distinct_subjects(prop)
@@ -79,11 +101,16 @@ class GraphStatistics:
 
 
 class Graph:
-    """A mutable set of RDF triples with hash indexes on all access paths.
+    """A mutable set of RDF triples in dictionary-encoded ID space.
 
-    Values may be RDF terms, :class:`repro.arrays.NumericArray` instances,
-    or :class:`repro.arrays.ArrayProxy` references — the *RDF with Arrays*
-    model.
+    Values may be RDF terms, :class:`repro.arrays.NumericArray`
+    instances, or :class:`repro.arrays.ArrayProxy` references — the
+    *RDF with Arrays* model.
+
+    ``dictionary`` lets graphs share one ID space (every graph of a
+    :class:`~repro.rdf.dataset.Dataset` shares the dataset's dictionary
+    so the WAL can journal one assignment stream); a standalone graph
+    interns into its own.
 
     >>> g = Graph()
     >>> from repro.rdf import URI, Literal
@@ -92,14 +119,35 @@ class Graph:
     1
     """
 
-    def __init__(self, name=None):
+    #: Marker the engine's ID-space BGP fast path keys on.
+    supports_id_space = True
+
+    def __init__(self, name=None, dictionary=None):
         #: Optional graph URI (named graphs in a Dataset).
         self.name = name
-        self._spo: Dict[object, Dict[object, Set[object]]] = {}
-        self._pos: Dict[object, Dict[object, Set[object]]] = {}
-        self._osp: Dict[object, Dict[object, Set[object]]] = {}
+        self._dict = dictionary if dictionary is not None \
+            else TermDictionary()
+        self._idx_spo = PermutationIndex((0, 1, 2))
+        self._idx_pos = PermutationIndex((1, 2, 0))
+        self._idx_osp = PermutationIndex((2, 0, 1))
+        #: Pending delta: adds as an ordered set (dict keys), removes
+        #: of base rows as a set; a row is never in both.
+        self._pending_add: Dict[Tuple[int, int, int], None] = {}
+        self._pending_del: Set[Tuple[int, int, int]] = set()
         self._size = 0
+        self._mutations = 0
+        self._flushes = 0
         self.statistics = GraphStatistics(self)
+        # incrementally maintained cardinality counters (ID-keyed)
+        self._prop_counts: Dict[int, int] = {}
+        self._prop_subjects: Dict[int, Dict[int, int]] = {}
+        self._prop_values: Dict[int, Dict[int, int]] = {}
+        self._subject_counts: Dict[int, int] = {}
+        self._value_counts: Dict[int, int] = {}
+
+    @property
+    def term_dictionary(self):
+        return self._dict
 
     def __len__(self):
         return self._size
@@ -108,9 +156,10 @@ class Graph:
         return self.triples()
 
     def __contains__(self, triple):
-        subject, prop, value = triple
-        values = self._spo.get(subject, {}).get(prop)
-        return values is not None and value in values
+        row = self._try_row(triple[0], triple[1], triple[2])
+        return row is not None and self._contains_row(row)
+
+    # -- mutation -----------------------------------------------------------------
 
     def add(self, subject, prop, value):
         """Insert one triple; returns self for chaining.
@@ -118,10 +167,24 @@ class Graph:
         Duplicate insertions are silently ignored (a graph is a set).
         """
         self._validate(subject, prop, value)
-        if self._insert(self._spo, subject, prop, value):
-            self._insert(self._pos, prop, value, subject)
-            self._insert(self._osp, value, subject, prop)
-            self._size += 1
+        before = len(self._dict)
+        row = (
+            self._dict.encode(subject),
+            self._dict.encode(prop),
+            self._dict.encode(value),
+        )
+        if len(self._dict) == before:
+            # every term already known: the row may exist
+            if row in self._pending_del:
+                self._pending_del.remove(row)
+                self._row_added(row)
+                return self
+            if row in self._pending_add or \
+                    self._idx_spo.find_row(row) >= 0:
+                return self
+        self._pending_add[row] = None
+        self._row_added(row)
+        self._maybe_flush()
         return self
 
     def add_triple(self, triple):
@@ -129,11 +192,20 @@ class Graph:
 
     def remove(self, subject, prop, value):
         """Remove one triple; returns True when it was present."""
-        if not self._delete(self._spo, subject, prop, value):
+        row = self._try_row(subject, prop, value)
+        if row is None:
             return False
-        self._delete(self._pos, prop, value, subject)
-        self._delete(self._osp, value, subject, prop)
-        self._size -= 1
+        if row in self._pending_add:
+            del self._pending_add[row]
+            self._row_removed(row)
+            return True
+        if row in self._pending_del:
+            return False
+        if self._idx_spo.find_row(row) < 0:
+            return False
+        self._pending_del.add(row)
+        self._row_removed(row)
+        self._maybe_flush()
         return True
 
     def remove_matching(self, subject=None, prop=None, value=None):
@@ -144,73 +216,74 @@ class Graph:
         return len(doomed)
 
     def clear(self):
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
+        """Drop every triple (dictionary assignments are append-only
+        and survive; compaction reclaims them, see ``Dataset``)."""
+        self._idx_spo = PermutationIndex((0, 1, 2))
+        self._idx_pos = PermutationIndex((1, 2, 0))
+        self._idx_osp = PermutationIndex((2, 0, 1))
+        self._pending_add.clear()
+        self._pending_del.clear()
         self._size = 0
+        self._mutations += 1
+        self._prop_counts.clear()
+        self._prop_subjects.clear()
+        self._prop_values.clear()
+        self._subject_counts.clear()
+        self._value_counts.clear()
+
+    # -- reading ------------------------------------------------------------------
 
     def triples(self, subject=None, prop=None, value=None) -> Iterator[Triple]:
         """Iterate triples matching a pattern (None = wildcard).
 
-        Chooses the index whose bound prefix is longest, so every lookup
-        with at least one constant avoids a full scan.
+        The constants always form a *prefix* of one of the three
+        permutation indexes, so every lookup with at least one bound
+        component is a binary-searched run, never a full scan.  The
+        pending delta is merged on the fly; mutating the graph while
+        iterating raises RuntimeError (as dict iteration did before).
         """
-        if subject is not None:
-            by_prop = self._spo.get(subject)
-            if by_prop is None:
+        ids = []
+        for term in (subject, prop, value):
+            if term is None:
+                ids.append(None)
+                continue
+            tid = self._dict.try_encode(term)
+            if tid is None:
                 return
-            if prop is not None:
-                values = by_prop.get(prop)
-                if values is None:
-                    return
-                if value is not None:
-                    if value in values:
-                        yield Triple(subject, prop, value)
-                    return
-                for each in values:
-                    yield Triple(subject, prop, each)
-                return
-            for each_prop, values in by_prop.items():
-                if value is not None:
-                    if value in values:
-                        yield Triple(subject, each_prop, value)
-                    continue
-                for each in values:
-                    yield Triple(subject, each_prop, each)
-            return
-        if prop is not None:
-            by_value = self._pos.get(prop)
-            if by_value is None:
-                return
-            if value is not None:
-                for each_subject in by_value.get(value, ()):
-                    yield Triple(each_subject, prop, value)
-                return
-            for each_value, subjects in by_value.items():
-                for each_subject in subjects:
-                    yield Triple(each_subject, prop, each_value)
-            return
-        if value is not None:
-            by_subject = self._osp.get(value)
-            if by_subject is None:
-                return
-            for each_subject, props in by_subject.items():
-                for each_prop in props:
-                    yield Triple(each_subject, each_prop, value)
-            return
-        for each_subject, by_prop in self._spo.items():
-            for each_prop, values in by_prop.items():
-                for each_value in values:
-                    yield Triple(each_subject, each_prop, each_value)
+            ids.append(tid)
+        terms = self._dict.term_list()
+        generation = self._mutations
+        for s, p, o in self._scan_ids(ids[0], ids[1], ids[2]):
+            if self._mutations != generation:
+                raise RuntimeError("graph changed size during iteration")
+            yield Triple(terms[s], terms[p], terms[o])
 
     def count(self, subject=None, prop=None, value=None):
-        """Number of triples matching the pattern, cheaper than listing
-        when only the fully-wild or property-bound cases are needed."""
+        """Number of triples matching the pattern, computed from run
+        bounds without listing."""
         if subject is None and prop is None and value is None:
             return self._size
         if subject is None and value is None:
             return self.statistics.property_count(prop)
-        return sum(1 for _ in self.triples(subject, prop, value))
+        row = []
+        for term in (subject, prop, value):
+            if term is None:
+                row.append(None)
+                continue
+            tid = self._dict.try_encode(term)
+            if tid is None:
+                return 0
+            row.append(tid)
+        return self._count_ids(row[0], row[1], row[2])
+
+    def pattern_count(self, subject=None, prop=None, value=None):
+        """Exact run length of a pattern over ground terms.
+
+        This is the cost model's selectivity source: for any pattern
+        whose bound components are constants, the estimate is the true
+        cardinality read off the matching index run (O(log n)).
+        """
+        return self.count(subject, prop, value)
 
     # -- convenience accessors -------------------------------------------
 
@@ -232,8 +305,11 @@ class Graph:
         return default
 
     def properties(self, subject):
-        by_prop = self._spo.get(subject, {})
-        return iter(by_prop.keys())
+        seen = set()
+        for triple in self.triples(subject, None, None):
+            if triple.property not in seen:
+                seen.add(triple.property)
+                yield triple.property
 
     def update(self, triples):
         """Bulk-insert an iterable of triples; returns self."""
@@ -258,7 +334,216 @@ class Graph:
         from repro.rdf.serializer import serialize_turtle
         return serialize_turtle(self, prefixes=prefixes)
 
+    # -- ID-space access (engine fast path, cost model) ---------------------------
+
+    def _ensure_flushed(self):
+        """Merge the pending delta so the sorted base is authoritative."""
+        if self._pending_add or self._pending_del:
+            self._flush()
+
+    def _flush(self):
+        add = np.array(list(self._pending_add), dtype=np.int64) \
+            .reshape(-1, 3)
+        keep = None
+        if self._pending_del:
+            keep = np.ones(len(self._idx_spo), dtype=bool)
+            # pending removes always target base rows (removes of
+            # pending adds are dropped from the add buffer directly)
+            for row in self._pending_del:
+                position = self._idx_spo.find_row(row)
+                keep[position] = False
+        for index in (self._idx_spo, self._idx_pos, self._idx_osp):
+            if keep is not None and index is not self._idx_spo:
+                keep_index = np.ones(len(index), dtype=bool)
+                for row in self._pending_del:
+                    keep_index[index.find_row(row)] = False
+                index.merge(add, keep_index)
+            else:
+                index.merge(add, keep)
+        self._pending_add.clear()
+        self._pending_del.clear()
+        self._flushes += 1
+
+    def _maybe_flush(self):
+        threshold = max(FLUSH_FLOOR, len(self._idx_spo) >> 3)
+        if len(self._pending_add) + len(self._pending_del) >= threshold:
+            self._flush()
+
+    def _run_arrays(self, s=None, p=None, o=None):
+        """Sorted-run column views for constant-bound components.
+
+        Requires a flushed graph (call :meth:`_ensure_flushed` first).
+        Returns ``(s_col, p_col, o_col, leading_free)`` where the
+        columns are numpy views over the matching run and
+        ``leading_free`` is the SPO position (0/1/2) of the run's
+        leading unbound component — that column is sorted within the
+        run, which merge joins exploit — or None when fully bound.
+        """
+        if s is not None:
+            if o is not None and p is None:
+                index, prefix = self._idx_osp, (o, s)
+            elif p is not None and o is not None:
+                index, prefix = self._idx_spo, (s, p, o)
+            elif p is not None:
+                index, prefix = self._idx_spo, (s, p)
+            else:
+                index, prefix = self._idx_spo, (s,)
+        elif p is not None:
+            index, prefix = self._idx_pos, (p, o) if o is not None \
+                else (p,)
+        elif o is not None:
+            index, prefix = self._idx_osp, (o,)
+        else:
+            index, prefix = self._idx_spo, ()
+        lo, hi = index.run_bounds(prefix)
+        s_col, p_col, o_col = index.logical_columns(lo, hi)
+        leading_free = (
+            index.perm[len(prefix)] if len(prefix) < 3 else None
+        )
+        return s_col, p_col, o_col, leading_free
+
+    def index_stats(self):
+        """Footprint and maintenance counters of the ID-space layout."""
+        index_bytes = (
+            self._idx_spo.nbytes + self._idx_pos.nbytes
+            + self._idx_osp.nbytes
+        )
+        return {
+            "triples": int(self._size),
+            "terms": len(self._dict),
+            "index_bytes": int(index_bytes),
+            "pending": len(self._pending_add) + len(self._pending_del),
+            "flushes": int(self._flushes),
+        }
+
+    def _remap_ids(self, mapping, dictionary):
+        """Rewrite every stored ID through ``mapping`` (compaction)."""
+        self._ensure_flushed()
+        for index in (self._idx_spo, self._idx_pos, self._idx_osp):
+            index.remap(mapping)
+        remap = mapping.__getitem__
+
+        def remap_keys(table):
+            return {int(remap(key)): value
+                    for key, value in table.items()}
+
+        self._prop_counts = remap_keys(self._prop_counts)
+        self._prop_subjects = {
+            int(remap(pid)): remap_keys(inner)
+            for pid, inner in self._prop_subjects.items()
+        }
+        self._prop_values = {
+            int(remap(pid)): remap_keys(inner)
+            for pid, inner in self._prop_values.items()
+        }
+        self._subject_counts = remap_keys(self._subject_counts)
+        self._value_counts = remap_keys(self._value_counts)
+        self._dict = dictionary
+        self._mutations += 1
+
     # -- internals ---------------------------------------------------------
+
+    def _try_row(self, subject, prop, value):
+        s = self._dict.try_encode(subject)
+        if s is None:
+            return None
+        p = self._dict.try_encode(prop)
+        if p is None:
+            return None
+        o = self._dict.try_encode(value)
+        if o is None:
+            return None
+        return (s, p, o)
+
+    def _contains_row(self, row):
+        if row in self._pending_add:
+            return True
+        if row in self._pending_del:
+            return False
+        return self._idx_spo.find_row(row) >= 0
+
+    def _scan_ids(self, s=None, p=None, o=None):
+        """Yield matching (s, p, o) ID rows, merging the pending delta."""
+        if s is not None:
+            if o is not None and p is None:
+                index, prefix = self._idx_osp, (o, s)
+            elif p is not None and o is not None:
+                index, prefix = self._idx_spo, (s, p, o)
+            elif p is not None:
+                index, prefix = self._idx_spo, (s, p)
+            else:
+                index, prefix = self._idx_spo, (s,)
+        elif p is not None:
+            index, prefix = self._idx_pos, (p, o) if o is not None \
+                else (p,)
+        elif o is not None:
+            index, prefix = self._idx_osp, (o,)
+        else:
+            index, prefix = self._idx_spo, ()
+        lo, hi = index.run_bounds(prefix)
+        deleted = self._pending_del
+        if deleted:
+            for row in index.iter_rows(lo, hi):
+                if row not in deleted:
+                    yield row
+        else:
+            yield from index.iter_rows(lo, hi)
+        if self._pending_add:
+            for row in list(self._pending_add):
+                if (s is None or row[0] == s) and \
+                        (p is None or row[1] == p) and \
+                        (o is None or row[2] == o):
+                    yield row
+
+    def _count_ids(self, s=None, p=None, o=None):
+        if not self._pending_add and not self._pending_del:
+            if s is not None:
+                if o is not None and p is None:
+                    lo, hi = self._idx_osp.run_bounds((o, s))
+                elif p is not None and o is not None:
+                    lo, hi = self._idx_spo.run_bounds((s, p, o))
+                elif p is not None:
+                    lo, hi = self._idx_spo.run_bounds((s, p))
+                else:
+                    lo, hi = self._idx_spo.run_bounds((s,))
+            elif p is not None:
+                lo, hi = self._idx_pos.run_bounds(
+                    (p, o) if o is not None else (p,)
+                )
+            elif o is not None:
+                lo, hi = self._idx_osp.run_bounds((o,))
+            else:
+                return self._size
+            return hi - lo
+        return sum(1 for _ in self._scan_ids(s, p, o))
+
+    def _row_added(self, row):
+        s, p, o = row
+        self._size += 1
+        self._mutations += 1
+        self._prop_counts[p] = self._prop_counts.get(p, 0) + 1
+        _bump(self._prop_subjects.setdefault(p, {}), s)
+        _bump(self._prop_values.setdefault(p, {}), o)
+        _bump(self._subject_counts, s)
+        _bump(self._value_counts, o)
+
+    def _row_removed(self, row):
+        s, p, o = row
+        self._size -= 1
+        self._mutations += 1
+        remaining = self._prop_counts[p] - 1
+        if remaining:
+            self._prop_counts[p] = remaining
+        else:
+            del self._prop_counts[p]
+        for table, key in ((self._prop_subjects, s),
+                           (self._prop_values, o)):
+            inner = table[p]
+            _drop(inner, key)
+            if not inner:
+                del table[p]
+        _drop(self._subject_counts, s)
+        _drop(self._value_counts, o)
 
     @staticmethod
     def _validate(subject, prop, value):
@@ -275,30 +560,14 @@ class Graph:
                 "triple value must be an RDF term or array, got %r" % (value,)
             )
 
-    @staticmethod
-    def _insert(index, a, b, c):
-        by_b = index.get(a)
-        if by_b is None:
-            by_b = index[a] = {}
-        cs = by_b.get(b)
-        if cs is None:
-            cs = by_b[b] = set()
-        if c in cs:
-            return False
-        cs.add(c)
-        return True
 
-    @staticmethod
-    def _delete(index, a, b, c):
-        by_b = index.get(a)
-        if by_b is None:
-            return False
-        cs = by_b.get(b)
-        if cs is None or c not in cs:
-            return False
-        cs.remove(c)
-        if not cs:
-            del by_b[b]
-            if not by_b:
-                del index[a]
-        return True
+def _bump(table, key):
+    table[key] = table.get(key, 0) + 1
+
+
+def _drop(table, key):
+    remaining = table[key] - 1
+    if remaining:
+        table[key] = remaining
+    else:
+        del table[key]

@@ -1,0 +1,275 @@
+"""The legacy hash-index triple store (term objects, dict-of-dict-of-set).
+
+This is the original in-memory :class:`~repro.rdf.graph.Graph`
+implementation before the engine moved to dictionary-encoded IDs and
+sorted permutation indexes.  It is kept, unchanged in behaviour, for two
+jobs:
+
+- **parity oracle** — the property tests in
+  ``tests/test_graph_parity_property.py`` drive random interleaved
+  add/remove sequences and pattern queries against both stores and
+  require identical observable state;
+- **performance baseline** — ``benchmarks/bench_exp8_bgp.py`` runs the
+  same BGP workloads over both stores to measure the ID-space speedup
+  (``SSDM.with_triple_store(HashIndexGraph())`` forces the per-row
+  interpreter path, since this class advertises no ID space).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set
+
+from repro.exceptions import SciSparqlError
+from repro.rdf.term import BlankNode, Literal, Triple, URI, is_term
+
+
+class HashGraphStatistics:
+    """Cardinality statistics computed from the hash indexes.
+
+    ``distinct_subjects`` / ``distinct_values`` recompute set unions
+    over the POS index per call — the cost the ID graph's maintained
+    counters exist to avoid.
+    """
+
+    def __init__(self, graph):
+        self._graph = graph
+
+    @property
+    def triple_count(self):
+        return len(self._graph)
+
+    def property_count(self, prop):
+        index = self._graph._pos.get(prop)
+        if index is None:
+            return 0
+        return sum(len(subjects) for subjects in index.values())
+
+    def distinct_subjects(self, prop=None):
+        if prop is None:
+            return len(self._graph._spo)
+        index = self._graph._pos.get(prop)
+        if index is None:
+            return 0
+        subjects = set()
+        for subject_set in index.values():
+            subjects.update(subject_set)
+        return len(subjects)
+
+    def distinct_values(self, prop=None):
+        if prop is None:
+            return len(self._graph._osp)
+        index = self._graph._pos.get(prop)
+        if index is None:
+            return 0
+        return len(index)
+
+    def fanout(self, prop):
+        count = self.property_count(prop)
+        subjects = self.distinct_subjects(prop)
+        if subjects == 0:
+            return 1.0
+        return count / subjects
+
+    def fanin(self, prop):
+        count = self.property_count(prop)
+        values = self.distinct_values(prop)
+        if values == 0:
+            return 1.0
+        return count / values
+
+
+class HashIndexGraph:
+    """A mutable set of RDF triples with hash indexes on all access paths."""
+
+    def __init__(self, name=None):
+        self.name = name
+        self._spo: Dict[object, Dict[object, Set[object]]] = {}
+        self._pos: Dict[object, Dict[object, Set[object]]] = {}
+        self._osp: Dict[object, Dict[object, Set[object]]] = {}
+        self._size = 0
+        self.statistics = HashGraphStatistics(self)
+
+    def __len__(self):
+        return self._size
+
+    def __iter__(self):
+        return self.triples()
+
+    def __contains__(self, triple):
+        subject, prop, value = triple
+        values = self._spo.get(subject, {}).get(prop)
+        return values is not None and value in values
+
+    def add(self, subject, prop, value):
+        self._validate(subject, prop, value)
+        if self._insert(self._spo, subject, prop, value):
+            self._insert(self._pos, prop, value, subject)
+            self._insert(self._osp, value, subject, prop)
+            self._size += 1
+        return self
+
+    def add_triple(self, triple):
+        return self.add(triple[0], triple[1], triple[2])
+
+    def remove(self, subject, prop, value):
+        if not self._delete(self._spo, subject, prop, value):
+            return False
+        self._delete(self._pos, prop, value, subject)
+        self._delete(self._osp, value, subject, prop)
+        self._size -= 1
+        return True
+
+    def remove_matching(self, subject=None, prop=None, value=None):
+        doomed = list(self.triples(subject, prop, value))
+        for triple in doomed:
+            self.remove(*triple)
+        return len(doomed)
+
+    def clear(self):
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    def triples(self, subject=None, prop=None, value=None) -> Iterator[Triple]:
+        if subject is not None:
+            by_prop = self._spo.get(subject)
+            if by_prop is None:
+                return
+            if prop is not None:
+                values = by_prop.get(prop)
+                if values is None:
+                    return
+                if value is not None:
+                    if value in values:
+                        yield Triple(subject, prop, value)
+                    return
+                for each in values:
+                    yield Triple(subject, prop, each)
+                return
+            for each_prop, values in by_prop.items():
+                if value is not None:
+                    if value in values:
+                        yield Triple(subject, each_prop, value)
+                    continue
+                for each in values:
+                    yield Triple(subject, each_prop, each)
+            return
+        if prop is not None:
+            by_value = self._pos.get(prop)
+            if by_value is None:
+                return
+            if value is not None:
+                for each_subject in by_value.get(value, ()):
+                    yield Triple(each_subject, prop, value)
+                return
+            for each_value, subjects in by_value.items():
+                for each_subject in subjects:
+                    yield Triple(each_subject, prop, each_value)
+            return
+        if value is not None:
+            by_subject = self._osp.get(value)
+            if by_subject is None:
+                return
+            for each_subject, props in by_subject.items():
+                for each_prop in props:
+                    yield Triple(each_subject, each_prop, value)
+            return
+        for each_subject, by_prop in self._spo.items():
+            for each_prop, values in by_prop.items():
+                for each_value in values:
+                    yield Triple(each_subject, each_prop, each_value)
+
+    def count(self, subject=None, prop=None, value=None):
+        if subject is None and prop is None and value is None:
+            return self._size
+        if subject is None and value is None:
+            return self.statistics.property_count(prop)
+        return sum(1 for _ in self.triples(subject, prop, value))
+
+    # -- convenience accessors -------------------------------------------
+
+    def subjects(self, prop=None, value=None):
+        seen = set()
+        for triple in self.triples(None, prop, value):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def values(self, subject=None, prop=None):
+        for triple in self.triples(subject, prop, None):
+            yield triple.value
+
+    def value(self, subject, prop, default=None):
+        for triple in self.triples(subject, prop, None):
+            return triple.value
+        return default
+
+    def properties(self, subject):
+        by_prop = self._spo.get(subject, {})
+        return iter(by_prop.keys())
+
+    def update(self, triples):
+        for triple in triples:
+            self.add(triple[0], triple[1], triple[2])
+        return self
+
+    def copy(self):
+        clone = HashIndexGraph(name=self.name)
+        clone.update(self.triples())
+        return clone
+
+    # -- serialization ----------------------------------------------------
+
+    def to_ntriples(self):
+        return "\n".join(t.n3() for t in sorted(
+            self.triples(), key=lambda t: t.n3())) + ("\n" if self._size else "")
+
+    def to_turtle(self, prefixes=None):
+        from repro.rdf.serializer import serialize_turtle
+        return serialize_turtle(self, prefixes=prefixes)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _validate(subject, prop, value):
+        if not isinstance(subject, (URI, BlankNode)):
+            raise SciSparqlError(
+                "triple subject must be URI or BlankNode, got %r" % (subject,)
+            )
+        if not isinstance(prop, URI):
+            raise SciSparqlError(
+                "triple property must be URI, got %r" % (prop,)
+            )
+        if not is_term(value):
+            raise SciSparqlError(
+                "triple value must be an RDF term or array, got %r" % (value,)
+            )
+
+    @staticmethod
+    def _insert(index, a, b, c):
+        by_b = index.get(a)
+        if by_b is None:
+            by_b = index[a] = {}
+        cs = by_b.get(b)
+        if cs is None:
+            cs = by_b[b] = set()
+        if c in cs:
+            return False
+        cs.add(c)
+        return True
+
+    @staticmethod
+    def _delete(index, a, b, c):
+        by_b = index.get(a)
+        if by_b is None:
+            return False
+        cs = by_b.get(b)
+        if cs is None or c not in cs:
+            return False
+        cs.remove(c)
+        if not cs:
+            del by_b[b]
+            if not by_b:
+                del index[a]
+        return True

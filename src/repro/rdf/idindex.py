@@ -1,0 +1,139 @@
+"""Sorted permutation indexes over dictionary-encoded triples.
+
+A :class:`PermutationIndex` stores one ordering (SPO, POS, or OSP) of a
+graph's triples as three parallel contiguous ``int64`` numpy columns,
+kept lexicographically sorted.  Any triple pattern whose constants form
+a prefix of the ordering resolves to one contiguous *run* by binary
+search; the three classical permutations together cover every bound
+combination with a prefix:
+
+    ===========  =========  ==========
+    bound        index      prefix
+    ===========  =========  ==========
+    s / sp /spo  SPO        s, sp, spo
+    p / po       POS        p, po
+    o / os       OSP        o, os
+    (none)       SPO        whole
+    ===========  =========  ==========
+
+Maintenance is batched: the owning :class:`~repro.rdf.graph.Graph`
+buffers single-triple adds/removes as a pending delta and merges them
+into the sorted base in one vectorized pass (:meth:`merge`) once the
+delta grows past a threshold, so point updates stay O(1) amortized
+while reads see fully sorted arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class PermutationIndex:
+    """One sorted permutation (component order) of an ID triple table.
+
+    ``perm`` maps storage columns to logical SPO components: column i of
+    this index holds component ``perm[i]`` of each triple.  POS is
+    ``(1, 2, 0)`` — column 0 holds predicates, column 1 values, column 2
+    subjects.
+    """
+
+    __slots__ = ("perm", "c0", "c1", "c2")
+
+    def __init__(self, perm):
+        self.perm = tuple(perm)
+        self.c0 = _EMPTY
+        self.c1 = _EMPTY
+        self.c2 = _EMPTY
+
+    def __len__(self):
+        return len(self.c0)
+
+    @property
+    def nbytes(self):
+        return self.c0.nbytes + self.c1.nbytes + self.c2.nbytes
+
+    # -- maintenance --------------------------------------------------------------
+
+    def merge(self, add_rows, delete_mask=None):
+        """Merge a batch into the sorted base in one vectorized pass.
+
+        ``add_rows`` is an ``(m, 3)`` array in **logical SPO** order (may
+        be empty); ``delete_mask`` a boolean keep-mask over the current
+        base (True = keep).  The new base is the kept rows plus the
+        added rows, re-sorted lexicographically.
+        """
+        p0, p1, p2 = self.perm
+        c0, c1, c2 = self.c0, self.c1, self.c2
+        if delete_mask is not None:
+            c0 = c0[delete_mask]
+            c1 = c1[delete_mask]
+            c2 = c2[delete_mask]
+        if add_rows is not None and len(add_rows):
+            c0 = np.concatenate([c0, add_rows[:, p0]])
+            c1 = np.concatenate([c1, add_rows[:, p1]])
+            c2 = np.concatenate([c2, add_rows[:, p2]])
+        if len(c0):
+            order = np.lexsort((c2, c1, c0))
+            c0 = np.ascontiguousarray(c0[order])
+            c1 = np.ascontiguousarray(c1[order])
+            c2 = np.ascontiguousarray(c2[order])
+        self.c0, self.c1, self.c2 = c0, c1, c2
+
+    def remap(self, mapping):
+        """Rewrite every ID through ``mapping`` and re-sort.
+
+        Used by dictionary compaction: ``mapping[old_id] -> new_id``.
+        """
+        if not len(self.c0):
+            return
+        self.c0 = mapping[self.c0]
+        self.c1 = mapping[self.c1]
+        self.c2 = mapping[self.c2]
+        order = np.lexsort((self.c2, self.c1, self.c0))
+        self.c0 = np.ascontiguousarray(self.c0[order])
+        self.c1 = np.ascontiguousarray(self.c1[order])
+        self.c2 = np.ascontiguousarray(self.c2[order])
+
+    # -- lookups ------------------------------------------------------------------
+
+    def run_bounds(self, prefix) -> Tuple[int, int]:
+        """The ``[lo, hi)`` run whose leading columns equal ``prefix``.
+
+        ``prefix`` holds 0–3 IDs in this index's component order; binary
+        search narrows one column at a time, so the cost is
+        O(len(prefix) · log n).
+        """
+        lo, hi = 0, len(self.c0)
+        for column, bound in zip((self.c0, self.c1, self.c2), prefix):
+            segment = column[lo:hi]
+            lo, hi = (
+                lo + int(np.searchsorted(segment, bound, "left")),
+                lo + int(np.searchsorted(segment, bound, "right")),
+            )
+            if lo >= hi:
+                return lo, lo
+        return lo, hi
+
+    def find_row(self, row_spo) -> int:
+        """Position of one logical-SPO row, or -1 when absent."""
+        prefix = (row_spo[self.perm[0]], row_spo[self.perm[1]],
+                  row_spo[self.perm[2]])
+        lo, hi = self.run_bounds(prefix)
+        return lo if lo < hi else -1
+
+    def logical_columns(self, lo, hi):
+        """``(s, p, o)`` column views of the run ``[lo, hi)``."""
+        by_storage = (self.c0[lo:hi], self.c1[lo:hi], self.c2[lo:hi])
+        logical = [None, None, None]
+        for storage_pos, component in enumerate(self.perm):
+            logical[component] = by_storage[storage_pos]
+        return tuple(logical)
+
+    def iter_rows(self, lo, hi):
+        """Iterate logical ``(s, p, o)`` tuples of the run ``[lo, hi)``."""
+        s_col, p_col, o_col = self.logical_columns(lo, hi)
+        return zip(s_col.tolist(), p_col.tolist(), o_col.tolist())

@@ -354,6 +354,12 @@ class ReplicationClient:
                 graph.clear()
             for name in list(dataset.named_graphs()):
                 dataset.drop(name)
+            dictionary = getattr(dataset, "term_dictionary", None)
+            if dictionary is not None:
+                # the upstream's compacted log re-assigns IDs from
+                # zero; keeping stale assignments would make the first
+                # streamed dict record non-dense (CorruptionError)
+                dictionary.clear()
             self.ssdm.journal.reset()
         self.resyncs += 1
 

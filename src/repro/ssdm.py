@@ -31,7 +31,6 @@ from repro.algebra.rewriter import rewrite
 from repro.algebra.optimizer import optimize
 from repro.engine.bindings import Bindings
 from repro.engine.eval import QueryEngine, _storable
-from repro.engine.functions import runtime
 from repro.engine.udf import FunctionRegistry
 from repro.engine.update import execute_update
 from repro.lifecycle import Deadline, deadline_scope
@@ -212,7 +211,9 @@ class SSDM:
         Returns a dict with a ``storage`` block (the array store's
         :class:`~repro.storage.asei.StorageStats` snapshot, or None
         without an ``array_store``), a ``buffer_pool`` block (the chunk
-        pool's hit/miss/prefetch counters), and the store's
+        pool's hit/miss/prefetch counters), a ``graph`` block (term
+        dictionary size plus the default graph's permutation-index
+        footprint, when the store exposes them), and the store's
         ``last_resolve`` statistics when a resolve has happened.
         """
         from repro.storage.bufferpool import shared_pool
@@ -221,7 +222,16 @@ class SSDM:
         pool = getattr(store, "buffer_pool", None)
         if pool is None:
             pool = shared_pool()
+        graph = self.dataset.default_graph
+        index_stats = getattr(graph, "index_stats", None)
+        dictionary = getattr(self.dataset, "term_dictionary", None)
+        graph_block = None
+        if index_stats is not None or dictionary is not None:
+            graph_block = dict(index_stats() if index_stats else {})
+            if dictionary is not None:
+                graph_block["dictionary"] = dictionary.stats()
         return {
+            "graph": graph_block,
             "storage": store.stats.snapshot() if store is not None else None,
             "buffer_pool": pool.stats(),
             "metrics": obs.metrics().snapshot(),
@@ -442,13 +452,13 @@ class SSDM:
     def _run_select(self, query, bindings=None):
         plan, columns, scope = self._prepare(query)
         rows = []
+        append = rows.append
         with scope, obs.span("execute") as timing:
             for solution in self.engine.run(
                 plan, graph=scope.graph, initial=self._initial(bindings)
             ):
-                rows.append(tuple(
-                    _output(solution.get(name)) for name in columns
-                ))
+                get = solution.mapping().get
+                append(tuple([_output(get(name)) for name in columns]))
             if timing is not None:
                 timing.add("rows", len(rows))
         return QueryResult(columns, rows)
@@ -612,7 +622,15 @@ class _DatasetScope:
 
 
 def _output(value):
-    """Convert a stored binding to the user-facing runtime value."""
-    if value is None:
-        return None
-    return runtime(value)
+    """Convert a stored binding to the user-facing runtime value.
+
+    Inlines :func:`repro.engine.functions.runtime` — this runs once per
+    result cell, so the extra call per cell is measurable on large
+    results.
+    """
+    if isinstance(value, Literal):
+        if value.lang is None and isinstance(
+            value.value, (int, float, bool, str)
+        ):
+            return value.value
+    return value

@@ -53,6 +53,7 @@ import numpy as np
 from repro.arrays.nma import ELEMENT_TYPES, NumericArray, dtype_code
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import CorruptionError, StorageError
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.term import BlankNode, Literal, URI
 from repro import observability as obs
 
@@ -337,6 +338,20 @@ def encode_triple(subject, prop, value):
     )
 
 
+def decode_term(token, array_store=None):
+    """Parse one journal term token (the dictionary-record codec).
+
+    Accepts exactly what :func:`encode_term` emits for a single term;
+    trailing garbage is corruption.
+    """
+    parser = _LineParser(token)
+    term = parser.term(array_store)
+    parser._skip_spaces()
+    if parser.pos != len(token):
+        parser._fail("trailing garbage after term")
+    return term
+
+
 def decode_triple(line, array_store=None):
     """Parse one journal line back into a ``(subject, prop, value)``.
 
@@ -556,7 +571,8 @@ class DatasetJournal:
 
     # -- logging updates ---------------------------------------------------------
 
-    def log_update(self, kind, graph=None, insert=(), delete=()):
+    def log_update(self, kind, graph=None, insert=(), delete=(),
+                   dictionary=None):
         """Durably journal one update delta *before* it is applied.
 
         ``kind`` is ``insert`` / ``delete`` / ``modify`` / ``clear``;
@@ -564,22 +580,43 @@ class DatasetJournal:
         ``"ALL"`` for CLEAR ALL; ``insert`` / ``delete`` are iterables
         of ``(subject, prop, value)`` with array values already
         externalized (so proxies carry their final store ids).
+
+        ``dictionary`` is the dataset's :class:`TermDictionary` (or
+        None for dictionary-less callers).  Fresh terms among the
+        inserted triples are *previewed* — tentatively assigned the
+        next dense IDs — and the ``(id, term)`` pairs ride inside the
+        record; the assignments commit into the in-memory dictionary
+        only after the append returns, so a torn append leaves the
+        dictionary exactly as the durable log implies.  Replay and
+        replication :meth:`TermDictionary.bind` the same pairs and
+        therefore reconstruct a byte-identical ID space.
         """
-        payload = self._record(kind, graph, insert, delete)
+        entries = ()
+        if dictionary is not None and insert:
+            entries = dictionary.preview(
+                component for triple in insert for component in triple
+            )
+        payload = self._record(kind, graph, insert, delete, entries)
         if self.faults is not None:
             self.faults.crash_point("before_wal")
         seq = self.wal.append(payload)
+        if entries:
+            dictionary.commit(entries)
         if self.faults is not None:
             self.faults.crash_point("after_wal")
         return seq
 
     @staticmethod
-    def _record(kind, graph, insert, delete):
+    def _record(kind, graph, insert, delete, dict_entries=()):
         record = {"v": _FORMAT, "kind": kind, "graph": _encode_graph(graph)}
         if insert:
             record["insert"] = [encode_triple(*t) for t in insert]
         if delete:
             record["delete"] = [encode_triple(*t) for t in delete]
+        if dict_entries:
+            record["dict"] = [
+                [tid, encode_term(term)] for tid, term in dict_entries
+            ]
         return json.dumps(record, sort_keys=True).encode("utf-8")
 
     # -- replication stream ------------------------------------------------------
@@ -669,6 +706,18 @@ class DatasetJournal:
             decode_triple(line, self.array_store)
             for line in record.get("delete", ())
         ]
+        entries = record.get("dict", ())
+        if entries:
+            dictionary = getattr(dataset, "term_dictionary", None)
+            if dictionary is not None:
+                # replay the primary's exact assignments *before* the
+                # triples land, so graph.add interns nothing on its own
+                # and the ID space stays byte-identical; a disagreeing
+                # bind raises CorruptionError instead of diverging
+                for tid, token in entries:
+                    dictionary.bind(
+                        decode_term(token, self.array_store), int(tid)
+                    )
         if kind == "clear":
             self._apply_clear(dataset, graph_name)
         elif kind in ("insert", "delete", "modify"):
@@ -706,7 +755,15 @@ class DatasetJournal:
         insert record per non-empty graph, atomically renamed over
         ``wal.log``.  Recovery stays a single code path, and a crash
         during compaction leaves the previous log untouched.
+
+        Snapshotting is also when the term dictionary compacts: a
+        scratch dictionary interns only the *live* terms (in snapshot
+        record order, so replaying the new log reproduces it exactly),
+        each insert record carries its fresh assignments, and once the
+        rewrite is durable the dataset remaps its indexes onto the
+        compacted ID space — dropping IDs whose terms were deleted.
         """
+        scratch = TermDictionary()
         payloads = [self._record("clear", ALL_GRAPHS, (), ())]
         graphs = [(None, dataset.default_graph)]
         graphs.extend(
@@ -718,8 +775,17 @@ class DatasetJournal:
             triples = list(graph.triples())
             if not triples:
                 continue
-            payloads.append(self._record("insert", name, triples, ()))
+            entries = scratch.preview(
+                component for triple in triples for component in triple
+            )
+            scratch.commit(entries)
+            payloads.append(
+                self._record("insert", name, triples, (), entries)
+            )
         last_seq = self.wal.rewrite(payloads)
+        compact = getattr(dataset, "compact_dictionary", None)
+        if compact is not None:
+            compact(scratch)
         self.snapshots_taken += 1
         return last_seq
 

@@ -269,3 +269,42 @@ class TestCostModel:
             SELECT ?n WHERE { ?p foaf:name ?n } ORDER BY ?n LIMIT 1""")
         assert "BGP" in text
         assert "Slice" in text
+
+    def test_skewed_property_ordering_uses_exact_run_lengths(self):
+        """Regression: pattern ordering on a skewed-property graph.
+
+        Both patterns use the same property, whose *average* fanout
+        (~45) cannot tell them apart — only the exact run length of
+        each ground subject can.  The hub subject holds 90 values, the
+        leaf exactly one, so the leaf-anchored pattern must run first.
+        """
+        g = Graph()
+        prop = URI("http://e/links")
+        hub = URI("http://e/hub")
+        leaf = URI("http://e/leaf")
+        for i in range(90):
+            g.add(hub, prop, URI("http://e/t%d" % i))
+        g.add(leaf, prop, URI("http://e/t0"))
+        q = parse_query(
+            "PREFIX ex: <http://e/> SELECT * WHERE "
+            "{ ex:hub ex:links ?a . ex:leaf ex:links ?b }"
+        )
+        model = CostModel(g)
+        hub_pattern, leaf_pattern = q.where.elements
+        assert model.pattern_cardinality(hub_pattern, set()) == 90.0
+        assert model.pattern_cardinality(leaf_pattern, set()) == 1.0
+        ordered = model.order_patterns(q.where.elements, set())
+        assert ordered[0].subject == leaf
+        assert ordered[1].subject == hub
+
+    def test_absent_ground_pattern_cheapest_of_all(self):
+        g = Graph()
+        g.add(URI("http://e/s"), URI("http://e/p"), Literal(1))
+        q = parse_query(
+            "PREFIX ex: <http://e/> SELECT * WHERE "
+            "{ ex:s ex:p 1 . ex:s ex:p 2 }"
+        )
+        model = CostModel(g)
+        present, absent = q.where.elements
+        assert model.pattern_cardinality(absent, set()) < \
+            model.pattern_cardinality(present, set()) < 1.0

@@ -323,6 +323,110 @@ class TestJournaledUpdates:
         assert ssdm.snapshot() is None
 
 
+# -- term-dictionary persistence ------------------------------------------------------
+
+
+class TestDictionaryPersistence:
+    """The WAL's term→id records reconstruct a byte-identical ID space.
+
+    Dictionary IDs are engine-internal, so equality of query *results*
+    would hold even with divergent IDs; these tests pin the stronger
+    invariant the sorted permutation indexes rely on — after replay,
+    every pre-crash ID resolves to the very same term.
+    """
+
+    def test_replay_reconstructs_identical_id_space(self, tmp_path):
+        base = str(tmp_path)
+        ssdm = open_ssdm(base, "file")
+        ssdm.execute(EX + 'INSERT DATA { ex:a ex:p "x" . ex:b ex:p "y" }')
+        ssdm.execute(EX + "INSERT DATA { ex:b ex:q ex:a }")
+        ssdm.execute(EX + 'DELETE DATA { ex:b ex:p "y" }')
+        original = list(ssdm.dataset.term_dictionary.term_list())
+        assert original
+        ssdm.close()
+        reopened = open_ssdm(base, "file")
+        assert list(
+            reopened.dataset.term_dictionary.term_list()
+        ) == original
+        reopened.close()
+
+    def test_pinned_id_resolves_to_same_term_after_reopen(self, tmp_path):
+        base = str(tmp_path)
+        ssdm = open_ssdm(base, "file")
+        ssdm.execute(EX + 'INSERT DATA { ex:a ex:p "payload" }')
+        term = Literal("payload")
+        tid = ssdm.dataset.term_dictionary.try_encode(term)
+        assert tid is not None
+        ssdm.close()
+        reopened = open_ssdm(base, "file")
+        assert reopened.dataset.term_dictionary.decode(tid) == term
+        reopened.close()
+
+    def test_crash_after_wal_keeps_dictionary_and_log_in_step(
+        self, tmp_path
+    ):
+        base = str(tmp_path)
+        ssdm = open_ssdm(base, "file")
+        ssdm.execute(EX + 'INSERT DATA { ex:a ex:p "before" }')
+        faults = FaultPlan(crash_after_wal=True)
+        ssdm.journal.faults = faults
+        ssdm.journal.wal.faults = faults
+        with pytest.raises(SimulatedCrash):
+            ssdm.execute(EX + 'INSERT DATA { ex:b ex:q "after" }')
+        # the record is durable, so the in-memory dictionary committed
+        # the new assignments before the crash point fired
+        in_memory = list(ssdm.dataset.term_dictionary.term_list())
+        assert Literal("after") in in_memory
+        ssdm.close()
+        reopened = open_ssdm(base, "file")
+        assert list(
+            reopened.dataset.term_dictionary.term_list()
+        ) == in_memory
+        reopened.close()
+
+    def test_crash_before_wal_assigns_nothing(self, tmp_path):
+        base = str(tmp_path)
+        ssdm = open_ssdm(base, "file")
+        ssdm.execute(EX + 'INSERT DATA { ex:a ex:p "before" }')
+        pre = list(ssdm.dataset.term_dictionary.term_list())
+        faults = FaultPlan(crash_before_wal=True)
+        ssdm.journal.faults = faults
+        ssdm.journal.wal.faults = faults
+        with pytest.raises(SimulatedCrash):
+            ssdm.execute(EX + 'INSERT DATA { ex:b ex:q "lost" }')
+        assert list(ssdm.dataset.term_dictionary.term_list()) == pre
+        ssdm.close()
+        reopened = open_ssdm(base, "file")
+        assert list(reopened.dataset.term_dictionary.term_list()) == pre
+        reopened.close()
+
+    def test_snapshot_compacts_dead_assignments(self, tmp_path):
+        base = str(tmp_path)
+        ssdm = open_ssdm(base, "file")
+        ssdm.execute(EX + 'INSERT DATA { ex:keep ex:p "kept" }')
+        for i in range(8):
+            ssdm.execute(EX + 'INSERT DATA { ex:s ex:v "%d" }' % i)
+            ssdm.execute(EX + 'DELETE DATA { ex:s ex:v "%d" }' % i)
+        bloated = len(ssdm.dataset.term_dictionary)
+        expected = ssdm.execute(EX + "SELECT ?v WHERE { ex:keep ex:p ?v }")
+        ssdm.snapshot()
+        # compaction swaps in a fresh dictionary holding only live terms
+        dictionary = ssdm.dataset.term_dictionary
+        assert len(dictionary) < bloated
+        assert Literal("0") not in dictionary
+        # queries keep working against the remapped indexes
+        after = ssdm.execute(EX + "SELECT ?v WHERE { ex:keep ex:p ?v }")
+        assert after.rows == expected.rows
+        compacted = list(ssdm.dataset.term_dictionary.term_list())
+        ssdm.close()
+        # replaying the rewritten log reproduces the compacted space
+        reopened = open_ssdm(base, "file")
+        assert list(
+            reopened.dataset.term_dictionary.term_list()
+        ) == compacted
+        reopened.close()
+
+
 # -- the simulated-crash matrix -------------------------------------------------------
 
 

@@ -1,14 +1,22 @@
-"""Property: SqlTripleGraph behaves exactly like the in-memory Graph.
+"""Property: every triple-store implementation is observably identical.
 
 The same random sequence of add/remove operations and pattern queries
-must give identical observable state on both implementations — the
-contract that lets the engine run unchanged over either store.
+must give identical observable state on all implementations — the
+contract that lets the engine run unchanged over any store:
+
+- ``SqlTripleGraph`` (relational back-end) versus the in-memory graph;
+- the dictionary-encoded, permutation-indexed :class:`Graph` versus the
+  legacy :class:`HashIndexGraph` it replaced;
+- the engine's ID-space BGP fast path versus the per-row interpreter,
+  over the same graphs and queries.
 """
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.rdf import Graph, Literal, URI
+from repro import SSDM
+from repro.engine import idjoin
+from repro.rdf import Graph, HashIndexGraph, Literal, URI
 from repro.storage import SqlTripleGraph
 
 operations = st.lists(
@@ -70,3 +78,111 @@ def test_same_observable_state(ops):
         assert memory.statistics.distinct_subjects(predicate(p)) == \
             relational.statistics.distinct_subjects(predicate(p))
     relational.close()
+
+
+# -- ID-space graph vs legacy hash-index graph ---------------------------------------
+
+
+def all_terms():
+    return (
+        [subject(i) for i in range(4)]
+        + [predicate(i) for i in range(3)]
+        + [term(o) for o in (0, 1, 2, 3, "x", "y")]
+    )
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_id_graph_matches_hash_index_graph(ops):
+    """Interleaved add/remove: the sorted-permutation-index graph and
+    the legacy hash-index graph expose identical observable state —
+    membership, every bound-combination pattern scan, exact pattern
+    counts, and the statistics the cost model reads."""
+    indexed = Graph()
+    legacy = HashIndexGraph()
+    for action, s, p, o in ops:
+        triple = (subject(s), predicate(p), term(o))
+        if action == "add":
+            indexed.add(*triple)
+            legacy.add(*triple)
+        else:
+            assert indexed.remove(*triple) == legacy.remove(*triple)
+    assert len(indexed) == len(legacy)
+    subjects = [None] + [subject(i) for i in range(4)]
+    predicates = [None] + [predicate(i) for i in range(3)]
+    values = [None, term(0), term("x")]
+    for s in subjects:
+        for p in predicates:
+            for v in values:
+                got = {
+                    (t.subject, t.property, t.value)
+                    for t in indexed.triples(s, p, v)
+                }
+                want = {
+                    (t.subject, t.property, t.value)
+                    for t in legacy.triples(s, p, v)
+                }
+                assert got == want, (s, p, v)
+                assert indexed.count(s, p, v) == legacy.count(s, p, v)
+                assert indexed.pattern_count(s, p, v) == len(want)
+    for p in range(3):
+        prop = predicate(p)
+        for stat in ("property_count", "distinct_subjects",
+                     "distinct_values", "fanout", "fanin"):
+            assert getattr(indexed.statistics, stat)(prop) == \
+                getattr(legacy.statistics, stat)(prop), (stat, prop)
+    assert indexed.statistics.triple_count == \
+        legacy.statistics.triple_count
+    assert indexed.statistics.distinct_subjects() == \
+        legacy.statistics.distinct_subjects()
+
+
+# -- engine fast path vs per-row interpreter -----------------------------------------
+
+
+PARITY_QUERIES = [
+    # chain join
+    "SELECT ?a ?b ?c WHERE { ?a ex:p0 ?b . ?b ex:p1 ?c }",
+    # star with projection subset
+    "SELECT ?v WHERE { ?s ex:p0 ?v . ?s ex:p1 ?w }",
+    # ground components and a shared subject
+    "SELECT ?s WHERE { ?s ex:p0 1 . ?s ex:p1 ?x }",
+    # repeated variable inside one pattern (diagonal selection)
+    "SELECT ?x WHERE { ?x ex:p2 ?x }",
+    # cartesian of two disconnected patterns
+    "SELECT ?a ?b WHERE { ?a ex:p0 0 . ?b ex:p1 1 }",
+    # unbound predicate + DISTINCT keeps the full-width decode
+    "SELECT DISTINCT ?p WHERE { ex:s0 ?p ?o }",
+]
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_engine_fast_path_matches_interpreter(ops):
+    """The ID-space BGP matcher and the per-row interpreter return the
+    same multiset of solutions for the same graph and query."""
+    ssdm = SSDM()
+    ssdm.prefix("ex", "http://e/")
+    graph = ssdm.graph
+    # self-loop triples make the repeated-variable query non-trivial
+    graph.add(subject(0), predicate(2), subject(0))
+    for action, s, p, o in ops:
+        triple = (subject(s), predicate(p), term(o))
+        if action == "add":
+            graph.add(*triple)
+        else:
+            graph.remove(*triple)
+    for query in PARITY_QUERIES:
+        before = idjoin.counters["solve"]
+        # terms have no ordering; compare as sorted repr multisets
+        fast = sorted(repr(row) for row in ssdm.execute(query).rows)
+        assert idjoin.counters["solve"] > before, \
+            "fast path did not run for %r" % query
+        idjoin.set_enabled(False)
+        try:
+            slow = sorted(
+                repr(row) for row in ssdm.execute(query).rows
+            )
+        finally:
+            idjoin.set_enabled(True)
+        assert fast == slow, query

@@ -352,6 +352,48 @@ class TestReplicaSemantics:
         assert health["role"] == "replica"
         assert health["upstream"]["lag"] == 0
 
+    def test_stream_reconstructs_identical_term_dictionary(
+        self, cluster
+    ):
+        """Streamed dict records give the replica the primary's ID space."""
+        pssdm, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        rssdm, _, tail, _ = cluster.replica(pport)
+        for n in range(4):
+            pclient.update(insert(n))
+        tail.poll_once()
+        primary_terms = list(pssdm.dataset.term_dictionary.term_list())
+        assert primary_terms
+        assert list(
+            rssdm.dataset.term_dictionary.term_list()
+        ) == primary_terms
+
+    def test_resync_after_snapshot_rebuilds_compacted_dictionary(
+        self, cluster
+    ):
+        """A compacting snapshot forces a full resync; the standby must
+        drop its stale assignments and land on the primary's compacted
+        ID space, byte for byte."""
+        pssdm, _, pport = cluster.primary()
+        pclient = cluster.client(pport)
+        rssdm, _, tail, _ = cluster.replica(pport)
+        for n in range(4):
+            pclient.update(insert(n))
+        pclient.update(EX + "DELETE DATA { ex:s0 ex:p 0 }")
+        tail.poll_once()
+        before_resync = len(rssdm.dataset.term_dictionary)
+        assert before_resync > 0
+        pssdm.snapshot()              # compacts log + dictionary
+        tail.poll_once()              # detects the gap, resyncs
+        tail.poll_once()              # re-tails the compacted log
+        primary_terms = list(pssdm.dataset.term_dictionary.term_list())
+        assert len(primary_terms) < before_resync
+        assert list(
+            rssdm.dataset.term_dictionary.term_list()
+        ) == primary_terms
+        assert rssdm.execute(select(2)).rows == [(2,)]
+        assert tail.resyncs == 1
+
     def test_background_tailing_loop(self, cluster):
         _, _, pport = cluster.primary()
         pclient = cluster.client(pport)
