@@ -1,7 +1,8 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-robustness test-durability test-replication \
-	test-observability bench bench-check footprint
+	test-observability bench bench-check bench-macro \
+	bench-macro-smoke load-harness footprint
 
 test: test-robustness test-durability test-replication test-observability
 	$(PY) -m pytest -x -q
@@ -33,6 +34,25 @@ bench:
 # Gate: fail if exp1/exp7/exp8 means regressed >25% vs the baseline
 bench-check:
 	$(PY) benchmarks/check_regression.py bench_results_new.json
+
+# Macro scoreboard: generate the ~1M-triple SP2Bench-style dataset,
+# load it through the WAL/dictionary update path, run the 12-query mix,
+# and append a trajectory point (fingerprints gated vs the committed one)
+bench-macro:
+	$(PY) benchmarks/macro/run.py --scale full --output BENCH_macro.json
+
+# The CI gate: ~50k triples in seconds, fingerprints checked against
+# both the HashIndexGraph oracle and the committed BENCH_macro.json
+bench-macro-smoke:
+	$(PY) benchmarks/macro/run.py --scale smoke --check-oracle \
+		--output BENCH_macro.json
+
+# Open-loop load: spawn an in-process server over the smoke dataset and
+# drive the query mix at a fixed arrival rate with SLO gates
+load-harness:
+	$(PY) scripts/load_harness.py --scale smoke --rate 150 \
+		--duration 10 --processes 2 --threads 2 \
+		--slo-p99-ms 500 --slo-error-rate 0.01
 
 # Report dictionary + permutation-index memory cost at the exp8 scale
 # (fails above the per-triple byte budget; see the script's --max-bytes)

@@ -1,0 +1,18 @@
+"""SP²Bench-scale macro benchmark: synthetic workload + query mix.
+
+The micro benchmarks (``bench_exp*``) measure single subsystems; this
+package is the *scoreboard* — a seeded, deterministic scale-free
+publication graph blended with SciSPARQL array data
+(:mod:`benchmarks.macro.generator`), a ~12-query mix covering the
+SP²Bench shapes plus array slicing (:mod:`benchmarks.macro.queries`),
+and a runner (:mod:`benchmarks.macro.run`) that loads the dataset
+through the full WAL/dictionary update path, checks per-query
+correctness fingerprints against the ``HashIndexGraph`` oracle, and
+appends a trajectory point to ``BENCH_macro.json``.
+
+Entry points::
+
+    make bench-macro-smoke   # ~50k triples, seconds; the CI gate
+    make bench-macro         # ~1M triples, the full scoreboard
+    python scripts/load_harness.py ...   # open-loop latency under load
+"""

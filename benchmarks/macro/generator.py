@@ -1,0 +1,227 @@
+"""Seeded, deterministic SP²Bench-style dataset generator.
+
+Produces a scale-free publication graph — journals, persons, and
+articles with titles, years, creators, citations, optional abstracts
+and see-also links — blended with SciSPARQL numeric arrays (every Nth
+article carries a chunk-aligned measurement matrix), following the
+query-shape mix SP²Bench defines: long citation chains, star-shaped
+article descriptions, OPTIONAL-heavy attributes, and DISTINCT /
+ORDER-BY-heavy value distributions.
+
+Two scale-free mechanisms drive the skew (both plain Yule processes so
+a single ``random.Random(seed)`` makes the whole dataset reproducible):
+
+- **author popularity** — each authorship either re-samples the pool of
+  previous authorships (preferential attachment) or introduces a new
+  author;
+- **citation in-degree** — citations point at *earlier* articles (the
+  graph is acyclic, so chain queries terminate), preferring already-
+  cited ones, which yields both hub papers and long chains.
+
+Determinism contract: ``lines(scale, seed)`` emits the same byte
+sequence for the same ``(scale, seed, GENERATOR_VERSION)`` — the
+trajectory gate and the determinism tests pin this.  The same lines
+feed both the N-Triples-style dump and the ``INSERT DATA`` batches, so
+what the WAL journals is exactly what the dump shows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Bump whenever the emitted dataset changes for a given (scale, seed),
+#: so the BENCH_macro.json fingerprint gate compares like with like.
+GENERATOR_VERSION = 1
+
+BENCH = "http://sp2b.example.org/bench/"
+RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+DC_TITLE = "http://purl.org/dc/elements/1.1/title"
+DC_CREATOR = "http://purl.org/dc/elements/1.1/creator"
+DCT_ISSUED = "http://purl.org/dc/terms/issued"
+DCT_REFERENCES = "http://purl.org/dc/terms/references"
+FOAF_NAME = "http://xmlns.com/foaf/0.1/name"
+RDFS_SEEALSO = "http://www.w3.org/2000/01/rdf-schema#seeAlso"
+
+CLASS_ARTICLE = BENCH + "Article"
+CLASS_JOURNAL = BENCH + "Journal"
+CLASS_PERSON = BENCH + "Person"
+P_JOURNAL = BENCH + "journal"
+P_ABSTRACT = BENCH + "abstract"
+P_DATA = BENCH + "data"
+
+YEAR_LO, YEAR_HI = 1990, 2015
+
+
+@dataclass(frozen=True)
+class MacroScale:
+    """One named dataset size (triple counts are approximate)."""
+
+    name: str
+    articles: int
+    persons: int
+    journals: int
+    #: every Nth article carries a bench:data array
+    array_every: int = 10
+    #: chunk-aligned measurement matrix dimensions (64 elements = the
+    #: default externalization threshold, so arrays stay resident
+    #: in-memory but exercise the full array literal/consolidation path)
+    array_shape: tuple = (8, 8)
+
+
+#: tiny ~1.5k triples (unit tests / harness smoke), smoke ~50k triples
+#: (the CI gate, loads in a few seconds), full ~1M triples (the real
+#: scoreboard behind ``make bench-macro``).
+SCALES = {
+    "tiny": MacroScale("tiny", articles=120, persons=60, journals=5),
+    "smoke": MacroScale("smoke", articles=4600, persons=1400,
+                        journals=25),
+    "full": MacroScale("full", articles=95000, persons=28000,
+                       journals=200),
+}
+
+DEFAULT_SEED = 42
+DEFAULT_BATCH = 800
+
+
+def journal_uri(index):
+    return "%sjournal/J%d" % (BENCH, index)
+
+
+def article_uri(index):
+    return "%sarticle/A%d" % (BENCH, index)
+
+
+def person_uri(index):
+    return "%sperson/P%d" % (BENCH, index)
+
+
+def _escape(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _uri(value):
+    return "<%s>" % value
+
+
+def _line(subject, predicate, obj):
+    return "%s %s %s ." % (_uri(subject), _uri(predicate), obj)
+
+
+def _array_literal(rng, shape, low=0, high=99):
+    rows = []
+    for _ in range(shape[0]):
+        rows.append("(%s)" % " ".join(
+            str(rng.randint(low, high)) for _ in range(shape[1])
+        ))
+    return "(%s)" % " ".join(rows)
+
+
+def lines(scale, seed=DEFAULT_SEED):
+    """Yield the dataset as triple statements, one per line.
+
+    Objects are rendered in SciSPARQL data syntax: ``<uri>``, bare
+    integers, quoted strings, or nested-collection array literals
+    (which the loader consolidates into :class:`NumericArray`).  The
+    byte sequence is a pure function of ``(scale, seed)``.
+    """
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    rng = random.Random(seed)
+
+    for j in range(1, scale.journals + 1):
+        journal = journal_uri(j)
+        yield _line(journal, RDF_TYPE, _uri(CLASS_JOURNAL))
+        yield _line(journal, DC_TITLE,
+                    '"Journal %d of applied measurement"' % j)
+        yield _line(journal, DCT_ISSUED, str(rng.randint(YEAR_LO, YEAR_HI)))
+
+    for p in range(1, scale.persons + 1):
+        person = person_uri(p)
+        yield _line(person, RDF_TYPE, _uri(CLASS_PERSON))
+        yield _line(person, FOAF_NAME, '"Author %d"' % p)
+
+    # Zipf-ish journal popularity: weight 1/k for the k-th journal
+    journal_ids = list(range(1, scale.journals + 1))
+    journal_weights = [1.0 / k for k in journal_ids]
+
+    author_pool = []        # one entry per past authorship
+    citation_pool = []      # one entry per past citation + per article
+
+    for a in range(1, scale.articles + 1):
+        article = article_uri(a)
+        year = rng.randint(YEAR_LO, YEAR_HI)
+        yield _line(article, RDF_TYPE, _uri(CLASS_ARTICLE))
+        yield _line(article, DC_TITLE,
+                    '"Article %d on phenomenon %d"' % (a, rng.randint(1, 500)))
+        yield _line(article, DCT_ISSUED, str(year))
+        journal = rng.choices(journal_ids, weights=journal_weights)[0]
+        yield _line(article, P_JOURNAL, _uri(journal_uri(journal)))
+
+        authors = set()
+        for _ in range(rng.choice((1, 1, 2, 2, 3, 4))):
+            if author_pool and rng.random() < 0.6:
+                author = rng.choice(author_pool)
+            else:
+                author = rng.randint(1, scale.persons)
+            if author in authors:
+                continue
+            authors.add(author)
+            author_pool.append(author)
+            yield _line(article, DC_CREATOR, _uri(person_uri(author)))
+
+        cited = set()
+        for _ in range(min(rng.choice((0, 1, 2, 3, 3, 4, 5)), a - 1)):
+            if citation_pool and rng.random() < 0.5:
+                target = rng.choice(citation_pool)
+            else:
+                target = rng.randint(1, a - 1)
+            if target in cited or target >= a:
+                continue
+            cited.add(target)
+            citation_pool.append(target)
+            yield _line(article, DCT_REFERENCES, _uri(article_uri(target)))
+        citation_pool.append(a)
+
+        if rng.random() < 0.3:
+            yield _line(article, RDFS_SEEALSO,
+                        _uri("http://example.org/see/A%d" % a))
+        if rng.random() < 0.6:
+            yield _line(article, P_ABSTRACT,
+                        '"%s"' % _escape(
+                            "Abstract of article %d: findings on series %d."
+                            % (a, rng.randint(1, 999))
+                        ))
+        if a % scale.array_every == 0:
+            yield _line(article, P_DATA,
+                        _array_literal(rng, scale.array_shape))
+
+
+def ntriples_text(scale, seed=DEFAULT_SEED):
+    """The whole dataset as one deterministic text blob."""
+    return "\n".join(lines(scale, seed)) + "\n"
+
+
+def insert_batches(scale, seed=DEFAULT_SEED, batch_size=DEFAULT_BATCH):
+    """Yield ``INSERT DATA`` statements of ``batch_size`` triples each.
+
+    Streaming these through :meth:`SSDM.execute` drives the real update
+    path — parser, dictionary interning, WAL append — rather than
+    poking triples straight into the graph.
+    """
+    batch = []
+    for statement in lines(scale, seed):
+        batch.append(statement)
+        if len(batch) >= batch_size:
+            yield "INSERT DATA {\n%s\n}" % "\n".join(batch)
+            batch = []
+    if batch:
+        yield "INSERT DATA {\n%s\n}" % "\n".join(batch)
+
+
+def load(ssdm, scale, seed=DEFAULT_SEED, batch_size=DEFAULT_BATCH):
+    """Stream the dataset into ``ssdm``; returns the triple count."""
+    total = 0
+    for statement in insert_batches(scale, seed, batch_size):
+        total += ssdm.execute(statement)
+    return total

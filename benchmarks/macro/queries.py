@@ -1,0 +1,171 @@
+"""The macro query mix: 12 named queries + correctness fingerprints.
+
+The shapes follow SP²Bench — long citation chains, star-shaped article
+lookups, OPTIONAL-heavy attribute queries, DISTINCT- and ORDER-BY-heavy
+modifiers, aggregates — blended with the source paper's SciSPARQL array
+workloads (subscripted array access in the SELECT list).
+
+Each query gets a *fingerprint*: the row count plus an order-insensitive
+64-bit hash of the canonicalized rows.  Fingerprints are compared
+against the ``HashIndexGraph`` oracle (the legacy per-row interpreter
+path) at small scale and against the last committed trajectory point in
+CI, so a performance PR that silently changes results fails the gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+PREFIXES = (
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+    "PREFIX dc: <http://purl.org/dc/elements/1.1/> "
+    "PREFIX dcterms: <http://purl.org/dc/terms/> "
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+    "PREFIX bench: <http://sp2b.example.org/bench/> "
+)
+
+
+@dataclass(frozen=True)
+class MacroQuery:
+    name: str
+    #: which SP²Bench/SciSPARQL shape this exercises (documentation +
+    #: reporting; the harness samples queries by name)
+    shape: str
+    body: str
+
+    @property
+    def text(self):
+        return PREFIXES + self.body
+
+
+QUERIES = [
+    MacroQuery(
+        "q01_journal_star", "star",
+        "SELECT ?j ?title ?yr WHERE { "
+        "?j rdf:type bench:Journal . ?j dc:title ?title . "
+        "?j dcterms:issued ?yr }",
+    ),
+    MacroQuery(
+        "q02_article_star_optional", "star+optional",
+        "SELECT ?a ?title ?journal ?abs WHERE { "
+        "?a rdf:type bench:Article . ?a dcterms:issued 2001 . "
+        "?a dc:title ?title . ?a bench:journal ?journal . "
+        "OPTIONAL { ?a bench:abstract ?abs } }",
+    ),
+    MacroQuery(
+        "q03_chain2", "chain",
+        "SELECT ?a ?c WHERE { "
+        "?a dcterms:issued 2005 . ?a dcterms:references ?b . "
+        "?b dcterms:references ?c }",
+    ),
+    MacroQuery(
+        "q04_chain4_distinct", "chain+distinct",
+        "SELECT DISTINCT ?a ?e WHERE { "
+        "?a dcterms:issued 2010 . ?a dcterms:references ?b . "
+        "?b dcterms:references ?c . ?c dcterms:references ?d . "
+        "?d dcterms:references ?e }",
+    ),
+    MacroQuery(
+        "q05_optional_heavy", "optional",
+        "SELECT ?a ?see ?abs WHERE { "
+        "?a rdf:type bench:Article . ?a dcterms:issued 2003 . "
+        "OPTIONAL { ?a rdfs:seeAlso ?see } "
+        "OPTIONAL { ?a bench:abstract ?abs } }",
+    ),
+    MacroQuery(
+        "q06_journal_authors", "join",
+        "SELECT ?a ?name WHERE { "
+        "?a bench:journal <http://sp2b.example.org/bench/journal/J1> . "
+        "?a dc:creator ?p . ?p foaf:name ?name }",
+    ),
+    MacroQuery(
+        "q07_distinct_creators", "distinct",
+        "SELECT DISTINCT ?p WHERE { ?a dc:creator ?p }",
+    ),
+    MacroQuery(
+        "q08_top_recent", "orderby+limit",
+        "SELECT ?a ?yr WHERE { "
+        "?a rdf:type bench:Article . ?a dcterms:issued ?yr } "
+        "ORDER BY DESC(?yr) ?a LIMIT 20",
+    ),
+    MacroQuery(
+        "q09_names_ordered", "orderby+limit",
+        "SELECT ?name WHERE { ?p foaf:name ?name } "
+        "ORDER BY ?name LIMIT 50",
+    ),
+    MacroQuery(
+        "q10_count_per_year", "aggregate",
+        "SELECT ?yr (COUNT(?a) AS ?n) WHERE { "
+        "?a rdf:type bench:Article . ?a dcterms:issued ?yr } "
+        "GROUP BY ?yr",
+    ),
+    MacroQuery(
+        "q11_array_slice", "array",
+        "SELECT ?s ?d[2,1] WHERE { "
+        "?s bench:data ?d . ?s dcterms:issued 2007 }",
+    ),
+    MacroQuery(
+        "q12_union_titles", "union",
+        "SELECT ?t WHERE { "
+        "{ ?j rdf:type bench:Journal . ?j dc:title ?t } UNION "
+        "{ ?a dcterms:issued 2000 . ?a dc:title ?t } }",
+    ),
+]
+
+QUERY_BY_NAME = {query.name: query for query in QUERIES}
+
+
+# -- fingerprints ---------------------------------------------------------------
+
+
+def _canonical(value):
+    """A stable textual form of one result cell, across both stores."""
+    from repro.arrays.nma import NumericArray
+    from repro.arrays.proxy import ArrayProxy
+    from repro.rdf.term import BlankNode, Literal, URI
+
+    if value is None:
+        return "~unbound~"
+    if isinstance(value, bool):
+        return "b:true" if value else "b:false"
+    if isinstance(value, int):
+        return "i:%d" % value
+    if isinstance(value, float):
+        return "f:%r" % value
+    if isinstance(value, str):
+        return "s:" + value
+    if isinstance(value, URI):
+        return "<%s>" % value.value
+    if isinstance(value, BlankNode):
+        # labels differ between stores; only presence is fingerprinted
+        return "_:bnode"
+    if isinstance(value, Literal):
+        return "l:%s@%s^^%s" % (
+            value.lexical_form(), value.lang or "",
+            getattr(value.datatype, "value", ""),
+        )
+    if isinstance(value, ArrayProxy):
+        value = value.resolve()
+    if isinstance(value, NumericArray):
+        return "a:%r" % (value.to_nested_lists(),)
+    return "r:%r" % (value,)
+
+
+def fingerprint(result):
+    """(row_count, order-insensitive 64-bit hash) of a QueryResult.
+
+    Rows are canonicalized and hashed individually; the per-row hashes
+    are *summed* mod 2^64, so the fingerprint ignores row order (the
+    two stores iterate in different orders) but is sensitive to row
+    multiplicity and every cell value.
+    """
+    accumulator = 0
+    for row in result.rows:
+        digest = hashlib.sha256(
+            "\x1f".join(_canonical(value) for value in row).encode("utf-8")
+        ).digest()
+        accumulator = (accumulator + int.from_bytes(digest[:8], "big")) \
+            % (1 << 64)
+    return {"rows": len(result.rows), "hash": "%016x" % accumulator}

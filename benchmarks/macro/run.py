@@ -1,0 +1,265 @@
+"""Macro benchmark runner: load, query mix, fingerprints, trajectory.
+
+Loads the generated dataset into an SSDM through the full update path
+(parser → dictionary interning → WAL append → permutation indexes),
+runs the 12-query mix, and appends one *trajectory point* to
+``BENCH_macro.json``:
+
+    {"schema": 1, "points": [{scale, seed, generator_version, triples,
+      load_seconds, triples_per_second, queries: {name: {rows, hash,
+      best_ms, mean_ms}}, harness: null-or-report}, ...]}
+
+Correctness gates (both exit 1 on failure):
+
+- ``--check-oracle`` re-loads the dataset into the legacy
+  ``HashIndexGraph`` store (per-row interpreter, no ID space) and
+  requires identical per-query fingerprints — the two independent
+  engine paths must agree;
+- the *trajectory gate* (always on when ``--output`` holds an earlier
+  point with the same scale/seed/generator version) requires the new
+  fingerprints to match the committed ones — a perf PR that changes
+  results fails CI even when it is faster.
+
+Latency numbers are recorded for trend inspection but never gated on
+absolute value (CI machines vary); ``benchmarks/check_regression.py``
+remains the micro-benchmark latency gate.
+
+Usage (see ``make bench-macro`` / ``make bench-macro-smoke``):
+
+    python benchmarks/macro/run.py --scale smoke --check-oracle \
+        --output BENCH_macro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))
+))
+for entry in (REPO_ROOT, os.path.join(REPO_ROOT, "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.macro import generator as gen          # noqa: E402
+from benchmarks.macro.queries import QUERIES, fingerprint  # noqa: E402
+
+TRAJECTORY_SCHEMA = 1
+
+
+def load_dataset(ssdm, scale, seed, batch_size=gen.DEFAULT_BATCH):
+    """Stream-load the dataset; returns (triples, seconds)."""
+    started = time.perf_counter()
+    triples = gen.load(ssdm, scale, seed, batch_size)
+    return triples, time.perf_counter() - started
+
+
+def run_query_mix(ssdm, repeat=3):
+    """{query name: {rows, hash, best_ms, mean_ms}} over the mix."""
+    results = {}
+    for query in QUERIES:
+        timings = []
+        outcome = None
+        for _ in range(max(1, repeat)):
+            started = time.perf_counter()
+            outcome = ssdm.execute(query.text)
+            timings.append(time.perf_counter() - started)
+        print_ = fingerprint(outcome)
+        results[query.name] = {
+            "rows": print_["rows"],
+            "hash": print_["hash"],
+            "shape": query.shape,
+            "best_ms": round(min(timings) * 1000, 3),
+            "mean_ms": round(sum(timings) / len(timings) * 1000, 3),
+        }
+    return results
+
+
+def check_oracle(scale, seed, expected, out=None):
+    """Fingerprint the mix on the HashIndexGraph store; returns
+    the list of mismatching query names."""
+    from repro.rdf.hashgraph import HashIndexGraph
+    from repro.ssdm import SSDM
+
+    out = out if out is not None else sys.stdout
+    oracle = SSDM.with_triple_store(HashIndexGraph())
+    gen.load(oracle, scale, seed)
+    mismatches = []
+    for query in QUERIES:
+        got = fingerprint(oracle.execute(query.text))
+        want = expected[query.name]
+        if got["rows"] != want["rows"] or got["hash"] != want["hash"]:
+            mismatches.append(query.name)
+            out.write(
+                "  ORACLE MISMATCH %s: indexed %d rows/%s vs hash-graph "
+                "%d rows/%s\n" % (
+                    query.name, want["rows"], want["hash"],
+                    got["rows"], got["hash"],
+                )
+            )
+    return mismatches
+
+
+def load_trajectory(path):
+    if not os.path.exists(path):
+        return {"schema": TRAJECTORY_SCHEMA, "points": []}
+    with open(path) as handle:
+        trajectory = json.load(handle)
+    trajectory.setdefault("schema", TRAJECTORY_SCHEMA)
+    trajectory.setdefault("points", [])
+    return trajectory
+
+
+def save_trajectory(path, trajectory):
+    with open(path, "w") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_trajectory(trajectory, point, out=None):
+    """Compare ``point`` against the latest comparable committed point;
+    returns mismatching query names (empty = pass or nothing to
+    compare)."""
+    out = out if out is not None else sys.stdout
+    comparable = [
+        previous for previous in trajectory["points"]
+        if previous.get("scale") == point["scale"]
+        and previous.get("seed") == point["seed"]
+        and previous.get("generator_version") == point["generator_version"]
+    ]
+    if not comparable:
+        return []
+    baseline = comparable[-1]
+    mismatches = []
+    for name, entry in point["queries"].items():
+        committed = baseline["queries"].get(name)
+        if committed is None:
+            continue             # new query: not gated yet
+        if (entry["rows"], entry["hash"]) != (
+            committed["rows"], committed["hash"]
+        ):
+            mismatches.append(name)
+            out.write(
+                "  TRAJECTORY MISMATCH %s: committed %d rows/%s, "
+                "got %d rows/%s\n" % (
+                    name, committed["rows"], committed["hash"],
+                    entry["rows"], entry["hash"],
+                )
+            )
+    return mismatches
+
+
+def run_macro(scale_name, seed=gen.DEFAULT_SEED, repeat=3, wal_dir=None,
+              batch_size=gen.DEFAULT_BATCH, out=None):
+    """Execute one macro run; returns the trajectory point."""
+    from repro.ssdm import SSDM
+
+    out = out if out is not None else sys.stdout
+    scale = gen.SCALES[scale_name]
+    cleanup = None
+    if wal_dir is None:
+        holder = tempfile.TemporaryDirectory(prefix="macro-wal-")
+        wal_dir, cleanup = holder.name, holder
+    ssdm = SSDM.open(wal_dir)
+    try:
+        triples, seconds = load_dataset(ssdm, scale, seed, batch_size)
+        out.write(
+            "loaded %d triples (%s scale) in %.2fs (%d triples/s, "
+            "wal seq %s)\n" % (
+                triples, scale.name, seconds,
+                triples / seconds if seconds else 0,
+                ssdm.journal.last_seq if ssdm.journal else "-",
+            )
+        )
+        queries = run_query_mix(ssdm, repeat=repeat)
+        for name in sorted(queries):
+            entry = queries[name]
+            out.write(
+                "  %-28s %6d rows  best %8.2fms  mean %8.2fms  [%s]\n"
+                % (name, entry["rows"], entry["best_ms"],
+                   entry["mean_ms"], entry["hash"])
+            )
+        return {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "scale": scale.name,
+            "seed": seed,
+            "generator_version": gen.GENERATOR_VERSION,
+            "triples": triples,
+            "load_seconds": round(seconds, 3),
+            "triples_per_second": int(triples / seconds) if seconds else 0,
+            "queries": queries,
+            "harness": None,
+        }
+    finally:
+        ssdm.close()
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="SP2Bench-scale macro benchmark runner"
+    )
+    parser.add_argument("--scale", choices=sorted(gen.SCALES),
+                        default="smoke")
+    parser.add_argument("--seed", type=int, default=gen.DEFAULT_SEED)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="executions per query (best/mean reported)")
+    parser.add_argument("--batch-size", type=int, default=gen.DEFAULT_BATCH,
+                        help="triples per INSERT DATA statement")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="trajectory JSON to append to "
+                             "(e.g. BENCH_macro.json)")
+    parser.add_argument("--check-oracle", action="store_true",
+                        help="verify fingerprints against the "
+                             "HashIndexGraph oracle (small scales)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record the point without failing on "
+                             "fingerprint drift vs the trajectory")
+    parser.add_argument("--dump-ntriples", metavar="PATH",
+                        help="also write the generated dataset text")
+    args = parser.parse_args(argv)
+
+    if args.dump_ntriples:
+        with open(args.dump_ntriples, "w") as handle:
+            handle.write(gen.ntriples_text(args.scale, args.seed))
+
+    point = run_macro(args.scale, seed=args.seed, repeat=args.repeat,
+                      batch_size=args.batch_size)
+
+    failed = False
+    if args.check_oracle:
+        mismatches = check_oracle(args.scale, args.seed, point["queries"])
+        if mismatches:
+            failed = True
+        else:
+            sys.stdout.write(
+                "oracle check: all %d fingerprints match the "
+                "HashIndexGraph store\n" % len(point["queries"])
+            )
+
+    if args.output:
+        trajectory = load_trajectory(args.output)
+        drift = check_trajectory(trajectory, point)
+        if drift and not args.no_gate:
+            failed = True
+        elif not drift:
+            sys.stdout.write(
+                "trajectory gate: fingerprints match the committed "
+                "point\n" if trajectory["points"] else
+                "trajectory gate: first point recorded\n"
+            )
+        trajectory["points"].append(point)
+        save_trajectory(args.output, trajectory)
+        sys.stdout.write("trajectory point appended to %s\n" % args.output)
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,8 +13,9 @@ smoke-testing the pipeline) — and renders it:
     python scripts/dump_metrics.py --exec 'SELECT ?s WHERE { ?s ?p ?o }'
 
 Text output prints counters and gauges one per line and histograms as
-count/mean/min/max plus their occupied latency buckets.  ``--json``
-prints the raw snapshot as one machine-readable document.
+count/mean/min/max, the estimated p50/p99/p999 quantiles, and their
+occupied latency buckets.  ``--json`` prints the raw snapshot as one
+machine-readable document.
 """
 
 import argparse
@@ -54,6 +55,13 @@ def render_text(snapshot, out=sys.stdout):
                     "-" if h.get("max") is None else "%.6f" % h["max"],
                 )
             )
+            quantiles = [
+                "%s=%.6f" % (key, h[key])
+                for key in ("p50", "p99", "p999")
+                if h.get(key) is not None
+            ]
+            if quantiles:
+                out.write("    %s\n" % "  ".join(quantiles))
             for bucket, count in (h.get("buckets") or {}).items():
                 out.write("    %-20s %d\n" % (bucket, count))
     if not counters and not gauges and not histograms:

@@ -1,0 +1,423 @@
+"""Open-loop load harness for SSDM servers and replica sets.
+
+Drives the macro query mix (:mod:`benchmarks.macro.queries`) against a
+running server — or an in-process one it spawns over a freshly
+generated dataset — at a **fixed arrival rate**, the open-loop
+discipline: request *i* is due at ``start + i/rate`` regardless of how
+earlier requests fared, and its latency is measured **from that
+scheduled arrival**, not from when the client got around to sending it.
+A server that stalls therefore shows the stall in its tail latencies
+instead of quietly throttling the load (the coordinated-omission trap
+closed-loop harnesses fall into).
+
+Topology: ``--processes P --threads T`` runs P worker processes × T
+threads; arrivals are partitioned round-robin across all P×T workers so
+the aggregate schedule is exactly ``--rate`` per second.  Every thread
+owns a private :class:`ReplicaSetClient` (``SSDMClient`` is one socket
+and not thread-safe).  Workers ship their latency
+:class:`~repro.observability.Histogram` back as plain ``state()``
+dicts; the parent merges them and reports p50/p99/p999 plus an
+error-code breakdown, then reads the server's own ``metrics`` and
+``slowlog`` ops for the server-side view.
+
+SLO gates (for CI): ``--slo-p99-ms`` and ``--slo-error-rate``.
+Exit codes: 0 = pass, 1 = SLO violated (or nothing completed),
+2 = usage error.
+
+    # spawn a tiny in-process server, 200 req/s for 5s over 2x2 workers
+    python scripts/load_harness.py --scale tiny --rate 200 --duration 5 \
+        --processes 2 --threads 2 --slo-p99-ms 250 --slo-error-rate 0.01
+
+    # hammer an existing replica set
+    python scripts/load_harness.py --endpoints 127.0.0.1:7468,127.0.0.1:7469 \
+        --rate 500 --duration 30 --output harness.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import random
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for entry in (REPO_ROOT, os.path.join(REPO_ROOT, "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.macro import generator as gen              # noqa: E402
+from benchmarks.macro.queries import QUERIES, QUERY_BY_NAME  # noqa: E402
+from repro.observability import Histogram                  # noqa: E402
+
+#: Late-start grace: an arrival more than this many seconds overdue by
+#: the time its worker picks it up is still issued (open loop never
+#: skips work), but counted separately so a swamped run is visible.
+LATE_THRESHOLD = 0.5
+
+
+def _worker_loop(worker_index, total_workers, endpoints, queries, rate,
+                 count, start_at, timeout, seed):
+    """One worker thread: issue this worker's slice of the schedule.
+
+    Returns plain data (histogram state + counters) so the same
+    function serves threads in-process and processes over a queue.
+    """
+    from repro.exceptions import SciSparqlError
+    from repro.replication import ReplicaSetClient
+
+    hist = Histogram()
+    errors = {}
+    issued = ok = late = rows = 0
+    rng = random.Random(seed * 100003 + worker_index)
+    client = ReplicaSetClient(endpoints, timeout=timeout)
+    try:
+        for i in range(worker_index, count, total_workers):
+            scheduled = start_at + i / rate
+            now = time.monotonic()
+            if scheduled > now:
+                time.sleep(scheduled - now)
+            elif now - scheduled > LATE_THRESHOLD:
+                late += 1
+            query = rng.choice(queries)
+            issued += 1
+            try:
+                result = client.query(query.text,
+                                      timeout_ms=int(timeout * 1000))
+                ok += 1
+                rows += len(result.rows)
+            except SciSparqlError as error:
+                code = getattr(error, "code", "INTERNAL")
+                errors[code] = errors.get(code, 0) + 1
+            except OSError:
+                errors["CONNECTION"] = errors.get("CONNECTION", 0) + 1
+            # open-loop latency: from the scheduled arrival, so server
+            # stalls surface as queueing delay in the tail
+            hist.observe(time.monotonic() - scheduled)
+    finally:
+        client.close()
+    return {
+        "hist": hist.state(),
+        "errors": errors,
+        "issued": issued,
+        "ok": ok,
+        "late": late,
+        "rows": rows,
+    }
+
+
+def _process_main(result_queue, thread_indexes, total_workers, endpoints,
+                  query_names, rate, count, start_at, timeout, seed):
+    """Worker-process entry: one thread per assigned worker index."""
+    queries = [QUERY_BY_NAME[name] for name in query_names]
+    results = []
+    lock = threading.Lock()
+
+    def run(index):
+        outcome = _worker_loop(index, total_workers, endpoints, queries,
+                               rate, count, start_at, timeout, seed)
+        with lock:
+            results.append(outcome)
+
+    threads = [threading.Thread(target=run, args=(index,))
+               for index in thread_indexes]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for outcome in results:
+        result_queue.put(outcome)
+
+
+def run_harness(endpoints, rate, duration, processes=1, threads=2,
+                query_names=None, timeout=10.0, seed=gen.DEFAULT_SEED,
+                out=None):
+    """Run the open-loop schedule; returns the merged report dict."""
+    out = out if out is not None else sys.stderr
+    query_names = list(query_names or [q.name for q in QUERIES])
+    for name in query_names:
+        if name not in QUERY_BY_NAME:
+            raise ValueError("unknown query %r (choose from %s)" % (
+                name, ", ".join(sorted(QUERY_BY_NAME))))
+    total_workers = processes * threads
+    count = max(1, int(rate * duration))
+    out.write(
+        "open-loop: %d requests at %g req/s over %d worker(s) "
+        "(%d proc x %d threads), mix of %d queries\n" % (
+            count, rate, total_workers, processes, threads,
+            len(query_names))
+    )
+
+    start_at = time.monotonic() + 0.25   # let every worker reach the loop
+    wall_start = time.perf_counter()
+    outcomes = []
+    if processes <= 1:
+        _collect = outcomes.append
+        lock = threading.Lock()
+        queries = [QUERY_BY_NAME[name] for name in query_names]
+
+        def run(index):
+            outcome = _worker_loop(index, total_workers, endpoints,
+                                   queries, rate, count, start_at,
+                                   timeout, seed)
+            with lock:
+                _collect(outcome)
+
+        workers = [threading.Thread(target=run, args=(index,))
+                   for index in range(total_workers)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+    else:
+        context = multiprocessing.get_context("fork")
+        result_queue = context.Queue()
+        procs = []
+        for p in range(processes):
+            indexes = list(range(p * threads, (p + 1) * threads))
+            procs.append(context.Process(
+                target=_process_main,
+                args=(result_queue, indexes, total_workers, endpoints,
+                      query_names, rate, count, start_at, timeout, seed),
+            ))
+        for proc in procs:
+            proc.start()
+        for _ in range(total_workers):
+            outcomes.append(result_queue.get())
+        for proc in procs:
+            proc.join()
+    wall = time.perf_counter() - wall_start
+
+    merged = Histogram()
+    errors = {}
+    issued = ok = late = rows = 0
+    for outcome in outcomes:
+        merged.merge(Histogram.from_state(outcome["hist"]))
+        issued += outcome["issued"]
+        ok += outcome["ok"]
+        late += outcome["late"]
+        rows += outcome["rows"]
+        for code, n in outcome["errors"].items():
+            errors[code] = errors.get(code, 0) + n
+
+    def _ms(value):
+        return None if value is None else round(value * 1000, 3)
+
+    return {
+        "config": {
+            "endpoints": ["%s:%d" % tuple(e) if not isinstance(e, str)
+                          else e for e in endpoints],
+            "rate": rate,
+            "duration": duration,
+            "processes": processes,
+            "threads": threads,
+            "queries": query_names,
+            "seed": seed,
+        },
+        "issued": issued,
+        "ok": ok,
+        "late_starts": late,
+        "rows_returned": rows,
+        "wall_seconds": round(wall, 3),
+        "achieved_rate": round(issued / wall, 1) if wall else None,
+        "error_rate": round(
+            sum(errors.values()) / issued, 6) if issued else None,
+        "errors": errors,
+        "latency_ms": {
+            "count": merged.count,
+            "mean": _ms(merged.sum / merged.count) if merged.count else None,
+            "p50": _ms(merged.quantile(0.50)),
+            "p99": _ms(merged.quantile(0.99)),
+            "p999": _ms(merged.quantile(0.999)),
+            "max": _ms(merged.max),
+        },
+        "histogram": merged.state(),
+    }
+
+
+def server_side_view(endpoint, slowlog_threshold_ms=None):
+    """Read the server's own metrics/slowlog after the run."""
+    from repro.client.server import SSDMClient
+
+    host, port = endpoint
+    client = SSDMClient(host, port)
+    try:
+        metrics = client.metrics()
+        slowlog = client.slowlog(threshold_ms=slowlog_threshold_ms)
+    finally:
+        client.close()
+    counters = metrics.get("counters", {})
+    entries = slowlog.get("entries", [])
+    view = {
+        "queries_total": counters.get("queries_total"),
+        "query_errors_total": counters.get("query_errors_total"),
+        "slowlog_entries": len(entries),
+        "slowest": entries[0] if entries else None,
+    }
+    for name, payload in metrics.get("histograms", {}).items():
+        if name.startswith("query_latency"):
+            view[name] = {key: payload.get(key)
+                          for key in ("count", "p50", "p99", "p999")}
+    return view
+
+
+def _parse_endpoints(text):
+    endpoints = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        host, _, port = chunk.rpartition(":")
+        endpoints.append((host or "127.0.0.1", int(port)))
+    return endpoints
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Open-loop load harness for SSDM servers"
+    )
+    parser.add_argument("--endpoints", default=None,
+                        help="comma-separated host:port list; omit to "
+                             "spawn an in-process server")
+    parser.add_argument("--scale", choices=sorted(gen.SCALES),
+                        default="tiny",
+                        help="dataset for the in-process server")
+    parser.add_argument("--seed", type=int, default=gen.DEFAULT_SEED)
+    parser.add_argument("--rate", type=float, default=100.0,
+                        help="aggregate arrivals per second")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="seconds of scheduled load")
+    parser.add_argument("--processes", type=int, default=1)
+    parser.add_argument("--threads", type=int, default=2,
+                        help="worker threads per process")
+    parser.add_argument("--mix", default=None,
+                        help="comma-separated query names "
+                             "(default: all 12)")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-request client timeout, seconds")
+    parser.add_argument("--slo-p99-ms", type=float, default=None,
+                        help="fail (exit 1) when p99 exceeds this")
+    parser.add_argument("--slo-error-rate", type=float, default=None,
+                        help="fail (exit 1) when error fraction "
+                             "exceeds this")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the full JSON report here")
+    args = parser.parse_args(argv)
+
+    if args.rate <= 0 or args.duration <= 0 or args.processes < 1 \
+            or args.threads < 1:
+        parser.error("rate/duration must be positive; "
+                     "processes/threads at least 1")
+    query_names = None
+    if args.mix:
+        query_names = [name.strip() for name in args.mix.split(",")
+                       if name.strip()]
+        unknown = [n for n in query_names if n not in QUERY_BY_NAME]
+        if unknown:
+            parser.error("unknown queries in --mix: %s"
+                         % ", ".join(unknown))
+
+    server = holder = ssdm = None
+    if args.endpoints:
+        endpoints = _parse_endpoints(args.endpoints)
+        if not endpoints:
+            parser.error("--endpoints parsed to an empty list")
+    else:
+        from repro.client.server import SSDMServer
+        from repro.ssdm import SSDM
+
+        holder = tempfile.TemporaryDirectory(prefix="harness-ssdm-")
+        ssdm = SSDM.open(holder.name)
+        triples = gen.load(ssdm, args.scale, args.seed)
+        server = SSDMServer(ssdm, "127.0.0.1", 0).start()
+        endpoints = [("127.0.0.1", server.server_address[1])]
+        sys.stderr.write(
+            "in-process server on port %d over %d triples (%s scale)\n"
+            % (server.server_address[1], triples, args.scale)
+        )
+
+    try:
+        report = run_harness(
+            endpoints, args.rate, args.duration,
+            processes=args.processes, threads=args.threads,
+            query_names=query_names, timeout=args.timeout,
+            seed=args.seed,
+        )
+        try:
+            report["server"] = server_side_view(endpoints[0])
+        except Exception as error:   # the run itself already succeeded
+            report["server"] = {"error": str(error)}
+    finally:
+        if server is not None:
+            server.stop()
+        if ssdm is not None:
+            ssdm.close()
+        if holder is not None:
+            holder.cleanup()
+
+    latency = report["latency_ms"]
+    sys.stdout.write(
+        "issued %d (ok %d, errors %d, late starts %d) in %.2fs "
+        "(%.1f req/s achieved)\n" % (
+            report["issued"], report["ok"],
+            sum(report["errors"].values()), report["late_starts"],
+            report["wall_seconds"], report["achieved_rate"] or 0,
+        )
+    )
+    sys.stdout.write(
+        "latency ms: p50=%s p99=%s p999=%s max=%s mean=%s\n" % (
+            latency["p50"], latency["p99"], latency["p999"],
+            latency["max"], latency["mean"],
+        )
+    )
+    if report["errors"]:
+        sys.stdout.write("errors by code: %s\n" % json.dumps(
+            report["errors"], sort_keys=True))
+    server_view = report.get("server") or {}
+    if "queries_total" in server_view:
+        sys.stdout.write(
+            "server: queries_total=%s query_errors_total=%s "
+            "slowlog_entries=%s\n" % (
+                server_view.get("queries_total"),
+                server_view.get("query_errors_total"),
+                server_view.get("slowlog_entries"),
+            )
+        )
+
+    failed = []
+    if report["issued"] == 0 or report["ok"] == 0:
+        failed.append("no successful requests")
+    if args.slo_p99_ms is not None and latency["p99"] is not None \
+            and latency["p99"] > args.slo_p99_ms:
+        failed.append("p99 %.3fms > SLO %.3fms"
+                      % (latency["p99"], args.slo_p99_ms))
+    if args.slo_error_rate is not None and report["error_rate"] is not None \
+            and report["error_rate"] > args.slo_error_rate:
+        failed.append("error rate %.4f > SLO %.4f"
+                      % (report["error_rate"], args.slo_error_rate))
+    report["slo"] = {
+        "p99_ms": args.slo_p99_ms,
+        "error_rate": args.slo_error_rate,
+        "violations": failed,
+        "pass": not failed,
+    }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        sys.stdout.write("report written to %s\n" % args.output)
+
+    if failed:
+        for violation in failed:
+            sys.stdout.write("SLO FAIL: %s\n" % violation)
+        return 1
+    sys.stdout.write("SLO gates: pass\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

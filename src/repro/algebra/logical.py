@@ -233,6 +233,29 @@ class Slice(PlanNode):
         return "limit=%r offset=%r" % (self.limit, self.offset)
 
 
+class TopK(PlanNode):
+    """A fused OrderBy → Slice: the ``limit+offset`` smallest solutions
+    under the sort keys, already sliced.
+
+    The optimizer rewrites ``Slice(OrderBy(x), limit=k)`` (also with a
+    Project between, which commutes with both) into this node so the
+    engine can keep a bounded heap instead of materializing and fully
+    sorting every solution — ORDER BY + LIMIT queries pay O(n log k),
+    not O(n log n).
+    """
+
+    _fields = ("input", "keys", "limit", "offset")
+
+    def __init__(self, input, keys, limit, offset=None):
+        self.input = input
+        self.keys = list(keys)       # (expr, ascending)
+        self.limit = limit
+        self.offset = offset
+
+    def _details(self):
+        return "limit=%r offset=%r" % (self.limit, self.offset)
+
+
 class SubQuery(PlanNode):
     """A nested SELECT evaluated as a pattern (projection included)."""
 

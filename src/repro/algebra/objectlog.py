@@ -35,7 +35,7 @@ from repro.rdf.term import BlankNode, Literal, URI
 from repro.sparql import ast
 from repro.algebra.logical import (
     BGP, Distinct, Extend, Filter, GraphScope, Group, Join, LeftJoin,
-    Minus, OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit,
+    Minus, OrderBy, PathScan, Project, Slice, SubQuery, TopK, Union, Unit,
     ValuesTable,
 )
 
@@ -163,7 +163,7 @@ def disjunctive_normal_form(plan):
         return [[Atom("values", plan.variables, len(plan.rows))]]
     if isinstance(plan, SubQuery):
         return [[Atom("subquery", plan.variables)]]
-    if isinstance(plan, (Project, Distinct, OrderBy, Slice, Group)):
+    if isinstance(plan, (Project, Distinct, OrderBy, TopK, Slice, Group)):
         return disjunctive_normal_form(plan.input)
     raise TypeError("cannot normalize %r" % (plan,))
 
@@ -185,6 +185,15 @@ def modifiers_of(plan):
             out.append("order(%s)" % ", ".join(
                 ("asc " if asc else "desc ") + _expr(expr)
                 for expr, asc in node.keys
+            ))
+            node = node.input
+        elif isinstance(node, TopK):
+            out.append("topk(%s, limit=%s, offset=%s)" % (
+                ", ".join(
+                    ("asc " if asc else "desc ") + _expr(expr)
+                    for expr, asc in node.keys
+                ),
+                node.limit, node.offset,
             ))
             node = node.input
         elif isinstance(node, Slice):

@@ -14,8 +14,8 @@ from repro.observability import span as _span
 from repro.sparql import ast
 from repro.algebra.logical import (
     BGP, Distinct, Extend, Filter, GraphScope, Group, Join, LeftJoin, Minus,
-    OrderBy, PathScan, Project, Slice, SubQuery, Union, Unit, ValuesTable,
-    pattern_variables,
+    OrderBy, PathScan, PlanNode, Project, Slice, SubQuery, TopK, Union, Unit,
+    ValuesTable, pattern_variables,
 )
 
 
@@ -24,8 +24,42 @@ def optimize(plan, graph):
     with _span("optimize"):
         model = CostModel(graph)
         plan = _optimize(plan, model, set())
+        plan = _fuse_topk(plan)
         _push_projection(plan)
         return plan
+
+
+def _fuse_topk(node):
+    """Fuse ``Slice(OrderBy(x), limit=k)`` into a :class:`TopK` node.
+
+    A Project directly between the two commutes with both (it neither
+    reorders nor drops rows, and the sort keys are evaluated below it),
+    so ``Slice(Project(OrderBy(x)))`` becomes ``Project(TopK(x))`` —
+    with the bonus that only the surviving k rows get projected.  Any
+    other intervening operator (Distinct in particular, whose output
+    cardinality depends on the full sorted stream) blocks the fusion.
+    """
+    for field in node._fields:
+        value = getattr(node, field)
+        if isinstance(value, PlanNode):
+            setattr(node, field, _fuse_topk(value))
+        elif isinstance(value, list):
+            setattr(node, field, [
+                _fuse_topk(item) if isinstance(item, PlanNode) else item
+                for item in value
+            ])
+    if not isinstance(node, Slice) or node.limit is None:
+        return node
+    inner = node.input
+    if isinstance(inner, OrderBy):
+        return TopK(inner.input, inner.keys, node.limit, node.offset)
+    if isinstance(inner, Project) and isinstance(inner.input, OrderBy):
+        order = inner.input
+        return Project(
+            TopK(order.input, order.keys, node.limit, node.offset),
+            inner.variables,
+        )
+    return node
 
 
 def _push_projection(node):
@@ -45,7 +79,7 @@ def _push_projection(node):
         return
     needed = set(node.variables)
     inner = node.input
-    while isinstance(inner, OrderBy):
+    while isinstance(inner, (OrderBy, TopK)):
         if not all(isinstance(expr, ast.Var) for expr, _ in inner.keys):
             return
         needed.update(expr.name for expr, _ in inner.keys)

@@ -9,6 +9,7 @@ order fixed beforehand by the cost-based optimizer.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.arrays.nma import NumericArray
@@ -48,6 +49,7 @@ _OP_LABELS = {
     "Project": "project",
     "Distinct": "distinct",
     "OrderBy": "orderby",
+    "TopK": "topk",
     "Slice": "slice",
     "SubQuery": "subquery",
 }
@@ -440,13 +442,14 @@ class QueryEngine:
                 seen.add(solution)
                 yield solution
 
-    def _eval_OrderBy(self, node, inputs, graph):
-        solutions = list(self._eval(node.input, inputs, graph))
+    def _sort_key_fn(self, keys):
+        """The ORDER BY sort-key callable for one ``keys`` spec."""
+        evaluate = self.evaluator.evaluate_or_none
 
         def sort_key(solution):
             key = []
-            for expr, ascending in node.keys:
-                value = self.evaluator.evaluate_or_none(expr, solution)
+            for expr, ascending in keys:
+                value = evaluate(expr, solution)
                 if value is None:
                     component = (0,)
                 else:
@@ -457,8 +460,26 @@ class QueryEngine:
                 key.append(_Directional(component, ascending))
             return key
 
-        solutions.sort(key=sort_key)
+        return sort_key
+
+    def _eval_OrderBy(self, node, inputs, graph):
+        solutions = list(self._eval(node.input, inputs, graph))
+        solutions.sort(key=self._sort_key_fn(node.keys))
         yield from solutions
+
+    def _eval_TopK(self, node, inputs, graph):
+        # fused OrderBy -> Slice: a bounded heap keeps the limit+offset
+        # smallest solutions (nsmallest is stable, matching sort+slice),
+        # so a million-row ORDER BY ... LIMIT 10 never fully sorts
+        offset = node.offset or 0
+        if node.limit <= 0:
+            return
+        top = heapq.nsmallest(
+            node.limit + offset,
+            self._eval(node.input, inputs, graph),
+            key=self._sort_key_fn(node.keys),
+        )
+        yield from top[offset:]
 
     def _eval_Slice(self, node, inputs, graph):
         stream = self._eval(node.input, inputs, graph)

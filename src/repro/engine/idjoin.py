@@ -21,6 +21,7 @@ which is how the parity property tests drive both paths.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -39,8 +40,57 @@ _VAR = 1
 
 _ENABLED = True
 
-#: Fast-path usage counters (tests assert the path actually runs).
-counters = {"solve": 0, "fallback": 0}
+
+class _FastPathCounters:
+    """Thread-safe solve/fallback counters with a dict-read API.
+
+    Server query threads increment concurrently; a bare dict's
+    ``+= 1`` loses updates under contention (read-modify-write races),
+    which surfaces exactly when the load harness reads the counters
+    mid-run.  Each thread increments its *own* cell (no lock on the
+    solve hot path — just a ``threading.local`` attribute lookup);
+    readers take the registry lock and sum across cells, so
+    ``counters["solve"]`` is an exact total of all finished
+    increments.
+    """
+
+    __slots__ = ("_names", "_local", "_lock", "_cells")
+
+    def __init__(self, names=("solve", "fallback")):
+        self._names = tuple(names)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._cells: List[Dict[str, int]] = []
+
+    def _cell(self):
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = {name: 0 for name in self._names}
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        return cell
+
+    def increment(self, name):
+        self._cell()[name] += 1
+
+    def __getitem__(self, name):
+        if name not in self._names:
+            raise KeyError(name)
+        with self._lock:
+            return sum(cell[name] for cell in self._cells)
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                name: sum(cell[name] for cell in self._cells)
+                for name in self._names
+            }
+
+
+#: Fast-path usage counters (tests assert the path actually runs; the
+#: load harness reads them from concurrent server threads).
+counters = _FastPathCounters()
 
 
 def set_enabled(flag):
@@ -103,7 +153,7 @@ class IdBGPMatcher:
         escapes from this call, never from the returned iterator — and
         only decoding is lazy.
         """
-        counters["solve"] += 1
+        counters.increment("solve")
         state = self._join_ids(binding)
         return self._decode(binding, state)
 
@@ -179,7 +229,7 @@ class IdBGPMatcher:
         if not joins:
             total = nrows * run_length
             if total > MAX_ROWS:
-                counters["fallback"] += 1
+                counters.increment("fallback")
                 raise Fallback()
             if not columns:
                 new_columns = {
@@ -212,7 +262,7 @@ class IdBGPMatcher:
         run_counts = hi - lo
         total = int(run_counts.sum())
         if total > MAX_ROWS:
-            counters["fallback"] += 1
+            counters.increment("fallback")
             raise Fallback()
         left = np.repeat(np.arange(nrows), run_counts)
         offsets = np.arange(total) - np.repeat(

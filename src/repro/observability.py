@@ -39,6 +39,7 @@ lifecycle, storage, and engine layers and must never import them back.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from contextlib import contextmanager
@@ -555,11 +556,19 @@ class Gauge:
 DEFAULT_BUCKETS = tuple(0.0001 * (2 ** k) for k in range(22))
 
 
+#: The tail quantiles every latency snapshot reports (the load
+#: harness's headline numbers).
+SNAPSHOT_QUANTILES = (("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
+
+
 class Histogram:
     """Fixed-bucket histogram with running sum/count/min/max.
 
     Buckets are upper bounds (inclusive); one implicit overflow bucket
-    catches everything beyond the last bound.
+    catches everything beyond the last bound.  :meth:`quantile`
+    estimates tail latencies from the cumulative bucket counts, and
+    :meth:`merge` folds another histogram's state in — the load harness
+    combines per-worker histograms this way before computing p50/p99.
     """
 
     __slots__ = ("bounds", "counts", "sum", "count", "min", "max")
@@ -574,16 +583,84 @@ class Histogram:
 
     def observe(self, value):
         value = float(value)
-        index = len(self.bounds)
-        for position, bound in enumerate(self.bounds):
-            if value <= bound:
-                index = position
-                break
-        self.counts[index] += 1
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
         self.sum += value
         self.count += 1
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+
+    def quantile(self, q):
+        """The estimated value at quantile ``q`` (0..1), or None when
+        empty.
+
+        Walks the cumulative bucket counts to the bucket containing the
+        target rank, then interpolates linearly inside it; the estimate
+        is clamped to the observed ``[min, max]`` range, so single-value
+        histograms answer that value exactly and the overflow bucket
+        answers ``max``.
+        """
+        if not self.count:
+            return None
+        target = min(max(float(q), 0.0), 1.0) * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            below = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index == len(self.bounds):
+                    return self.max
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index else 0.0
+                fraction = (target - below) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+        return self.max
+
+    def merge(self, other):
+        """Fold ``other`` (same bucket bounds) into this histogram."""
+        if tuple(other.bounds) != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.sum += other.sum
+        self.count += other.count
+        if other.min is not None:
+            self.min = other.min if self.min is None \
+                else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None \
+                else max(self.max, other.max)
+        return self
+
+    def state(self):
+        """A plain-data dump that round-trips via :meth:`from_state`
+        (what harness worker processes ship back to the parent)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        instance = cls(bounds=state["bounds"])
+        instance.counts = list(state["counts"])
+        instance.sum = float(state["sum"])
+        instance.count = int(state["count"])
+        instance.min = state["min"]
+        instance.max = state["max"]
+        return instance
 
     def snapshot(self):
         payload = {
@@ -593,6 +670,9 @@ class Histogram:
             "max": self.max,
             "mean": (self.sum / self.count) if self.count else None,
         }
+        payload.update(
+            (name, self.quantile(q)) for name, q in SNAPSHOT_QUANTILES
+        )
         # only the occupied buckets ship, keeping snapshots compact
         payload["buckets"] = {
             ("le_%g" % self.bounds[i]) if i < len(self.bounds)

@@ -268,6 +268,12 @@ class TestCostModel:
         text = foaf.explain("""PREFIX foaf: <http://xmlns.com/foaf/0.1/>
             SELECT ?n WHERE { ?p foaf:name ?n } ORDER BY ?n LIMIT 1""")
         assert "BGP" in text
+        # ORDER BY + LIMIT fuses into a bounded-heap TopK node
+        assert "TopK" in text
+
+    def test_explain_renders_unfused_slice(self, foaf):
+        text = foaf.explain("""PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?n WHERE { ?p foaf:name ?n } LIMIT 1""")
         assert "Slice" in text
 
     def test_skewed_property_ordering_uses_exact_run_lengths(self):

@@ -1,0 +1,68 @@
+"""Thread-safety of the fast-path solve/fallback counters.
+
+The counters are incremented on every BGP evaluation — the hottest
+path in the engine — so they use per-thread cells with no lock on
+``increment``; reads aggregate the cells under a lock.  These tests pin
+exactness under contention and the dict-like read API the parity tests
+rely on.
+"""
+
+import threading
+
+from repro import SSDM
+from repro.engine import idjoin
+from repro.engine.idjoin import _FastPathCounters
+
+
+class TestFastPathCounters:
+    def test_dict_like_reads(self):
+        counters = _FastPathCounters(("solve", "fallback"))
+        assert counters["solve"] == 0
+        counters.increment("solve")
+        counters.increment("solve")
+        counters.increment("fallback")
+        assert counters["solve"] == 2
+        assert counters["fallback"] == 1
+        assert counters.snapshot() == {"solve": 2, "fallback": 1}
+
+    def test_concurrent_increments_are_exact(self):
+        counters = _FastPathCounters(("solve", "fallback"))
+        threads, per_thread = 8, 5000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                counters.increment("solve")
+
+        workers = [threading.Thread(target=hammer)
+                   for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counters["solve"] == threads * per_thread
+        assert counters["fallback"] == 0
+
+    def test_counts_from_worker_threads_are_visible(self):
+        """Queries on other threads land in the aggregated read."""
+        ssdm = SSDM()
+        ssdm.prefix("ex", "http://e/")
+        ssdm.execute(
+            "PREFIX ex: <http://e/> INSERT DATA { ex:a ex:p ex:b . }"
+        )
+        query = "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:p ?o }"
+        before = idjoin.counters["solve"]
+        rounds = 4
+
+        def run():
+            for _ in range(rounds):
+                ssdm.execute(query)
+
+        workers = [threading.Thread(target=run) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert idjoin.counters["solve"] >= before + 4 * rounds
+        ssdm.close()

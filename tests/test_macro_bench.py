@@ -1,0 +1,199 @@
+"""The macro benchmark: generator determinism, oracle fingerprints,
+the trajectory gate, and a harness smoke run.
+
+All at the ``tiny`` scale (~1.3k triples) so the whole file runs in
+seconds while still exercising the exact code paths ``make
+bench-macro-smoke`` and CI use.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for entry in (REPO_ROOT, os.path.join(REPO_ROOT, "scripts")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.macro import generator as gen            # noqa: E402
+from benchmarks.macro import run as macro_run            # noqa: E402
+from benchmarks.macro.queries import QUERIES, fingerprint  # noqa: E402
+
+import load_harness                                      # noqa: E402
+
+from repro.rdf.hashgraph import HashIndexGraph           # noqa: E402
+from repro.ssdm import SSDM                              # noqa: E402
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        assert gen.ntriples_text("tiny", 7) == gen.ntriples_text("tiny", 7)
+
+    def test_different_seed_differs(self):
+        assert gen.ntriples_text("tiny", 7) != gen.ntriples_text("tiny", 8)
+
+    def test_batches_carry_every_line(self):
+        statements = list(gen.lines("tiny", 7))
+        batched = []
+        for insert in gen.insert_batches("tiny", 7, batch_size=100):
+            body = insert[len("INSERT DATA {\n"):-len("\n}")]
+            batched.extend(body.split("\n"))
+        assert batched == statements
+
+    def test_citations_point_backwards(self):
+        for line in gen.lines("tiny", 3):
+            if gen.DCT_REFERENCES not in line:
+                continue
+            source, target = line.split(gen.DCT_REFERENCES.join(("<", ">")))
+            a = int(source.rsplit("/A", 1)[1].rstrip("> "))
+            b = int(target.rsplit("/A", 1)[1].rstrip("> ."))
+            assert b < a
+
+    def test_identical_fingerprints_across_loads(self):
+        first, second = SSDM(), SSDM()
+        try:
+            gen.load(first, "tiny", 7)
+            gen.load(second, "tiny", 7)
+            for query in QUERIES[:4]:
+                assert fingerprint(first.execute(query.text)) \
+                    == fingerprint(second.execute(query.text))
+        finally:
+            first.close()
+            second.close()
+
+
+class TestOracleFingerprints:
+    @pytest.fixture(scope="class")
+    def stores(self):
+        indexed = SSDM()
+        oracle = SSDM.with_triple_store(HashIndexGraph())
+        triples = gen.load(indexed, "tiny")
+        assert gen.load(oracle, "tiny") == triples
+        yield indexed, oracle
+        indexed.close()
+        oracle.close()
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.name)
+    def test_query_matches_oracle(self, stores, query):
+        indexed, oracle = stores
+        fast = fingerprint(indexed.execute(query.text))
+        slow = fingerprint(oracle.execute(query.text))
+        assert fast == slow
+        if query.name not in ("q02_article_star_optional",):
+            assert fast["rows"] > 0, "degenerate query: no rows at tiny"
+
+
+class TestTrajectoryGate:
+    def _point(self, rows=3, digest="aa", scale="tiny"):
+        return {
+            "scale": scale, "seed": 42,
+            "generator_version": gen.GENERATOR_VERSION,
+            "queries": {"q": {"rows": rows, "hash": digest}},
+        }
+
+    def test_first_point_passes(self):
+        trajectory = {"schema": 1, "points": []}
+        assert macro_run.check_trajectory(trajectory, self._point()) == []
+
+    def test_matching_point_passes(self, capsys):
+        trajectory = {"schema": 1, "points": [self._point()]}
+        assert macro_run.check_trajectory(trajectory, self._point()) == []
+
+    def test_fingerprint_drift_fails(self, capsys):
+        trajectory = {"schema": 1, "points": [self._point()]}
+        drift = macro_run.check_trajectory(
+            trajectory, self._point(digest="bb")
+        )
+        assert drift == ["q"]
+        assert "TRAJECTORY MISMATCH" in capsys.readouterr().out
+
+    def test_other_scale_is_not_compared(self):
+        trajectory = {"schema": 1, "points": [self._point(scale="full")]}
+        assert macro_run.check_trajectory(
+            trajectory, self._point(digest="bb")
+        ) == []
+
+    def test_runner_end_to_end(self, tmp_path, capsys):
+        output = str(tmp_path / "traj.json")
+        assert macro_run.main([
+            "--scale", "tiny", "--repeat", "1", "--output", output,
+        ]) == 0
+        trajectory = json.loads(open(output).read())
+        assert len(trajectory["points"]) == 1
+        point = trajectory["points"][0]
+        assert point["triples"] > 1000
+        assert set(point["queries"]) == {q.name for q in QUERIES}
+        # a second run must hit the gate and match
+        assert macro_run.main([
+            "--scale", "tiny", "--repeat", "1", "--output", output,
+        ]) == 0
+        assert "fingerprints match the committed point" \
+            in capsys.readouterr().out
+
+
+class TestLoadHarnessSmoke:
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.client.server import SSDMServer
+
+        ssdm = SSDM()
+        gen.load(ssdm, "tiny")
+        server = SSDMServer(ssdm, "127.0.0.1", 0).start()
+        yield ("127.0.0.1", server.server_address[1])
+        server.stop()
+        ssdm.close()
+
+    def test_open_loop_report(self, server):
+        report = load_harness.run_harness(
+            [server], rate=120, duration=1.0, processes=1, threads=2,
+            query_names=["q01_journal_star", "q06_journal_authors"],
+        )
+        assert report["issued"] == 120
+        assert report["ok"] == 120
+        assert report["errors"] == {}
+        latency = report["latency_ms"]
+        for key in ("p50", "p99", "p999"):
+            assert latency[key] is not None
+            assert latency[key] > 0
+        assert latency["p50"] <= latency["p99"] <= latency["p999"]
+        assert report["histogram"]["count"] == 120
+
+    def test_errors_grouped_by_code(self, server):
+        bad = load_harness.QUERY_BY_NAME["q01_journal_star"]
+        broken = type(bad)("broken", "broken", "SELECT WHERE {{{")
+        report = load_harness.run_harness(
+            [server], rate=30, duration=0.3, processes=1, threads=1,
+        )
+        assert report["error_rate"] == 0
+        # drive a parse error through the real client path
+        outcome = load_harness._worker_loop(
+            0, 1, [server], [broken], rate=50, count=5,
+            start_at=0.0, timeout=5.0, seed=1,
+        )
+        assert outcome["errors"] == {"PARSE": 5}
+        assert outcome["ok"] == 0
+
+    def test_server_side_view(self, server):
+        load_harness.run_harness(
+            [server], rate=30, duration=0.3, processes=1, threads=1,
+        )
+        view = load_harness.server_side_view(server)
+        assert view["queries_total"] > 0
+        assert "slowlog_entries" in view
+
+    def test_slo_exit_codes(self, server, capsys):
+        endpoint = "%s:%d" % server
+        common = [
+            "--endpoints", endpoint, "--rate", "40",
+            "--duration", "0.5", "--threads", "1",
+        ]
+        assert load_harness.main(
+            common + ["--slo-p99-ms", "60000", "--slo-error-rate", "0.5"]
+        ) == 0
+        assert "SLO gates: pass" in capsys.readouterr().out
+        assert load_harness.main(
+            common + ["--slo-p99-ms", "0.0001"]
+        ) == 1
+        assert "SLO FAIL" in capsys.readouterr().out

@@ -243,6 +243,46 @@ class TestMetricsRegistry:
             "le_0.1": 1, "le_1": 2, "le_10": 1, "overflow": 1,
         }
 
+    def test_histogram_quantiles(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0, 8.0))
+        assert h.quantile(0.5) is None
+        for value in range(1, 101):
+            h.observe(value / 25.0)          # 0.04 .. 4.0
+        p50 = h.quantile(0.50)
+        assert 1.0 <= p50 <= 3.0             # true p50 = 2.0
+        assert h.quantile(0.0) == h.min
+        assert h.quantile(1.0) == h.max
+        h.observe(100.0)                     # overflow bucket
+        assert h.quantile(0.9999) == 100.0
+
+    def test_histogram_single_value_is_exact(self):
+        h = Histogram()
+        h.observe(0.125)
+        for q in (0.0, 0.5, 0.99, 0.999, 1.0):
+            assert h.quantile(q) == 0.125
+
+    def test_histogram_snapshot_reports_tail_quantiles(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            h.observe(value)
+        snap = h.snapshot()
+        for key in ("p50", "p99", "p999"):
+            assert key in snap
+        assert snap["p999"] == 3.0
+
+    def test_histogram_merge_and_state_roundtrip(self):
+        a, b = Histogram(bounds=(1.0, 2.0)), Histogram(bounds=(1.0, 2.0))
+        for value in (0.5, 1.5):
+            a.observe(value)
+        b.observe(3.0)
+        restored = Histogram.from_state(b.state())
+        a.merge(restored)
+        assert a.count == 3
+        assert a.min == 0.5 and a.max == 3.0
+        assert a.counts == [1, 1, 1]
+        with pytest.raises(ValueError):
+            a.merge(Histogram(bounds=(9.0,)))
+
     def test_timer_uses_injectable_clock(self, clock):
         registry = MetricsRegistry()
         with registry.timer("op_seconds"):

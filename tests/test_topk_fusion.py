@@ -1,0 +1,162 @@
+"""OrderBy→Slice fusion into the streaming top-k operator.
+
+Pins three things: the optimizer rewrites ``ORDER BY ... LIMIT k`` (with
+or without an intervening Project) into a ``TopK`` node, the fused plan
+returns exactly what sort-then-slice returned, and the fused evaluation
+does asymptotically less comparison work than a full sort — counted by
+instrumenting the ``_Directional`` sort-key wrapper.
+"""
+
+import pytest
+
+from repro import SSDM
+from repro.algebra.logical import OrderBy, Slice, TopK
+from repro.engine import eval as eval_mod
+
+EX = "PREFIX ex: <http://e/>\n"
+
+
+@pytest.fixture()
+def ssdm():
+    instance = SSDM()
+    yield instance
+    instance.close()
+
+
+def _iter_nodes(node):
+    yield node
+    for field in node._fields:
+        value = getattr(node, field)
+        if hasattr(value, "_fields"):
+            yield from _iter_nodes(value)
+
+
+def _plan_ops(node):
+    return [type(child).__name__ for child in _iter_nodes(node)]
+
+
+def _load_scores(ssdm, n):
+    rows = "\n".join(
+        "ex:s%d ex:score %d ." % (i, (i * 7919) % n) for i in range(n)
+    )
+    ssdm.execute(EX + "INSERT DATA {\n%s\n}" % rows)
+
+
+def _run_plan(ssdm, plan, columns):
+    """Evaluate a logical plan directly; rows as mapping tuples."""
+    return [
+        tuple(solution.mapping().get(name) for name in columns)
+        for solution in ssdm.engine.run(plan, graph=ssdm.graph)
+    ]
+
+
+class TestFusionRewrite:
+    def test_order_limit_fuses_through_project(self, ssdm):
+        plan, _ = ssdm.plan(
+            EX + "SELECT ?s WHERE { ?s ex:score ?v } ORDER BY ?v LIMIT 3"
+        )
+        ops = _plan_ops(plan)
+        assert "TopK" in ops
+        assert "Slice" not in ops and "OrderBy" not in ops
+
+    def test_offset_is_preserved(self, ssdm):
+        plan, _ = ssdm.plan(
+            EX + "SELECT ?s WHERE { ?s ex:score ?v } "
+            "ORDER BY ?v LIMIT 3 OFFSET 2"
+        )
+        topk = next(
+            node for node in _iter_nodes(plan) if isinstance(node, TopK)
+        )
+        assert topk.limit == 3 and topk.offset == 2
+
+    def test_plain_limit_stays_slice(self, ssdm):
+        plan, _ = ssdm.plan(
+            EX + "SELECT ?s WHERE { ?s ex:score ?v } LIMIT 3"
+        )
+        ops = _plan_ops(plan)
+        assert "Slice" in ops and "TopK" not in ops
+
+    def test_plain_order_by_stays_sort(self, ssdm):
+        plan, _ = ssdm.plan(
+            EX + "SELECT ?s WHERE { ?s ex:score ?v } ORDER BY ?v"
+        )
+        ops = _plan_ops(plan)
+        assert "OrderBy" in ops and "TopK" not in ops
+
+    def test_distinct_blocks_fusion(self, ssdm):
+        plan, _ = ssdm.plan(
+            EX + "SELECT DISTINCT ?v WHERE { ?s ex:score ?v } "
+            "ORDER BY ?v LIMIT 3"
+        )
+        ops = _plan_ops(plan)
+        assert "TopK" not in ops
+        assert "OrderBy" in ops and "Slice" in ops
+
+
+class TestFusionParity:
+    def _unfused(self, node):
+        """Rebuild the pre-fusion plan: Slice over OrderBy."""
+        if isinstance(node, TopK):
+            return Slice(
+                OrderBy(self._unfused(node.input), node.keys),
+                limit=node.limit, offset=node.offset,
+            )
+        for field in node._fields:
+            value = getattr(node, field)
+            if hasattr(value, "_fields"):
+                setattr(node, field, self._unfused(value))
+        return node
+
+    @pytest.mark.parametrize("modifiers", [
+        "ORDER BY ?v LIMIT 5",
+        "ORDER BY DESC(?v) ?s LIMIT 7",
+        "ORDER BY ?v LIMIT 4 OFFSET 3",
+        "ORDER BY ?v LIMIT 100",       # limit larger than the input
+    ])
+    def test_fused_matches_sort_then_slice(self, ssdm, modifiers):
+        _load_scores(ssdm, 40)
+        query = EX + "SELECT ?s ?v WHERE { ?s ex:score ?v } " + modifiers
+        plan, columns = ssdm.plan(query)
+        assert any(isinstance(n, TopK) for n in _iter_nodes(plan))
+        fused = _run_plan(ssdm, plan, columns)
+        unfused_plan, _ = ssdm.plan(query)
+        unfused = _run_plan(ssdm, self._unfused(unfused_plan), columns)
+        assert fused == unfused
+        assert len(fused) > 0
+
+    def test_limit_zero_yields_nothing(self, ssdm):
+        _load_scores(ssdm, 10)
+        result = ssdm.execute(
+            EX + "SELECT ?s WHERE { ?s ex:score ?v } ORDER BY ?v LIMIT 0"
+        )
+        assert result.rows == []
+
+
+class TestComparisonWork:
+    def _count_comparisons(self, ssdm, query, monkeypatch):
+        counter = {"lt": 0}
+        original = eval_mod._Directional.__lt__
+
+        def counting_lt(self, other):
+            counter["lt"] += 1
+            return original(self, other)
+
+        monkeypatch.setattr(eval_mod._Directional, "__lt__", counting_lt)
+        ssdm.execute(query)
+        monkeypatch.undo()
+        return counter["lt"]
+
+    def test_topk_compares_far_less_than_full_sort(self, ssdm,
+                                                   monkeypatch):
+        n, k = 2000, 5
+        _load_scores(ssdm, n)
+        base = EX + "SELECT ?s WHERE { ?s ex:score ?v } ORDER BY ?v"
+        full = self._count_comparisons(ssdm, base, monkeypatch)
+        topk = self._count_comparisons(
+            ssdm, base + " LIMIT %d" % k, monkeypatch
+        )
+        # nsmallest is O(n log k): ~one comparison per element against
+        # the heap root plus sifts for the few that displace an entry.
+        # A full sort is O(n log n) — over 5x more at n=2000, k=5.
+        assert topk < full / 4
+        assert topk < 3 * n
