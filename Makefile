@@ -1,10 +1,11 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-robustness test-durability test-replication \
-	test-observability bench bench-check bench-macro \
-	bench-macro-smoke load-harness footprint
+	test-observability test-governor bench bench-check bench-macro \
+	bench-macro-smoke load-harness load-harness-overload footprint
 
-test: test-robustness test-durability test-replication test-observability
+test: test-robustness test-durability test-replication \
+	test-observability test-governor
 	$(PY) -m pytest -x -q
 
 # Request-lifecycle suites: deadlines, cancellation, fair locking,
@@ -26,6 +27,12 @@ test-replication:
 # slow-query log, and the server metrics/slowlog ops (also run by `test`)
 test-observability:
 	$(PY) -m pytest tests/test_observability.py -q
+
+# Resource-governor suite: per-query row/byte budgets, the two-lane
+# admission queue, pressure-driven degradation, pin hygiene on killed
+# queries, and the replica circuit breaker (also run by `test`)
+test-governor:
+	$(PY) -m pytest tests/test_governor.py -q
 
 bench:
 	$(PY) -m pytest benchmarks -q --benchmark-only \
@@ -53,6 +60,15 @@ load-harness:
 	$(PY) scripts/load_harness.py --scale smoke --rate 150 \
 		--duration 10 --processes 2 --threads 2 \
 		--slo-p99-ms 500 --slo-error-rate 0.01
+
+# Overload smoke: arrivals well past a single admission slot with a
+# mixed interactive/batch lane split; gates on the *admitted* p99 and
+# a bounded error rate — graceful degradation, not collapse
+load-harness-overload:
+	$(PY) scripts/load_harness.py --scale tiny --rate 400 \
+		--duration 5 --threads 8 --batch-fraction 0.5 \
+		--max-concurrent 1 --max-queue 2 \
+		--slo-admitted-p99-ms 2000 --slo-error-rate 0.05
 
 # Report dictionary + permutation-index memory cost at the exp8 scale
 # (fails above the per-triple byte budget; see the script's --max-bytes)

@@ -20,7 +20,16 @@ dicts; the parent merges them and reports p50/p99/p999 plus an
 error-code breakdown, then reads the server's own ``metrics`` and
 ``slowlog`` ops for the server-side view.
 
-SLO gates (for CI): ``--slo-p99-ms`` and ``--slo-error-rate``.
+Overload scenarios: ``--batch-fraction`` sends part of the mix in the
+``batch`` priority lane, and ``--max-concurrent`` / ``--max-queue``
+bound the spawned in-process server so arrivals exceed capacity.  Shed
+requests (typed ``OVERLOAD`` with a ``retry_after_ms`` hint) are
+accounted separately, and the *admitted* requests get their own latency
+histogram — rejections answer in microseconds and must not mask a
+blown-out tail.
+
+SLO gates (for CI): ``--slo-p99-ms``, ``--slo-admitted-p99-ms``,
+``--slo-error-rate`` and ``--slo-max-shed-rate``.
 Exit codes: 0 = pass, 1 = SLO violated (or nothing completed),
 2 = usage error.
 
@@ -61,18 +70,24 @@ LATE_THRESHOLD = 0.5
 
 
 def _worker_loop(worker_index, total_workers, endpoints, queries, rate,
-                 count, start_at, timeout, seed):
+                 count, start_at, timeout, seed, batch_fraction=0.0):
     """One worker thread: issue this worker's slice of the schedule.
 
-    Returns plain data (histogram state + counters) so the same
-    function serves threads in-process and processes over a queue.
+    ``batch_fraction`` of the requests are sent in the ``batch``
+    priority lane (the rest ``interactive``), exercising the server's
+    two-lane admission queue.  Returns plain data (histogram states +
+    counters) so the same function serves threads in-process and
+    processes over a queue.
     """
-    from repro.exceptions import SciSparqlError
+    from repro.exceptions import SciSparqlError, ServerOverloadedError
+    from repro.governor import BATCH, INTERACTIVE
     from repro.replication import ReplicaSetClient
 
     hist = Histogram()
+    admitted_hist = Histogram()
     errors = {}
-    issued = ok = late = rows = 0
+    issued = ok = late = rows = shed = 0
+    hint_ms_sum = 0
     rng = random.Random(seed * 100003 + worker_index)
     client = ReplicaSetClient(endpoints, timeout=timeout)
     try:
@@ -84,12 +99,22 @@ def _worker_loop(worker_index, total_workers, endpoints, queries, rate,
             elif now - scheduled > LATE_THRESHOLD:
                 late += 1
             query = rng.choice(queries)
+            priority = BATCH if rng.random() < batch_fraction \
+                else INTERACTIVE
             issued += 1
+            was_shed = False
             try:
                 result = client.query(query.text,
-                                      timeout_ms=int(timeout * 1000))
+                                      timeout_ms=int(timeout * 1000),
+                                      priority=priority)
                 ok += 1
                 rows += len(result.rows)
+            except ServerOverloadedError as error:
+                was_shed = True
+                shed += 1
+                hint_ms_sum += int(
+                    getattr(error, "retry_after_ms", None) or 0)
+                errors["OVERLOAD"] = errors.get("OVERLOAD", 0) + 1
             except SciSparqlError as error:
                 code = getattr(error, "code", "INTERNAL")
                 errors[code] = errors.get(code, 0) + 1
@@ -97,21 +122,30 @@ def _worker_loop(worker_index, total_workers, endpoints, queries, rate,
                 errors["CONNECTION"] = errors.get("CONNECTION", 0) + 1
             # open-loop latency: from the scheduled arrival, so server
             # stalls surface as queueing delay in the tail
-            hist.observe(time.monotonic() - scheduled)
+            elapsed = time.monotonic() - scheduled
+            hist.observe(elapsed)
+            # admitted-only view: shed requests answer fast by design
+            # and must not dilute the latency SLO of admitted work
+            if not was_shed:
+                admitted_hist.observe(elapsed)
     finally:
         client.close()
     return {
         "hist": hist.state(),
+        "admitted_hist": admitted_hist.state(),
         "errors": errors,
         "issued": issued,
         "ok": ok,
         "late": late,
         "rows": rows,
+        "shed": shed,
+        "hint_ms_sum": hint_ms_sum,
     }
 
 
 def _process_main(result_queue, thread_indexes, total_workers, endpoints,
-                  query_names, rate, count, start_at, timeout, seed):
+                  query_names, rate, count, start_at, timeout, seed,
+                  batch_fraction):
     """Worker-process entry: one thread per assigned worker index."""
     queries = [QUERY_BY_NAME[name] for name in query_names]
     results = []
@@ -119,7 +153,8 @@ def _process_main(result_queue, thread_indexes, total_workers, endpoints,
 
     def run(index):
         outcome = _worker_loop(index, total_workers, endpoints, queries,
-                               rate, count, start_at, timeout, seed)
+                               rate, count, start_at, timeout, seed,
+                               batch_fraction)
         with lock:
             results.append(outcome)
 
@@ -135,7 +170,7 @@ def _process_main(result_queue, thread_indexes, total_workers, endpoints,
 
 def run_harness(endpoints, rate, duration, processes=1, threads=2,
                 query_names=None, timeout=10.0, seed=gen.DEFAULT_SEED,
-                out=None):
+                batch_fraction=0.0, out=None):
     """Run the open-loop schedule; returns the merged report dict."""
     out = out if out is not None else sys.stderr
     query_names = list(query_names or [q.name for q in QUERIES])
@@ -163,7 +198,7 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
         def run(index):
             outcome = _worker_loop(index, total_workers, endpoints,
                                    queries, rate, count, start_at,
-                                   timeout, seed)
+                                   timeout, seed, batch_fraction)
             with lock:
                 _collect(outcome)
 
@@ -182,7 +217,8 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
             procs.append(context.Process(
                 target=_process_main,
                 args=(result_queue, indexes, total_workers, endpoints,
-                      query_names, rate, count, start_at, timeout, seed),
+                      query_names, rate, count, start_at, timeout, seed,
+                      batch_fraction),
             ))
         for proc in procs:
             proc.start()
@@ -193,14 +229,18 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
     wall = time.perf_counter() - wall_start
 
     merged = Histogram()
+    admitted = Histogram()
     errors = {}
-    issued = ok = late = rows = 0
+    issued = ok = late = rows = shed = hint_ms_sum = 0
     for outcome in outcomes:
         merged.merge(Histogram.from_state(outcome["hist"]))
+        admitted.merge(Histogram.from_state(outcome["admitted_hist"]))
         issued += outcome["issued"]
         ok += outcome["ok"]
         late += outcome["late"]
         rows += outcome["rows"]
+        shed += outcome["shed"]
+        hint_ms_sum += outcome["hint_ms_sum"]
         for code, n in outcome["errors"].items():
             errors[code] = errors.get(code, 0) + n
 
@@ -217,11 +257,15 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
             "threads": threads,
             "queries": query_names,
             "seed": seed,
+            "batch_fraction": batch_fraction,
         },
         "issued": issued,
         "ok": ok,
         "late_starts": late,
         "rows_returned": rows,
+        "shed": shed,
+        "mean_retry_after_ms": round(hint_ms_sum / shed, 1) if shed
+        else None,
         "wall_seconds": round(wall, 3),
         "achieved_rate": round(issued / wall, 1) if wall else None,
         "error_rate": round(
@@ -234,6 +278,15 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
             "p99": _ms(merged.quantile(0.99)),
             "p999": _ms(merged.quantile(0.999)),
             "max": _ms(merged.max),
+        },
+        # latency of the requests the server actually admitted (shed
+        # requests are rejected in microseconds and would mask a
+        # blown-out tail if they shared the histogram)
+        "admitted_latency_ms": {
+            "count": admitted.count,
+            "p50": _ms(admitted.quantile(0.50)),
+            "p99": _ms(admitted.quantile(0.99)),
+            "max": _ms(admitted.max),
         },
         "histogram": merged.state(),
     }
@@ -299,10 +352,26 @@ def main(argv=None):
                              "(default: all 12)")
     parser.add_argument("--timeout", type=float, default=10.0,
                         help="per-request client timeout, seconds")
+    parser.add_argument("--batch-fraction", type=float, default=0.0,
+                        help="fraction of requests sent in the batch "
+                             "priority lane (default 0: all "
+                             "interactive)")
+    parser.add_argument("--max-concurrent", type=int, default=None,
+                        help="admission slots for the spawned "
+                             "in-process server (overload scenarios)")
+    parser.add_argument("--max-queue", type=int, default=None,
+                        help="admission queue depth for the spawned "
+                             "in-process server")
     parser.add_argument("--slo-p99-ms", type=float, default=None,
                         help="fail (exit 1) when p99 exceeds this")
+    parser.add_argument("--slo-admitted-p99-ms", type=float, default=None,
+                        help="fail (exit 1) when the p99 of admitted "
+                             "(non-shed) requests exceeds this")
     parser.add_argument("--slo-error-rate", type=float, default=None,
                         help="fail (exit 1) when error fraction "
+                             "exceeds this")
+    parser.add_argument("--slo-max-shed-rate", type=float, default=None,
+                        help="fail (exit 1) when the shed fraction "
                              "exceeds this")
     parser.add_argument("--output", default=None, metavar="PATH",
                         help="write the full JSON report here")
@@ -312,6 +381,8 @@ def main(argv=None):
             or args.threads < 1:
         parser.error("rate/duration must be positive; "
                      "processes/threads at least 1")
+    if not 0.0 <= args.batch_fraction <= 1.0:
+        parser.error("--batch-fraction must be in [0, 1]")
     query_names = None
     if args.mix:
         query_names = [name.strip() for name in args.mix.split(",")
@@ -333,7 +404,12 @@ def main(argv=None):
         holder = tempfile.TemporaryDirectory(prefix="harness-ssdm-")
         ssdm = SSDM.open(holder.name)
         triples = gen.load(ssdm, args.scale, args.seed)
-        server = SSDMServer(ssdm, "127.0.0.1", 0).start()
+        server_kwargs = {}
+        if args.max_concurrent is not None:
+            server_kwargs["max_concurrent"] = args.max_concurrent
+        if args.max_queue is not None:
+            server_kwargs["max_queue"] = args.max_queue
+        server = SSDMServer(ssdm, "127.0.0.1", 0, **server_kwargs).start()
         endpoints = [("127.0.0.1", server.server_address[1])]
         sys.stderr.write(
             "in-process server on port %d over %d triples (%s scale)\n"
@@ -345,7 +421,7 @@ def main(argv=None):
             endpoints, args.rate, args.duration,
             processes=args.processes, threads=args.threads,
             query_names=query_names, timeout=args.timeout,
-            seed=args.seed,
+            seed=args.seed, batch_fraction=args.batch_fraction,
         )
         try:
             report["server"] = server_side_view(endpoints[0])
@@ -374,6 +450,15 @@ def main(argv=None):
             latency["max"], latency["mean"],
         )
     )
+    admitted = report["admitted_latency_ms"]
+    if report["shed"]:
+        sys.stdout.write(
+            "shed %d (mean retry_after %sms); admitted latency ms: "
+            "p50=%s p99=%s max=%s\n" % (
+                report["shed"], report["mean_retry_after_ms"],
+                admitted["p50"], admitted["p99"], admitted["max"],
+            )
+        )
     if report["errors"]:
         sys.stdout.write("errors by code: %s\n" % json.dumps(
             report["errors"], sort_keys=True))
@@ -395,13 +480,24 @@ def main(argv=None):
             and latency["p99"] > args.slo_p99_ms:
         failed.append("p99 %.3fms > SLO %.3fms"
                       % (latency["p99"], args.slo_p99_ms))
+    if args.slo_admitted_p99_ms is not None \
+            and admitted["p99"] is not None \
+            and admitted["p99"] > args.slo_admitted_p99_ms:
+        failed.append("admitted p99 %.3fms > SLO %.3fms"
+                      % (admitted["p99"], args.slo_admitted_p99_ms))
     if args.slo_error_rate is not None and report["error_rate"] is not None \
             and report["error_rate"] > args.slo_error_rate:
         failed.append("error rate %.4f > SLO %.4f"
                       % (report["error_rate"], args.slo_error_rate))
+    if args.slo_max_shed_rate is not None and report["issued"] \
+            and report["shed"] / report["issued"] > args.slo_max_shed_rate:
+        failed.append("shed rate %.4f > SLO %.4f" % (
+            report["shed"] / report["issued"], args.slo_max_shed_rate))
     report["slo"] = {
         "p99_ms": args.slo_p99_ms,
+        "admitted_p99_ms": args.slo_admitted_p99_ms,
         "error_rate": args.slo_error_rate,
+        "max_shed_rate": args.slo_max_shed_rate,
         "violations": failed,
         "pass": not failed,
     }

@@ -35,8 +35,12 @@ from repro.exceptions import (
     SciSparqlError, ParseError, QueryError, EvaluationError, StorageError,
     CorruptionError,
     RequestTimeoutError, RequestCancelledError, ServerOverloadedError,
-    ConnectionClosedError,
+    ConnectionClosedError, ResourceExhaustedError,
     ReadOnlyError, FencedError, ReplicaLaggingError,
+)
+from repro.governor import (
+    ResourceGovernor, ResourceScope, CircuitBreaker, AdmissionQueue,
+    current_scope, resource_scope, get_governor,
 )
 from repro.lifecycle import Deadline, current_deadline, deadline_scope
 from repro.observability import (
@@ -87,6 +91,14 @@ __all__ = [
     "RequestCancelledError",
     "ServerOverloadedError",
     "ConnectionClosedError",
+    "ResourceExhaustedError",
+    "ResourceGovernor",
+    "ResourceScope",
+    "CircuitBreaker",
+    "AdmissionQueue",
+    "current_scope",
+    "resource_scope",
+    "get_governor",
     "ReadOnlyError",
     "FencedError",
     "ReplicaLaggingError",

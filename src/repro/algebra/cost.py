@@ -148,3 +148,30 @@ class CostModel:
                 if isinstance(component, ast.Var):
                     bound.add(component.name)
         return total
+
+
+def estimate_plan_cost(plan, graph):
+    """Price a whole logical plan for cost-based admission.
+
+    The sum of estimated BGP cardinalities across the plan, with each
+    property-path scan priced at the full triple count (an unbounded
+    path may touch the whole graph).  Deliberately crude: admission only
+    needs to tell "point lookup" from "analytical scan" to route a
+    query into the right priority lane — it never rejects on cost
+    alone, so an estimation error costs queue position, not
+    correctness.
+    """
+    from repro.algebra.logical import BGP, PathScan
+
+    model = CostModel(graph)
+    total = 0.0
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BGP):
+            if node.patterns:
+                total += model.plan_cardinality(node.patterns)
+        elif isinstance(node, PathScan):
+            total += float(max(model.stats.triple_count, 1))
+        stack.extend(node.children())
+    return total

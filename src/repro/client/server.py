@@ -31,9 +31,15 @@ Request lifecycle (see ``docs/LANGUAGE.md``): each request is minted a
 back to the server's ``default_timeout_ms``); engine and storage loops
 poll it cooperatively, and expiry surfaces as an ``{"ok": false, "code":
 "TIMEOUT"}`` response with the handler thread, read lock, and buffer-pool
-pins all released.  Admission control sheds requests beyond
-``max_concurrent`` with code ``OVERLOAD`` instead of queueing unboundedly;
-the client retries retryable failures with exponential backoff.
+pins all released.  Admission is a bounded two-lane queue
+(``priority: "interactive" | "batch"``) over ``max_concurrent``
+execution slots: batch waits behind interactive and is shed first, and
+requests beyond the queue (or waiting past ``queue_wait_ms`` / their
+deadline) are shed with code ``OVERLOAD`` plus a ``retry_after_ms``
+pacing hint, which the client's capped, jittered retry backoff honors.
+Admitted requests run inside a resource-governor budget scope; a query
+that blows its row/byte budget dies with the non-retryable ``RESOURCE``
+code (see :mod:`repro.governor`).
 
 Array values cross the wire as ``{"@array": <nested lists>}``; proxies are
 resolved server-side before serialization, so the client never needs
@@ -54,13 +60,16 @@ a node whose applied WAL sequence is behind answers ``LAGGING``.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import socketserver
 import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Optional
 
+from repro.algebra.cost import estimate_plan_cost
 from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import (
@@ -74,6 +83,9 @@ from repro.exceptions import (
     StorageError,
     error_code,
     error_from_code,
+)
+from repro.governor import (
+    BATCH, INTERACTIVE, AdmissionQueue, get_governor,
 )
 from repro.lifecycle import Deadline, deadline_scope
 from repro import observability as obs
@@ -256,22 +268,38 @@ class _Handler(socketserver.StreamRequestHandler):
 
 
 def _error_response(error):
-    return {
+    response = {
         "ok": False,
         "code": error_code(error),
         "error": str(error),
         "retryable": bool(getattr(error, "retryable", False)),
     }
+    retry_after_ms = getattr(error, "retry_after_ms", None)
+    if retry_after_ms is not None:
+        response["retry_after_ms"] = int(retry_after_ms)
+    return response
 
 
 class SSDMServer(socketserver.ThreadingTCPServer):
     """Serves one SSDM instance on a TCP port.
 
     ``default_timeout_ms`` bounds every request that does not carry its
-    own ``timeout_ms`` field (None = unbounded); ``max_concurrent``
-    caps simultaneously executing query/update/explain requests —
-    excess requests are shed immediately with an ``OVERLOAD`` error
-    (``stats`` requests always pass, so monitoring works under load).
+    own ``timeout_ms`` field (None = unbounded).  ``max_concurrent``
+    caps simultaneously *executing* query/update/explain requests; up
+    to ``max_queue`` further requests wait (bounded by ``queue_wait_ms``
+    and their own deadline) in a two-lane admission queue — interactive
+    before batch, batch shed first when the queue fills — and every
+    shed is a typed ``OVERLOAD`` carrying a ``retry_after_ms`` pacing
+    hint.  ``max_queue=0`` restores the old immediate binary shed.
+    Queries may carry ``priority: "batch"``; interactive queries whose
+    estimated plan cost (:func:`~repro.algebra.cost.estimate_plan_cost`)
+    reaches ``batch_cost_threshold`` are demoted to the batch lane, so
+    analytical scans cannot crowd point lookups out of the queue.
+    Admitted requests execute inside a ``governor`` budget scope (the
+    process-wide one by default): blowing the per-query row/byte budget
+    aborts with the non-retryable ``RESOURCE`` code.  ``stats`` /
+    ``health`` / ``metrics`` requests always pass, so monitoring works
+    under load.
 
     >>> server = SSDMServer(SSDM(), port=0)   # 0 = ephemeral port
     >>> port = server.server_address[1]
@@ -285,7 +313,9 @@ class SSDMServer(socketserver.ThreadingTCPServer):
 
     def __init__(self, ssdm, host="127.0.0.1", port=0,
                  default_timeout_ms=None, max_concurrent=64,
-                 role=PRIMARY, epoch=1):
+                 role=PRIMARY, epoch=1, max_queue=16,
+                 queue_wait_ms=1000.0, batch_cost_threshold=100_000.0,
+                 governor=None):
         super().__init__((host, port), _Handler)
         self.ssdm = ssdm
         self._thread: Optional[threading.Thread] = None
@@ -294,11 +324,21 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         self.max_concurrent = (
             None if max_concurrent is None else int(max_concurrent)
         )
+        self.batch_cost_threshold = float(batch_cost_threshold)
+        self.governor = governor if governor is not None else get_governor()
+        ssdm.governor = self.governor
+        self._queue = AdmissionQueue(
+            max_active=self.max_concurrent, max_queue=max_queue,
+            max_wait_ms=queue_wait_ms,
+        )
         self._admission = threading.Lock()
-        self._active = 0
+        #: query text -> estimated plan cost (None = unpriceable);
+        #: bounded LRU so admission never re-plans a repeated query
+        self._cost_cache: "OrderedDict[str, Optional[float]]" = OrderedDict()
         #: Lifecycle counters, surfaced in the ``stats`` op.
         self._counters = {
             "requests": 0, "timeouts": 0, "shed": 0, "errors": 0,
+            "resource_aborts": 0, "demoted_batch": 0,
         }
         #: Replication identity (role + fencing epoch); shared with an
         #: attached :class:`~repro.replication.ReplicationClient` and
@@ -349,28 +389,89 @@ class SSDMServer(socketserver.ThreadingTCPServer):
             return {"ok": False, "code": "BAD_REQUEST",
                     "error": "unknown op %r" % (op,), "retryable": False}
         deadline = self._deadline_for(request)
-        if not self._admit():
-            return _error_response(ServerOverloadedError(
-                "server is at its concurrent-request limit (%d)"
-                % self.max_concurrent
-            ))
+        priority = self._priority_for(op, request)
+        if priority is None:
+            return {"ok": False, "code": "BAD_REQUEST",
+                    "error": "priority must be %r or %r, got %r"
+                    % (INTERACTIVE, BATCH, request.get("priority")),
+                    "retryable": False}
+        with self._admission:
+            self._counters["requests"] += 1
+        try:
+            self._queue.admit(priority, deadline)
+        except ServerOverloadedError as error:
+            with self._admission:
+                self._counters["shed"] += 1
+            return _error_response(error)
         registry = obs.metrics()
         registry.inc("server_requests_total")
+        started = time.monotonic()
         try:
             with registry.timer("server_request_seconds"), \
-                    deadline_scope(deadline):
+                    deadline_scope(deadline), \
+                    self.governor.scope(priority=priority):
                 return self._dispatch_admitted(op, request, deadline)
         except SciSparqlError as error:
             code = error_code(error)
             with self._admission:
                 if code in ("TIMEOUT", "CANCELLED"):
                     self._counters["timeouts"] += 1
+                elif code == "RESOURCE":
+                    self._counters["resource_aborts"] += 1
                 else:
                     self._counters["errors"] += 1
             return _error_response(error)
         finally:
-            with self._admission:
-                self._active -= 1
+            self._queue.release(time.monotonic() - started)
+
+    def _priority_for(self, op, request):
+        """The admission lane for one request (None = invalid field).
+
+        Everything defaults to the interactive lane — updates and WAL
+        streaming are latency-sensitive — but a query whose estimated
+        plan cost reaches ``batch_cost_threshold`` is demoted to batch,
+        so self-declared priority cannot smuggle an analytical scan
+        ahead of point lookups.
+        """
+        priority = request.get("priority") or INTERACTIVE
+        if priority not in (INTERACTIVE, BATCH):
+            return None
+        if op == "query" and priority == INTERACTIVE:
+            cost = self._estimate_cost(request.get("text", ""))
+            if cost is not None and cost >= self.batch_cost_threshold:
+                priority = BATCH
+                with self._admission:
+                    self._counters["demoted_batch"] += 1
+                obs.metrics().inc("server_demoted_batch_total")
+        return priority
+
+    def _estimate_cost(self, text):
+        """Cached :func:`estimate_plan_cost` for one query text.
+
+        Pricing must never break a request: any planning failure (parse
+        error, unsupported form) prices as None — execution will report
+        the real error through the normal path.  The cache is not
+        invalidated on update; estimates only steer lane choice, so a
+        stale price costs queue position at worst.
+        """
+        if not text:
+            return None
+        with self._admission:
+            if text in self._cost_cache:
+                self._cost_cache.move_to_end(text)
+                return self._cost_cache[text]
+        try:
+            plan, _ = self.ssdm.plan(text)
+            cost = float(
+                estimate_plan_cost(plan, self.ssdm.dataset.graph(None))
+            )
+        except Exception:
+            cost = None
+        with self._admission:
+            self._cost_cache[text] = cost
+            while len(self._cost_cache) > 512:
+                self._cost_cache.popitem(last=False)
+        return cost
 
     def _op_slowlog(self, request):
         """Serve (and optionally reconfigure or clear) the slow-query
@@ -590,26 +691,16 @@ class SSDMServer(socketserver.ThreadingTCPServer):
             )
         return Deadline.after_ms(timeout_ms)
 
-    def _admit(self):
-        with self._admission:
-            self._counters["requests"] += 1
-            if (
-                self.max_concurrent is not None
-                and self._active >= self.max_concurrent
-            ):
-                self._counters["shed"] += 1
-                return False
-            self._active += 1
-            return True
-
     def _stats_payload(self):
         stats = self.ssdm.stats()
         with self._admission:
-            stats["server"] = dict(
-                self._counters,
-                active=self._active,
-                max_concurrent=self.max_concurrent,
-            )
+            counters = dict(self._counters)
+        stats["server"] = dict(
+            counters,
+            active=self._queue.active,
+            max_concurrent=self.max_concurrent,
+            admission=self._queue.snapshot(),
+        )
         stats["replication"] = self._replication_payload()
         return stats
 
@@ -639,21 +730,27 @@ class SSDMClient:
     an ``OVERLOAD`` shed or a dropped connection — are retried up to
     ``retries`` times with exponential backoff (``backoff`` seconds
     doubling each attempt by default), re-establishing the connection
-    first when it was lost.  Updates are retried only after an
-    ``OVERLOAD`` (the request was never admitted); a connection lost
-    mid-update is never replayed, because the server may already have
-    applied it.
+    first when it was lost.  When an ``OVERLOAD`` response carries the
+    server's ``retry_after_ms`` pacing hint, the pause honors it (at
+    least the hint, rather than a blind exponential guess); every pause
+    is jittered +-20% and capped at ``max_backoff`` seconds so a bogus
+    or huge hint can never stall a client.  Updates are retried only
+    after an ``OVERLOAD`` (the request was never admitted); a
+    connection lost mid-update is never replayed, because the server
+    may already have applied it.
     """
 
     def __init__(self, host="127.0.0.1", port=0, timeout=30.0,
                  retries=2, backoff=0.05, backoff_factor=2.0,
-                 faults=None):
+                 max_backoff=2.0, faults=None):
         self._host = host
         self._port = port
         self._timeout = timeout
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.backoff_factor = float(backoff_factor)
+        self.max_backoff = float(max_backoff)
+        self._jitter = random.Random()
         #: Network fault injection (drop/delay/partition per peer).
         self.faults = faults
         self._peer = "%s:%s" % (host, port)
@@ -688,14 +785,29 @@ class SSDMClient:
             self._socket = None
         self._connect()
 
+    def _pause_for(self, failure, delay):
+        """Seconds to sleep before the next retry attempt.
+
+        The base is the exponential-backoff ``delay``, raised to the
+        server's ``retry_after_ms`` hint when the failure carried one;
+        the result is jittered (de-synchronizing a thundering herd of
+        shed clients) and hard-capped at ``max_backoff``.
+        """
+        pause = delay
+        hint_ms = getattr(failure, "retry_after_ms", None)
+        if hint_ms:
+            pause = max(pause, float(hint_ms) / 1000.0)
+        pause *= 0.8 + 0.4 * self._jitter.random()
+        return min(pause, self.max_backoff)
+
     def _call(self, request, idempotent=True):
         delay = self.backoff
         failure = None
         for attempt in range(self.retries + 1):
             if attempt:
                 self.retries_performed += 1
-                time.sleep(delay)
-                delay *= self.backoff_factor
+                time.sleep(self._pause_for(failure, delay))
+                delay = min(delay * self.backoff_factor, self.max_backoff)
             try:
                 if self._file is None:
                     self._connect()
@@ -750,14 +862,17 @@ class SSDMClient:
         self.bytes_received += len(line)
         response = json.loads(line.decode("utf-8"))
         if not response.get("ok"):
-            raise error_from_code(
+            error = error_from_code(
                 response.get("code", "INTERNAL"),
                 "server error: %s" % response.get("error"),
             )
+            if response.get("retry_after_ms") is not None:
+                error.retry_after_ms = response["retry_after_ms"]
+            raise error
         return response
 
     def query(self, text, timeout_ms=None, min_seq=None,
-              read_your_writes=False):
+              read_your_writes=False, priority=None):
         """Run a SELECT/ASK; returns QueryResult or bool.
 
         ``timeout_ms`` bounds the server-side execution; expiry raises
@@ -765,13 +880,18 @@ class SSDMClient:
         (or ``read_your_writes=True``, which uses the seq of this
         client's last acknowledged update) installs a read barrier: a
         replica that has not applied that WAL position answers
-        ``LAGGING`` (retryable — it is catching up).
+        ``LAGGING`` (retryable — it is catching up).  ``priority``
+        routes the request into the server's ``"interactive"``
+        (default) or ``"batch"`` admission lane; batch is shed first
+        under overload.
         """
         request = _request("query", text, timeout_ms)
         if read_your_writes:
             min_seq = max(min_seq or 0, self.last_write_seq)
         if min_seq:
             request["min_seq"] = int(min_seq)
+        if priority is not None:
+            request["priority"] = priority
         response = self._call(request)
         if "columns" in response:
             rows = [

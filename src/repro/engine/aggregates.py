@@ -92,12 +92,17 @@ def _distinct(values):
     and crashed with a raw TypeError on unhashable odd values; this
     keys a set via :func:`_distinct_key` instead.
     """
+    from repro.governor import current_scope
+
+    scope = current_scope()
     seen = set()
     out = []
     for value in values:
         key = _distinct_key(value)
         if key in seen:
             continue
+        if scope is not None:
+            scope.charge_rows(1, "aggregate distinct state")
         seen.add(key)
         out.append(value)
     return out

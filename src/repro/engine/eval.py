@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import EvaluationError, QueryError
+from repro.governor import current_scope
 from repro.lifecycle import current_deadline
 from repro.rdf.term import BlankNode, Literal, URI, term_key
 from repro.sparql import ast
@@ -267,8 +268,13 @@ class QueryEngine:
         yield from self._eval(node.right, left_stream, graph)
 
     def _eval_LeftJoin(self, node, inputs, graph):
+        # OPTIONAL can multiply rows; charging each emitted solution
+        # bounds join-output amplification under a resource scope
+        scope = current_scope()
         left_stream = self._eval(node.left, inputs, graph)
         for solution in left_stream:
+            if scope is not None:
+                scope.charge_rows(1, "leftjoin")
             matched = False
             for extended in self._eval(
                 node.right, iter([solution]), graph
@@ -285,9 +291,12 @@ class QueryEngine:
                 yield solution
 
     def _eval_Minus(self, node, inputs, graph):
-        right_solutions = list(
-            self._eval(node.right, iter([Bindings.EMPTY]), graph)
-        )
+        scope = current_scope()
+        right_solutions = []
+        for right in self._eval(node.right, iter([Bindings.EMPTY]), graph):
+            if scope is not None:
+                scope.charge_rows(1, "minus buffer")
+            right_solutions.append(right)
         for solution in self._eval(node.left, inputs, graph):
             excluded = False
             for right in right_solutions:
@@ -367,7 +376,12 @@ class QueryEngine:
             yield from self._eval(node.input, inputs, graph=target)
 
     def _eval_Group(self, node, inputs, graph):
-        solutions = list(self._eval(node.input, inputs, graph))
+        scope = current_scope()
+        solutions = []
+        for solution in self._eval(node.input, inputs, graph):
+            if scope is not None:
+                scope.charge_rows(1, "group buffer")
+            solutions.append(solution)
         key_exprs = []
         key_names = []
         for expr, alias in node.group_by:
@@ -436,9 +450,14 @@ class QueryEngine:
                 yield solution.project(names)
 
     def _eval_Distinct(self, node, inputs, graph):
+        scope = current_scope()
         seen = set()
         for solution in self._eval(node.input, inputs, graph):
             if solution not in seen:
+                # only *retained* solutions grow the hash state; a
+                # stream of duplicates costs nothing against the budget
+                if scope is not None:
+                    scope.charge_rows(1, "distinct hash state")
                 seen.add(solution)
                 yield solution
 
@@ -463,7 +482,12 @@ class QueryEngine:
         return sort_key
 
     def _eval_OrderBy(self, node, inputs, graph):
-        solutions = list(self._eval(node.input, inputs, graph))
+        scope = current_scope()
+        solutions = []
+        for solution in self._eval(node.input, inputs, graph):
+            if scope is not None:
+                scope.charge_rows(1, "orderby buffer")
+            solutions.append(solution)
         solutions.sort(key=self._sort_key_fn(node.keys))
         yield from solutions
 
@@ -474,6 +498,10 @@ class QueryEngine:
         offset = node.offset or 0
         if node.limit <= 0:
             return
+        scope = current_scope()
+        if scope is not None:
+            # the bounded heap holds at most limit+offset solutions
+            scope.charge_rows(node.limit + offset, "topk heap")
         top = heapq.nsmallest(
             node.limit + offset,
             self._eval(node.input, inputs, graph),
@@ -494,9 +522,12 @@ class QueryEngine:
             yield solution
 
     def _eval_SubQuery(self, node, inputs, graph):
-        results = list(
-            self._eval(node.plan, iter([Bindings.EMPTY]), graph)
-        )
+        scope = current_scope()
+        results = []
+        for result in self._eval(node.plan, iter([Bindings.EMPTY]), graph):
+            if scope is not None:
+                scope.charge_rows(1, "subquery buffer")
+            results.append(result)
         for bindings in inputs:
             for result in results:
                 if bindings.compatible(result):

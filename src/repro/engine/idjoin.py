@@ -27,12 +27,17 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.engine.bindings import Bindings
+from repro.governor import current_scope
 from repro.lifecycle import current_deadline
 from repro.rdf.term import is_term
 from repro.sparql import ast
 
-#: Cap on intermediate join width before falling back to the per-row
-#: interpreter (which streams instead of materializing).
+#: Hard cap on intermediate join width before falling back to the
+#: per-row interpreter (which streams instead of materializing).  Under
+#: a resource scope the *effective* guard is the query's remaining row
+#: budget: a pattern whose output would blow the budget aborts with a
+#: typed RESOURCE error before the arrays are allocated — falling back
+#: to the interpreter would only grind out the same rows slowly.
 MAX_ROWS = 4_000_000
 
 _CONST = 0
@@ -172,17 +177,23 @@ class IdBGPMatcher:
                     # the bound term occurs in no triple at all
                     return None
                 fixed[name] = tid
+        scope = current_scope()
         columns: Dict[str, np.ndarray] = {}
         nrows = 1
         for spec in self._specs:
             columns, nrows = self._apply_pattern(
-                spec, fixed, columns, nrows, dictionary
+                spec, fixed, columns, nrows, dictionary, scope
             )
             if nrows == 0:
                 return None
+            if scope is not None:
+                scope.charge_rows(nrows, "idjoin")
+                scope.charge_bytes(nrows * max(1, len(columns)) * 8,
+                                   "idjoin")
         return columns, nrows
 
-    def _apply_pattern(self, spec, fixed, columns, nrows, dictionary):
+    def _apply_pattern(self, spec, fixed, columns, nrows, dictionary,
+                       scope=None):
         scalars = [None, None, None]
         joins: List[Tuple[int, str]] = []
         free: List[Tuple[int, str]] = []
@@ -228,6 +239,8 @@ class IdBGPMatcher:
 
         if not joins:
             total = nrows * run_length
+            if scope is not None:
+                scope.check_rows(total, "idjoin cartesian")
             if total > MAX_ROWS:
                 counters.increment("fallback")
                 raise Fallback()
@@ -261,6 +274,8 @@ class IdBGPMatcher:
         hi = np.searchsorted(sorted_column, left_values, "right")
         run_counts = hi - lo
         total = int(run_counts.sum())
+        if scope is not None:
+            scope.check_rows(total, "idjoin merge join")
         if total > MAX_ROWS:
             counters.increment("fallback")
             raise Fallback()

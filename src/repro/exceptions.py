@@ -122,14 +122,35 @@ class RequestTimeoutError(RequestCancelledError):
 
 
 class ServerOverloadedError(SciSparqlError):
-    """The server shed this request at admission (connection limit).
+    """The server shed this request at admission (queue or slot limit).
 
     Always safe to retry: the request was rejected before any part of it
-    executed.
+    executed.  ``retry_after_ms`` carries the server's pacing hint (an
+    estimate of when a slot should free up) when one was computed; the
+    client backoff honors it instead of blind exponential delays.
     """
 
     code = "OVERLOAD"
     retryable = True
+
+    def __init__(self, message, retry_after_ms=None):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class ResourceExhaustedError(SciSparqlError):
+    """The query blew through its per-query row/byte budget.
+
+    Raised by the resource governor at a materialization point (idjoin
+    result arrays, DISTINCT/GROUP BY hash state, ORDER BY buffers,
+    buffer-pool fetches).  Deliberately non-retryable: the same query
+    re-submitted would allocate the same state and die the same way —
+    the fix is to rewrite the query (add LIMIT, tighten patterns) or to
+    raise the budget, not to retry.
+    """
+
+    code = "RESOURCE"
+    retryable = False
 
 
 class ConnectionClosedError(SciSparqlError):
@@ -201,6 +222,7 @@ _CODE_CLASSES = {
     "STORAGE": StorageError,
     "CORRUPT": CorruptionError,
     "OVERLOAD": ServerOverloadedError,
+    "RESOURCE": ResourceExhaustedError,
     "CONNECTION": ConnectionClosedError,
     "READONLY": ReadOnlyError,
     "FENCED": FencedError,

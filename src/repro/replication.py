@@ -457,10 +457,21 @@ class ReplicaSetClient:
     ``min_seq``) attaches it as a read barrier, and replicas that have
     not caught up answer ``LAGGING``, failing the read over to one that
     has.
+
+    Every endpoint additionally carries a
+    :class:`~repro.governor.CircuitBreaker`: ``breaker_threshold``
+    consecutive read failures open it and reads route around the node
+    for ``breaker_recovery`` seconds, after which a single half-open
+    probe read decides whether it closes again — so a node answering
+    every request with an error stops burning a failover per read.  As
+    a last resort (final round, no other failure recorded) an open
+    breaker is overridden rather than failing a read that might have
+    succeeded.
     """
 
     def __init__(self, endpoints, timeout=10.0, probe_interval=0.0,
-                 faults=None, rounds=3, backoff=0.05):
+                 faults=None, rounds=3, backoff=0.05,
+                 breaker_threshold=3, breaker_recovery=1.0):
         if not endpoints:
             raise ValueError("a replica set needs at least one endpoint")
         self.endpoints = [self._normalize(e) for e in endpoints]
@@ -468,7 +479,10 @@ class ReplicaSetClient:
         self.faults = faults
         self.rounds = int(rounds)
         self.backoff = float(backoff)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_recovery = float(breaker_recovery)
         self._clients = {}
+        self._breakers = {}
         self._lock = threading.Lock()
         self._rr = 0
         self.epoch = 0
@@ -478,6 +492,8 @@ class ReplicaSetClient:
         self.last_write_seq = 0
         self.probes = 0
         self.failovers = 0
+        #: Reads that skipped an endpoint because its breaker was open.
+        self.breaker_skips = 0
 
     @staticmethod
     def _normalize(endpoint):
@@ -542,12 +558,15 @@ class ReplicaSetClient:
     # -- reads -------------------------------------------------------------------
 
     def query(self, text, timeout_ms=None, min_seq=None,
-              read_your_writes=False):
+              read_your_writes=False, priority=None):
         """Run a read on a live replica (or the primary as fallback).
 
         ``min_seq`` / ``read_your_writes`` install a read barrier: a
         node whose applied WAL sequence is behind answers ``LAGGING``
-        and the read fails over to a caught-up node.
+        and the read fails over to a caught-up node.  ``priority``
+        (``"interactive"`` / ``"batch"``) is forwarded to the server's
+        admission queue.  Endpoints whose circuit breaker is open are
+        skipped (see the class docstring).
         """
         if read_your_writes:
             min_seq = max(min_seq or 0, self.last_write_seq)
@@ -556,22 +575,39 @@ class ReplicaSetClient:
             if round_index:
                 self.probe()
                 time.sleep(self.backoff * round_index)
+            last_round = round_index == self.rounds - 1
             for endpoint in self._read_candidates():
+                breaker = self._breaker(endpoint)
+                # An open breaker routes the read elsewhere — except on
+                # the final round with nothing else to blame, where an
+                # attempt is still cheaper than a spurious failure.
+                if not breaker.allow() and not (last_round
+                                                and failure is None):
+                    with self._lock:
+                        self.breaker_skips += 1
+                    continue
                 client = self._client(endpoint)
                 if client is None:
+                    breaker.on_failure()
                     continue
                 try:
-                    return client.query(
-                        text, timeout_ms=timeout_ms, min_seq=min_seq
+                    result = client.query(
+                        text, timeout_ms=timeout_ms, min_seq=min_seq,
+                        priority=priority,
                     )
                 except (ConnectionClosedError, OSError) as error:
+                    breaker.on_failure()
                     failure = error
                     self.failovers += 1
                     self._drop_client(endpoint)
                 except (ServerOverloadedError, ReplicaLaggingError,
                         ReadOnlyError, FencedError) as error:
+                    breaker.on_failure()
                     failure = error
                     self.failovers += 1
+                else:
+                    breaker.on_success()
+                    return result
         raise failure if failure is not None else ConnectionClosedError(
             "no endpoint of the replica set is reachable"
         )
@@ -652,11 +688,33 @@ class ReplicaSetClient:
                 out[endpoint] = None
         return out
 
+    def breakers(self):
+        """Per-endpoint circuit-breaker snapshots (only endpoints that
+        have served at least one read appear)."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {
+            "%s:%s" % endpoint: breaker.snapshot()
+            for endpoint, breaker in items
+        }
+
     def close(self):
         for endpoint in list(self._clients):
             self._drop_client(endpoint)
 
     # -- connections -------------------------------------------------------------
+
+    def _breaker(self, endpoint):
+        from repro.governor import CircuitBreaker
+
+        with self._lock:
+            breaker = self._breakers.get(endpoint)
+            if breaker is None:
+                breaker = self._breakers[endpoint] = CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    recovery_seconds=self.breaker_recovery,
+                )
+            return breaker
 
     def _client(self, endpoint):
         from repro.client.server import SSDMClient

@@ -123,6 +123,11 @@ class SSDM:
         #: instance is served as a replication-aware node (the server
         #: sets it); None for embedded use.
         self.replication = None
+        #: :class:`~repro.governor.ResourceGovernor` when this instance
+        #: is served with admission control (the server sets it); None
+        #: for embedded use, where callers may open
+        #: ``get_governor().scope(...)`` around ``execute`` themselves.
+        self.governor = None
         #: The :class:`~repro.observability.QueryTrace` of the most
         #: recent :meth:`execute` call on this instance (best-effort
         #: under concurrency: server threads each trace their own
@@ -252,6 +257,10 @@ class SSDM:
                     ),
                 )
                 if self.replication is not None else None
+            ),
+            "governor": (
+                self.governor.snapshot()
+                if self.governor is not None else None
             ),
         }
 
@@ -450,13 +459,18 @@ class SSDM:
         })
 
     def _run_select(self, query, bindings=None):
+        from repro.governor import current_scope
+
         plan, columns, scope = self._prepare(query)
+        budget = current_scope()
         rows = []
         append = rows.append
         with scope, obs.span("execute") as timing:
             for solution in self.engine.run(
                 plan, graph=scope.graph, initial=self._initial(bindings)
             ):
+                if budget is not None:
+                    budget.charge_rows(1, "result materialization")
                 get = solution.mapping().get
                 append(tuple([_output(get(name)) for name in columns]))
             if timing is not None:

@@ -43,6 +43,7 @@ from repro.arrays.chunks import (
 from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
 from repro.exceptions import StorageError
+from repro import governor as gov
 from repro.lifecycle import current_deadline, deadline_scope
 from repro import observability as obs
 from repro.storage.bufferpool import BufferPool, shared_pool
@@ -164,6 +165,7 @@ class APRResolver:
         fetched: Dict[object, Dict[int, np.ndarray]] = {}
         for array_id, chunk_ids in needs.items():
             fetched[array_id] = self._fetch(array_id, chunk_ids)
+        scope = gov.current_scope()
         results = []
         for proxy, layout, runs, chunk_ids in plans:
             indices = linear_indices_of_runs(runs)
@@ -171,6 +173,8 @@ class APRResolver:
                 indices, fetched[proxy.array_id],
                 layout.elements_per_chunk, proxy.dtype,
             )
+            if scope is not None:
+                scope.charge_bytes(int(flat.nbytes), "apr assembly")
             results.append(
                 NumericArray(flat.reshape(proxy.shape)
                              if proxy.shape else flat.reshape(()))
@@ -435,6 +439,15 @@ class APRResolver:
         pool.publish(key, fetched)
         chunks.update(fetched)
         published.update(fetched)
+        # charge the fetched (and now pinned) bytes on the query thread;
+        # a blown budget unwinds through _fetch_pipelined's finally,
+        # failing unpublished claims and releasing every pin
+        scope = gov.current_scope()
+        if scope is not None:
+            scope.charge_bytes(
+                sum(int(chunk.nbytes) for chunk in fetched.values()),
+                "apr pinned fetch",
+            )
 
     def _speculate(self, pool, key, executor, array_id, predicted, demanded):
         """Fire-and-forget fetch of SPD-extrapolated chunks.
@@ -443,6 +456,10 @@ class APRResolver:
         with ``prefetched=True`` so the pool can account prefetch-hits
         and wasted prefetches.  Never waited on.
         """
+        if not gov.get_governor().speculation_allowed():
+            # degrade before killing: under memory pressure the system
+            # stops spending pool space on speculative reads first
+            return
         chunk_count = self.store.meta(array_id).layout.chunk_count
         wanted = [
             cid for cid in predicted

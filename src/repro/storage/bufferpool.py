@@ -39,6 +39,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro import governor as gov
 from repro import observability as obs
 
 #: Default pool budget: generous enough for the benchmark working sets,
@@ -281,10 +282,14 @@ class BufferPool:
     # -- eviction & invalidation ---------------------------------------------------
 
     def _evict_locked(self):
-        if self._bytes <= self.max_bytes:
+        # under governor pressure the pool evicts down to a shrunk soft
+        # limit, yielding memory back before any query is killed; the
+        # hard max_bytes admission rule in _put_locked is unchanged
+        limit = gov.get_governor().pool_soft_limit(self.max_bytes)
+        if self._bytes <= limit:
             return
         for key in list(self._lru):
-            if self._bytes <= self.max_bytes:
+            if self._bytes <= limit:
                 break
             if self._pins.get(key):
                 continue
@@ -350,6 +355,12 @@ class BufferPool:
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
                 "pinned": len(self._pins),
+                # bytes held down by pins right now; the pin-leak
+                # regression tests assert this returns to zero after
+                # every abort path (timeout, governor kill)
+                "pinned_bytes": sum(
+                    self._lru.get(key, 0) for key in self._pins
+                ),
                 "inflight": len(self._inflight),
             }
 

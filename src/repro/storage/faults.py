@@ -94,7 +94,7 @@ class FaultPlan:
     def __init__(self, read_latency=0.0, write_latency=0.0,
                  error_every=0, error_rate=0.0, seed=0x5EED,
                  crash_after_wal=False, crash_before_wal=False,
-                 torn_write=0, bit_flip_rate=0.0):
+                 torn_write=0, bit_flip_rate=0.0, memory_pressure=None):
         self.read_latency = float(read_latency)
         self.write_latency = float(write_latency)
         self.error_every = int(error_every)
@@ -105,6 +105,9 @@ class FaultPlan:
         #: (0 = disabled); a crash follows the truncated write.
         self.torn_write = int(torn_write)
         self.bit_flip_rate = float(bit_flip_rate)
+        self.memory_pressure = None
+        if memory_pressure is not None:
+            self.set_memory_pressure(memory_pressure)
         self._random = random.Random(seed)
         self._lock = threading.Lock()
         self.reads = 0
@@ -121,6 +124,19 @@ class FaultPlan:
         self.net_requests = 0
         self.net_blocked = 0
         self.net_dropped = 0
+
+    def set_memory_pressure(self, value):
+        """Pin the process governor's pressure signal to ``value``.
+
+        Deterministically trips the governor's degradation ladder
+        (speculation off, buffer-pool soft limit shrunk) without
+        allocating real memory.  ``None`` (or 0) releases the pin.
+        Process-global by nature — tests must reset it on the way out.
+        """
+        from repro.governor import get_governor
+
+        self.memory_pressure = None if value is None else float(value)
+        get_governor().set_forced_pressure(self.memory_pressure or 0.0)
 
     # -- hooks called by the ASEI base class ---------------------------------------
 
@@ -300,6 +316,7 @@ class FaultPlan:
                 "net_requests": self.net_requests,
                 "net_blocked": self.net_blocked,
                 "net_dropped": self.net_dropped,
+                "memory_pressure": self.memory_pressure,
             }
 
     def __repr__(self):

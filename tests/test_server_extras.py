@@ -202,8 +202,15 @@ class TestWireRoundTrip:
 # -- lifecycle integration: timeouts, overload, retry, faults ------------------------
 
 
-def _slow_server(read_latency, max_concurrent=8, default_timeout_ms=None):
-    """A server whose externalized-array reads sleep per chunk."""
+def _slow_server(read_latency, max_concurrent=8, default_timeout_ms=None,
+                 max_queue=0):
+    """A server whose externalized-array reads sleep per chunk.
+
+    ``max_queue=0`` (the default here) disables the admission queue so
+    these lifecycle tests keep the original binary shed-at-capacity
+    semantics; queueing behaviour has its own tests in
+    ``test_governor.py``.
+    """
 
     class NoAggregateStore(MemoryArrayStore):
         supports_aggregates = False       # force chunk streaming
@@ -221,7 +228,7 @@ def _slow_server(read_latency, max_concurrent=8, default_timeout_ms=None):
     )
     instance = SSDMServer(
         ssdm, max_concurrent=max_concurrent,
-        default_timeout_ms=default_timeout_ms,
+        default_timeout_ms=default_timeout_ms, max_queue=max_queue,
     ).start()
     return instance, store, pool
 
