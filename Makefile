@@ -1,8 +1,9 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-robustness test-durability test-replication \
-	test-observability test-governor bench bench-check bench-macro \
-	bench-macro-smoke load-harness load-harness-overload footprint
+	test-observability test-governor test-mvcc bench bench-check \
+	bench-macro bench-macro-smoke load-harness load-harness-overload \
+	load-harness-mixed footprint
 
 test: test-robustness test-durability test-replication \
 	test-observability test-governor
@@ -33,6 +34,13 @@ test-observability:
 # queries, and the replica circuit breaker (also run by `test`)
 test-governor:
 	$(PY) -m pytest tests/test_governor.py -q
+
+# MVCC suite: snapshot isolation vs the hash-graph oracle, the
+# publish-then-swap consolidation race, bounded retention and
+# SNAPSHOT_GONE, at_seq exact reads, writer/reader non-blocking, and
+# the deterministic chaos matrix (also run by `test`)
+test-mvcc:
+	$(PY) -m pytest tests/test_mvcc.py -q
 
 bench:
 	$(PY) -m pytest benchmarks -q --benchmark-only \
@@ -69,6 +77,20 @@ load-harness-overload:
 		--duration 5 --threads 8 --batch-fraction 0.5 \
 		--max-concurrent 1 --max-queue 2 \
 		--slo-admitted-p99-ms 2000 --slo-error-rate 0.05
+
+# MVCC reader-tail gate: a read-only baseline run, then the same load
+# with a 10% INSERT DATA update stream; fails when the mixed run's
+# reader admitted p99 exceeds 2x the read-only baseline (the ratio
+# gate never trips below the 50ms floor, so a microsecond-fast
+# baseline cannot make it flaky)
+load-harness-mixed:
+	$(PY) scripts/load_harness.py --scale tiny --rate 150 \
+		--duration 5 --threads 4 --slo-error-rate 0.01 \
+		--output harness_read_baseline.json
+	$(PY) scripts/load_harness.py --scale tiny --rate 150 \
+		--duration 5 --threads 4 --update-fraction 0.1 \
+		--baseline harness_read_baseline.json \
+		--slo-read-p99-ratio 2.0 --slo-error-rate 0.01
 
 # Report dictionary + permutation-index memory cost at the exp8 scale
 # (fails above the per-triple byte budget; see the script's --max-bytes)

@@ -16,6 +16,13 @@ Text output prints counters and gauges one per line and histograms as
 count/mean/min/max, the estimated p50/p99/p999 quantiles, and their
 occupied latency buckets.  ``--json`` prints the raw snapshot as one
 machine-readable document.
+
+``--stats`` switches the ``--server`` / ``--file`` source to the full
+``stats`` payload (storage, buffer pool, governor, replication, and the
+``mvcc`` block: live snapshots, retained versions/bytes, low-water seq,
+consolidations, snapshot-gone aborts), rendered as dotted key paths:
+
+    python scripts/dump_metrics.py --server 127.0.0.1:4711 --stats
 """
 
 import argparse
@@ -68,13 +75,40 @@ def render_text(snapshot, out=sys.stdout):
         out.write("(no metrics recorded)\n")
 
 
-def snapshot_from_server(address):
+def render_stats(stats, out=sys.stdout):
+    """Render a nested ``stats`` payload as sorted dotted key paths.
+
+    The ``mvcc`` block leads (it is what an operator debugging reader
+    latency or retained-version memory looks for first); everything
+    else follows alphabetically.
+    """
+    def flatten(prefix, value, into):
+        if isinstance(value, dict):
+            for key in value:
+                flatten(
+                    "%s.%s" % (prefix, key) if prefix else str(key),
+                    value[key], into,
+                )
+        elif isinstance(value, (list, tuple)):
+            into.append((prefix, json.dumps(value)))
+        else:
+            into.append((prefix, value))
+
+    lines = []
+    flatten("", stats, lines)
+    mvcc = sorted(line for line in lines if line[0].startswith("mvcc"))
+    rest = sorted(line for line in lines if not line[0].startswith("mvcc"))
+    for name, value in mvcc + rest:
+        out.write("%-44s %s\n" % (name, value))
+
+
+def snapshot_from_server(address, stats=False):
     from repro.client import SSDMClient
 
     host, _, port = address.rpartition(":")
     client = SSDMClient(host or "127.0.0.1", int(port))
     try:
-        return client.metrics()
+        return client.stats() if stats else client.metrics()
     finally:
         client.close()
 
@@ -109,20 +143,30 @@ def main(argv=None):
         "--json", action="store_true",
         help="print the raw snapshot as JSON instead of text",
     )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="dump the full stats payload (storage, governor, mvcc, "
+             "replication) instead of the metrics registry",
+    )
     args = parser.parse_args(argv)
+    if args.stats and args.statement:
+        parser.error("--stats applies to --server / --file sources only")
     if args.server:
-        snapshot = snapshot_from_server(args.server)
+        snapshot = snapshot_from_server(args.server, stats=args.stats)
     elif args.file:
         handle = sys.stdin if args.file == "-" else open(args.file)
         with handle:
             snapshot = json.load(handle)
         # tolerate a whole stats() payload, not just its metrics block
-        if "metrics" in snapshot and "counters" not in snapshot:
+        if not args.stats and "metrics" in snapshot \
+                and "counters" not in snapshot:
             snapshot = snapshot["metrics"]
     else:
         snapshot = snapshot_from_exec(args.statement)
     if args.json:
         print(json.dumps(snapshot, sort_keys=True))
+    elif args.stats:
+        render_stats(snapshot)
     else:
         render_text(snapshot)
     return 0

@@ -28,10 +28,20 @@ accounted separately, and the *admitted* requests get their own latency
 histogram — rejections answer in microseconds and must not mask a
 blown-out tail.
 
+Mixed read/write workloads: ``--update-fraction F`` turns F of the
+arrivals into unique ``INSERT DATA`` writes.  Admitted reads and
+writes are reported as separate latency populations, because the claim
+MVCC makes is about the *reader* tail under a concurrent write stream:
+``--slo-read-p99-ms`` gates it absolutely, and ``--baseline
+report.json`` (a saved read-only run) gates it relative to the
+read-only p99 — ``--slo-read-p99-ratio`` (default 2.0) times the
+baseline, never below ``--baseline-floor-ms`` so a microsecond-fast
+baseline cannot make the ratio gate flaky.
+
 SLO gates (for CI): ``--slo-p99-ms``, ``--slo-admitted-p99-ms``,
-``--slo-error-rate`` and ``--slo-max-shed-rate``.
-Exit codes: 0 = pass, 1 = SLO violated (or nothing completed),
-2 = usage error.
+``--slo-read-p99-ms``, ``--slo-error-rate`` and
+``--slo-max-shed-rate``.  Exit codes: 0 = pass, 1 = SLO violated (or
+nothing completed), 2 = usage error.
 
     # spawn a tiny in-process server, 200 req/s for 5s over 2x2 workers
     python scripts/load_harness.py --scale tiny --rate 200 --duration 5 \
@@ -70,14 +80,20 @@ LATE_THRESHOLD = 0.5
 
 
 def _worker_loop(worker_index, total_workers, endpoints, queries, rate,
-                 count, start_at, timeout, seed, batch_fraction=0.0):
+                 count, start_at, timeout, seed, batch_fraction=0.0,
+                 update_fraction=0.0):
     """One worker thread: issue this worker's slice of the schedule.
 
     ``batch_fraction`` of the requests are sent in the ``batch``
     priority lane (the rest ``interactive``), exercising the server's
-    two-lane admission queue.  Returns plain data (histogram states +
-    counters) so the same function serves threads in-process and
-    processes over a queue.
+    two-lane admission queue.  ``update_fraction`` of the requests are
+    ``INSERT DATA`` writes (unique triples, so every one mutates),
+    exercising the MVCC split: readers pin snapshots and must not see
+    their tail latency degrade while the write stream runs.  Reads and
+    writes get separate admitted-latency histograms, because the SLO
+    that matters is the *reader* p99 under a concurrent writer.
+    Returns plain data (histogram states + counters) so the same
+    function serves threads in-process and processes over a queue.
     """
     from repro.exceptions import SciSparqlError, ServerOverloadedError
     from repro.governor import BATCH, INTERACTIVE
@@ -85,8 +101,11 @@ def _worker_loop(worker_index, total_workers, endpoints, queries, rate,
 
     hist = Histogram()
     admitted_hist = Histogram()
+    read_hist = Histogram()
+    write_hist = Histogram()
     errors = {}
     issued = ok = late = rows = shed = 0
+    writes = write_ok = 0
     hint_ms_sum = 0
     rng = random.Random(seed * 100003 + worker_index)
     client = ReplicaSetClient(endpoints, timeout=timeout)
@@ -98,28 +117,53 @@ def _worker_loop(worker_index, total_workers, endpoints, queries, rate,
                 time.sleep(scheduled - now)
             elif now - scheduled > LATE_THRESHOLD:
                 late += 1
-            query = rng.choice(queries)
-            priority = BATCH if rng.random() < batch_fraction \
-                else INTERACTIVE
+            is_update = rng.random() < update_fraction
             issued += 1
             was_shed = False
-            try:
-                result = client.query(query.text,
-                                      timeout_ms=int(timeout * 1000),
-                                      priority=priority)
-                ok += 1
-                rows += len(result.rows)
-            except ServerOverloadedError as error:
-                was_shed = True
-                shed += 1
-                hint_ms_sum += int(
-                    getattr(error, "retry_after_ms", None) or 0)
-                errors["OVERLOAD"] = errors.get("OVERLOAD", 0) + 1
-            except SciSparqlError as error:
-                code = getattr(error, "code", "INTERNAL")
-                errors[code] = errors.get(code, 0) + 1
-            except OSError:
-                errors["CONNECTION"] = errors.get("CONNECTION", 0) + 1
+            if is_update:
+                writes += 1
+                # a unique triple per request: every write mutates,
+                # appends a WAL record, and publishes a new version
+                text = (
+                    "INSERT DATA { <http://harness/w%d/r%d> "
+                    "<http://harness/tick> %d }" % (worker_index, i, i)
+                )
+                try:
+                    client.update(text, timeout_ms=int(timeout * 1000))
+                    ok += 1
+                    write_ok += 1
+                except ServerOverloadedError as error:
+                    was_shed = True
+                    shed += 1
+                    hint_ms_sum += int(
+                        getattr(error, "retry_after_ms", None) or 0)
+                    errors["OVERLOAD"] = errors.get("OVERLOAD", 0) + 1
+                except SciSparqlError as error:
+                    code = getattr(error, "code", "INTERNAL")
+                    errors[code] = errors.get(code, 0) + 1
+                except OSError:
+                    errors["CONNECTION"] = errors.get("CONNECTION", 0) + 1
+            else:
+                query = rng.choice(queries)
+                priority = BATCH if rng.random() < batch_fraction \
+                    else INTERACTIVE
+                try:
+                    result = client.query(query.text,
+                                          timeout_ms=int(timeout * 1000),
+                                          priority=priority)
+                    ok += 1
+                    rows += len(result.rows)
+                except ServerOverloadedError as error:
+                    was_shed = True
+                    shed += 1
+                    hint_ms_sum += int(
+                        getattr(error, "retry_after_ms", None) or 0)
+                    errors["OVERLOAD"] = errors.get("OVERLOAD", 0) + 1
+                except SciSparqlError as error:
+                    code = getattr(error, "code", "INTERNAL")
+                    errors[code] = errors.get(code, 0) + 1
+                except OSError:
+                    errors["CONNECTION"] = errors.get("CONNECTION", 0) + 1
             # open-loop latency: from the scheduled arrival, so server
             # stalls surface as queueing delay in the tail
             elapsed = time.monotonic() - scheduled
@@ -128,24 +172,32 @@ def _worker_loop(worker_index, total_workers, endpoints, queries, rate,
             # and must not dilute the latency SLO of admitted work
             if not was_shed:
                 admitted_hist.observe(elapsed)
+                if is_update:
+                    write_hist.observe(elapsed)
+                else:
+                    read_hist.observe(elapsed)
     finally:
         client.close()
     return {
         "hist": hist.state(),
         "admitted_hist": admitted_hist.state(),
+        "read_hist": read_hist.state(),
+        "write_hist": write_hist.state(),
         "errors": errors,
         "issued": issued,
         "ok": ok,
         "late": late,
         "rows": rows,
         "shed": shed,
+        "writes": writes,
+        "write_ok": write_ok,
         "hint_ms_sum": hint_ms_sum,
     }
 
 
 def _process_main(result_queue, thread_indexes, total_workers, endpoints,
                   query_names, rate, count, start_at, timeout, seed,
-                  batch_fraction):
+                  batch_fraction, update_fraction):
     """Worker-process entry: one thread per assigned worker index."""
     queries = [QUERY_BY_NAME[name] for name in query_names]
     results = []
@@ -154,7 +206,7 @@ def _process_main(result_queue, thread_indexes, total_workers, endpoints,
     def run(index):
         outcome = _worker_loop(index, total_workers, endpoints, queries,
                                rate, count, start_at, timeout, seed,
-                               batch_fraction)
+                               batch_fraction, update_fraction)
         with lock:
             results.append(outcome)
 
@@ -170,7 +222,7 @@ def _process_main(result_queue, thread_indexes, total_workers, endpoints,
 
 def run_harness(endpoints, rate, duration, processes=1, threads=2,
                 query_names=None, timeout=10.0, seed=gen.DEFAULT_SEED,
-                batch_fraction=0.0, out=None):
+                batch_fraction=0.0, update_fraction=0.0, out=None):
     """Run the open-loop schedule; returns the merged report dict."""
     out = out if out is not None else sys.stderr
     query_names = list(query_names or [q.name for q in QUERIES])
@@ -198,7 +250,8 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
         def run(index):
             outcome = _worker_loop(index, total_workers, endpoints,
                                    queries, rate, count, start_at,
-                                   timeout, seed, batch_fraction)
+                                   timeout, seed, batch_fraction,
+                                   update_fraction)
             with lock:
                 _collect(outcome)
 
@@ -218,7 +271,7 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
                 target=_process_main,
                 args=(result_queue, indexes, total_workers, endpoints,
                       query_names, rate, count, start_at, timeout, seed,
-                      batch_fraction),
+                      batch_fraction, update_fraction),
             ))
         for proc in procs:
             proc.start()
@@ -230,16 +283,23 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
 
     merged = Histogram()
     admitted = Histogram()
+    reads = Histogram()
+    writes_hist = Histogram()
     errors = {}
     issued = ok = late = rows = shed = hint_ms_sum = 0
+    writes = write_ok = 0
     for outcome in outcomes:
         merged.merge(Histogram.from_state(outcome["hist"]))
         admitted.merge(Histogram.from_state(outcome["admitted_hist"]))
+        reads.merge(Histogram.from_state(outcome["read_hist"]))
+        writes_hist.merge(Histogram.from_state(outcome["write_hist"]))
         issued += outcome["issued"]
         ok += outcome["ok"]
         late += outcome["late"]
         rows += outcome["rows"]
         shed += outcome["shed"]
+        writes += outcome["writes"]
+        write_ok += outcome["write_ok"]
         hint_ms_sum += outcome["hint_ms_sum"]
         for code, n in outcome["errors"].items():
             errors[code] = errors.get(code, 0) + n
@@ -258,12 +318,15 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
             "queries": query_names,
             "seed": seed,
             "batch_fraction": batch_fraction,
+            "update_fraction": update_fraction,
         },
         "issued": issued,
         "ok": ok,
         "late_starts": late,
         "rows_returned": rows,
         "shed": shed,
+        "writes_issued": writes,
+        "writes_ok": write_ok,
         "mean_retry_after_ms": round(hint_ms_sum / shed, 1) if shed
         else None,
         "wall_seconds": round(wall, 3),
@@ -287,6 +350,21 @@ def run_harness(endpoints, rate, duration, processes=1, threads=2,
             "p50": _ms(admitted.quantile(0.50)),
             "p99": _ms(admitted.quantile(0.99)),
             "max": _ms(admitted.max),
+        },
+        # admitted reads and writes separately: under MVCC the reader
+        # tail must hold while a write stream runs, and averaging the
+        # two latency populations would hide a reader regression
+        "read_latency_ms": {
+            "count": reads.count,
+            "p50": _ms(reads.quantile(0.50)),
+            "p99": _ms(reads.quantile(0.99)),
+            "max": _ms(reads.max),
+        },
+        "write_latency_ms": {
+            "count": writes_hist.count,
+            "p50": _ms(writes_hist.quantile(0.50)),
+            "p99": _ms(writes_hist.quantile(0.99)),
+            "max": _ms(writes_hist.max),
         },
         "histogram": merged.state(),
     }
@@ -356,6 +434,10 @@ def main(argv=None):
                         help="fraction of requests sent in the batch "
                              "priority lane (default 0: all "
                              "interactive)")
+    parser.add_argument("--update-fraction", type=float, default=0.0,
+                        help="fraction of requests issued as unique "
+                             "INSERT DATA writes (default 0: "
+                             "read-only)")
     parser.add_argument("--max-concurrent", type=int, default=None,
                         help="admission slots for the spawned "
                              "in-process server (overload scenarios)")
@@ -367,6 +449,20 @@ def main(argv=None):
     parser.add_argument("--slo-admitted-p99-ms", type=float, default=None,
                         help="fail (exit 1) when the p99 of admitted "
                              "(non-shed) requests exceeds this")
+    parser.add_argument("--slo-read-p99-ms", type=float, default=None,
+                        help="fail (exit 1) when the p99 of admitted "
+                             "reads exceeds this (the MVCC reader-tail "
+                             "gate under --update-fraction)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="saved JSON report of a read-only run: "
+                             "gate this run's read p99 against it")
+    parser.add_argument("--slo-read-p99-ratio", type=float, default=2.0,
+                        help="fail when read p99 exceeds this multiple "
+                             "of the baseline's (default 2.0)")
+    parser.add_argument("--baseline-floor-ms", type=float, default=50.0,
+                        help="ratio gate never trips below this "
+                             "absolute read p99 (default 50ms), so a "
+                             "near-zero baseline cannot make it flaky")
     parser.add_argument("--slo-error-rate", type=float, default=None,
                         help="fail (exit 1) when error fraction "
                              "exceeds this")
@@ -383,6 +479,8 @@ def main(argv=None):
                      "processes/threads at least 1")
     if not 0.0 <= args.batch_fraction <= 1.0:
         parser.error("--batch-fraction must be in [0, 1]")
+    if not 0.0 <= args.update_fraction <= 1.0:
+        parser.error("--update-fraction must be in [0, 1]")
     query_names = None
     if args.mix:
         query_names = [name.strip() for name in args.mix.split(",")
@@ -422,6 +520,7 @@ def main(argv=None):
             processes=args.processes, threads=args.threads,
             query_names=query_names, timeout=args.timeout,
             seed=args.seed, batch_fraction=args.batch_fraction,
+            update_fraction=args.update_fraction,
         )
         try:
             report["server"] = server_side_view(endpoints[0])
@@ -451,6 +550,18 @@ def main(argv=None):
         )
     )
     admitted = report["admitted_latency_ms"]
+    read = report["read_latency_ms"]
+    write = report["write_latency_ms"]
+    if report["writes_issued"]:
+        sys.stdout.write(
+            "mixed workload: %d writes issued (%d ok); read latency "
+            "ms: p50=%s p99=%s max=%s; write latency ms: p50=%s "
+            "p99=%s max=%s\n" % (
+                report["writes_issued"], report["writes_ok"],
+                read["p50"], read["p99"], read["max"],
+                write["p50"], write["p99"], write["max"],
+            )
+        )
     if report["shed"]:
         sys.stdout.write(
             "shed %d (mean retry_after %sms); admitted latency ms: "
@@ -485,6 +596,28 @@ def main(argv=None):
             and admitted["p99"] > args.slo_admitted_p99_ms:
         failed.append("admitted p99 %.3fms > SLO %.3fms"
                       % (admitted["p99"], args.slo_admitted_p99_ms))
+    if args.slo_read_p99_ms is not None and read["p99"] is not None \
+            and read["p99"] > args.slo_read_p99_ms:
+        failed.append("read p99 %.3fms > SLO %.3fms"
+                      % (read["p99"], args.slo_read_p99_ms))
+    baseline_read_p99 = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        baseline_read_p99 = (
+            (baseline.get("read_latency_ms") or {}).get("p99")
+            or (baseline.get("admitted_latency_ms") or {}).get("p99")
+            or (baseline.get("latency_ms") or {}).get("p99")
+        )
+        if baseline_read_p99 and read["p99"] is not None:
+            limit = max(baseline_read_p99 * args.slo_read_p99_ratio,
+                        args.baseline_floor_ms)
+            if read["p99"] > limit:
+                failed.append(
+                    "read p99 %.3fms > %.1fx read-only baseline "
+                    "%.3fms (limit %.3fms)" % (
+                        read["p99"], args.slo_read_p99_ratio,
+                        baseline_read_p99, limit))
     if args.slo_error_rate is not None and report["error_rate"] is not None \
             and report["error_rate"] > args.slo_error_rate:
         failed.append("error rate %.4f > SLO %.4f"
@@ -496,6 +629,10 @@ def main(argv=None):
     report["slo"] = {
         "p99_ms": args.slo_p99_ms,
         "admitted_p99_ms": args.slo_admitted_p99_ms,
+        "read_p99_ms": args.slo_read_p99_ms,
+        "baseline_read_p99_ms": baseline_read_p99,
+        "read_p99_ratio": args.slo_read_p99_ratio if args.baseline
+        else None,
         "error_rate": args.slo_error_rate,
         "max_shed_rate": args.slo_max_shed_rate,
         "violations": failed,

@@ -5,7 +5,7 @@ this module provides the client-server mode over a line-delimited JSON
 protocol on TCP:
 
     request:  {"op": "query",  "text": "<SciSPARQL>", "timeout_ms": 500,
-               "min_seq": 12}
+               "min_seq": 12, "at_seq": 12}
     request:  {"op": "update", "text": "<SciSPARQL update>", "epoch": 2}
     request:  {"op": "stats"} / {"op": "health"} / {"op": "promote"}
     request:  {"op": "metrics"} / {"op": "slowlog", "threshold_ms": 50}
@@ -22,9 +22,16 @@ protocol on TCP:
                "retryable": false}
 
 Queries run concurrently (sharing the process-wide chunk buffer pool, so
-parallel requests deduplicate their fetches); updates take the server's
-write lock and run exclusively.  The lock is writer-fair: a queued update
-blocks *new* readers, so a continuous query stream cannot starve updates.
+parallel requests deduplicate their fetches) and are **never blocked by
+writers**: every admitted read pins an immutable MVCC snapshot of the
+dataset at its admission sequence (see :mod:`repro.mvcc`), so a long
+analytical scan and a write burst proceed independently.  Updates
+serialize against each other on a single-writer mutex ordered by WAL
+append; there is no read lock anywhere on the read path.  A query may
+carry ``at_seq`` to read the *exact* published version at a WAL
+sequence: a seq ahead of the node answers ``LAGGING`` (retryable), a
+seq that fell out of the bounded retention window answers
+``SNAPSHOT_GONE`` (non-retryable — re-issue without ``at_seq``).
 
 Request lifecycle (see ``docs/LANGUAGE.md``): each request is minted a
 :class:`~repro.lifecycle.Deadline` from its ``timeout_ms`` field (falling
@@ -138,92 +145,41 @@ def deserialize_value(payload):
     return payload
 
 
-class _ReadWriteLock:
-    """Many concurrent readers (queries) or one writer (updates).
+class _WriteMutex:
+    """Single-writer mutex ordering mutations by WAL append.
 
-    Writer-fair: while a writer is queued, *new* readers block (readers
-    already inside drain first), so a continuous query stream cannot
-    starve updates.  Both acquire methods take an optional timeout and
-    return False on expiry, letting a request whose deadline passes
-    while waiting for the lock give up instead of blocking its handler
-    thread indefinitely.
+    MVCC snapshot reads (:mod:`repro.mvcc`) removed readers from the
+    locking picture: an admitted query pins the immutable published
+    dataset version and never touches this mutex, so reads cannot delay
+    writes and writes cannot delay reads.  What remains is mutual
+    exclusion between *mutators* — client updates, streamed replication
+    records, and verify ``repair`` — each of which appends to the WAL
+    and publishes a new version before releasing.  ``writing`` bounds
+    the wait by the request deadline and surfaces expiry as a typed
+    ``TIMEOUT``.
     """
 
     def __init__(self):
-        self._condition = threading.Condition()
-        self._readers = 0
-        self._writing = False
-        self._writers_waiting = 0
+        self._lock = threading.Lock()
 
-    def _wait(self, end):
-        """One condition wait bounded by the monotonic ``end`` time;
-        returns False when the budget is already exhausted."""
-        if end is None:
-            self._condition.wait()
-            return True
-        left = end - time.monotonic()
-        if left <= 0:
-            return False
-        self._condition.wait(left)
-        return True
-
-    def acquire_read(self, timeout=None):
-        end = None if timeout is None else time.monotonic() + timeout
-        with self._condition:
-            while self._writing or self._writers_waiting:
-                if not self._wait(end):
-                    return False
-            self._readers += 1
-            return True
-
-    def release_read(self):
-        with self._condition:
-            self._readers -= 1
-            if self._readers == 0:
-                self._condition.notify_all()
-
-    def acquire_write(self, timeout=None):
-        end = None if timeout is None else time.monotonic() + timeout
-        with self._condition:
-            self._writers_waiting += 1
-            try:
-                while self._writing or self._readers:
-                    if not self._wait(end):
-                        return False
-                self._writing = True
-                return True
-            finally:
-                self._writers_waiting -= 1
-                if not self._writers_waiting and not self._writing:
-                    # a timed-out writer leaves: unblock queued readers
-                    self._condition.notify_all()
-
-    def release_write(self):
-        with self._condition:
-            self._writing = False
-            self._condition.notify_all()
-
-    @contextmanager
-    def reading(self, deadline=None):
-        if not self.acquire_read(_lock_budget(deadline)):
-            raise RequestTimeoutError(
-                "timed out waiting for the server's read lock"
-            )
-        try:
-            yield
-        finally:
-            self.release_read()
+    def locked(self):
+        return self._lock.locked()
 
     @contextmanager
     def writing(self, deadline=None):
-        if not self.acquire_write(_lock_budget(deadline)):
+        budget = _lock_budget(deadline)
+        if budget is None:
+            acquired = self._lock.acquire()
+        else:
+            acquired = self._lock.acquire(timeout=max(0.0, budget))
+        if not acquired:
             raise RequestTimeoutError(
-                "timed out waiting for the server's write lock"
+                "timed out waiting for the server's write mutex"
             )
         try:
             yield
         finally:
-            self.release_write()
+            self._lock.release()
 
 
 def _lock_budget(deadline):
@@ -319,7 +275,7 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         super().__init__((host, port), _Handler)
         self.ssdm = ssdm
         self._thread: Optional[threading.Thread] = None
-        self._lock = _ReadWriteLock()
+        self._write_mutex = _WriteMutex()
         self.default_timeout_ms = default_timeout_ms
         self.max_concurrent = (
             None if max_concurrent is None else int(max_concurrent)
@@ -338,8 +294,15 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         #: Lifecycle counters, surfaced in the ``stats`` op.
         self._counters = {
             "requests": 0, "timeouts": 0, "shed": 0, "errors": 0,
-            "resource_aborts": 0, "demoted_batch": 0,
+            "resource_aborts": 0, "demoted_batch": 0, "snapshot_gone": 0,
         }
+        # retained MVCC versions count toward the governor's memory
+        # pressure signal, so long snapshot readers trigger degradation
+        # (APR off, pool shrink) before anything is killed
+        register = getattr(self.governor, "add_retained_source", None)
+        mvcc = getattr(ssdm, "mvcc", None)
+        if register is not None and mvcc is not None:
+            register(mvcc)
         #: Replication identity (role + fencing epoch); shared with an
         #: attached :class:`~repro.replication.ReplicationClient` and
         #: surfaced through ``SSDM.stats()``.
@@ -355,15 +318,16 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         """Tail ``host:port`` as this server's upstream primary.
 
         Builds a :class:`~repro.replication.ReplicationClient` sharing
-        this server's replication state and write lock (streamed deltas
-        apply exclusively, like local updates would).  The caller
-        starts/stops it; :meth:`stop` and ``promote`` stop it too.
+        this server's replication state and write mutex (streamed
+        deltas apply exclusively, like local updates would; snapshot
+        readers are unaffected).  The caller starts/stops it;
+        :meth:`stop` and ``promote`` stop it too.
         """
         from repro.replication import ReplicationClient
 
         client = ReplicationClient(
             self.ssdm, host, port, state=self.replication,
-            write_guard=self._lock.writing, **kwargs
+            write_guard=self._write_mutex.writing, **kwargs
         )
         self._repl_client = client
         return client
@@ -418,6 +382,8 @@ class SSDMServer(socketserver.ThreadingTCPServer):
                     self._counters["timeouts"] += 1
                 elif code == "RESOURCE":
                     self._counters["resource_aborts"] += 1
+                elif code == "SNAPSHOT_GONE":
+                    self._counters["snapshot_gone"] += 1
                 else:
                     self._counters["errors"] += 1
             return _error_response(error)
@@ -461,10 +427,14 @@ class SSDMServer(socketserver.ThreadingTCPServer):
                 self._cost_cache.move_to_end(text)
                 return self._cost_cache[text]
         try:
-            plan, _ = self.ssdm.plan(text)
-            cost = float(
-                estimate_plan_cost(plan, self.ssdm.dataset.graph(None))
-            )
+            # price against a pinned snapshot: planning reads graph
+            # statistics, which must not race a concurrent writer's
+            # overlay mutation
+            with self.ssdm._read_snapshot():
+                plan, _ = self.ssdm.plan(text)
+                cost = float(
+                    estimate_plan_cost(plan, self.ssdm.dataset.graph(None))
+                )
         except Exception:
             cost = None
         with self._admission:
@@ -504,7 +474,9 @@ class SSDMServer(socketserver.ThreadingTCPServer):
             self._check_read_barrier(request)
         if op == "explain":
             from repro.client.results_format import explain_payload
-            with self._lock.reading(deadline):
+            # lock-free: planning reads a pinned snapshot, so it
+            # neither blocks on nor races a concurrent writer
+            with self.ssdm._read_snapshot():
                 payload = explain_payload(
                     self.ssdm, text,
                     objectlog=bool(request.get("objectlog")),
@@ -515,24 +487,30 @@ class SSDMServer(socketserver.ThreadingTCPServer):
             store = self.ssdm.array_store
             if store is None:
                 return {"ok": True, "report": None}
-            # repair moves chunks aside, so it takes the write lock;
-            # a plain verify only reads and can overlap with queries
+            # repair moves chunks aside, so it serializes with other
+            # mutators; a plain verify only reads and runs lock-free
             repair = bool(request.get("repair"))
-            guard = (
-                self._lock.writing(deadline) if repair
-                else self._lock.reading(deadline)
-            )
-            with guard:
-                report = store.repair() if repair else store.verify()
+            if repair:
+                with self._write_mutex.writing(deadline):
+                    report = store.repair()
+            else:
+                report = store.verify()
             return {"ok": True, "report": report}
-        # queries share the graph read-only and may overlap — the buffer
-        # pool deduplicates their chunk fetches; updates run exclusively
-        guard = (
-            self._lock.writing(deadline) if op == "update"
-            else self._lock.reading(deadline)
-        )
-        with guard:
-            result = self.ssdm.execute(text)
+        if op == "update":
+            # the single-writer mutex: updates serialize against each
+            # other (and replication applies); snapshot readers never
+            # wait here
+            with self._write_mutex.writing(deadline):
+                result = self.ssdm.execute(text)
+        else:
+            # lock-free read: execute() pins an immutable MVCC snapshot
+            # at admission; at_seq requests the exact published version
+            # at a WAL sequence (LAGGING if ahead, SNAPSHOT_GONE if
+            # evicted from the retention window)
+            at_seq = request.get("at_seq")
+            result = self.ssdm.execute(
+                text, at_seq=None if at_seq is None else int(at_seq)
+            )
         if op == "update":
             response = {"ok": True, "result": result,
                         "epoch": self.replication.snapshot()["epoch"]}
@@ -542,8 +520,8 @@ class SSDMServer(socketserver.ThreadingTCPServer):
                 response["seq"] = self.ssdm.journal.last_seq
             return response
         # serialization stays under the deadline (it may resolve array
-        # proxies) but outside the lock, so slow transfers don't block
-        # writers
+        # proxies); the snapshot was released by execute(), so a slow
+        # transfer retains no version memory
         if isinstance(result, QueryResult):
             return {
                 "ok": True,
@@ -587,8 +565,11 @@ class SSDMServer(socketserver.ThreadingTCPServer):
         min_seq = request.get("min_seq")
         if not min_seq:
             return
-        journal = self.ssdm.journal
-        applied = journal.last_seq if journal is not None else 0
+        # the barrier is against the *published* MVCC seq, not the raw
+        # journal tail: a record appended but not yet published is not
+        # visible to a snapshot read, so answering from last_seq alone
+        # could satisfy the barrier without satisfying the read
+        applied = self.ssdm.dataset.published_seq
         if applied < int(min_seq):
             raise ReplicaLaggingError(
                 "read barrier min_seq=%d not reached: this node has "
@@ -872,7 +853,7 @@ class SSDMClient:
         return response
 
     def query(self, text, timeout_ms=None, min_seq=None,
-              read_your_writes=False, priority=None):
+              read_your_writes=False, priority=None, at_seq=None):
         """Run a SELECT/ASK; returns QueryResult or bool.
 
         ``timeout_ms`` bounds the server-side execution; expiry raises
@@ -880,16 +861,22 @@ class SSDMClient:
         (or ``read_your_writes=True``, which uses the seq of this
         client's last acknowledged update) installs a read barrier: a
         replica that has not applied that WAL position answers
-        ``LAGGING`` (retryable — it is catching up).  ``priority``
-        routes the request into the server's ``"interactive"``
-        (default) or ``"batch"`` admission lane; batch is shed first
-        under overload.
+        ``LAGGING`` (retryable — it is catching up).  ``at_seq`` asks
+        for the *exact* MVCC version published at that WAL sequence: a
+        seq the node has not reached answers ``LAGGING``, one that
+        fell out of the bounded retention window answers
+        ``SNAPSHOT_GONE`` (non-retryable — re-issue without ``at_seq``
+        for the freshest version).  ``priority`` routes the request
+        into the server's ``"interactive"`` (default) or ``"batch"``
+        admission lane; batch is shed first under overload.
         """
         request = _request("query", text, timeout_ms)
         if read_your_writes:
             min_seq = max(min_seq or 0, self.last_write_seq)
         if min_seq:
             request["min_seq"] = int(min_seq)
+        if at_seq is not None:
+            request["at_seq"] = int(at_seq)
         if priority is not None:
             request["priority"] = priority
         response = self._call(request)

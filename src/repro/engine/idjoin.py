@@ -29,6 +29,7 @@ import numpy as np
 from repro.engine.bindings import Bindings
 from repro.governor import current_scope
 from repro.lifecycle import current_deadline
+from repro.rdf.graph import _ambient_version
 from repro.rdf.term import is_term
 from repro.sparql import ast
 
@@ -166,13 +167,22 @@ class IdBGPMatcher:
 
     def _join_ids(self, binding):
         graph = self._graph
-        graph._ensure_flushed()
-        dictionary = graph._dict
+        source = _ambient_version(graph)
+        if source is None:
+            # live read (single writer or embedded use): consolidating
+            # here is safe because no snapshot pins the current base
+            graph._ensure_flushed()
+            source = graph
+            encode = graph._dict.try_encode
+        else:
+            # MVCC read: never consolidate (the graph belongs to the
+            # writer) — the frozen version merges its own overlay
+            encode = source.try_encode
         fixed = {}
         for name in self._names:
             term = binding.get(name)
             if term is not None:
-                tid = dictionary.try_encode(term)
+                tid = encode(term)
                 if tid is None:
                     # the bound term occurs in no triple at all
                     return None
@@ -182,7 +192,7 @@ class IdBGPMatcher:
         nrows = 1
         for spec in self._specs:
             columns, nrows = self._apply_pattern(
-                spec, fixed, columns, nrows, dictionary, scope
+                spec, fixed, columns, nrows, source, encode, scope
             )
             if nrows == 0:
                 return None
@@ -190,10 +200,10 @@ class IdBGPMatcher:
                 scope.charge_rows(nrows, "idjoin")
                 scope.charge_bytes(nrows * max(1, len(columns)) * 8,
                                    "idjoin")
-        return columns, nrows
+        return columns, nrows, source
 
-    def _apply_pattern(self, spec, fixed, columns, nrows, dictionary,
-                       scope=None):
+    def _apply_pattern(self, spec, fixed, columns, nrows, source,
+                       encode, scope=None):
         scalars = [None, None, None]
         joins: List[Tuple[int, str]] = []
         free: List[Tuple[int, str]] = []
@@ -201,7 +211,7 @@ class IdBGPMatcher:
         duplicates: List[Tuple[int, int]] = []
         for position, (kind, payload) in enumerate(spec):
             if kind == _CONST:
-                tid = dictionary.try_encode(payload)
+                tid = encode(payload)
                 if tid is None:
                     return columns, 0
                 scalars[position] = tid
@@ -217,7 +227,7 @@ class IdBGPMatcher:
                 free.append((position, payload))
                 free_names.add(payload)
 
-        run_s, run_p, run_o, leading_free = self._graph._run_arrays(
+        run_s, run_p, run_o, leading_free = source._run_arrays(
             scalars[0], scalars[1], scalars[2]
         )
         run = (run_s, run_p, run_o)
@@ -301,13 +311,15 @@ class IdBGPMatcher:
     def _decode(self, binding, state):
         if state is None:
             return
-        columns, nrows = state
+        columns, nrows, source = state
         if not columns:
             # fully ground relative to the binding: at most one way
             for _ in range(nrows):
                 yield binding
             return
-        terms = self._graph._dict.term_list()
+        # decode through the same source the join read (a version's
+        # dictionary may be older than the graph's after compaction)
+        terms = source.term_list()
         keep = self._keep
         names = [
             name for name in columns if keep is None or name in keep

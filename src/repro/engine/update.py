@@ -8,6 +8,7 @@ queries, and all deletions/insertions are collected before being applied
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List
 
 from repro.arrays.proxy import ArrayProxy
@@ -45,22 +46,30 @@ def execute_update(engine, dataset, update, store_array=None, journal=None):
             (s, p, store_array(v) if store_array is not None else v)
             for s, p, v in _instantiate_all(update.triples, Bindings.EMPTY)
         ]
+        seq = None
         if journal is not None:
-            journal.log_update("insert", update.graph, insert=insertions,
-                               dictionary=_dictionary(dataset))
-        for triple in insertions:
-            graph.add(*triple)
+            seq = journal.log_update(
+                "insert", update.graph, insert=insertions,
+                dictionary=_dictionary(dataset),
+            )
+        with _writing(dataset, seq):
+            for triple in insertions:
+                graph.add(*triple)
         return len(insertions)
     if isinstance(update, ast.DeleteData):
         graph = dataset.graph(update.graph)
         deletions = _instantiate_all(update.triples, Bindings.EMPTY)
+        seq = None
         if journal is not None:
-            journal.log_update("delete", update.graph, delete=deletions)
+            seq = journal.log_update(
+                "delete", update.graph, delete=deletions
+            )
         count = 0
-        for triple in deletions:
-            if graph.remove(triple[0], triple[1], triple[2]):
-                _invalidate_array(triple[2])
-                count += 1
+        with _writing(dataset, seq):
+            for triple in deletions:
+                if graph.remove(triple[0], triple[1], triple[2]):
+                    _invalidate_array(triple[2])
+                    count += 1
         return count
     if isinstance(update, ast.Modify):
         graph = dataset.graph(update.graph)
@@ -81,42 +90,58 @@ def execute_update(engine, dataset, update, store_array=None, journal=None):
                     update.insert_template, solution, skip_unbound=True
                 )
             )
+        seq = None
         if journal is not None:
-            journal.log_update(
+            seq = journal.log_update(
                 "modify", update.graph,
                 insert=insertions, delete=deletions,
                 dictionary=_dictionary(dataset),
             )
         count = 0
-        for triple in deletions:
-            if graph.remove(*triple):
-                _invalidate_array(triple[2])
+        with _writing(dataset, seq):
+            for triple in deletions:
+                if graph.remove(*triple):
+                    _invalidate_array(triple[2])
+                    count += 1
+            for triple in insertions:
+                graph.add(*triple)
                 count += 1
-        for triple in insertions:
-            graph.add(*triple)
-            count += 1
         return count
     if isinstance(update, ast.ClearGraph):
         if update.graph == "ALL":
+            seq = None
             if journal is not None:
-                journal.log_update("clear", "ALL")
+                seq = journal.log_update("clear", "ALL")
             count = len(dataset)
-            for graph in [dataset.default_graph] + list(
-                dataset.named_graphs().values()
-            ):
-                _invalidate_graph_arrays(graph)
-                graph.clear()
+            with _writing(dataset, seq):
+                for graph in [dataset.default_graph] + list(
+                    dataset.named_graphs().values()
+                ):
+                    _invalidate_graph_arrays(graph)
+                    graph.clear()
             return count
         graph = dataset.graph(update.graph, create=False)
         if graph is None:
             return 0
+        seq = None
         if journal is not None:
-            journal.log_update("clear", update.graph)
+            seq = journal.log_update("clear", update.graph)
         count = len(graph)
-        _invalidate_graph_arrays(graph)
-        graph.clear()
+        with _writing(dataset, seq):
+            _invalidate_graph_arrays(graph)
+            graph.clear()
         return count
     raise QueryError("unsupported update %r" % (update,))
+
+
+def _writing(dataset, seq):
+    """The dataset's write-record scope: marks the mutation in flight
+    and publishes an MVCC version stamped with the WAL ``seq`` on exit
+    (datasets without MVCC support are a no-op)."""
+    writing = getattr(dataset, "writing", None)
+    if writing is None:
+        return nullcontext()
+    return writing(seq)
 
 
 def _dictionary(dataset):

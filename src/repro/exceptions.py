@@ -212,6 +212,22 @@ class ReplicaLaggingError(SciSparqlError):
     retryable = True
 
 
+class SnapshotGoneError(SciSparqlError):
+    """The MVCC snapshot this read was pinned to has been reclaimed.
+
+    The snapshot manager bounds how many versions stay retained; when a
+    long-running reader outlives the retention window (or an exact
+    ``at_seq`` read asks for a version that is no longer retained), the
+    read fails with this typed error instead of silently observing a
+    newer graph state.  Deliberately non-retryable: re-running the same
+    request acquires a *fresh* snapshot at the current seq, which is a
+    semantic choice the caller must make, not a transparent retry.
+    """
+
+    code = "SNAPSHOT_GONE"
+    retryable = False
+
+
 # -- wire-protocol error code mapping ------------------------------------------------
 
 _CODE_CLASSES = {
@@ -227,6 +243,7 @@ _CODE_CLASSES = {
     "READONLY": ReadOnlyError,
     "FENCED": FencedError,
     "LAGGING": ReplicaLaggingError,
+    "SNAPSHOT_GONE": SnapshotGoneError,
 }
 
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from contextlib import contextmanager
 from typing import Optional
 
@@ -178,6 +179,10 @@ class ResourceGovernor:
         self._lock = threading.Lock()
         self._active = set()
         self._forced_pressure = 0.0
+        #: Weak refs to objects with a ``retained_bytes()`` method (the
+        #: MVCC snapshot managers of served SSDMs): memory pinned by
+        #: retained versions counts toward the pressure signal.
+        self._retained_sources = []
         self._counters = {
             "queries": 0,
             "resource_aborts": 0,
@@ -222,11 +227,36 @@ class ResourceGovernor:
         with self._lock:
             self._forced_pressure = float(value or 0.0)
 
+    def add_retained_source(self, source):
+        """Count ``source.retained_bytes()`` toward the pressure signal.
+
+        Held weakly: a garbage-collected source silently drops out, so
+        short-lived test servers cannot accumulate into a leak.
+        """
+        with self._lock:
+            self._retained_sources = [
+                ref for ref in self._retained_sources if ref() is not None
+            ]
+            if not any(ref() is source for ref in self._retained_sources):
+                self._retained_sources.append(weakref.ref(source))
+
+    def retained_bytes(self):
+        """Bytes pinned by registered MVCC retained versions."""
+        with self._lock:
+            sources = [ref() for ref in self._retained_sources]
+        # call outside the governor lock: a source has its own lock and
+        # lock-order inversion here would be an invisible deadlock trap
+        return sum(
+            int(source.retained_bytes())
+            for source in sources if source is not None
+        )
+
     def pressure(self):
         """Max of forced pressure and charged-bytes / capacity, in [0, ~]."""
         with self._lock:
             forced = self._forced_pressure
             used = sum(s.bytes for s in self._active)
+        used += self.retained_bytes()
         return max(forced, used / float(self.capacity_bytes))
 
     def under_pressure(self):
@@ -264,6 +294,7 @@ class ResourceGovernor:
             "active_scopes": active,
             "charged_rows": charged_rows,
             "charged_bytes": charged_bytes,
+            "retained_bytes": self.retained_bytes(),
             "pressure": round(self.pressure(), 4),
             "under_pressure": self.under_pressure(),
             "max_query_rows": self.max_query_rows,

@@ -2,14 +2,23 @@
 
 SPARQL queries address the default graph unless a ``GRAPH`` pattern or
 ``FROM NAMED`` clause selects a named graph (dissertation section 3.3.4).
+
+The dataset is also the MVCC publication point: the single writer calls
+:meth:`Dataset.publish` at every WAL-record boundary to install an
+immutable :class:`~repro.mvcc.DatasetVersion` (per-graph frozen states,
+stamped with the WAL seq) with one reference assignment, and lock-free
+readers pick it up through :meth:`Dataset.capture`.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro.mvcc import DatasetVersion
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.term import URI
@@ -32,6 +41,17 @@ class Dataset:
         self.term_dictionary = TermDictionary()
         self.default_graph = Graph(dictionary=self.term_dictionary)
         self._named: Dict[URI, Graph] = {}
+        #: Last published immutable version (readers load this with a
+        #: single attribute read — publication is GIL-atomic).
+        self._published: Optional[DatasetVersion] = None
+        self._publish_lock = threading.Lock()
+        self._write_active = False
+        self._auto_seq = 0
+        #: Optional :class:`~repro.mvcc.SnapshotManager` notified at
+        #: every publish (set by SSDM).
+        self.snapshots = None
+        #: Optional fault plan propagated to member graphs.
+        self.faults = None
 
     def graph(self, name=None, create=True):
         """Return the graph with the given name (None = default graph).
@@ -48,6 +68,7 @@ class Dataset:
             existing = self._named[name] = Graph(
                 name=name, dictionary=self.term_dictionary
             )
+            existing.faults = self.faults
         return existing
 
     def named_graphs(self):
@@ -70,6 +91,115 @@ class Dataset:
             len(g) for g in self._named.values()
         )
 
+    def set_faults(self, plan):
+        """Install a fault plan on the dataset and every member graph."""
+        self.faults = plan
+        self.default_graph.faults = plan
+        for graph in self._named.values():
+            graph.faults = plan
+
+    # -- MVCC publication ----------------------------------------------------
+
+    def _graphs(self):
+        return (self.default_graph, *self._named.values())
+
+    def _stamp(self):
+        """Cheap change detector over every graph and the dictionary.
+
+        Foreign graph implementations mounted as named graphs (SQL
+        views, hash oracles) carry no mutation counter; they are not
+        versioned either (see :meth:`publish`), so their changes need
+        not invalidate the published version.
+        """
+        return (
+            len(self._named),
+            len(self.term_dictionary),
+            sum(getattr(g, "_mutations", 0) for g in self._graphs()),
+        )
+
+    def publish(self, seq=None):
+        """Install the current state as the published version.
+
+        Must run on the single writer thread (or under the publish lock
+        when no writer is active).  ``seq`` is the WAL seq whose effects
+        the version contains; None auto-increments past the last
+        published seq (embedded, non-journaled mutation).  Freezing an
+        unchanged graph reuses its cached version, so read-mostly
+        publishes are O(#graphs).
+        """
+        if seq is None:
+            previous = self._published
+            base = previous.seq if previous is not None else 0
+            self._auto_seq = max(self._auto_seq, base) + 1
+            seq = self._auto_seq
+        entries = {}
+        for graph in self._graphs():
+            freeze = getattr(graph, "freeze", None)
+            if freeze is None:
+                # a foreign graph implementation (SQL view, oracle)
+                # cannot be frozen: snapshots read it live
+                continue
+            entries[id(graph)] = (graph, freeze())
+        version = DatasetVersion(seq, entries, self._stamp())
+        faults = self.faults
+        if faults is not None:
+            faults.at_point("publish")
+        self._published = version
+        manager = self.snapshots
+        if manager is not None:
+            manager.note_published(version)
+        return version
+
+    def capture(self):
+        """The version a new reader should pin — always a consistent
+        WAL-record-boundary state, without blocking any writer.
+
+        When the published version is stale and a writer is mid-record,
+        readers get the last published version (the state before the
+        in-flight record) straight off the fast path.  When it is stale
+        with *no* writer active (embedded direct loads), the state is
+        published on demand under the publish lock, which writers only
+        hold for the flip/publish instants — never for the record body.
+        """
+        published = self._published
+        if published is not None and (
+            self._write_active or published.stamp == self._stamp()
+        ):
+            return published
+        with self._publish_lock:
+            published = self._published
+            if self._write_active and published is not None:
+                return published
+            if published is None or published.stamp != self._stamp():
+                published = self.publish()
+            return published
+
+    @property
+    def published_seq(self):
+        """Seq of the last published version (0 before any publish)."""
+        published = self._published
+        return published.seq if published is not None else 0
+
+    @contextmanager
+    def writing(self, seq):
+        """Mark one WAL record's mutations; publishes on exit.
+
+        While active, :meth:`capture` serves the pre-record version
+        instead of publishing half-applied state.  The publish lock is
+        held only while flipping the flag and while publishing, so the
+        record body itself never blocks readers.
+        """
+        with self._publish_lock:
+            self._write_active = True
+        try:
+            yield
+        finally:
+            with self._publish_lock:
+                try:
+                    self.publish(seq)
+                finally:
+                    self._write_active = False
+
     def compact_dictionary(self, fresh: TermDictionary):
         """Swap in a compacted dictionary, remapping every graph.
 
@@ -84,6 +214,6 @@ class Dataset:
         mapping = np.full(max(len(old), 1), -1, dtype=np.int64)
         for new_id, term in enumerate(fresh.term_list()):
             mapping[old.try_encode(term)] = new_id
-        for graph in (self.default_graph, *self._named.values()):
+        for graph in self._graphs():
             graph._remap_ids(mapping, fresh)
         self.term_dictionary = fresh

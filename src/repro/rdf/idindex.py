@@ -57,14 +57,21 @@ class PermutationIndex:
         return self.c0.nbytes + self.c1.nbytes + self.c2.nbytes
 
     # -- maintenance --------------------------------------------------------------
+    #
+    # Maintenance NEVER mutates the column arrays of a published index
+    # in place: :meth:`merged` and :meth:`remapped` build a brand-new
+    # instance that the owning Graph swaps in with a single reference
+    # assignment (publish-then-swap).  A concurrent reader that picked
+    # up the old instance mid-``run_bounds`` keeps seeing a fully
+    # consistent sorted base — the race that an in-place merge under a
+    # global lock used to mask.
 
-    def merge(self, add_rows, delete_mask=None):
-        """Merge a batch into the sorted base in one vectorized pass.
+    def merged(self, add_rows, delete_mask=None):
+        """A NEW index: the kept base rows plus a batch, re-sorted.
 
         ``add_rows`` is an ``(m, 3)`` array in **logical SPO** order (may
         be empty); ``delete_mask`` a boolean keep-mask over the current
-        base (True = keep).  The new base is the kept rows plus the
-        added rows, re-sorted lexicographically.
+        base (True = keep).  ``self`` is left untouched.
         """
         p0, p1, p2 = self.perm
         c0, c1, c2 = self.c0, self.c1, self.c2
@@ -81,22 +88,37 @@ class PermutationIndex:
             c0 = np.ascontiguousarray(c0[order])
             c1 = np.ascontiguousarray(c1[order])
             c2 = np.ascontiguousarray(c2[order])
-        self.c0, self.c1, self.c2 = c0, c1, c2
+        fresh = PermutationIndex(self.perm)
+        fresh.c0, fresh.c1, fresh.c2 = c0, c1, c2
+        return fresh
+
+    def merge(self, add_rows, delete_mask=None):
+        """In-place variant of :meth:`merged` (single-owner indexes only)."""
+        fresh = self.merged(add_rows, delete_mask)
+        self.c0, self.c1, self.c2 = fresh.c0, fresh.c1, fresh.c2
+
+    def remapped(self, mapping):
+        """A NEW index with every ID rewritten through ``mapping``.
+
+        Used by dictionary compaction: ``mapping[old_id] -> new_id``;
+        ``self`` (possibly pinned by a snapshot) is left untouched.
+        """
+        fresh = PermutationIndex(self.perm)
+        if not len(self.c0):
+            return fresh
+        c0 = mapping[self.c0]
+        c1 = mapping[self.c1]
+        c2 = mapping[self.c2]
+        order = np.lexsort((c2, c1, c0))
+        fresh.c0 = np.ascontiguousarray(c0[order])
+        fresh.c1 = np.ascontiguousarray(c1[order])
+        fresh.c2 = np.ascontiguousarray(c2[order])
+        return fresh
 
     def remap(self, mapping):
-        """Rewrite every ID through ``mapping`` and re-sort.
-
-        Used by dictionary compaction: ``mapping[old_id] -> new_id``.
-        """
-        if not len(self.c0):
-            return
-        self.c0 = mapping[self.c0]
-        self.c1 = mapping[self.c1]
-        self.c2 = mapping[self.c2]
-        order = np.lexsort((self.c2, self.c1, self.c0))
-        self.c0 = np.ascontiguousarray(self.c0[order])
-        self.c1 = np.ascontiguousarray(self.c1[order])
-        self.c2 = np.ascontiguousarray(self.c2[order])
+        """In-place variant of :meth:`remapped` (single-owner indexes only)."""
+        fresh = self.remapped(mapping)
+        self.c0, self.c1, self.c2 = fresh.c0, fresh.c1, fresh.c2
 
     # -- lookups ------------------------------------------------------------------
 

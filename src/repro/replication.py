@@ -149,8 +149,9 @@ class ReplicationClient:
     node's :class:`~repro.client.SSDMServer` when there is one, so the
     served ``health``/``promote`` ops and the tailing loop agree on the
     epoch).  ``write_guard`` is a callable returning a context manager
-    that serializes dataset mutation against concurrent readers — the
-    server passes its write lock; standalone use defaults to a no-op.
+    that serializes dataset mutation against other mutators — the
+    server passes its single-writer mutex (MVCC snapshot readers never
+    take it); standalone use defaults to a no-op.
 
     Use :meth:`poll_once` for deterministic tests and :meth:`start` for
     a background tailing thread.  ``faults`` threads a
@@ -328,7 +329,10 @@ class ReplicationClient:
                 # crash mid-apply recovers to a consistent state.
                 with registry.timer("replication_apply_seconds"):
                     journal.append_replicated(seq, data)
-                    journal.apply_record(self.ssdm.dataset, data)
+                    # the upstream seq stamps the MVCC version this
+                    # record publishes, so at_seq reads on the replica
+                    # line up with the primary's WAL positions
+                    journal.apply_record(self.ssdm.dataset, data, seq)
                 applied += 1
         if applied:
             registry.inc("replication_records_applied_total", applied)
@@ -361,6 +365,12 @@ class ReplicationClient:
                 # streamed dict record non-dense (CorruptionError)
                 dictionary.clear()
             self.ssdm.journal.reset()
+            publish = getattr(dataset, "publish", None)
+            if publish is not None:
+                # publish the emptied dataset at seq 0: the seq
+                # *regression* tells the snapshot manager to invalidate
+                # every snapshot pinned on the abandoned history
+                publish(0)
         self.resyncs += 1
 
     # -- background tailing ------------------------------------------------------
@@ -558,15 +568,21 @@ class ReplicaSetClient:
     # -- reads -------------------------------------------------------------------
 
     def query(self, text, timeout_ms=None, min_seq=None,
-              read_your_writes=False, priority=None):
+              read_your_writes=False, priority=None, at_seq=None):
         """Run a read on a live replica (or the primary as fallback).
 
         ``min_seq`` / ``read_your_writes`` install a read barrier: a
         node whose applied WAL sequence is behind answers ``LAGGING``
-        and the read fails over to a caught-up node.  ``priority``
-        (``"interactive"`` / ``"batch"``) is forwarded to the server's
-        admission queue.  Endpoints whose circuit breaker is open are
-        skipped (see the class docstring).
+        and the read fails over to a caught-up node.  ``at_seq`` asks
+        for the exact MVCC version at a WAL sequence instead of "at
+        least": a node that has applied *past* it still serves the
+        retained version, so read-your-writes via ``at_seq`` does not
+        bounce off nodes that moved ahead — only a node that has not
+        reached the seq answers ``LAGGING``, and a version evicted
+        from retention answers ``SNAPSHOT_GONE`` (non-retryable).
+        ``priority`` (``"interactive"`` / ``"batch"``) is forwarded to
+        the server's admission queue.  Endpoints whose circuit breaker
+        is open are skipped (see the class docstring).
         """
         if read_your_writes:
             min_seq = max(min_seq or 0, self.last_write_seq)
@@ -593,7 +609,7 @@ class ReplicaSetClient:
                 try:
                     result = client.query(
                         text, timeout_ms=timeout_ms, min_seq=min_seq,
-                        priority=priority,
+                        priority=priority, at_seq=at_seq,
                     )
                 except (ConnectionClosedError, OSError) as error:
                     breaker.on_failure()
@@ -752,7 +768,7 @@ def start_replica(path, upstream_host, upstream_port, host="127.0.0.1",
     failover tests: ``SSDM.open(path)`` (recovering any previous log),
     an :class:`~repro.client.SSDMServer` in the ``replica`` role, and a
     started :class:`ReplicationClient` tailing the upstream primary
-    under the server's write lock.  Returns ``(ssdm, server, tail)``.
+    under the server's write mutex.  Returns ``(ssdm, server, tail)``.
     """
     from repro.client.server import SSDMServer
     from repro.ssdm import SSDM

@@ -16,11 +16,15 @@ with optional external array storage behind the ASEI.  Typical use::
 
 from __future__ import annotations
 
+from contextlib import contextmanager, nullcontext
 from typing import Dict, List, Optional
 
 from repro.arrays.nma import NumericArray
 from repro.arrays.proxy import ArrayProxy
-from repro.exceptions import QueryError, SciSparqlError
+from repro.exceptions import (
+    QueryError, ReplicaLaggingError, SciSparqlError, SnapshotGoneError,
+)
+from repro.mvcc import SnapshotManager, current_snapshot, snapshot_scope
 from repro.rdf.dataset import Dataset
 from repro.rdf.graph import Graph
 from repro.rdf.term import BlankNode, Literal, URI
@@ -134,6 +138,14 @@ class SSDM:
         #: request, but ``last_trace`` holds whichever finished last).
         self.last_trace = None
         self.prefixes: Dict[str, str] = {}
+        #: MVCC snapshot registry: every read statement pins an
+        #: immutable dataset version at its admission seq, so reads
+        #: never block behind (or observe half of) an update.
+        self.mvcc = SnapshotManager()
+        self.dataset.snapshots = self.mvcc
+        # prime the published version so concurrent readers always
+        # have a consistent state to pin, even before the first write
+        self.dataset.publish(0)
 
     @classmethod
     def open(cls, path, array_store=None, faults=None, fsync=True,
@@ -162,6 +174,8 @@ class SSDM:
         instance = cls(
             array_store=array_store, journal=journal, **kwargs
         )
+        if faults is not None:
+            instance.dataset.set_faults(faults)
         journal.replay(instance.dataset)
         return instance
 
@@ -262,7 +276,18 @@ class SSDM:
                 self.governor.snapshot()
                 if self.governor is not None else None
             ),
+            "mvcc": self._mvcc_stats(),
         }
+
+    def _mvcc_stats(self):
+        """Snapshot-isolation counters for the ``stats`` surface."""
+        block = self.mvcc.stats()
+        block["published_seq"] = self.dataset.published_seq
+        consolidations = self.dataset.default_graph._flushes
+        for graph in self.dataset.named_graphs().values():
+            consolidations += graph._flushes
+        block["consolidations"] = int(consolidations)
+        return block
 
     @property
     def graph(self):
@@ -383,7 +408,8 @@ class SSDM:
             text_out = "\n".join(lines)
         return text_out
 
-    def execute(self, text, bindings=None, deadline=None, timeout=None):
+    def execute(self, text, bindings=None, deadline=None, timeout=None,
+                at_seq=None):
         """Parse and execute any SciSPARQL statement.
 
         Returns a :class:`QueryResult` for SELECT, ``bool`` for ASK, a
@@ -396,33 +422,44 @@ class SSDM:
         :class:`~repro.exceptions.RequestTimeoutError` once it expires.
         Without either, an ambient deadline installed by a caller (the
         SSDM server installs one per request) still applies.
+
+        ``at_seq`` pins a read statement to the *exact* MVCC version
+        published at that WAL seq: ahead of the applied state raises
+        :class:`~repro.exceptions.ReplicaLaggingError` (retryable —
+        the replica is catching up), behind the retention window raises
+        :class:`~repro.exceptions.SnapshotGoneError`.  Without it,
+        reads pin the latest published version at admission.
         """
         if deadline is None and timeout is not None:
             deadline = Deadline(timeout)
         if deadline is not None:
             with deadline_scope(deadline):
                 deadline.check()
-                return self._execute_traced(text, bindings)
-        return self._execute_traced(text, bindings)
+                return self._execute_traced(text, bindings, at_seq)
+        return self._execute_traced(text, bindings, at_seq)
 
-    def _execute_traced(self, text, bindings):
+    def _execute_traced(self, text, bindings, at_seq=None):
         """Run one statement under a fresh ambient QueryTrace."""
         with obs.trace_query(text) as trace:
             if trace is not None:
                 self.last_trace = trace
-            return self._execute(text, bindings)
+            return self._execute(text, bindings, at_seq)
 
-    def _execute(self, text, bindings=None):
+    def _execute(self, text, bindings=None, at_seq=None):
         with obs.span("parse"):
             statement = self.parse(text)
-        if isinstance(statement, ast.SelectQuery):
-            return self._run_select(statement, bindings)
-        if isinstance(statement, ast.AskQuery):
-            return self._run_ask(statement, bindings)
-        if isinstance(statement, ast.ConstructQuery):
-            return self._run_construct(statement, bindings)
-        if isinstance(statement, ast.DescribeQuery):
-            return self._run_describe(statement, bindings)
+        if isinstance(statement, (ast.SelectQuery, ast.AskQuery,
+                                  ast.ConstructQuery, ast.DescribeQuery)):
+            with self._read_snapshot(at_seq):
+                if isinstance(statement, ast.SelectQuery):
+                    return self._run_select(statement, bindings)
+                if isinstance(statement, ast.AskQuery):
+                    return self._run_ask(statement, bindings)
+                if isinstance(statement, ast.ConstructQuery):
+                    return self._run_construct(statement, bindings)
+                return self._run_describe(statement, bindings)
+        if at_seq is not None:
+            raise QueryError("at_seq applies to read statements only")
         if isinstance(statement, ast.FunctionDefinition):
             return self.functions.define(
                 statement.name, statement.params, statement.body
@@ -436,6 +473,41 @@ class SSDM:
                     journal=self.journal,
                 )
         raise QueryError("cannot execute %r" % (statement,))
+
+    @contextmanager
+    def _read_snapshot(self, at_seq=None):
+        """Pin one read statement to an immutable dataset version.
+
+        Installs the ambient snapshot the graph read paths route
+        through; a nested execute (user-defined functions issuing
+        sub-queries) inherits the outer snapshot so one statement
+        never mixes two versions.
+        """
+        if current_snapshot() is not None and at_seq is None:
+            yield None
+            return
+        version = self._resolve_version(at_seq)
+        with self.mvcc.reading(version) as snapshot:
+            with snapshot_scope(snapshot):
+                yield snapshot
+
+    def _resolve_version(self, at_seq):
+        dataset = self.dataset
+        current = dataset.capture()
+        if at_seq is None or at_seq == current.seq:
+            return current
+        if at_seq > current.seq:
+            raise ReplicaLaggingError(
+                "requested seq %d is ahead of applied seq %d"
+                % (at_seq, current.seq)
+            )
+        retained = self.mvcc.retained(at_seq)
+        if retained is None:
+            raise SnapshotGoneError(
+                "version at seq %d is no longer retained "
+                "(applied seq is %d)" % (at_seq, current.seq)
+            )
+        return retained
 
     def select(self, text, bindings=None):
         result = self.execute(text, bindings)

@@ -658,16 +658,22 @@ class DatasetJournal:
             )
         return self.wal.append(payload)
 
-    def apply_record(self, dataset, payload):
+    def apply_record(self, dataset, payload, seq=None):
         """Apply one journal record (local or streamed) to ``dataset``.
 
         The single replay path shared by crash recovery and
         replication: deltas decode through the N-Triples codec, deleted
         or cleared array values drop their buffer-pool entries, and the
         mutation happens triple-by-triple exactly as the original
-        update logged it.
+        update logged it.  ``seq`` stamps the MVCC version published at
+        the record boundary (so replica reads see exact-seq snapshots).
         """
-        self._apply(dataset, payload)
+        writing = getattr(dataset, "writing", None)
+        if writing is None:
+            self._apply(dataset, payload)
+            return
+        with writing(seq if seq is not None else self.last_seq):
+            self._apply(dataset, payload)
 
     def reset(self):
         """Empty the journal (follower full resync)."""
@@ -687,6 +693,11 @@ class DatasetJournal:
             self._apply(dataset, payload)
             count += 1
         self.records_replayed += count
+        # one version for the whole recovered state (per-record
+        # publication during replay would only churn retired overlays)
+        publish = getattr(dataset, "publish", None)
+        if publish is not None:
+            publish(self.last_seq)
         return count
 
     def _apply(self, dataset, payload):
@@ -786,6 +797,12 @@ class DatasetJournal:
         compact = getattr(dataset, "compact_dictionary", None)
         if compact is not None:
             compact(scratch)
+        # the WAL seq just regressed (the rewritten log restarts at 1);
+        # publishing here lets the snapshot manager invalidate every
+        # live snapshot whose version belongs to the old history
+        publish = getattr(dataset, "publish", None)
+        if publish is not None:
+            publish(last_seq)
         self.snapshots_taken += 1
         return last_seq
 

@@ -94,6 +94,7 @@ class FaultPlan:
     def __init__(self, read_latency=0.0, write_latency=0.0,
                  error_every=0, error_rate=0.0, seed=0x5EED,
                  crash_after_wal=False, crash_before_wal=False,
+                 crash_points=(), point_delays=None,
                  torn_write=0, bit_flip_rate=0.0, memory_pressure=None):
         self.read_latency = float(read_latency)
         self.write_latency = float(write_latency)
@@ -101,6 +102,16 @@ class FaultPlan:
         self.error_rate = float(error_rate)
         self.crash_after_wal = bool(crash_after_wal)
         self.crash_before_wal = bool(crash_before_wal)
+        #: Named update-path points that crash when reached (see
+        #: :meth:`crash_point`): beyond the legacy WAL booleans, the
+        #: MVCC write path wires ``consolidate`` (inside index
+        #: consolidation, before the publish-then-swap) and ``publish``
+        #: (before a dataset version is installed).
+        self.crash_points = set(crash_points)
+        #: ``point name -> seconds`` cooperative delay applied whenever
+        #: the point is reached (before any armed crash fires), so races
+        #: around consolidation/publication windows widen on demand.
+        self.point_delays = dict(point_delays or {})
         #: 1-based index of the durable write whose payload is torn
         #: (0 = disabled); a crash follows the truncated write.
         self.torn_write = int(torn_write)
@@ -169,18 +180,35 @@ class FaultPlan:
         """Simulate process death at a named point of the update path.
 
         Points currently wired: ``before_wal`` (before the journal
-        record is appended) and ``after_wal`` (record durable, mutation
-        not yet applied).
+        record is appended), ``after_wal`` (record durable, mutation
+        not yet applied), ``consolidate`` (inside pending-delta
+        consolidation, before new indexes are swapped in) and
+        ``publish`` (before a dataset version is installed).  The
+        legacy booleans arm the WAL points; any name listed in
+        ``crash_points`` is armed as well.
         """
         armed = (
             (name == "after_wal" and self.crash_after_wal)
             or (name == "before_wal" and self.crash_before_wal)
+            or name in self.crash_points
         )
         if armed:
             with self._lock:
                 self.crashes += 1
             obs.event("fault_injected", kind="crash", point=name)
             raise SimulatedCrash("injected crash at %s" % name)
+
+    def at_point(self, name):
+        """Latency-then-crash hook for one named update-path point.
+
+        Applies the point's configured cooperative delay first (so
+        tests can hold a writer inside a consolidation or publication
+        window while readers run), then fires :meth:`crash_point`.
+        """
+        delay = self.point_delays.get(name, 0.0)
+        if delay:
+            self._sleep(delay)
+        self.crash_point(name)
 
     def mangle_write(self, payload):
         """Apply torn-write injection to one durable write payload.

@@ -1,5 +1,10 @@
 """Request-lifecycle unit tests: deadlines, cancellation, fault
-injection, the writer-fair server lock, and the error taxonomy."""
+injection, the single-writer mutex, and the error taxonomy.
+
+(The old writer-fair read/write lock and its starvation tests are
+gone: MVCC snapshot reads — see ``tests/test_mvcc.py`` — removed
+readers from the locking picture entirely, so the only lock left to
+test is mutual exclusion between mutators.)"""
 
 import threading
 import time
@@ -7,7 +12,7 @@ import time
 import pytest
 
 from repro import SSDM
-from repro.client.server import _ReadWriteLock
+from repro.client.server import _WriteMutex
 from repro.exceptions import (
     ConnectionClosedError,
     EvaluationError,
@@ -199,76 +204,46 @@ class TestFaultPlan:
             store.get_chunk(proxy.array_id, 0)
 
 
-class TestWriterFairLock:
-    def test_queued_writer_blocks_new_readers(self):
-        lock = _ReadWriteLock()
-        assert lock.acquire_read(0.1)
-        outcome = {}
+class TestWriteMutex:
+    def test_exclusive_between_mutators(self):
+        mutex = _WriteMutex()
+        order = []
+        with mutex.writing():
+            def second():
+                with mutex.writing(Deadline(5.0)):
+                    order.append("second")
 
-        def writer():
-            outcome["acquired"] = lock.acquire_write(5.0)
-
-        thread = threading.Thread(target=writer)
-        thread.start()
-        for _ in range(100):              # wait for the writer to queue
-            if lock._writers_waiting:
-                break
-            time.sleep(0.01)
-        assert lock._writers_waiting == 1
-        # a NEW reader must now be held back: this is the fairness fix —
-        # the old lock admitted it and starved the writer indefinitely
-        assert lock.acquire_read(0.15) is False
-        lock.release_read()               # drain the pre-queued reader
-        thread.join(5.0)
-        assert outcome["acquired"] is True
-        lock.release_write()
-        assert lock.acquire_read(0.5)     # readers resume afterwards
-        lock.release_read()
-
-    def test_writer_timeout_unblocks_readers(self):
-        lock = _ReadWriteLock()
-        assert lock.acquire_read(0.1)
-        # writer gives up while a reader is inside
-        assert lock.acquire_write(0.05) is False
-        # its departure must re-admit new readers
-        assert lock.acquire_read(0.5)
-        lock.release_read()
-        lock.release_read()
-
-    def test_update_not_starved_by_query_stream(self):
-        """Regression: continuous overlapping readers + one writer."""
-        lock = _ReadWriteLock()
-        stop = threading.Event()
-
-        def reader():
-            while not stop.is_set():
-                if lock.acquire_read(0.1):
-                    time.sleep(0.002)
-                    lock.release_read()
-
-        readers = [threading.Thread(target=reader) for _ in range(3)]
-        for thread in readers:
+            thread = threading.Thread(target=second)
             thread.start()
-        time.sleep(0.05)                  # readers are streaming
-        started = time.monotonic()
-        acquired = lock.acquire_write(5.0)
-        elapsed = time.monotonic() - started
-        if acquired:
-            lock.release_write()
-        stop.set()
-        for thread in readers:
-            thread.join(2.0)
-        assert acquired, "writer starved by continuous readers"
-        assert elapsed < 2.0
+            time.sleep(0.05)
+            order.append("first")
+        thread.join(5.0)
+        assert order == ["first", "second"]
 
-    def test_exclusive_writer(self):
-        lock = _ReadWriteLock()
-        assert lock.acquire_write(0.1)
-        assert lock.acquire_read(0.05) is False
-        assert lock.acquire_write(0.05) is False
-        lock.release_write()
-        assert lock.acquire_read(0.1)
-        lock.release_read()
+    def test_acquisition_bounded_by_deadline(self):
+        mutex = _WriteMutex()
+        with mutex.writing():
+            started = time.monotonic()
+            with pytest.raises(RequestTimeoutError):
+                with mutex.writing(Deadline(0.05)):
+                    pass                  # pragma: no cover
+            assert time.monotonic() - started < 1.0
+
+    def test_expired_deadline_fails_immediately(self):
+        mutex = _WriteMutex()
+        with mutex.writing():
+            with pytest.raises(RequestTimeoutError):
+                with mutex.writing(Deadline(0.0)):
+                    pass                  # pragma: no cover
+
+    def test_released_on_exit(self):
+        mutex = _WriteMutex()
+        with mutex.writing(Deadline(None)):
+            assert mutex.locked()
+        assert not mutex.locked()
+        with mutex.writing(Deadline(1.0)):
+            assert mutex.locked()
+        assert not mutex.locked()
 
 
 def _slow_array_ssdm(read_latency, pool=None):
